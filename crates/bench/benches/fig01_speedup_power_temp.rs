@@ -1,0 +1,47 @@
+//! Figure 1: normalized speedup, power, and temperature for the Spark
+//! benchmarks when sprinting (12 cores @ 2.7 GHz) versus nominal
+//! (3 cores @ 1.2 GHz).
+
+use sprint_power::chip::{ExecutionMode, ServerModel};
+use sprint_power::thermal::ThermalPackage;
+use sprint_workloads::Benchmark;
+
+fn main() {
+    sprint_bench::header(
+        "Figure 1",
+        "Speedup, power, temperature per benchmark",
+        "speedups 2–7x; power ≈ 1.8x; sprinting runs hotter",
+    );
+    let server = ServerModel::paper_server();
+    let package = ThermalPackage::paper_package();
+
+    println!(
+        "{:<14} {:>9} {:>11} {:>12} {:>12}",
+        "benchmark", "speedup", "power(norm)", "T_nom (°C)", "T_sprint(°C)"
+    );
+    for b in Benchmark::ALL {
+        let activity = b.activity_factor();
+        let p_nominal = server.power_w_with_activity(ExecutionMode::Nominal, activity);
+        let p_sprint = server.power_w_with_activity(ExecutionMode::Sprint, activity);
+        let chip_nominal = server
+            .chip()
+            .power_w_with_activity(ExecutionMode::Nominal, activity);
+        let chip_sprint = server
+            .chip()
+            .power_w_with_activity(ExecutionMode::Sprint, activity);
+        let t_nom = package
+            .nominal_junction_c(chip_nominal)
+            .expect("nominal power keeps PCM solid");
+        let t_sprint = package
+            .average_sprint_junction_c(chip_nominal, chip_sprint)
+            .expect("sprint power melts the PCM");
+        println!(
+            "{:<14} {:>9.2} {:>11.2} {:>12.1} {:>12.1}",
+            b.name(),
+            b.mean_speedup(),
+            p_sprint / p_nominal,
+            t_nom,
+            t_sprint
+        );
+    }
+}

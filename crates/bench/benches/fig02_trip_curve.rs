@@ -1,0 +1,39 @@
+//! Figure 2: typical trip curve of a circuit breaker — trip time versus
+//! current (normalized to rated), with the tolerance band and the
+//! short-circuit region.
+
+use sprint_power::breaker::TripCurve;
+
+fn main() {
+    sprint_bench::header(
+        "Figure 2",
+        "Circuit breaker trip curve",
+        "long-delay I²t band; 125–175% overload tolerated for 150 s sprints",
+    );
+    let curve = TripCurve::ul489(100.0).expect("valid rated current");
+    println!(
+        "{:>8} {:>14} {:>14}  region at t = 150 s",
+        "I/Irated", "t_trip min (s)", "t_trip max (s)"
+    );
+    for multiple in [
+        1.0, 1.1, 1.25, 1.4, 1.5, 1.6, 1.75, 2.0, 2.5, 3.0, 5.0, 8.0, 10.0, 20.0,
+    ] {
+        let fmt = |t: Option<f64>| match t {
+            Some(t) => format!("{t:>14.2}"),
+            None => format!("{:>14}", "never"),
+        };
+        println!(
+            "{:>8.2} {} {}  {}",
+            multiple,
+            fmt(curve.min_trip_time_s(multiple)),
+            fmt(curve.max_trip_time_s(multiple)),
+            curve.region(multiple, 150.0)
+        );
+    }
+    println!();
+    println!(
+        "band at 150 s: never-trip below {:.3}x, always-trip above {:.3}x (paper: 1.25x / 1.75x)",
+        curve.never_trip_multiple(150.0),
+        curve.always_trip_multiple(150.0)
+    );
+}

@@ -1,0 +1,18 @@
+//! Figure 3: probability of tripping the rack's breaker versus the
+//! number of sprinters (Equation 11).
+
+use sprint_game::trip::TripCurve;
+use sprint_game::GameConfig;
+
+fn main() {
+    sprint_bench::header(
+        "Figure 3",
+        "P(trip) vs number of sprinters",
+        "zero below N_min = 250, one above N_max = 750, linear between",
+    );
+    let curve = TripCurve::from_config(&GameConfig::paper_defaults());
+    println!("{:>10} {:>10}", "sprinters", "P(trip)");
+    for n in (0..=1000).step_by(50) {
+        println!("{n:>10} {:>10.3}", curve.p_trip(f64::from(n)));
+    }
+}

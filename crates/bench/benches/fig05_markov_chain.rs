@@ -1,0 +1,30 @@
+//! Figure 5: the active/cooling Markov chain — stationary distribution of
+//! agent states as sprint propensity varies, cross-checked between the
+//! closed form and a general-chain solve.
+
+use sprint_stats::markov::{active_cooling_stationary, MarkovChain};
+
+fn main() {
+    sprint_bench::header(
+        "Figure 5",
+        "Agent state transitions (sprint -> cool -> active)",
+        "stationary p_A feeds Equation 10: n_S = p_s · p_A · N",
+    );
+    let pc = 0.5; // Table 2
+    println!(
+        "{:>6} {:>12} {:>12} {:>14}",
+        "p_s", "p_A (closed)", "p_A (chain)", "n_S (N = 1000)"
+    );
+    for i in 0..=10 {
+        let ps = i as f64 / 10.0;
+        let (pa, _) = active_cooling_stationary(ps, pc).expect("valid probabilities");
+        let chain = MarkovChain::new(vec![vec![1.0 - ps, ps], vec![1.0 - pc, pc]])
+            .expect("row-stochastic");
+        let pi = chain.stationary_direct().expect("irreducible chain");
+        println!(
+            "{ps:>6.2} {pa:>12.4} {:>12.4} {:>14.1}",
+            pi[0],
+            ps * pa * 1000.0
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 11: equilibrium probability of sprinting per benchmark.
+//!
+//! Linear Regression and Correlation sprint at every opportunity (their
+//! narrow profiles make epochs indistinguishable); the rest sprint
+//! judiciously with higher thresholds.
+
+use sprint_game::{GameConfig, MeanFieldSolver};
+use sprint_workloads::Benchmark;
+
+fn main() {
+    sprint_bench::header(
+        "Figure 11",
+        "Equilibrium probability of sprinting",
+        "linear/correlation ≈ 1.0; majority sprint judiciously",
+    );
+    let solver = MeanFieldSolver::new(GameConfig::paper_defaults());
+    println!(
+        "{:<14} {:>10} {:>11} {:>9} {:>10}",
+        "benchmark", "P(sprint)", "threshold", "P(trip)", "sprinters"
+    );
+    for b in Benchmark::ALL {
+        let density = b.utility_density(512).expect("valid bins");
+        let eq = solver.solve(&density).expect("equilibrium exists");
+        println!(
+            "{:<14} {:>10.3} {:>11.3} {:>9.3} {:>10.1}",
+            b.name(),
+            eq.sprint_probability(),
+            eq.threshold(),
+            eq.trip_probability(),
+            eq.expected_sprinters()
+        );
+    }
+}

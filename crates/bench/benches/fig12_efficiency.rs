@@ -1,0 +1,44 @@
+//! Figure 12: efficiency of equilibrium thresholds (E-T throughput ÷ C-T
+//! throughput) as recovery grows more expensive (p_r → 1).
+//!
+//! The collapse appears for workloads whose equilibrium trips the breaker
+//! (Linear Regression's greedy equilibrium); profiles whose equilibrium
+//! stays below N_min (Decision Tree) remain efficient until the
+//! prisoner's-dilemma limit.
+
+use sprint_game::folk::efficiency;
+use sprint_game::GameConfig;
+use sprint_workloads::Benchmark;
+
+fn main() {
+    sprint_bench::header(
+        "Figure 12",
+        "Efficiency of equilibrium thresholds vs p_r",
+        "efficiency falls as recovery from emergencies becomes expensive",
+    );
+    let linear = Benchmark::LinearRegression
+        .utility_density(512)
+        .expect("valid bins");
+    let decision = Benchmark::DecisionTree
+        .utility_density(512)
+        .expect("valid bins");
+    println!(
+        "{:>6} {:>18} {:>18}",
+        "p_r", "linear (trips)", "decision (safe)"
+    );
+    for i in 0..=19 {
+        let pr = i as f64 * 0.05;
+        let cfg = GameConfig::builder().p_recovery(pr).build().expect("valid");
+        let e_lin = efficiency(&cfg, &linear).unwrap_or(f64::NAN);
+        let e_dec = efficiency(&cfg, &decision).unwrap_or(f64::NAN);
+        println!("{pr:>6.2} {e_lin:>18.3} {e_dec:>18.3}");
+    }
+    // The prisoner's-dilemma limit itself.
+    let cfg = GameConfig::builder().p_recovery(0.999).build().expect("valid");
+    println!(
+        "{:>6.3} {:>18.3} {:>18.3}",
+        0.999,
+        efficiency(&cfg, &linear).unwrap_or(f64::NAN),
+        efficiency(&cfg, &decision).unwrap_or(f64::NAN)
+    );
+}

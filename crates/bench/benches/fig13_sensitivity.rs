@@ -1,0 +1,58 @@
+//! Figure 13: sensitivity of the equilibrium sprinting threshold to the
+//! architectural parameters p_c, p_r, N_min, and N_max.
+
+use sprint_game::{GameConfig, MeanFieldSolver};
+use sprint_workloads::Benchmark;
+
+fn threshold_for(config: GameConfig) -> f64 {
+    let density = Benchmark::DecisionTree
+        .utility_density(512)
+        .expect("valid bins");
+    MeanFieldSolver::new(config)
+        .solve(&density)
+        .map(|eq| eq.threshold())
+        .unwrap_or(f64::NAN)
+}
+
+fn main() {
+    sprint_bench::header(
+        "Figure 13",
+        "Threshold sensitivity to p_c, p_r, N_min, N_max (DecisionTree)",
+        "rises with p_c; flat in p_r; lower for small bands (aggressive), higher for big",
+    );
+
+    println!("panel 1: p_c sweep (p_r = 0.88, band 250/750)");
+    println!("{:>8} {:>11}", "p_c", "threshold");
+    for i in 0..=18 {
+        let pc = i as f64 * 0.05;
+        let cfg = GameConfig::builder().p_cooling(pc).build().expect("valid");
+        println!("{pc:>8.2} {:>11.3}", threshold_for(cfg));
+    }
+
+    println!();
+    println!("panel 2: p_r sweep (p_c = 0.50, band 250/750)");
+    println!("{:>8} {:>11}", "p_r", "threshold");
+    for i in 0..=19 {
+        let pr = i as f64 * 0.05;
+        let cfg = GameConfig::builder().p_recovery(pr).build().expect("valid");
+        println!("{pr:>8.2} {:>11.3}", threshold_for(cfg));
+    }
+
+    println!();
+    println!("panel 3: N_min sweep (N_max = 750)");
+    println!("{:>8} {:>11}", "N_min", "threshold");
+    for i in 0..=12 {
+        let n_min = f64::from(i) * 50.0;
+        let cfg = GameConfig::builder().n_min(n_min).build().expect("valid");
+        println!("{n_min:>8.0} {:>11.3}", threshold_for(cfg));
+    }
+
+    println!();
+    println!("panel 4: N_max sweep (N_min = 250)");
+    println!("{:>8} {:>11}", "N_max", "threshold");
+    for i in 0..=10 {
+        let n_max = 400.0 + f64::from(i) * 50.0;
+        let cfg = GameConfig::builder().n_max(n_max).build().expect("valid");
+        println!("{n_max:>8.0} {:>11.3}", threshold_for(cfg));
+    }
+}

@@ -1,0 +1,79 @@
+//! Criterion benches for the offline solvers (§4.4's "<10 s on a Core i5"
+//! runtime claim, plus the value- vs policy-iteration ablation).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use sprint_game::bellman::{self, BellmanMethod};
+use sprint_game::cooperative::CooperativeSearch;
+use sprint_game::{GameConfig, MeanFieldSolver};
+use sprint_workloads::Benchmark;
+
+fn bench_bellman(c: &mut Criterion) {
+    let cfg = GameConfig::paper_defaults();
+    let density = Benchmark::DecisionTree.utility_density(512).unwrap();
+    let mut group = c.benchmark_group("bellman");
+    group.bench_function("value_iteration", |b| {
+        b.iter(|| {
+            bellman::solve(
+                black_box(&cfg),
+                black_box(&density),
+                0.05,
+                BellmanMethod::ValueIteration,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("policy_iteration", |b| {
+        b.iter(|| {
+            bellman::solve(
+                black_box(&cfg),
+                black_box(&density),
+                0.05,
+                BellmanMethod::PolicyIteration,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let cfg = GameConfig::paper_defaults();
+    let mut group = c.benchmark_group("algorithm1");
+    for b in [
+        Benchmark::DecisionTree,
+        Benchmark::LinearRegression,
+        Benchmark::PageRank,
+    ] {
+        let density = b.utility_density(512).unwrap();
+        group.bench_function(b.name(), |bench| {
+            bench.iter_batched(
+                || density.clone(),
+                |d| MeanFieldSolver::new(cfg).solve(black_box(&d)).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_cooperative_search(c: &mut Criterion) {
+    let cfg = GameConfig::paper_defaults();
+    let density = Benchmark::DecisionTree.utility_density(512).unwrap();
+    c.bench_function("cooperative_search_512", |b| {
+        b.iter(|| {
+            CooperativeSearch::default_resolution()
+                .solve(black_box(&cfg), black_box(&density))
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_bellman,
+    bench_algorithm1,
+    bench_cooperative_search
+);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table 1: Spark workloads — benchmark, category, dataset, data size.
+
+use sprint_workloads::Benchmark;
+
+fn main() {
+    sprint_bench::header(
+        "Table 1",
+        "Spark workloads",
+        "11 benchmarks over kdda/kddb/uscensus/movielens/wdc datasets",
+    );
+    println!(
+        "{:<22} {:<24} {:<14} {:>9}",
+        "Benchmark", "Category", "Dataset", "Size (GB)"
+    );
+    for b in Benchmark::ALL {
+        println!(
+            "{:<22} {:<24} {:<14} {:>9.3}",
+            b.full_name(),
+            b.category().to_string(),
+            b.dataset(),
+            b.data_size_gb()
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Table 2: experimental parameters — derived from the physical rack
+//! models rather than assumed.
+
+use sprint_game::GameConfig;
+use sprint_power::rack::RackConfig;
+
+fn main() {
+    sprint_bench::header(
+        "Table 2",
+        "Experimental parameters",
+        "N_min = 250, N_max = 750, p_c = 0.50, p_r = 0.88, δ = 0.99",
+    );
+    let table2 = GameConfig::paper_defaults();
+    let derived = RackConfig::paper_rack(1000).derive_game_parameters();
+
+    println!("{:<28} {:>10} {:>12}", "Parameter", "Table 2", "Derived");
+    let rows: [(&str, f64, f64); 4] = [
+        (
+            "Min # sprinters  N_min",
+            table2.n_min(),
+            f64::from(derived.n_min),
+        ),
+        (
+            "Max # sprinters  N_max",
+            table2.n_max(),
+            f64::from(derived.n_max),
+        ),
+        ("P(stay cooling)  p_c", table2.p_cooling(), derived.p_cooling),
+        (
+            "P(stay recovery) p_r",
+            table2.p_recovery(),
+            derived.p_recovery,
+        ),
+    ];
+    for (name, paper, ours) in rows {
+        println!("{name:<28} {paper:>10.3} {ours:>12.3}");
+    }
+    println!(
+        "{:<28} {:>10.3} {:>12}",
+        "Discount factor  δ",
+        table2.discount(),
+        "(chosen)"
+    );
+    println!();
+    println!(
+        "derived epoch = {:.1} s (paper ≈ 150 s), cooling = {:.1} s (paper ≈ 300 s)",
+        derived.epoch_seconds, derived.cooling_seconds
+    );
+}

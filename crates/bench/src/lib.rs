@@ -1,0 +1,120 @@
+//! Shared plumbing for the reproduction harness.
+//!
+//! Every table and figure of the paper has a `harness = false` bench
+//! target in `benches/` that regenerates its rows/series;
+//! `cargo bench -p sprint-bench` reproduces the whole evaluation. This
+//! library holds the pieces the targets share: the paper-scale scenario
+//! builders, seed conventions, and plain-text table formatting.
+
+use sprint_sim::scenario::Scenario;
+use sprint_workloads::Benchmark;
+
+/// Paper scale: 1000 users per rack (§5, "Simulation Methods").
+pub const PAPER_AGENTS: u32 = 1000;
+
+/// Epoch horizon used for the dynamics figures (Figure 6 plots 1000).
+pub const PAPER_EPOCHS: usize = 1000;
+
+/// Seeds for repeated trials. Deterministic so EXPERIMENTS.md is
+/// reproducible.
+pub const TRIAL_SEEDS: [u64; 3] = [11, 23, 47];
+
+/// Build the paper-scale homogeneous scenario for one benchmark.
+///
+/// # Panics
+///
+/// Panics on invalid configuration — impossible for the built-in
+/// constants.
+#[must_use]
+pub fn paper_scenario(benchmark: Benchmark, epochs: usize) -> Scenario {
+    Scenario::homogeneous(benchmark, PAPER_AGENTS, epochs)
+        .expect("paper-scale scenario parameters are valid")
+}
+
+/// Print the standard experiment header.
+pub fn header(id: &str, title: &str, paper_says: &str) {
+    println!();
+    println!("================================================================");
+    println!("{id} — {title}");
+    println!("paper: {paper_says}");
+    println!("================================================================");
+}
+
+/// Print a labelled table row of floats with 3-decimal precision.
+pub fn row(label: &str, values: &[f64]) {
+    print!("{label:<14}");
+    for v in values {
+        print!(" {v:>9.3}");
+    }
+    println!();
+}
+
+/// Print a table column header.
+pub fn columns(label: &str, names: &[&str]) {
+    print!("{label:<14}");
+    for n in names {
+        print!(" {n:>9}");
+    }
+    println!();
+}
+
+/// Render a numeric series as a compact ASCII sparkline (for Figure 6's
+/// time series in terminal output).
+#[must_use]
+pub fn sparkline(values: &[f64], max: f64) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|&v| {
+            let idx = if max <= 0.0 {
+                0
+            } else {
+                (((v / max) * (LEVELS.len() - 1) as f64).round() as usize).min(LEVELS.len() - 1)
+            };
+            LEVELS[idx]
+        })
+        .collect()
+}
+
+/// Downsample a series to `n` bucket means (for compact printing).
+#[must_use]
+pub fn downsample(series: &[f64], n: usize) -> Vec<f64> {
+    if series.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    let chunk = series.len().div_ceil(n);
+    series
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_builder_matches_paper_scale() {
+        let s = paper_scenario(Benchmark::DecisionTree, 10);
+        assert_eq!(s.game().n_agents(), 1000);
+        assert_eq!(s.game().n_min(), 250.0);
+        assert_eq!(s.game().n_max(), 750.0);
+    }
+
+    #[test]
+    fn sparkline_scales() {
+        let s = sparkline(&[0.0, 0.5, 1.0], 1.0);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[1.0], 0.0), "▁");
+    }
+
+    #[test]
+    fn downsample_means() {
+        let d = downsample(&[1.0, 1.0, 3.0, 3.0], 2);
+        assert_eq!(d, vec![1.0, 3.0]);
+        assert!(downsample(&[], 4).is_empty());
+        assert!(downsample(&[1.0], 0).is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Minimal dependency-free argument parsing for the `sprint` binary.
+//!
+//! Flags take the form `--name value`; every subcommand validates its own
+//! flag set and rejects unknown flags, so typos fail loudly instead of
+//! silently running a default experiment.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: subcommand plus `--flag value` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// Argument-parsing error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parse raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when no subcommand is given, a flag is missing
+    /// its value, or a positional argument appears after the subcommand.
+    pub fn parse<I, S>(raw: I) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut iter = raw.into_iter().map(Into::into);
+        let command = iter
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand; try `sprint help`".into()))?;
+        let mut flags = BTreeMap::new();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(ArgError(format!(
+                    "unexpected positional argument `{arg}`; flags look like --name value"
+                )));
+            };
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgError(format!("flag --{name} is missing its value")))?;
+            if flags.insert(name.to_string(), value).is_some() {
+                return Err(ArgError(format!("flag --{name} given twice")));
+            }
+        }
+        Ok(ParsedArgs { command, flags })
+    }
+
+    /// The subcommand name.
+    #[must_use]
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// Reject any flag not in `allowed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] naming the first unknown flag.
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for name in self.flags.keys() {
+            if !allowed.contains(&name.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{name} for `{}`; allowed: {}",
+                    self.command,
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Raw string flag.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// String flag with a default.
+    #[must_use]
+    pub fn get_or(&self, name: &str, default: &str) -> String {
+        self.get(name).unwrap_or(default).to_string()
+    }
+
+    /// Parsed numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when the value does not parse as `T`.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("flag --{name} has invalid value `{raw}`"))),
+        }
+    }
+
+    /// Boolean flag (`--name true|false`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] for values other than `true`/`false`.
+    pub fn get_bool(&self, name: &str, default: bool) -> Result<bool, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some("true") => Ok(true),
+            Some("false") => Ok(false),
+            Some(other) => Err(ArgError(format!(
+                "flag --{name} expects true or false, got `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = ParsedArgs::parse(["solve", "--benchmark", "decision", "--json", "true"]).unwrap();
+        assert_eq!(a.command(), "solve");
+        assert_eq!(a.get("benchmark"), Some("decision"));
+        assert!(a.get_bool("json", false).unwrap());
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_missing_subcommand_and_values() {
+        assert!(ParsedArgs::parse(Vec::<String>::new()).is_err());
+        assert!(ParsedArgs::parse(["solve", "--benchmark"]).is_err());
+        assert!(ParsedArgs::parse(["solve", "stray"]).is_err());
+        assert!(ParsedArgs::parse(["solve", "--x", "1", "--x", "2"]).is_err());
+    }
+
+    #[test]
+    fn expect_only_flags_unknowns() {
+        let a = ParsedArgs::parse(["simulate", "--agents", "100"]).unwrap();
+        assert!(a.expect_only(&["agents", "epochs"]).is_ok());
+        assert!(a.expect_only(&["epochs"]).is_err());
+    }
+
+    #[test]
+    fn numeric_defaults_and_errors() {
+        let a = ParsedArgs::parse(["x", "--n", "42"]).unwrap();
+        assert_eq!(a.get_parsed("n", 7u32).unwrap(), 42);
+        assert_eq!(a.get_parsed("m", 7u32).unwrap(), 7);
+        let bad = ParsedArgs::parse(["x", "--n", "abc"]).unwrap();
+        assert!(bad.get_parsed("n", 7u32).is_err());
+    }
+
+    #[test]
+    fn bool_validation() {
+        let a = ParsedArgs::parse(["x", "--flag", "maybe"]).unwrap();
+        assert!(a.get_bool("flag", false).is_err());
+        assert!(!ParsedArgs::parse(["x"]).unwrap().get_bool("flag", false).unwrap());
+    }
+}

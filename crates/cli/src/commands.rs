@@ -1,0 +1,533 @@
+//! The `sprint` subcommands.
+
+use serde::Serialize;
+
+use sprint_game::cooperative::CooperativeSearch;
+use sprint_game::{GameConfig, MeanFieldSolver};
+use sprint_power::rack::RackConfig;
+use sprint_sim::policy::PolicyKind;
+use sprint_sim::runner::compare_policies;
+use sprint_sim::scenario::Scenario;
+use sprint_workloads::Benchmark;
+
+use crate::args::{ArgError, ParsedArgs};
+
+/// Top-level CLI error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Args(ArgError),
+    /// Library error while executing a command.
+    Run(Box<dyn std::error::Error>),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Run(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+fn run_err<E: std::error::Error + 'static>(e: E) -> CliError {
+    CliError::Run(Box::new(e))
+}
+
+/// Usage text for `sprint help`.
+pub const USAGE: &str = "\
+sprint — the computational sprinting game (ASPLOS 2016 reproduction)
+
+USAGE:
+  sprint solve         --benchmark <name> [--n-agents N] [--n-min X] [--n-max X]
+                       [--p-cooling P] [--p-recovery P] [--discount D] [--json true]
+  sprint simulate      --benchmark <name> --policy <g|e-b|e-t|c-t>
+                       [--agents N] [--epochs E] [--seed S] [--json true]
+  sprint compare       --benchmark <name> [--agents N] [--epochs E] [--seeds K]
+  sprint cluster       --benchmark <name> [--racks K] [--agents-per-rack N]
+                       [--epochs E] [--facility-n-min X] [--facility-n-max X]
+                       [--seed S] [--json true]
+  sprint derive-params [--servers N] [--json true]
+  sprint benchmarks
+  sprint help
+
+Benchmarks: naive decision gradient svm linear kmeans als correlation
+            pagerank cc triangle";
+
+fn parse_benchmark(args: &ParsedArgs) -> Result<Benchmark, CliError> {
+    let name = args
+        .get("benchmark")
+        .ok_or_else(|| ArgError("--benchmark is required".into()))?;
+    Benchmark::from_name(name)
+        .ok_or_else(|| ArgError(format!("unknown benchmark `{name}`; see `sprint benchmarks`")).into())
+}
+
+fn parse_policy(raw: &str) -> Result<PolicyKind, CliError> {
+    match raw.to_ascii_lowercase().as_str() {
+        "g" | "greedy" => Ok(PolicyKind::Greedy),
+        "e-b" | "eb" | "backoff" => Ok(PolicyKind::ExponentialBackoff),
+        "e-t" | "et" | "equilibrium" => Ok(PolicyKind::EquilibriumThreshold),
+        "c-t" | "ct" | "cooperative" => Ok(PolicyKind::CooperativeThreshold),
+        other => Err(ArgError(format!("unknown policy `{other}`; use g, e-b, e-t, or c-t")).into()),
+    }
+}
+
+fn parse_config(args: &ParsedArgs) -> Result<GameConfig, CliError> {
+    let defaults = GameConfig::paper_defaults();
+    GameConfig::builder()
+        .n_agents(args.get_parsed("n-agents", defaults.n_agents())?)
+        .n_min(args.get_parsed("n-min", defaults.n_min())?)
+        .n_max(args.get_parsed("n-max", defaults.n_max())?)
+        .p_cooling(args.get_parsed("p-cooling", defaults.p_cooling())?)
+        .p_recovery(args.get_parsed("p-recovery", defaults.p_recovery())?)
+        .discount(args.get_parsed("discount", defaults.discount())?)
+        .build()
+        .map_err(run_err)
+}
+
+fn emit<T: Serialize>(json: bool, value: &T, text: impl FnOnce()) -> Result<(), CliError> {
+    if json {
+        let s = serde_json::to_string_pretty(value).map_err(run_err)?;
+        println!("{s}");
+    } else {
+        text();
+    }
+    Ok(())
+}
+
+#[derive(Serialize)]
+struct SolveReport {
+    benchmark: &'static str,
+    config: GameConfig,
+    threshold: f64,
+    sprint_probability: f64,
+    expected_sprinters: f64,
+    trip_probability: f64,
+    cooperative_threshold: f64,
+    efficiency_vs_cooperative: f64,
+}
+
+/// `sprint solve`: equilibrium + cooperative bound for one benchmark.
+pub fn solve(args: &ParsedArgs) -> Result<(), CliError> {
+    args.expect_only(&[
+        "benchmark",
+        "n-agents",
+        "n-min",
+        "n-max",
+        "p-cooling",
+        "p-recovery",
+        "discount",
+        "json",
+    ])?;
+    let benchmark = parse_benchmark(args)?;
+    let config = parse_config(args)?;
+    let json = args.get_bool("json", false)?;
+
+    let density = benchmark.utility_density(512).map_err(run_err)?;
+    let eq = MeanFieldSolver::new(config).solve(&density).map_err(run_err)?;
+    let ct = CooperativeSearch::default_resolution()
+        .solve(&config, &density)
+        .map_err(run_err)?;
+    let et = sprint_game::cooperative::analytic_throughput(&config, &density, eq.threshold())
+        .map_err(run_err)?;
+    let report = SolveReport {
+        benchmark: benchmark.name(),
+        config,
+        threshold: eq.threshold(),
+        sprint_probability: eq.sprint_probability(),
+        expected_sprinters: eq.expected_sprinters(),
+        trip_probability: eq.trip_probability(),
+        cooperative_threshold: ct.threshold,
+        efficiency_vs_cooperative: et.tasks_per_epoch / ct.throughput.tasks_per_epoch,
+    };
+    emit(json, &report, || {
+        println!("benchmark           {}", report.benchmark);
+        println!("threshold u_T       {:.4}", report.threshold);
+        println!("P(sprint | active)  {:.4}", report.sprint_probability);
+        println!("expected sprinters  {:.1}", report.expected_sprinters);
+        println!("P(trip)             {:.4}", report.trip_probability);
+        println!("cooperative u_T     {:.4}", report.cooperative_threshold);
+        println!("efficiency vs C-T   {:.3}", report.efficiency_vs_cooperative);
+    })
+}
+
+#[derive(Serialize)]
+struct SimulateReport {
+    benchmark: &'static str,
+    policy: String,
+    agents: u32,
+    epochs: usize,
+    seed: u64,
+    tasks_per_agent_epoch: f64,
+    trips: u32,
+    mean_sprinters: f64,
+    occupancy_active_cooling_recovery_sprint: [f64; 4],
+}
+
+/// `sprint simulate`: one policy, one seed.
+pub fn simulate(args: &ParsedArgs) -> Result<(), CliError> {
+    args.expect_only(&["benchmark", "policy", "agents", "epochs", "seed", "json"])?;
+    let benchmark = parse_benchmark(args)?;
+    let policy = parse_policy(&args.get_or("policy", "e-t"))?;
+    let agents: u32 = args.get_parsed("agents", 1000)?;
+    let epochs: usize = args.get_parsed("epochs", 600)?;
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let json = args.get_bool("json", false)?;
+
+    let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
+    let result = scenario.run(policy, seed).map_err(run_err)?;
+    let report = SimulateReport {
+        benchmark: benchmark.name(),
+        policy: policy.to_string(),
+        agents,
+        epochs,
+        seed,
+        tasks_per_agent_epoch: result.tasks_per_agent_epoch(),
+        trips: result.trips(),
+        mean_sprinters: result.mean_sprinters(),
+        occupancy_active_cooling_recovery_sprint: result.occupancy().fractions(),
+    };
+    emit(json, &report, || {
+        println!(
+            "{} on {} x {} for {} epochs (seed {})",
+            report.policy, report.agents, report.benchmark, report.epochs, report.seed
+        );
+        println!("tasks/agent-epoch   {:.4}", report.tasks_per_agent_epoch);
+        println!("power emergencies   {}", report.trips);
+        println!("mean sprinters      {:.1}", report.mean_sprinters);
+        let o = report.occupancy_active_cooling_recovery_sprint;
+        println!(
+            "occupancy           active {:.1}%  cooling {:.1}%  recovery {:.1}%  sprint {:.1}%",
+            o[0] * 100.0,
+            o[1] * 100.0,
+            o[2] * 100.0,
+            o[3] * 100.0
+        );
+    })
+}
+
+/// `sprint compare`: the paper's four policies, averaged over seeds.
+pub fn compare(args: &ParsedArgs) -> Result<(), CliError> {
+    args.expect_only(&["benchmark", "agents", "epochs", "seeds"])?;
+    let benchmark = parse_benchmark(args)?;
+    let agents: u32 = args.get_parsed("agents", 1000)?;
+    let epochs: usize = args.get_parsed("epochs", 600)?;
+    let n_seeds: u64 = args.get_parsed("seeds", 3)?;
+    if n_seeds == 0 {
+        return Err(ArgError("--seeds must be at least 1".into()).into());
+    }
+
+    let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
+    let seeds: Vec<u64> = (1..=n_seeds).collect();
+    let cmp = compare_policies(&scenario, &PolicyKind::ALL, &seeds).map_err(run_err)?;
+    println!(
+        "{:<24} {:>11} {:>8} {:>9} {:>7}",
+        "policy", "tasks/ep", "vs G", "±95% CI", "trips"
+    );
+    for outcome in cmp.outcomes() {
+        let norm = cmp
+            .normalized_to_greedy(outcome.policy)
+            .expect("greedy included");
+        let ci = outcome
+            .tasks_ci
+            .map_or_else(|| "-".to_string(), |c| format!("{:.3}", c.half_width));
+        println!(
+            "{:<24} {:>11.4} {:>8.2} {:>9} {:>7.1}",
+            outcome.policy.to_string(),
+            outcome.tasks_per_agent_epoch,
+            norm,
+            ci,
+            outcome.trips
+        );
+    }
+    Ok(())
+}
+
+/// `sprint cluster`: multi-rack simulation under a facility breaker.
+pub fn cluster(args: &ParsedArgs) -> Result<(), CliError> {
+    args.expect_only(&[
+        "benchmark",
+        "racks",
+        "agents-per-rack",
+        "epochs",
+        "facility-n-min",
+        "facility-n-max",
+        "seed",
+        "json",
+    ])?;
+    use sprint_sim::cluster::{simulate_cluster, ClusterConfig};
+    use sprint_sim::policies::ThresholdPolicy;
+    use sprint_sim::SprintPolicy;
+    use sprint_workloads::generator::Population;
+
+    let benchmark = parse_benchmark(args)?;
+    let racks: u32 = args.get_parsed("racks", 4)?;
+    let per_rack: u32 = args.get_parsed("agents-per-rack", 250)?;
+    let epochs: usize = args.get_parsed("epochs", 600)?;
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let json = args.get_bool("json", false)?;
+    let rack_game = GameConfig::builder()
+        .n_agents(per_rack)
+        .n_min(f64::from(per_rack) * 0.25)
+        .n_max(f64::from(per_rack) * 0.75)
+        .build()
+        .map_err(run_err)?;
+    let default_min = f64::from(racks * per_rack) * 0.25;
+    let facility_n_min: f64 = args.get_parsed("facility-n-min", default_min)?;
+    let facility_n_max: f64 = args.get_parsed("facility-n-max", default_min * 3.0)?;
+    let config = ClusterConfig::new(
+        rack_game,
+        racks,
+        facility_n_min,
+        facility_n_max,
+        0.95,
+        epochs,
+        seed,
+    )
+    .map_err(run_err)?;
+
+    // Facility-aware equilibrium thresholds per rack.
+    let density = benchmark.utility_density(512).map_err(run_err)?;
+    let aware_game = config.facility_aware_band().map_err(run_err)?;
+    let eq = MeanFieldSolver::new(aware_game)
+        .solve(&density)
+        .map_err(run_err)?;
+    let mut streams = Population::homogeneous(benchmark, (racks * per_rack) as usize)
+        .map_err(run_err)?
+        .spawn_streams(seed)
+        .map_err(run_err)?;
+    let mut policies: Vec<Box<dyn SprintPolicy>> = (0..racks)
+        .map(|_| {
+            ThresholdPolicy::uniform(
+                "E-T",
+                eq.strategy(),
+                per_rack as usize,
+            )
+            .map(|p| Box::new(p) as Box<dyn SprintPolicy>)
+        })
+        .collect::<Result<_, _>>()
+        .map_err(run_err)?;
+    let result = simulate_cluster(&config, &mut streams, &mut policies).map_err(run_err)?;
+    emit(json, &result, || {
+        println!(
+            "{racks} racks x {per_rack} {} agents, facility band [{facility_n_min:.0}, \
+             {facility_n_max:.0}], {epochs} epochs",
+            benchmark.name()
+        );
+        println!("threshold (facility-aware) {:.3}", eq.threshold());
+        println!("tasks/agent-epoch          {:.4}", result.tasks_per_agent_epoch);
+        println!("rack trips                 {}", result.rack_trips);
+        println!("facility trips             {}", result.facility_trips);
+        let cells: Vec<String> = result
+            .per_rack_tasks
+            .iter()
+            .map(|t| format!("{t:.3}"))
+            .collect();
+        println!("per-rack tasks             {}", cells.join(" "));
+    })
+}
+
+/// `sprint derive-params`: physical rack → Table-2 parameters.
+pub fn derive_params(args: &ParsedArgs) -> Result<(), CliError> {
+    args.expect_only(&["servers", "json"])?;
+    let servers: u32 = args.get_parsed("servers", 1000)?;
+    if servers == 0 {
+        return Err(ArgError("--servers must be at least 1".into()).into());
+    }
+    let json = args.get_bool("json", false)?;
+    let params = RackConfig::paper_rack(servers).derive_game_parameters();
+    emit(json, &params, || {
+        println!("servers             {}", params.n_agents);
+        println!("N_min / N_max       {} / {}", params.n_min, params.n_max);
+        println!("p_cooling           {:.3}", params.p_cooling);
+        println!("p_recovery          {:.3}", params.p_recovery);
+        println!("epoch               {:.1} s", params.epoch_seconds);
+        println!("cooling             {:.1} s", params.cooling_seconds);
+    })
+}
+
+/// `sprint benchmarks`: list the Table-1 suite.
+pub fn benchmarks(args: &ParsedArgs) -> Result<(), CliError> {
+    args.expect_only(&[])?;
+    println!(
+        "{:<14} {:<22} {:<24} {:>9}",
+        "name", "full name", "category", "mean x"
+    );
+    for b in Benchmark::ALL {
+        println!(
+            "{:<14} {:<22} {:<24} {:>9.2}",
+            b.name(),
+            b.full_name(),
+            b.category().to_string(),
+            b.mean_speedup()
+        );
+    }
+    Ok(())
+}
+
+/// Dispatch a parsed command line.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands, bad flags, or execution
+/// failures.
+pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
+    match args.command() {
+        "solve" => solve(args),
+        "simulate" => simulate(args),
+        "compare" => compare(args),
+        "cluster" => cluster(args),
+        "derive-params" => derive_params(args),
+        "benchmarks" => benchmarks(args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(ArgError(format!("unknown command `{other}`; try `sprint help`")).into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(args: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(args.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_command() {
+        assert!(dispatch(&parsed(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn solve_requires_benchmark() {
+        assert!(solve(&parsed(&["solve"])).is_err());
+        assert!(solve(&parsed(&["solve", "--benchmark", "nosuch"])).is_err());
+        assert!(solve(&parsed(&["solve", "--benchmark", "decision"])).is_ok());
+    }
+
+    #[test]
+    fn solve_rejects_unknown_flags_and_bad_config() {
+        assert!(solve(&parsed(&["solve", "--benchmark", "decision", "--bogus", "1"])).is_err());
+        assert!(solve(&parsed(&[
+            "solve",
+            "--benchmark",
+            "decision",
+            "--discount",
+            "1.5"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn simulate_runs_small() {
+        let args = parsed(&[
+            "simulate",
+            "--benchmark",
+            "svm",
+            "--policy",
+            "g",
+            "--agents",
+            "20",
+            "--epochs",
+            "10",
+        ]);
+        assert!(simulate(&args).is_ok());
+    }
+
+    #[test]
+    fn simulate_json_output_runs() {
+        let args = parsed(&[
+            "simulate",
+            "--benchmark",
+            "svm",
+            "--policy",
+            "e-t",
+            "--agents",
+            "20",
+            "--epochs",
+            "10",
+            "--json",
+            "true",
+        ]);
+        assert!(simulate(&args).is_ok());
+    }
+
+    #[test]
+    fn policy_aliases_parse() {
+        assert_eq!(parse_policy("greedy").unwrap(), PolicyKind::Greedy);
+        assert_eq!(parse_policy("E-T").unwrap(), PolicyKind::EquilibriumThreshold);
+        assert_eq!(parse_policy("ct").unwrap(), PolicyKind::CooperativeThreshold);
+        assert!(parse_policy("random").is_err());
+    }
+
+    #[test]
+    fn cluster_runs_small() {
+        let args = parsed(&[
+            "cluster",
+            "--benchmark",
+            "decision",
+            "--racks",
+            "2",
+            "--agents-per-rack",
+            "20",
+            "--epochs",
+            "30",
+        ]);
+        assert!(cluster(&args).is_ok());
+        // Inverted facility band is rejected.
+        let bad = parsed(&[
+            "cluster",
+            "--benchmark",
+            "decision",
+            "--racks",
+            "2",
+            "--agents-per-rack",
+            "20",
+            "--epochs",
+            "30",
+            "--facility-n-min",
+            "100",
+            "--facility-n-max",
+            "50",
+        ]);
+        assert!(cluster(&bad).is_err());
+    }
+
+    #[test]
+    fn derive_params_scales() {
+        assert!(derive_params(&parsed(&["derive-params", "--servers", "100"])).is_ok());
+        assert!(derive_params(&parsed(&["derive-params", "--servers", "0"])).is_err());
+    }
+
+    #[test]
+    fn compare_validates_seeds() {
+        let args = parsed(&[
+            "compare",
+            "--benchmark",
+            "als",
+            "--agents",
+            "20",
+            "--epochs",
+            "10",
+            "--seeds",
+            "0",
+        ]);
+        assert!(compare(&args).is_err());
+    }
+
+    #[test]
+    fn benchmarks_lists() {
+        assert!(benchmarks(&parsed(&["benchmarks"])).is_ok());
+        assert!(benchmarks(&parsed(&["benchmarks", "--x", "1"])).is_err());
+    }
+}

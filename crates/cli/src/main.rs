@@ -1,0 +1,32 @@
+//! `sprint` — command-line interface to the computational sprinting game.
+//!
+//! ```text
+//! sprint solve --benchmark decision
+//! sprint simulate --benchmark pagerank --policy e-t --agents 1000 --epochs 600
+//! sprint compare --benchmark decision
+//! sprint derive-params --servers 1000 --json true
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::ParsedArgs::parse(raw) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

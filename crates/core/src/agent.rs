@@ -1,0 +1,264 @@
+//! The online agent (paper §4.4, "Online Strategy").
+//!
+//! "An agent decides whether to sprint at the start of each epoch by
+//! estimating a sprint's utility and comparing it against her threshold."
+//! Estimation can profile the first seconds of an epoch or use heuristics
+//! (task-queue occupancy, cache misses). [`UtilityPredictor`] provides the
+//! estimation layer — a persistence/EWMA hybrid that exploits phase
+//! locality — and [`OnlineAgent`] combines predictor, assigned strategy,
+//! and state tracking into the per-epoch decision loop.
+
+use crate::state::AgentState;
+use crate::threshold::ThresholdStrategy;
+use crate::GameError;
+
+/// Exponentially weighted utility predictor.
+///
+/// Phases persist across epochs, so the best cheap estimate of this
+/// epoch's sprint utility blends the most recent observation with a longer
+/// memory: `estimate = α · last + (1 − α) · ewma`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilityPredictor {
+    alpha: f64,
+    ewma: Option<f64>,
+    last: Option<f64>,
+}
+
+impl UtilityPredictor {
+    /// Create a predictor with recency weight `alpha` in `[0, 1]`
+    /// (1 = pure last-value persistence, 0 = pure long-run average).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidParameter`] for `alpha` outside `[0, 1]`.
+    pub fn new(alpha: f64) -> crate::Result<Self> {
+        if !(0.0..=1.0).contains(&alpha) {
+            return Err(GameError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                expected: "a weight in [0, 1]",
+            });
+        }
+        Ok(UtilityPredictor {
+            alpha,
+            ewma: None,
+            last: None,
+        })
+    }
+
+    /// A persistence-heavy default (`alpha = 0.7`), matching the phase
+    /// locality of data-analytics workloads.
+    #[must_use]
+    pub fn phase_local() -> Self {
+        UtilityPredictor {
+            alpha: 0.7,
+            ewma: None,
+            last: None,
+        }
+    }
+
+    /// Predict the coming epoch's utility, or `None` before any
+    /// observation (the agent then profiles the epoch's first seconds —
+    /// modeled as an oracle observation by the caller).
+    #[must_use]
+    pub fn predict(&self) -> Option<f64> {
+        match (self.last, self.ewma) {
+            (Some(last), Some(ewma)) => Some(self.alpha * last + (1.0 - self.alpha) * ewma),
+            _ => None,
+        }
+    }
+
+    /// Record the utility actually observed this epoch.
+    pub fn observe(&mut self, utility: f64) {
+        self.last = Some(utility);
+        self.ewma = Some(match self.ewma {
+            Some(e) => 0.2 * utility + 0.8 * e,
+            None => utility,
+        });
+    }
+}
+
+/// An epoch decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// Sprint this epoch.
+    Sprint,
+    /// Stay in normal mode.
+    Normal,
+    /// Sprinting forbidden by the current state (cooling/recovery).
+    Forbidden,
+}
+
+/// A strategic agent executing its assigned threshold strategy online.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineAgent {
+    strategy: ThresholdStrategy,
+    state: AgentState,
+    predictor: UtilityPredictor,
+    epochs_sprinted: u64,
+    epochs_total: u64,
+}
+
+impl OnlineAgent {
+    /// Create an agent with its coordinator-assigned strategy.
+    #[must_use]
+    pub fn new(strategy: ThresholdStrategy) -> Self {
+        OnlineAgent {
+            strategy,
+            state: AgentState::Active,
+            predictor: UtilityPredictor::phase_local(),
+            epochs_sprinted: 0,
+            epochs_total: 0,
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> AgentState {
+        self.state
+    }
+
+    /// The assigned strategy.
+    #[must_use]
+    pub fn strategy(&self) -> ThresholdStrategy {
+        self.strategy
+    }
+
+    /// Replace the assigned strategy (coordinator re-optimization).
+    pub fn assign(&mut self, strategy: ThresholdStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// Fraction of epochs this agent sprinted.
+    #[must_use]
+    pub fn sprint_rate(&self) -> f64 {
+        if self.epochs_total == 0 {
+            0.0
+        } else {
+            self.epochs_sprinted as f64 / self.epochs_total as f64
+        }
+    }
+
+    /// Decide the epoch's action given the measured utility estimate
+    /// (from brief profiling at epoch start), then record the observation.
+    pub fn begin_epoch(&mut self, measured_utility: f64) -> Decision {
+        self.epochs_total += 1;
+        // Prefer the measured estimate; the predictor backs it up and
+        // keeps learning phase structure for consumers that query it.
+        self.predictor.observe(measured_utility);
+        if !self.state.can_sprint() {
+            return Decision::Forbidden;
+        }
+        if self.strategy.should_sprint(measured_utility) {
+            self.epochs_sprinted += 1;
+            Decision::Sprint
+        } else {
+            Decision::Normal
+        }
+    }
+
+    /// Apply the epoch's resolved transition events.
+    pub fn end_epoch(
+        &mut self,
+        decision: Decision,
+        rack_tripped: bool,
+        leaves_cooling: bool,
+        leaves_recovery: bool,
+    ) {
+        self.state = self.state.next(
+            decision == Decision::Sprint,
+            rack_tripped,
+            leaves_cooling,
+            leaves_recovery,
+        );
+    }
+
+    /// The predictor's current estimate of next-epoch utility.
+    #[must_use]
+    pub fn predicted_utility(&self) -> Option<f64> {
+        self.predictor.predict()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictor_validates_alpha() {
+        assert!(UtilityPredictor::new(-0.1).is_err());
+        assert!(UtilityPredictor::new(1.1).is_err());
+        assert!(UtilityPredictor::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn predictor_warms_up_then_tracks() {
+        let mut p = UtilityPredictor::phase_local();
+        assert!(p.predict().is_none());
+        p.observe(4.0);
+        let first = p.predict().unwrap();
+        assert!((first - 4.0).abs() < 1e-12);
+        // A persistent phase keeps predictions near the level.
+        for _ in 0..10 {
+            p.observe(4.0);
+        }
+        assert!((p.predict().unwrap() - 4.0).abs() < 1e-9);
+        // A phase change pulls the prediction toward the new level.
+        p.observe(10.0);
+        let after = p.predict().unwrap();
+        assert!(after > 7.0, "prediction {after} should chase the new phase");
+    }
+
+    #[test]
+    fn pure_persistence_predictor() {
+        let mut p = UtilityPredictor::new(1.0).unwrap();
+        p.observe(3.0);
+        p.observe(8.0);
+        assert_eq!(p.predict().unwrap(), 8.0);
+    }
+
+    #[test]
+    fn agent_decision_respects_threshold_and_state() {
+        let mut a = OnlineAgent::new(ThresholdStrategy::new(3.0).unwrap());
+        assert_eq!(a.begin_epoch(5.0), Decision::Sprint);
+        a.end_epoch(Decision::Sprint, false, false, false);
+        assert_eq!(a.state(), AgentState::Cooling);
+        // Cooling forbids sprinting even at high utility.
+        assert_eq!(a.begin_epoch(100.0), Decision::Forbidden);
+        a.end_epoch(Decision::Forbidden, false, true, false);
+        assert_eq!(a.state(), AgentState::Active);
+        // Back to normal comparisons.
+        assert_eq!(a.begin_epoch(2.0), Decision::Normal);
+    }
+
+    #[test]
+    fn trip_forces_recovery() {
+        let mut a = OnlineAgent::new(ThresholdStrategy::always_sprint());
+        let d = a.begin_epoch(1.5);
+        a.end_epoch(d, true, false, false);
+        assert_eq!(a.state(), AgentState::Recovery);
+        assert_eq!(a.begin_epoch(9.0), Decision::Forbidden);
+        a.end_epoch(Decision::Forbidden, false, false, true);
+        assert_eq!(a.state(), AgentState::Active);
+    }
+
+    #[test]
+    fn sprint_rate_accounts_all_epochs() {
+        let mut a = OnlineAgent::new(ThresholdStrategy::new(3.0).unwrap());
+        let d1 = a.begin_epoch(5.0); // sprint
+        a.end_epoch(d1, false, false, false);
+        let d2 = a.begin_epoch(5.0); // forbidden (cooling)
+        a.end_epoch(d2, false, true, false);
+        let d3 = a.begin_epoch(1.0); // normal
+        a.end_epoch(d3, false, false, false);
+        assert!((a.sprint_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strategy_reassignment() {
+        let mut a = OnlineAgent::new(ThresholdStrategy::new(3.0).unwrap());
+        a.assign(ThresholdStrategy::new(10.0).unwrap());
+        assert_eq!(a.strategy().threshold(), 10.0);
+        assert_eq!(a.begin_epoch(5.0), Decision::Normal);
+    }
+}

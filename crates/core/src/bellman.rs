@@ -1,0 +1,470 @@
+//! Dynamic-programming solution of the agent's Bellman equation
+//! (paper Equations 1–8).
+//!
+//! Given the population's tripping probability `P_trip` and the agent's
+//! utility density `f(u)`, the agent maximizes expected discounted utility:
+//!
+//! ```text
+//! V(u, A) = max{ V_S(u, A), V_¬S(u, A) }                        (1)
+//! V_S(u, A)  = u + δ [ V(C)(1 − P) + V(R) P ]                   (2)
+//! V_¬S(u, A) =     δ [ V(A)(1 − P) + V(R) P ]                   (3)
+//! V(A) = ∫ V(u, A) f(u) du                                      (4)
+//! V(C) = δ [V(C) p_c + V(A)(1 − p_c)](1 − P) + δ V(R) P         (5)
+//! V(R) = δ [V(R) p_r + V(A)(1 − p_r)]                           (6)
+//! ```
+//!
+//! The optimal policy is a threshold: sprint iff
+//! `u > u_T = δ (V(A) − V(C)) (1 − P)` (Equation 8).
+//!
+//! Two solvers are provided and cross-validated:
+//!
+//! - [`solve_value_iteration`] — the paper's method ("the game solves the
+//!   dynamic program with value-iteration, which has a convergence rate
+//!   that depends on the discount factor", §4.4). Robust, `O((1−δ)^{-1})`
+//!   iterations.
+//! - [`solve_policy_iteration`] — our refinement: for a *fixed* threshold
+//!   the three value equations are linear and solvable in closed form
+//!   ([`evaluate_threshold_policy`]), so iterating on the scalar threshold
+//!   converges in a handful of steps. This is the ablation DESIGN.md
+//!   calls out; `perf_solver` benchmarks both.
+
+use sprint_stats::density::DiscreteDensity;
+
+use crate::config::GameConfig;
+use crate::GameError;
+
+/// Default absolute tolerance on value/threshold fixed points.
+pub const DEFAULT_TOLERANCE: f64 = 1e-10;
+
+/// Default iteration budget.
+pub const DEFAULT_MAX_ITERATIONS: usize = 200_000;
+
+/// Expected values of the three agent states.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ValueFunctions {
+    /// `V(A)`: expected value of being active.
+    pub v_active: f64,
+    /// `V(C)`: expected value of cooling.
+    pub v_cooling: f64,
+    /// `V(R)`: expected value of recovery.
+    pub v_recovery: f64,
+}
+
+impl ValueFunctions {
+    /// The sprint threshold these values imply at tripping probability
+    /// `p_trip` (Equation 8).
+    #[must_use]
+    pub fn threshold(&self, config: &GameConfig, p_trip: f64) -> f64 {
+        (config.discount() * (self.v_active - self.v_cooling) * (1.0 - p_trip)).max(0.0)
+    }
+}
+
+/// A solved Bellman equation: optimal values, threshold, iteration count.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BellmanSolution {
+    /// Optimal state values.
+    pub values: ValueFunctions,
+    /// Optimal sprint threshold `u_T`.
+    pub threshold: f64,
+    /// Iterations used by the solver.
+    pub iterations: usize,
+}
+
+/// Which dynamic-programming solver to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BellmanMethod {
+    /// Paper's value iteration over the discretized utility grid.
+    ValueIteration,
+    /// Threshold-policy fixed point with closed-form policy evaluation
+    /// (default; orders of magnitude faster at equal accuracy).
+    #[default]
+    PolicyIteration,
+}
+
+fn validate_p_trip(p_trip: f64) -> crate::Result<()> {
+    if !(0.0..=1.0).contains(&p_trip) {
+        return Err(GameError::InvalidParameter {
+            name: "p_trip",
+            value: p_trip,
+            expected: "a probability in [0, 1]",
+        });
+    }
+    Ok(())
+}
+
+/// Exactly evaluate the threshold policy "sprint iff `u > threshold`"
+/// (closed-form solution of the linear Equations 2–6 for a fixed policy).
+///
+/// This is *policy evaluation*, not optimization: it reports the value an
+/// agent obtains by following an arbitrary threshold while the rest of the
+/// system behaves as summarized by `p_trip`. The equilibrium verifier uses
+/// it to check that no unilateral threshold deviation is profitable.
+///
+/// # Errors
+///
+/// Returns [`GameError::InvalidParameter`] for `p_trip` outside `[0, 1]`.
+pub fn evaluate_threshold_policy(
+    config: &GameConfig,
+    density: &DiscreteDensity,
+    p_trip: f64,
+    threshold: f64,
+) -> crate::Result<ValueFunctions> {
+    validate_p_trip(p_trip)?;
+    let d = config.discount();
+    let pc = config.p_cooling();
+    let pr = config.p_recovery();
+    let p = p_trip;
+
+    let ps = density.tail_mass(threshold);
+    let gain = density.partial_expectation(threshold);
+
+    // V(R) = r · V(A) with r = δ(1 − p_r) / (1 − δ p_r).
+    let r = d * (1.0 - pr) / (1.0 - d * pr);
+    // V(C) = c · V(A) from Equation 5.
+    let c = (d * (1.0 - p) * (1.0 - pc) + d * p * r) / (1.0 - d * (1.0 - p) * pc);
+    // V(A) = G + a · V(A) from Equations 2–4 under the fixed policy.
+    let a = d * (1.0 - p) * (1.0 - ps) + d * (1.0 - p) * ps * c + d * p * r;
+    debug_assert!(a < 1.0, "contraction modulus must stay below 1");
+    let v_active = gain / (1.0 - a);
+    Ok(ValueFunctions {
+        v_active,
+        v_cooling: c * v_active,
+        v_recovery: r * v_active,
+    })
+}
+
+/// Solve the Bellman equation by the paper's value iteration.
+///
+/// Iterates Equations 2–6 over the discretized density until the state
+/// values move less than `tol`, then reads the threshold from Equation 8.
+///
+/// # Errors
+///
+/// Returns [`GameError::InvalidParameter`] for an invalid `p_trip` and
+/// [`GameError::NoEquilibrium`] if `max_iter` is exhausted (which, for a
+/// valid `δ < 1`, indicates a tolerance below floating-point resolution).
+pub fn solve_value_iteration(
+    config: &GameConfig,
+    density: &DiscreteDensity,
+    p_trip: f64,
+    tol: f64,
+    max_iter: usize,
+) -> crate::Result<BellmanSolution> {
+    validate_p_trip(p_trip)?;
+    let d = config.discount();
+    let pc = config.p_cooling();
+    let pr = config.p_recovery();
+    let p = p_trip;
+
+    let mut va = 0.0f64;
+    let mut vc = 0.0f64;
+    let mut vr = 0.0f64;
+    for it in 0..max_iter {
+        // Continuation values for the two actions.
+        let cont_sprint = d * (vc * (1.0 - p) + vr * p);
+        let cont_stay = d * (va * (1.0 - p) + vr * p);
+        // V(A) = ∫ max(u + cont_sprint, cont_stay) f(u) du. The max tips
+        // at u* = cont_stay − cont_sprint (= u_T by Equation 8).
+        let u_star = (cont_stay - cont_sprint).max(0.0);
+        let ps = density.tail_mass(u_star);
+        let gain = density.partial_expectation(u_star);
+        let va_next = gain + ps * cont_sprint + (1.0 - ps) * cont_stay;
+        let vc_next = d * (vc * pc + va * (1.0 - pc)) * (1.0 - p) + d * vr * p;
+        let vr_next = d * (vr * pr + va * (1.0 - pr));
+
+        let residual = (va_next - va)
+            .abs()
+            .max((vc_next - vc).abs())
+            .max((vr_next - vr).abs());
+        va = va_next;
+        vc = vc_next;
+        vr = vr_next;
+        if residual < tol {
+            let values = ValueFunctions {
+                v_active: va,
+                v_cooling: vc,
+                v_recovery: vr,
+            };
+            return Ok(BellmanSolution {
+                threshold: values.threshold(config, p),
+                values,
+                iterations: it + 1,
+            });
+        }
+    }
+    Err(GameError::NoEquilibrium {
+        iterations: max_iter,
+        residual: f64::NAN,
+    })
+}
+
+/// Solve the Bellman equation by threshold-policy iteration.
+///
+/// Repeats: evaluate the current threshold in closed form
+/// ([`evaluate_threshold_policy`]), then improve the threshold via
+/// Equation 8. Damped (averaged) updates guarantee convergence of the
+/// scalar fixed point.
+///
+/// # Errors
+///
+/// Returns [`GameError::InvalidParameter`] for an invalid `p_trip` and
+/// [`GameError::NoEquilibrium`] if the threshold fails to settle within
+/// `max_iter` iterations.
+pub fn solve_policy_iteration(
+    config: &GameConfig,
+    density: &DiscreteDensity,
+    p_trip: f64,
+    tol: f64,
+    max_iter: usize,
+) -> crate::Result<BellmanSolution> {
+    validate_p_trip(p_trip)?;
+    let mut threshold = 0.0f64;
+    let mut last_residual = f64::INFINITY;
+    for it in 0..max_iter {
+        let values = evaluate_threshold_policy(config, density, p_trip, threshold)?;
+        let improved = values.threshold(config, p_trip);
+        last_residual = (improved - threshold).abs();
+        if last_residual < tol {
+            return Ok(BellmanSolution {
+                values,
+                threshold: improved,
+                iterations: it + 1,
+            });
+        }
+        // Damped update: the improvement map is monotone but can
+        // overshoot; averaging makes it a contraction in practice.
+        threshold = 0.5 * threshold + 0.5 * improved;
+    }
+    Err(GameError::NoEquilibrium {
+        iterations: max_iter,
+        residual: last_residual,
+    })
+}
+
+/// Solve the Bellman equation with the chosen method and default
+/// tolerances.
+///
+/// # Errors
+///
+/// Propagates the method-specific errors.
+pub fn solve(
+    config: &GameConfig,
+    density: &DiscreteDensity,
+    p_trip: f64,
+    method: BellmanMethod,
+) -> crate::Result<BellmanSolution> {
+    match method {
+        BellmanMethod::ValueIteration => solve_value_iteration(
+            config,
+            density,
+            p_trip,
+            DEFAULT_TOLERANCE,
+            DEFAULT_MAX_ITERATIONS,
+        ),
+        BellmanMethod::PolicyIteration => solve_policy_iteration(
+            config,
+            density,
+            p_trip,
+            DEFAULT_TOLERANCE,
+            DEFAULT_MAX_ITERATIONS,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_workloads::Benchmark;
+
+    fn density_of(b: Benchmark) -> DiscreteDensity {
+        b.utility_density(512).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_p_trip() {
+        let cfg = GameConfig::paper_defaults();
+        let d = density_of(Benchmark::DecisionTree);
+        assert!(solve(&cfg, &d, -0.1, BellmanMethod::PolicyIteration).is_err());
+        assert!(solve(&cfg, &d, 1.1, BellmanMethod::ValueIteration).is_err());
+        assert!(evaluate_threshold_policy(&cfg, &d, 2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn methods_agree_across_benchmarks_and_trip_probabilities() {
+        let cfg = GameConfig::paper_defaults();
+        for b in [
+            Benchmark::DecisionTree,
+            Benchmark::LinearRegression,
+            Benchmark::PageRank,
+        ] {
+            let d = density_of(b);
+            for p in [0.0, 0.05, 0.3, 0.9] {
+                let vi =
+                    solve_value_iteration(&cfg, &d, p, 1e-11, 2_000_000).unwrap();
+                let pi = solve_policy_iteration(&cfg, &d, p, 1e-11, 10_000).unwrap();
+                assert!(
+                    (vi.threshold - pi.threshold).abs() < 1e-5,
+                    "{b} @ P={p}: VI threshold {} vs PI {}",
+                    vi.threshold,
+                    pi.threshold
+                );
+                assert!(
+                    (vi.values.v_active - pi.values.v_active).abs()
+                        / vi.values.v_active.max(1.0)
+                        < 1e-6,
+                    "{b} @ P={p}: V(A) {} vs {}",
+                    vi.values.v_active,
+                    pi.values.v_active
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn policy_iteration_is_much_cheaper() {
+        let cfg = GameConfig::paper_defaults();
+        let d = density_of(Benchmark::DecisionTree);
+        let vi = solve_value_iteration(&cfg, &d, 0.05, 1e-10, 2_000_000).unwrap();
+        let pi = solve_policy_iteration(&cfg, &d, 0.05, 1e-10, 10_000).unwrap();
+        assert!(
+            pi.iterations * 10 < vi.iterations,
+            "PI {} iters vs VI {}",
+            pi.iterations,
+            vi.iterations
+        );
+    }
+
+    #[test]
+    fn value_ordering_is_active_cooling_recovery() {
+        // Being free to sprint is worth more than cooling, which is worth
+        // more than rack-wide recovery (recovery lasts longer).
+        let cfg = GameConfig::paper_defaults();
+        let d = density_of(Benchmark::DecisionTree);
+        let s = solve(&cfg, &d, 0.1, BellmanMethod::PolicyIteration).unwrap();
+        assert!(s.values.v_active > s.values.v_cooling);
+        assert!(s.values.v_cooling > s.values.v_recovery);
+        assert!(s.values.v_recovery > 0.0);
+    }
+
+    #[test]
+    fn linear_regression_sprints_every_epoch() {
+        // Figure 11: the narrow band sets the threshold below the entire
+        // support, so the agent sprints at every opportunity.
+        let cfg = GameConfig::paper_defaults();
+        let d = density_of(Benchmark::LinearRegression);
+        let s = solve(&cfg, &d, 0.0, BellmanMethod::PolicyIteration).unwrap();
+        assert!(
+            s.threshold < d.lo(),
+            "threshold {} must sit below the 3x support floor",
+            s.threshold
+        );
+        assert!((d.tail_mass(s.threshold) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pagerank_threshold_cuts_the_bimodal_valley() {
+        // Figure 10/11: PageRank's high threshold selects only the
+        // high-gain mode, sprinting for roughly its weight (0.4).
+        let cfg = GameConfig::paper_defaults();
+        let d = density_of(Benchmark::PageRank);
+        let s = solve(&cfg, &d, 0.0, BellmanMethod::PolicyIteration).unwrap();
+        let ps = d.tail_mass(s.threshold);
+        assert!(
+            (0.2..=0.6).contains(&ps),
+            "pagerank sprints judiciously, got ps = {ps} at threshold {}",
+            s.threshold
+        );
+    }
+
+    #[test]
+    fn threshold_shrinks_with_trip_probability() {
+        // Equation 8's (1 − P) factor: a riskier rack lowers the bar —
+        // the "ironic" aggression of §6.5.
+        let cfg = GameConfig::paper_defaults();
+        let d = density_of(Benchmark::DecisionTree);
+        let t0 = solve(&cfg, &d, 0.0, BellmanMethod::PolicyIteration)
+            .unwrap()
+            .threshold;
+        let t5 = solve(&cfg, &d, 0.5, BellmanMethod::PolicyIteration)
+            .unwrap()
+            .threshold;
+        let t9 = solve(&cfg, &d, 0.9, BellmanMethod::PolicyIteration)
+            .unwrap()
+            .threshold;
+        assert!(t0 > t5 && t5 > t9, "thresholds {t0} > {t5} > {t9}");
+    }
+
+    #[test]
+    fn threshold_rises_with_cooling_duration() {
+        // Figure 13 (p_c panel): longer cooling raises the opportunity
+        // cost of a sprint.
+        let d = density_of(Benchmark::DecisionTree);
+        let mut last = -1.0;
+        for pc in [0.0, 0.3, 0.6, 0.9] {
+            let cfg = GameConfig::builder().p_cooling(pc).build().unwrap();
+            let t = solve(&cfg, &d, 0.0, BellmanMethod::PolicyIteration)
+                .unwrap()
+                .threshold;
+            assert!(t > last, "p_c = {pc}: threshold {t} must rise");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn threshold_insensitive_to_recovery_duration() {
+        // Figure 13 (p_r panel): "thresholds are insensitive to recovery
+        // cost".
+        let d = density_of(Benchmark::DecisionTree);
+        let t_at = |pr: f64| {
+            let cfg = GameConfig::builder().p_recovery(pr).build().unwrap();
+            solve(&cfg, &d, 0.05, BellmanMethod::PolicyIteration)
+                .unwrap()
+                .threshold
+        };
+        let spread = (t_at(0.0) - t_at(0.99)).abs();
+        assert!(
+            spread < 0.2,
+            "threshold moved {spread} across the whole p_r range"
+        );
+    }
+
+    #[test]
+    fn policy_evaluation_peaks_at_optimal_threshold() {
+        // V(A) as a function of the followed threshold must be maximized
+        // at the solver's optimum (Bellman optimality).
+        let cfg = GameConfig::paper_defaults();
+        let d = density_of(Benchmark::Svm);
+        let opt = solve(&cfg, &d, 0.1, BellmanMethod::PolicyIteration).unwrap();
+        let v_opt = opt.values.v_active;
+        for i in 0..=40 {
+            let alt = d.lo() + (d.hi() - d.lo()) * i as f64 / 40.0;
+            let v_alt = evaluate_threshold_policy(&cfg, &d, 0.1, alt)
+                .unwrap()
+                .v_active;
+            assert!(
+                v_alt <= v_opt + 1e-6,
+                "threshold {alt} yields V(A) = {v_alt} > optimal {v_opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn indefinite_recovery_zeroes_v_recovery() {
+        // §6.4: with p_r = 1 recovery is an absorbing zero-value state.
+        let cfg = GameConfig::builder().p_recovery(1.0).build().unwrap();
+        let d = density_of(Benchmark::DecisionTree);
+        let s = solve(&cfg, &d, 0.1, BellmanMethod::PolicyIteration).unwrap();
+        assert_eq!(s.values.v_recovery, 0.0);
+        assert!(s.values.v_active > 0.0);
+    }
+
+    #[test]
+    fn certain_trip_zeroes_threshold() {
+        // P = 1: sprinting cannot make the emergency more certain, so the
+        // threshold collapses and agents grab utility now.
+        let cfg = GameConfig::paper_defaults();
+        let d = density_of(Benchmark::PageRank);
+        let s = solve(&cfg, &d, 1.0, BellmanMethod::PolicyIteration).unwrap();
+        assert!(s.threshold.abs() < 1e-9);
+    }
+}

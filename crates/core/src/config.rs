@@ -1,0 +1,346 @@
+//! Game configuration (the paper's Table 2).
+
+use crate::GameError;
+
+/// Parameters of the sprinting game.
+///
+/// Defaults mirror the paper's Table 2; [`GameConfigBuilder`] adjusts
+/// individual parameters for sensitivity studies (Figure 13).
+///
+/// ```
+/// use sprint_game::GameConfig;
+///
+/// # fn main() -> Result<(), sprint_game::GameError> {
+/// let table2 = GameConfig::paper_defaults();
+/// assert_eq!(table2.n_agents(), 1000);
+///
+/// let tweaked = GameConfig::builder()
+///     .n_agents(500)
+///     .n_min(125.0)
+///     .n_max(375.0)
+///     .build()?;
+/// assert_eq!(tweaked.n_min(), 125.0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Serializes as plain fields; deserialization re-runs the builder's
+/// validation, so configuration files cannot construct invalid games.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(try_from = "GameConfigSpec", into = "GameConfigSpec")]
+pub struct GameConfig {
+    n_agents: u32,
+    n_min: f64,
+    n_max: f64,
+    p_cooling: f64,
+    p_recovery: f64,
+    discount: f64,
+}
+
+/// Wire format for [`GameConfig`].
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+struct GameConfigSpec {
+    n_agents: u32,
+    n_min: f64,
+    n_max: f64,
+    p_cooling: f64,
+    p_recovery: f64,
+    discount: f64,
+}
+
+impl TryFrom<GameConfigSpec> for GameConfig {
+    type Error = GameError;
+
+    fn try_from(spec: GameConfigSpec) -> Result<Self, GameError> {
+        GameConfig::builder()
+            .n_agents(spec.n_agents)
+            .n_min(spec.n_min)
+            .n_max(spec.n_max)
+            .p_cooling(spec.p_cooling)
+            .p_recovery(spec.p_recovery)
+            .discount(spec.discount)
+            .build()
+    }
+}
+
+impl From<GameConfig> for GameConfigSpec {
+    fn from(c: GameConfig) -> Self {
+        GameConfigSpec {
+            n_agents: c.n_agents,
+            n_min: c.n_min,
+            n_max: c.n_max,
+            p_cooling: c.p_cooling,
+            p_recovery: c.p_recovery,
+            discount: c.discount,
+        }
+    }
+}
+
+impl GameConfig {
+    /// The paper's Table 2: `N = 1000`, `N_min = 250`, `N_max = 750`,
+    /// `p_c = 0.50`, `p_r = 0.88`, `δ = 0.99`.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        GameConfig {
+            n_agents: 1000,
+            n_min: 250.0,
+            n_max: 750.0,
+            p_cooling: 0.50,
+            p_recovery: 0.88,
+            discount: 0.99,
+        }
+    }
+
+    /// Start building a configuration from the paper defaults.
+    #[must_use]
+    pub fn builder() -> GameConfigBuilder {
+        GameConfigBuilder {
+            inner: GameConfig::paper_defaults(),
+        }
+    }
+
+    /// Number of agents `N`.
+    #[must_use]
+    pub fn n_agents(&self) -> u32 {
+        self.n_agents
+    }
+
+    /// Sprinter count below which the breaker never trips.
+    #[must_use]
+    pub fn n_min(&self) -> f64 {
+        self.n_min
+    }
+
+    /// Sprinter count above which the breaker always trips.
+    #[must_use]
+    pub fn n_max(&self) -> f64 {
+        self.n_max
+    }
+
+    /// Probability an agent in cooling stays in cooling
+    /// (`1/(1 − p_c) = Δt_cool`).
+    #[must_use]
+    pub fn p_cooling(&self) -> f64 {
+        self.p_cooling
+    }
+
+    /// Probability an agent in recovery stays in recovery
+    /// (`1/(1 − p_r) = Δt_recover`).
+    #[must_use]
+    pub fn p_recovery(&self) -> f64 {
+        self.p_recovery
+    }
+
+    /// Per-epoch discount factor `δ < 1`.
+    #[must_use]
+    pub fn discount(&self) -> f64 {
+        self.discount
+    }
+
+    /// Expected cooling duration in epochs.
+    #[must_use]
+    pub fn cooling_epochs(&self) -> f64 {
+        1.0 / (1.0 - self.p_cooling)
+    }
+
+    /// Expected recovery duration in epochs (infinite when `p_r = 1`,
+    /// the prisoner's-dilemma limit of §6.4).
+    #[must_use]
+    pub fn recovery_epochs(&self) -> f64 {
+        if self.p_recovery >= 1.0 {
+            f64::INFINITY
+        } else {
+            1.0 / (1.0 - self.p_recovery)
+        }
+    }
+}
+
+impl Default for GameConfig {
+    fn default() -> Self {
+        GameConfig::paper_defaults()
+    }
+}
+
+/// Builder for [`GameConfig`], seeded with the Table-2 defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct GameConfigBuilder {
+    inner: GameConfig,
+}
+
+impl GameConfigBuilder {
+    /// Set the number of agents `N`.
+    #[must_use]
+    pub fn n_agents(mut self, n: u32) -> Self {
+        self.inner.n_agents = n;
+        self
+    }
+
+    /// Set `N_min` (may be fractional for sweeps).
+    #[must_use]
+    pub fn n_min(mut self, n_min: f64) -> Self {
+        self.inner.n_min = n_min;
+        self
+    }
+
+    /// Set `N_max`.
+    #[must_use]
+    pub fn n_max(mut self, n_max: f64) -> Self {
+        self.inner.n_max = n_max;
+        self
+    }
+
+    /// Set the cooling persistence `p_c`.
+    #[must_use]
+    pub fn p_cooling(mut self, p: f64) -> Self {
+        self.inner.p_cooling = p;
+        self
+    }
+
+    /// Set the recovery persistence `p_r`.
+    ///
+    /// `p_r = 1` (indefinite recovery) is allowed: it is the
+    /// prisoner's-dilemma configuration the paper analyzes in §6.4, where
+    /// the mean-field solve is expected to fail to find an equilibrium.
+    #[must_use]
+    pub fn p_recovery(mut self, p: f64) -> Self {
+        self.inner.p_recovery = p;
+        self
+    }
+
+    /// Set the discount factor `δ`.
+    #[must_use]
+    pub fn discount(mut self, d: f64) -> Self {
+        self.inner.discount = d;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidParameter`] when any of the following
+    /// is violated: `N >= 1`, `0 <= N_min < N_max`, `p_c ∈ [0, 1)`,
+    /// `p_r ∈ [0, 1]`, `δ ∈ (0, 1)`.
+    pub fn build(self) -> crate::Result<GameConfig> {
+        let c = self.inner;
+        if c.n_agents == 0 {
+            return Err(GameError::InvalidParameter {
+                name: "n_agents",
+                value: 0.0,
+                expected: "at least one agent",
+            });
+        }
+        if c.n_min < 0.0 || !c.n_min.is_finite() {
+            return Err(GameError::InvalidParameter {
+                name: "n_min",
+                value: c.n_min,
+                expected: "a non-negative finite sprinter count",
+            });
+        }
+        if c.n_max <= c.n_min || !c.n_max.is_finite() {
+            return Err(GameError::InvalidParameter {
+                name: "n_max",
+                value: c.n_max,
+                expected: "a finite sprinter count strictly above n_min",
+            });
+        }
+        if !(0.0..1.0).contains(&c.p_cooling) {
+            return Err(GameError::InvalidParameter {
+                name: "p_cooling",
+                value: c.p_cooling,
+                expected: "a probability in [0, 1)",
+            });
+        }
+        if !(0.0..=1.0).contains(&c.p_recovery) {
+            return Err(GameError::InvalidParameter {
+                name: "p_recovery",
+                value: c.p_recovery,
+                expected: "a probability in [0, 1]",
+            });
+        }
+        if c.discount.is_nan() || c.discount <= 0.0 || c.discount >= 1.0 {
+            return Err(GameError::InvalidParameter {
+                name: "discount",
+                value: c.discount,
+                expected: "a discount factor strictly between 0 and 1",
+            });
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table2() {
+        let c = GameConfig::paper_defaults();
+        assert_eq!(c.n_agents(), 1000);
+        assert_eq!(c.n_min(), 250.0);
+        assert_eq!(c.n_max(), 750.0);
+        assert_eq!(c.p_cooling(), 0.50);
+        assert_eq!(c.p_recovery(), 0.88);
+        assert_eq!(c.discount(), 0.99);
+        assert_eq!(GameConfig::default(), c);
+    }
+
+    #[test]
+    fn derived_durations() {
+        let c = GameConfig::paper_defaults();
+        assert!((c.cooling_epochs() - 2.0).abs() < 1e-12);
+        assert!((c.recovery_epochs() - 25.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn indefinite_recovery_is_representable() {
+        let c = GameConfig::builder().p_recovery(1.0).build().unwrap();
+        assert!(c.recovery_epochs().is_infinite());
+    }
+
+    #[test]
+    fn builder_validates_each_parameter() {
+        assert!(GameConfig::builder().n_agents(0).build().is_err());
+        assert!(GameConfig::builder().n_min(-1.0).build().is_err());
+        assert!(GameConfig::builder()
+            .n_min(500.0)
+            .n_max(400.0)
+            .build()
+            .is_err());
+        assert!(GameConfig::builder().p_cooling(1.0).build().is_err());
+        assert!(GameConfig::builder().p_recovery(1.1).build().is_err());
+        assert!(GameConfig::builder().discount(1.0).build().is_err());
+        assert!(GameConfig::builder().discount(0.0).build().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip_and_validation() {
+        let c = GameConfig::paper_defaults();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: GameConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+        // Invalid payloads are rejected by the builder.
+        let bad = r#"{"n_agents": 0, "n_min": 250.0, "n_max": 750.0,
+                      "p_cooling": 0.5, "p_recovery": 0.88, "discount": 0.99}"#;
+        assert!(serde_json::from_str::<GameConfig>(bad).is_err());
+        let bad = r#"{"n_agents": 1000, "n_min": 800.0, "n_max": 750.0,
+                      "p_cooling": 0.5, "p_recovery": 0.88, "discount": 0.99}"#;
+        assert!(serde_json::from_str::<GameConfig>(bad).is_err());
+    }
+
+    #[test]
+    fn builder_round_trips() {
+        let c = GameConfig::builder()
+            .n_agents(200)
+            .n_min(50.0)
+            .n_max(150.0)
+            .p_cooling(0.75)
+            .p_recovery(0.9)
+            .discount(0.95)
+            .build()
+            .unwrap();
+        assert_eq!(c.n_agents(), 200);
+        assert_eq!(c.p_cooling(), 0.75);
+        assert!((c.cooling_epochs() - 4.0).abs() < 1e-12);
+    }
+}

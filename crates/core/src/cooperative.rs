@@ -1,0 +1,297 @@
+//! Cooperative thresholds and analytic throughput (the paper's C-T
+//! policy, §6).
+//!
+//! "Cooperative Threshold (C-T) assigns each agent the globally optimal
+//! threshold for sprinting. The coordinator exhaustively searches for the
+//! threshold that maximizes system performance... These thresholds do not
+//! produce an equilibrium but do provide an upper bound on performance."
+//!
+//! The search needs a system-performance model. [`analytic_throughput`]
+//! computes long-run tasks-per-epoch per agent from the stationary
+//! analysis: normal-mode epochs produce 1 task-unit, sprinted epochs
+//! produce the conditional mean speedup, recovery epochs produce nothing,
+//! and the up/recovery duty cycle follows from the tripping probability
+//! and the recovery duration.
+
+use sprint_stats::density::DiscreteDensity;
+
+use crate::config::GameConfig;
+use crate::sprint_dist::SprintDistribution;
+use crate::threshold::ThresholdStrategy;
+use crate::trip::TripCurve;
+use crate::GameError;
+
+/// Stationary throughput estimate for a common threshold.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ThroughputEstimate {
+    /// Long-run task throughput per agent per epoch, normalized so an
+    /// agent computing in normal mode all the time scores 1.
+    pub tasks_per_epoch: f64,
+    /// Throughput during up (non-recovery) periods.
+    pub up_tasks_per_epoch: f64,
+    /// Fraction of epochs the rack is up (not recovering).
+    pub uptime: f64,
+    /// Stationary tripping probability per up epoch.
+    pub p_trip: f64,
+    /// Expected simultaneous sprinters while up.
+    pub expected_sprinters: f64,
+}
+
+/// Estimate long-run per-agent throughput when every agent plays
+/// `threshold` (paper §5's tasks-per-second metric, normalized).
+///
+/// # Errors
+///
+/// Returns [`GameError::InvalidParameter`] for a negative threshold
+/// (via [`ThresholdStrategy`]).
+pub fn analytic_throughput(
+    config: &GameConfig,
+    density: &DiscreteDensity,
+    threshold: f64,
+) -> crate::Result<ThroughputEstimate> {
+    let strategy = ThresholdStrategy::new(threshold)?;
+    let dist = SprintDistribution::characterize(config, density, &strategy)?;
+    let p_trip = TripCurve::from_config(config).p_trip(dist.expected_sprinters);
+
+    // Per up epoch: active non-sprinters and cooling agents run in normal
+    // mode (1 task-unit); sprinters produce their speedup. With
+    // `partial_expectation` PE(u_T) = E[u · 1{u > u_T}]:
+    // t_up = (1 − p_A·p_s)·1 + p_A·PE(u_T).
+    let pe = density.partial_expectation(threshold);
+    let up_tasks = 1.0 - dist.p_active * dist.p_sprint + dist.p_active * pe;
+
+    // Renewal cycle: up for an expected 1/P epochs, then recovery for
+    // Δt_recover epochs at zero throughput.
+    let uptime = if p_trip <= 0.0 {
+        1.0
+    } else {
+        let up_len = 1.0 / p_trip;
+        let recovery = config.recovery_epochs();
+        if recovery.is_infinite() {
+            0.0
+        } else {
+            up_len / (up_len + recovery)
+        }
+    };
+    Ok(ThroughputEstimate {
+        tasks_per_epoch: up_tasks * uptime,
+        up_tasks_per_epoch: up_tasks,
+        uptime,
+        p_trip,
+        expected_sprinters: dist.expected_sprinters,
+    })
+}
+
+/// The globally optimal cooperative threshold found by exhaustive search.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CooperativeSolution {
+    /// The throughput-maximizing common threshold.
+    pub threshold: f64,
+    /// Its throughput estimate.
+    pub throughput: ThroughputEstimate,
+}
+
+impl CooperativeSolution {
+    /// The cooperative threshold as an executable strategy.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: searched thresholds are non-negative.
+    #[must_use]
+    pub fn strategy(&self) -> ThresholdStrategy {
+        ThresholdStrategy::new(self.threshold).expect("searched thresholds are non-negative")
+    }
+}
+
+/// Exhaustive threshold search (the paper's C-T policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CooperativeSearch {
+    resolution: usize,
+}
+
+impl CooperativeSearch {
+    /// Create a search evaluating `resolution` evenly spaced thresholds
+    /// across the density's support (plus the never-sprint sentinel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidParameter`] when `resolution < 2`.
+    pub fn new(resolution: usize) -> crate::Result<Self> {
+        if resolution < 2 {
+            return Err(GameError::InvalidParameter {
+                name: "resolution",
+                value: resolution as f64,
+                expected: "at least two search points",
+            });
+        }
+        Ok(CooperativeSearch { resolution })
+    }
+
+    /// Default search resolution (512 thresholds), ample for the smooth
+    /// throughput curves of the calibrated benchmarks.
+    #[must_use]
+    pub fn default_resolution() -> Self {
+        CooperativeSearch { resolution: 512 }
+    }
+
+    /// Find the throughput-maximizing common threshold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation errors (none occur for valid configurations).
+    pub fn solve(
+        &self,
+        config: &GameConfig,
+        density: &DiscreteDensity,
+    ) -> crate::Result<CooperativeSolution> {
+        let lo = density.lo().max(0.0);
+        let hi = density.hi();
+        let mut best: Option<CooperativeSolution> = None;
+        for i in 0..=self.resolution {
+            let threshold = lo + (hi - lo) * i as f64 / self.resolution as f64;
+            let estimate = analytic_throughput(config, density, threshold)?;
+            if best
+                .as_ref()
+                .is_none_or(|b| estimate.tasks_per_epoch > b.throughput.tasks_per_epoch)
+            {
+                best = Some(CooperativeSolution {
+                    threshold,
+                    throughput: estimate,
+                });
+            }
+        }
+        Ok(best.expect("resolution >= 2 evaluates at least one threshold"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meanfield::MeanFieldSolver;
+    use sprint_workloads::Benchmark;
+
+    fn cfg() -> GameConfig {
+        GameConfig::paper_defaults()
+    }
+
+    #[test]
+    fn never_sprinting_scores_exactly_one() {
+        let d = Benchmark::DecisionTree.utility_density(256).unwrap();
+        let t = analytic_throughput(&cfg(), &d, d.hi() + 1.0).unwrap();
+        assert!((t.tasks_per_epoch - 1.0).abs() < 1e-9);
+        assert_eq!(t.p_trip, 0.0);
+        assert_eq!(t.uptime, 1.0);
+    }
+
+    #[test]
+    fn sprinting_beats_never_sprinting_below_the_band() {
+        // A threshold selecting only the top of the distribution keeps
+        // n_S below N_min: pure gain.
+        let d = Benchmark::PageRank.utility_density(256).unwrap();
+        let t = analytic_throughput(&cfg(), &d, 8.0).unwrap();
+        assert!(t.p_trip < 0.05);
+        assert!(t.tasks_per_epoch > 1.5, "got {}", t.tasks_per_epoch);
+    }
+
+    #[test]
+    fn cooperative_search_beats_equilibrium() {
+        // C-T is an upper bound on E-T (paper §6.2/§6.4).
+        for b in [
+            Benchmark::DecisionTree,
+            Benchmark::PageRank,
+            Benchmark::LinearRegression,
+        ] {
+            let d = b.utility_density(512).unwrap();
+            let eq = MeanFieldSolver::new(cfg()).solve(&d).unwrap();
+            let et = analytic_throughput(&cfg(), &d, eq.threshold()).unwrap();
+            let ct = CooperativeSearch::default_resolution()
+                .solve(&cfg(), &d)
+                .unwrap();
+            assert!(
+                ct.throughput.tasks_per_epoch >= et.tasks_per_epoch - 1e-9,
+                "{b}: C-T {} < E-T {}",
+                ct.throughput.tasks_per_epoch,
+                et.tasks_per_epoch
+            );
+        }
+    }
+
+    #[test]
+    fn equilibrium_achieves_most_of_cooperative_for_diverse_profiles() {
+        // "E-T's task throughput is 90% that of C-T's for most
+        // applications" (§6.2). Check the representative app clears 80%.
+        let d = Benchmark::DecisionTree.utility_density(512).unwrap();
+        let eq = MeanFieldSolver::new(cfg()).solve(&d).unwrap();
+        let et = analytic_throughput(&cfg(), &d, eq.threshold()).unwrap();
+        let ct = CooperativeSearch::default_resolution()
+            .solve(&cfg(), &d)
+            .unwrap();
+        let efficiency = et.tasks_per_epoch / ct.throughput.tasks_per_epoch;
+        assert!(
+            efficiency > 0.8,
+            "decision tree efficiency {efficiency} too low"
+        );
+    }
+
+    #[test]
+    fn narrow_profiles_fall_far_from_cooperative() {
+        // §6.2: Linear Regression achieves only ~36% of cooperative
+        // performance because E-T degenerates to greedy. Check it lands
+        // well below the diverse-profile efficiency.
+        let d = Benchmark::LinearRegression.utility_density(512).unwrap();
+        let eq = MeanFieldSolver::new(cfg()).solve(&d).unwrap();
+        let et = analytic_throughput(&cfg(), &d, eq.threshold()).unwrap();
+        let ct = CooperativeSearch::default_resolution()
+            .solve(&cfg(), &d)
+            .unwrap();
+        let efficiency = et.tasks_per_epoch / ct.throughput.tasks_per_epoch;
+        assert!(
+            efficiency < 0.8,
+            "linear regression efficiency {efficiency} should be poor"
+        );
+    }
+
+    #[test]
+    fn cooperative_threshold_avoids_the_band() {
+        // The optimal cooperative point keeps sprinters at or below N_min
+        // for the paper parameters (recovery is expensive).
+        let d = Benchmark::DecisionTree.utility_density(512).unwrap();
+        let ct = CooperativeSearch::default_resolution()
+            .solve(&cfg(), &d)
+            .unwrap();
+        assert!(
+            ct.throughput.p_trip < 0.1,
+            "C-T trips with P = {}",
+            ct.throughput.p_trip
+        );
+    }
+
+    #[test]
+    fn indefinite_recovery_forces_zero_throughput_when_tripping() {
+        let pd = GameConfig::builder().p_recovery(1.0).build().unwrap();
+        let d = Benchmark::LinearRegression.utility_density(256).unwrap();
+        // Low threshold => everyone sprints => P > 0 => throughput 0.
+        let t = analytic_throughput(&pd, &d, 0.0).unwrap();
+        assert!(t.p_trip > 0.0);
+        assert_eq!(t.tasks_per_epoch, 0.0);
+        // But a high threshold avoids tripping entirely and scores > 1.
+        let ct = CooperativeSearch::default_resolution().solve(&pd, &d).unwrap();
+        assert_eq!(ct.throughput.p_trip, 0.0);
+        assert!(ct.throughput.tasks_per_epoch > 1.0);
+    }
+
+    #[test]
+    fn search_validates_resolution() {
+        assert!(CooperativeSearch::new(1).is_err());
+        assert!(CooperativeSearch::new(2).is_ok());
+    }
+
+    #[test]
+    fn strategy_round_trips() {
+        let d = Benchmark::Svm.utility_density(256).unwrap();
+        let ct = CooperativeSearch::default_resolution()
+            .solve(&cfg(), &d)
+            .unwrap();
+        assert_eq!(ct.strategy().threshold(), ct.threshold);
+    }
+}

@@ -1,0 +1,202 @@
+//! The coordinator's offline analysis (paper §2.3 and Figure 4).
+//!
+//! Agents send performance profiles (utility densities) to the
+//! coordinator; the coordinator runs Algorithm 1 over the population and
+//! returns a tailored threshold strategy to each agent. Communication is
+//! infrequent — "global communication between agents and the coordinator
+//! ... occurs only when system profiles change" — because the assigned
+//! strategies form an equilibrium that agents self-enforce.
+
+use sprint_stats::density::DiscreteDensity;
+
+use crate::config::GameConfig;
+use crate::meanfield::SolverOptions;
+use crate::multi::{AgentTypeSpec, HeterogeneousEquilibrium, MultiSolver};
+use crate::threshold::ThresholdStrategy;
+use crate::GameError;
+
+/// The rack coordinator: collects profiles, optimizes strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coordinator {
+    config: GameConfig,
+    options: SolverOptions,
+    profiles: Vec<AgentTypeSpec>,
+}
+
+impl Coordinator {
+    /// Create a coordinator for a rack configuration.
+    #[must_use]
+    pub fn new(config: GameConfig) -> Self {
+        Coordinator {
+            config,
+            options: SolverOptions::default(),
+            profiles: Vec::new(),
+        }
+    }
+
+    /// Create a coordinator with explicit solver options.
+    #[must_use]
+    pub fn with_options(config: GameConfig, options: SolverOptions) -> Self {
+        Coordinator {
+            config,
+            options,
+            profiles: Vec::new(),
+        }
+    }
+
+    /// The rack's game configuration.
+    #[must_use]
+    pub fn config(&self) -> &GameConfig {
+        &self.config
+    }
+
+    /// Register (or replace) the profile for an application type.
+    ///
+    /// Agents report densities estimated from sampled epochs (§4.4,
+    /// "Offline Analysis"); re-registering a name replaces its profile,
+    /// which is how evolving application mixes trigger re-optimization.
+    pub fn register_profile(
+        &mut self,
+        name: impl Into<String>,
+        density: DiscreteDensity,
+        count: u32,
+    ) {
+        let name = name.into();
+        if let Some(existing) = self.profiles.iter_mut().find(|p| p.name == name) {
+            existing.density = density;
+            existing.count = count;
+        } else {
+            self.profiles.push(AgentTypeSpec::new(name, density, count));
+        }
+    }
+
+    /// Registered profile count.
+    #[must_use]
+    pub fn profile_count(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Run the offline analysis: solve the (possibly heterogeneous)
+    /// mean-field game and produce per-type strategy assignments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidParameter`] when no profiles are
+    /// registered or counts do not sum to `N`, and
+    /// [`GameError::NoEquilibrium`] when the solve fails.
+    pub fn optimize(&self) -> crate::Result<StrategyAssignments> {
+        if self.profiles.is_empty() {
+            return Err(GameError::InvalidParameter {
+                name: "profiles",
+                value: 0.0,
+                expected: "at least one registered profile",
+            });
+        }
+        let equilibrium =
+            MultiSolver::with_options(self.config, self.options).solve(&self.profiles)?;
+        Ok(StrategyAssignments { equilibrium })
+    }
+}
+
+/// Optimized strategies for every registered application type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyAssignments {
+    equilibrium: HeterogeneousEquilibrium,
+}
+
+impl StrategyAssignments {
+    /// The underlying heterogeneous equilibrium.
+    #[must_use]
+    pub fn equilibrium(&self) -> &HeterogeneousEquilibrium {
+        &self.equilibrium
+    }
+
+    /// The strategy assigned to an application type, by name.
+    #[must_use]
+    pub fn strategy_for(&self, name: &str) -> Option<ThresholdStrategy> {
+        self.equilibrium.type_named(name).map(|t| t.strategy())
+    }
+
+    /// The stationary tripping probability the coordinator advertises.
+    #[must_use]
+    pub fn trip_probability(&self) -> f64 {
+        self.equilibrium.trip_probability()
+    }
+
+    /// Iterate over `(type name, strategy)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, ThresholdStrategy)> + '_ {
+        self.equilibrium
+            .types()
+            .iter()
+            .map(|t| (t.name.as_str(), t.strategy()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_workloads::Benchmark;
+
+    #[test]
+    fn empty_coordinator_errors() {
+        let c = Coordinator::new(GameConfig::paper_defaults());
+        assert!(c.optimize().is_err());
+        assert_eq!(c.profile_count(), 0);
+    }
+
+    #[test]
+    fn registers_and_replaces_profiles() {
+        let mut c = Coordinator::new(GameConfig::paper_defaults());
+        c.register_profile(
+            "decision",
+            Benchmark::DecisionTree.utility_density(256).unwrap(),
+            600,
+        );
+        c.register_profile(
+            "pagerank",
+            Benchmark::PageRank.utility_density(256).unwrap(),
+            400,
+        );
+        assert_eq!(c.profile_count(), 2);
+        // Replace, not duplicate.
+        c.register_profile(
+            "decision",
+            Benchmark::DecisionTree.utility_density(256).unwrap(),
+            600,
+        );
+        assert_eq!(c.profile_count(), 2);
+    }
+
+    #[test]
+    fn optimize_assigns_tailored_strategies() {
+        let mut c = Coordinator::new(GameConfig::paper_defaults());
+        c.register_profile(
+            "linear",
+            Benchmark::LinearRegression.utility_density(512).unwrap(),
+            500,
+        );
+        c.register_profile(
+            "pagerank",
+            Benchmark::PageRank.utility_density(512).unwrap(),
+            500,
+        );
+        let assignments = c.optimize().unwrap();
+        let linear = assignments.strategy_for("linear").unwrap();
+        let pagerank = assignments.strategy_for("pagerank").unwrap();
+        assert!(pagerank.threshold() > linear.threshold());
+        assert!(assignments.strategy_for("nosuch").is_none());
+        assert_eq!(assignments.iter().count(), 2);
+        assert!((0.0..=1.0).contains(&assignments.trip_probability()));
+    }
+
+    #[test]
+    fn counts_must_cover_the_rack() {
+        let mut c = Coordinator::new(GameConfig::paper_defaults());
+        c.register_profile(
+            "svm",
+            Benchmark::Svm.utility_density(256).unwrap(),
+            123,
+        );
+        assert!(c.optimize().is_err(), "counts must sum to N = 1000");
+    }
+}

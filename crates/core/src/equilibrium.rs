@@ -1,0 +1,157 @@
+//! Equilibrium objects and best-response verification (paper §4.4).
+//!
+//! A mean-field equilibrium is a pair (threshold, tripping probability)
+//! that is mutually consistent: the threshold is the best response to the
+//! tripping probability (Equations 1–8), and the tripping probability is
+//! what the population produces when everyone plays that threshold
+//! (Equations 9–11). [`Equilibrium::verify`] checks both conditions *and*
+//! the game-theoretic substance behind them: no unilateral threshold
+//! deviation improves an agent's value.
+
+use sprint_stats::density::DiscreteDensity;
+
+use crate::bellman::{self, BellmanMethod, ValueFunctions};
+use crate::config::GameConfig;
+use crate::sprint_dist::SprintDistribution;
+use crate::threshold::ThresholdStrategy;
+use crate::trip::TripCurve;
+
+/// A solved mean-field equilibrium of the sprinting game.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Equilibrium {
+    pub(crate) threshold: f64,
+    pub(crate) p_trip: f64,
+    pub(crate) distribution: SprintDistribution,
+    pub(crate) values: ValueFunctions,
+    pub(crate) iterations: usize,
+    pub(crate) residual: f64,
+}
+
+impl Equilibrium {
+    /// The equilibrium sprint threshold `u_T`.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The equilibrium threshold as an executable strategy.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: equilibrium thresholds are non-negative by
+    /// construction.
+    #[must_use]
+    pub fn strategy(&self) -> ThresholdStrategy {
+        ThresholdStrategy::new(self.threshold).expect("equilibrium thresholds are non-negative")
+    }
+
+    /// Stationary probability of tripping the breaker.
+    #[must_use]
+    pub fn trip_probability(&self) -> f64 {
+        self.p_trip
+    }
+
+    /// Probability an active agent sprints in an epoch (`p_s`,
+    /// Equation 9) — the quantity plotted in Figure 11.
+    #[must_use]
+    pub fn sprint_probability(&self) -> f64 {
+        self.distribution.p_sprint
+    }
+
+    /// Stationary probability of being active rather than cooling.
+    #[must_use]
+    pub fn p_active(&self) -> f64 {
+        self.distribution.p_active
+    }
+
+    /// Expected number of simultaneous sprinters (`n_S`, Equation 10).
+    #[must_use]
+    pub fn expected_sprinters(&self) -> f64 {
+        self.distribution.expected_sprinters
+    }
+
+    /// Equilibrium state values.
+    #[must_use]
+    pub fn values(&self) -> ValueFunctions {
+        self.values
+    }
+
+    /// Outer (Algorithm 1) iterations used.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Final fixed-point residual `|P'_trip − P_trip|`.
+    #[must_use]
+    pub fn residual(&self) -> f64 {
+        self.residual
+    }
+
+    /// Verify the equilibrium conditions against a density.
+    ///
+    /// Checks the two fixed-point conditions of §4.4 plus incentive
+    /// compatibility over `grid` candidate deviations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Bellman-solver errors.
+    pub fn verify(
+        &self,
+        config: &GameConfig,
+        density: &DiscreteDensity,
+        grid: usize,
+    ) -> crate::Result<EquilibriumCheck> {
+        // Condition 1: the threshold solves the Bellman equation at P_trip.
+        let best = bellman::solve(config, density, self.p_trip, BellmanMethod::PolicyIteration)?;
+        let threshold_residual = (best.threshold - self.threshold).abs();
+
+        // Condition 2: the threshold reproduces P_trip through
+        // Equations 9-11.
+        let dist = SprintDistribution::characterize(config, density, &self.strategy())?;
+        let p_implied = TripCurve::from_config(config).p_trip(dist.expected_sprinters);
+        let trip_residual = (p_implied - self.p_trip).abs();
+
+        // Incentive compatibility: no candidate threshold beats the
+        // equilibrium value while the population (P_trip) stays fixed.
+        let v_eq =
+            bellman::evaluate_threshold_policy(config, density, self.p_trip, self.threshold)?
+                .v_active;
+        let mut max_deviation_gain = f64::NEG_INFINITY;
+        for i in 0..=grid.max(1) {
+            let candidate = density.lo().max(0.0)
+                + (density.hi() - density.lo().max(0.0)) * i as f64 / grid.max(1) as f64;
+            let v_alt =
+                bellman::evaluate_threshold_policy(config, density, self.p_trip, candidate)?
+                    .v_active;
+            max_deviation_gain = max_deviation_gain.max(v_alt - v_eq);
+        }
+        Ok(EquilibriumCheck {
+            threshold_residual,
+            trip_residual,
+            max_deviation_gain,
+        })
+    }
+}
+
+/// Result of verifying an equilibrium.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EquilibriumCheck {
+    /// `|best-response threshold − equilibrium threshold|`.
+    pub threshold_residual: f64,
+    /// `|implied P_trip − equilibrium P_trip|`.
+    pub trip_residual: f64,
+    /// Largest value gain any unilateral threshold deviation achieves
+    /// (non-positive, up to numerical tolerance, at an equilibrium).
+    pub max_deviation_gain: f64,
+}
+
+impl EquilibriumCheck {
+    /// Whether all conditions hold within `tol`.
+    #[must_use]
+    pub fn holds(&self, tol: f64) -> bool {
+        self.threshold_residual <= tol
+            && self.trip_residual <= tol
+            && self.max_deviation_gain <= tol
+    }
+}

@@ -1,0 +1,104 @@
+use std::error::Error;
+use std::fmt;
+
+use sprint_stats::StatsError;
+use sprint_workloads::WorkloadError;
+
+/// Error raised by the sprinting game's solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GameError {
+    /// A game parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+        /// Human-readable description of the valid domain.
+        expected: &'static str,
+    },
+    /// The mean-field iteration failed to converge.
+    ///
+    /// This is expected in the prisoner's-dilemma limit (`p_r = 1`,
+    /// paper §6.4) where no equilibrium avoids tripping the breaker.
+    NoEquilibrium {
+        /// Iterations attempted.
+        iterations: usize,
+        /// Final fixed-point residual on the tripping probability.
+        residual: f64,
+    },
+    /// An underlying statistics operation failed.
+    Stats(StatsError),
+    /// An underlying workload operation failed.
+    Workload(WorkloadError),
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "parameter `{name}` = {value} is invalid: expected {expected}"),
+            GameError::NoEquilibrium {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "mean-field iteration found no equilibrium after {iterations} steps \
+                 (residual {residual:e})"
+            ),
+            GameError::Stats(e) => write!(f, "statistics error: {e}"),
+            GameError::Workload(e) => write!(f, "workload error: {e}"),
+        }
+    }
+}
+
+impl Error for GameError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GameError::Stats(e) => Some(e),
+            GameError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for GameError {
+    fn from(e: StatsError) -> Self {
+        GameError::Stats(e)
+    }
+}
+
+impl From<WorkloadError> for GameError {
+    fn from(e: WorkloadError) -> Self {
+        GameError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = GameError::NoEquilibrium {
+            iterations: 100,
+            residual: 0.5,
+        };
+        assert!(e.to_string().contains("no equilibrium"));
+        assert!(e.source().is_none());
+
+        let e: GameError = StatsError::EmptyInput.into();
+        assert!(e.source().is_some());
+        let e: GameError = WorkloadError::EmptyWorkload { what: "jobs" }.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<GameError>();
+    }
+}

@@ -1,0 +1,221 @@
+//! Prisoner's dilemma and folk-theorem enforcement (paper §6.4).
+//!
+//! When recovery is expensive the equilibrium degrades relative to
+//! cooperation ([`efficiency`], Figure 12). In the limit `p_r = 1`
+//! (indefinite recovery) the game becomes a prisoner's dilemma: the
+//! cooperative threshold that avoids tripping the breaker is *not* an
+//! equilibrium — each agent's best response to a non-tripping system is to
+//! lower her threshold ([`DeviationAnalysis`]).
+//!
+//! The folk theorem escapes the dilemma: the coordinator assigns the
+//! cooperative threshold and *threatens punishment* for deviation (e.g.
+//! banning deviators from ever sprinting again). Cooperation is
+//! self-enforcing when the one-shot deviation gain is smaller than the
+//! discounted value lost to the punishment
+//! ([`punishment_sustains_cooperation`]).
+
+use sprint_stats::density::DiscreteDensity;
+
+use crate::bellman;
+use crate::config::GameConfig;
+use crate::cooperative::{analytic_throughput, CooperativeSearch};
+use crate::meanfield::MeanFieldSolver;
+use crate::GameError;
+
+/// Efficiency of the equilibrium: E-T throughput divided by C-T
+/// throughput (the paper's informal definition in §6.4, Figure 12).
+///
+/// # Errors
+///
+/// Propagates solver errors; returns [`GameError::NoEquilibrium`] when the
+/// mean-field solve fails.
+pub fn efficiency(config: &GameConfig, density: &DiscreteDensity) -> crate::Result<f64> {
+    let eq = MeanFieldSolver::new(*config).solve(density)?;
+    let et = analytic_throughput(config, density, eq.threshold())?;
+    let ct = CooperativeSearch::default_resolution().solve(config, density)?;
+    if ct.throughput.tasks_per_epoch <= 0.0 {
+        return Err(GameError::InvalidParameter {
+            name: "density",
+            value: ct.throughput.tasks_per_epoch,
+            expected: "a workload with positive cooperative throughput",
+        });
+    }
+    Ok((et.tasks_per_epoch / ct.throughput.tasks_per_epoch).clamp(0.0, 1.0))
+}
+
+/// Best-response analysis of the cooperative threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviationAnalysis {
+    /// The cooperative threshold under scrutiny.
+    pub cooperative_threshold: f64,
+    /// The deviator's best-response threshold, holding the system's
+    /// (non-tripping) behavior fixed.
+    pub best_response_threshold: f64,
+    /// The deviator's value when conforming.
+    pub cooperative_value: f64,
+    /// The deviator's value when playing the best response.
+    pub deviation_value: f64,
+}
+
+impl DeviationAnalysis {
+    /// Gain from deviating (positive means cooperation is not
+    /// self-enforcing — the prisoner's dilemma).
+    #[must_use]
+    pub fn deviation_gain(&self) -> f64 {
+        self.deviation_value - self.cooperative_value
+    }
+
+    /// Whether the cooperative threshold is a best response (no profitable
+    /// deviation within `tol`).
+    #[must_use]
+    pub fn is_self_enforcing(&self, tol: f64) -> bool {
+        self.deviation_gain() <= tol
+    }
+}
+
+/// Analyze whether a cooperative threshold is self-enforcing when the
+/// system currently avoids tripping (`P_trip = 0`), the §6.4 scenario.
+///
+/// # Errors
+///
+/// Propagates Bellman-solver errors.
+pub fn analyze_deviation(
+    config: &GameConfig,
+    density: &DiscreteDensity,
+    cooperative_threshold: f64,
+) -> crate::Result<DeviationAnalysis> {
+    // A single deviator in a large system does not move P_trip (the
+    // mean-field premise), so she optimizes against P = 0.
+    let conforming =
+        bellman::evaluate_threshold_policy(config, density, 0.0, cooperative_threshold)?;
+    let best = bellman::solve(config, density, 0.0, bellman::BellmanMethod::PolicyIteration)?;
+    Ok(DeviationAnalysis {
+        cooperative_threshold,
+        best_response_threshold: best.threshold,
+        cooperative_value: conforming.v_active,
+        deviation_value: best.values.v_active,
+    })
+}
+
+/// Folk-theorem check: is cooperation sustained by the threat of being
+/// forbidden from ever sprinting again ("the coordinator could monitor
+/// sprints, detect deviations, and forbid agents who deviate from ever
+/// sprinting again", §6.4)?
+///
+/// A banned agent earns zero sprinting utility forever, so the punishment
+/// costs the deviator her entire conforming value stream after the first
+/// deviating epoch. Deviation pays at most the best one-shot utility
+/// `u_max`; cooperation is sustained when
+/// `u_max − u_T < δ · V_conform` — the standard grim-trigger inequality.
+///
+/// # Errors
+///
+/// Propagates Bellman-solver errors.
+pub fn punishment_sustains_cooperation(
+    config: &GameConfig,
+    density: &DiscreteDensity,
+    cooperative_threshold: f64,
+) -> crate::Result<bool> {
+    let conforming =
+        bellman::evaluate_threshold_policy(config, density, 0.0, cooperative_threshold)?;
+    let one_shot_gain = (density.hi() - cooperative_threshold).max(0.0);
+    Ok(one_shot_gain < config.discount() * conforming.v_active)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_workloads::Benchmark;
+
+    fn with_pr(pr: f64) -> GameConfig {
+        GameConfig::builder().p_recovery(pr).build().unwrap()
+    }
+
+    #[test]
+    fn efficiency_high_at_cheap_recovery() {
+        // Figure 12's left side: with the paper's pr = 0.88, the
+        // equilibrium is efficient for diverse profiles.
+        let d = Benchmark::DecisionTree.utility_density(512).unwrap();
+        let e = efficiency(&with_pr(0.88), &d).unwrap();
+        assert!(e > 0.8, "efficiency {e}");
+    }
+
+    #[test]
+    fn efficiency_falls_as_recovery_lengthens() {
+        // Figure 12: efficiency falls as pr -> 1. Linear Regression shows
+        // the collapse sharply because its equilibrium always trips.
+        let d = Benchmark::LinearRegression.utility_density(512).unwrap();
+        let e_cheap = efficiency(&with_pr(0.5), &d).unwrap();
+        let e_mid = efficiency(&with_pr(0.95), &d).unwrap();
+        let e_costly = efficiency(&with_pr(0.995), &d).unwrap();
+        assert!(
+            e_cheap > e_mid && e_mid > e_costly,
+            "{e_cheap} > {e_mid} > {e_costly} expected"
+        );
+        assert!(e_costly < 0.3, "near-indefinite recovery collapses efficiency");
+    }
+
+    #[test]
+    fn prisoners_dilemma_cooperation_not_self_enforcing() {
+        // §6.4: with pr = 1 the cooperative threshold avoids tripping but
+        // a strategic agent profits by lowering her threshold.
+        let cfg = with_pr(1.0);
+        let d = Benchmark::LinearRegression.utility_density(512).unwrap();
+        let ct = CooperativeSearch::default_resolution().solve(&cfg, &d).unwrap();
+        assert_eq!(ct.throughput.p_trip, 0.0, "cooperation avoids the band");
+        let dev = analyze_deviation(&cfg, &d, ct.threshold).unwrap();
+        assert!(
+            !dev.is_self_enforcing(1e-6),
+            "deviation gain {} should be positive",
+            dev.deviation_gain()
+        );
+        assert!(dev.best_response_threshold < dev.cooperative_threshold);
+    }
+
+    #[test]
+    fn equilibrium_threshold_is_self_enforcing() {
+        // By contrast, the mean-field equilibrium threshold admits no
+        // profitable deviation (at its own P_trip = 0 fixed point).
+        let cfg = GameConfig::paper_defaults();
+        let d = Benchmark::PageRank.utility_density(512).unwrap();
+        let eq = MeanFieldSolver::new(cfg).solve(&d).unwrap();
+        if eq.trip_probability() == 0.0 {
+            let dev = analyze_deviation(&cfg, &d, eq.threshold()).unwrap();
+            assert!(dev.is_self_enforcing(1e-6), "gain {}", dev.deviation_gain());
+        }
+    }
+
+    #[test]
+    fn grim_trigger_sustains_cooperation_with_patient_agents() {
+        // δ = 0.99: losing the entire future dwarfs any one-shot gain.
+        let cfg = with_pr(1.0);
+        let d = Benchmark::LinearRegression.utility_density(512).unwrap();
+        let ct = CooperativeSearch::default_resolution().solve(&cfg, &d).unwrap();
+        assert!(punishment_sustains_cooperation(&cfg, &d, ct.threshold).unwrap());
+    }
+
+    #[test]
+    fn impatient_agents_cannot_be_deterred() {
+        // With a tiny discount factor the future is worthless and the
+        // punishment threat fails.
+        let cfg = GameConfig::builder()
+            .p_recovery(1.0)
+            .discount(0.05)
+            .build()
+            .unwrap();
+        let d = Benchmark::LinearRegression.utility_density(512).unwrap();
+        let ct = CooperativeSearch::default_resolution().solve(&cfg, &d).unwrap();
+        assert!(!punishment_sustains_cooperation(&cfg, &d, ct.threshold).unwrap());
+    }
+
+    #[test]
+    fn deviation_gain_zero_when_cooperative_is_optimal() {
+        // If the "cooperative" threshold happens to equal the best
+        // response, deviation gains nothing.
+        let cfg = GameConfig::paper_defaults();
+        let d = Benchmark::DecisionTree.utility_density(512).unwrap();
+        let best = bellman::solve(&cfg, &d, 0.0, bellman::BellmanMethod::PolicyIteration).unwrap();
+        let dev = analyze_deviation(&cfg, &d, best.threshold).unwrap();
+        assert!(dev.deviation_gain().abs() < 1e-6);
+    }
+}

@@ -1,0 +1,75 @@
+//! # The Computational Sprinting Game
+//!
+//! The paper's primary contribution (Fan, Zahedi, Lee — ASPLOS 2016):
+//! a repeated game among `N` chip multiprocessors that share a power
+//! supply. Each epoch, every *active* agent decides whether to sprint.
+//! Sprinting yields utility `u` drawn from the agent's application profile
+//! `f(u)` but sends the chip into a *cooling* state; too many simultaneous
+//! sprinters trip the rack breaker and send everyone into *recovery*.
+//!
+//! The game is solved as a **mean-field equilibrium**:
+//!
+//! 1. Given the population's tripping probability `P_trip`, each agent
+//!    solves a Bellman equation (Equations 1–6) whose optimal policy is a
+//!    *threshold strategy*: sprint iff `u > u_T` where
+//!    `u_T = δ (V(A) − V(C)) (1 − P_trip)` (Equation 8) — [`bellman`],
+//!    [`threshold`].
+//! 2. Given everyone's threshold, the population's sprint probability,
+//!    stationary active share, and expected sprinter count follow
+//!    (Equations 9–10) — [`sprint_dist`] — which update `P_trip` through
+//!    the breaker's trip curve (Equation 11) — [`trip`].
+//! 3. Iterate to a fixed point (Algorithm 1) — [`meanfield`].
+//!
+//! [`equilibrium`] verifies the fixed point *is* an equilibrium (no
+//! profitable unilateral deviation); [`multi`] extends the solve to
+//! heterogeneous populations; [`cooperative`] computes the paper's C-T
+//! upper bound; [`folk`] analyzes the prisoner's-dilemma limit and
+//! folk-theorem enforcement of §6.4; [`coordinator`] and [`agent`]
+//! implement the offline/online management split of Figure 4.
+//!
+//! # Example
+//!
+//! ```
+//! use sprint_game::{GameConfig, MeanFieldSolver};
+//! use sprint_workloads::Benchmark;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = GameConfig::paper_defaults();
+//! let f_u = Benchmark::DecisionTree.utility_density(256)?;
+//! let eq = MeanFieldSolver::new(config).solve(&f_u)?;
+//!
+//! // The representative app sprints judiciously...
+//! assert!(eq.sprint_probability() < 0.9);
+//! // ...and the equilibrium sprinter count sits near N_min = 250
+//! // with a small tripping probability (paper Figure 6).
+//! assert!(eq.expected_sprinters() > 150.0);
+//! assert!(eq.trip_probability() < 0.2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod agent;
+pub mod bellman;
+pub mod config;
+pub mod cooperative;
+pub mod coordinator;
+pub mod equilibrium;
+pub mod folk;
+pub mod meanfield;
+pub mod multi;
+pub mod sprint_dist;
+pub mod state;
+pub mod threshold;
+pub mod trip;
+
+mod error;
+
+pub use config::GameConfig;
+pub use equilibrium::Equilibrium;
+pub use error::GameError;
+pub use meanfield::MeanFieldSolver;
+pub use state::AgentState;
+pub use threshold::ThresholdStrategy;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, GameError>;

@@ -1,0 +1,354 @@
+//! Mean-field equilibrium solver — the paper's Algorithm 1 (§4.4).
+//!
+//! The coordinator's offline analysis iterates three steps until the
+//! tripping probability is stationary:
+//!
+//! 1. **Optimize the sprint strategy** — solve the Bellman equation at the
+//!    current `P_trip` to get threshold `u_T` ([`crate::bellman`]).
+//! 2. **Characterize the sprint distribution** — compute `p_s`, the
+//!    stationary active share, and `n_S` ([`crate::sprint_dist`]).
+//! 3. **Update the tripping probability** — `P'_trip` from the trip curve
+//!    ([`crate::trip`]); stop when `P'_trip = P_trip`.
+//!
+//! The paper initializes `P⁰_trip = 1` and iterates undamped. Because the
+//! best-response map is *increasing* in `P_trip` (riskier racks lower
+//! thresholds — §6.5's "ironic" aggression), undamped iteration can cycle;
+//! [`SolverOptions::damping`] (an ablation DESIGN.md calls out) averages
+//! the update, and a bisection fallback guarantees an answer whenever a
+//! fixed point exists.
+
+use sprint_stats::density::DiscreteDensity;
+
+use crate::bellman::{self, BellmanMethod};
+use crate::config::GameConfig;
+use crate::equilibrium::Equilibrium;
+use crate::sprint_dist::SprintDistribution;
+use crate::trip::TripCurve;
+use crate::GameError;
+
+/// Options for the mean-field iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverOptions {
+    /// Bellman solver used in step 1.
+    pub method: BellmanMethod,
+    /// Fraction of the tripping-probability update applied per iteration.
+    /// `1.0` is the paper's undamped Algorithm 1.
+    pub damping: f64,
+    /// Convergence tolerance on `|P'_trip − P_trip|`.
+    pub tolerance: f64,
+    /// Maximum outer iterations before falling back to bisection.
+    pub max_iterations: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            method: BellmanMethod::PolicyIteration,
+            damping: 0.5,
+            tolerance: 1e-9,
+            max_iterations: 500,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// The paper's literal Algorithm 1: undamped updates from `P⁰ = 1`,
+    /// value-iteration inner solver.
+    #[must_use]
+    pub fn paper_literal() -> Self {
+        SolverOptions {
+            method: BellmanMethod::ValueIteration,
+            damping: 1.0,
+            tolerance: 1e-6,
+            max_iterations: 200,
+        }
+    }
+}
+
+/// Mean-field equilibrium solver for a homogeneous agent population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanFieldSolver {
+    config: GameConfig,
+    options: SolverOptions,
+}
+
+impl MeanFieldSolver {
+    /// Create a solver with default options.
+    #[must_use]
+    pub fn new(config: GameConfig) -> Self {
+        MeanFieldSolver {
+            config,
+            options: SolverOptions::default(),
+        }
+    }
+
+    /// Create a solver with explicit options.
+    #[must_use]
+    pub fn with_options(config: GameConfig, options: SolverOptions) -> Self {
+        MeanFieldSolver { config, options }
+    }
+
+    /// The game configuration.
+    #[must_use]
+    pub fn config(&self) -> &GameConfig {
+        &self.config
+    }
+
+    /// One composition of Algorithm 1's three steps: threshold, sprint
+    /// distribution, and implied tripping probability at `p_trip`.
+    fn respond(
+        &self,
+        density: &DiscreteDensity,
+        p_trip: f64,
+    ) -> crate::Result<(bellman::BellmanSolution, SprintDistribution, f64)> {
+        let sol = bellman::solve(&self.config, density, p_trip, self.options.method)?;
+        let strategy = crate::threshold::ThresholdStrategy::new(sol.threshold)?;
+        let dist = SprintDistribution::characterize(&self.config, density, &strategy)?;
+        let implied = TripCurve::from_config(&self.config).p_trip(dist.expected_sprinters);
+        Ok((sol, dist, implied))
+    }
+
+    /// Solve for the mean-field equilibrium of `density`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::NoEquilibrium`] when neither damped iteration
+    /// nor bisection settles — which the paper predicts for pathological
+    /// configurations such as the §6.4 prisoner's dilemma with a breaker
+    /// band the population always overwhelms.
+    pub fn solve(&self, density: &DiscreteDensity) -> crate::Result<Equilibrium> {
+        // Algorithm 1: start from certain tripping.
+        let mut p = 1.0f64;
+        let mut residual = f64::INFINITY;
+        for it in 0..self.options.max_iterations {
+            let (sol, dist, implied) = self.respond(density, p)?;
+            residual = (implied - p).abs();
+            if residual < self.options.tolerance {
+                return Ok(Equilibrium {
+                    threshold: sol.threshold,
+                    p_trip: p,
+                    distribution: dist,
+                    values: sol.values,
+                    iterations: it + 1,
+                    residual,
+                });
+            }
+            p = (p + self.options.damping * (implied - p)).clamp(0.0, 1.0);
+        }
+        // Bisection fallback on g(p) = implied(p) − p, which brackets a
+        // root on [0, 1] whenever the response map is continuous.
+        self.bisect(density)
+            .ok_or(GameError::NoEquilibrium {
+                iterations: self.options.max_iterations,
+                residual,
+            })
+    }
+
+    fn bisect(&self, density: &DiscreteDensity) -> Option<Equilibrium> {
+        let g = |p: f64| -> Option<f64> {
+            let (_, _, implied) = self.respond(density, p).ok()?;
+            Some(implied - p)
+        };
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        let g_lo = g(lo)?;
+        let g_hi = g(hi)?;
+        if g_lo.abs() < self.options.tolerance {
+            hi = lo;
+        } else if g_hi.abs() >= self.options.tolerance && g_lo.signum() == g_hi.signum() {
+            return None;
+        }
+        for _ in 0..200 {
+            if hi - lo < 1e-12 {
+                break;
+            }
+            let mid = 0.5 * (lo + hi);
+            let g_mid = g(mid)?;
+            if g_mid.abs() < self.options.tolerance {
+                lo = mid;
+                hi = mid;
+                break;
+            }
+            if g_mid.signum() == g_lo.signum() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let p = 0.5 * (lo + hi);
+        let (sol, dist, implied) = self.respond(density, p).ok()?;
+        let residual = (implied - p).abs();
+        // Accept only true fixed points: bisection can "converge" onto a
+        // discontinuity that is not an equilibrium.
+        if residual > 1e-4 {
+            return None;
+        }
+        Some(Equilibrium {
+            threshold: sol.threshold,
+            p_trip: p,
+            distribution: dist,
+            values: sol.values,
+            iterations: self.options.max_iterations,
+            residual,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_workloads::Benchmark;
+
+    fn solve_benchmark(b: Benchmark) -> Equilibrium {
+        let cfg = GameConfig::paper_defaults();
+        MeanFieldSolver::new(cfg)
+            .solve(&b.utility_density(512).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn all_benchmarks_reach_equilibrium() {
+        let cfg = GameConfig::paper_defaults();
+        for b in Benchmark::ALL {
+            let eq = solve_benchmark(b);
+            let check = eq
+                .verify(&cfg, &b.utility_density(512).unwrap(), 60)
+                .unwrap();
+            assert!(
+                check.holds(1e-4),
+                "{b}: check = {check:?} at threshold {}",
+                eq.threshold()
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_band_benchmarks_sprint_always() {
+        // Figure 11: Linear Regression and Correlation sprint at every
+        // opportunity; E-T degenerates to a greedy equilibrium (§6.2).
+        for b in [Benchmark::LinearRegression, Benchmark::Correlation] {
+            let eq = solve_benchmark(b);
+            assert!(
+                eq.sprint_probability() > 0.97,
+                "{b}: p_s = {}",
+                eq.sprint_probability()
+            );
+        }
+    }
+
+    #[test]
+    fn most_benchmarks_sprint_judiciously() {
+        // Figure 11: "The majority of applications resemble PageRank with
+        // higher thresholds and judicious sprints."
+        let mut judicious = 0;
+        for b in Benchmark::ALL {
+            let eq = solve_benchmark(b);
+            if eq.sprint_probability() < 0.8 {
+                judicious += 1;
+            }
+        }
+        assert!(judicious >= 8, "only {judicious} of 11 sprint judiciously");
+    }
+
+    #[test]
+    fn equilibrium_sprinters_near_band_edge() {
+        // Figure 6: "in equilibrium, the number of sprinters is just
+        // slightly above N_min = 250" for the representative app.
+        let eq = solve_benchmark(Benchmark::DecisionTree);
+        let ns = eq.expected_sprinters();
+        assert!(
+            (200.0..=350.0).contains(&ns),
+            "decision tree equilibrium n_S = {ns}"
+        );
+        assert!(eq.trip_probability() < 0.25, "P = {}", eq.trip_probability());
+    }
+
+    #[test]
+    fn equilibrium_is_consistent_fixed_point() {
+        let cfg = GameConfig::paper_defaults();
+        let d = Benchmark::Svm.utility_density(512).unwrap();
+        let eq = MeanFieldSolver::new(cfg).solve(&d).unwrap();
+        // Re-deriving P from n_S reproduces the equilibrium P.
+        let p = TripCurve::from_config(&cfg).p_trip(eq.expected_sprinters());
+        assert!((p - eq.trip_probability()).abs() < 1e-6);
+        assert!(eq.residual() < 1e-4);
+        assert!(eq.iterations() >= 1);
+    }
+
+    #[test]
+    fn damped_and_literal_algorithms_agree() {
+        let cfg = GameConfig::paper_defaults();
+        let d = Benchmark::PageRank.utility_density(512).unwrap();
+        let damped = MeanFieldSolver::new(cfg).solve(&d).unwrap();
+        let literal = MeanFieldSolver::with_options(cfg, SolverOptions::paper_literal())
+            .solve(&d)
+            .unwrap();
+        assert!(
+            (damped.threshold() - literal.threshold()).abs() < 0.05,
+            "damped {} vs literal {}",
+            damped.threshold(),
+            literal.threshold()
+        );
+        assert!((damped.trip_probability() - literal.trip_probability()).abs() < 0.02);
+    }
+
+    #[test]
+    fn small_band_raises_aggression() {
+        // Figure 13: small N_min/N_max => high P(trip) => lower thresholds
+        // ("agents sprint more aggressively and extract performance now").
+        let d = Benchmark::DecisionTree.utility_density(512).unwrap();
+        let small = GameConfig::builder()
+            .n_min(50.0)
+            .n_max(150.0)
+            .build()
+            .unwrap();
+        let big = GameConfig::builder()
+            .n_min(450.0)
+            .n_max(950.0)
+            .build()
+            .unwrap();
+        let eq_small = MeanFieldSolver::new(small).solve(&d).unwrap();
+        let eq_big = MeanFieldSolver::new(big).solve(&d).unwrap();
+        assert!(
+            eq_small.threshold() < eq_big.threshold(),
+            "small-band threshold {} should be below big-band {}",
+            eq_small.threshold(),
+            eq_big.threshold()
+        );
+        assert!(eq_small.trip_probability() > eq_big.trip_probability());
+    }
+
+    #[test]
+    fn indefinite_recovery_still_yields_mean_field_fixed_point() {
+        // §6.4: with p_r = 1 the *mean-field* fixed point exists but has
+        // P_trip > 0 — the system eventually trips into indefinite
+        // recovery. (The inefficiency shows up in throughput, Figure 12.)
+        // Linear Regression exhibits it sharply: its agents sprint every
+        // epoch regardless, so n_S sits above N_min at any P_trip.
+        let cfg = GameConfig::builder().p_recovery(1.0).build().unwrap();
+        let d = Benchmark::LinearRegression.utility_density(512).unwrap();
+        let eq = MeanFieldSolver::new(cfg).solve(&d).unwrap();
+        assert!(
+            eq.trip_probability() > 0.0,
+            "no equilibrium avoids tripping: P = {}",
+            eq.trip_probability()
+        );
+    }
+
+    #[test]
+    fn strategy_round_trips() {
+        let eq = solve_benchmark(Benchmark::Kmeans);
+        let s = eq.strategy();
+        assert_eq!(s.threshold(), eq.threshold());
+    }
+
+    #[test]
+    fn equilibrium_serde_round_trip() {
+        // The coordinator can archive and re-load solved equilibria.
+        let eq = solve_benchmark(Benchmark::Svm);
+        let json = serde_json::to_string(&eq).unwrap();
+        let back: Equilibrium = serde_json::from_str(&json).unwrap();
+        assert_eq!(eq, back);
+        assert_eq!(back.threshold(), eq.threshold());
+    }
+}

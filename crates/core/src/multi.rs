@@ -1,0 +1,371 @@
+//! Mean-field equilibria for heterogeneous agent populations (§6.2,
+//! Figure 9).
+//!
+//! "When agents represent different types of applications, E-T assigns
+//! different sprinting thresholds for each type." The mean-field structure
+//! is unchanged: each type best-responds to the *shared* tripping
+//! probability, and the expected sprinter count aggregates across types:
+//!
+//! `n_S = Σ_k p_s,k · p_A,k · N_k`.
+
+use sprint_stats::density::DiscreteDensity;
+
+use crate::bellman::{self, ValueFunctions};
+use crate::config::GameConfig;
+use crate::meanfield::SolverOptions;
+use crate::sprint_dist::SprintDistribution;
+use crate::threshold::ThresholdStrategy;
+use crate::trip::TripCurve;
+use crate::GameError;
+
+/// One application type in a heterogeneous population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentTypeSpec {
+    /// Display name (e.g. the benchmark's short name).
+    pub name: String,
+    /// Utility density `f_k(u)` of this type.
+    pub density: DiscreteDensity,
+    /// Number of agents of this type.
+    pub count: u32,
+}
+
+impl AgentTypeSpec {
+    /// Create a type specification.
+    #[must_use]
+    pub fn new(name: impl Into<String>, density: DiscreteDensity, count: u32) -> Self {
+        AgentTypeSpec {
+            name: name.into(),
+            density,
+            count,
+        }
+    }
+}
+
+/// Per-type equilibrium outcome.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TypeEquilibrium {
+    /// Type name.
+    pub name: String,
+    /// This type's tailored threshold.
+    pub threshold: f64,
+    /// This type's sprint probability (Equation 9).
+    pub p_sprint: f64,
+    /// This type's stationary active share.
+    pub p_active: f64,
+    /// Expected sprinters contributed by this type.
+    pub expected_sprinters: f64,
+    /// This type's state values at equilibrium.
+    pub values: ValueFunctions,
+}
+
+impl TypeEquilibrium {
+    /// The type's threshold as an executable strategy.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: solver thresholds are non-negative.
+    #[must_use]
+    pub fn strategy(&self) -> ThresholdStrategy {
+        ThresholdStrategy::new(self.threshold).expect("solver thresholds are non-negative")
+    }
+}
+
+/// Equilibrium of a heterogeneous population.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HeterogeneousEquilibrium {
+    types: Vec<TypeEquilibrium>,
+    p_trip: f64,
+    iterations: usize,
+    residual: f64,
+}
+
+impl HeterogeneousEquilibrium {
+    /// Per-type outcomes, in specification order.
+    #[must_use]
+    pub fn types(&self) -> &[TypeEquilibrium] {
+        &self.types
+    }
+
+    /// The shared stationary tripping probability.
+    #[must_use]
+    pub fn trip_probability(&self) -> f64 {
+        self.p_trip
+    }
+
+    /// Total expected simultaneous sprinters across types.
+    #[must_use]
+    pub fn expected_sprinters(&self) -> f64 {
+        self.types.iter().map(|t| t.expected_sprinters).sum()
+    }
+
+    /// Outer iterations used.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Final fixed-point residual.
+    #[must_use]
+    pub fn residual(&self) -> f64 {
+        self.residual
+    }
+
+    /// Look up a type's outcome by name.
+    #[must_use]
+    pub fn type_named(&self, name: &str) -> Option<&TypeEquilibrium> {
+        self.types.iter().find(|t| t.name == name)
+    }
+}
+
+/// Mean-field solver for heterogeneous populations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiSolver {
+    config: GameConfig,
+    options: SolverOptions,
+}
+
+impl MultiSolver {
+    /// Create a solver with default options.
+    #[must_use]
+    pub fn new(config: GameConfig) -> Self {
+        MultiSolver {
+            config,
+            options: SolverOptions::default(),
+        }
+    }
+
+    /// Create a solver with explicit options.
+    #[must_use]
+    pub fn with_options(config: GameConfig, options: SolverOptions) -> Self {
+        MultiSolver { config, options }
+    }
+
+    fn respond(
+        &self,
+        types: &[AgentTypeSpec],
+        p_trip: f64,
+    ) -> crate::Result<(Vec<TypeEquilibrium>, f64)> {
+        let mut outcomes = Vec::with_capacity(types.len());
+        let mut total_sprinters = 0.0;
+        for spec in types {
+            let sol = bellman::solve(&self.config, &spec.density, p_trip, self.options.method)?;
+            let ps = spec.density.tail_mass(sol.threshold);
+            // Per-type chain shares the rack's p_c; Equation 10 scales by
+            // the type's own count.
+            let dist = SprintDistribution::from_sprint_probability(&self.config, ps)?;
+            let sprinters = ps * dist.p_active * f64::from(spec.count);
+            total_sprinters += sprinters;
+            outcomes.push(TypeEquilibrium {
+                name: spec.name.clone(),
+                threshold: sol.threshold,
+                p_sprint: ps,
+                p_active: dist.p_active,
+                expected_sprinters: sprinters,
+                values: sol.values,
+            });
+        }
+        let implied = TripCurve::from_config(&self.config).p_trip(total_sprinters);
+        Ok((outcomes, implied))
+    }
+
+    /// Solve for the heterogeneous equilibrium.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidParameter`] when `types` is empty or
+    /// the type counts do not sum to the configuration's `N`, and
+    /// [`GameError::NoEquilibrium`] when the fixed point cannot be found.
+    pub fn solve(&self, types: &[AgentTypeSpec]) -> crate::Result<HeterogeneousEquilibrium> {
+        if types.is_empty() {
+            return Err(GameError::InvalidParameter {
+                name: "types",
+                value: 0.0,
+                expected: "at least one agent type",
+            });
+        }
+        let total: u64 = types.iter().map(|t| u64::from(t.count)).sum();
+        if total != u64::from(self.config.n_agents()) {
+            return Err(GameError::InvalidParameter {
+                name: "types",
+                value: total as f64,
+                expected: "type counts summing to the configuration's N",
+            });
+        }
+
+        let mut p = 1.0f64;
+        let mut residual = f64::INFINITY;
+        for it in 0..self.options.max_iterations {
+            let (outcomes, implied) = self.respond(types, p)?;
+            residual = (implied - p).abs();
+            if residual < self.options.tolerance {
+                return Ok(HeterogeneousEquilibrium {
+                    types: outcomes,
+                    p_trip: p,
+                    iterations: it + 1,
+                    residual,
+                });
+            }
+            p = (p + self.options.damping * (implied - p)).clamp(0.0, 1.0);
+        }
+
+        // Bisection fallback, mirroring the homogeneous solver.
+        let g = |p: f64| -> crate::Result<f64> {
+            let (_, implied) = self.respond(types, p)?;
+            Ok(implied - p)
+        };
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        let g_lo = g(lo)?;
+        if g_lo.abs() < self.options.tolerance {
+            hi = lo;
+        } else if g(hi)?.signum() == g_lo.signum() && g(hi)?.abs() >= self.options.tolerance {
+            return Err(GameError::NoEquilibrium {
+                iterations: self.options.max_iterations,
+                residual,
+            });
+        }
+        for _ in 0..200 {
+            if hi - lo < 1e-12 {
+                break;
+            }
+            let mid = 0.5 * (lo + hi);
+            let g_mid = g(mid)?;
+            if g_mid.abs() < self.options.tolerance {
+                lo = mid;
+                hi = mid;
+                break;
+            }
+            if g_mid.signum() == g_lo.signum() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let p = 0.5 * (lo + hi);
+        let (outcomes, implied) = self.respond(types, p)?;
+        let residual = (implied - p).abs();
+        if residual > 1e-4 {
+            return Err(GameError::NoEquilibrium {
+                iterations: self.options.max_iterations,
+                residual,
+            });
+        }
+        Ok(HeterogeneousEquilibrium {
+            types: outcomes,
+            p_trip: p,
+            iterations: self.options.max_iterations,
+            residual,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meanfield::MeanFieldSolver;
+    use sprint_workloads::Benchmark;
+
+    fn spec(b: Benchmark, count: u32) -> AgentTypeSpec {
+        AgentTypeSpec::new(b.name(), b.utility_density(512).unwrap(), count)
+    }
+
+    #[test]
+    fn validates_population() {
+        let solver = MultiSolver::new(GameConfig::paper_defaults());
+        assert!(solver.solve(&[]).is_err());
+        // Counts must sum to N = 1000.
+        assert!(solver.solve(&[spec(Benchmark::Svm, 900)]).is_err());
+    }
+
+    #[test]
+    fn single_type_matches_homogeneous_solver() {
+        let cfg = GameConfig::paper_defaults();
+        let multi = MultiSolver::new(cfg)
+            .solve(&[spec(Benchmark::DecisionTree, 1000)])
+            .unwrap();
+        let homo = MeanFieldSolver::new(cfg)
+            .solve(&Benchmark::DecisionTree.utility_density(512).unwrap())
+            .unwrap();
+        let t = &multi.types()[0];
+        assert!(
+            (t.threshold - homo.threshold()).abs() < 1e-3,
+            "multi {} vs homo {}",
+            t.threshold,
+            homo.threshold()
+        );
+        assert!((multi.trip_probability() - homo.trip_probability()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn types_get_tailored_thresholds() {
+        let cfg = GameConfig::paper_defaults();
+        let eq = MultiSolver::new(cfg)
+            .solve(&[
+                spec(Benchmark::LinearRegression, 500),
+                spec(Benchmark::PageRank, 500),
+            ])
+            .unwrap();
+        let linear = eq.type_named("linear").unwrap();
+        let pagerank = eq.type_named("pagerank").unwrap();
+        // Linear regression sprints indiscriminately; PageRank sets a high
+        // threshold cutting its bimodal valley (§6.3).
+        assert!(linear.p_sprint > 0.95, "linear p_s = {}", linear.p_sprint);
+        assert!(
+            pagerank.threshold > linear.threshold + 1.0,
+            "pagerank threshold {} vs linear {}",
+            pagerank.threshold,
+            linear.threshold
+        );
+        assert!(pagerank.p_sprint < 0.7);
+    }
+
+    #[test]
+    fn aggregate_sprinters_respect_the_band() {
+        let cfg = GameConfig::paper_defaults();
+        let types: Vec<AgentTypeSpec> = [
+            (Benchmark::DecisionTree, 250u32),
+            (Benchmark::Svm, 250),
+            (Benchmark::Kmeans, 250),
+            (Benchmark::PageRank, 250),
+        ]
+        .into_iter()
+        .map(|(b, c)| spec(b, c))
+        .collect();
+        let eq = MultiSolver::new(cfg).solve(&types).unwrap();
+        let total = eq.expected_sprinters();
+        let per_type: f64 = eq.types().iter().map(|t| t.expected_sprinters).sum();
+        assert!((total - per_type).abs() < 1e-9);
+        // Strategic play keeps the aggregate near or below the band edge.
+        assert!(total < 450.0, "n_S = {total}");
+        assert!(eq.trip_probability() < 0.4);
+    }
+
+    #[test]
+    fn fixed_point_is_consistent() {
+        let cfg = GameConfig::paper_defaults();
+        let eq = MultiSolver::new(cfg)
+            .solve(&[
+                spec(Benchmark::Als, 500),
+                spec(Benchmark::Correlation, 500),
+            ])
+            .unwrap();
+        let implied = TripCurve::from_config(&cfg).p_trip(eq.expected_sprinters());
+        assert!((implied - eq.trip_probability()).abs() < 1e-4);
+        assert!(eq.residual() < 1e-4);
+        assert!(eq.iterations() >= 1);
+    }
+
+    #[test]
+    fn all_eleven_types_together() {
+        // The Figure 9 end point: all 11 application types share the rack.
+        let cfg = GameConfig::builder().n_agents(1001).n_min(250.25).n_max(750.75).build().unwrap();
+        let types: Vec<AgentTypeSpec> =
+            Benchmark::ALL.into_iter().map(|b| spec(b, 91)).collect();
+        let eq = MultiSolver::new(cfg).solve(&types).unwrap();
+        assert_eq!(eq.types().len(), 11);
+        for t in eq.types() {
+            assert!(t.threshold >= 0.0);
+            assert!((0.0..=1.0).contains(&t.p_sprint), "{}: {}", t.name, t.p_sprint);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Characterizing the sprint distribution (paper §4.3, Equations 9–10).
+//!
+//! Given every agent's threshold, the population's behavior follows from
+//! the Figure-5 Markov chain: active agents sprint with probability `p_s`
+//! (Equation 9) and enter cooling; cooling agents leave with probability
+//! `1 − p_c`. In the stationary distribution the expected sprinter count
+//! is `n_S = p_s · p_A · N` (Equation 10).
+
+use sprint_stats::density::DiscreteDensity;
+use sprint_stats::markov::active_cooling_stationary;
+
+use crate::config::GameConfig;
+use crate::threshold::ThresholdStrategy;
+use crate::GameError;
+
+/// Stationary population behavior implied by a threshold strategy.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SprintDistribution {
+    /// Probability an active agent's epoch clears the threshold (`p_s`).
+    pub p_sprint: f64,
+    /// Stationary probability of being active rather than cooling (`p_A`),
+    /// conditioned on the rack not being in recovery.
+    pub p_active: f64,
+    /// Expected number of simultaneous sprinters (`n_S`).
+    pub expected_sprinters: f64,
+}
+
+impl SprintDistribution {
+    /// Characterize the population when every agent plays `strategy`
+    /// against utility density `density` (Equations 9–10).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::Stats`] if the configuration's `p_c` is
+    /// outside `[0, 1)` (prevented by [`GameConfig`]'s builder).
+    pub fn characterize(
+        config: &GameConfig,
+        density: &DiscreteDensity,
+        strategy: &ThresholdStrategy,
+    ) -> crate::Result<Self> {
+        let p_sprint = strategy.sprint_probability(density);
+        Self::from_sprint_probability(config, p_sprint)
+    }
+
+    /// Characterize the population directly from a sprint probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidParameter`] for `p_sprint` outside
+    /// `[0, 1]` and [`GameError::Stats`] for an invalid `p_c`.
+    pub fn from_sprint_probability(config: &GameConfig, p_sprint: f64) -> crate::Result<Self> {
+        if !(0.0..=1.0).contains(&p_sprint) {
+            return Err(GameError::InvalidParameter {
+                name: "p_sprint",
+                value: p_sprint,
+                expected: "a probability in [0, 1]",
+            });
+        }
+        let (p_active, _) = active_cooling_stationary(p_sprint, config.p_cooling())?;
+        Ok(SprintDistribution {
+            p_sprint,
+            p_active,
+            expected_sprinters: p_sprint * p_active * f64::from(config.n_agents()),
+        })
+    }
+
+    /// Stationary probability of cooling (complement of active).
+    #[must_use]
+    pub fn p_cooling_state(&self) -> f64 {
+        1.0 - self.p_active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_workloads::Benchmark;
+
+    #[test]
+    fn equation_10_composition() {
+        let cfg = GameConfig::paper_defaults();
+        // ps = 0.25, pc = 0.5: p_A = 0.5/0.75 = 2/3, n_S = 0.25 * 2/3 * 1000.
+        let d = SprintDistribution::from_sprint_probability(&cfg, 0.25).unwrap();
+        assert!((d.p_active - 2.0 / 3.0).abs() < 1e-12);
+        assert!((d.expected_sprinters - 500.0 / 3.0).abs() < 1e-9);
+        assert!((d.p_cooling_state() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_sprinting_keeps_everyone_active() {
+        let cfg = GameConfig::paper_defaults();
+        let d = SprintDistribution::from_sprint_probability(&cfg, 0.0).unwrap();
+        assert_eq!(d.p_active, 1.0);
+        assert_eq!(d.expected_sprinters, 0.0);
+    }
+
+    #[test]
+    fn greedy_sprinting_caps_at_one_third() {
+        // With p_c = 0.5 and p_s = 1, agents alternate 1 sprint : 2 cooling
+        // epochs, so at most N/3 sprint simultaneously in steady state —
+        // why even Greedy cannot keep everyone sprinting.
+        let cfg = GameConfig::paper_defaults();
+        let d = SprintDistribution::from_sprint_probability(&cfg, 1.0).unwrap();
+        assert!((d.expected_sprinters - 1000.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn characterize_uses_density_tail() {
+        let cfg = GameConfig::paper_defaults();
+        let density = Benchmark::PageRank.utility_density(256).unwrap();
+        let strategy = ThresholdStrategy::new(8.0).unwrap();
+        let d = SprintDistribution::characterize(&cfg, &density, &strategy).unwrap();
+        assert!((d.p_sprint - density.tail_mass(8.0)).abs() < 1e-12);
+        assert!(d.expected_sprinters > 0.0);
+        assert!(d.expected_sprinters < 1000.0);
+    }
+
+    #[test]
+    fn invalid_p_sprint_rejected() {
+        let cfg = GameConfig::paper_defaults();
+        assert!(SprintDistribution::from_sprint_probability(&cfg, -0.1).is_err());
+        assert!(SprintDistribution::from_sprint_probability(&cfg, 1.1).is_err());
+    }
+
+    #[test]
+    fn more_sprinting_means_fewer_active() {
+        let cfg = GameConfig::paper_defaults();
+        let lo = SprintDistribution::from_sprint_probability(&cfg, 0.2).unwrap();
+        let hi = SprintDistribution::from_sprint_probability(&cfg, 0.8).unwrap();
+        assert!(hi.p_active < lo.p_active);
+        assert!(hi.expected_sprinters > lo.expected_sprinters);
+    }
+}

@@ -1,0 +1,176 @@
+//! Agent states and pure transition logic (paper §3.2).
+//!
+//! An agent occupies one of three states: **active** (may sprint), **chip
+//! cooling** (after a sprint, until excess heat dissipates), or **rack
+//! recovery** (after a power emergency, until batteries recharge). The
+//! transition structure enforces the architecture's constraints: a chip
+//! that sprints must cool before sprinting again, and a tripped rack must
+//! recover before anyone sprints.
+
+/// State of one agent in the sprinting game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum AgentState {
+    /// Agent can safely sprint (default: normal mode, sprint optional).
+    Active,
+    /// Chip cooling after a sprint; sprinting is forbidden.
+    Cooling,
+    /// Rack recovering after a power emergency; sprinting is forbidden.
+    Recovery,
+}
+
+impl AgentState {
+    /// All states.
+    pub const ALL: [AgentState; 3] = [
+        AgentState::Active,
+        AgentState::Cooling,
+        AgentState::Recovery,
+    ];
+
+    /// Whether an agent in this state is allowed to sprint.
+    #[must_use]
+    pub fn can_sprint(&self) -> bool {
+        matches!(self, AgentState::Active)
+    }
+
+    /// Deterministic state transition for one epoch.
+    ///
+    /// Inputs are the resolved random events of the epoch:
+    ///
+    /// - `sprinted`: this agent sprinted (requires [`can_sprint`]).
+    /// - `rack_tripped`: the breaker tripped this epoch (global event).
+    /// - `leaves_cooling` / `leaves_recovery`: the per-epoch geometric
+    ///   exits sampled with probabilities `1 − p_c` / `1 − p_r`.
+    ///
+    /// A rack trip overrides everything: all agents enter recovery
+    /// ("after an emergency, all agents remain in the recovery state",
+    /// §3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sprinted` is true in a state that cannot sprint — that
+    /// is a policy bug, not a recoverable condition.
+    ///
+    /// [`can_sprint`]: AgentState::can_sprint
+    #[must_use]
+    pub fn next(
+        &self,
+        sprinted: bool,
+        rack_tripped: bool,
+        leaves_cooling: bool,
+        leaves_recovery: bool,
+    ) -> AgentState {
+        assert!(
+            !sprinted || self.can_sprint(),
+            "agent sprinted from state {self:?} which forbids sprinting"
+        );
+        if rack_tripped {
+            return AgentState::Recovery;
+        }
+        match self {
+            AgentState::Active => {
+                if sprinted {
+                    AgentState::Cooling
+                } else {
+                    AgentState::Active
+                }
+            }
+            AgentState::Cooling => {
+                if leaves_cooling {
+                    AgentState::Active
+                } else {
+                    AgentState::Cooling
+                }
+            }
+            AgentState::Recovery => {
+                if leaves_recovery {
+                    AgentState::Active
+                } else {
+                    AgentState::Recovery
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for AgentState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AgentState::Active => write!(f, "active"),
+            AgentState::Cooling => write!(f, "cooling"),
+            AgentState::Recovery => write!(f, "recovery"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_active_can_sprint() {
+        assert!(AgentState::Active.can_sprint());
+        assert!(!AgentState::Cooling.can_sprint());
+        assert!(!AgentState::Recovery.can_sprint());
+    }
+
+    #[test]
+    fn sprint_leads_to_cooling() {
+        let s = AgentState::Active.next(true, false, false, false);
+        assert_eq!(s, AgentState::Cooling);
+    }
+
+    #[test]
+    fn idle_active_stays_active() {
+        let s = AgentState::Active.next(false, false, true, true);
+        assert_eq!(s, AgentState::Active);
+    }
+
+    #[test]
+    fn trip_sends_everyone_to_recovery() {
+        for s in AgentState::ALL {
+            let sprinted = s.can_sprint();
+            assert_eq!(
+                s.next(sprinted, true, true, true),
+                AgentState::Recovery,
+                "from {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn cooling_exit_is_gated() {
+        assert_eq!(
+            AgentState::Cooling.next(false, false, false, false),
+            AgentState::Cooling
+        );
+        assert_eq!(
+            AgentState::Cooling.next(false, false, true, false),
+            AgentState::Active
+        );
+    }
+
+    #[test]
+    fn recovery_exit_is_gated() {
+        assert_eq!(
+            AgentState::Recovery.next(false, false, false, false),
+            AgentState::Recovery
+        );
+        assert_eq!(
+            AgentState::Recovery.next(false, false, false, true),
+            AgentState::Active
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "forbids sprinting")]
+    fn sprinting_while_cooling_is_a_bug() {
+        let _ = AgentState::Cooling.next(true, false, false, false);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AgentState::Active.to_string(), "active");
+        assert_eq!(AgentState::Cooling.to_string(), "cooling");
+        assert_eq!(AgentState::Recovery.to_string(), "recovery");
+    }
+}

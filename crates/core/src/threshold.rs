@@ -1,0 +1,160 @@
+//! Threshold sprinting strategies (paper §4.2, "Threshold Strategy").
+//!
+//! The optimal policy of the sprinting game is a threshold: an agent
+//! sprints exactly when the epoch's utility exceeds `u_T`. The threshold
+//! is computed offline by the coordinator; applying it online is a single
+//! comparison ("comparisons with a threshold are trivial", §4.4).
+
+use sprint_stats::density::DiscreteDensity;
+
+use crate::GameError;
+
+/// A threshold strategy: sprint iff utility exceeds the threshold.
+///
+/// Serializes transparently as its threshold value; deserialization
+/// validates through [`ThresholdStrategy::new`].
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct ThresholdStrategy {
+    threshold: f64,
+}
+
+impl TryFrom<f64> for ThresholdStrategy {
+    type Error = GameError;
+
+    fn try_from(threshold: f64) -> Result<Self, GameError> {
+        ThresholdStrategy::new(threshold)
+    }
+}
+
+impl From<ThresholdStrategy> for f64 {
+    fn from(s: ThresholdStrategy) -> f64 {
+        s.threshold
+    }
+}
+
+impl ThresholdStrategy {
+    /// Create a strategy with the given threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidParameter`] for a negative or non-finite
+    /// threshold (utilities are speedups, so thresholds live in `[0, ∞)`).
+    pub fn new(threshold: f64) -> crate::Result<Self> {
+        if threshold < 0.0 || !threshold.is_finite() {
+            return Err(GameError::InvalidParameter {
+                name: "threshold",
+                value: threshold,
+                expected: "a non-negative finite threshold",
+            });
+        }
+        Ok(ThresholdStrategy { threshold })
+    }
+
+    /// The always-sprint strategy (threshold 0) — what the Greedy policy
+    /// effectively plays while unconstrained.
+    #[must_use]
+    pub fn always_sprint() -> Self {
+        ThresholdStrategy { threshold: 0.0 }
+    }
+
+    /// The threshold value `u_T`.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The online decision: sprint iff `utility > u_T` (Equation 8).
+    #[must_use]
+    pub fn should_sprint(&self, utility: f64) -> bool {
+        utility > self.threshold
+    }
+
+    /// Probability an epoch clears the threshold under density `f(u)` —
+    /// Equation 9's `p_s`.
+    #[must_use]
+    pub fn sprint_probability(&self, density: &DiscreteDensity) -> f64 {
+        density.tail_mass(self.threshold)
+    }
+
+    /// Expected utility per *sprinted* epoch, `E[u | u > u_T]`, or `None`
+    /// if the strategy never sprints under this density.
+    #[must_use]
+    pub fn mean_sprint_utility(&self, density: &DiscreteDensity) -> Option<f64> {
+        density.mean_above(self.threshold)
+    }
+}
+
+impl std::fmt::Display for ThresholdStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sprint iff u > {:.4}", self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_workloads::Benchmark;
+
+    #[test]
+    fn validates_threshold() {
+        assert!(ThresholdStrategy::new(-1.0).is_err());
+        assert!(ThresholdStrategy::new(f64::NAN).is_err());
+        assert!(ThresholdStrategy::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn decision_is_strict_comparison() {
+        let s = ThresholdStrategy::new(2.0).unwrap();
+        assert!(!s.should_sprint(2.0));
+        assert!(s.should_sprint(2.0 + 1e-12));
+        assert!(!s.should_sprint(1.0));
+    }
+
+    #[test]
+    fn always_sprint_clears_everything() {
+        let s = ThresholdStrategy::always_sprint();
+        let d = Benchmark::DecisionTree.utility_density(128).unwrap();
+        assert!((s.sprint_probability(&d) - 1.0).abs() < 1e-9);
+        assert!(s.should_sprint(0.1));
+    }
+
+    #[test]
+    fn sprint_probability_matches_tail() {
+        let d = Benchmark::PageRank.utility_density(256).unwrap();
+        let s = ThresholdStrategy::new(8.0).unwrap();
+        assert!((s.sprint_probability(&d) - d.tail_mass(8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_sprint_utility_is_conditional() {
+        let d = Benchmark::PageRank.utility_density(256).unwrap();
+        let s = ThresholdStrategy::new(8.0).unwrap();
+        let m = s.mean_sprint_utility(&d).unwrap();
+        assert!(m > 10.0, "conditional mean above the high mode: {m}");
+        let never = ThresholdStrategy::new(1e6).unwrap();
+        assert!(never.mean_sprint_utility(&d).is_none());
+    }
+
+    #[test]
+    fn serde_is_transparent_and_validating() {
+        let s = ThresholdStrategy::new(2.5).unwrap();
+        assert_eq!(serde_json::to_string(&s).unwrap(), "2.5");
+        let back: ThresholdStrategy = serde_json::from_str("2.5").unwrap();
+        assert_eq!(back, s);
+        assert!(serde_json::from_str::<ThresholdStrategy>("-1.0").is_err());
+    }
+
+    #[test]
+    fn try_from_f64_validates() {
+        assert!(ThresholdStrategy::try_from(3.0).is_ok());
+        assert!(ThresholdStrategy::try_from(-0.5).is_err());
+        assert_eq!(f64::from(ThresholdStrategy::new(4.0).unwrap()), 4.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = ThresholdStrategy::new(2.5).unwrap();
+        assert_eq!(s.to_string(), "sprint iff u > 2.5000");
+    }
+}

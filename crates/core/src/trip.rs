@@ -1,0 +1,97 @@
+//! The rack's tripping-probability curve (paper Equation 11, Figure 3).
+//!
+//! The expected number of sprinters maps to a probability of tripping the
+//! breaker: zero below `N_min`, one above `N_max`, linear in between (the
+//! breaker's non-deterministic tolerance band).
+
+use crate::config::GameConfig;
+
+/// Tripping-probability curve parameterized by `N_min` and `N_max`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TripCurve {
+    n_min: f64,
+    n_max: f64,
+}
+
+impl TripCurve {
+    /// Create a curve from band edges.
+    ///
+    /// Invalid edges are the configuration's problem: use
+    /// [`GameConfig`]'s builder for validation; this constructor is
+    /// infallible for internal composition.
+    #[must_use]
+    pub fn new(n_min: f64, n_max: f64) -> Self {
+        TripCurve { n_min, n_max }
+    }
+
+    /// The curve implied by a game configuration.
+    #[must_use]
+    pub fn from_config(config: &GameConfig) -> Self {
+        TripCurve::new(config.n_min(), config.n_max())
+    }
+
+    /// Band lower edge.
+    #[must_use]
+    pub fn n_min(&self) -> f64 {
+        self.n_min
+    }
+
+    /// Band upper edge.
+    #[must_use]
+    pub fn n_max(&self) -> f64 {
+        self.n_max
+    }
+
+    /// Probability of tripping the breaker with `n_sprinters` expected
+    /// sprinters (Equation 11).
+    #[must_use]
+    pub fn p_trip(&self, n_sprinters: f64) -> f64 {
+        if n_sprinters < self.n_min {
+            0.0
+        } else if n_sprinters > self.n_max {
+            1.0
+        } else {
+            (n_sprinters - self.n_min) / (self.n_max - self.n_min)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_curve() -> TripCurve {
+        TripCurve::from_config(&GameConfig::paper_defaults())
+    }
+
+    #[test]
+    fn regions_match_equation_11() {
+        let c = paper_curve();
+        assert_eq!(c.p_trip(0.0), 0.0);
+        assert_eq!(c.p_trip(249.9), 0.0);
+        assert_eq!(c.p_trip(250.0), 0.0);
+        assert!((c.p_trip(500.0) - 0.5).abs() < 1e-12);
+        assert_eq!(c.p_trip(750.0), 1.0);
+        assert_eq!(c.p_trip(1000.0), 1.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_nondecreasing() {
+        let c = paper_curve();
+        let mut last = -1.0;
+        for i in 0..=100 {
+            let p = c.p_trip(i as f64 * 10.0);
+            assert!(p >= last);
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let c = TripCurve::new(10.0, 20.0);
+        assert_eq!(c.n_min(), 10.0);
+        assert_eq!(c.n_max(), 20.0);
+        assert!((c.p_trip(15.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the game's solvers and equilibrium concepts.
+
+use proptest::prelude::*;
+
+use sprint_game::bellman::{self, BellmanMethod};
+use sprint_game::cooperative::analytic_throughput;
+use sprint_game::meanfield::MeanFieldSolver;
+use sprint_game::sprint_dist::SprintDistribution;
+use sprint_game::GameConfig;
+use sprint_workloads::Benchmark;
+
+fn arb_benchmark() -> impl Strategy<Value = Benchmark> {
+    prop::sample::select(Benchmark::ALL.to_vec())
+}
+
+fn arb_config() -> impl Strategy<Value = GameConfig> {
+    (
+        0.0f64..0.9,   // p_cooling
+        0.0f64..=1.0,  // p_recovery
+        0.5f64..0.995, // discount
+        10.0f64..400.0,
+        50.0f64..500.0,
+    )
+        .prop_map(|(pc, pr, d, n_min, width)| {
+            GameConfig::builder()
+                .p_cooling(pc)
+                .p_recovery(pr)
+                .discount(d)
+                .n_min(n_min)
+                .n_max(n_min + width)
+                .build()
+                .expect("generated parameters are in-domain")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bellman_solvers_agree(
+        b in arb_benchmark(),
+        p_trip in 0.0f64..=1.0,
+    ) {
+        let cfg = GameConfig::paper_defaults();
+        let d = b.utility_density(128).expect("valid bins");
+        let vi = bellman::solve_value_iteration(&cfg, &d, p_trip, 1e-11, 2_000_000)
+            .expect("value iteration converges");
+        let pi = bellman::solve_policy_iteration(&cfg, &d, p_trip, 1e-11, 10_000)
+            .expect("policy iteration converges");
+        prop_assert!(
+            (vi.threshold - pi.threshold).abs() < 1e-4,
+            "VI {} vs PI {}",
+            vi.threshold,
+            pi.threshold
+        );
+    }
+
+    #[test]
+    fn value_functions_scale_sensibly(cfg in arb_config(), b in arb_benchmark()) {
+        let d = b.utility_density(128).expect("valid bins");
+        let sol = bellman::solve(&cfg, &d, 0.1, BellmanMethod::PolicyIteration)
+            .expect("solver converges");
+        // Discounted utility streams are bounded by u_max/(1 − δ).
+        let bound = d.hi() / (1.0 - cfg.discount());
+        prop_assert!(sol.values.v_active <= bound + 1e-6);
+        prop_assert!(sol.values.v_active >= 0.0);
+        prop_assert!(sol.threshold >= 0.0 && sol.threshold <= d.hi());
+    }
+
+    #[test]
+    fn equilibrium_is_internally_consistent(b in arb_benchmark()) {
+        let cfg = GameConfig::paper_defaults();
+        let d = b.utility_density(256).expect("valid bins");
+        let eq = MeanFieldSolver::new(cfg).solve(&d).expect("equilibrium exists");
+        // Equations 9-10 recompose.
+        let dist = SprintDistribution::from_sprint_probability(&cfg, eq.sprint_probability())
+            .expect("valid probability");
+        prop_assert!((dist.expected_sprinters - eq.expected_sprinters()).abs() < 1e-6);
+        // The verification passes.
+        let check = eq.verify(&cfg, &d, 40).expect("verification runs");
+        prop_assert!(check.holds(1e-3), "{check:?}");
+    }
+
+    #[test]
+    fn threshold_monotone_in_cooling_persistence(b in arb_benchmark(), p_trip in 0.0f64..0.9) {
+        let d = b.utility_density(128).expect("valid bins");
+        let t_at = |pc: f64| {
+            let cfg = GameConfig::builder().p_cooling(pc).build().expect("valid");
+            bellman::solve(&cfg, &d, p_trip, BellmanMethod::PolicyIteration)
+                .expect("solver converges")
+                .threshold
+        };
+        prop_assert!(t_at(0.2) <= t_at(0.6) + 1e-6);
+        prop_assert!(t_at(0.6) <= t_at(0.9) + 1e-6);
+    }
+
+    #[test]
+    fn analytic_throughput_at_least_recovers_baseline(
+        cfg in arb_config(),
+        b in arb_benchmark(),
+    ) {
+        let d = b.utility_density(128).expect("valid bins");
+        // Never sprinting scores exactly 1; the cooperative optimum can
+        // only improve on it.
+        let never = analytic_throughput(&cfg, &d, d.hi() + 1.0).expect("valid threshold");
+        prop_assert!((never.tasks_per_epoch - 1.0).abs() < 1e-9);
+        let best = sprint_game::cooperative::CooperativeSearch::default_resolution()
+            .solve(&cfg, &d)
+            .expect("search succeeds");
+        prop_assert!(best.throughput.tasks_per_epoch >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn throughput_zero_only_under_infinite_recovery(
+        b in arb_benchmark(),
+        threshold in 0.0f64..4.0,
+    ) {
+        let cfg = GameConfig::builder().p_recovery(1.0).build().expect("valid");
+        let t = analytic_throughput(&cfg, &d_of(b), threshold).expect("valid threshold");
+        if t.p_trip > 0.0 {
+            prop_assert_eq!(t.tasks_per_epoch, 0.0);
+        } else {
+            prop_assert!(t.tasks_per_epoch >= 1.0 - 1e-9);
+        }
+    }
+}
+
+fn d_of(b: Benchmark) -> sprint_stats::density::DiscreteDensity {
+    b.utility_density(128).expect("valid bins")
+}

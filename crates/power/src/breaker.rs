@@ -1,0 +1,382 @@
+//! Circuit-breaker trip curves.
+//!
+//! Paper §2.2 and Figure 2: the rack's branch circuit is protected by a
+//! UL489-class thermal-magnetic breaker. In the long-delay region the trip
+//! time follows an `I²t` law, and manufacturing tolerance produces a
+//! *band*: below the band the breaker never trips, above it the breaker
+//! always trips, and inside it tripping is non-deterministic. For the
+//! paper's breakers, a 150-second overload is tolerated up to 125 % of
+//! rated current and always trips above 175 % — which, with sprinters
+//! drawing 2× nominal power, yields `N_min = 0.25 N` and `N_max = 0.75 N`
+//! (Figure 3).
+
+use crate::PowerError;
+
+/// Current multiple above which the instantaneous (magnetic) element trips
+/// regardless of the thermal element.
+const INSTANTANEOUS_MULTIPLE: f64 = 10.0;
+
+/// Trip time of the instantaneous element, seconds.
+const INSTANTANEOUS_TRIP_S: f64 = 0.01;
+
+/// Region of the trip curve a given (current, duration) point falls in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TripRegion {
+    /// Below the tolerance band: the breaker never trips.
+    NotTripped,
+    /// Inside the tolerance band: tripping is non-deterministic.
+    NonDeterministic,
+    /// Above the tolerance band: the breaker always trips.
+    Tripped,
+}
+
+impl std::fmt::Display for TripRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TripRegion::NotTripped => write!(f, "not-tripped"),
+            TripRegion::NonDeterministic => write!(f, "non-deterministic"),
+            TripRegion::Tripped => write!(f, "tripped"),
+        }
+    }
+}
+
+/// A thermal-magnetic breaker trip curve with a manufacturing tolerance
+/// band.
+///
+/// The long-delay thermal element trips after `t = k / (m² − 1)` seconds at
+/// current multiple `m` of rated current; `k` spans `[k_fast, k_slow]`
+/// across the tolerance band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TripCurve {
+    rated_current_a: f64,
+    /// `I²t` constant of the fastest-tripping unit in the band.
+    k_fast: f64,
+    /// `I²t` constant of the slowest-tripping unit in the band.
+    k_slow: f64,
+}
+
+impl TripCurve {
+    /// Create a trip curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for a non-positive rated
+    /// current, non-positive constants, or `k_fast >= k_slow`.
+    pub fn new(rated_current_a: f64, k_fast: f64, k_slow: f64) -> crate::Result<Self> {
+        if rated_current_a <= 0.0 || !rated_current_a.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "rated_current_a",
+                value: rated_current_a,
+                expected: "a positive finite rated current",
+            });
+        }
+        if k_fast <= 0.0 || !k_fast.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "k_fast",
+                value: k_fast,
+                expected: "a positive finite I²t constant",
+            });
+        }
+        if k_slow <= k_fast || !k_slow.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "k_slow",
+                value: k_slow,
+                expected: "a finite I²t constant greater than k_fast",
+            });
+        }
+        Ok(TripCurve {
+            rated_current_a,
+            k_fast,
+            k_slow,
+        })
+    }
+
+    /// A UL489-class breaker calibrated to the paper's operating point:
+    /// at a 150-second overload the tolerance band spans 125 %–175 % of
+    /// rated current (paper §2.2, Rockwell Bulletin 1489).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for a non-positive rated
+    /// current.
+    pub fn ul489(rated_current_a: f64) -> crate::Result<Self> {
+        // k such that the band edges fall at 1.25× and 1.75× for t = 150 s:
+        // k = t · (m² − 1).
+        let k_fast = 150.0 * (1.25f64 * 1.25 - 1.0); // 84.375
+        let k_slow = 150.0 * (1.75f64 * 1.75 - 1.0); // 309.375
+        TripCurve::new(rated_current_a, k_fast, k_slow)
+    }
+
+    /// Rated current in amperes.
+    #[must_use]
+    pub fn rated_current_a(&self) -> f64 {
+        self.rated_current_a
+    }
+
+    /// Fastest (band lower edge) trip time at current multiple `m`, or
+    /// `None` if that unit never trips at `m`.
+    #[must_use]
+    pub fn min_trip_time_s(&self, multiple: f64) -> Option<f64> {
+        self.trip_time_with_k(multiple, self.k_fast)
+    }
+
+    /// Slowest (band upper edge) trip time at current multiple `m`, or
+    /// `None` if no unit trips at `m`.
+    #[must_use]
+    pub fn max_trip_time_s(&self, multiple: f64) -> Option<f64> {
+        self.trip_time_with_k(multiple, self.k_slow)
+    }
+
+    fn trip_time_with_k(&self, multiple: f64, k: f64) -> Option<f64> {
+        if multiple <= 1.0 {
+            return None;
+        }
+        if multiple >= INSTANTANEOUS_MULTIPLE {
+            return Some(INSTANTANEOUS_TRIP_S);
+        }
+        Some(k / (multiple * multiple - 1.0))
+    }
+
+    /// Current multiple below which a sustained overload of `duration_s`
+    /// never trips (band lower edge).
+    #[must_use]
+    pub fn never_trip_multiple(&self, duration_s: f64) -> f64 {
+        (1.0 + self.k_fast / duration_s).sqrt()
+    }
+
+    /// Current multiple above which a sustained overload of `duration_s`
+    /// always trips (band upper edge).
+    #[must_use]
+    pub fn always_trip_multiple(&self, duration_s: f64) -> f64 {
+        (1.0 + self.k_slow / duration_s).sqrt()
+    }
+
+    /// Region for a sustained overload at `multiple` of rated current for
+    /// `duration_s`.
+    #[must_use]
+    pub fn region(&self, multiple: f64, duration_s: f64) -> TripRegion {
+        if multiple >= INSTANTANEOUS_MULTIPLE {
+            return TripRegion::Tripped;
+        }
+        if multiple < self.never_trip_multiple(duration_s) {
+            TripRegion::NotTripped
+        } else if multiple <= self.always_trip_multiple(duration_s) {
+            TripRegion::NonDeterministic
+        } else {
+            TripRegion::Tripped
+        }
+    }
+
+    /// Probability of tripping for a sustained overload at `multiple` of
+    /// rated current for `duration_s`, linear across the tolerance band —
+    /// the current-domain analogue of the paper's Equation 11.
+    #[must_use]
+    pub fn trip_probability(&self, multiple: f64, duration_s: f64) -> f64 {
+        let lo = self.never_trip_multiple(duration_s);
+        let hi = self.always_trip_multiple(duration_s);
+        if multiple >= INSTANTANEOUS_MULTIPLE {
+            return 1.0;
+        }
+        ((multiple - lo) / (hi - lo)).clamp(0.0, 1.0)
+    }
+}
+
+/// The sprinter counts at which a rack's breaker enters and exits its
+/// tolerance band (the paper's `N_min` and `N_max`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SprinterBand {
+    /// Sprinters below this never trip the breaker.
+    pub n_min: u32,
+    /// Sprinters above this always trip the breaker.
+    pub n_max: u32,
+}
+
+impl SprinterBand {
+    /// Derive the band for `n_chips` identical servers whose nominal and
+    /// sprint powers are given, on a breaker rated for the all-nominal
+    /// load, with sprints lasting `epoch_s`.
+    ///
+    /// Current is proportional to power at fixed line voltage, so the
+    /// current multiple with `n` sprinters is
+    /// `m(n) = 1 + n·(P_sprint − P_nominal) / (N·P_nominal)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] when `n_chips` is 0, when
+    /// `sprint_w <= nominal_w`, or for non-positive powers/durations.
+    pub fn derive(
+        curve: &TripCurve,
+        n_chips: u32,
+        nominal_w: f64,
+        sprint_w: f64,
+        epoch_s: f64,
+    ) -> crate::Result<Self> {
+        if n_chips == 0 {
+            return Err(PowerError::InvalidParameter {
+                name: "n_chips",
+                value: 0.0,
+                expected: "at least one chip",
+            });
+        }
+        if nominal_w <= 0.0 || !nominal_w.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "nominal_w",
+                value: nominal_w,
+                expected: "a positive finite nominal power",
+            });
+        }
+        if sprint_w <= nominal_w || !sprint_w.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "sprint_w",
+                value: sprint_w,
+                expected: "a finite sprint power above nominal",
+            });
+        }
+        if epoch_s <= 0.0 || !epoch_s.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "epoch_s",
+                value: epoch_s,
+                expected: "a positive finite sprint duration",
+            });
+        }
+        let n = f64::from(n_chips);
+        let extra_per_sprinter = (sprint_w - nominal_w) / (n * nominal_w);
+        let to_sprinters = |multiple: f64| -> u32 {
+            (((multiple - 1.0) / extra_per_sprinter).round().max(0.0) as u32).min(n_chips)
+        };
+        Ok(SprinterBand {
+            n_min: to_sprinters(curve.never_trip_multiple(epoch_s)),
+            n_max: to_sprinters(curve.always_trip_multiple(epoch_s)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ul489() -> TripCurve {
+        TripCurve::ul489(100.0).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(TripCurve::new(0.0, 1.0, 2.0).is_err());
+        assert!(TripCurve::new(10.0, 0.0, 2.0).is_err());
+        assert!(TripCurve::new(10.0, 2.0, 1.0).is_err());
+        assert!(TripCurve::ul489(-5.0).is_err());
+    }
+
+    #[test]
+    fn band_edges_at_150s_match_ul489_rating() {
+        let c = ul489();
+        assert!((c.never_trip_multiple(150.0) - 1.25).abs() < 1e-9);
+        assert!((c.always_trip_multiple(150.0) - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_trip_at_or_below_rated() {
+        let c = ul489();
+        assert_eq!(c.min_trip_time_s(1.0), None);
+        assert_eq!(c.max_trip_time_s(0.5), None);
+        assert_eq!(c.region(1.0, 1e9), TripRegion::NotTripped);
+        assert_eq!(c.trip_probability(1.0, 3600.0), 0.0);
+    }
+
+    #[test]
+    fn longer_overloads_trip_at_lower_currents() {
+        let c = ul489();
+        assert!(c.never_trip_multiple(600.0) < c.never_trip_multiple(150.0));
+        assert!(c.always_trip_multiple(600.0) < c.always_trip_multiple(150.0));
+    }
+
+    #[test]
+    fn short_circuit_always_trips_fast() {
+        let c = ul489();
+        assert_eq!(c.region(15.0, 0.001), TripRegion::Tripped);
+        assert_eq!(c.min_trip_time_s(12.0), Some(0.01));
+        assert_eq!(c.trip_probability(20.0, 0.001), 1.0);
+    }
+
+    #[test]
+    fn trip_probability_is_monotone_in_current() {
+        let c = ul489();
+        let mut last = -1.0;
+        for i in 0..50 {
+            let m = 1.0 + i as f64 * 0.05;
+            let p = c.trip_probability(m, 150.0);
+            assert!(p >= last, "P(trip) must not decrease with current");
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+    }
+
+    #[test]
+    fn trip_probability_band_interior() {
+        let c = ul489();
+        // Midpoint of the [1.25, 1.75] band at 150 s.
+        assert!((c.trip_probability(1.5, 150.0) - 0.5).abs() < 1e-9);
+        assert_eq!(c.region(1.5, 150.0), TripRegion::NonDeterministic);
+    }
+
+    #[test]
+    fn trip_time_follows_i2t() {
+        let c = ul489();
+        // t = k_fast / (m² − 1).
+        let t = c.min_trip_time_s(2.0).unwrap();
+        assert!((t - 84.375 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sprinter_band_reproduces_paper_quarters() {
+        // 1000 chips, sprinters draw exactly 2× nominal, breaker rated at
+        // the all-nominal load: N_min = 250, N_max = 750 (paper §2.2).
+        let c = ul489();
+        let band = SprinterBand::derive(&c, 1000, 100.0, 200.0, 150.0).unwrap();
+        assert_eq!(band.n_min, 250);
+        assert_eq!(band.n_max, 750);
+    }
+
+    #[test]
+    fn sprinter_band_scales_with_population() {
+        let c = ul489();
+        let band = SprinterBand::derive(&c, 400, 100.0, 200.0, 150.0).unwrap();
+        assert_eq!(band.n_min, 100);
+        assert_eq!(band.n_max, 300);
+    }
+
+    #[test]
+    fn hungrier_sprinters_shrink_the_band() {
+        let c = ul489();
+        // Sprinters drawing 3× nominal reach the band with fewer chips.
+        let band = SprinterBand::derive(&c, 1000, 100.0, 300.0, 150.0).unwrap();
+        assert_eq!(band.n_min, 125);
+        assert_eq!(band.n_max, 375);
+    }
+
+    #[test]
+    fn sprinter_band_validates() {
+        let c = ul489();
+        assert!(SprinterBand::derive(&c, 0, 100.0, 200.0, 150.0).is_err());
+        assert!(SprinterBand::derive(&c, 10, 100.0, 90.0, 150.0).is_err());
+        assert!(SprinterBand::derive(&c, 10, 0.0, 200.0, 150.0).is_err());
+        assert!(SprinterBand::derive(&c, 10, 100.0, 200.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn band_clamps_to_population() {
+        let c = ul489();
+        // Tiny sprint increments: even all chips sprinting stays under the
+        // band, so both limits clamp to N.
+        let band = SprinterBand::derive(&c, 10, 100.0, 100.1, 150.0).unwrap();
+        assert_eq!(band.n_min, 10);
+        assert_eq!(band.n_max, 10);
+    }
+
+    #[test]
+    fn region_display() {
+        assert_eq!(TripRegion::NotTripped.to_string(), "not-tripped");
+        assert_eq!(TripRegion::NonDeterministic.to_string(), "non-deterministic");
+        assert_eq!(TripRegion::Tripped.to_string(), "tripped");
+    }
+}

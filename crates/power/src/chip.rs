@@ -1,0 +1,362 @@
+//! Chip-multiprocessor power model.
+//!
+//! The paper's servers hold an Intel Xeon E5-2697 v2-class chip per agent:
+//! three cores at 1.2 GHz in normal mode, twelve cores at 2.7 GHz in a
+//! sprint (§3.1, §5). We model package power as uncore (constant) plus
+//! per-core dynamic power `C_eff · V² · f` scaled by a workload activity
+//! factor, and server power as package plus platform overhead (memory,
+//! fans, PSU losses). The calibrated defaults reproduce the paper's two
+//! operating facts:
+//!
+//! - a sprinting server draws ≈ 2× a non-sprinting server (§2.2), and
+//! - Figure 1's normalized power bars cluster around 1.5–1.9× depending on
+//!   workload activity.
+
+use crate::dvfs::{OperatingPoint, VoltageScaling};
+use crate::PowerError;
+
+/// Execution mode of a chip multiprocessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ExecutionMode {
+    /// Normal operation: a few cores at low frequency.
+    Nominal,
+    /// Sprint: all cores at maximum frequency.
+    Sprint,
+}
+
+impl ExecutionMode {
+    /// All execution modes, in escalation order.
+    pub const ALL: [ExecutionMode; 2] = [ExecutionMode::Nominal, ExecutionMode::Sprint];
+}
+
+impl std::fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionMode::Nominal => write!(f, "nominal"),
+            ExecutionMode::Sprint => write!(f, "sprint"),
+        }
+    }
+}
+
+/// Core count and operating point for one execution mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeConfig {
+    active_cores: u32,
+    point: OperatingPoint,
+}
+
+impl ModeConfig {
+    /// Create a mode configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] when `active_cores` is 0.
+    pub fn new(active_cores: u32, point: OperatingPoint) -> crate::Result<Self> {
+        if active_cores == 0 {
+            return Err(PowerError::InvalidParameter {
+                name: "active_cores",
+                value: 0.0,
+                expected: "at least one active core",
+            });
+        }
+        Ok(ModeConfig {
+            active_cores,
+            point,
+        })
+    }
+
+    /// Number of powered cores in this mode.
+    #[must_use]
+    pub fn active_cores(&self) -> u32 {
+        self.active_cores
+    }
+
+    /// DVFS operating point of this mode.
+    #[must_use]
+    pub fn point(&self) -> OperatingPoint {
+        self.point
+    }
+}
+
+/// Power model for one chip multiprocessor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipModel {
+    total_cores: u32,
+    nominal: ModeConfig,
+    sprint: ModeConfig,
+    /// Effective switching capacitance per core, W / (V²·GHz).
+    c_eff: f64,
+    /// Uncore + leakage power always drawn by the package, W.
+    uncore_w: f64,
+}
+
+impl ChipModel {
+    /// Create a chip model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] when either mode uses more
+    /// cores than `total_cores`, when the sprint mode is not strictly more
+    /// capable than nominal, or for non-positive `c_eff` / negative
+    /// `uncore_w`.
+    pub fn new(
+        total_cores: u32,
+        nominal: ModeConfig,
+        sprint: ModeConfig,
+        c_eff: f64,
+        uncore_w: f64,
+    ) -> crate::Result<Self> {
+        if nominal.active_cores > total_cores {
+            return Err(PowerError::InvalidParameter {
+                name: "nominal.active_cores",
+                value: f64::from(nominal.active_cores),
+                expected: "at most total_cores",
+            });
+        }
+        if sprint.active_cores > total_cores {
+            return Err(PowerError::InvalidParameter {
+                name: "sprint.active_cores",
+                value: f64::from(sprint.active_cores),
+                expected: "at most total_cores",
+            });
+        }
+        if sprint.active_cores <= nominal.active_cores
+            && sprint.point.frequency_ghz() <= nominal.point.frequency_ghz()
+        {
+            return Err(PowerError::InvalidParameter {
+                name: "sprint",
+                value: f64::from(sprint.active_cores),
+                expected: "a sprint mode with more cores or higher frequency than nominal",
+            });
+        }
+        if c_eff <= 0.0 || !c_eff.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "c_eff",
+                value: c_eff,
+                expected: "a positive finite capacitance factor",
+            });
+        }
+        if uncore_w < 0.0 || !uncore_w.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "uncore_w",
+                value: uncore_w,
+                expected: "a non-negative finite uncore power",
+            });
+        }
+        Ok(ChipModel {
+            total_cores,
+            nominal,
+            sprint,
+            c_eff,
+            uncore_w,
+        })
+    }
+
+    /// The paper's chip: 12-core Xeon E5-2697 v2-class package.
+    ///
+    /// Nominal = 3 cores at 1.2 GHz, sprint = 12 cores at 2.7 GHz, with the
+    /// [`VoltageScaling::xeon_e5_like`] V/f law. Calibrated so a sprint
+    /// draws ≈ 130 W at full activity (the real part's TDP) and a nominal
+    /// chip ≈ 35 W.
+    #[must_use]
+    pub fn xeon_e5_like() -> Self {
+        let law = VoltageScaling::xeon_e5_like();
+        let nominal = ModeConfig::new(3, law.point_at(1.2).expect("valid frequency"))
+            .expect("valid nominal mode");
+        let sprint = ModeConfig::new(12, law.point_at(2.7).expect("valid frequency"))
+            .expect("valid sprint mode");
+        ChipModel::new(12, nominal, sprint, 3.074, 30.0).expect("valid calibration")
+    }
+
+    /// Total physical cores on the package.
+    #[must_use]
+    pub fn total_cores(&self) -> u32 {
+        self.total_cores
+    }
+
+    /// Configuration for an execution mode.
+    #[must_use]
+    pub fn mode(&self, mode: ExecutionMode) -> ModeConfig {
+        match mode {
+            ExecutionMode::Nominal => self.nominal,
+            ExecutionMode::Sprint => self.sprint,
+        }
+    }
+
+    /// Package power in watts at full workload activity.
+    #[must_use]
+    pub fn power_w(&self, mode: ExecutionMode) -> f64 {
+        self.power_w_with_activity(mode, 1.0)
+    }
+
+    /// Package power in watts with a workload activity factor in `[0, 1]`
+    /// scaling the dynamic component (memory-bound workloads switch less).
+    #[must_use]
+    pub fn power_w_with_activity(&self, mode: ExecutionMode, activity: f64) -> f64 {
+        let cfg = self.mode(mode);
+        let activity = activity.clamp(0.0, 1.0);
+        self.uncore_w
+            + f64::from(cfg.active_cores) * self.c_eff * cfg.point.dynamic_scale() * activity
+    }
+
+    /// Ratio of sprint to nominal package power at equal activity.
+    #[must_use]
+    pub fn sprint_power_ratio(&self) -> f64 {
+        self.power_w(ExecutionMode::Sprint) / self.power_w(ExecutionMode::Nominal)
+    }
+}
+
+/// Power model for one server: a chip plus platform overhead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerModel {
+    chip: ChipModel,
+    /// Memory, storage, fans, VRM and PSU losses, W.
+    platform_w: f64,
+}
+
+impl ServerModel {
+    /// Create a server model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for negative platform
+    /// power.
+    pub fn new(chip: ChipModel, platform_w: f64) -> crate::Result<Self> {
+        if platform_w < 0.0 || !platform_w.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "platform_w",
+                value: platform_w,
+                expected: "a non-negative finite platform power",
+            });
+        }
+        Ok(ServerModel { chip, platform_w })
+    }
+
+    /// The paper's server class: one agent's chip plus 58.75 W of platform
+    /// overhead, which lands the sprint : nominal server power ratio at
+    /// 2.0× — the "twice as much power" operating point of §2.2 that the
+    /// breaker sizing depends on.
+    #[must_use]
+    pub fn paper_server() -> Self {
+        ServerModel::new(ChipModel::xeon_e5_like(), 58.75).expect("valid calibration")
+    }
+
+    /// The chip inside this server.
+    #[must_use]
+    pub fn chip(&self) -> &ChipModel {
+        &self.chip
+    }
+
+    /// Server wall power in watts at full activity.
+    #[must_use]
+    pub fn power_w(&self, mode: ExecutionMode) -> f64 {
+        self.platform_w + self.chip.power_w(mode)
+    }
+
+    /// Server wall power with a workload activity factor.
+    #[must_use]
+    pub fn power_w_with_activity(&self, mode: ExecutionMode, activity: f64) -> f64 {
+        self.platform_w + self.chip.power_w_with_activity(mode, activity)
+    }
+
+    /// Ratio of sprinting to nominal server power at equal activity —
+    /// the quantity the breaker sizing in §2.2 calls "twice as much power".
+    #[must_use]
+    pub fn sprint_power_ratio(&self) -> f64 {
+        self.power_w(ExecutionMode::Sprint) / self.power_w(ExecutionMode::Nominal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_config_validates() {
+        let p = OperatingPoint::new(1.0, 0.8).unwrap();
+        assert!(ModeConfig::new(0, p).is_err());
+        assert!(ModeConfig::new(4, p).is_ok());
+    }
+
+    #[test]
+    fn chip_model_validates() {
+        let law = VoltageScaling::xeon_e5_like();
+        let lo = ModeConfig::new(3, law.point_at(1.2).unwrap()).unwrap();
+        let hi = ModeConfig::new(12, law.point_at(2.7).unwrap()).unwrap();
+        // Too many cores.
+        assert!(ChipModel::new(8, lo, hi, 3.0, 30.0).is_err());
+        // Sprint not more capable.
+        assert!(ChipModel::new(12, hi, lo, 3.0, 30.0).is_err());
+        // Bad constants.
+        assert!(ChipModel::new(12, lo, hi, 0.0, 30.0).is_err());
+        assert!(ChipModel::new(12, lo, hi, 3.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn paper_chip_power_calibration() {
+        let chip = ChipModel::xeon_e5_like();
+        let sprint = chip.power_w(ExecutionMode::Sprint);
+        let nominal = chip.power_w(ExecutionMode::Nominal);
+        // Sprint lands near the real part's 130 W TDP.
+        assert!((125.0..=135.0).contains(&sprint), "sprint = {sprint}");
+        assert!((30.0..=40.0).contains(&nominal), "nominal = {nominal}");
+    }
+
+    #[test]
+    fn paper_server_draws_about_twice_when_sprinting() {
+        let server = ServerModel::paper_server();
+        let ratio = server.sprint_power_ratio();
+        assert!(
+            (1.8..=2.1).contains(&ratio),
+            "server sprint ratio = {ratio}, expected ≈2× per paper §2.2"
+        );
+    }
+
+    #[test]
+    fn activity_scales_only_dynamic_power() {
+        let chip = ChipModel::xeon_e5_like();
+        let idle = chip.power_w_with_activity(ExecutionMode::Sprint, 0.0);
+        let full = chip.power_w_with_activity(ExecutionMode::Sprint, 1.0);
+        assert!((idle - 30.0).abs() < 1e-9, "idle power is uncore only");
+        assert!(full > idle);
+        // Out-of-range activity is clamped, not extrapolated.
+        assert_eq!(chip.power_w_with_activity(ExecutionMode::Sprint, 2.0), full);
+        assert_eq!(chip.power_w_with_activity(ExecutionMode::Sprint, -1.0), idle);
+    }
+
+    #[test]
+    fn lower_activity_narrows_power_ratio() {
+        // Memory-bound workloads (low activity) show smaller normalized
+        // power in Figure 1; the model must reproduce that trend.
+        let server = ServerModel::paper_server();
+        let ratio_full = server.power_w_with_activity(ExecutionMode::Sprint, 1.0)
+            / server.power_w_with_activity(ExecutionMode::Nominal, 1.0);
+        let ratio_low = server.power_w_with_activity(ExecutionMode::Sprint, 0.5)
+            / server.power_w_with_activity(ExecutionMode::Nominal, 0.5);
+        assert!(ratio_low < ratio_full);
+        assert!(ratio_low > 1.0);
+    }
+
+    #[test]
+    fn mode_accessors() {
+        let chip = ChipModel::xeon_e5_like();
+        assert_eq!(chip.mode(ExecutionMode::Nominal).active_cores(), 3);
+        assert_eq!(chip.mode(ExecutionMode::Sprint).active_cores(), 12);
+        assert_eq!(chip.total_cores(), 12);
+        assert_eq!(
+            chip.mode(ExecutionMode::Sprint).point().frequency_ghz(),
+            2.7
+        );
+    }
+
+    #[test]
+    fn display_modes() {
+        assert_eq!(ExecutionMode::Nominal.to_string(), "nominal");
+        assert_eq!(ExecutionMode::Sprint.to_string(), "sprint");
+    }
+
+    #[test]
+    fn server_model_validates() {
+        assert!(ServerModel::new(ChipModel::xeon_e5_like(), -5.0).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Voltage/frequency operating points.
+//!
+//! Sprints raise both core count and clock rate (paper §3.1: three cores at
+//! 1.2 GHz in normal mode, twelve at 2.7 GHz in a sprint). Dynamic power
+//! scales as `V²·f`, so the voltage required at each frequency is the other
+//! half of the power model.
+
+use crate::PowerError;
+
+/// A DVFS operating point: a frequency and the voltage required to sustain
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    frequency_ghz: f64,
+    voltage_v: f64,
+}
+
+impl OperatingPoint {
+    /// Create an operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for non-positive frequency
+    /// or voltage.
+    pub fn new(frequency_ghz: f64, voltage_v: f64) -> crate::Result<Self> {
+        if frequency_ghz <= 0.0 || !frequency_ghz.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "frequency_ghz",
+                value: frequency_ghz,
+                expected: "a positive finite frequency in GHz",
+            });
+        }
+        if voltage_v <= 0.0 || !voltage_v.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "voltage_v",
+                value: voltage_v,
+                expected: "a positive finite voltage in volts",
+            });
+        }
+        Ok(OperatingPoint {
+            frequency_ghz,
+            voltage_v,
+        })
+    }
+
+    /// Clock frequency in GHz.
+    #[must_use]
+    pub fn frequency_ghz(&self) -> f64 {
+        self.frequency_ghz
+    }
+
+    /// Supply voltage in volts.
+    #[must_use]
+    pub fn voltage_v(&self) -> f64 {
+        self.voltage_v
+    }
+
+    /// Dynamic-power scale factor `V²·f` of this point, in V²·GHz.
+    ///
+    /// Per-core dynamic power is `C_eff · V² · f`; this method exposes the
+    /// `V²·f` part so callers can compare points without fixing `C_eff`.
+    #[must_use]
+    pub fn dynamic_scale(&self) -> f64 {
+        self.voltage_v * self.voltage_v * self.frequency_ghz
+    }
+}
+
+/// Linear voltage/frequency law `V(f) = v0 + slope · f`, the standard
+/// first-order DVFS model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageScaling {
+    v0: f64,
+    slope_v_per_ghz: f64,
+}
+
+impl VoltageScaling {
+    /// Create a linear V/f law.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for a non-positive base
+    /// voltage or negative slope.
+    pub fn new(v0: f64, slope_v_per_ghz: f64) -> crate::Result<Self> {
+        if v0 <= 0.0 || !v0.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "v0",
+                value: v0,
+                expected: "a positive finite base voltage",
+            });
+        }
+        if slope_v_per_ghz < 0.0 || !slope_v_per_ghz.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "slope_v_per_ghz",
+                value: slope_v_per_ghz,
+                expected: "a non-negative finite slope",
+            });
+        }
+        Ok(VoltageScaling { v0, slope_v_per_ghz })
+    }
+
+    /// V/f law calibrated to the paper's Xeon E5-2697 v2-class part:
+    /// ≈ 0.70 V at 1.2 GHz and ≈ 1.00 V at 2.7 GHz.
+    #[must_use]
+    pub fn xeon_e5_like() -> Self {
+        VoltageScaling {
+            v0: 0.46,
+            slope_v_per_ghz: 0.2,
+        }
+    }
+
+    /// Operating point at frequency `f` under this law.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for a non-positive
+    /// frequency.
+    pub fn point_at(&self, frequency_ghz: f64) -> crate::Result<OperatingPoint> {
+        OperatingPoint::new(frequency_ghz, self.v0 + self.slope_v_per_ghz * frequency_ghz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_points() {
+        assert!(OperatingPoint::new(0.0, 1.0).is_err());
+        assert!(OperatingPoint::new(1.0, 0.0).is_err());
+        assert!(OperatingPoint::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn dynamic_scale_grows_superlinearly_with_frequency() {
+        let law = VoltageScaling::xeon_e5_like();
+        let slow = law.point_at(1.2).unwrap();
+        let fast = law.point_at(2.7).unwrap();
+        let freq_ratio = 2.7 / 1.2;
+        let power_ratio = fast.dynamic_scale() / slow.dynamic_scale();
+        // Because voltage also rises, per-core power grows faster than f.
+        assert!(power_ratio > freq_ratio);
+    }
+
+    #[test]
+    fn xeon_law_matches_calibration_points() {
+        let law = VoltageScaling::xeon_e5_like();
+        assert!((law.point_at(1.2).unwrap().voltage_v() - 0.70).abs() < 1e-12);
+        assert!((law.point_at(2.7).unwrap().voltage_v() - 1.00).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_scaling_validates() {
+        assert!(VoltageScaling::new(0.0, 0.1).is_err());
+        assert!(VoltageScaling::new(0.5, -0.1).is_err());
+        assert!(VoltageScaling::new(0.5, 0.0).is_ok());
+    }
+
+    #[test]
+    fn point_accessors() {
+        let p = OperatingPoint::new(2.0, 0.9).unwrap();
+        assert_eq!(p.frequency_ghz(), 2.0);
+        assert_eq!(p.voltage_v(), 0.9);
+        assert!((p.dynamic_scale() - 0.81 * 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when a physical model is configured outside its valid
+/// operating envelope.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A model parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+        /// Human-readable description of the valid domain.
+        expected: &'static str,
+    },
+    /// A transient simulation failed to reach the queried event
+    /// (e.g. the chip never overheats because the sprint is sustainable).
+    NoEvent {
+        /// Description of the event that was not reached.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "parameter `{name}` = {value} is invalid: expected {expected}"),
+            PowerError::NoEvent { what } => {
+                write!(f, "simulation never reached event: {what}")
+            }
+        }
+    }
+}
+
+impl Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = PowerError::InvalidParameter {
+            name: "mass",
+            value: -1.0,
+            expected: "a positive mass in kg",
+        };
+        assert!(e.to_string().contains("mass"));
+        let e = PowerError::NoEvent { what: "melt onset" };
+        assert!(e.to_string().contains("melt onset"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<PowerError>();
+    }
+}

@@ -1,0 +1,52 @@
+//! Physical substrate for the computational sprinting game.
+//!
+//! The paper's sprinting architecture (§2) rests on four physical systems:
+//! chip multiprocessors that sprint by activating cores and raising
+//! frequency, phase-change-material heat sinks that bound sprint duration,
+//! rack circuit breakers whose trip curves bound the number of simultaneous
+//! sprinters, and UPS batteries whose recharge time bounds recovery. The
+//! paper measured real hardware (Xeon E5-2697 v2, paraffin wax, UL489
+//! breakers, lead-acid UPS); this crate simulates each from first
+//! principles and reproduces the paper's operating points:
+//!
+//! | Paper quantity | Paper value | Produced by |
+//! |---|---|---|
+//! | sprint : nominal power | ≈ 2× | [`chip`] |
+//! | sprint duration | ≈ 150 s | [`thermal`] + [`pcm`] |
+//! | cooling duration | ≈ 300 s → `p_c = 0.5` | [`thermal`] |
+//! | `N_min`, `N_max` | 0.25 N, 0.75 N | [`breaker`] |
+//! | recovery duration | ≈ 8–10 epochs → `p_r ≈ 0.88` | [`ups`] |
+//!
+//! [`rack`] assembles the pieces and derives the game parameters of the
+//! paper's Table 2.
+//!
+//! # Example
+//!
+//! Derive Table 2 from physics instead of assuming it:
+//!
+//! ```
+//! use sprint_power::rack::RackConfig;
+//!
+//! let rack = RackConfig::paper_rack(1000);
+//! let params = rack.derive_game_parameters();
+//! assert_eq!(params.n_min, 250);
+//! assert_eq!(params.n_max, 750);
+//! assert!((params.p_cooling - 0.5).abs() < 0.1);
+//! assert!((params.p_recovery - 0.88).abs() < 0.02);
+//! ```
+
+pub mod breaker;
+pub mod chip;
+pub mod dvfs;
+pub mod network;
+pub mod pcm;
+pub mod rack;
+pub mod thermal;
+pub mod ups;
+
+mod error;
+
+pub use error::PowerError;
+
+/// Convenience result alias for fallible model construction.
+pub type Result<T> = std::result::Result<T, PowerError>;

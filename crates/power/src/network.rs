@@ -1,0 +1,359 @@
+//! General thermal RC networks.
+//!
+//! The lumped two-node model in [`crate::thermal`] is a deliberate
+//! simplification; real packages are multi-node networks (die, heat
+//! spreader, PCM charge, sink fins, ambient — the "thermal-RC modeling"
+//! the paper's dynamic-thermal-management references build on). This
+//! module implements the general case: `N` capacitive nodes joined by
+//! thermal conductances, with heat injected at any node and an ambient
+//! boundary, integrated explicitly or solved for steady state. A unit
+//! test validates the lumped model against a finer discretization.
+
+use sprint_stats::linalg::solve_linear;
+
+use crate::PowerError;
+
+/// A node in the network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalNode {
+    name: String,
+    /// Heat capacitance, J/K. Zero-capacitance nodes are not allowed
+    /// (fold them into an edge conductance instead).
+    capacitance_j_per_k: f64,
+}
+
+/// An edge between two nodes (or a node and ambient).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Edge {
+    a: usize,
+    /// `None` couples node `a` to ambient.
+    b: Option<usize>,
+    conductance_w_per_k: f64,
+}
+
+/// A thermal RC network with an ambient boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalNetwork {
+    nodes: Vec<ThermalNode>,
+    edges: Vec<Edge>,
+    ambient_c: f64,
+}
+
+impl ThermalNetwork {
+    /// Create an empty network at the given ambient temperature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for a non-finite ambient.
+    pub fn new(ambient_c: f64) -> crate::Result<Self> {
+        if !ambient_c.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "ambient_c",
+                value: ambient_c,
+                expected: "a finite ambient temperature",
+            });
+        }
+        Ok(ThermalNetwork {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            ambient_c,
+        })
+    }
+
+    /// Add a node; returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for non-positive
+    /// capacitance.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        capacitance_j_per_k: f64,
+    ) -> crate::Result<usize> {
+        if capacitance_j_per_k <= 0.0 || !capacitance_j_per_k.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "capacitance_j_per_k",
+                value: capacitance_j_per_k,
+                expected: "a positive finite capacitance",
+            });
+        }
+        self.nodes.push(ThermalNode {
+            name: name.into(),
+            capacitance_j_per_k,
+        });
+        Ok(self.nodes.len() - 1)
+    }
+
+    /// Connect two nodes with a thermal resistance (K/W).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for invalid indices, a
+    /// self-edge, or non-positive resistance.
+    pub fn connect(&mut self, a: usize, b: usize, resistance_k_per_w: f64) -> crate::Result<()> {
+        if a >= self.nodes.len() || b >= self.nodes.len() || a == b {
+            return Err(PowerError::InvalidParameter {
+                name: "a",
+                value: a as f64,
+                expected: "two distinct existing node indices",
+            });
+        }
+        self.push_edge(a, Some(b), resistance_k_per_w)
+    }
+
+    /// Connect a node to ambient with a thermal resistance (K/W).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for an invalid index or
+    /// non-positive resistance.
+    pub fn connect_ambient(&mut self, a: usize, resistance_k_per_w: f64) -> crate::Result<()> {
+        if a >= self.nodes.len() {
+            return Err(PowerError::InvalidParameter {
+                name: "a",
+                value: a as f64,
+                expected: "an existing node index",
+            });
+        }
+        self.push_edge(a, None, resistance_k_per_w)
+    }
+
+    fn push_edge(&mut self, a: usize, b: Option<usize>, r: f64) -> crate::Result<()> {
+        if r <= 0.0 || !r.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "resistance_k_per_w",
+                value: r,
+                expected: "a positive finite thermal resistance",
+            });
+        }
+        self.edges.push(Edge {
+            a,
+            b,
+            conductance_w_per_k: 1.0 / r,
+        });
+        Ok(())
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the network has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node name by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn node_name(&self, i: usize) -> &str {
+        &self.nodes[i].name
+    }
+
+    /// Net heat flow into each node for the given temperatures and power
+    /// injections, watts.
+    fn heat_flows(&self, temps: &[f64], injections: &[f64]) -> Vec<f64> {
+        let mut q = injections.to_vec();
+        for e in &self.edges {
+            let tb = e.b.map_or(self.ambient_c, |b| temps[b]);
+            let flow = e.conductance_w_per_k * (temps[e.a] - tb);
+            q[e.a] -= flow;
+            if let Some(b) = e.b {
+                q[b] += flow;
+            }
+        }
+        q
+    }
+
+    /// Advance node temperatures by `dt` seconds under constant power
+    /// injections (explicit Euler).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] when slice lengths do not
+    /// match the node count.
+    pub fn step(
+        &self,
+        temps: &mut [f64],
+        injections_w: &[f64],
+        dt: f64,
+    ) -> crate::Result<()> {
+        if temps.len() != self.nodes.len() || injections_w.len() != self.nodes.len() {
+            return Err(PowerError::InvalidParameter {
+                name: "temps",
+                value: temps.len() as f64,
+                expected: "one temperature and injection per node",
+            });
+        }
+        let q = self.heat_flows(temps, injections_w);
+        for ((t, node), q_i) in temps.iter_mut().zip(&self.nodes).zip(q) {
+            *t += q_i * dt / node.capacitance_j_per_k;
+        }
+        Ok(())
+    }
+
+    /// Steady-state node temperatures under constant power injections,
+    /// via the conductance-matrix linear solve `G T = Q + G_amb T_amb`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for a wrong-length
+    /// injection slice and [`PowerError::NoEvent`] when the network has no
+    /// path to ambient (no steady state exists).
+    pub fn steady_state(&self, injections_w: &[f64]) -> crate::Result<Vec<f64>> {
+        let n = self.nodes.len();
+        if injections_w.len() != n {
+            return Err(PowerError::InvalidParameter {
+                name: "injections_w",
+                value: injections_w.len() as f64,
+                expected: "one injection per node",
+            });
+        }
+        let mut g = vec![vec![0.0f64; n]; n];
+        let mut rhs = injections_w.to_vec();
+        for e in &self.edges {
+            g[e.a][e.a] += e.conductance_w_per_k;
+            match e.b {
+                Some(b) => {
+                    g[b][b] += e.conductance_w_per_k;
+                    g[e.a][b] -= e.conductance_w_per_k;
+                    g[b][e.a] -= e.conductance_w_per_k;
+                }
+                None => rhs[e.a] += e.conductance_w_per_k * self.ambient_c,
+            }
+        }
+        solve_linear(g, rhs).map_err(|_| PowerError::NoEvent {
+            what: "steady state (network has no conductive path to ambient)",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thermal::ThermalPackage;
+
+    fn two_node() -> (ThermalNetwork, usize, usize) {
+        let mut net = ThermalNetwork::new(25.0).unwrap();
+        let die = net.add_node("die", 20.0).unwrap();
+        let sink = net.add_node("sink", 240.0).unwrap();
+        net.connect(die, sink, 0.05).unwrap();
+        net.connect_ambient(sink, 0.30).unwrap();
+        (net, die, sink)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(ThermalNetwork::new(f64::NAN).is_err());
+        let mut net = ThermalNetwork::new(25.0).unwrap();
+        assert!(net.add_node("x", 0.0).is_err());
+        let a = net.add_node("a", 1.0).unwrap();
+        assert!(net.connect(a, a, 0.1).is_err());
+        assert!(net.connect(a, 99, 0.1).is_err());
+        assert!(net.connect_ambient(99, 0.1).is_err());
+        assert!(net.connect_ambient(a, -0.1).is_err());
+        assert_eq!(net.node_name(a), "a");
+        assert_eq!(net.len(), 1);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn steady_state_matches_series_resistance() {
+        // Die dissipating P through R_die-sink + R_sink-ambient in series:
+        // T_die = T_amb + P (R1 + R2), T_sink = T_amb + P R2.
+        let (net, die, sink) = two_node();
+        let mut inj = vec![0.0; 2];
+        inj[die] = 100.0;
+        let t = net.steady_state(&inj).unwrap();
+        assert!((t[sink] - (25.0 + 100.0 * 0.30)).abs() < 1e-9);
+        assert!((t[die] - (25.0 + 100.0 * 0.35)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transient_approaches_steady_state() {
+        let (net, die, _) = two_node();
+        let mut inj = vec![0.0; 2];
+        inj[die] = 50.0;
+        let steady = net.steady_state(&inj).unwrap();
+        let mut temps = vec![25.0; 2];
+        for _ in 0..400_000 {
+            net.step(&mut temps, &inj, 0.01).unwrap();
+        }
+        for (sim, exact) in temps.iter().zip(&steady) {
+            assert!((sim - exact).abs() < 0.01, "{sim} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn floating_network_has_no_steady_state() {
+        let mut net = ThermalNetwork::new(25.0).unwrap();
+        let a = net.add_node("a", 1.0).unwrap();
+        let b = net.add_node("b", 1.0).unwrap();
+        net.connect(a, b, 0.1).unwrap();
+        assert!(matches!(
+            net.steady_state(&[1.0, 0.0]),
+            Err(PowerError::NoEvent { .. })
+        ));
+    }
+
+    #[test]
+    fn energy_is_conserved_internally() {
+        // With no ambient path, total thermal energy only grows by the
+        // injected power.
+        let mut net = ThermalNetwork::new(25.0).unwrap();
+        let a = net.add_node("a", 10.0).unwrap();
+        let b = net.add_node("b", 30.0).unwrap();
+        net.connect(a, b, 0.2).unwrap();
+        let mut temps = vec![25.0, 25.0];
+        let inj = vec![8.0, 0.0];
+        let energy = |t: &[f64]| 10.0 * t[0] + 30.0 * t[1];
+        let e0 = energy(&temps);
+        let steps = 1000;
+        for _ in 0..steps {
+            net.step(&mut temps, &inj, 0.05).unwrap();
+        }
+        let injected = 8.0 * 0.05 * steps as f64;
+        assert!((energy(&temps) - e0 - injected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn finer_discretization_validates_the_lumped_package() {
+        // Five-node refinement of the paper package (die, spreader, two
+        // PCM shells, fin) with the same end-to-end resistances and total
+        // capacitance: its steady junction temperature under nominal
+        // power must match the lumped model within a kelvin.
+        let lumped = ThermalPackage::paper_package();
+        let nominal_w = 35.4;
+        let lumped_junction = lumped.nominal_junction_c(nominal_w).unwrap();
+
+        let mut net = ThermalNetwork::new(25.0).unwrap();
+        let die = net.add_node("die", 15.0).unwrap();
+        let spreader = net.add_node("spreader", 60.0).unwrap();
+        let pcm_inner = net.add_node("pcm-inner", 80.0).unwrap();
+        let pcm_outer = net.add_node("pcm-outer", 80.0).unwrap();
+        let fin = net.add_node("fin", 7.5).unwrap();
+        // Split R_jp = 0.05 across die->spreader->pcm, and R_pa = 0.30
+        // across pcm->fin->ambient.
+        net.connect(die, spreader, 0.03).unwrap();
+        net.connect(spreader, pcm_inner, 0.02).unwrap();
+        net.connect(pcm_inner, pcm_outer, 0.10).unwrap();
+        net.connect(pcm_outer, fin, 0.10).unwrap();
+        net.connect_ambient(fin, 0.10).unwrap();
+        let mut inj = vec![0.0; 5];
+        inj[die] = nominal_w;
+        let t = net.steady_state(&inj).unwrap();
+        assert!(
+            (t[die] - lumped_junction).abs() < 1.0,
+            "network {} vs lumped {}",
+            t[die],
+            lumped_junction
+        );
+    }
+}

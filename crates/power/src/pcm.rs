@@ -1,0 +1,186 @@
+//! Phase-change materials for sprinting heat sinks.
+//!
+//! Paper §2.1: expensive heat sinks employ phase change materials to
+//! increase thermal capacitance; the paper's architecture uses paraffin
+//! wax, "attractive for its high thermal capacitance and tunable melting
+//! point when blended with polyolefins", enabling sprints on the order of
+//! 150 seconds with ~300 second cooling.
+
+use crate::PowerError;
+
+/// Bulk properties of a phase-change material.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseChangeMaterial {
+    name: String,
+    melt_point_c: f64,
+    latent_heat_j_per_kg: f64,
+    specific_heat_j_per_kg_k: f64,
+}
+
+impl PhaseChangeMaterial {
+    /// Create a material.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for non-positive latent or
+    /// specific heat, or a non-finite melting point.
+    pub fn new(
+        name: impl Into<String>,
+        melt_point_c: f64,
+        latent_heat_j_per_kg: f64,
+        specific_heat_j_per_kg_k: f64,
+    ) -> crate::Result<Self> {
+        if !melt_point_c.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "melt_point_c",
+                value: melt_point_c,
+                expected: "a finite melting point in °C",
+            });
+        }
+        if latent_heat_j_per_kg <= 0.0 || !latent_heat_j_per_kg.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "latent_heat_j_per_kg",
+                value: latent_heat_j_per_kg,
+                expected: "a positive finite latent heat",
+            });
+        }
+        if specific_heat_j_per_kg_k <= 0.0 || !specific_heat_j_per_kg_k.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "specific_heat_j_per_kg_k",
+                value: specific_heat_j_per_kg_k,
+                expected: "a positive finite specific heat",
+            });
+        }
+        Ok(PhaseChangeMaterial {
+            name: name.into(),
+            melt_point_c,
+            latent_heat_j_per_kg,
+            specific_heat_j_per_kg_k,
+        })
+    }
+
+    /// Paraffin wax blended with polyolefins, melting point tuned to 45 °C
+    /// (tunable when blended with polyolefins, per the paper's PCM
+    /// reference); latent heat ≈ 200 kJ/kg.
+    #[must_use]
+    pub fn paraffin_wax() -> Self {
+        PhaseChangeMaterial::new("paraffin wax (polyolefin blend)", 45.0, 200_000.0, 2_500.0)
+            .expect("valid paraffin constants")
+    }
+
+    /// Material name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Melting point in °C.
+    #[must_use]
+    pub fn melt_point_c(&self) -> f64 {
+        self.melt_point_c
+    }
+
+    /// Latent heat of fusion in J/kg.
+    #[must_use]
+    pub fn latent_heat_j_per_kg(&self) -> f64 {
+        self.latent_heat_j_per_kg
+    }
+
+    /// Specific heat in J/(kg·K).
+    #[must_use]
+    pub fn specific_heat_j_per_kg_k(&self) -> f64 {
+        self.specific_heat_j_per_kg_k
+    }
+}
+
+/// A heat sink charged with a specific mass of PCM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcmHeatSink {
+    material: PhaseChangeMaterial,
+    mass_kg: f64,
+}
+
+impl PcmHeatSink {
+    /// Create a heat sink with `mass_kg` of `material`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for non-positive mass.
+    pub fn new(material: PhaseChangeMaterial, mass_kg: f64) -> crate::Result<Self> {
+        if mass_kg <= 0.0 || !mass_kg.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "mass_kg",
+                value: mass_kg,
+                expected: "a positive finite mass in kg",
+            });
+        }
+        Ok(PcmHeatSink { material, mass_kg })
+    }
+
+    /// The paper-calibrated sink: 37 g of paraffin wax, sized so a
+    /// sprinting chip melts it in ≈ 150 s.
+    #[must_use]
+    pub fn paper_sink() -> Self {
+        PcmHeatSink::new(PhaseChangeMaterial::paraffin_wax(), 0.037).expect("valid mass")
+    }
+
+    /// The material in this sink.
+    #[must_use]
+    pub fn material(&self) -> &PhaseChangeMaterial {
+        &self.material
+    }
+
+    /// PCM mass in kg.
+    #[must_use]
+    pub fn mass_kg(&self) -> f64 {
+        self.mass_kg
+    }
+
+    /// Total latent-heat budget in joules: energy absorbed between fully
+    /// solid and fully molten.
+    #[must_use]
+    pub fn latent_budget_j(&self) -> f64 {
+        self.mass_kg * self.material.latent_heat_j_per_kg
+    }
+
+    /// Sensible heat capacitance of the charge in J/K.
+    #[must_use]
+    pub fn sensible_capacitance_j_per_k(&self) -> f64 {
+        self.mass_kg * self.material.specific_heat_j_per_kg_k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn material_validation() {
+        assert!(PhaseChangeMaterial::new("x", f64::NAN, 1.0, 1.0).is_err());
+        assert!(PhaseChangeMaterial::new("x", 45.0, 0.0, 1.0).is_err());
+        assert!(PhaseChangeMaterial::new("x", 45.0, 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn paraffin_constants() {
+        let wax = PhaseChangeMaterial::paraffin_wax();
+        assert_eq!(wax.melt_point_c(), 45.0);
+        assert_eq!(wax.latent_heat_j_per_kg(), 200_000.0);
+        assert!(wax.name().contains("paraffin"));
+    }
+
+    #[test]
+    fn sink_budgets() {
+        let sink = PcmHeatSink::paper_sink();
+        // 37 g at 200 kJ/kg = 7.4 kJ of latent budget.
+        assert!((sink.latent_budget_j() - 7_400.0).abs() < 1.0);
+        assert!((sink.sensible_capacitance_j_per_k() - 92.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn sink_rejects_bad_mass() {
+        let wax = PhaseChangeMaterial::paraffin_wax();
+        assert!(PcmHeatSink::new(wax.clone(), 0.0).is_err());
+        assert!(PcmHeatSink::new(wax, -0.1).is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! Rack assembly: servers, breaker, UPS — and the derived game parameters.
+//!
+//! The sprinting game is parameterized by `N_min`, `N_max`, `p_c`, `p_r`,
+//! and the epoch length (paper Table 2). Rather than assuming those values,
+//! [`RackConfig::derive_game_parameters`] computes them from the physical
+//! models: the thermal package yields the sprint/cooling durations, the
+//! breaker's trip curve yields the sprinter band, and the UPS recharge
+//! profile yields recovery persistence.
+
+use crate::breaker::{SprinterBand, TripCurve};
+use crate::chip::{ExecutionMode, ServerModel};
+use crate::thermal::{SprintEnvelope, ThermalPackage};
+use crate::ups::UpsBattery;
+use crate::PowerError;
+
+/// Nominal branch-circuit voltage used to convert power to current.
+const LINE_VOLTAGE_V: f64 = 230.0;
+
+/// A rack of identical sprinting servers behind one breaker and one UPS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RackConfig {
+    n_servers: u32,
+    server: ServerModel,
+    package: ThermalPackage,
+    breaker: TripCurve,
+    ups: UpsBattery,
+}
+
+impl RackConfig {
+    /// Assemble a rack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] when `n_servers` is 0 or
+    /// the UPS cannot carry the rack's all-sprint load for one epoch-scale
+    /// discharge (150 s) — such a rack could not complete in-progress
+    /// sprints during an emergency (paper §2.2).
+    pub fn new(
+        n_servers: u32,
+        server: ServerModel,
+        package: ThermalPackage,
+        breaker: TripCurve,
+        ups: UpsBattery,
+    ) -> crate::Result<Self> {
+        if n_servers == 0 {
+            return Err(PowerError::InvalidParameter {
+                name: "n_servers",
+                value: 0.0,
+                expected: "at least one server",
+            });
+        }
+        let all_sprint_w = f64::from(n_servers) * server.power_w(ExecutionMode::Sprint);
+        if !ups.can_carry(all_sprint_w, 150.0) {
+            return Err(PowerError::InvalidParameter {
+                name: "ups",
+                value: ups.capacity_j(),
+                expected: "a UPS able to carry the all-sprint rack load for one 150 s epoch",
+            });
+        }
+        Ok(RackConfig {
+            n_servers,
+            server,
+            package,
+            breaker,
+            ups,
+        })
+    }
+
+    /// The paper's rack: `n_servers` paper-class servers, a UL489 breaker
+    /// rated for the all-nominal load, the paraffin thermal package, and
+    /// the Table-2 UPS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_servers` is 0 (the paper rack has 1000).
+    #[must_use]
+    pub fn paper_rack(n_servers: u32) -> Self {
+        assert!(n_servers > 0, "a rack needs at least one server");
+        let server = ServerModel::paper_server();
+        let rated_current =
+            f64::from(n_servers) * server.power_w(ExecutionMode::Nominal) / LINE_VOLTAGE_V;
+        let breaker = TripCurve::ul489(rated_current).expect("positive rated current");
+        // Scale UPS capacity with rack size so the all-sprint discharge of
+        // one epoch always fits (the paper battery covers 1000 servers).
+        let capacity = f64::from(n_servers)
+            * server.power_w(ExecutionMode::Sprint)
+            * 150.0
+            * 1.27;
+        let ups = UpsBattery::new(capacity, UpsBattery::paper_battery().recharge_ratio())
+            .expect("valid capacity");
+        RackConfig::new(
+            n_servers,
+            server,
+            ThermalPackage::paper_package(),
+            breaker,
+            ups,
+        )
+        .expect("paper calibration is self-consistent")
+    }
+
+    /// Number of servers (agents) in the rack.
+    #[must_use]
+    pub fn n_servers(&self) -> u32 {
+        self.n_servers
+    }
+
+    /// The server model.
+    #[must_use]
+    pub fn server(&self) -> &ServerModel {
+        &self.server
+    }
+
+    /// The thermal package on each chip.
+    #[must_use]
+    pub fn package(&self) -> &ThermalPackage {
+        &self.package
+    }
+
+    /// The branch-circuit breaker.
+    #[must_use]
+    pub fn breaker(&self) -> &TripCurve {
+        &self.breaker
+    }
+
+    /// The rack UPS.
+    #[must_use]
+    pub fn ups(&self) -> &UpsBattery {
+        &self.ups
+    }
+
+    /// Total rack power with `n_sprinters` servers sprinting, watts.
+    #[must_use]
+    pub fn rack_power_w(&self, n_sprinters: u32) -> f64 {
+        let n_sprinters = n_sprinters.min(self.n_servers);
+        let nominal = self.server.power_w(ExecutionMode::Nominal);
+        let sprint = self.server.power_w(ExecutionMode::Sprint);
+        f64::from(self.n_servers - n_sprinters) * nominal + f64::from(n_sprinters) * sprint
+    }
+
+    /// Rack current as a multiple of the breaker's rated current with
+    /// `n_sprinters` sprinting.
+    #[must_use]
+    pub fn current_multiple(&self, n_sprinters: u32) -> f64 {
+        (self.rack_power_w(n_sprinters) / LINE_VOLTAGE_V) / self.breaker.rated_current_a()
+    }
+
+    /// Derive the game parameters of the paper's Table 2 from physics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the physical calibration is inconsistent (e.g. a package
+    /// that can never finish a sprint) — the provided constructors cannot
+    /// produce such a rack.
+    #[must_use]
+    pub fn derive_game_parameters(&self) -> DerivedGameParameters {
+        let envelope = SprintEnvelope::derive(self.server.chip(), &self.package)
+            .expect("paper-class packages always melt under sprint power");
+        // Breaker datasheets specify overload tolerance at quantized
+        // reference durations (UL489: 150 s); read the band at the nearest
+        // 30 s reference rather than the raw simulated sprint duration.
+        let band_epoch_s = ((envelope.sprint_duration_s / 30.0).round() * 30.0).max(30.0);
+        let band = SprinterBand::derive(
+            &self.breaker,
+            self.n_servers,
+            self.server.power_w(ExecutionMode::Nominal),
+            self.server.power_w(ExecutionMode::Sprint),
+            band_epoch_s,
+        )
+        .expect("server powers are validated positive and ordered");
+        DerivedGameParameters {
+            n_agents: self.n_servers,
+            n_min: band.n_min,
+            n_max: band.n_max,
+            p_cooling: envelope.p_cooling(),
+            p_recovery: self.ups.p_recovery(),
+            epoch_seconds: envelope.sprint_duration_s,
+            cooling_seconds: envelope.cooling_duration_s,
+        }
+    }
+}
+
+/// Game parameters derived from a physical rack — the contents of the
+/// paper's Table 2, computed rather than assumed.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DerivedGameParameters {
+    /// Number of agents `N`.
+    pub n_agents: u32,
+    /// Sprinters below this never trip the breaker.
+    pub n_min: u32,
+    /// Sprinters above this always trip the breaker.
+    pub n_max: u32,
+    /// Probability of staying in the cooling state each epoch.
+    pub p_cooling: f64,
+    /// Probability of staying in the recovery state each epoch.
+    pub p_recovery: f64,
+    /// Epoch (= max sprint) duration, seconds.
+    pub epoch_seconds: f64,
+    /// Chip cooling duration, seconds.
+    pub cooling_seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rack_derives_table2() {
+        let rack = RackConfig::paper_rack(1000);
+        let p = rack.derive_game_parameters();
+        assert_eq!(p.n_agents, 1000);
+        assert_eq!(p.n_min, 250, "paper: N_min = 0.25 N");
+        assert_eq!(p.n_max, 750, "paper: N_max = 0.75 N");
+        assert!((p.p_cooling - 0.5).abs() < 0.1, "p_c = {}", p.p_cooling);
+        assert!((p.p_recovery - 0.88).abs() < 0.01, "p_r = {}", p.p_recovery);
+        assert!(
+            (120.0..=180.0).contains(&p.epoch_seconds),
+            "epoch = {} s",
+            p.epoch_seconds
+        );
+    }
+
+    #[test]
+    fn parameters_scale_with_rack_size() {
+        let p = RackConfig::paper_rack(400).derive_game_parameters();
+        assert_eq!(p.n_min, 100);
+        assert_eq!(p.n_max, 300);
+    }
+
+    #[test]
+    fn rack_power_is_linear_in_sprinters() {
+        let rack = RackConfig::paper_rack(100);
+        let p0 = rack.rack_power_w(0);
+        let p50 = rack.rack_power_w(50);
+        let p100 = rack.rack_power_w(100);
+        assert!((p50 - (p0 + p100) / 2.0).abs() < 1e-6);
+        // All sprinting doubles the all-nominal load (2× servers).
+        assert!((p100 / p0 - 2.0).abs() < 0.01);
+        // Clamps beyond the population.
+        assert_eq!(rack.rack_power_w(1000), p100);
+    }
+
+    #[test]
+    fn current_multiple_at_band_edges() {
+        let rack = RackConfig::paper_rack(1000);
+        assert!((rack.current_multiple(0) - 1.0).abs() < 1e-9);
+        assert!((rack.current_multiple(250) - 1.25).abs() < 0.01);
+        assert!((rack.current_multiple(750) - 1.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn undersized_ups_is_rejected() {
+        let server = ServerModel::paper_server();
+        let breaker = TripCurve::ul489(100.0).unwrap();
+        let tiny_ups = UpsBattery::new(1000.0, 8.0).unwrap();
+        let r = RackConfig::new(
+            100,
+            server,
+            ThermalPackage::paper_package(),
+            breaker,
+            tiny_ups,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn zero_servers_rejected() {
+        let server = ServerModel::paper_server();
+        let breaker = TripCurve::ul489(100.0).unwrap();
+        let ups = UpsBattery::paper_battery();
+        assert!(
+            RackConfig::new(0, server, ThermalPackage::paper_package(), breaker, ups).is_err()
+        );
+    }
+
+    #[test]
+    fn derived_parameters_serde_round_trip() {
+        let p = RackConfig::paper_rack(100).derive_game_parameters();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: DerivedGameParameters = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn accessors_expose_components() {
+        let rack = RackConfig::paper_rack(10);
+        assert_eq!(rack.n_servers(), 10);
+        assert!(rack.breaker().rated_current_a() > 0.0);
+        assert!(rack.ups().capacity_j() > 0.0);
+        assert_eq!(rack.package().ambient_c(), 25.0);
+        assert!(rack.server().sprint_power_ratio() > 1.9);
+    }
+}

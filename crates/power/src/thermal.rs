@@ -1,0 +1,472 @@
+//! Transient thermal model of a sprinting chip and its PCM heat sink.
+//!
+//! A lumped two-node RC network: the die couples to the PCM node through
+//! `R_jp`, and the PCM node couples to ambient through `R_pa`. The PCM node
+//! carries both sensible capacitance and a latent-heat buffer that pins its
+//! temperature at the melting point while melting or freezing — the
+//! mechanism that makes minute-scale sprints possible (paper §2.1).
+//!
+//! The model answers the two questions the game needs:
+//!
+//! - **sprint duration**: how long a chip can sprint before its latent
+//!   budget is exhausted (≈ 150 s with the paper-calibrated package), and
+//! - **cooling duration**: how long until the PCM refreezes and the
+//!   package returns near its nominal steady state (≈ 300 s), which sets
+//!   `p_c = 1 − 1/Δt_cool`.
+
+use crate::chip::{ChipModel, ExecutionMode};
+use crate::pcm::PcmHeatSink;
+use crate::PowerError;
+
+/// Integration time step for transient simulation, seconds.
+const DT_S: f64 = 0.05;
+
+/// Hard cap on simulated transient time, seconds.
+const MAX_SIM_S: f64 = 24.0 * 3600.0;
+
+/// A thermal package: PCM heat sink plus thermal resistances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalPackage {
+    sink: PcmHeatSink,
+    /// Junction-to-PCM thermal resistance, K/W.
+    r_junction_pcm: f64,
+    /// PCM-to-ambient thermal resistance, K/W.
+    r_pcm_ambient: f64,
+    /// Ambient temperature, °C.
+    ambient_c: f64,
+    /// Non-PCM sensible capacitance lumped at the PCM node (copper base,
+    /// spreader), J/K.
+    structure_capacitance_j_per_k: f64,
+}
+
+impl ThermalPackage {
+    /// Create a package.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for non-positive
+    /// resistances or capacitance, or a non-finite ambient temperature.
+    pub fn new(
+        sink: PcmHeatSink,
+        r_junction_pcm: f64,
+        r_pcm_ambient: f64,
+        ambient_c: f64,
+        structure_capacitance_j_per_k: f64,
+    ) -> crate::Result<Self> {
+        for (name, v) in [
+            ("r_junction_pcm", r_junction_pcm),
+            ("r_pcm_ambient", r_pcm_ambient),
+            ("structure_capacitance_j_per_k", structure_capacitance_j_per_k),
+        ] {
+            if v <= 0.0 || !v.is_finite() {
+                return Err(PowerError::InvalidParameter {
+                    name,
+                    value: v,
+                    expected: "a positive finite value",
+                });
+            }
+        }
+        if !ambient_c.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "ambient_c",
+                value: ambient_c,
+                expected: "a finite ambient temperature in °C",
+            });
+        }
+        Ok(ThermalPackage {
+            sink,
+            r_junction_pcm,
+            r_pcm_ambient,
+            ambient_c,
+            structure_capacitance_j_per_k,
+        })
+    }
+
+    /// The paper-calibrated package: 37 g paraffin sink, `R_pa` = 0.30 K/W,
+    /// `R_jp` = 0.05 K/W, 25 °C ambient. Produces ≈ 150 s sprints and
+    /// ≈ 300 s cooling for the paper's chip.
+    #[must_use]
+    pub fn paper_package() -> Self {
+        ThermalPackage::new(PcmHeatSink::paper_sink(), 0.05, 0.30, 25.0, 150.0)
+            .expect("valid calibration")
+    }
+
+    /// The heat sink in this package.
+    #[must_use]
+    pub fn sink(&self) -> &PcmHeatSink {
+        &self.sink
+    }
+
+    /// Ambient temperature, °C.
+    #[must_use]
+    pub fn ambient_c(&self) -> f64 {
+        self.ambient_c
+    }
+
+    /// Total sensible capacitance at the PCM node, J/K.
+    #[must_use]
+    pub fn node_capacitance_j_per_k(&self) -> f64 {
+        self.structure_capacitance_j_per_k + self.sink.sensible_capacitance_j_per_k()
+    }
+
+    /// Steady-state PCM node temperature for a constant power, ignoring
+    /// the latent buffer (valid while solid or fully molten).
+    #[must_use]
+    pub fn steady_node_temp_c(&self, power_w: f64) -> f64 {
+        self.ambient_c + power_w * self.r_pcm_ambient
+    }
+
+    /// Junction (die) temperature given the PCM node temperature and the
+    /// instantaneous power flowing through `R_jp`.
+    #[must_use]
+    pub fn junction_temp_c(&self, node_temp_c: f64, power_w: f64) -> f64 {
+        node_temp_c + power_w * self.r_junction_pcm
+    }
+
+    /// Thermal state at nominal steady operation (solid PCM), the starting
+    /// point of every sprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] if the nominal power alone
+    /// melts the PCM — such a package cannot support the sprinting
+    /// state machine at all.
+    pub fn nominal_steady_state(&self, nominal_power_w: f64) -> crate::Result<ThermalState> {
+        let t = self.steady_node_temp_c(nominal_power_w);
+        if t >= self.sink.material().melt_point_c() {
+            return Err(PowerError::InvalidParameter {
+                name: "nominal_power_w",
+                value: nominal_power_w,
+                expected: "a nominal power whose steady state keeps the PCM solid",
+            });
+        }
+        Ok(ThermalState {
+            node_temp_c: t,
+            melt_fraction: 0.0,
+        })
+    }
+
+    /// Advance the thermal state by `dt` seconds under `power_w` input.
+    pub fn step(&self, state: &mut ThermalState, power_w: f64, dt: f64) {
+        let melt = self.sink.material().melt_point_c();
+        let outflow = (state.node_temp_c - self.ambient_c) / self.r_pcm_ambient;
+        let net_w = power_w - outflow;
+        let at_melt = (state.node_temp_c - melt).abs() < 1e-9;
+
+        if at_melt && net_w > 0.0 && state.melt_fraction < 1.0 {
+            // Melting: heat goes to latent budget, temperature pinned.
+            state.melt_fraction =
+                (state.melt_fraction + net_w * dt / self.sink.latent_budget_j()).min(1.0);
+        } else if at_melt && net_w < 0.0 && state.melt_fraction > 0.0 {
+            // Freezing: latent heat released, temperature pinned.
+            state.melt_fraction =
+                (state.melt_fraction + net_w * dt / self.sink.latent_budget_j()).max(0.0);
+        } else {
+            // Sensible heating/cooling.
+            let dt_temp = net_w * dt / self.node_capacitance_j_per_k();
+            let next = state.node_temp_c + dt_temp;
+            // Clamp through the melting point so latent buffering engages
+            // on the next step instead of being skipped over.
+            state.node_temp_c = if state.node_temp_c < melt && next > melt
+                || state.node_temp_c > melt && next < melt
+            {
+                melt
+            } else {
+                next
+            };
+        }
+    }
+
+    /// Maximum sprint duration: seconds from nominal steady state until
+    /// the PCM is fully molten under sprint power. Past this point the
+    /// junction would run away, so the architecture ends the sprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::NoEvent`] if the sprint power is low enough
+    /// to be sustained indefinitely (no melt completion), and propagates
+    /// [`PowerError::InvalidParameter`] from the steady-state check.
+    pub fn sprint_duration_s(
+        &self,
+        nominal_power_w: f64,
+        sprint_power_w: f64,
+    ) -> crate::Result<f64> {
+        let mut state = self.nominal_steady_state(nominal_power_w)?;
+        let mut t = 0.0;
+        while t < MAX_SIM_S {
+            self.step(&mut state, sprint_power_w, DT_S);
+            t += DT_S;
+            if state.melt_fraction >= 1.0 {
+                return Ok(t);
+            }
+        }
+        Err(PowerError::NoEvent {
+            what: "PCM melt completion under sprint power",
+        })
+    }
+
+    /// Cooling duration: seconds from a fully-molten PCM at the melting
+    /// point (the end of a sprint) until the PCM has refrozen and the node
+    /// has returned within `settle_band_k` of its nominal steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::NoEvent`] if the package cannot shed the
+    /// nominal power (never settles), and propagates
+    /// [`PowerError::InvalidParameter`] from the steady-state check.
+    pub fn cooling_duration_s(
+        &self,
+        nominal_power_w: f64,
+        settle_band_k: f64,
+    ) -> crate::Result<f64> {
+        let target = self.nominal_steady_state(nominal_power_w)?.node_temp_c;
+        let mut state = ThermalState {
+            node_temp_c: self.sink.material().melt_point_c(),
+            melt_fraction: 1.0,
+        };
+        let mut t = 0.0;
+        while t < MAX_SIM_S {
+            self.step(&mut state, nominal_power_w, DT_S);
+            t += DT_S;
+            if state.melt_fraction <= 0.0 && state.node_temp_c <= target + settle_band_k {
+                return Ok(t);
+            }
+        }
+        Err(PowerError::NoEvent {
+            what: "PCM refreeze and settle under nominal power",
+        })
+    }
+
+    /// Average junction temperature over a full sprint (for Figure 1's
+    /// temperature panel).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`ThermalPackage::sprint_duration_s`].
+    pub fn average_sprint_junction_c(
+        &self,
+        nominal_power_w: f64,
+        sprint_power_w: f64,
+    ) -> crate::Result<f64> {
+        let duration = self.sprint_duration_s(nominal_power_w, sprint_power_w)?;
+        let mut state = self.nominal_steady_state(nominal_power_w)?;
+        let mut t = 0.0;
+        let mut acc = 0.0;
+        let mut n = 0u64;
+        while t < duration {
+            self.step(&mut state, sprint_power_w, DT_S);
+            acc += self.junction_temp_c(state.node_temp_c, sprint_power_w);
+            n += 1;
+            t += DT_S;
+        }
+        Ok(acc / n as f64)
+    }
+
+    /// Steady nominal junction temperature (Figure 1's non-sprinting bar).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the solid-steady-state check.
+    pub fn nominal_junction_c(&self, nominal_power_w: f64) -> crate::Result<f64> {
+        let s = self.nominal_steady_state(nominal_power_w)?;
+        Ok(self.junction_temp_c(s.node_temp_c, nominal_power_w))
+    }
+}
+
+/// Instantaneous thermal state of the package.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ThermalState {
+    /// PCM node temperature, °C.
+    pub node_temp_c: f64,
+    /// Molten fraction of the PCM charge, in `[0, 1]`.
+    pub melt_fraction: f64,
+}
+
+/// Sprint/cooling durations derived for a chip on a package.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SprintEnvelope {
+    /// Maximum safe sprint duration, seconds. Defines the epoch length.
+    pub sprint_duration_s: f64,
+    /// Cooling duration after a sprint, seconds.
+    pub cooling_duration_s: f64,
+}
+
+impl SprintEnvelope {
+    /// Derive the envelope for `chip` on `package`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal simulation errors. Uses a 3 K settle band for the
+    /// end of cooling (the PCM has refrozen and the package is within a
+    /// few kelvin of nominal steady state).
+    pub fn derive(chip: &ChipModel, package: &ThermalPackage) -> crate::Result<Self> {
+        let nominal = chip.power_w(ExecutionMode::Nominal);
+        let sprint = chip.power_w(ExecutionMode::Sprint);
+        Ok(SprintEnvelope {
+            sprint_duration_s: package.sprint_duration_s(nominal, sprint)?,
+            cooling_duration_s: package.cooling_duration_s(nominal, 3.0)?,
+        })
+    }
+
+    /// Cooling duration in epochs (epoch = sprint duration).
+    #[must_use]
+    pub fn cooling_epochs(&self) -> f64 {
+        self.cooling_duration_s / self.sprint_duration_s
+    }
+
+    /// The game's cooling-state persistence `p_c`, defined by
+    /// `1/(1 − p_c) = Δt_cool` in epochs (paper §3.2).
+    #[must_use]
+    pub fn p_cooling(&self) -> f64 {
+        1.0 - 1.0 / self.cooling_epochs().max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::ChipModel;
+
+    fn paper_setup() -> (ChipModel, ThermalPackage) {
+        (ChipModel::xeon_e5_like(), ThermalPackage::paper_package())
+    }
+
+    #[test]
+    fn package_validates() {
+        let sink = PcmHeatSink::paper_sink();
+        assert!(ThermalPackage::new(sink.clone(), 0.0, 0.3, 25.0, 150.0).is_err());
+        assert!(ThermalPackage::new(sink.clone(), 0.05, -0.3, 25.0, 150.0).is_err());
+        assert!(ThermalPackage::new(sink.clone(), 0.05, 0.3, f64::NAN, 150.0).is_err());
+        assert!(ThermalPackage::new(sink, 0.05, 0.3, 25.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn nominal_steady_state_keeps_pcm_solid() {
+        let (chip, pkg) = paper_setup();
+        let s = pkg
+            .nominal_steady_state(chip.power_w(ExecutionMode::Nominal))
+            .unwrap();
+        assert!(s.node_temp_c < pkg.sink().material().melt_point_c());
+        assert_eq!(s.melt_fraction, 0.0);
+    }
+
+    #[test]
+    fn excessive_nominal_power_is_rejected() {
+        let pkg = ThermalPackage::paper_package();
+        // 200 W nominal would melt the wax at steady state.
+        assert!(pkg.nominal_steady_state(200.0).is_err());
+    }
+
+    #[test]
+    fn sprint_duration_near_150s() {
+        let (chip, pkg) = paper_setup();
+        let d = pkg
+            .sprint_duration_s(
+                chip.power_w(ExecutionMode::Nominal),
+                chip.power_w(ExecutionMode::Sprint),
+            )
+            .unwrap();
+        assert!(
+            (120.0..=180.0).contains(&d),
+            "sprint duration {d} s, paper estimates ≈150 s"
+        );
+    }
+
+    #[test]
+    fn cooling_near_twice_sprint() {
+        let (chip, pkg) = paper_setup();
+        let env = SprintEnvelope::derive(&chip, &pkg).unwrap();
+        let ratio = env.cooling_epochs();
+        assert!(
+            (1.6..=2.6).contains(&ratio),
+            "cooling/sprint ratio {ratio}, paper estimates ≈2"
+        );
+        let pc = env.p_cooling();
+        assert!(
+            (0.38..=0.62).contains(&pc),
+            "derived p_c = {pc}, Table 2 uses 0.5"
+        );
+    }
+
+    #[test]
+    fn sustainable_power_never_melts() {
+        let pkg = ThermalPackage::paper_package();
+        // 40 W steady is below the melt threshold: sprinting "forever".
+        let r = pkg.sprint_duration_s(35.0, 40.0);
+        assert!(matches!(r, Err(PowerError::NoEvent { .. })));
+    }
+
+    #[test]
+    fn melting_pins_temperature() {
+        let pkg = ThermalPackage::paper_package();
+        let melt = pkg.sink().material().melt_point_c();
+        let mut state = ThermalState {
+            node_temp_c: melt,
+            melt_fraction: 0.5,
+        };
+        pkg.step(&mut state, 130.0, 1.0);
+        assert_eq!(state.node_temp_c, melt);
+        assert!(state.melt_fraction > 0.5);
+    }
+
+    #[test]
+    fn freezing_releases_latent_heat() {
+        let pkg = ThermalPackage::paper_package();
+        let melt = pkg.sink().material().melt_point_c();
+        let mut state = ThermalState {
+            node_temp_c: melt,
+            melt_fraction: 0.5,
+        };
+        // Low power: net outflow, so the PCM freezes at pinned temperature.
+        pkg.step(&mut state, 10.0, 1.0);
+        assert_eq!(state.node_temp_c, melt);
+        assert!(state.melt_fraction < 0.5);
+    }
+
+    #[test]
+    fn sensible_heating_below_melt() {
+        let pkg = ThermalPackage::paper_package();
+        let mut state = ThermalState {
+            node_temp_c: 30.0,
+            melt_fraction: 0.0,
+        };
+        pkg.step(&mut state, 100.0, 1.0);
+        assert!(state.node_temp_c > 30.0);
+        assert_eq!(state.melt_fraction, 0.0);
+    }
+
+    #[test]
+    fn temperature_clamps_at_melt_crossing() {
+        let pkg = ThermalPackage::paper_package();
+        let melt = pkg.sink().material().melt_point_c();
+        let mut state = ThermalState {
+            node_temp_c: melt - 0.01,
+            melt_fraction: 0.0,
+        };
+        // A large step would overshoot the melting point; it must clamp.
+        pkg.step(&mut state, 500.0, 5.0);
+        assert_eq!(state.node_temp_c, melt);
+    }
+
+    #[test]
+    fn sprint_raises_average_junction_temperature() {
+        let (chip, pkg) = paper_setup();
+        let nominal = chip.power_w(ExecutionMode::Nominal);
+        let sprint = chip.power_w(ExecutionMode::Sprint);
+        let t_nom = pkg.nominal_junction_c(nominal).unwrap();
+        let t_sprint = pkg.average_sprint_junction_c(nominal, sprint).unwrap();
+        // Figure 1: sprinting runs ≈10–15 °C hotter on average.
+        assert!(t_sprint > t_nom + 5.0);
+        assert!(t_sprint < 70.0, "junction stays in a plausible range");
+    }
+
+    #[test]
+    fn envelope_pc_formula() {
+        let env = SprintEnvelope {
+            sprint_duration_s: 150.0,
+            cooling_duration_s: 300.0,
+        };
+        assert_eq!(env.cooling_epochs(), 2.0);
+        assert!((env.p_cooling() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,247 @@
+//! Uninterruptible power supply (battery) model.
+//!
+//! Paper §2.2: when the breaker trips, the rack's UPS batteries carry the
+//! sprints in progress. Afterwards the rack is forbidden from sprinting
+//! until the batteries recharge; lead-acid batteries recharge to 85 %
+//! capacity in 8–10× the discharge time, so a one-epoch discharge costs
+//! roughly 8–10 epochs of recovery — the paper's `Δt_recover` and
+//! `p_r = 1 − 1/Δt_recover ≈ 0.88` (Table 2).
+
+use crate::PowerError;
+
+/// A lead-acid UPS battery string protecting one rack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpsBattery {
+    /// Usable energy, joules.
+    capacity_j: f64,
+    /// Recharge time divided by discharge time (8–10 for lead-acid).
+    recharge_ratio: f64,
+}
+
+impl UpsBattery {
+    /// Create a battery with usable `capacity_j` joules and a given
+    /// recharge : discharge time ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for non-positive capacity
+    /// or a recharge ratio below 1 (recharging faster than discharging is
+    /// outside the lead-acid envelope this model represents).
+    pub fn new(capacity_j: f64, recharge_ratio: f64) -> crate::Result<Self> {
+        if capacity_j <= 0.0 || !capacity_j.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "capacity_j",
+                value: capacity_j,
+                expected: "a positive finite energy in joules",
+            });
+        }
+        if recharge_ratio < 1.0 || !recharge_ratio.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "recharge_ratio",
+                value: recharge_ratio,
+                expected: "a finite ratio of at least 1",
+            });
+        }
+        Ok(UpsBattery {
+            capacity_j,
+            recharge_ratio,
+        })
+    }
+
+    /// The paper-calibrated rack battery: ≈ 10 kWh usable (enough to carry
+    /// a 1000-server rack sprinting flat-out for one 150 s epoch) with a
+    /// recharge ratio of 8.33, which yields `p_r = 0.88` exactly as in
+    /// Table 2.
+    #[must_use]
+    pub fn paper_battery() -> Self {
+        UpsBattery::new(36.0e6, 25.0 / 3.0).expect("valid calibration")
+    }
+
+    /// Usable capacity, joules.
+    #[must_use]
+    pub fn capacity_j(&self) -> f64 {
+        self.capacity_j
+    }
+
+    /// Recharge : discharge time ratio.
+    #[must_use]
+    pub fn recharge_ratio(&self) -> f64 {
+        self.recharge_ratio
+    }
+
+    /// Whether the battery can carry `load_w` for `duration_s` seconds.
+    #[must_use]
+    pub fn can_carry(&self, load_w: f64, duration_s: f64) -> bool {
+        load_w * duration_s <= self.capacity_j
+    }
+
+    /// Recovery duration in epochs after discharging for
+    /// `discharge_epochs` epochs (paper `Δt_recover`).
+    #[must_use]
+    pub fn recovery_epochs(&self, discharge_epochs: f64) -> f64 {
+        self.recharge_ratio * discharge_epochs
+    }
+
+    /// The game's recovery-state persistence `p_r`, defined by
+    /// `1/(1 − p_r) = Δt_recover` for a one-epoch discharge (paper §3.2).
+    #[must_use]
+    pub fn p_recovery(&self) -> f64 {
+        1.0 - 1.0 / self.recovery_epochs(1.0).max(1.0)
+    }
+
+    /// State of charge after recharging for `epochs` epochs following a
+    /// one-epoch full discharge, in `[0, 1]`. Linear recharge up to 85 %
+    /// then taper, matching the lead-acid charging profile the paper's
+    /// recovery times are drawn from.
+    #[must_use]
+    pub fn state_of_charge_after(&self, epochs: f64) -> f64 {
+        let linear_end = self.recovery_epochs(1.0);
+        if epochs <= 0.0 {
+            0.0
+        } else if epochs < linear_end {
+            0.85 * epochs / linear_end
+        } else {
+            // Exponential taper from 85 % toward full.
+            1.0 - 0.15 * (-(epochs - linear_end) / linear_end).exp()
+        }
+    }
+
+    /// Cycles to end-of-life at a given depth of discharge.
+    ///
+    /// Lead-acid wear follows an inverse power law in depth of discharge:
+    /// roughly 200 full-depth cycles, over 1200 at 30 % depth. The paper
+    /// leans on this ("frequent discharges without recharges would
+    /// shorten battery life", §2.2) to justify the recovery constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for a depth outside
+    /// `(0, 1]`.
+    pub fn cycles_to_failure(&self, depth_of_discharge: f64) -> crate::Result<f64> {
+        if depth_of_discharge <= 0.0
+            || depth_of_discharge > 1.0
+            || !depth_of_discharge.is_finite()
+        {
+            return Err(PowerError::InvalidParameter {
+                name: "depth_of_discharge",
+                value: depth_of_discharge,
+                expected: "a depth in (0, 1]",
+            });
+        }
+        // N(DoD) = 200 / DoD^1.5, the standard lead-acid wear fit.
+        Ok(200.0 / depth_of_discharge.powf(1.5))
+    }
+
+    /// Expected battery service life in days, given an emergency rate and
+    /// the per-emergency discharge depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for a non-positive
+    /// emergency rate or an invalid depth.
+    pub fn service_life_days(
+        &self,
+        emergencies_per_day: f64,
+        depth_of_discharge: f64,
+    ) -> crate::Result<f64> {
+        if emergencies_per_day <= 0.0 || !emergencies_per_day.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "emergencies_per_day",
+                value: emergencies_per_day,
+                expected: "a positive finite emergency rate",
+            });
+        }
+        Ok(self.cycles_to_failure(depth_of_discharge)? / emergencies_per_day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(UpsBattery::new(0.0, 8.0).is_err());
+        assert!(UpsBattery::new(1e6, 0.5).is_err());
+        assert!(UpsBattery::new(f64::NAN, 8.0).is_err());
+    }
+
+    #[test]
+    fn paper_battery_matches_table2() {
+        let b = UpsBattery::paper_battery();
+        assert!(
+            (b.p_recovery() - 0.88).abs() < 1e-9,
+            "p_r = {}, Table 2 uses 0.88",
+            b.p_recovery()
+        );
+        // 1/(1 - 0.88) = 8.33 epochs of recovery.
+        assert!((b.recovery_epochs(1.0) - 25.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_battery_carries_a_full_rack_sprint() {
+        let b = UpsBattery::paper_battery();
+        // 1000 servers * ~190 W sprinting for 150 s ≈ 28.5 MJ.
+        assert!(b.can_carry(1000.0 * 190.0, 150.0));
+        assert!(!b.can_carry(1000.0 * 190.0, 1500.0));
+    }
+
+    #[test]
+    fn recovery_scales_with_discharge() {
+        let b = UpsBattery::new(1e6, 8.0).unwrap();
+        assert_eq!(b.recovery_epochs(1.0), 8.0);
+        assert_eq!(b.recovery_epochs(2.0), 16.0);
+    }
+
+    #[test]
+    fn state_of_charge_is_monotone() {
+        let b = UpsBattery::paper_battery();
+        let mut last = -1.0;
+        for i in 0..40 {
+            let soc = b.state_of_charge_after(i as f64);
+            assert!(soc >= last, "SoC must not decrease while charging");
+            assert!((0.0..=1.0).contains(&soc));
+            last = soc;
+        }
+        assert_eq!(b.state_of_charge_after(0.0), 0.0);
+        // At the linear-end boundary the battery reaches 85 %.
+        let at_end = b.state_of_charge_after(b.recovery_epochs(1.0));
+        assert!((at_end - 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deeper_discharges_wear_faster() {
+        let b = UpsBattery::paper_battery();
+        let shallow = b.cycles_to_failure(0.3).unwrap();
+        let deep = b.cycles_to_failure(1.0).unwrap();
+        assert_eq!(deep, 200.0);
+        assert!(shallow > 5.0 * deep, "shallow {shallow} vs deep {deep}");
+        assert!(b.cycles_to_failure(0.0).is_err());
+        assert!(b.cycles_to_failure(1.5).is_err());
+    }
+
+    #[test]
+    fn greedy_emergency_rates_destroy_batteries() {
+        // Under Greedy, the rack trips roughly every ten epochs — about
+        // 58 emergencies/day at 150 s epochs. The battery dies in under a
+        // week; under the equilibrium policy's rare emergencies it lasts
+        // for years. This is the §2.2 wear argument, quantified.
+        let b = UpsBattery::paper_battery();
+        let greedy_life = b.service_life_days(57.6, 1.0).unwrap();
+        let equilibrium_life = b.service_life_days(0.1, 1.0).unwrap();
+        assert!(greedy_life < 7.0, "greedy battery life {greedy_life} days");
+        assert!(
+            equilibrium_life > 365.0,
+            "equilibrium battery life {equilibrium_life} days"
+        );
+        assert!(b.service_life_days(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn recharge_ratio_one_is_allowed() {
+        // Idealized battery recharging as fast as it discharges: recovery
+        // is one epoch and p_r = 0.
+        let b = UpsBattery::new(1e6, 1.0).unwrap();
+        assert_eq!(b.p_recovery(), 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the physical substrate.
+
+use proptest::prelude::*;
+
+use sprint_power::breaker::{SprinterBand, TripCurve};
+use sprint_power::chip::{ChipModel, ExecutionMode};
+use sprint_power::network::ThermalNetwork;
+use sprint_power::pcm::{PcmHeatSink, PhaseChangeMaterial};
+use sprint_power::thermal::{ThermalPackage, ThermalState};
+use sprint_power::ups::UpsBattery;
+
+proptest! {
+    #[test]
+    fn trip_probability_monotone_in_current(
+        rated in 10.0f64..1000.0,
+        m1 in 0.0f64..12.0,
+        m2 in 0.0f64..12.0,
+        duration in 1.0f64..1000.0,
+    ) {
+        let c = TripCurve::ul489(rated).unwrap();
+        let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        prop_assert!(c.trip_probability(lo, duration) <= c.trip_probability(hi, duration) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&c.trip_probability(m1, duration)));
+    }
+
+    #[test]
+    fn longer_overloads_never_raise_the_band(
+        t1 in 1.0f64..2000.0,
+        t2 in 1.0f64..2000.0,
+    ) {
+        let c = TripCurve::ul489(100.0).unwrap();
+        let (short, long) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(c.never_trip_multiple(long) <= c.never_trip_multiple(short) + 1e-12);
+        prop_assert!(c.always_trip_multiple(long) <= c.always_trip_multiple(short) + 1e-12);
+    }
+
+    #[test]
+    fn sprinter_band_ordering_and_bounds(
+        n in 1u32..5000,
+        nominal in 10.0f64..500.0,
+        extra in 1.0f64..500.0,
+        epoch in 10.0f64..600.0,
+    ) {
+        let c = TripCurve::ul489(100.0).unwrap();
+        let band = SprinterBand::derive(&c, n, nominal, nominal + extra, epoch).unwrap();
+        prop_assert!(band.n_min <= band.n_max);
+        prop_assert!(band.n_max <= n);
+    }
+
+    #[test]
+    fn chip_power_monotone_in_activity(a1 in 0.0f64..=1.0, a2 in 0.0f64..=1.0) {
+        let chip = ChipModel::xeon_e5_like();
+        let (lo, hi) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
+        for mode in ExecutionMode::ALL {
+            prop_assert!(
+                chip.power_w_with_activity(mode, lo)
+                    <= chip.power_w_with_activity(mode, hi) + 1e-12
+            );
+        }
+        // Sprint dominates nominal at equal activity.
+        prop_assert!(
+            chip.power_w_with_activity(ExecutionMode::Sprint, a1)
+                >= chip.power_w_with_activity(ExecutionMode::Nominal, a1)
+        );
+    }
+
+    #[test]
+    fn thermal_step_moves_toward_equilibrium(
+        start_temp in 20.0f64..44.0,
+        power in 0.0f64..200.0,
+    ) {
+        let pkg = ThermalPackage::paper_package();
+        let mut state = ThermalState {
+            node_temp_c: start_temp,
+            melt_fraction: 0.0,
+        };
+        let target = pkg.steady_node_temp_c(power);
+        let before = (state.node_temp_c - target).abs();
+        // Small steps below the melting point: distance to the sensible
+        // steady state never increases.
+        for _ in 0..16 {
+            if state.node_temp_c >= pkg.sink().material().melt_point_c() {
+                break;
+            }
+            pkg.step(&mut state, power, 0.05);
+        }
+        if state.node_temp_c < pkg.sink().material().melt_point_c() {
+            let after = (state.node_temp_c - target).abs();
+            prop_assert!(after <= before + 1e-9);
+        }
+        // Melt fraction stays physical regardless.
+        prop_assert!((0.0..=1.0).contains(&state.melt_fraction));
+    }
+
+    #[test]
+    fn larger_pcm_charges_sprint_longer(
+        mass1 in 0.01f64..0.2,
+        mass2 in 0.01f64..0.2,
+    ) {
+        prop_assume!((mass1 - mass2).abs() > 0.005);
+        let (small, large) = if mass1 < mass2 { (mass1, mass2) } else { (mass2, mass1) };
+        let chip = ChipModel::xeon_e5_like();
+        let nominal = chip.power_w(ExecutionMode::Nominal);
+        let sprint = chip.power_w(ExecutionMode::Sprint);
+        let duration = |mass: f64| {
+            let sink = PcmHeatSink::new(PhaseChangeMaterial::paraffin_wax(), mass).unwrap();
+            ThermalPackage::new(sink, 0.05, 0.30, 25.0, 150.0)
+                .unwrap()
+                .sprint_duration_s(nominal, sprint)
+                .unwrap()
+        };
+        prop_assert!(duration(large) > duration(small));
+    }
+
+    #[test]
+    fn battery_soc_monotone_and_bounded(
+        ratio in 1.0f64..20.0,
+        e1 in 0.0f64..60.0,
+        e2 in 0.0f64..60.0,
+    ) {
+        let b = UpsBattery::new(1e6, ratio).unwrap();
+        let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        prop_assert!(b.state_of_charge_after(lo) <= b.state_of_charge_after(hi) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&b.state_of_charge_after(e1)));
+        // p_recovery consistent with recovery duration.
+        let pr = b.p_recovery();
+        prop_assert!((0.0..1.0).contains(&pr));
+        prop_assert!((1.0 / (1.0 - pr) - b.recovery_epochs(1.0).max(1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_steady_state_superposition(
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        // Linear RC networks obey superposition in the injected power
+        // (temperatures above ambient add).
+        let build = || {
+            let mut net = ThermalNetwork::new(0.0).unwrap();
+            let a = net.add_node("a", 10.0).unwrap();
+            let b = net.add_node("b", 20.0).unwrap();
+            net.connect(a, b, 0.2).unwrap();
+            net.connect_ambient(b, 0.5).unwrap();
+            (net, a, b)
+        };
+        let (net, a, b) = build();
+        let mut inj1 = vec![0.0; 2];
+        inj1[a] = p1;
+        let mut inj2 = vec![0.0; 2];
+        inj2[b] = p2;
+        let mut both = vec![0.0; 2];
+        both[a] = p1;
+        both[b] = p2;
+        let t1 = net.steady_state(&inj1).unwrap();
+        let t2 = net.steady_state(&inj2).unwrap();
+        let tb = net.steady_state(&both).unwrap();
+        for i in 0..2 {
+            prop_assert!((t1[i] + t2[i] - tb[i]).abs() < 1e-9);
+        }
+    }
+}

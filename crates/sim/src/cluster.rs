@@ -1,0 +1,435 @@
+//! Cluster-level sprinting: multiple racks under a facility breaker.
+//!
+//! An extension beyond the paper toward its cited future work (datacenter
+//! sprinting, hierarchical power control): `K` racks each run the
+//! single-rack game behind their own breaker, but their *total* sprinter
+//! count also loads a facility-level breaker. A facility emergency idles
+//! every rack at once.
+//!
+//! The interesting question is strategic: agents that best-respond only to
+//! their rack's band can be collectively safe per rack yet overload the
+//! facility. [`ClusterConfig::facility_aware_band`] gives the standard
+//! fix — each rack
+//! plays the game against the *tighter* of its own band and its share of
+//! the facility band — and [`simulate_cluster`] lets both designs be
+//! compared under full dynamics.
+
+use rand::Rng;
+
+use sprint_game::trip::TripCurve;
+use sprint_game::{AgentState, GameConfig};
+use sprint_stats::rng::seeded_rng;
+use sprint_workloads::phases::PhasedUtility;
+
+use crate::policy::SprintPolicy;
+use crate::SimError;
+
+/// Configuration of a multi-rack cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Per-rack game parameters (every rack is identical).
+    rack_game: GameConfig,
+    /// Number of racks.
+    n_racks: u32,
+    /// Facility breaker band over the cluster-wide sprinter count.
+    facility_n_min: f64,
+    facility_n_max: f64,
+    /// Persistence of a facility-level emergency (like `p_r`, but for the
+    /// facility supply).
+    facility_p_recovery: f64,
+    epochs: usize,
+    seed: u64,
+}
+
+impl ClusterConfig {
+    /// Create a cluster configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for zero racks/epochs, an
+    /// inverted facility band, or a facility persistence outside `[0, 1]`.
+    pub fn new(
+        rack_game: GameConfig,
+        n_racks: u32,
+        facility_n_min: f64,
+        facility_n_max: f64,
+        facility_p_recovery: f64,
+        epochs: usize,
+        seed: u64,
+    ) -> crate::Result<Self> {
+        if n_racks == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "n_racks",
+                value: 0.0,
+                expected: "at least one rack",
+            });
+        }
+        if epochs == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "epochs",
+                value: 0.0,
+                expected: "at least one epoch",
+            });
+        }
+        if facility_n_max <= facility_n_min || facility_n_min < 0.0 || facility_n_max.is_nan() {
+            return Err(SimError::InvalidParameter {
+                name: "facility_n_max",
+                value: facility_n_max,
+                expected: "a facility band with 0 <= n_min < n_max",
+            });
+        }
+        if !(0.0..=1.0).contains(&facility_p_recovery) {
+            return Err(SimError::InvalidParameter {
+                name: "facility_p_recovery",
+                value: facility_p_recovery,
+                expected: "a probability in [0, 1]",
+            });
+        }
+        Ok(ClusterConfig {
+            rack_game,
+            n_racks,
+            facility_n_min,
+            facility_n_max,
+            facility_p_recovery,
+            epochs,
+            seed,
+        })
+    }
+
+    /// Per-rack game parameters.
+    #[must_use]
+    pub fn rack_game(&self) -> &GameConfig {
+        &self.rack_game
+    }
+
+    /// Number of racks.
+    #[must_use]
+    pub fn n_racks(&self) -> u32 {
+        self.n_racks
+    }
+
+    /// The game configuration a *facility-aware* rack should solve: its
+    /// effective band is the tighter of the rack band and the rack's
+    /// proportional share of the facility band.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration-validation errors (cannot occur for a
+    /// valid cluster).
+    pub fn facility_aware_band(&self) -> crate::Result<GameConfig> {
+        let share = f64::from(self.n_racks);
+        let n_min = self.rack_game.n_min().min(self.facility_n_min / share);
+        let n_max = self.rack_game.n_max().min(self.facility_n_max / share);
+        Ok(GameConfig::builder()
+            .n_agents(self.rack_game.n_agents())
+            .n_min(n_min)
+            .n_max(n_max.max(n_min + 1.0))
+            .p_cooling(self.rack_game.p_cooling())
+            .p_recovery(self.rack_game.p_recovery())
+            .discount(self.rack_game.discount())
+            .build()?)
+    }
+}
+
+/// Outcome of a cluster simulation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ClusterResult {
+    /// Task throughput per agent-epoch, per rack.
+    pub per_rack_tasks: Vec<f64>,
+    /// Cluster-wide task throughput per agent-epoch.
+    pub tasks_per_agent_epoch: f64,
+    /// Rack-level breaker trips, summed over racks.
+    pub rack_trips: u32,
+    /// Facility-level emergencies.
+    pub facility_trips: u32,
+}
+
+/// Simulate `n_racks` racks, each driven by its own policy instance.
+///
+/// `streams` holds one utility stream per agent, rack-major
+/// (`n_racks × rack_game.n_agents()` total); `policies` holds one policy
+/// per rack.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParameter`] when stream or policy counts do
+/// not match the configuration.
+pub fn simulate_cluster(
+    config: &ClusterConfig,
+    streams: &mut [PhasedUtility],
+    policies: &mut [Box<dyn SprintPolicy>],
+) -> crate::Result<ClusterResult> {
+    let per_rack = config.rack_game.n_agents() as usize;
+    let n_racks = config.n_racks as usize;
+    if streams.len() != per_rack * n_racks {
+        return Err(SimError::InvalidParameter {
+            name: "streams",
+            value: streams.len() as f64,
+            expected: "n_racks * n_agents utility streams",
+        });
+    }
+    if policies.len() != n_racks {
+        return Err(SimError::InvalidParameter {
+            name: "policies",
+            value: policies.len() as f64,
+            expected: "one policy per rack",
+        });
+    }
+
+    let mut rng = seeded_rng(config.seed ^ 0xC1_0573);
+    let rack_curve = TripCurve::from_config(&config.rack_game);
+    let facility_curve = TripCurve::new(config.facility_n_min, config.facility_n_max);
+    let p_cool_exit = 1.0 - config.rack_game.p_cooling();
+    let p_rack_exit = 1.0 - config.rack_game.p_recovery();
+    let p_facility_exit = 1.0 - config.facility_p_recovery;
+
+    let mut states = vec![AgentState::Active; per_rack * n_racks];
+    let mut rack_recovering = vec![false; n_racks];
+    let mut facility_recovering = false;
+    let mut sprinted = vec![false; per_rack * n_racks];
+
+    let mut per_rack_tasks = vec![0.0f64; n_racks];
+    let mut rack_trips = 0u32;
+    let mut facility_trips = 0u32;
+
+    for _epoch in 0..config.epochs {
+        let utilities: Vec<f64> = streams.iter_mut().map(PhasedUtility::next_utility).collect();
+
+        if facility_recovering {
+            if rng.gen::<f64>() < p_facility_exit {
+                facility_recovering = false;
+                states.fill(AgentState::Active);
+                rack_recovering.fill(false);
+            }
+            for p in policies.iter_mut() {
+                p.epoch_end(false);
+            }
+            continue;
+        }
+
+        // Decisions per rack.
+        let mut rack_sprinters = vec![0u32; n_racks];
+        for rack in 0..n_racks {
+            if rack_recovering[rack] {
+                continue;
+            }
+            for local in 0..per_rack {
+                let i = rack * per_rack + local;
+                sprinted[i] = states[i] == AgentState::Active
+                    && policies[rack].wants_sprint(local, utilities[i]);
+                if sprinted[i] {
+                    rack_sprinters[rack] += 1;
+                }
+            }
+        }
+        let total_sprinters: u32 = rack_sprinters.iter().sum();
+
+        // Throughput.
+        for rack in 0..n_racks {
+            if rack_recovering[rack] {
+                continue;
+            }
+            for local in 0..per_rack {
+                let i = rack * per_rack + local;
+                per_rack_tasks[rack] += if sprinted[i] { utilities[i] } else { 1.0 };
+            }
+        }
+
+        // Facility breaker first (it protects the shared supply), then
+        // rack breakers.
+        let facility_tripped = {
+            let p = facility_curve.p_trip(f64::from(total_sprinters));
+            p > 0.0 && rng.gen::<f64>() < p
+        };
+        if facility_tripped {
+            facility_trips += 1;
+            facility_recovering = true;
+            states.fill(AgentState::Recovery);
+            for p in policies.iter_mut() {
+                p.epoch_end(true);
+            }
+            continue;
+        }
+
+        for rack in 0..n_racks {
+            if rack_recovering[rack] {
+                // Rack-level battery recharge.
+                if rng.gen::<f64>() < p_rack_exit {
+                    rack_recovering[rack] = false;
+                    for local in 0..per_rack {
+                        states[rack * per_rack + local] = AgentState::Active;
+                    }
+                }
+                policies[rack].epoch_end(false);
+                continue;
+            }
+            let p = rack_curve.p_trip(f64::from(rack_sprinters[rack]));
+            let tripped = p > 0.0 && rng.gen::<f64>() < p;
+            if tripped {
+                rack_trips += 1;
+                rack_recovering[rack] = true;
+                for local in 0..per_rack {
+                    states[rack * per_rack + local] = AgentState::Recovery;
+                }
+            } else {
+                for local in 0..per_rack {
+                    let i = rack * per_rack + local;
+                    states[i] = match states[i] {
+                        AgentState::Active if sprinted[i] => AgentState::Cooling,
+                        AgentState::Cooling => {
+                            if rng.gen::<f64>() < p_cool_exit {
+                                AgentState::Active
+                            } else {
+                                AgentState::Cooling
+                            }
+                        }
+                        s => s,
+                    };
+                }
+            }
+            policies[rack].epoch_end(tripped);
+        }
+    }
+
+    let denom = per_rack as f64 * config.epochs as f64;
+    let per_rack_tasks: Vec<f64> = per_rack_tasks.into_iter().map(|t| t / denom).collect();
+    Ok(ClusterResult {
+        tasks_per_agent_epoch: per_rack_tasks.iter().sum::<f64>() / n_racks as f64,
+        per_rack_tasks,
+        rack_trips,
+        facility_trips,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::ThresholdPolicy;
+    use sprint_game::{MeanFieldSolver, ThresholdStrategy};
+    use sprint_workloads::generator::Population;
+    use sprint_workloads::Benchmark;
+
+    fn rack_game(n: u32) -> GameConfig {
+        GameConfig::builder()
+            .n_agents(n)
+            .n_min(f64::from(n) * 0.25)
+            .n_max(f64::from(n) * 0.75)
+            .build()
+            .unwrap()
+    }
+
+    fn cluster_streams(n_total: usize, seed: u64) -> Vec<PhasedUtility> {
+        Population::homogeneous(Benchmark::DecisionTree, n_total)
+            .unwrap()
+            .spawn_streams(seed)
+            .unwrap()
+    }
+
+    fn threshold_policies(n_racks: usize, per_rack: usize, t: f64) -> Vec<Box<dyn SprintPolicy>> {
+        (0..n_racks)
+            .map(|_| {
+                Box::new(
+                    ThresholdPolicy::uniform(
+                        "E-T",
+                        ThresholdStrategy::new(t).unwrap(),
+                        per_rack,
+                    )
+                    .unwrap(),
+                ) as Box<dyn SprintPolicy>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn validates_configuration() {
+        let g = rack_game(100);
+        assert!(ClusterConfig::new(g, 0, 10.0, 20.0, 0.9, 10, 1).is_err());
+        assert!(ClusterConfig::new(g, 2, 10.0, 20.0, 0.9, 0, 1).is_err());
+        assert!(ClusterConfig::new(g, 2, 20.0, 10.0, 0.9, 10, 1).is_err());
+        assert!(ClusterConfig::new(g, 2, 10.0, 20.0, 1.5, 10, 1).is_err());
+    }
+
+    #[test]
+    fn validates_runtime_inputs() {
+        let g = rack_game(50);
+        let cfg = ClusterConfig::new(g, 2, 100.0, 200.0, 0.9, 10, 1).unwrap();
+        let mut streams = cluster_streams(50, 1); // should be 100
+        let mut policies = threshold_policies(2, 50, 3.0);
+        assert!(simulate_cluster(&cfg, &mut streams, &mut policies).is_err());
+        let mut streams = cluster_streams(100, 1);
+        let mut one_policy = threshold_policies(1, 50, 3.0);
+        assert!(simulate_cluster(&cfg, &mut streams, &mut one_policy).is_err());
+    }
+
+    #[test]
+    fn generous_facility_band_changes_nothing() {
+        // A facility band far above any reachable sprinter count leaves
+        // the racks running the single-rack game.
+        let g = rack_game(100);
+        let cfg = ClusterConfig::new(g, 3, 1e6, 2e6, 0.9, 400, 7).unwrap();
+        let eq = MeanFieldSolver::new(g)
+            .solve(&Benchmark::DecisionTree.utility_density(256).unwrap())
+            .unwrap();
+        let mut streams = cluster_streams(300, 7);
+        let mut policies = threshold_policies(3, 100, eq.threshold());
+        let r = simulate_cluster(&cfg, &mut streams, &mut policies).unwrap();
+        assert_eq!(r.facility_trips, 0);
+        assert!(r.tasks_per_agent_epoch > 1.3);
+        assert_eq!(r.per_rack_tasks.len(), 3);
+    }
+
+    #[test]
+    fn oversubscribed_facility_punishes_rack_only_thresholds() {
+        // Facility band tighter than the sum of rack bands. Rack-only
+        // equilibrium thresholds overload it constantly. Note that simply
+        // re-solving the *equilibrium* on the tightened band does NOT
+        // help: thresholds are insensitive to recovery cost (Figure 13),
+        // so strategic agents rationally keep tripping the facility. The
+        // facility operator must assign the *cooperative* threshold for
+        // the tightened band (a coordinator-enforced policy, as in §6.4).
+        let g = rack_game(100);
+        // Sum of rack N_min = 4 * 25 = 100, but the facility tolerates
+        // only 40 sprinters before its band.
+        let cfg = ClusterConfig::new(g, 4, 40.0, 120.0, 0.95, 800, 11).unwrap();
+        let density = Benchmark::DecisionTree.utility_density(256).unwrap();
+
+        let naive_eq = MeanFieldSolver::new(g).solve(&density).unwrap();
+        let mut streams = cluster_streams(400, 11);
+        let mut naive = threshold_policies(4, 100, naive_eq.threshold());
+        let naive_result = simulate_cluster(&cfg, &mut streams, &mut naive).unwrap();
+
+        let aware_game = cfg.facility_aware_band().unwrap();
+        assert!(aware_game.n_min() < g.n_min());
+        let aware_ct = sprint_game::cooperative::CooperativeSearch::default_resolution()
+            .solve(&aware_game, &density)
+            .unwrap();
+        let mut streams = cluster_streams(400, 11);
+        let mut aware = threshold_policies(4, 100, aware_ct.threshold);
+        let aware_result = simulate_cluster(&cfg, &mut streams, &mut aware).unwrap();
+
+        assert!(
+            naive_result.facility_trips > 3 * aware_result.facility_trips.max(1),
+            "naive {} vs aware {} facility trips",
+            naive_result.facility_trips,
+            aware_result.facility_trips
+        );
+        assert!(
+            aware_result.tasks_per_agent_epoch > naive_result.tasks_per_agent_epoch,
+            "aware {} vs naive {}",
+            aware_result.tasks_per_agent_epoch,
+            naive_result.tasks_per_agent_epoch
+        );
+    }
+
+    #[test]
+    fn facility_aware_band_tightens_only_when_binding() {
+        let g = rack_game(100);
+        let loose = ClusterConfig::new(g, 2, 1e5, 2e5, 0.9, 10, 1).unwrap();
+        let t = loose.facility_aware_band().unwrap();
+        assert_eq!(t.n_min(), g.n_min());
+        let tight = ClusterConfig::new(g, 2, 20.0, 60.0, 0.9, 10, 1).unwrap();
+        let t = tight.facility_aware_band().unwrap();
+        assert_eq!(t.n_min(), 10.0);
+        assert_eq!(t.n_max(), 30.0);
+    }
+}

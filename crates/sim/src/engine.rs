@@ -1,0 +1,546 @@
+//! The epoch-driven rack simulation engine.
+//!
+//! Models the full system dynamics of §3 on concrete agents:
+//!
+//! - Active agents consult the policy; sprinters earn their epoch utility
+//!   and enter chip cooling (geometric duration, persistence `p_c`).
+//! - The breaker trips with the Equation-11 probability evaluated at the
+//!   *realized* sprinter count; a trip sends the whole rack into recovery
+//!   (geometric duration, persistence `p_r`). Sprints in progress complete
+//!   on UPS power, so the tripping epoch's sprint utility still counts
+//!   (§2.2).
+//! - Recovery epochs produce no tasks by default — the paper's "idle
+//!   recovery harms performance" (§6.1). [`RecoverySemantics::NormalMode`]
+//!   is the ablation in which servers compute in normal mode during
+//!   recharge.
+//! - Wake-up after recovery is staggered over a configurable number of
+//!   epochs to avoid dI/dt problems (§2.2): woken agents compute normally
+//!   but may not sprint until their slot arrives.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use sprint_game::trip::TripCurve;
+use sprint_game::{AgentState, GameConfig};
+use sprint_stats::rng::seeded_rng;
+use sprint_workloads::phases::PhasedUtility;
+
+use crate::metrics::{SimResult, StateOccupancy};
+use crate::policy::SprintPolicy;
+use crate::SimError;
+
+/// What servers produce while the rack recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub enum RecoverySemantics {
+    /// Paper semantics: recovery is idle, producing nothing.
+    #[default]
+    Idle,
+    /// Ablation: servers compute in normal mode during recharge.
+    NormalMode,
+}
+
+/// What happens to a sprint when the breaker trips mid-epoch.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize, Default)]
+pub enum TripInterruption {
+    /// Paper semantics (§2.2): "the rack augments power delivery with
+    /// batteries to complete sprints in progress" — tripped-epoch sprints
+    /// earn their full utility.
+    #[default]
+    CompleteOnUps,
+    /// Ablation: the breaker's I²t element trips partway through the
+    /// epoch (heavier overloads trip sooner), truncating every agent's
+    /// work to the pre-trip fraction of the epoch.
+    Truncated,
+}
+
+/// How agents estimate an epoch's sprint utility before deciding
+/// (paper §4.4, "Online Strategy": brief profiling or heuristics).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize, Default)]
+pub enum UtilityEstimation {
+    /// Perfect estimates: decisions see the epoch's true utility.
+    #[default]
+    Oracle,
+    /// Noisy estimates: decisions see the true utility times a
+    /// log-normal-ish multiplicative error with the given relative
+    /// standard deviation. Realized throughput still uses true utility.
+    Noisy {
+        /// Relative standard deviation of the estimation error.
+        relative_sd: f64,
+    },
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    game: GameConfig,
+    epochs: usize,
+    seed: u64,
+    recovery: RecoverySemantics,
+    stagger_epochs: u32,
+    interruption: TripInterruption,
+    estimation: UtilityEstimation,
+}
+
+impl SimConfig {
+    /// Create a configuration for `epochs` epochs of `game` with a master
+    /// seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when `epochs` is 0.
+    pub fn new(game: GameConfig, epochs: usize, seed: u64) -> crate::Result<Self> {
+        if epochs == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "epochs",
+                value: 0.0,
+                expected: "at least one epoch",
+            });
+        }
+        Ok(SimConfig {
+            game,
+            epochs,
+            seed,
+            recovery: RecoverySemantics::Idle,
+            stagger_epochs: 2,
+            interruption: TripInterruption::CompleteOnUps,
+            estimation: UtilityEstimation::Oracle,
+        })
+    }
+
+    /// Override the recovery semantics (ablation).
+    #[must_use]
+    pub fn with_recovery(mut self, semantics: RecoverySemantics) -> Self {
+        self.recovery = semantics;
+        self
+    }
+
+    /// Override the post-recovery stagger window (paper: two epochs).
+    #[must_use]
+    pub fn with_stagger(mut self, epochs: u32) -> Self {
+        self.stagger_epochs = epochs;
+        self
+    }
+
+    /// Override the trip-interruption semantics (ablation).
+    #[must_use]
+    pub fn with_interruption(mut self, interruption: TripInterruption) -> Self {
+        self.interruption = interruption;
+        self
+    }
+
+    /// Override the utility-estimation model (ablation).
+    #[must_use]
+    pub fn with_estimation(mut self, estimation: UtilityEstimation) -> Self {
+        self.estimation = estimation;
+        self
+    }
+
+    /// The game parameters.
+    #[must_use]
+    pub fn game(&self) -> &GameConfig {
+        &self.game
+    }
+
+    /// Simulated epochs.
+    #[must_use]
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+}
+
+/// Fraction of the epoch elapsed before the breaker's thermal element
+/// trips, from the center of the UL489 I²t band. Mild overloads (near
+/// `N_min`) trip late; heavy overloads (beyond `N_max`) trip early.
+fn pre_trip_fraction(game: &GameConfig, n_sprinters: f64) -> f64 {
+    // Geometric mean of the band's I²t constants (see `sprint_power`):
+    // k_fast = 84.375, k_slow = 309.375.
+    const K_CENTER: f64 = 161.56;
+    const EPOCH_REFERENCE_S: f64 = 150.0;
+    let severity = (n_sprinters - game.n_min()) / (game.n_max() - game.n_min());
+    if severity <= 0.0 {
+        return 1.0;
+    }
+    // Current multiple interpolated through the band edges 1.25x/1.75x.
+    let multiple = 1.25 + 0.5 * severity;
+    let trip_s = K_CENTER / (multiple * multiple - 1.0);
+    (trip_s / EPOCH_REFERENCE_S).clamp(0.05, 1.0)
+}
+
+/// Run one simulation.
+///
+/// `streams` supplies each agent's per-epoch sprint utility; `policy`
+/// makes the sprint decisions. Identical inputs and seed produce
+/// bit-identical results.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParameter`] when the stream count does not
+/// match the configured agent count.
+pub fn simulate(
+    config: &SimConfig,
+    streams: &mut [PhasedUtility],
+    policy: &mut dyn SprintPolicy,
+) -> crate::Result<SimResult> {
+    let n = config.game.n_agents() as usize;
+    if streams.len() != n {
+        return Err(SimError::InvalidParameter {
+            name: "streams",
+            value: streams.len() as f64,
+            expected: "one utility stream per agent",
+        });
+    }
+    if let UtilityEstimation::Noisy { relative_sd } = config.estimation {
+        if relative_sd < 0.0 || !relative_sd.is_finite() {
+            return Err(SimError::InvalidParameter {
+                name: "relative_sd",
+                value: relative_sd,
+                expected: "a non-negative finite relative standard deviation",
+            });
+        }
+    }
+    let mut rng: StdRng = seeded_rng(config.seed ^ 0x51B_EAC0);
+    let trip_curve = TripCurve::from_config(&config.game);
+    let p_cool_exit = 1.0 - config.game.p_cooling();
+    let p_recover_exit = 1.0 - config.game.p_recovery();
+
+    let mut states = vec![AgentState::Active; n];
+    // Epoch index before which a freshly woken agent may not sprint.
+    let mut sprint_blocked_until = vec![0usize; n];
+    let mut rack_recovering = false;
+
+    let mut sprinters_per_epoch = Vec::with_capacity(config.epochs);
+    let mut occupancy = StateOccupancy::default();
+    let mut total_tasks = 0.0f64;
+    let mut trips = 0u32;
+    // Reused per epoch: which agents sprinted.
+    let mut sprinted = vec![false; n];
+
+    for epoch in 0..config.epochs {
+        // Phases advance in wall-clock time regardless of power state.
+        let utilities: Vec<f64> = streams.iter_mut().map(PhasedUtility::next_utility).collect();
+
+        if rack_recovering {
+            occupancy.recovery += n as u64;
+            if config.recovery == RecoverySemantics::NormalMode {
+                total_tasks += n as f64;
+            }
+            sprinters_per_epoch.push(0);
+            // Batteries recharge: geometric exit, then staggered wake-up.
+            if rng.gen::<f64>() < p_recover_exit {
+                rack_recovering = false;
+                for (i, state) in states.iter_mut().enumerate() {
+                    *state = AgentState::Active;
+                    let slot = if config.stagger_epochs == 0 {
+                        0
+                    } else {
+                        rng.gen_range(0..config.stagger_epochs) as usize
+                    };
+                    sprint_blocked_until[i] = epoch + 1 + slot;
+                }
+            }
+            policy.epoch_end(false);
+            continue;
+        }
+
+        // Decisions, on (possibly noisy) utility estimates.
+        let mut n_sprinters = 0u32;
+        for i in 0..n {
+            sprinted[i] = false;
+            match states[i] {
+                AgentState::Active => {
+                    let estimate = match config.estimation {
+                        UtilityEstimation::Oracle => utilities[i],
+                        UtilityEstimation::Noisy { relative_sd } => {
+                            // Box-Muller standard normal.
+                            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                            let u2: f64 = rng.gen();
+                            let z = (-2.0 * u1.ln()).sqrt()
+                                * (2.0 * std::f64::consts::PI * u2).cos();
+                            (utilities[i] * (1.0 + relative_sd * z)).max(0.0)
+                        }
+                    };
+                    let may_sprint = epoch >= sprint_blocked_until[i];
+                    if may_sprint && policy.wants_sprint(i, estimate) {
+                        sprinted[i] = true;
+                        n_sprinters += 1;
+                    }
+                }
+                AgentState::Cooling => {}
+                AgentState::Recovery => {
+                    unreachable!("agents only recover while the rack recovers")
+                }
+            }
+        }
+        sprinters_per_epoch.push(n_sprinters);
+
+        // Breaker: Equation 11 at the realized sprinter count.
+        let p_trip = trip_curve.p_trip(f64::from(n_sprinters));
+        let tripped = p_trip > 0.0 && rng.gen::<f64>() < p_trip;
+
+        // Throughput. Under the paper's UPS semantics sprints complete
+        // even on a trip; the Truncated ablation scales the tripped
+        // epoch's work by the pre-trip fraction.
+        let epoch_scale = match (tripped, config.interruption) {
+            (true, TripInterruption::Truncated) => {
+                pre_trip_fraction(&config.game, f64::from(n_sprinters))
+            }
+            _ => 1.0,
+        };
+        for i in 0..n {
+            if sprinted[i] {
+                total_tasks += utilities[i] * epoch_scale;
+                occupancy.sprinting += 1;
+            } else {
+                total_tasks += epoch_scale;
+                match states[i] {
+                    AgentState::Cooling => occupancy.cooling += 1,
+                    _ => occupancy.active_idle += 1,
+                }
+            }
+        }
+
+        if tripped {
+            trips += 1;
+            rack_recovering = true;
+            states.fill(AgentState::Recovery);
+        } else {
+            for i in 0..n {
+                states[i] = match states[i] {
+                    AgentState::Active if sprinted[i] => AgentState::Cooling,
+                    AgentState::Cooling => {
+                        if rng.gen::<f64>() < p_cool_exit {
+                            AgentState::Active
+                        } else {
+                            AgentState::Cooling
+                        }
+                    }
+                    s => s,
+                };
+            }
+        }
+        policy.epoch_end(tripped);
+    }
+
+    Ok(SimResult {
+        n_agents: config.game.n_agents(),
+        epochs: config.epochs,
+        sprinters_per_epoch,
+        total_tasks,
+        trips,
+        occupancy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{Greedy, ThresholdPolicy};
+    use sprint_game::ThresholdStrategy;
+    use sprint_workloads::generator::Population;
+    use sprint_workloads::Benchmark;
+
+    fn small_game(n: u32) -> GameConfig {
+        GameConfig::builder()
+            .n_agents(n)
+            .n_min(f64::from(n) * 0.25)
+            .n_max(f64::from(n) * 0.75)
+            .build()
+            .unwrap()
+    }
+
+    fn streams(b: Benchmark, n: u32, seed: u64) -> Vec<PhasedUtility> {
+        Population::homogeneous(b, n as usize)
+            .unwrap()
+            .spawn_streams(seed)
+            .unwrap()
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let game = small_game(10);
+        assert!(SimConfig::new(game, 0, 1).is_err());
+        let cfg = SimConfig::new(game, 10, 1).unwrap();
+        let mut too_few = streams(Benchmark::Svm, 5, 1);
+        assert!(simulate(&cfg, &mut too_few, &mut Greedy::new()).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = SimConfig::new(small_game(50), 200, 42).unwrap();
+        let r1 = simulate(&cfg, &mut streams(Benchmark::DecisionTree, 50, 9), &mut Greedy::new())
+            .unwrap();
+        let r2 = simulate(&cfg, &mut streams(Benchmark::DecisionTree, 50, 9), &mut Greedy::new())
+            .unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn greedy_oscillates_between_sprints_and_recovery() {
+        // Figure 6 top panel: full-system sprints, emergencies, idle
+        // recovery.
+        let cfg = SimConfig::new(small_game(100), 500, 3).unwrap();
+        let mut s = streams(Benchmark::DecisionTree, 100, 3);
+        let r = simulate(&cfg, &mut s, &mut Greedy::new()).unwrap();
+        assert!(r.trips() > 10, "greedy must trip repeatedly: {}", r.trips());
+        let f = r.occupancy().fractions();
+        assert!(f[2] > 0.4, "greedy spends >40% in recovery, got {}", f[2]);
+        // First epoch: everyone sprints at once.
+        assert_eq!(r.sprinters_per_epoch()[0], 100);
+    }
+
+    #[test]
+    fn never_sprinting_never_trips() {
+        let cfg = SimConfig::new(small_game(100), 300, 4).unwrap();
+        let mut s = streams(Benchmark::PageRank, 100, 4);
+        let never = ThresholdStrategy::new(1e9).unwrap();
+        let mut policy = ThresholdPolicy::uniform("never", never, 100).unwrap();
+        let r = simulate(&cfg, &mut s, &mut policy).unwrap();
+        assert_eq!(r.trips(), 0);
+        assert!((r.tasks_per_agent_epoch() - 1.0).abs() < 1e-12);
+        assert_eq!(r.occupancy().sprinting, 0);
+        assert_eq!(r.occupancy().recovery, 0);
+    }
+
+    #[test]
+    fn below_band_sprinting_is_safe_and_profitable() {
+        // A high threshold keeps sprinters below N_min: no trips, and
+        // throughput above 1.
+        let cfg = SimConfig::new(small_game(100), 500, 5).unwrap();
+        let mut s = streams(Benchmark::PageRank, 100, 5);
+        let mut policy =
+            ThresholdPolicy::uniform("safe", ThresholdStrategy::new(13.0).unwrap(), 100)
+                .unwrap();
+        let r = simulate(&cfg, &mut s, &mut policy).unwrap();
+        // Expected sprinters ≈ 8 « N_min = 25; finite-N phase correlation
+        // can brush the band at most rarely.
+        assert!(r.trips() <= 1, "trips = {}", r.trips());
+        assert!(r.tasks_per_agent_epoch() > 1.2);
+        assert!(r.mean_sprinters() < 25.0);
+    }
+
+    #[test]
+    fn occupancy_accounts_every_agent_epoch() {
+        let cfg = SimConfig::new(small_game(60), 400, 6).unwrap();
+        let mut s = streams(Benchmark::Kmeans, 60, 6);
+        let r = simulate(&cfg, &mut s, &mut Greedy::new()).unwrap();
+        assert_eq!(r.occupancy().total(), 60 * 400);
+    }
+
+    #[test]
+    fn recovery_ablation_raises_throughput() {
+        let game = small_game(100);
+        let mut idle_s = streams(Benchmark::DecisionTree, 100, 7);
+        let mut norm_s = streams(Benchmark::DecisionTree, 100, 7);
+        let idle = simulate(
+            &SimConfig::new(game, 400, 7).unwrap(),
+            &mut idle_s,
+            &mut Greedy::new(),
+        )
+        .unwrap();
+        let normal = simulate(
+            &SimConfig::new(game, 400, 7)
+                .unwrap()
+                .with_recovery(RecoverySemantics::NormalMode),
+            &mut norm_s,
+            &mut Greedy::new(),
+        )
+        .unwrap();
+        assert!(normal.tasks_per_agent_epoch() > idle.tasks_per_agent_epoch());
+    }
+
+    #[test]
+    fn stagger_blocks_immediate_post_recovery_sprints() {
+        // With a huge stagger, agents wake but cannot sprint within the
+        // horizon, so at most one trip can ever occur.
+        let game = small_game(50);
+        let cfg = SimConfig::new(game, 200, 8).unwrap().with_stagger(10_000);
+        let mut s = streams(Benchmark::LinearRegression, 50, 8);
+        let r = simulate(&cfg, &mut s, &mut Greedy::new()).unwrap();
+        assert!(r.trips() <= 1, "trips = {}", r.trips());
+    }
+
+    #[test]
+    fn noisy_estimation_validates_and_degrades_selectivity() {
+        let game = small_game(100);
+        // Negative noise is rejected.
+        let bad = SimConfig::new(game, 10, 1)
+            .unwrap()
+            .with_estimation(UtilityEstimation::Noisy { relative_sd: -0.5 });
+        let mut s = streams(Benchmark::PageRank, 100, 1);
+        let mut p =
+            ThresholdPolicy::uniform("t", ThresholdStrategy::new(5.0).unwrap(), 100).unwrap();
+        assert!(simulate(&bad, &mut s, &mut p).is_err());
+
+        // With huge noise the threshold loses selectivity: sprinted
+        // epochs no longer concentrate on high utilities, so throughput
+        // falls versus the oracle.
+        let run = |est: UtilityEstimation, seed: u64| {
+            let cfg = SimConfig::new(game, 600, seed).unwrap().with_estimation(est);
+            let mut s = streams(Benchmark::PageRank, 100, seed);
+            let mut p =
+                ThresholdPolicy::uniform("t", ThresholdStrategy::new(5.27).unwrap(), 100)
+                    .unwrap();
+            simulate(&cfg, &mut s, &mut p).unwrap().tasks_per_agent_epoch()
+        };
+        let oracle = run(UtilityEstimation::Oracle, 5);
+        let noisy = run(UtilityEstimation::Noisy { relative_sd: 2.0 }, 5);
+        assert!(
+            noisy < oracle,
+            "noisy {noisy} should fall below oracle {oracle}"
+        );
+    }
+
+    #[test]
+    fn truncated_interruption_only_reduces_tripped_epochs() {
+        let game = small_game(100);
+        let run = |mode: TripInterruption| {
+            let cfg = SimConfig::new(game, 500, 3).unwrap().with_interruption(mode);
+            let mut s = streams(Benchmark::DecisionTree, 100, 3);
+            simulate(&cfg, &mut s, &mut Greedy::new()).unwrap()
+        };
+        let ups = run(TripInterruption::CompleteOnUps);
+        let truncated = run(TripInterruption::Truncated);
+        // Same seed, same decisions: identical dynamics, less credit.
+        assert_eq!(ups.sprinters_per_epoch(), truncated.sprinters_per_epoch());
+        assert_eq!(ups.trips(), truncated.trips());
+        assert!(truncated.total_tasks() < ups.total_tasks());
+    }
+
+    #[test]
+    fn pre_trip_fraction_shape() {
+        let game = small_game(1000);
+        // Below the band: full epoch.
+        assert_eq!(pre_trip_fraction(&game, 100.0), 1.0);
+        // Monotone non-increasing in overload severity, bounded.
+        let mut last = 1.0;
+        for n in (250..=2000).step_by(125) {
+            let f = pre_trip_fraction(&game, f64::from(n));
+            assert!(f <= last + 1e-12, "fraction must not increase");
+            assert!((0.05..=1.0).contains(&f));
+            last = f;
+        }
+        // At N_max (m = 1.75): t = 161.56 / (1.75² − 1) ≈ 78 s of 150.
+        let at_max = pre_trip_fraction(&game, 750.0);
+        assert!((at_max - 0.522).abs() < 0.01, "fraction at N_max = {at_max}");
+    }
+
+    #[test]
+    fn sprint_utilities_are_collected() {
+        // One agent, always sprinting, never tripping (N_min above 1):
+        // throughput equals the mean utility (alternating with cooling).
+        let game = GameConfig::builder()
+            .n_agents(1)
+            .n_min(5.0)
+            .n_max(6.0)
+            .p_cooling(0.0)
+            .build()
+            .unwrap();
+        let cfg = SimConfig::new(game, 1000, 9).unwrap();
+        let mut s = streams(Benchmark::LinearRegression, 1, 9);
+        let r = simulate(&cfg, &mut s, &mut Greedy::new()).unwrap();
+        // Alternates sprint (mean 4.0) and cooling (1.0): ≈ 2.5.
+        let tpe = r.tasks_per_agent_epoch();
+        assert!((2.2..=2.8).contains(&tpe), "tasks/epoch = {tpe}");
+        assert_eq!(r.trips(), 0);
+    }
+}

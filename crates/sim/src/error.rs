@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+use sprint_game::GameError;
+use sprint_workloads::WorkloadError;
+
+/// Error raised by simulation setup or execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+        /// Human-readable description of the valid domain.
+        expected: &'static str,
+    },
+    /// A game solve required by a policy failed.
+    Game(GameError),
+    /// Workload construction failed.
+    Workload(WorkloadError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "parameter `{name}` = {value} is invalid: expected {expected}"),
+            SimError::Game(e) => write!(f, "game solver error: {e}"),
+            SimError::Workload(e) => write!(f, "workload error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Game(e) => Some(e),
+            SimError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GameError> for SimError {
+    fn from(e: GameError) -> Self {
+        SimError::Game(e)
+    }
+}
+
+impl From<WorkloadError> for SimError {
+    fn from(e: WorkloadError) -> Self {
+        SimError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::InvalidParameter {
+            name: "epochs",
+            value: 0.0,
+            expected: "at least one epoch",
+        };
+        assert!(e.to_string().contains("epochs"));
+        assert!(e.source().is_none());
+        let e: SimError = GameError::NoEquilibrium {
+            iterations: 1,
+            residual: 1.0,
+        }
+        .into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SimError>();
+    }
+}

@@ -1,0 +1,51 @@
+//! Epoch-driven rack simulator for the computational sprinting game.
+//!
+//! Reimplements the paper's R-based simulator (§5, "Simulation Methods"):
+//! 1000 users per rack, each running a workload whose per-epoch sprint
+//! utility comes from calibrated phase processes. The simulator models the
+//! full system dynamics — sprints, chip cooling, breaker trips, rack-wide
+//! recovery with staggered wake-up — under the paper's four policies:
+//!
+//! - **Greedy (G)** — sprint at every opportunity ([`policies::Greedy`]).
+//! - **Exponential Backoff (E-B)** — greedy with randomized post-trip
+//!   backoff that contracts after 100 quiet epochs
+//!   ([`policies::ExponentialBackoff`]).
+//! - **Equilibrium Threshold (E-T)** — per-type thresholds from the
+//!   mean-field game ([`policies::ThresholdPolicy`] +
+//!   [`scenario::Scenario::equilibrium_policy`]).
+//! - **Cooperative Threshold (C-T)** — the globally optimal common
+//!   threshold ([`scenario::Scenario::cooperative_policy`]).
+//!
+//! # Example
+//!
+//! ```
+//! use sprint_sim::scenario::Scenario;
+//! use sprint_sim::policy::PolicyKind;
+//! use sprint_workloads::Benchmark;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = Scenario::homogeneous(Benchmark::DecisionTree, 200, 300)?;
+//! let greedy = scenario.run(PolicyKind::Greedy, 7)?;
+//! let equilibrium = scenario.run(PolicyKind::EquilibriumThreshold, 7)?;
+//! assert!(equilibrium.tasks_per_agent_epoch() > greedy.tasks_per_agent_epoch());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cluster;
+pub mod engine;
+pub mod metrics;
+pub mod policies;
+pub mod policy;
+pub mod runner;
+pub mod scenario;
+
+mod error;
+
+pub use engine::{simulate, RecoverySemantics, SimConfig};
+pub use error::SimError;
+pub use metrics::SimResult;
+pub use policy::{PolicyKind, SprintPolicy};
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,173 @@
+//! Simulation metrics: throughput, state occupancy, sprint dynamics.
+//!
+//! The paper reports task throughput (TPS, Figure 8/9), the number of
+//! sprinters per epoch (Figure 6), and the share of time agents spend in
+//! each state (Figure 7). [`SimResult`] collects all three from one run.
+
+/// Epochs spent in each condition, summed over agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct StateOccupancy {
+    /// Active epochs spent in normal mode (not sprinting).
+    pub active_idle: u64,
+    /// Epochs spent sprinting.
+    pub sprinting: u64,
+    /// Epochs spent chip-cooling.
+    pub cooling: u64,
+    /// Epochs spent in rack recovery.
+    pub recovery: u64,
+}
+
+impl StateOccupancy {
+    /// Total agent-epochs observed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.active_idle + self.sprinting + self.cooling + self.recovery
+    }
+
+    /// Fractions in Figure 7's order:
+    /// `[active (not sprinting), cooling, recovery, sprinting]`.
+    #[must_use]
+    pub fn fractions(&self) -> [f64; 4] {
+        let total = self.total().max(1) as f64;
+        [
+            self.active_idle as f64 / total,
+            self.cooling as f64 / total,
+            self.recovery as f64 / total,
+            self.sprinting as f64 / total,
+        ]
+    }
+}
+
+/// The outcome of one simulated run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimResult {
+    pub(crate) n_agents: u32,
+    pub(crate) epochs: usize,
+    pub(crate) sprinters_per_epoch: Vec<u32>,
+    pub(crate) total_tasks: f64,
+    pub(crate) trips: u32,
+    pub(crate) occupancy: StateOccupancy,
+}
+
+impl SimResult {
+    /// Number of simulated agents.
+    #[must_use]
+    pub fn n_agents(&self) -> u32 {
+        self.n_agents
+    }
+
+    /// Number of simulated epochs.
+    #[must_use]
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// Sprinter count per epoch — the Figure 6 time series.
+    #[must_use]
+    pub fn sprinters_per_epoch(&self) -> &[u32] {
+        &self.sprinters_per_epoch
+    }
+
+    /// Total task-units completed (normal-mode epoch = 1 task-unit).
+    #[must_use]
+    pub fn total_tasks(&self) -> f64 {
+        self.total_tasks
+    }
+
+    /// Task throughput per agent per epoch — the paper's TPS metric,
+    /// normalized so an always-normal-mode agent scores 1.
+    #[must_use]
+    pub fn tasks_per_agent_epoch(&self) -> f64 {
+        self.total_tasks / (f64::from(self.n_agents) * self.epochs as f64)
+    }
+
+    /// Number of power emergencies (breaker trips).
+    #[must_use]
+    pub fn trips(&self) -> u32 {
+        self.trips
+    }
+
+    /// State occupancy, summed over agents — the Figure 7 data.
+    #[must_use]
+    pub fn occupancy(&self) -> StateOccupancy {
+        self.occupancy
+    }
+
+    /// Mean sprinters per epoch (recovery epochs count as zero sprinters,
+    /// exactly as Figure 6 plots them).
+    #[must_use]
+    pub fn mean_sprinters(&self) -> f64 {
+        if self.sprinters_per_epoch.is_empty() {
+            return 0.0;
+        }
+        self.sprinters_per_epoch
+            .iter()
+            .map(|&s| f64::from(s))
+            .sum::<f64>()
+            / self.sprinters_per_epoch.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_fractions_sum_to_one() {
+        let occ = StateOccupancy {
+            active_idle: 10,
+            sprinting: 20,
+            cooling: 30,
+            recovery: 40,
+        };
+        assert_eq!(occ.total(), 100);
+        let f = occ.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((f[3] - 0.2).abs() < 1e-12, "sprinting fraction");
+    }
+
+    #[test]
+    fn empty_occupancy_is_safe() {
+        let occ = StateOccupancy::default();
+        assert_eq!(occ.total(), 0);
+        assert_eq!(occ.fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn result_accessors() {
+        let r = SimResult {
+            n_agents: 10,
+            epochs: 4,
+            sprinters_per_epoch: vec![1, 2, 3, 4],
+            total_tasks: 80.0,
+            trips: 1,
+            occupancy: StateOccupancy::default(),
+        };
+        assert_eq!(r.tasks_per_agent_epoch(), 2.0);
+        assert_eq!(r.mean_sprinters(), 2.5);
+        assert_eq!(r.trips(), 1);
+        assert_eq!(r.sprinters_per_epoch().len(), 4);
+    }
+
+    #[test]
+    fn serde_round_trips_results() {
+        let r = SimResult {
+            n_agents: 10,
+            epochs: 2,
+            sprinters_per_epoch: vec![3, 0],
+            total_tasks: 25.5,
+            trips: 1,
+            occupancy: StateOccupancy {
+                active_idle: 5,
+                sprinting: 3,
+                cooling: 2,
+                recovery: 10,
+            },
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+        // Results are archivable: experiment records survive the trip.
+        assert_eq!(back.occupancy().fractions(), r.occupancy().fractions());
+    }
+}

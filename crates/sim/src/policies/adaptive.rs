@@ -1,0 +1,225 @@
+//! Adaptive threshold learning — an extension beyond the paper.
+//!
+//! The paper's coordinator computes equilibrium thresholds *offline* with
+//! full knowledge of the population (Algorithm 1). This policy asks: can
+//! agents reach the same equilibrium *online*, with no coordinator, by
+//! best-responding to the trip frequency they actually observe?
+//!
+//! Each agent maintains an exponentially weighted estimate of the
+//! per-epoch tripping probability and periodically re-solves its Bellman
+//! equation against that belief. If the learning dynamics converge, they
+//! must converge to a mean-field equilibrium — the fixed point is the
+//! same — which makes this a constructive justification for the
+//! equilibrium concept (cf. §4.4 "over time, population behavior and
+//! agent strategies converge to a stationary distribution").
+
+use sprint_game::bellman::{self, BellmanMethod};
+use sprint_game::GameConfig;
+use sprint_stats::density::DiscreteDensity;
+
+use crate::policy::SprintPolicy;
+use crate::SimError;
+
+/// Online best-response learner: estimates `P_trip` from observed trips
+/// and periodically re-optimizes its threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveThreshold {
+    config: GameConfig,
+    density: DiscreteDensity,
+    /// EWMA weight on each epoch's trip observation.
+    learning_rate: f64,
+    /// Epochs between Bellman re-solves.
+    refresh_epochs: usize,
+    belief_p_trip: f64,
+    threshold: f64,
+    epochs_seen: usize,
+    threshold_history: Vec<f64>,
+}
+
+impl AdaptiveThreshold {
+    /// Create a learner for agents whose utilities follow `density`.
+    ///
+    /// `initial_belief` seeds the tripping-probability estimate (the
+    /// paper's Algorithm 1 starts from 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for a learning rate outside
+    /// `(0, 1]`, a zero refresh interval, or an initial belief outside
+    /// `[0, 1]`, and propagates Bellman-solver errors for the initial
+    /// threshold.
+    pub fn new(
+        config: GameConfig,
+        density: DiscreteDensity,
+        learning_rate: f64,
+        refresh_epochs: usize,
+        initial_belief: f64,
+    ) -> crate::Result<Self> {
+        if learning_rate.is_nan() || learning_rate <= 0.0 || learning_rate > 1.0 {
+            return Err(SimError::InvalidParameter {
+                name: "learning_rate",
+                value: learning_rate,
+                expected: "a weight in (0, 1]",
+            });
+        }
+        if refresh_epochs == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "refresh_epochs",
+                value: 0.0,
+                expected: "at least one epoch between refreshes",
+            });
+        }
+        if !(0.0..=1.0).contains(&initial_belief) {
+            return Err(SimError::InvalidParameter {
+                name: "initial_belief",
+                value: initial_belief,
+                expected: "a probability in [0, 1]",
+            });
+        }
+        let threshold = bellman::solve(
+            &config,
+            &density,
+            initial_belief,
+            BellmanMethod::PolicyIteration,
+        )?
+        .threshold;
+        Ok(AdaptiveThreshold {
+            config,
+            density,
+            learning_rate,
+            refresh_epochs,
+            belief_p_trip: initial_belief,
+            threshold,
+            epochs_seen: 0,
+            threshold_history: vec![threshold],
+        })
+    }
+
+    /// Sensible defaults: learning rate 0.02 (≈50-epoch memory), refresh
+    /// every 10 epochs, pessimistic initial belief 1.0 as in Algorithm 1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AdaptiveThreshold::new`] errors.
+    pub fn with_defaults(config: GameConfig, density: DiscreteDensity) -> crate::Result<Self> {
+        AdaptiveThreshold::new(config, density, 0.02, 10, 1.0)
+    }
+
+    /// Current belief about the per-epoch tripping probability.
+    #[must_use]
+    pub fn belief_p_trip(&self) -> f64 {
+        self.belief_p_trip
+    }
+
+    /// Current threshold.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The thresholds after each refresh (for convergence plots).
+    #[must_use]
+    pub fn threshold_history(&self) -> &[f64] {
+        &self.threshold_history
+    }
+}
+
+impl SprintPolicy for AdaptiveThreshold {
+    fn name(&self) -> &'static str {
+        "Adaptive Threshold"
+    }
+
+    fn wants_sprint(&mut self, _agent: usize, utility: f64) -> bool {
+        utility > self.threshold
+    }
+
+    fn epoch_end(&mut self, tripped: bool) {
+        let observation = if tripped { 1.0 } else { 0.0 };
+        self.belief_p_trip += self.learning_rate * (observation - self.belief_p_trip);
+        self.epochs_seen += 1;
+        if self.epochs_seen.is_multiple_of(self.refresh_epochs) {
+            if let Ok(sol) = bellman::solve(
+                &self.config,
+                &self.density,
+                self.belief_p_trip,
+                BellmanMethod::PolicyIteration,
+            ) {
+                self.threshold = sol.threshold;
+                self.threshold_history.push(sol.threshold);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_game::MeanFieldSolver;
+    use sprint_workloads::Benchmark;
+
+    fn setup() -> (GameConfig, DiscreteDensity) {
+        (
+            GameConfig::paper_defaults(),
+            Benchmark::DecisionTree.utility_density(256).unwrap(),
+        )
+    }
+
+    #[test]
+    fn validates_parameters() {
+        let (cfg, d) = setup();
+        assert!(AdaptiveThreshold::new(cfg, d.clone(), 0.0, 10, 1.0).is_err());
+        assert!(AdaptiveThreshold::new(cfg, d.clone(), 1.5, 10, 1.0).is_err());
+        assert!(AdaptiveThreshold::new(cfg, d.clone(), 0.1, 0, 1.0).is_err());
+        assert!(AdaptiveThreshold::new(cfg, d, 0.1, 10, 2.0).is_err());
+    }
+
+    #[test]
+    fn starts_aggressive_under_pessimistic_belief() {
+        // Belief P = 1 collapses the threshold (Equation 8's (1 − P)).
+        let (cfg, d) = setup();
+        let p = AdaptiveThreshold::with_defaults(cfg, d).unwrap();
+        assert!(p.threshold() < 0.01);
+        assert_eq!(p.belief_p_trip(), 1.0);
+    }
+
+    #[test]
+    fn quiet_epochs_decay_belief_and_raise_threshold() {
+        let (cfg, d) = setup();
+        let mut p = AdaptiveThreshold::with_defaults(cfg, d.clone()).unwrap();
+        for _ in 0..500 {
+            p.epoch_end(false);
+        }
+        assert!(p.belief_p_trip() < 0.01);
+        // Belief ≈ 0: the learned threshold approaches the offline
+        // equilibrium threshold for this (zero-trip) regime.
+        let eq = MeanFieldSolver::new(cfg).solve(&d).unwrap();
+        assert!(
+            (p.threshold() - eq.threshold()).abs() < 0.05,
+            "learned {} vs equilibrium {}",
+            p.threshold(),
+            eq.threshold()
+        );
+        assert!(p.threshold_history().len() > 10);
+    }
+
+    #[test]
+    fn trips_raise_belief_and_lower_threshold() {
+        let (cfg, d) = setup();
+        let mut p = AdaptiveThreshold::new(cfg, d, 0.1, 5, 0.0).unwrap();
+        let calm_threshold = p.threshold();
+        for _ in 0..50 {
+            p.epoch_end(true);
+        }
+        assert!(p.belief_p_trip() > 0.9);
+        assert!(p.threshold() < calm_threshold);
+    }
+
+    #[test]
+    fn decision_compares_against_current_threshold() {
+        let (cfg, d) = setup();
+        let mut p = AdaptiveThreshold::new(cfg, d, 0.1, 5, 0.0).unwrap();
+        let t = p.threshold();
+        assert!(p.wants_sprint(0, t + 0.1));
+        assert!(!p.wants_sprint(0, t - 0.1));
+    }
+}

@@ -1,0 +1,46 @@
+//! The Greedy (G) policy.
+//!
+//! "Greedy permits agents to sprint as long as the chip is not cooling and
+//! the rack is not recovering. This mechanism may frequently trip the
+//! breaker and require rack recovery... Greedy produces a poor
+//! equilibrium — knowing that everyone is sprinting, an agent's best
+//! response is to sprint as well." (§6)
+
+use crate::policy::SprintPolicy;
+
+/// Sprint at every opportunity, regardless of utility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Greedy;
+
+impl Greedy {
+    /// Create the greedy policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Greedy
+    }
+}
+
+impl SprintPolicy for Greedy {
+    fn name(&self) -> &'static str {
+        "Greedy"
+    }
+
+    fn wants_sprint(&mut self, _agent: usize, _utility: f64) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_sprints() {
+        let mut g = Greedy::new();
+        assert!(g.wants_sprint(0, 0.0));
+        assert!(g.wants_sprint(7, 100.0));
+        g.epoch_end(true); // no-op, must not panic
+        assert!(g.wants_sprint(7, 0.1));
+        assert_eq!(g.name(), "Greedy");
+    }
+}

@@ -1,0 +1,169 @@
+//! Grim-trigger enforcement of cooperative thresholds (paper §6.4).
+//!
+//! "The coordinator could monitor sprints, detect deviations from
+//! assigned strategies, and forbid agents who deviate from ever sprinting
+//! again." This policy wraps an assigned-threshold profile with exactly
+//! that enforcement: *deviant* agents ignore their assignment and sprint
+//! greedily; when enforcement is on, the first observed deviation bans
+//! the agent from sprinting permanently.
+
+use crate::policy::SprintPolicy;
+use crate::SimError;
+
+/// Cooperative thresholds with optional grim-trigger punishment and a
+/// configurable set of deviant (greedy) agents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrimTrigger {
+    assigned: Vec<f64>,
+    deviant: Vec<bool>,
+    banned: Vec<bool>,
+    enforcement: bool,
+    detections: u64,
+}
+
+impl GrimTrigger {
+    /// Create the policy: every agent is assigned `thresholds[i]`; agents
+    /// listed in `deviants` ignore the assignment and sprint greedily.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for an empty threshold list,
+    /// invalid thresholds, or deviant indices out of range.
+    pub fn new(
+        thresholds: Vec<f64>,
+        deviants: &[usize],
+        enforcement: bool,
+    ) -> crate::Result<Self> {
+        if thresholds.is_empty() {
+            return Err(SimError::InvalidParameter {
+                name: "thresholds",
+                value: 0.0,
+                expected: "one threshold per agent",
+            });
+        }
+        if thresholds.iter().any(|&t| t < 0.0 || !t.is_finite()) {
+            return Err(SimError::InvalidParameter {
+                name: "thresholds",
+                value: f64::NAN,
+                expected: "non-negative finite thresholds",
+            });
+        }
+        let n = thresholds.len();
+        let mut deviant = vec![false; n];
+        for &i in deviants {
+            if i >= n {
+                return Err(SimError::InvalidParameter {
+                    name: "deviants",
+                    value: i as f64,
+                    expected: "agent indices within the population",
+                });
+            }
+            deviant[i] = true;
+        }
+        Ok(GrimTrigger {
+            assigned: thresholds,
+            deviant,
+            banned: vec![false; n],
+            enforcement,
+            detections: 0,
+        })
+    }
+
+    /// Number of deviations the coordinator has detected (and, with
+    /// enforcement on, punished).
+    #[must_use]
+    pub fn detections(&self) -> u64 {
+        self.detections
+    }
+
+    /// Number of currently banned agents.
+    #[must_use]
+    pub fn banned_count(&self) -> usize {
+        self.banned.iter().filter(|&&b| b).count()
+    }
+}
+
+impl SprintPolicy for GrimTrigger {
+    fn name(&self) -> &'static str {
+        if self.enforcement {
+            "Cooperative + Grim Trigger"
+        } else {
+            "Cooperative (unenforced)"
+        }
+    }
+
+    fn wants_sprint(&mut self, agent: usize, utility: f64) -> bool {
+        if self.banned[agent] {
+            return false;
+        }
+        let conforming = utility > self.assigned[agent];
+        if self.deviant[agent] {
+            // Deviants sprint at every opportunity. The coordinator
+            // observes a sprint the assignment did not justify.
+            if !conforming {
+                self.detections += 1;
+                if self.enforcement {
+                    self.banned[agent] = true;
+                    // The ban takes effect immediately: the attempted
+                    // deviation is blocked.
+                    return false;
+                }
+            }
+            true
+        } else {
+            conforming
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_inputs() {
+        assert!(GrimTrigger::new(vec![], &[], true).is_err());
+        assert!(GrimTrigger::new(vec![-1.0], &[], true).is_err());
+        assert!(GrimTrigger::new(vec![2.0], &[5], true).is_err());
+    }
+
+    #[test]
+    fn conforming_agents_follow_assignments() {
+        let mut p = GrimTrigger::new(vec![3.0, 3.0], &[], true).unwrap();
+        assert!(p.wants_sprint(0, 4.0));
+        assert!(!p.wants_sprint(1, 2.0));
+        assert_eq!(p.detections(), 0);
+        assert_eq!(p.banned_count(), 0);
+    }
+
+    #[test]
+    fn unenforced_deviant_sprints_freely() {
+        let mut p = GrimTrigger::new(vec![3.0, 3.0], &[1], false).unwrap();
+        // Below the assigned threshold: a detectable deviation, but no ban.
+        assert!(p.wants_sprint(1, 1.0));
+        assert!(p.wants_sprint(1, 1.0));
+        assert_eq!(p.detections(), 2);
+        assert_eq!(p.banned_count(), 0);
+    }
+
+    #[test]
+    fn enforcement_bans_on_first_deviation() {
+        let mut p = GrimTrigger::new(vec![3.0, 3.0], &[1], true).unwrap();
+        // High-utility sprints are indistinguishable from conformance.
+        assert!(p.wants_sprint(1, 5.0));
+        assert_eq!(p.detections(), 0);
+        // The first low-utility sprint attempt is detected and blocked.
+        assert!(!p.wants_sprint(1, 1.0));
+        assert_eq!(p.detections(), 1);
+        assert_eq!(p.banned_count(), 1);
+        // Banned forever, even for epochs that would have conformed.
+        assert!(!p.wants_sprint(1, 100.0));
+    }
+
+    #[test]
+    fn bans_do_not_leak_to_conformers() {
+        let mut p = GrimTrigger::new(vec![3.0, 3.0], &[1], true).unwrap();
+        let _ = p.wants_sprint(1, 0.5);
+        assert!(p.wants_sprint(0, 4.0), "agent 0 is unaffected");
+    }
+}

@@ -1,0 +1,16 @@
+//! The paper's four sprinting policies (§6) plus two extensions: online
+//! best-response learning and grim-trigger enforcement (§6.4).
+
+mod adaptive;
+mod backoff;
+mod greedy;
+mod grim;
+mod predictive;
+mod threshold;
+
+pub use adaptive::AdaptiveThreshold;
+pub use backoff::ExponentialBackoff;
+pub use greedy::Greedy;
+pub use grim::GrimTrigger;
+pub use predictive::PredictiveThreshold;
+pub use threshold::ThresholdPolicy;

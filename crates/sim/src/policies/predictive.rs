@@ -1,0 +1,138 @@
+//! Prediction-based thresholding — quantifying the value of profiling.
+//!
+//! The paper's online strategy estimates the epoch's utility by briefly
+//! profiling at epoch start (§4.4). That costs a slice of every epoch.
+//! The alternative is to *predict* the epoch's utility from history and
+//! decide before running anything. This policy does exactly that: each
+//! agent feeds its measured utilities into a phase-local predictor
+//! ([`sprint_game::agent::UtilityPredictor`]) and compares the
+//! *prediction* — not the measurement — against its threshold.
+//!
+//! Because phases persist, prediction is accurate inside a phase and
+//! wrong for exactly one epoch at each phase boundary; the bench target
+//! `ablation_estimation_noise` and this policy bracket the value of the
+//! paper's profiling step from both sides.
+
+use sprint_game::agent::UtilityPredictor;
+
+use crate::policy::SprintPolicy;
+use crate::SimError;
+
+/// Threshold policy deciding on predicted (not measured) utility.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictiveThreshold {
+    thresholds: Vec<f64>,
+    predictors: Vec<UtilityPredictor>,
+}
+
+impl PredictiveThreshold {
+    /// Create the policy with one threshold per agent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for an empty or invalid
+    /// threshold list.
+    pub fn new(thresholds: Vec<f64>) -> crate::Result<Self> {
+        if thresholds.is_empty() {
+            return Err(SimError::InvalidParameter {
+                name: "thresholds",
+                value: 0.0,
+                expected: "one threshold per agent",
+            });
+        }
+        if thresholds.iter().any(|&t| t < 0.0 || !t.is_finite()) {
+            return Err(SimError::InvalidParameter {
+                name: "thresholds",
+                value: f64::NAN,
+                expected: "non-negative finite thresholds",
+            });
+        }
+        let predictors = vec![UtilityPredictor::phase_local(); thresholds.len()];
+        Ok(PredictiveThreshold {
+            thresholds,
+            predictors,
+        })
+    }
+
+    /// Uniform thresholds for `n_agents` agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when `n_agents` is 0 or the
+    /// threshold is invalid.
+    pub fn uniform(threshold: f64, n_agents: usize) -> crate::Result<Self> {
+        if n_agents == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "n_agents",
+                value: 0.0,
+                expected: "at least one agent",
+            });
+        }
+        PredictiveThreshold::new(vec![threshold; n_agents])
+    }
+}
+
+impl SprintPolicy for PredictiveThreshold {
+    fn name(&self) -> &'static str {
+        "Predictive Threshold"
+    }
+
+    fn wants_sprint(&mut self, agent: usize, utility: f64) -> bool {
+        // Decide on the prediction from *past* epochs; the measurement
+        // only updates the predictor for future decisions. The first
+        // epoch has no history and conservatively declines to sprint.
+        let decision = self.predictors[agent]
+            .predict()
+            .is_some_and(|predicted| predicted > self.thresholds[agent]);
+        self.predictors[agent].observe(utility);
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_inputs() {
+        assert!(PredictiveThreshold::new(vec![]).is_err());
+        assert!(PredictiveThreshold::new(vec![-1.0]).is_err());
+        assert!(PredictiveThreshold::uniform(2.0, 0).is_err());
+    }
+
+    #[test]
+    fn first_epoch_never_sprints() {
+        let mut p = PredictiveThreshold::uniform(1.0, 2).unwrap();
+        assert!(!p.wants_sprint(0, 100.0), "no history yet");
+        // Second epoch predicts from the first observation.
+        assert!(p.wants_sprint(0, 100.0));
+    }
+
+    #[test]
+    fn decisions_lag_phase_changes_by_one_epoch() {
+        let mut p = PredictiveThreshold::uniform(3.0, 1).unwrap();
+        // Warm up in a low phase.
+        for _ in 0..5 {
+            assert!(!p.wants_sprint(0, 1.0));
+        }
+        // Phase jumps high: the first high epoch is missed...
+        assert!(!p.wants_sprint(0, 8.0));
+        // ...but subsequent high epochs are caught.
+        assert!(p.wants_sprint(0, 8.0));
+        // Phase drops low: one spurious sprint...
+        assert!(p.wants_sprint(0, 1.0));
+        // ...then the predictor catches down. (The EWMA memory may take
+        // an extra epoch for large jumps.)
+        let _ = p.wants_sprint(0, 1.0);
+        assert!(!p.wants_sprint(0, 1.0));
+    }
+
+    #[test]
+    fn per_agent_independence() {
+        let mut p = PredictiveThreshold::new(vec![3.0, 3.0]).unwrap();
+        let _ = p.wants_sprint(0, 10.0);
+        // Agent 1 has no history even after agent 0 observed.
+        assert!(!p.wants_sprint(1, 10.0));
+        assert!(p.wants_sprint(0, 10.0));
+    }
+}

@@ -1,0 +1,90 @@
+//! The sprinting-policy interface.
+//!
+//! A policy answers one question per active agent per epoch: *sprint or
+//! not?* — and observes the epoch's global outcome (whether the breaker
+//! tripped) to adapt. The paper's four policies (§6) implement this trait
+//! in [`crate::policies`].
+
+/// Identifier for the paper's evaluated policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PolicyKind {
+    /// G: sprint whenever permitted.
+    Greedy,
+    /// E-B: greedy with randomized exponential backoff after trips.
+    ExponentialBackoff,
+    /// E-T: per-type equilibrium thresholds from Algorithm 1.
+    EquilibriumThreshold,
+    /// C-T: the globally optimal common threshold (upper bound).
+    CooperativeThreshold,
+}
+
+impl PolicyKind {
+    /// All four policies in the paper's presentation order.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::Greedy,
+        PolicyKind::ExponentialBackoff,
+        PolicyKind::EquilibriumThreshold,
+        PolicyKind::CooperativeThreshold,
+    ];
+
+    /// Abbreviation used in the paper's figures.
+    #[must_use]
+    pub fn abbreviation(&self) -> &'static str {
+        match self {
+            PolicyKind::Greedy => "G",
+            PolicyKind::ExponentialBackoff => "E-B",
+            PolicyKind::EquilibriumThreshold => "E-T",
+            PolicyKind::CooperativeThreshold => "C-T",
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PolicyKind::Greedy => "Greedy",
+            PolicyKind::ExponentialBackoff => "Exponential Backoff",
+            PolicyKind::EquilibriumThreshold => "Equilibrium Threshold",
+            PolicyKind::CooperativeThreshold => "Cooperative Threshold",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A sprinting policy driving every agent in a simulated rack.
+pub trait SprintPolicy: Send {
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether agent `agent` (currently active) wants to sprint this
+    /// epoch, given its estimated utility.
+    fn wants_sprint(&mut self, agent: usize, utility: f64) -> bool;
+
+    /// Observe the epoch's outcome (breaker tripped or not). Called once
+    /// per epoch after all decisions resolve; adaptive policies (E-B)
+    /// update their state here.
+    fn epoch_end(&mut self, tripped: bool) {
+        let _ = tripped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_policies_in_order() {
+        assert_eq!(PolicyKind::ALL.len(), 4);
+        assert_eq!(PolicyKind::ALL[0].abbreviation(), "G");
+        assert_eq!(PolicyKind::ALL[3].abbreviation(), "C-T");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PolicyKind::Greedy.to_string(), "Greedy");
+        assert_eq!(
+            PolicyKind::EquilibriumThreshold.to_string(),
+            "Equilibrium Threshold"
+        );
+    }
+}

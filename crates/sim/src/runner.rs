@@ -1,0 +1,223 @@
+//! Multi-trial experiment runner.
+//!
+//! The paper reports averages over repeated randomized runs (e.g.
+//! Figure 9 repeats each mix ten times). [`compare_policies`] runs a
+//! scenario under several policies across several seeds in parallel
+//! (one thread per policy × seed pair, via crossbeam's scoped threads)
+//! and aggregates the metrics.
+
+use crossbeam::thread;
+use sprint_stats::summary::{confidence_interval_95, ConfidenceInterval, OnlineStats};
+
+use crate::metrics::SimResult;
+use crate::policy::PolicyKind;
+use crate::scenario::Scenario;
+use crate::SimError;
+
+/// Aggregated outcome of one policy across trials.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PolicyOutcome {
+    /// The policy.
+    pub policy: PolicyKind,
+    /// Mean task throughput per agent-epoch across trials.
+    pub tasks_per_agent_epoch: f64,
+    /// Standard deviation of the throughput across trials.
+    pub tasks_std_dev: f64,
+    /// 95 % Student-t confidence interval of the throughput across trials
+    /// (`None` when only one trial was run).
+    pub tasks_ci: Option<ConfidenceInterval>,
+    /// Mean occupancy fractions `[active idle, cooling, recovery,
+    /// sprinting]`.
+    pub occupancy: [f64; 4],
+    /// Mean sprinters per epoch.
+    pub mean_sprinters: f64,
+    /// Mean breaker trips per run.
+    pub trips: f64,
+}
+
+/// A full policy comparison with Greedy-normalized throughput.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Comparison {
+    outcomes: Vec<PolicyOutcome>,
+}
+
+impl Comparison {
+    /// Per-policy outcomes in the order requested.
+    #[must_use]
+    pub fn outcomes(&self) -> &[PolicyOutcome] {
+        &self.outcomes
+    }
+
+    /// Outcome for a specific policy.
+    #[must_use]
+    pub fn outcome(&self, policy: PolicyKind) -> Option<&PolicyOutcome> {
+        self.outcomes.iter().find(|o| o.policy == policy)
+    }
+
+    /// Throughput normalized to Greedy (the paper's Figure 8/9 metric),
+    /// or `None` when Greedy was not among the compared policies.
+    #[must_use]
+    pub fn normalized_to_greedy(&self, policy: PolicyKind) -> Option<f64> {
+        let greedy = self.outcome(PolicyKind::Greedy)?.tasks_per_agent_epoch;
+        let target = self.outcome(policy)?.tasks_per_agent_epoch;
+        if greedy <= 0.0 {
+            return None;
+        }
+        Some(target / greedy)
+    }
+}
+
+fn aggregate(policy: PolicyKind, results: &[SimResult]) -> PolicyOutcome {
+    let per_trial: Vec<f64> = results
+        .iter()
+        .map(SimResult::tasks_per_agent_epoch)
+        .collect();
+    let tasks: OnlineStats = per_trial.iter().copied().collect();
+    let tasks_ci = confidence_interval_95(&per_trial).ok();
+    let mut occupancy = [0.0f64; 4];
+    for r in results {
+        let f = r.occupancy().fractions();
+        for (acc, x) in occupancy.iter_mut().zip(f) {
+            *acc += x;
+        }
+    }
+    for acc in &mut occupancy {
+        *acc /= results.len() as f64;
+    }
+    PolicyOutcome {
+        policy,
+        tasks_per_agent_epoch: tasks.mean(),
+        tasks_std_dev: tasks.std_dev(),
+        tasks_ci,
+        occupancy,
+        mean_sprinters: results.iter().map(SimResult::mean_sprinters).sum::<f64>()
+            / results.len() as f64,
+        trips: results.iter().map(|r| f64::from(r.trips())).sum::<f64>() / results.len() as f64,
+    }
+}
+
+/// Run `scenario` under each policy for every seed, in parallel, and
+/// aggregate.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParameter`] for empty `policies`/`seeds`
+/// and propagates the first simulation error encountered.
+pub fn compare_policies(
+    scenario: &Scenario,
+    policies: &[PolicyKind],
+    seeds: &[u64],
+) -> crate::Result<Comparison> {
+    if policies.is_empty() {
+        return Err(SimError::InvalidParameter {
+            name: "policies",
+            value: 0.0,
+            expected: "at least one policy",
+        });
+    }
+    if seeds.is_empty() {
+        return Err(SimError::InvalidParameter {
+            name: "seeds",
+            value: 0.0,
+            expected: "at least one seed",
+        });
+    }
+
+    let results: Vec<crate::Result<(PolicyKind, SimResult)>> = thread::scope(|scope| {
+        let handles: Vec<_> = policies
+            .iter()
+            .flat_map(|&policy| seeds.iter().map(move |&seed| (policy, seed)))
+            .map(|(policy, seed)| {
+                scope.spawn(move |_| scenario.run(policy, seed).map(|r| (policy, r)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation threads do not panic"))
+            .collect()
+    })
+    .expect("scoped threads do not panic");
+
+    let mut by_policy: Vec<(PolicyKind, Vec<SimResult>)> =
+        policies.iter().map(|&p| (p, Vec::new())).collect();
+    for r in results {
+        let (policy, result) = r?;
+        by_policy
+            .iter_mut()
+            .find(|(p, _)| *p == policy)
+            .expect("policy was requested")
+            .1
+            .push(result);
+    }
+    Ok(Comparison {
+        outcomes: by_policy
+            .iter()
+            .map(|(p, rs)| aggregate(*p, rs))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_workloads::Benchmark;
+
+    #[test]
+    fn validates_inputs() {
+        let s = Scenario::homogeneous(Benchmark::Svm, 20, 10).unwrap();
+        assert!(compare_policies(&s, &[], &[1]).is_err());
+        assert!(compare_policies(&s, &[PolicyKind::Greedy], &[]).is_err());
+    }
+
+    #[test]
+    fn comparison_reproduces_figure8_ordering() {
+        // E-T and C-T beat E-B which beats (or ties) G for a diverse
+        // profile, even at reduced scale.
+        let s = Scenario::homogeneous(Benchmark::DecisionTree, 120, 300).unwrap();
+        let cmp = compare_policies(&s, &PolicyKind::ALL, &[1, 2]).unwrap();
+        let g = cmp.outcome(PolicyKind::Greedy).unwrap().tasks_per_agent_epoch;
+        let eb = cmp
+            .outcome(PolicyKind::ExponentialBackoff)
+            .unwrap()
+            .tasks_per_agent_epoch;
+        let et = cmp
+            .outcome(PolicyKind::EquilibriumThreshold)
+            .unwrap()
+            .tasks_per_agent_epoch;
+        let ct = cmp
+            .outcome(PolicyKind::CooperativeThreshold)
+            .unwrap()
+            .tasks_per_agent_epoch;
+        assert!(et > eb, "E-T {et} must beat E-B {eb}");
+        assert!(eb >= g * 0.9, "E-B {eb} roughly matches or beats G {g}");
+        assert!(ct > g, "C-T {ct} must beat G {g}");
+        let norm = cmp
+            .normalized_to_greedy(PolicyKind::EquilibriumThreshold)
+            .unwrap();
+        assert!(norm > 2.0, "E-T/G = {norm}");
+    }
+
+    #[test]
+    fn greedy_normalization_is_one() {
+        let s = Scenario::homogeneous(Benchmark::Als, 40, 60).unwrap();
+        let cmp = compare_policies(&s, &[PolicyKind::Greedy], &[5]).unwrap();
+        assert!((cmp.normalized_to_greedy(PolicyKind::Greedy).unwrap() - 1.0).abs() < 1e-12);
+        assert!(cmp
+            .normalized_to_greedy(PolicyKind::CooperativeThreshold)
+            .is_none());
+    }
+
+    #[test]
+    fn aggregation_averages_across_seeds() {
+        let s = Scenario::homogeneous(Benchmark::Kmeans, 30, 50).unwrap();
+        let cmp = compare_policies(&s, &[PolicyKind::Greedy], &[1, 2, 3]).unwrap();
+        let o = cmp.outcome(PolicyKind::Greedy).unwrap();
+        assert!(o.tasks_per_agent_epoch > 0.0);
+        assert!(o.tasks_std_dev >= 0.0);
+        let occ_sum: f64 = o.occupancy.iter().sum();
+        assert!((occ_sum - 1.0).abs() < 1e-9);
+        // Three trials yield a confidence interval containing the mean.
+        let ci = o.tasks_ci.expect("multiple trials");
+        assert!(ci.contains(o.tasks_per_agent_epoch));
+    }
+}

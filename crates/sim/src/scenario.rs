@@ -1,0 +1,368 @@
+//! Experiment scenarios: populations, game parameters, and policy
+//! construction.
+//!
+//! A [`Scenario`] bundles a workload population with its game
+//! configuration and knows how to build each of the paper's four policies
+//! for it — including running Algorithm 1 (E-T) or the exhaustive
+//! threshold search (C-T) offline, exactly as the coordinator would.
+
+use sprint_game::cooperative::CooperativeSearch;
+use sprint_game::multi::{AgentTypeSpec, MultiSolver};
+use sprint_game::{GameConfig, MeanFieldSolver};
+use sprint_stats::density::DiscreteDensity;
+use sprint_workloads::generator::Population;
+use sprint_workloads::Benchmark;
+
+use crate::engine::{simulate, RecoverySemantics, SimConfig, TripInterruption, UtilityEstimation};
+use crate::metrics::SimResult;
+use crate::policies::{ExponentialBackoff, Greedy, ThresholdPolicy};
+use crate::policy::{PolicyKind, SprintPolicy};
+use crate::SimError;
+
+/// Grid resolution for utility densities used by offline solves.
+const DENSITY_BINS: usize = 512;
+
+/// A reproducible experiment setup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    population: Population,
+    game: GameConfig,
+    epochs: usize,
+    recovery: RecoverySemantics,
+    interruption: TripInterruption,
+    estimation: UtilityEstimation,
+}
+
+impl Scenario {
+    /// A homogeneous rack: `n_agents` instances of one benchmark.
+    ///
+    /// The breaker band scales with the population (`N_min = 0.25 N`,
+    /// `N_max = 0.75 N`), with Table-2 values for everything else.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for zero agents or epochs.
+    pub fn homogeneous(benchmark: Benchmark, n_agents: u32, epochs: usize) -> crate::Result<Self> {
+        let population = Population::homogeneous(benchmark, n_agents as usize)?;
+        Scenario::with_population(population, epochs)
+    }
+
+    /// A heterogeneous rack: `n_agents` split round-robin across
+    /// `benchmarks`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Workload`] for an empty benchmark list and
+    /// [`SimError::InvalidParameter`] for zero agents or epochs.
+    pub fn heterogeneous(
+        benchmarks: &[Benchmark],
+        n_agents: u32,
+        epochs: usize,
+    ) -> crate::Result<Self> {
+        let population = Population::heterogeneous(benchmarks, n_agents as usize)?;
+        Scenario::with_population(population, epochs)
+    }
+
+    /// Build a scenario from an explicit population with the scaled
+    /// Table-2 game parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for zero epochs or a game
+    /// configuration the builder rejects.
+    pub fn with_population(population: Population, epochs: usize) -> crate::Result<Self> {
+        let n = population.len() as u32;
+        let game = GameConfig::builder()
+            .n_agents(n)
+            .n_min(f64::from(n) * 0.25)
+            .n_max(f64::from(n) * 0.75)
+            .build()?;
+        Scenario::with_game(population, game, epochs)
+    }
+
+    /// Build a scenario with an explicit game configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for zero epochs or a
+    /// population that does not match the configuration's `N`.
+    pub fn with_game(
+        population: Population,
+        game: GameConfig,
+        epochs: usize,
+    ) -> crate::Result<Self> {
+        if epochs == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "epochs",
+                value: 0.0,
+                expected: "at least one epoch",
+            });
+        }
+        if population.len() != game.n_agents() as usize {
+            return Err(SimError::InvalidParameter {
+                name: "population",
+                value: population.len() as f64,
+                expected: "a population matching the game configuration's N",
+            });
+        }
+        Ok(Scenario {
+            population,
+            game,
+            epochs,
+            recovery: RecoverySemantics::Idle,
+            interruption: TripInterruption::CompleteOnUps,
+            estimation: UtilityEstimation::Oracle,
+        })
+    }
+
+    /// Override the recovery semantics (ablation).
+    #[must_use]
+    pub fn with_recovery(mut self, semantics: RecoverySemantics) -> Self {
+        self.recovery = semantics;
+        self
+    }
+
+    /// Override the trip-interruption semantics (ablation).
+    #[must_use]
+    pub fn with_interruption(mut self, interruption: TripInterruption) -> Self {
+        self.interruption = interruption;
+        self
+    }
+
+    /// Override the utility-estimation model (ablation).
+    #[must_use]
+    pub fn with_estimation(mut self, estimation: UtilityEstimation) -> Self {
+        self.estimation = estimation;
+        self
+    }
+
+    /// The population.
+    #[must_use]
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// The game configuration.
+    #[must_use]
+    pub fn game(&self) -> &GameConfig {
+        &self.game
+    }
+
+    /// Simulated epochs per run.
+    #[must_use]
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    fn type_specs(&self) -> crate::Result<Vec<AgentTypeSpec>> {
+        self.population
+            .distinct_types()
+            .into_iter()
+            .map(|b| {
+                Ok(AgentTypeSpec::new(
+                    b.name(),
+                    b.utility_density(DENSITY_BINS)?,
+                    self.population.count_of(b) as u32,
+                ))
+            })
+            .collect()
+    }
+
+    /// Solve the game and build the E-T policy (per-type equilibrium
+    /// thresholds, assigned per agent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mean-field solver failures.
+    pub fn equilibrium_policy(&self) -> crate::Result<ThresholdPolicy> {
+        let types = self.population.distinct_types();
+        let thresholds: Vec<f64> = if types.len() == 1 {
+            let eq = MeanFieldSolver::new(self.game)
+                .solve(&types[0].utility_density(DENSITY_BINS)?)?;
+            vec![eq.threshold(); self.population.len()]
+        } else {
+            let eq = MultiSolver::new(self.game).solve(&self.type_specs()?)?;
+            self.population
+                .assignments()
+                .iter()
+                .map(|b| {
+                    eq.type_named(b.name())
+                        .map(|t| t.threshold)
+                        .expect("every assigned type was specified")
+                })
+                .collect()
+        };
+        ThresholdPolicy::new("Equilibrium Threshold", thresholds)
+    }
+
+    /// Build the C-T policy: the globally optimal *common* threshold from
+    /// exhaustive search.
+    ///
+    /// For heterogeneous populations the search runs on the population's
+    /// mixture density — the paper does not evaluate C-T there because
+    /// per-type exhaustive search "is computationally hard" (§6.2); the
+    /// common-threshold search is the tractable upper-bound proxy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates search failures.
+    pub fn cooperative_policy(&self) -> crate::Result<ThresholdPolicy> {
+        let density = self.mixture_density()?;
+        let ct = CooperativeSearch::default_resolution().solve(&self.game, &density)?;
+        ThresholdPolicy::uniform(
+            "Cooperative Threshold",
+            ct.strategy(),
+            self.population.len(),
+        )
+    }
+
+    /// The population's aggregate utility density (count-weighted mixture
+    /// of per-type densities).
+    ///
+    /// # Errors
+    ///
+    /// Propagates density-construction failures.
+    pub fn mixture_density(&self) -> crate::Result<DiscreteDensity> {
+        let types = self.population.distinct_types();
+        let densities: Vec<(DiscreteDensity, f64)> = types
+            .iter()
+            .map(|b| {
+                Ok((
+                    b.utility_density(DENSITY_BINS)?,
+                    self.population.count_of(*b) as f64,
+                ))
+            })
+            .collect::<crate::Result<_>>()?;
+        if densities.len() == 1 {
+            return Ok(densities.into_iter().next().expect("non-empty").0);
+        }
+        let parts: Vec<(&DiscreteDensity, f64)> =
+            densities.iter().map(|(d, w)| (d, *w)).collect();
+        DiscreteDensity::mixture(&parts, DENSITY_BINS)
+            .map_err(|e| SimError::Workload(sprint_workloads::WorkloadError::Stats(e)))
+    }
+
+    /// Build a policy by kind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates offline-solve failures for the threshold policies.
+    pub fn build_policy(&self, kind: PolicyKind, seed: u64) -> crate::Result<Box<dyn SprintPolicy>> {
+        Ok(match kind {
+            PolicyKind::Greedy => Box::new(Greedy::new()),
+            PolicyKind::ExponentialBackoff => {
+                Box::new(ExponentialBackoff::new(self.population.len(), seed))
+            }
+            PolicyKind::EquilibriumThreshold => Box::new(self.equilibrium_policy()?),
+            PolicyKind::CooperativeThreshold => Box::new(self.cooperative_policy()?),
+        })
+    }
+
+    /// Run one simulation of this scenario under `kind` with `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy construction and simulation errors.
+    pub fn run(&self, kind: PolicyKind, seed: u64) -> crate::Result<SimResult> {
+        let config = SimConfig::new(self.game, self.epochs, seed)?
+            .with_recovery(self.recovery)
+            .with_interruption(self.interruption)
+            .with_estimation(self.estimation);
+        let mut streams = self.population.spawn_streams(seed)?;
+        let mut policy = self.build_policy(kind, seed)?;
+        simulate(&config, &mut streams, policy.as_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_scales_band_with_population() {
+        let s = Scenario::homogeneous(Benchmark::DecisionTree, 200, 100).unwrap();
+        assert_eq!(s.game().n_agents(), 200);
+        assert_eq!(s.game().n_min(), 50.0);
+        assert_eq!(s.game().n_max(), 150.0);
+        assert_eq!(s.epochs(), 100);
+    }
+
+    #[test]
+    fn validates_epochs_and_population_match() {
+        assert!(Scenario::homogeneous(Benchmark::Svm, 10, 0).is_err());
+        let pop = Population::homogeneous(Benchmark::Svm, 10).unwrap();
+        let game = GameConfig::paper_defaults(); // N = 1000 ≠ 10
+        assert!(Scenario::with_game(pop, game, 10).is_err());
+    }
+
+    #[test]
+    fn equilibrium_policy_is_uniform_for_homogeneous() {
+        let s = Scenario::homogeneous(Benchmark::PageRank, 100, 50).unwrap();
+        let p = s.equilibrium_policy().unwrap();
+        let t0 = p.thresholds()[0];
+        assert!(p.thresholds().iter().all(|&t| (t - t0).abs() < 1e-12));
+        assert!(t0 > 1.0, "pagerank threshold should be substantial: {t0}");
+    }
+
+    #[test]
+    fn equilibrium_policy_tailors_types() {
+        let s = Scenario::heterogeneous(
+            &[Benchmark::LinearRegression, Benchmark::PageRank],
+            100,
+            50,
+        )
+        .unwrap();
+        let p = s.equilibrium_policy().unwrap();
+        // Round-robin: even agents linear, odd agents pagerank.
+        let linear = p.thresholds()[0];
+        let pagerank = p.thresholds()[1];
+        assert!(
+            pagerank > linear,
+            "pagerank {pagerank} should exceed linear {linear}"
+        );
+    }
+
+    #[test]
+    fn cooperative_policy_is_common_threshold() {
+        let s = Scenario::heterogeneous(&[Benchmark::Svm, Benchmark::Kmeans], 60, 50).unwrap();
+        let p = s.cooperative_policy().unwrap();
+        let t0 = p.thresholds()[0];
+        assert!(p.thresholds().iter().all(|&t| t == t0));
+    }
+
+    #[test]
+    fn mixture_density_weights_by_count() {
+        let s = Scenario::heterogeneous(
+            &[Benchmark::LinearRegression, Benchmark::PageRank],
+            100,
+            50,
+        )
+        .unwrap();
+        let m = s.mixture_density().unwrap();
+        // Half the mass from linear regression's 3-5x band, half from
+        // pagerank's bimodal profile — upper tail must be pagerank's.
+        assert!(m.tail_mass(8.0) > 0.1);
+        assert!(m.tail_mass(3.0) > 0.6);
+    }
+
+    #[test]
+    fn run_produces_results_for_all_policies() {
+        let s = Scenario::homogeneous(Benchmark::DecisionTree, 80, 150).unwrap();
+        for kind in PolicyKind::ALL {
+            let r = s.run(kind, 11).unwrap();
+            assert_eq!(r.n_agents(), 80);
+            assert_eq!(r.epochs(), 150);
+            assert!(r.total_tasks() > 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn equilibrium_beats_greedy_in_simulation() {
+        // The headline claim, at small scale: E-T outperforms G.
+        let s = Scenario::homogeneous(Benchmark::DecisionTree, 150, 400).unwrap();
+        let g = s.run(PolicyKind::Greedy, 13).unwrap();
+        let et = s.run(PolicyKind::EquilibriumThreshold, 13).unwrap();
+        let ratio = et.tasks_per_agent_epoch() / g.tasks_per_agent_epoch();
+        assert!(ratio > 2.0, "E-T/G = {ratio}");
+    }
+}

@@ -1,0 +1,103 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// Input slice was empty where at least one element is required.
+    EmptyInput,
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Value that was rejected.
+        value: f64,
+        /// Human-readable description of the valid domain.
+        expected: &'static str,
+    },
+    /// A probability vector or matrix row failed to normalize.
+    NotNormalized {
+        /// The mass that was found instead of 1.
+        mass: f64,
+    },
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations attempted.
+        iterations: usize,
+        /// Residual at the final iteration.
+        residual: f64,
+    },
+    /// Matrix dimensions were inconsistent.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension found.
+        found: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "input must contain at least one element"),
+            StatsError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "parameter `{name}` = {value} is invalid: expected {expected}"),
+            StatsError::NotNormalized { mass } => {
+                write!(f, "probabilities sum to {mass}, expected 1")
+            }
+            StatsError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iteration failed to converge after {iterations} steps (residual {residual:e})"
+            ),
+            StatsError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            StatsError::EmptyInput,
+            StatsError::InvalidParameter {
+                name: "sigma",
+                value: -1.0,
+                expected: "a positive number",
+            },
+            StatsError::NotNormalized { mass: 0.5 },
+            StatsError::NoConvergence {
+                iterations: 10,
+                residual: 1e-2,
+            },
+            StatsError::DimensionMismatch {
+                expected: 3,
+                found: 2,
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<StatsError>();
+    }
+}

@@ -1,0 +1,323 @@
+//! Fixed-bin histograms.
+//!
+//! Profiling in the sprinting game samples per-epoch sprinting utilities and
+//! bins them into an empirical density (paper §4.4, "Offline Analysis").
+
+use crate::StatsError;
+
+/// A histogram with uniform bins over `[lo, hi]`.
+///
+/// Out-of-range observations are clamped into the first/last bin so that
+/// profiling never silently drops mass; the clamped count is tracked and
+/// can be inspected with [`Histogram::clamped`].
+///
+/// ```
+/// use sprint_stats::histogram::Histogram;
+///
+/// # fn main() -> Result<(), sprint_stats::StatsError> {
+/// let mut h = Histogram::new(0.0, 10.0, 5)?;
+/// for x in [1.0, 1.5, 7.2, 9.9] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bin_counts()[0], 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    clamped: u64,
+}
+
+impl Histogram {
+    /// Create an empty histogram with `bins` uniform bins over `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `bins == 0` or the range
+    /// is empty or non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> crate::Result<Self> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins",
+                value: 0.0,
+                expected: "at least one bin",
+            });
+        }
+        if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+            return Err(StatsError::InvalidParameter {
+                name: "hi",
+                value: hi,
+                expected: "a finite value strictly greater than lo",
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            clamped: 0,
+        })
+    }
+
+    /// Build a histogram sized to cover `samples` exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] if `samples` is empty, or
+    /// [`StatsError::InvalidParameter`] for `bins == 0` or non-finite
+    /// samples. If all samples are equal the range is widened slightly so
+    /// the single value falls in an interior bin.
+    pub fn from_samples(samples: &[f64], bins: usize) -> crate::Result<Self> {
+        if samples.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if samples.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "samples",
+                value: f64::NAN,
+                expected: "finite sample values",
+            });
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in samples {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if hi <= lo {
+            // Degenerate sample set: widen by an epsilon-scaled margin.
+            let pad = lo.abs().max(1.0) * 1e-6;
+            lo -= pad;
+            hi += pad;
+        }
+        let mut h = Histogram::new(lo, hi, bins)?;
+        for &x in samples {
+            h.add(x);
+        }
+        Ok(h)
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let width = (self.hi - self.lo) / bins as f64;
+        let raw = ((x - self.lo) / width).floor();
+        let idx = if raw < 0.0 {
+            self.clamped += 1;
+            0
+        } else if raw as usize >= bins {
+            if x > self.hi {
+                self.clamped += 1;
+            }
+            bins - 1
+        } else {
+            raw as usize
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Record many observations.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+
+    /// Total number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations clamped from outside `[lo, hi]`.
+    #[must_use]
+    pub fn clamped(&self) -> u64 {
+        self.clamped
+    }
+
+    /// Raw per-bin counts.
+    #[must_use]
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Lower edge of the histogram range.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the histogram range.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width of each bin.
+    #[must_use]
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index {i} out of range");
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Normalized density per bin (integrates to 1 over the range).
+    ///
+    /// Returns all-zero densities when the histogram is empty.
+    #[must_use]
+    pub fn densities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        let norm = 1.0 / (self.total as f64 * self.bin_width());
+        self.counts.iter().map(|&c| c as f64 * norm).collect()
+    }
+
+    /// Empirical quantile via linear interpolation over bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] when no observations were
+    /// recorded, or [`StatsError::InvalidParameter`] when `q` is outside
+    /// `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> crate::Result<f64> {
+        if self.total == 0 {
+            return Err(StatsError::EmptyInput);
+        }
+        if !(0.0..=1.0).contains(&q) {
+            return Err(StatsError::InvalidParameter {
+                name: "q",
+                value: q,
+                expected: "a probability in [0, 1]",
+            });
+        }
+        let target = q * self.total as f64;
+        let mut acc = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = acc + c as f64;
+            if next >= target {
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    (target - acc) / c as f64
+                };
+                return Ok(self.lo + (i as f64 + frac) * self.bin_width());
+            }
+            acc = next;
+        }
+        Ok(self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_construction() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(f64::INFINITY, 1.0, 4).is_err());
+        assert!(Histogram::from_samples(&[], 4).is_err());
+        assert!(Histogram::from_samples(&[1.0, f64::NAN], 4).is_err());
+    }
+
+    #[test]
+    fn bins_observations_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.extend([0.5, 1.5, 1.7, 9.99]);
+        assert_eq!(h.bin_counts(), &[1, 2, 0, 0, 0, 0, 0, 0, 0, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.clamped(), 0);
+    }
+
+    #[test]
+    fn upper_edge_lands_in_last_bin() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.add(10.0);
+        assert_eq!(h.bin_counts()[9], 1);
+        assert_eq!(h.clamped(), 0);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(-5.0);
+        h.add(7.0);
+        assert_eq!(h.bin_counts(), &[1, 1]);
+        assert_eq!(h.clamped(), 2);
+    }
+
+    #[test]
+    fn densities_integrate_to_one() {
+        let mut h = Histogram::new(0.0, 4.0, 8).unwrap();
+        h.extend((0..100).map(|i| (i % 40) as f64 / 10.0));
+        let total: f64 = h.densities().iter().map(|d| d * h.bin_width()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_density_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 4).unwrap();
+        assert!(h.densities().iter().all(|&d| d == 0.0));
+        assert!(h.quantile(0.5).is_err());
+    }
+
+    #[test]
+    fn from_samples_covers_range() {
+        let samples = [3.0, 5.0, 7.0];
+        let h = Histogram::from_samples(&samples, 4).unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.clamped(), 0);
+        assert_eq!(h.lo(), 3.0);
+        assert_eq!(h.hi(), 7.0);
+    }
+
+    #[test]
+    fn from_degenerate_samples() {
+        let h = Histogram::from_samples(&[2.0, 2.0, 2.0], 3).unwrap();
+        assert_eq!(h.count(), 3);
+        assert!(h.lo() < 2.0 && h.hi() > 2.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let samples: Vec<f64> = (0..1000).map(|i| i as f64 / 100.0).collect();
+        let h = Histogram::from_samples(&samples, 50).unwrap();
+        let q25 = h.quantile(0.25).unwrap();
+        let q50 = h.quantile(0.5).unwrap();
+        let q75 = h.quantile(0.75).unwrap();
+        assert!(q25 < q50 && q50 < q75);
+        assert!((q50 - 5.0).abs() < 0.3);
+        assert!(h.quantile(1.5).is_err());
+    }
+
+    #[test]
+    fn bin_center_positions() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bin_center_panics_out_of_range() {
+        let h = Histogram::new(0.0, 1.0, 2).unwrap();
+        let _ = h.bin_center(2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Gaussian kernel density estimation.
+//!
+//! The paper's Figure 10 presents kernel density plots of per-epoch
+//! sprinting speedups ("normalized TPS") for Linear Regression and
+//! PageRank. This module reproduces those estimates: a Gaussian kernel
+//! with Silverman's rule-of-thumb bandwidth, evaluated on a uniform grid
+//! into a [`DiscreteDensity`].
+
+use crate::density::DiscreteDensity;
+use crate::StatsError;
+
+/// Silverman's rule-of-thumb bandwidth for a Gaussian kernel:
+/// `0.9 * min(sigma, IQR / 1.34) * n^(-1/5)`.
+///
+/// Falls back to `sigma`-only (or a small positive constant for degenerate
+/// samples) so the estimator never divides by zero.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty sample set.
+pub fn silverman_bandwidth(samples: &[f64]) -> crate::Result<f64> {
+    if samples.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n.max(2.0);
+    let sigma = var.sqrt();
+
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let q = |p: f64| -> f64 {
+        let idx = (p * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx]
+    };
+    let iqr = q(0.75) - q(0.25);
+
+    let spread = if iqr > 0.0 {
+        sigma.min(iqr / 1.34)
+    } else {
+        sigma
+    };
+    let spread = if spread > 0.0 {
+        spread
+    } else {
+        // All samples identical: any small bandwidth yields a spike at the
+        // common value, which is the correct degenerate estimate.
+        sorted[0].abs().max(1.0) * 1e-3
+    };
+    Ok(0.9 * spread * n.powf(-0.2))
+}
+
+/// Gaussian kernel density estimate evaluated at one point.
+#[must_use]
+pub fn kde_at(samples: &[f64], bandwidth: f64, x: f64) -> f64 {
+    let norm = 1.0 / (samples.len() as f64 * bandwidth * (2.0 * std::f64::consts::PI).sqrt());
+    samples
+        .iter()
+        .map(|&s| {
+            let z = (x - s) / bandwidth;
+            (-0.5 * z * z).exp()
+        })
+        .sum::<f64>()
+        * norm
+}
+
+/// Estimate a [`DiscreteDensity`] from samples with a Gaussian KDE.
+///
+/// The grid extends three bandwidths beyond the sample range so tail mass
+/// is captured. `bins` controls grid resolution.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for empty samples,
+/// [`StatsError::InvalidParameter`] for non-finite samples or `bins == 0`.
+///
+/// ```
+/// use sprint_stats::kde::kernel_density;
+///
+/// # fn main() -> Result<(), sprint_stats::StatsError> {
+/// let samples: Vec<f64> = (0..500).map(|i| 3.0 + (i % 20) as f64 / 10.0).collect();
+/// let density = kernel_density(&samples, 128)?;
+/// assert!((density.total_mass() - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn kernel_density(samples: &[f64], bins: usize) -> crate::Result<DiscreteDensity> {
+    kernel_density_with_bandwidth(samples, bins, silverman_bandwidth(samples)?)
+}
+
+/// Like [`kernel_density`] but with an explicit bandwidth.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] for a non-positive bandwidth,
+/// non-finite samples, or `bins == 0`, and [`StatsError::EmptyInput`] for
+/// empty samples.
+pub fn kernel_density_with_bandwidth(
+    samples: &[f64],
+    bins: usize,
+    bandwidth: f64,
+) -> crate::Result<DiscreteDensity> {
+    if samples.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if samples.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::InvalidParameter {
+            name: "samples",
+            value: f64::NAN,
+            expected: "finite sample values",
+        });
+    }
+    if bandwidth <= 0.0 || !bandwidth.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name: "bandwidth",
+            value: bandwidth,
+            expected: "a positive finite bandwidth",
+        });
+    }
+    let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min) - 3.0 * bandwidth;
+    let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 3.0 * bandwidth;
+    DiscreteDensity::from_fn(lo, hi, bins, |x| kde_at(samples, bandwidth, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{sample_n, ContinuousDistribution, TruncatedNormal};
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn bandwidth_rejects_empty() {
+        assert!(silverman_bandwidth(&[]).is_err());
+    }
+
+    #[test]
+    fn bandwidth_shrinks_with_sample_count() {
+        let small: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let large: Vec<f64> = (0..10_000).map(|i| (i % 100) as f64).collect();
+        let bw_small = silverman_bandwidth(&small).unwrap();
+        let bw_large = silverman_bandwidth(&large).unwrap();
+        assert!(bw_large < bw_small);
+    }
+
+    #[test]
+    fn bandwidth_degenerate_samples_is_positive() {
+        let bw = silverman_bandwidth(&[5.0; 50]).unwrap();
+        assert!(bw > 0.0);
+    }
+
+    #[test]
+    fn kde_integrates_to_one() {
+        let samples: Vec<f64> = (0..1000).map(|i| (i % 37) as f64 / 5.0).collect();
+        let d = kernel_density(&samples, 256).unwrap();
+        assert!((d.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kde_recovers_unimodal_shape() {
+        let dist = TruncatedNormal::new(4.0, 0.4, 3.0, 5.0).unwrap();
+        let mut rng = seeded_rng(5);
+        let samples = sample_n(&dist, 20_000, &mut rng);
+        let d = kernel_density(&samples, 256).unwrap();
+        // Mode near 4, low mass far away.
+        assert!(d.pdf_at(4.0) > d.pdf_at(3.2));
+        assert!(d.pdf_at(4.0) > d.pdf_at(4.8));
+        assert!((d.mean() - dist.mean()).abs() < 0.05);
+    }
+
+    #[test]
+    fn kde_separates_bimodal_modes() {
+        // Two well-separated clusters, as in PageRank's utility profile.
+        let mut samples = vec![2.0; 500];
+        samples.extend(vec![12.0; 500]);
+        let d = kernel_density(&samples, 512).unwrap();
+        // Density at the modes well above density at the valley.
+        let valley = d.pdf_at(7.0);
+        assert!(d.pdf_at(2.0) > 5.0 * valley.max(1e-12));
+        assert!(d.pdf_at(12.0) > 5.0 * valley.max(1e-12));
+    }
+
+    #[test]
+    fn explicit_bandwidth_validation() {
+        let samples = [1.0, 2.0, 3.0];
+        assert!(kernel_density_with_bandwidth(&samples, 10, 0.0).is_err());
+        assert!(kernel_density_with_bandwidth(&samples, 10, -1.0).is_err());
+        assert!(kernel_density_with_bandwidth(&[], 10, 1.0).is_err());
+        assert!(kernel_density_with_bandwidth(&[f64::NAN], 10, 1.0).is_err());
+    }
+
+    #[test]
+    fn wider_bandwidth_flattens_estimate() {
+        let samples = [0.0, 0.0, 0.0, 10.0, 10.0, 10.0];
+        let narrow = kernel_density_with_bandwidth(&samples, 256, 0.3).unwrap();
+        let wide = kernel_density_with_bandwidth(&samples, 256, 5.0).unwrap();
+        let narrow_peak = narrow.pdf_at(0.0);
+        let wide_peak = wide.pdf_at(0.0);
+        assert!(narrow_peak > 2.0 * wide_peak);
+    }
+}

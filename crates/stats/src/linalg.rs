@@ -1,0 +1,143 @@
+//! Small dense linear-algebra routines.
+//!
+//! The sprinting models need exactly two solves: stationary distributions
+//! of small Markov chains ([`crate::markov`]) and steady states of
+//! thermal RC networks (`sprint-power`). Both reduce to dense `Ax = b`
+//! with `n` in the tens, where Gaussian elimination with partial pivoting
+//! is the right tool.
+
+use crate::StatsError;
+
+/// Solve the dense linear system `A x = b` in place by Gaussian
+/// elimination with partial pivoting.
+///
+/// `a` is row-major and consumed; `b` is consumed and returned as `x`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::DimensionMismatch`] for a non-square system or a
+/// right-hand side of the wrong length, and [`StatsError::NoConvergence`]
+/// when the matrix is singular to working precision (pivot below
+/// `1e-12`).
+pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> crate::Result<Vec<f64>> {
+    let n = a.len();
+    for row in &a {
+        if row.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                expected: n,
+                found: row.len(),
+            });
+        }
+    }
+    if b.len() != n {
+        return Err(StatsError::DimensionMismatch {
+            expected: n,
+            found: b.len(),
+        });
+    }
+
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&r1, &r2| {
+                a[r1][col]
+                    .abs()
+                    .partial_cmp(&a[r2][col].abs())
+                    .expect("finite pivots")
+            })
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(StatsError::NoConvergence {
+                iterations: 0,
+                residual: a[pivot][col].abs(),
+            });
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            let (pivot_rows, target_rows) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            for (target, &pivot_val) in
+                target_rows[0][col..].iter_mut().zip(&pivot_row[col..])
+            {
+                *target -= factor * pivot_val;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_linear(a, vec![3.0, -4.0]).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5, x - y = 1  =>  x = 2, y = 1.
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let x = solve_linear(a, vec![5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve_linear(a, vec![7.0, 9.0]).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_errors() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear(a, vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatches_error() {
+        assert!(solve_linear(vec![vec![1.0, 2.0]], vec![1.0]).is_err());
+        assert!(solve_linear(vec![vec![1.0]], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn residual_is_small_for_random_system() {
+        // Deterministic pseudo-random well-conditioned system.
+        let mut state = 7u64;
+        let n = 12;
+        let mut a = vec![vec![0.0; n]; n];
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for cell in a[i].iter_mut() {
+                *cell = (crate::rng::splitmix64(&mut state) % 1000) as f64 / 500.0 - 1.0;
+            }
+            a[i][i] += n as f64; // diagonal dominance
+            b[i] = (crate::rng::splitmix64(&mut state) % 1000) as f64 / 100.0;
+        }
+        let x = solve_linear(a.clone(), b.clone()).unwrap();
+        for i in 0..n {
+            let ax: f64 = (0..n).map(|j| a[i][j] * x[j]).sum();
+            assert!((ax - b[i]).abs() < 1e-9);
+        }
+    }
+}

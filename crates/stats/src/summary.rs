@@ -1,0 +1,469 @@
+//! Online summary statistics and percentile helpers.
+//!
+//! The simulator aggregates per-epoch and per-trial measurements (tasks per
+//! second, sprinter counts, state occupancy). [`OnlineStats`] implements
+//! Welford's numerically stable streaming mean/variance; [`percentile`]
+//! computes interpolated percentiles for reporting.
+
+use crate::StatsError;
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+///
+/// ```
+/// use sprint_stats::summary::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 4.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Create an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample (Bessel-corrected) variance.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = OnlineStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Linearly interpolated percentile of a sample (the `p`-th percentile,
+/// `p` in `[0, 100]`).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for empty data and
+/// [`StatsError::InvalidParameter`] for `p` outside `[0, 100]` or
+/// non-finite data.
+pub fn percentile(data: &[f64], p: f64) -> crate::Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(StatsError::InvalidParameter {
+            name: "p",
+            value: p,
+            expected: "a percentile in [0, 100]",
+        });
+    }
+    if data.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::InvalidParameter {
+            name: "data",
+            value: f64::NAN,
+            expected: "finite data values",
+        });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Sample autocorrelation at lag `k`.
+///
+/// Used to validate the phase-persistence model: a stream holding each
+/// phase for a geometric number of epochs with mean `m` has lag-1
+/// autocorrelation `(m − 1)/m`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] when fewer than `k + 2` samples are
+/// provided, and [`StatsError::InvalidParameter`] for non-finite data or a
+/// zero-variance series (autocorrelation undefined).
+pub fn autocorrelation(data: &[f64], k: usize) -> crate::Result<f64> {
+    if data.len() < k + 2 {
+        return Err(StatsError::EmptyInput);
+    }
+    if data.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::InvalidParameter {
+            name: "data",
+            value: f64::NAN,
+            expected: "finite data values",
+        });
+    }
+    let n = data.len() as f64;
+    let mu = data.iter().sum::<f64>() / n;
+    let var = data.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / n;
+    if var <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "data",
+            value: 0.0,
+            expected: "a series with positive variance",
+        });
+    }
+    let cov = data
+        .windows(k + 1)
+        .map(|w| (w[0] - mu) * (w[k] - mu))
+        .sum::<f64>()
+        / n;
+    Ok(cov / var)
+}
+
+/// A symmetric confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether `x` lies inside the interval.
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo() && x <= self.hi()
+    }
+}
+
+/// Two-sided 95 % Student-t quantiles by degrees of freedom (1-indexed);
+/// beyond the table the normal quantile 1.96 applies.
+const T_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// 95 % Student-t confidence interval for the mean of `data`.
+///
+/// Experiment trials are few (the paper averages ten runs), so the
+/// small-sample t quantiles matter; the runner reports these intervals
+/// alongside trial means.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for fewer than two samples and
+/// [`StatsError::InvalidParameter`] for non-finite data.
+pub fn confidence_interval_95(data: &[f64]) -> crate::Result<ConfidenceInterval> {
+    if data.len() < 2 {
+        return Err(StatsError::EmptyInput);
+    }
+    if data.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::InvalidParameter {
+            name: "data",
+            value: f64::NAN,
+            expected: "finite data values",
+        });
+    }
+    let stats: OnlineStats = data.iter().copied().collect();
+    let dof = data.len() - 1;
+    let t = if dof <= T_95.len() {
+        T_95[dof - 1]
+    } else {
+        1.96
+    };
+    let std_err = (stats.sample_variance() / data.len() as f64).sqrt();
+    Ok(ConfidenceInterval {
+        mean: stats.mean(),
+        half_width: t * std_err,
+    })
+}
+
+/// Arithmetic mean of a slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice.
+pub fn mean(data: &[f64]) -> crate::Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Geometric mean of a slice of positive values.
+///
+/// Used to summarize speedup ratios across benchmarks, the conventional
+/// aggregate in architecture evaluations.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice and
+/// [`StatsError::InvalidParameter`] for non-positive values.
+pub fn geometric_mean(data: &[f64]) -> crate::Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if data.iter().any(|&x| x <= 0.0 || !x.is_finite()) {
+        return Err(StatsError::InvalidParameter {
+            name: "data",
+            value: f64::NAN,
+            expected: "strictly positive finite values",
+        });
+    }
+    Ok((data.iter().map(|x| x.ln()).sum::<f64>() / data.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_match_batch() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, 100.0];
+        let s: OnlineStats = data.iter().copied().collect();
+        let batch_mean = data.iter().sum::<f64>() / data.len() as f64;
+        let batch_var =
+            data.iter().map(|x| (x - batch_mean).powi(2)).sum::<f64>() / data.len() as f64;
+        assert!((s.mean() - batch_mean).abs() < 1e-12);
+        assert!((s.variance() - batch_var).abs() < 1e-9);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 100.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0).collect();
+        let (a, b) = data.split_at(300);
+        let mut sa: OnlineStats = a.iter().copied().collect();
+        let sb: OnlineStats = b.iter().copied().collect();
+        sa.merge(&sb);
+        let all: OnlineStats = data.iter().copied().collect();
+        assert_eq!(sa.count(), all.count());
+        assert!((sa.mean() - all.mean()).abs() < 1e-10);
+        assert!((sa.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: OnlineStats = [1.0, 2.0].into_iter().collect();
+        let before = s;
+        s.merge(&OnlineStats::new());
+        assert_eq!(s, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn sample_variance_uses_bessel() {
+        let s: OnlineStats = [1.0, 3.0].into_iter().collect();
+        assert!((s.sample_variance() - 2.0).abs() < 1e-12);
+        assert!((s.variance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&data, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&data, 100.0).unwrap(), 4.0);
+        assert!((percentile(&data, 50.0).unwrap() - 2.5).abs() < 1e-12);
+        assert!(percentile(&[], 50.0).is_err());
+        assert!(percentile(&data, 101.0).is_err());
+        assert!(percentile(&[f64::NAN], 50.0).is_err());
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let data = [9.0, 1.0, 5.0];
+        assert_eq!(percentile(&data, 50.0).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_iid_is_near_zero() {
+        // Deterministic pseudo-random draws are iid for lag-1 purposes.
+        let mut state = 42u64;
+        let data: Vec<f64> = (0..5000)
+            .map(|_| crate::rng::splitmix64(&mut state) as f64 / u64::MAX as f64)
+            .collect();
+        let r1 = autocorrelation(&data, 1).unwrap();
+        assert!(r1.abs() < 0.05, "lag-1 autocorrelation {r1}");
+    }
+
+    #[test]
+    fn autocorrelation_of_persistent_series_is_high() {
+        // Hold each value for 4 steps: lag-1 autocorrelation ≈ 3/4.
+        let data: Vec<f64> = (0..4000)
+            .map(|i| f64::from((i / 4) % 17 != 0) + ((i / 4) % 5) as f64)
+            .collect();
+        let r1 = autocorrelation(&data, 1).unwrap();
+        assert!((r1 - 0.75).abs() < 0.05, "lag-1 autocorrelation {r1}");
+    }
+
+    #[test]
+    fn autocorrelation_lag_zero_is_one() {
+        let data = [1.0, 5.0, 2.0, 8.0, 3.0];
+        assert!((autocorrelation(&data, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_validates() {
+        assert!(autocorrelation(&[1.0, 2.0], 1).is_err()); // too short
+        assert!(autocorrelation(&[1.0, f64::NAN, 2.0], 1).is_err());
+        assert!(autocorrelation(&[3.0; 100], 1).is_err()); // zero variance
+    }
+
+    #[test]
+    fn confidence_interval_contains_true_mean() {
+        let data: Vec<f64> = (0..50).map(|i| 10.0 + (i % 7) as f64).collect();
+        let ci = confidence_interval_95(&data).unwrap();
+        let true_mean = data.iter().sum::<f64>() / data.len() as f64;
+        assert!(ci.contains(true_mean));
+        assert!(ci.lo() < ci.hi());
+        assert!((ci.lo() + ci.hi()) / 2.0 - ci.mean < 1e-12);
+    }
+
+    #[test]
+    fn small_samples_widen_the_interval() {
+        // Same per-sample spread, fewer samples: wider interval (both the
+        // 1/sqrt(n) factor and the t quantile).
+        let small = [1.0, 3.0];
+        let large: Vec<f64> = [1.0, 3.0].repeat(20);
+        let ci_small = confidence_interval_95(&small).unwrap();
+        let ci_large = confidence_interval_95(&large).unwrap();
+        assert!(ci_small.half_width > 4.0 * ci_large.half_width);
+    }
+
+    #[test]
+    fn confidence_interval_validates() {
+        assert!(confidence_interval_95(&[1.0]).is_err());
+        assert!(confidence_interval_95(&[1.0, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn mean_and_geometric_mean() {
+        assert_eq!(mean(&[2.0, 4.0]).unwrap(), 3.0);
+        assert!(mean(&[]).is_err());
+        assert!((geometric_mean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!(geometric_mean(&[1.0, 0.0]).is_err());
+        assert!(geometric_mean(&[]).is_err());
+    }
+}

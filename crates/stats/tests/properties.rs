@@ -1,0 +1,181 @@
+//! Property-based tests for the numerical substrate.
+
+use proptest::prelude::*;
+
+use sprint_stats::dist::{
+    ContinuousDistribution, LogNormal, Mixture, TruncatedNormal, Uniform,
+};
+use sprint_stats::histogram::Histogram;
+use sprint_stats::kde::{kernel_density_with_bandwidth, silverman_bandwidth};
+use sprint_stats::markov::MarkovChain;
+use sprint_stats::rng::{seeded_rng, SeedSequence};
+use sprint_stats::summary::{confidence_interval_95, percentile, OnlineStats};
+
+fn arb_uniform() -> impl Strategy<Value = Uniform> {
+    (-100.0f64..100.0, 0.1f64..100.0)
+        .prop_map(|(lo, width)| Uniform::new(lo, lo + width).expect("valid bounds"))
+}
+
+fn arb_truncated_normal() -> impl Strategy<Value = TruncatedNormal> {
+    (-10.0f64..10.0, 0.1f64..5.0, 0.5f64..8.0).prop_map(|(mu, sigma, half)| {
+        TruncatedNormal::new(mu, sigma, mu - half, mu + half).expect("valid truncation")
+    })
+}
+
+proptest! {
+    #[test]
+    fn uniform_cdf_bounds_and_monotonicity(u in arb_uniform(), a in -200.0f64..200.0, b in -200.0f64..200.0) {
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(u.cdf(x) <= u.cdf(y) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&u.cdf(a)));
+    }
+
+    #[test]
+    fn truncated_normal_mean_inside_support(d in arb_truncated_normal()) {
+        let (lo, hi) = d.support();
+        let m = d.mean();
+        prop_assert!(m >= lo && m <= hi);
+        prop_assert!(d.cdf(lo) <= 1e-12);
+        prop_assert!((d.cdf(hi) - 1.0).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn samples_stay_in_support(d in arb_truncated_normal(), seed in 0u64..1000) {
+        let mut rng = seeded_rng(seed);
+        let (lo, hi) = d.support();
+        for _ in 0..64 {
+            let x = d.sample(&mut rng);
+            prop_assert!((lo..=hi).contains(&x));
+        }
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu(mu in -2.0f64..2.0, sigma in 0.05f64..1.5) {
+        let d = LogNormal::new(mu, sigma).expect("valid sigma");
+        // cdf(exp(mu)) = 1/2 for any sigma.
+        prop_assert!((d.cdf(mu.exp()) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn mixture_cdf_between_component_cdfs(
+        w in 0.0f64..1.0,
+        x in -50.0f64..50.0,
+    ) {
+        let a = Uniform::new(-10.0, 0.0).expect("valid");
+        let b = Uniform::new(0.0, 10.0).expect("valid");
+        let ca = a.cdf(x);
+        let cb = b.cdf(x);
+        let m = Mixture::new(
+            vec![Box::new(a), Box::new(b)],
+            vec![1.0 - w, w],
+        )
+        .expect("valid mixture");
+        let cm = m.cdf(x);
+        prop_assert!(cm >= ca.min(cb) - 1e-12 && cm <= ca.max(cb) + 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_everything(
+        samples in prop::collection::vec(-100.0f64..100.0, 1..200),
+        bins in 1usize..64,
+    ) {
+        let h = Histogram::from_samples(&samples, bins).expect("valid samples");
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let mass: f64 = h.densities().iter().map(|d| d * h.bin_width()).sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone(
+        samples in prop::collection::vec(0.0f64..10.0, 2..100),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let h = Histogram::from_samples(&samples, 16).expect("valid samples");
+        let (lo_q, hi_q) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(h.quantile(lo_q).unwrap() <= h.quantile(hi_q).unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn kde_integrates_to_one(
+        samples in prop::collection::vec(-5.0f64..5.0, 2..100),
+        bw in 0.05f64..2.0,
+    ) {
+        let d = kernel_density_with_bandwidth(&samples, 128, bw).expect("valid inputs");
+        prop_assert!((d.total_mass() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn silverman_bandwidth_positive(samples in prop::collection::vec(-50.0f64..50.0, 1..100)) {
+        prop_assert!(silverman_bandwidth(&samples).expect("non-empty") > 0.0);
+    }
+
+    #[test]
+    fn markov_stationary_is_fixed_point(
+        rows in prop::collection::vec(
+            prop::collection::vec(0.05f64..1.0, 3),
+            3,
+        ),
+    ) {
+        let p: Vec<Vec<f64>> = rows
+            .into_iter()
+            .map(|r| {
+                let s: f64 = r.iter().sum();
+                r.into_iter().map(|x| x / s).collect()
+            })
+            .collect();
+        let mc = MarkovChain::new(p).expect("normalized rows");
+        let pi = mc.stationary_direct().expect("irreducible by construction");
+        let stepped = mc.step(&pi).expect("matching dimension");
+        for (a, b) in pi.iter().zip(&stepped) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+        prop_assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_stats_merge_is_order_independent(
+        a in prop::collection::vec(-100.0f64..100.0, 0..50),
+        b in prop::collection::vec(-100.0f64..100.0, 0..50),
+    ) {
+        let mut ab: OnlineStats = a.iter().copied().collect();
+        let sb: OnlineStats = b.iter().copied().collect();
+        ab.merge(&sb);
+        let mut ba: OnlineStats = b.iter().copied().collect();
+        let sa: OnlineStats = a.iter().copied().collect();
+        ba.merge(&sa);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        prop_assert!((ab.variance() - ba.variance()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn percentile_brackets_extremes(data in prop::collection::vec(-10.0f64..10.0, 1..60)) {
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(percentile(&data, 0.0).unwrap(), min);
+        prop_assert_eq!(percentile(&data, 100.0).unwrap(), max);
+        let p50 = percentile(&data, 50.0).unwrap();
+        prop_assert!((min..=max).contains(&p50));
+    }
+
+    #[test]
+    fn confidence_interval_brackets_the_sample_mean(
+        data in prop::collection::vec(-10.0f64..10.0, 2..60),
+    ) {
+        let ci = confidence_interval_95(&data).expect("enough samples");
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        prop_assert!(ci.contains(mean));
+        prop_assert!(ci.half_width >= 0.0);
+    }
+
+    #[test]
+    fn seed_sequences_never_collide_within_a_run(master in 0u64..u64::MAX, n in 2usize..64) {
+        let mut seq = SeedSequence::new(master);
+        let seeds: Vec<u64> = (0..n).map(|_| seq.next_seed()).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), seeds.len());
+    }
+}

@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+use sprint_stats::StatsError;
+
+/// Error raised by workload construction and profiling.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+        /// Human-readable description of the valid domain.
+        expected: &'static str,
+    },
+    /// A workload definition was structurally empty (no jobs/stages/tasks).
+    EmptyWorkload {
+        /// Which container was empty.
+        what: &'static str,
+    },
+    /// An underlying statistics operation failed.
+    Stats(StatsError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "parameter `{name}` = {value} is invalid: expected {expected}"),
+            WorkloadError::EmptyWorkload { what } => {
+                write!(f, "workload definition has no {what}")
+            }
+            WorkloadError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for WorkloadError {
+    fn from(e: StatsError) -> Self {
+        WorkloadError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = WorkloadError::EmptyWorkload { what: "stages" };
+        assert!(e.to_string().contains("stages"));
+        assert!(e.source().is_none());
+
+        let e: WorkloadError = StatsError::EmptyInput.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<WorkloadError>();
+    }
+}

@@ -1,0 +1,51 @@
+//! Workload substrate for the computational sprinting game.
+//!
+//! The paper evaluates eleven Spark applications (Table 1) whose
+//! time-varying computational phases determine how much each epoch benefits
+//! from a sprint. The real datasets and testbed are not reproducible, so
+//! this crate provides two complementary models, both calibrated to the
+//! paper's published figures:
+//!
+//! - **Statistical** — [`benchmark::Benchmark`] assigns each application a
+//!   per-epoch *speedup distribution* calibrated to Figure 1 (mean
+//!   speedups), Figure 10 (density shapes: a narrow 3–5× band for Linear
+//!   Regression, a heavy bimodal profile for PageRank), and Figure 11
+//!   (equilibrium sprint propensities). [`phases`] adds the temporal
+//!   correlation of real phase behavior.
+//! - **Mechanistic** — [`spark`] executes a synthetic job → stage → task
+//!   DAG on a configurable number of cores with dynamic task scheduling,
+//!   the way the Spark run-time engine "schedules tasks to use available
+//!   cores and maximizes parallelism" (paper §5). [`trace`] turns
+//!   executions into tasks-per-second traces, and [`profile`] turns traces
+//!   into the utility densities `f(u)` the game consumes.
+//!
+//! [`generator`] builds agent populations (homogeneous or heterogeneous,
+//! with randomized arrivals) for the rack simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use sprint_workloads::benchmark::Benchmark;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let density = Benchmark::PageRank.utility_density(256)?;
+//! // PageRank's gains are bimodal; a large share of epochs exceed 8x.
+//! assert!(density.tail_mass(8.0) > 0.2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod benchmark;
+pub mod generator;
+pub mod phases;
+pub mod profile;
+pub mod spark;
+pub mod trace;
+
+mod error;
+
+pub use benchmark::Benchmark;
+pub use error::WorkloadError;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, WorkloadError>;

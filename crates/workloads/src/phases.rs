@@ -1,0 +1,198 @@
+//! Temporally correlated phase behavior.
+//!
+//! Real applications move through computational phases: a Spark stage that
+//! benefits 10× from sprinting is usually followed by more epochs of the
+//! same stage. The game's analysis only needs the *stationary* utility
+//! density `f(u)` (paper §4), but the simulator should present agents with
+//! realistic correlated sequences — phase overlap across randomly-arriving
+//! agents is what exercises the equilibrium (paper §5, "Simulation
+//! Methods").
+//!
+//! [`PhasedUtility`] holds each utility value for a geometrically
+//! distributed number of epochs (mean = the persistence), then redraws
+//! from the benchmark's distribution. The marginal distribution of the
+//! emitted sequence equals the benchmark's `f(u)` while consecutive epochs
+//! are positively correlated.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use sprint_stats::dist::ContinuousDistribution;
+use sprint_stats::rng::seeded_rng;
+
+use crate::benchmark::Benchmark;
+use crate::WorkloadError;
+
+/// A stream of per-epoch sprinting utilities with phase persistence.
+#[derive(Debug)]
+pub struct PhasedUtility {
+    dist: Box<dyn ContinuousDistribution>,
+    /// Mean number of epochs a phase persists (>= 1; 1 = iid).
+    persistence_epochs: f64,
+    current: f64,
+    rng: StdRng,
+}
+
+impl PhasedUtility {
+    /// Create a stream drawing phases from `dist`, each persisting for a
+    /// geometric number of epochs with the given mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] when
+    /// `persistence_epochs < 1`.
+    pub fn new(
+        dist: Box<dyn ContinuousDistribution>,
+        persistence_epochs: f64,
+        seed: u64,
+    ) -> crate::Result<Self> {
+        if persistence_epochs < 1.0 || !persistence_epochs.is_finite() {
+            return Err(WorkloadError::InvalidParameter {
+                name: "persistence_epochs",
+                value: persistence_epochs,
+                expected: "a finite persistence of at least 1 epoch",
+            });
+        }
+        let mut rng = seeded_rng(seed);
+        let current = dist.sample(&mut rng);
+        Ok(PhasedUtility {
+            dist,
+            persistence_epochs,
+            current,
+            rng,
+        })
+    }
+
+    /// Create a stream for a benchmark with its default persistence.
+    ///
+    /// Data-analytics phases span a handful of 150 s epochs; the default
+    /// persistence of 3 epochs reflects multi-epoch Spark stages.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in persistence; the `Result` mirrors
+    /// [`PhasedUtility::new`] for API uniformity.
+    pub fn for_benchmark(benchmark: Benchmark, seed: u64) -> crate::Result<Self> {
+        PhasedUtility::new(benchmark.speedup_distribution(), 3.0, seed)
+    }
+
+    /// Mean phase persistence in epochs.
+    #[must_use]
+    pub fn persistence_epochs(&self) -> f64 {
+        self.persistence_epochs
+    }
+
+    /// Utility of the current epoch, then advance the phase process.
+    pub fn next_utility(&mut self) -> f64 {
+        let out = self.current;
+        let p_new = 1.0 / self.persistence_epochs;
+        if self.rng.gen::<f64>() < p_new {
+            self.current = self.dist.sample(&mut self.rng);
+        }
+        out
+    }
+
+    /// Advance the stream by `epochs` draws without observing them
+    /// (used to randomize agent arrival offsets).
+    pub fn skip(&mut self, epochs: usize) {
+        for _ in 0..epochs {
+            let _ = self.next_utility();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_stats::dist::Uniform;
+    use sprint_stats::summary::OnlineStats;
+
+    fn uniform_stream(persistence: f64, seed: u64) -> PhasedUtility {
+        PhasedUtility::new(
+            Box::new(Uniform::new(0.0, 10.0).unwrap()),
+            persistence,
+            seed,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validates_persistence() {
+        let d = || -> Box<dyn ContinuousDistribution> { Box::new(Uniform::new(0.0, 1.0).unwrap()) };
+        assert!(PhasedUtility::new(d(), 0.5, 1).is_err());
+        assert!(PhasedUtility::new(d(), f64::NAN, 1).is_err());
+        assert!(PhasedUtility::new(d(), 1.0, 1).is_ok());
+    }
+
+    #[test]
+    fn marginal_matches_source_distribution() {
+        let mut s = uniform_stream(4.0, 7);
+        let stats: OnlineStats = (0..50_000).map(|_| s.next_utility()).collect();
+        assert!((stats.mean() - 5.0).abs() < 0.15);
+        assert!((stats.variance() - 100.0 / 12.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn persistence_produces_repeats() {
+        let mut s = uniform_stream(5.0, 11);
+        let vals: Vec<f64> = (0..10_000).map(|_| s.next_utility()).collect();
+        let repeats = vals.windows(2).filter(|w| w[0] == w[1]).count() as f64;
+        let frac = repeats / (vals.len() - 1) as f64;
+        // With mean persistence 5, ~80% of consecutive pairs repeat.
+        assert!((frac - 0.8).abs() < 0.03, "repeat fraction {frac}");
+    }
+
+    #[test]
+    fn persistence_one_is_iid() {
+        let mut s = uniform_stream(1.0, 13);
+        let vals: Vec<f64> = (0..1_000).map(|_| s.next_utility()).collect();
+        let repeats = vals.windows(2).filter(|w| w[0] == w[1]).count();
+        assert_eq!(repeats, 0, "continuous iid draws never repeat exactly");
+    }
+
+    #[test]
+    fn skip_advances_state() {
+        let mut a = uniform_stream(3.0, 17);
+        let mut b = uniform_stream(3.0, 17);
+        b.skip(10);
+        let a_vals: Vec<f64> = (0..20).map(|_| a.next_utility()).collect();
+        let b0 = b.next_utility();
+        // b's first value equals a's value 10 epochs in.
+        assert_eq!(b0, a_vals[10]);
+    }
+
+    #[test]
+    fn benchmark_stream_stays_in_support() {
+        let mut s = PhasedUtility::for_benchmark(Benchmark::LinearRegression, 3).unwrap();
+        for _ in 0..1000 {
+            let u = s.next_utility();
+            assert!((3.0..=5.0).contains(&u), "utility {u} outside the band");
+        }
+        assert_eq!(s.persistence_epochs(), 3.0);
+    }
+
+    #[test]
+    fn autocorrelation_matches_persistence_theory() {
+        // Holding each phase for a geometric number of epochs with mean m
+        // gives lag-1 autocorrelation (m − 1)/m.
+        for m in [2.0, 5.0] {
+            let mut s = uniform_stream(m, 31);
+            let series: Vec<f64> = (0..40_000).map(|_| s.next_utility()).collect();
+            let r1 = sprint_stats::summary::autocorrelation(&series, 1).unwrap();
+            let expected = (m - 1.0) / m;
+            assert!(
+                (r1 - expected).abs() < 0.03,
+                "persistence {m}: lag-1 autocorrelation {r1}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_stream() {
+        let mut a = PhasedUtility::for_benchmark(Benchmark::PageRank, 21).unwrap();
+        let mut b = PhasedUtility::for_benchmark(Benchmark::PageRank, 21).unwrap();
+        for _ in 0..100 {
+            assert_eq!(a.next_utility(), b.next_utility());
+        }
+    }
+}

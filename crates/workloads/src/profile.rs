@@ -1,0 +1,181 @@
+//! Offline utility profiling: from epoch speedups to `f(u)`.
+//!
+//! Paper §4.4, "Offline Analysis": agents sample epochs, measure utility
+//! from sprinting, and produce a density function `f(u)` that the
+//! coordinator consumes. This module turns measured per-epoch speedups
+//! (from [`crate::trace::epoch_speedups`] or online sampling) into a
+//! [`UtilityProfile`]: a kernel density estimate plus the summary
+//! statistics the coordinator and the figures need.
+
+use sprint_stats::density::DiscreteDensity;
+use sprint_stats::kde::kernel_density;
+use sprint_stats::summary::OnlineStats;
+
+use crate::benchmark::Benchmark;
+use crate::WorkloadError;
+
+/// A profiled utility distribution for one agent/application.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct UtilityProfile {
+    density: DiscreteDensity,
+    mean: f64,
+    std_dev: f64,
+    n_samples: usize,
+}
+
+impl UtilityProfile {
+    /// Estimate a profile from measured per-epoch speedups with a Gaussian
+    /// KDE (the estimator behind the paper's Figure 10).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Stats`] for empty or non-finite samples.
+    pub fn from_samples(epoch_speedups: &[f64]) -> crate::Result<Self> {
+        Self::from_samples_with_bins(epoch_speedups, 256)
+    }
+
+    /// Like [`UtilityProfile::from_samples`] with explicit grid resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Stats`] for empty or non-finite samples or
+    /// `bins == 0`.
+    pub fn from_samples_with_bins(
+        epoch_speedups: &[f64],
+        bins: usize,
+    ) -> crate::Result<Self> {
+        let density = kernel_density(epoch_speedups, bins).map_err(WorkloadError::from)?;
+        let stats: OnlineStats = epoch_speedups.iter().copied().collect();
+        Ok(UtilityProfile {
+            density,
+            mean: stats.mean(),
+            std_dev: stats.std_dev(),
+            n_samples: epoch_speedups.len(),
+        })
+    }
+
+    /// The analytic profile of a calibrated benchmark (no sampling noise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Stats`] when `bins` is 0.
+    pub fn analytic(benchmark: Benchmark, bins: usize) -> crate::Result<Self> {
+        let density = benchmark.utility_density(bins)?;
+        Ok(UtilityProfile {
+            mean: density.mean(),
+            std_dev: density.variance().sqrt(),
+            n_samples: 0,
+            density,
+        })
+    }
+
+    /// The estimated utility density `f(u)`.
+    #[must_use]
+    pub fn density(&self) -> &DiscreteDensity {
+        &self.density
+    }
+
+    /// Consume the profile, returning its density.
+    #[must_use]
+    pub fn into_density(self) -> DiscreteDensity {
+        self.density
+    }
+
+    /// Mean utility (mean sprinting speedup).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of utility — the quantity that separates
+    /// always-sprint applications (narrow) from judicious ones (wide), per
+    /// the paper's §6.3.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Number of profiled epochs (0 for analytic profiles).
+    #[must_use]
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Coefficient of variation, the dimensionless spread measure used to
+    /// compare profile shapes across benchmarks.
+    #[must_use]
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+
+    /// Probability that an epoch's utility exceeds `threshold` — the sprint
+    /// probability an agent with that threshold would exhibit (Equation 9).
+    #[must_use]
+    pub fn sprint_probability(&self, threshold: f64) -> f64 {
+        self.density.tail_mass(threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::PhasedUtility;
+
+    #[test]
+    fn profile_from_samples_matches_moments() {
+        let mut stream = PhasedUtility::for_benchmark(Benchmark::DecisionTree, 5).unwrap();
+        let samples: Vec<f64> = (0..20_000).map(|_| stream.next_utility()).collect();
+        let profile = UtilityProfile::from_samples(&samples).unwrap();
+        let analytic = Benchmark::DecisionTree.mean_speedup();
+        assert!((profile.mean() - analytic).abs() < 0.1);
+        assert_eq!(profile.n_samples(), 20_000);
+        assert!(profile.std_dev() > 0.5, "decision tree has wide phases");
+    }
+
+    #[test]
+    fn empty_samples_error() {
+        assert!(UtilityProfile::from_samples(&[]).is_err());
+        assert!(UtilityProfile::from_samples(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn analytic_profile_matches_benchmark_density() {
+        let p = UtilityProfile::analytic(Benchmark::LinearRegression, 256).unwrap();
+        assert!((p.mean() - 4.0).abs() < 0.1);
+        assert_eq!(p.n_samples(), 0);
+        assert!(p.coefficient_of_variation() < 0.15, "narrow profile");
+    }
+
+    #[test]
+    fn sprint_probability_decreases_with_threshold() {
+        let p = UtilityProfile::analytic(Benchmark::PageRank, 256).unwrap();
+        let lo = p.sprint_probability(2.0);
+        let hi = p.sprint_probability(10.0);
+        assert!(lo > hi);
+        assert!(hi > 0.2, "pagerank often exceeds 10x");
+        assert!((0.0..=1.0).contains(&lo));
+    }
+
+    #[test]
+    fn narrow_profiles_have_lower_cv_than_wide() {
+        let narrow = UtilityProfile::analytic(Benchmark::Correlation, 256)
+            .unwrap()
+            .coefficient_of_variation();
+        let wide = UtilityProfile::analytic(Benchmark::PageRank, 256)
+            .unwrap()
+            .coefficient_of_variation();
+        assert!(narrow < wide / 2.0);
+    }
+
+    #[test]
+    fn into_density_round_trips() {
+        let p = UtilityProfile::analytic(Benchmark::Svm, 128).unwrap();
+        let mean = p.mean();
+        let d = p.into_density();
+        assert!((d.mean() - mean).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,284 @@
+//! Tasks-per-second traces and the paper's trace-interpolation method.
+//!
+//! Paper §5, "Profiling Methods": the authors trace TPS during end-to-end
+//! execution in normal and sprinting modes. Because execution times differ,
+//! they align the traces by *work*: "for every second in normal mode, we
+//! measure the number of tasks completed and estimate the number of tasks
+//! that would have been completed in the sprinting mode", then estimate a
+//! sprint's speedup per epoch. [`epoch_speedups`] implements exactly that
+//! alignment over task-completion timestamps.
+
+use crate::WorkloadError;
+
+/// A tasks-per-second trace with fixed-width time buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TpsTrace {
+    bucket_s: f64,
+    counts: Vec<u32>,
+}
+
+impl TpsTrace {
+    /// Build a trace from sorted task-completion timestamps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] for a non-positive
+    /// bucket width or unsorted/non-finite completions, and
+    /// [`WorkloadError::EmptyWorkload`] for an empty completion list.
+    pub fn from_completions(completions: &[f64], bucket_s: f64) -> crate::Result<Self> {
+        if completions.is_empty() {
+            return Err(WorkloadError::EmptyWorkload { what: "tasks" });
+        }
+        if bucket_s <= 0.0 || !bucket_s.is_finite() {
+            return Err(WorkloadError::InvalidParameter {
+                name: "bucket_s",
+                value: bucket_s,
+                expected: "a positive finite bucket width",
+            });
+        }
+        if completions
+            .windows(2)
+            .any(|w| w[0] > w[1] || !w[0].is_finite() || !w[1].is_finite())
+            || !completions[0].is_finite()
+            || completions[0] < 0.0
+        {
+            return Err(WorkloadError::InvalidParameter {
+                name: "completions",
+                value: f64::NAN,
+                expected: "sorted, finite, non-negative completion times",
+            });
+        }
+        let end = *completions.last().expect("non-empty");
+        let n_buckets = (end / bucket_s).floor() as usize + 1;
+        let mut counts = vec![0u32; n_buckets];
+        for &t in completions {
+            let idx = ((t / bucket_s) as usize).min(n_buckets - 1);
+            counts[idx] += 1;
+        }
+        Ok(TpsTrace { bucket_s, counts })
+    }
+
+    /// Bucket width, seconds.
+    #[must_use]
+    pub fn bucket_s(&self) -> f64 {
+        self.bucket_s
+    }
+
+    /// Tasks completed per bucket.
+    #[must_use]
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Trace length, seconds.
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        self.counts.len() as f64 * self.bucket_s
+    }
+
+    /// Total tasks in the trace.
+    #[must_use]
+    pub fn total_tasks(&self) -> u64 {
+        self.counts.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// Mean tasks per second over the trace.
+    #[must_use]
+    pub fn mean_tps(&self) -> f64 {
+        self.total_tasks() as f64 / self.duration_s()
+    }
+
+    /// Tasks per second in bucket `i` (0 beyond the end).
+    #[must_use]
+    pub fn tps_at(&self, i: usize) -> f64 {
+        self.counts
+            .get(i)
+            .map_or(0.0, |&c| f64::from(c) / self.bucket_s)
+    }
+}
+
+/// Per-epoch sprint speedups by work-aligned trace comparison (paper §5).
+///
+/// Both completion lists describe the *same* tasks executed in normal and
+/// sprint mode. For each `epoch_s`-long window of the normal trace, the
+/// tasks completed in that window are located in the sprint trace, and the
+/// speedup is the ratio of the times the two modes needed for that same
+/// work: `epoch_s / sprint_time_for_same_tasks`.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidParameter`] when the lists have
+/// different lengths, are unsorted, or `epoch_s` is non-positive, and
+/// [`WorkloadError::EmptyWorkload`] when they are empty.
+pub fn epoch_speedups(
+    normal_completions: &[f64],
+    sprint_completions: &[f64],
+    epoch_s: f64,
+) -> crate::Result<Vec<f64>> {
+    if normal_completions.is_empty() {
+        return Err(WorkloadError::EmptyWorkload { what: "tasks" });
+    }
+    if normal_completions.len() != sprint_completions.len() {
+        return Err(WorkloadError::InvalidParameter {
+            name: "sprint_completions",
+            value: sprint_completions.len() as f64,
+            expected: "the same task count as the normal-mode trace",
+        });
+    }
+    if epoch_s <= 0.0 || !epoch_s.is_finite() {
+        return Err(WorkloadError::InvalidParameter {
+            name: "epoch_s",
+            value: epoch_s,
+            expected: "a positive finite epoch length",
+        });
+    }
+    for list in [normal_completions, sprint_completions] {
+        if list
+            .windows(2)
+            .any(|w| w[0] > w[1] || !w[0].is_finite() || !w[1].is_finite())
+            || !list[0].is_finite()
+        {
+            return Err(WorkloadError::InvalidParameter {
+                name: "completions",
+                value: f64::NAN,
+                expected: "sorted finite completion times",
+            });
+        }
+    }
+
+    let total = normal_completions.len();
+    let end = *normal_completions.last().expect("non-empty");
+    let n_epochs = (end / epoch_s).ceil().max(1.0) as usize;
+    let mut speedups = Vec::with_capacity(n_epochs);
+    let mut first_task = 0usize;
+    for e in 0..n_epochs {
+        let window_end = (e as f64 + 1.0) * epoch_s;
+        // Tasks the normal mode completes within this epoch.
+        let mut last_task = first_task;
+        while last_task < total && normal_completions[last_task] <= window_end {
+            last_task += 1;
+        }
+        if last_task == first_task {
+            // No tasks completed this epoch (a long task spans it):
+            // attribute the frequency-only floor of 1 — the sprint cannot
+            // be slower than normal.
+            speedups.push(1.0);
+            continue;
+        }
+        // Time the sprint mode needed for the same tasks.
+        let sprint_start = if first_task == 0 {
+            0.0
+        } else {
+            sprint_completions[first_task - 1]
+        };
+        let sprint_span = (sprint_completions[last_task - 1] - sprint_start).max(1e-9);
+        // Time the normal mode actually used inside the window.
+        let normal_start = if first_task == 0 {
+            0.0
+        } else {
+            normal_completions[first_task - 1].max((e as f64) * epoch_s)
+        };
+        let normal_span = (normal_completions[last_task - 1] - normal_start).max(1e-9);
+        speedups.push((normal_span / sprint_span).max(1.0));
+        first_task = last_task;
+    }
+    Ok(speedups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spark::{execute, ExecutorConfig, SparkApp};
+    use sprint_stats::rng::seeded_rng;
+
+    #[test]
+    fn trace_validates() {
+        assert!(TpsTrace::from_completions(&[], 1.0).is_err());
+        assert!(TpsTrace::from_completions(&[1.0], 0.0).is_err());
+        assert!(TpsTrace::from_completions(&[2.0, 1.0], 1.0).is_err());
+        assert!(TpsTrace::from_completions(&[-1.0, 1.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn trace_buckets_counts() {
+        let t = TpsTrace::from_completions(&[0.1, 0.5, 1.2, 2.9], 1.0).unwrap();
+        assert_eq!(t.counts(), &[2, 1, 1]);
+        assert_eq!(t.total_tasks(), 4);
+        assert!((t.duration_s() - 3.0).abs() < 1e-12);
+        assert!((t.tps_at(0) - 2.0).abs() < 1e-12);
+        assert_eq!(t.tps_at(99), 0.0);
+        assert!((t.mean_tps() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_rate_speedup_recovers_ratio() {
+        // Normal completes a task every second; sprint every 0.25 s:
+        // speedup 4 in every epoch.
+        let normal: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let sprint: Vec<f64> = (1..=100).map(|i| i as f64 * 0.25).collect();
+        let s = epoch_speedups(&normal, &sprint, 10.0).unwrap();
+        assert_eq!(s.len(), 10);
+        for (i, v) in s.iter().enumerate() {
+            assert!((v - 4.0).abs() < 0.15, "epoch {i}: speedup {v}");
+        }
+    }
+
+    #[test]
+    fn phase_dependent_speedup_is_detected() {
+        // First half: sprint 2x faster; second half: sprint 8x faster.
+        let mut normal = Vec::new();
+        let mut sprint = Vec::new();
+        let mut tn = 0.0;
+        let mut ts = 0.0;
+        for i in 0..200 {
+            tn += 1.0;
+            ts += if i < 100 { 0.5 } else { 0.125 };
+            normal.push(tn);
+            sprint.push(ts);
+        }
+        let s = epoch_speedups(&normal, &sprint, 20.0).unwrap();
+        let first_half = s[1];
+        let second_half = s[8];
+        assert!((first_half - 2.0).abs() < 0.3, "early epochs ≈2x: {first_half}");
+        assert!((second_half - 8.0).abs() < 1.0, "late epochs ≈8x: {second_half}");
+    }
+
+    #[test]
+    fn speedups_never_below_one() {
+        // Degenerate input where sprint is no faster.
+        let normal: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        let s = epoch_speedups(&normal, &normal, 7.0).unwrap();
+        assert!(s.iter().all(|&v| v >= 1.0));
+    }
+
+    #[test]
+    fn epoch_speedups_validate() {
+        let a = vec![1.0, 2.0];
+        let b = vec![0.5];
+        assert!(epoch_speedups(&a, &b, 1.0).is_err());
+        assert!(epoch_speedups(&[], &[], 1.0).is_err());
+        assert!(epoch_speedups(&a, &a, 0.0).is_err());
+        let unsorted = vec![2.0, 1.0];
+        assert!(epoch_speedups(&unsorted, &unsorted, 1.0).is_err());
+    }
+
+    #[test]
+    fn pipeline_from_mechanistic_model() {
+        // End-to-end: execute a synthetic app in both modes, align traces,
+        // and confirm per-epoch speedups bracket the end-to-end ratio.
+        let mut rng = seeded_rng(42);
+        let app = SparkApp::synthetic(20, 4, 0.5, 48, 3, &mut rng).unwrap();
+        let nom = execute(&app, ExecutorConfig::paper_nominal());
+        let spr = execute(&app, ExecutorConfig::paper_sprint());
+        let epoch = nom.total_time_s() / 40.0;
+        let s = epoch_speedups(nom.task_completions(), spr.task_completions(), epoch).unwrap();
+        assert!(s.len() >= 30);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        // Mixture of 2.25x narrow and ~9x wide phases.
+        assert!((2.0..=9.5).contains(&mean), "mean epoch speedup {mean}");
+        let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = s.iter().cloned().fold(0.0, f64::max);
+        assert!(min >= 1.0);
+        assert!(max > mean, "wide phases exceed the mean");
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the workload substrate.
+
+use proptest::prelude::*;
+
+use sprint_stats::rng::seeded_rng;
+use sprint_workloads::phases::PhasedUtility;
+use sprint_workloads::spark::{
+    execute, end_to_end_speedup, ExecutorConfig, SparkApp, Stage, TaskSkew,
+};
+use sprint_workloads::trace::{epoch_speedups, TpsTrace};
+use sprint_workloads::Benchmark;
+
+fn arb_benchmark() -> impl Strategy<Value = Benchmark> {
+    prop::sample::select(Benchmark::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn lpt_respects_makespan_bounds(
+        tasks in prop::collection::vec(0.1f64..10.0, 1..80),
+        cores in 1u32..16,
+    ) {
+        // LPT makespan lies between the trivial lower bound and the
+        // list-scheduling upper bound `total/m + (1 − 1/m)·longest`
+        // (Graham), both valid for any work-conserving schedule.
+        let total: f64 = tasks.iter().sum();
+        let longest = tasks.iter().cloned().fold(0.0, f64::max);
+        let app = SparkApp::new(vec![
+            sprint_workloads::spark::Job::new(vec![Stage::new(tasks, 0.0).unwrap()]).unwrap(),
+        ])
+        .unwrap();
+        let cfg = ExecutorConfig::new(cores, 1.0).unwrap();
+        let e = execute(&app, cfg);
+        let m = f64::from(cores);
+        let lower = (total / m).max(longest);
+        let upper = total / m + (1.0 - 1.0 / m) * longest;
+        prop_assert!(e.total_time_s() >= lower - 1e-9);
+        prop_assert!(e.total_time_s() <= upper + 1e-9);
+    }
+
+    #[test]
+    fn sprinting_never_slows_an_app(
+        seed in 0u64..500,
+        wide_fraction in 0.0f64..=1.0,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let app = SparkApp::synthetic(4, 3, wide_fraction, 24, 3, &mut rng).unwrap();
+        let nom = execute(&app, ExecutorConfig::paper_nominal());
+        let spr = execute(&app, ExecutorConfig::paper_sprint());
+        let s = end_to_end_speedup(&nom, &spr);
+        // Bounded by frequency-only below and capacity ratio above.
+        prop_assert!(s >= 2.25 - 1e-9, "speedup {s}");
+        prop_assert!(s <= 9.0 + 1e-9, "speedup {s}");
+    }
+
+    #[test]
+    fn task_skew_samples_stay_in_support(seed in 0u64..500) {
+        let mut rng = seeded_rng(seed);
+        for _ in 0..32 {
+            let lu = TaskSkew::LogUniform.sample(&mut rng);
+            prop_assert!((0.5..=2.0).contains(&lu));
+            let pt = TaskSkew::ParetoTail.sample(&mut rng);
+            prop_assert!((0.5..=3.5).contains(&pt));
+        }
+    }
+
+    #[test]
+    fn phased_streams_stay_in_benchmark_support(
+        b in arb_benchmark(),
+        seed in 0u64..500,
+    ) {
+        let density = b.utility_density(128).unwrap();
+        let mut s = PhasedUtility::for_benchmark(b, seed).unwrap();
+        for _ in 0..64 {
+            let u = s.next_utility();
+            prop_assert!(u >= density.lo() - 1e-9 && u <= density.hi() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn trace_conserves_tasks(
+        gaps in prop::collection::vec(0.01f64..5.0, 1..80),
+        bucket in 0.1f64..4.0,
+    ) {
+        let mut t = 0.0;
+        let completions: Vec<f64> = gaps
+            .iter()
+            .map(|g| {
+                t += g;
+                t
+            })
+            .collect();
+        let trace = TpsTrace::from_completions(&completions, bucket).unwrap();
+        prop_assert_eq!(trace.total_tasks(), completions.len() as u64);
+        let sum: u64 = trace.counts().iter().map(|&c| u64::from(c)).sum();
+        prop_assert_eq!(sum, completions.len() as u64);
+    }
+
+    #[test]
+    fn epoch_speedups_bounded_and_aligned(
+        gaps in prop::collection::vec(0.05f64..2.0, 4..120),
+        ratio in 1.0f64..8.0,
+        epoch in 1.0f64..20.0,
+    ) {
+        // Sprint completes the same tasks `ratio` times faster.
+        let mut t = 0.0;
+        let normal: Vec<f64> = gaps
+            .iter()
+            .map(|g| {
+                t += g;
+                t
+            })
+            .collect();
+        let sprint: Vec<f64> = normal.iter().map(|x| x / ratio).collect();
+        let s = epoch_speedups(&normal, &sprint, epoch).unwrap();
+        prop_assert!(!s.is_empty());
+        for v in &s {
+            prop_assert!(*v >= 1.0 - 1e-9);
+            // Work-aligned comparison can never exceed the true ratio by
+            // more than discretization slack.
+            prop_assert!(*v <= ratio + 1e-6, "epoch speedup {v} vs ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn benchmark_densities_have_documented_shape(b in arb_benchmark()) {
+        let d = b.utility_density(128).unwrap();
+        prop_assert!((d.total_mass() - 1.0).abs() < 1e-6);
+        prop_assert!(d.lo() >= 0.0);
+        prop_assert!(d.mean() >= 1.8 && d.mean() <= 7.5);
+        // Speedups essentially never below 1.
+        prop_assert!(d.tail_mass(1.0) > 0.99);
+    }
+}

@@ -1,0 +1,104 @@
+//! The Figure-4 management loop, end to end.
+//!
+//! Demonstrates the paper's runtime split (§2.3): agents profile their
+//! applications online, ship density profiles to the coordinator, receive
+//! tailored threshold strategies, and self-enforce them epoch by epoch.
+//! Mid-run, the application mix changes; the coordinator re-optimizes and
+//! re-assigns — the only moments requiring global communication.
+//!
+//! ```text
+//! cargo run --release --example online_management
+//! ```
+
+use computational_sprinting::game::agent::{Decision, OnlineAgent};
+use computational_sprinting::game::coordinator::Coordinator;
+use computational_sprinting::game::GameConfig;
+use computational_sprinting::workloads::phases::PhasedUtility;
+use computational_sprinting::workloads::profile::UtilityProfile;
+use computational_sprinting::workloads::Benchmark;
+
+const AGENTS_PER_TYPE: u32 = 500;
+const PROFILE_EPOCHS: usize = 3000;
+
+/// Offline step: profile a benchmark from sampled epochs (not the
+/// analytic density — this is what a real agent would measure).
+fn measured_profile(benchmark: Benchmark, seed: u64) -> UtilityProfile {
+    let mut stream = PhasedUtility::for_benchmark(benchmark, seed).expect("valid persistence");
+    let samples: Vec<f64> = (0..PROFILE_EPOCHS).map(|_| stream.next_utility()).collect();
+    UtilityProfile::from_samples(&samples).expect("non-empty profile")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = GameConfig::paper_defaults();
+    let mut coordinator = Coordinator::new(config);
+
+    // Phase 1: the rack runs DecisionTree + PageRank.
+    println!("phase 1: registering measured profiles (decision, pagerank)");
+    for b in [Benchmark::DecisionTree, Benchmark::PageRank] {
+        let profile = measured_profile(b, 7);
+        println!(
+            "  {}: measured mean {:.2}, sd {:.2} over {} epochs",
+            b.name(),
+            profile.mean(),
+            profile.std_dev(),
+            3000
+        );
+        coordinator.register_profile(b.name(), profile.into_density(), AGENTS_PER_TYPE);
+    }
+    let assignments = coordinator.optimize()?;
+    println!("  assignments (P_trip = {:.3}):", assignments.trip_probability());
+    for (name, strategy) in assignments.iter() {
+        println!("    {name:<10} -> {strategy}");
+    }
+
+    // Online: one agent executes its assigned strategy with a predictor.
+    let strategy = assignments
+        .strategy_for("pagerank")
+        .expect("pagerank registered");
+    let mut agent = OnlineAgent::new(strategy);
+    let mut stream = PhasedUtility::for_benchmark(Benchmark::PageRank, 99)?;
+    let mut sprints = 0;
+    for epoch in 0..20 {
+        let measured = stream.next_utility();
+        let decision = agent.begin_epoch(measured);
+        if decision == Decision::Sprint {
+            sprints += 1;
+        }
+        if epoch < 6 {
+            println!(
+                "    epoch {epoch}: utility {measured:5.2} -> {decision:?} (predictor: {:?})",
+                agent.predicted_utility().map(|p| (p * 100.0).round() / 100.0)
+            );
+        }
+        // Resolve transitions locally; no coordinator involvement.
+        agent.end_epoch(decision, false, true, true);
+    }
+    println!("    ... agent sprinted {sprints}/20 epochs (sprint rate {:.2})", agent.sprint_rate());
+
+    // Phase 2: the mix changes — PageRank jobs drain, Linear Regression
+    // arrives. Only now does global communication recur.
+    println!("\nphase 2: mix change (pagerank -> linear); coordinator re-optimizes");
+    coordinator.register_profile(
+        "pagerank",
+        measured_profile(Benchmark::PageRank, 11).into_density(),
+        0,
+    );
+    coordinator.register_profile(
+        "linear",
+        measured_profile(Benchmark::LinearRegression, 13).into_density(),
+        AGENTS_PER_TYPE,
+    );
+    // Rebalance: decision keeps its 500; linear takes pagerank's slots.
+    let reassigned = coordinator.optimize()?;
+    println!("  assignments (P_trip = {:.3}):", reassigned.trip_probability());
+    for (name, strategy) in reassigned.iter() {
+        println!("    {name:<10} -> {strategy}");
+    }
+    // The running agent just swaps its strategy object; everything else
+    // is local.
+    if let Some(s) = reassigned.strategy_for("decision") {
+        agent.assign(s);
+        println!("  agent re-assigned: {s}");
+    }
+    Ok(())
+}

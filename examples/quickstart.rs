@@ -1,0 +1,66 @@
+//! Quickstart: solve the sprinting game for one application.
+//!
+//! Builds the paper's Table-2 configuration, profiles the representative
+//! Decision Tree workload, runs Algorithm 1 to the mean-field equilibrium,
+//! and verifies that no agent can profit by deviating.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use computational_sprinting::game::{GameConfig, MeanFieldSolver};
+use computational_sprinting::workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The game: 1000 chips behind one breaker (paper Table 2).
+    let config = GameConfig::paper_defaults();
+    println!(
+        "rack: N = {}, band = [{}, {}], p_c = {}, p_r = {}, δ = {}",
+        config.n_agents(),
+        config.n_min(),
+        config.n_max(),
+        config.p_cooling(),
+        config.p_recovery(),
+        config.discount()
+    );
+
+    // 2. The workload profile: f(u) over per-epoch sprint speedups.
+    let benchmark = Benchmark::DecisionTree;
+    let density = benchmark.utility_density(512)?;
+    println!(
+        "\nworkload: {} (mean speedup {:.2}x, sd {:.2})",
+        benchmark.full_name(),
+        density.mean(),
+        density.variance().sqrt()
+    );
+
+    // 3. Algorithm 1: iterate threshold <-> tripping probability to the
+    //    mean-field equilibrium.
+    let equilibrium = MeanFieldSolver::new(config).solve(&density)?;
+    println!("\nequilibrium:");
+    println!("  sprint threshold u_T   = {:.3}", equilibrium.threshold());
+    println!(
+        "  P(sprint | active)     = {:.3}",
+        equilibrium.sprint_probability()
+    );
+    println!(
+        "  expected sprinters n_S = {:.1}",
+        equilibrium.expected_sprinters()
+    );
+    println!(
+        "  P(trip breaker)        = {:.3}",
+        equilibrium.trip_probability()
+    );
+
+    // 4. Verify: best-response fixed point and no profitable deviation.
+    let check = equilibrium.verify(&config, &density, 100)?;
+    println!("\nverification:");
+    println!("  threshold residual     = {:.2e}", check.threshold_residual);
+    println!("  trip residual          = {:.2e}", check.trip_residual);
+    println!("  max deviation gain     = {:.2e}", check.max_deviation_gain);
+    println!(
+        "  is equilibrium (1e-4)  = {}",
+        check.holds(1e-4)
+    );
+    Ok(())
+}

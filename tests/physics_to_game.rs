@@ -1,0 +1,77 @@
+//! Cross-crate integration: physics → game parameters → equilibrium.
+//!
+//! The full pipeline the paper narrates: chip + PCM + breaker + UPS models
+//! produce the Table-2 parameters, which parameterize the game, which
+//! yields strategies consistent with the paper's equilibrium behavior.
+
+use computational_sprinting::game::{GameConfig, MeanFieldSolver};
+use computational_sprinting::power::rack::RackConfig;
+use computational_sprinting::workloads::Benchmark;
+
+#[test]
+fn derived_rack_parameters_drive_the_game() {
+    let rack = RackConfig::paper_rack(1000);
+    let params = rack.derive_game_parameters();
+
+    // Physics reproduces Table 2.
+    assert_eq!(params.n_min, 250);
+    assert_eq!(params.n_max, 750);
+    assert!((params.p_cooling - 0.5).abs() < 0.1);
+    assert!((params.p_recovery - 0.88).abs() < 0.01);
+
+    // Feed the derived parameters into the game.
+    let config = GameConfig::builder()
+        .n_agents(params.n_agents)
+        .n_min(f64::from(params.n_min))
+        .n_max(f64::from(params.n_max))
+        .p_cooling(params.p_cooling)
+        .p_recovery(params.p_recovery)
+        .build()
+        .unwrap();
+
+    let density = Benchmark::DecisionTree.utility_density(512).unwrap();
+    let derived_eq = MeanFieldSolver::new(config).solve(&density).unwrap();
+    let table2_eq = MeanFieldSolver::new(GameConfig::paper_defaults())
+        .solve(&density)
+        .unwrap();
+
+    // The physics-derived equilibrium matches the Table-2 equilibrium
+    // closely (p_c differs by < 0.05).
+    assert!(
+        (derived_eq.threshold() - table2_eq.threshold()).abs() < 0.2,
+        "derived threshold {} vs Table-2 threshold {}",
+        derived_eq.threshold(),
+        table2_eq.threshold()
+    );
+    assert!((derived_eq.sprint_probability() - table2_eq.sprint_probability()).abs() < 0.1);
+}
+
+#[test]
+fn rack_scaling_preserves_band_fractions() {
+    for n in [100u32, 400, 1000, 2000] {
+        let params = RackConfig::paper_rack(n).derive_game_parameters();
+        let n_f = f64::from(n);
+        assert!(
+            (f64::from(params.n_min) / n_f - 0.25).abs() < 0.01,
+            "N = {n}: N_min = {}",
+            params.n_min
+        );
+        assert!(
+            (f64::from(params.n_max) / n_f - 0.75).abs() < 0.01,
+            "N = {n}: N_max = {}",
+            params.n_max
+        );
+    }
+}
+
+#[test]
+fn epoch_and_cooling_durations_are_physical() {
+    let params = RackConfig::paper_rack(1000).derive_game_parameters();
+    // "We estimate a chip with paraffin wax can sprint with durations on
+    // the order of 150 seconds ... cooling duration on the order of 300
+    // seconds, twice the sprint's duration."
+    assert!((120.0..=180.0).contains(&params.epoch_seconds));
+    assert!((250.0..=380.0).contains(&params.cooling_seconds));
+    let ratio = params.cooling_seconds / params.epoch_seconds;
+    assert!((1.6..=2.6).contains(&ratio), "cooling/sprint ratio {ratio}");
+}
