@@ -26,11 +26,7 @@ fn main() {
         "{:<14} {:>12} {:>12} {:>12} {:>12} {:>7}",
         "benchmark", "offline u_T", "learned u_T", "E-T tasks", "learn tasks", "trips"
     );
-    for b in [
-        Benchmark::DecisionTree,
-        Benchmark::Svm,
-        Benchmark::PageRank,
-    ] {
+    for b in [Benchmark::DecisionTree, Benchmark::Svm, Benchmark::PageRank] {
         let density = b.utility_density(512).expect("valid bins");
         let offline = MeanFieldSolver::new(config)
             .solve(&density)
@@ -41,8 +37,8 @@ fn main() {
             .run(PolicyKind::EquilibriumThreshold, 5)
             .expect("simulation succeeds");
 
-        let mut learner = AdaptiveThreshold::with_defaults(config, density)
-            .expect("valid learner parameters");
+        let mut learner =
+            AdaptiveThreshold::with_defaults(config, density).expect("valid learner parameters");
         let mut streams = scenario
             .population()
             .spawn_streams(5)

@@ -25,7 +25,11 @@ fn main() {
         "{:<14} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "benchmark", "0%", "10%", "25%", "50%", "100%"
     );
-    for b in [Benchmark::DecisionTree, Benchmark::PageRank, Benchmark::Kmeans] {
+    for b in [
+        Benchmark::DecisionTree,
+        Benchmark::PageRank,
+        Benchmark::Kmeans,
+    ] {
         print!("{:<14}", b.name());
         for sd in [0.0, 0.10, 0.25, 0.50, 1.0] {
             let scenario = paper_scenario(b, EPOCHS).with_estimation(if sd == 0.0 {
@@ -33,12 +37,9 @@ fn main() {
             } else {
                 UtilityEstimation::Noisy { relative_sd: sd }
             });
-            let cmp = compare_policies(
-                &scenario,
-                &[PolicyKind::EquilibriumThreshold],
-                &TRIAL_SEEDS,
-            )
-            .expect("comparison succeeds");
+            let cmp =
+                compare_policies(&scenario, &[PolicyKind::EquilibriumThreshold], &TRIAL_SEEDS)
+                    .expect("comparison succeeds");
             let tasks = cmp
                 .outcome(PolicyKind::EquilibriumThreshold)
                 .expect("policy present")

@@ -37,8 +37,8 @@ fn run(config: GameConfig, n_deviants: usize, enforcement: bool) -> (f64, u32, u
         .spawn_streams(17)
         .expect("streams spawn");
     let deviants: Vec<usize> = (0..n_deviants).collect();
-    let mut policy = GrimTrigger::new(vec![ct.threshold; AGENTS], &deviants, enforcement)
-        .expect("valid policy");
+    let mut policy =
+        GrimTrigger::new(vec![ct.threshold; AGENTS], &deviants, enforcement).expect("valid policy");
     let result = simulate(
         &SimConfig::new(config, EPOCHS, 17).expect("valid epochs"),
         &mut streams,

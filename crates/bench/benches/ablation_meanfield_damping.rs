@@ -4,8 +4,8 @@
 //! (the paper's Algorithm 1) can oscillate; damping guarantees progress.
 //! Both must agree on the fixed point where both converge.
 
-use sprint_game::meanfield::{MeanFieldSolver, SolverOptions};
 use sprint_game::bellman::BellmanMethod;
+use sprint_game::meanfield::{MeanFieldSolver, SolverOptions};
 use sprint_game::GameConfig;
 use sprint_workloads::Benchmark;
 
@@ -28,8 +28,8 @@ fn main() {
         Benchmark::Kmeans,
     ] {
         let density = b.utility_density(512).expect("valid bins");
-        let literal = MeanFieldSolver::with_options(config, SolverOptions::paper_literal())
-            .solve(&density);
+        let literal =
+            MeanFieldSolver::with_options(config, SolverOptions::paper_literal()).solve(&density);
         let damped = MeanFieldSolver::with_options(
             config,
             SolverOptions {

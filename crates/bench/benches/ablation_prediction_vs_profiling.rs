@@ -44,8 +44,7 @@ fn main() {
             .population()
             .spawn_streams(9)
             .expect("streams spawn");
-        let mut policy =
-            PredictiveThreshold::uniform(eq.threshold(), 1000).expect("valid policy");
+        let mut policy = PredictiveThreshold::uniform(eq.threshold(), 1000).expect("valid policy");
         let predictive = simulate(
             &SimConfig::new(config, EPOCHS, 9).expect("valid epochs"),
             &mut streams,

@@ -29,13 +29,10 @@ fn rack_game() -> GameConfig {
 }
 
 fn run(cfg: &ClusterConfig, threshold: f64, seed: u64) -> sprint_sim::cluster::ClusterResult {
-    let mut streams = Population::homogeneous(
-        Benchmark::DecisionTree,
-        (RACKS * PER_RACK) as usize,
-    )
-    .expect("valid population")
-    .spawn_streams(seed)
-    .expect("streams spawn");
+    let mut streams = Population::homogeneous(Benchmark::DecisionTree, (RACKS * PER_RACK) as usize)
+        .expect("valid population")
+        .spawn_streams(seed)
+        .expect("streams spawn");
     let mut policies: Vec<Box<dyn SprintPolicy>> = (0..RACKS)
         .map(|_| {
             Box::new(

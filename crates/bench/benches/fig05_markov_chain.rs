@@ -18,8 +18,8 @@ fn main() {
     for i in 0..=10 {
         let ps = i as f64 / 10.0;
         let (pa, _) = active_cooling_stationary(ps, pc).expect("valid probabilities");
-        let chain = MarkovChain::new(vec![vec![1.0 - ps, ps], vec![1.0 - pc, pc]])
-            .expect("row-stochastic");
+        let chain =
+            MarkovChain::new(vec![vec![1.0 - ps, ps], vec![1.0 - pc, pc]]).expect("row-stochastic");
         let pi = chain.stationary_direct().expect("irreducible chain");
         println!(
             "{ps:>6.2} {pa:>12.4} {:>12.4} {:>14.1}",

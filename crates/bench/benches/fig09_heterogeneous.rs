@@ -23,10 +23,8 @@ fn main() {
     for k in 1..=11usize {
         let mut sums = [0.0f64; 3];
         for mix in 0..MIXES_PER_POINT {
-            let population =
-                Population::random_mix(k, AGENTS, &mut rng).expect("valid mix size");
-            let scenario =
-                Scenario::with_population(population, EPOCHS).expect("valid scenario");
+            let population = Population::random_mix(k, AGENTS, &mut rng).expect("valid mix size");
+            let scenario = Scenario::with_population(population, EPOCHS).expect("valid scenario");
             let policies = [
                 PolicyKind::Greedy,
                 PolicyKind::ExponentialBackoff,

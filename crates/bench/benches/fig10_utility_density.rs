@@ -14,7 +14,10 @@ fn print_density(b: Benchmark) {
     let density = kernel_density(&samples, 256).expect("non-empty profile");
 
     println!();
-    println!("{} — KDE over {PROFILE_EPOCHS} profiled epochs", b.full_name());
+    println!(
+        "{} — KDE over {PROFILE_EPOCHS} profiled epochs",
+        b.full_name()
+    );
     println!("{:>10} {:>9}", "speedup", "density");
     let points = 26;
     for i in 0..=points {

@@ -34,7 +34,10 @@ fn main() {
         println!("{pr:>6.2} {e_lin:>18.3} {e_dec:>18.3}");
     }
     // The prisoner's-dilemma limit itself.
-    let cfg = GameConfig::builder().p_recovery(0.999).build().expect("valid");
+    let cfg = GameConfig::builder()
+        .p_recovery(0.999)
+        .build()
+        .expect("valid");
     println!(
         "{:>6.3} {:>18.3} {:>18.3}",
         0.999,

@@ -25,7 +25,11 @@ fn main() {
             table2.n_max(),
             f64::from(derived.n_max),
         ),
-        ("P(stay cooling)  p_c", table2.p_cooling(), derived.p_cooling),
+        (
+            "P(stay cooling)  p_c",
+            table2.p_cooling(),
+            derived.p_cooling,
+        ),
         (
             "P(stay recovery) p_r",
             table2.p_recovery(),

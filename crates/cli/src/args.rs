@@ -104,11 +104,7 @@ impl ParsedArgs {
     /// # Errors
     ///
     /// Returns [`ArgError`] when the value does not parse as `T`.
-    pub fn get_parsed<T: std::str::FromStr>(
-        &self,
-        name: &str,
-        default: T,
-    ) -> Result<T, ArgError> {
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.get(name) {
             None => Ok(default),
             Some(raw) => raw
@@ -175,6 +171,9 @@ mod tests {
     fn bool_validation() {
         let a = ParsedArgs::parse(["x", "--flag", "maybe"]).unwrap();
         assert!(a.get_bool("flag", false).is_err());
-        assert!(!ParsedArgs::parse(["x"]).unwrap().get_bool("flag", false).unwrap());
+        assert!(!ParsedArgs::parse(["x"])
+            .unwrap()
+            .get_bool("flag", false)
+            .unwrap());
     }
 }

@@ -6,7 +6,7 @@ use sprint_game::cooperative::CooperativeSearch;
 use sprint_game::{GameConfig, MeanFieldSolver};
 use sprint_power::rack::RackConfig;
 use sprint_sim::policy::PolicyKind;
-use sprint_sim::runner::compare_policies;
+use sprint_sim::runner::{chaos_matrix, compare_policies, standard_fault_suite};
 use sprint_sim::scenario::Scenario;
 use sprint_workloads::Benchmark;
 
@@ -52,6 +52,8 @@ USAGE:
   sprint simulate      --benchmark <name> --policy <g|e-b|e-t|c-t>
                        [--agents N] [--epochs E] [--seed S] [--json true]
   sprint compare       --benchmark <name> [--agents N] [--epochs E] [--seeds K]
+  sprint chaos         --benchmark <name> [--agents N] [--epochs E] [--seeds K]
+                       [--fault-seed S] [--json true]
   sprint cluster       --benchmark <name> [--racks K] [--agents-per-rack N]
                        [--epochs E] [--facility-n-min X] [--facility-n-max X]
                        [--seed S] [--json true]
@@ -66,8 +68,12 @@ fn parse_benchmark(args: &ParsedArgs) -> Result<Benchmark, CliError> {
     let name = args
         .get("benchmark")
         .ok_or_else(|| ArgError("--benchmark is required".into()))?;
-    Benchmark::from_name(name)
-        .ok_or_else(|| ArgError(format!("unknown benchmark `{name}`; see `sprint benchmarks`")).into())
+    Benchmark::from_name(name).ok_or_else(|| {
+        ArgError(format!(
+            "unknown benchmark `{name}`; see `sprint benchmarks`"
+        ))
+        .into()
+    })
 }
 
 fn parse_policy(raw: &str) -> Result<PolicyKind, CliError> {
@@ -132,7 +138,9 @@ pub fn solve(args: &ParsedArgs) -> Result<(), CliError> {
     let json = args.get_bool("json", false)?;
 
     let density = benchmark.utility_density(512).map_err(run_err)?;
-    let eq = MeanFieldSolver::new(config).solve(&density).map_err(run_err)?;
+    let eq = MeanFieldSolver::new(config)
+        .solve(&density)
+        .map_err(run_err)?;
     let ct = CooperativeSearch::default_resolution()
         .solve(&config, &density)
         .map_err(run_err)?;
@@ -155,7 +163,10 @@ pub fn solve(args: &ParsedArgs) -> Result<(), CliError> {
         println!("expected sprinters  {:.1}", report.expected_sprinters);
         println!("P(trip)             {:.4}", report.trip_probability);
         println!("cooperative u_T     {:.4}", report.cooperative_threshold);
-        println!("efficiency vs C-T   {:.3}", report.efficiency_vs_cooperative);
+        println!(
+            "efficiency vs C-T   {:.3}",
+            report.efficiency_vs_cooperative
+        );
     })
 }
 
@@ -251,6 +262,57 @@ pub fn compare(args: &ParsedArgs) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `sprint chaos`: the policy × fault-plan resilience matrix.
+pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
+    args.expect_only(&[
+        "benchmark",
+        "agents",
+        "epochs",
+        "seeds",
+        "fault-seed",
+        "json",
+    ])?;
+    let benchmark = parse_benchmark(args)?;
+    let agents: u32 = args.get_parsed("agents", 1000)?;
+    let epochs: usize = args.get_parsed("epochs", 600)?;
+    let n_seeds: u64 = args.get_parsed("seeds", 2)?;
+    let fault_seed: u64 = args.get_parsed("fault-seed", 17)?;
+    let json = args.get_bool("json", false)?;
+    if n_seeds == 0 {
+        return Err(ArgError("--seeds must be at least 1".into()).into());
+    }
+
+    let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
+    let plans = standard_fault_suite(fault_seed);
+    let seeds: Vec<u64> = (1..=n_seeds).collect();
+    let report = chaos_matrix(&scenario, &PolicyKind::ALL, &plans, &seeds).map_err(run_err)?;
+    emit(json, &report, || {
+        println!(
+            "chaos matrix: {} x {} agents, {} epochs, {} seed(s), fault seed {}",
+            benchmark.name(),
+            agents,
+            epochs,
+            n_seeds,
+            fault_seed
+        );
+        println!(
+            "{:<24} {:<18} {:>10} {:>10} {:>7} {:>7}",
+            "policy", "fault plan", "tasks/ep", "vs clean", "trips", "crashes"
+        );
+        for cell in report.cells() {
+            println!(
+                "{:<24} {:<18} {:>10.4} {:>10.3} {:>7.1} {:>7}",
+                cell.policy.to_string(),
+                cell.plan,
+                cell.tasks_per_agent_epoch,
+                cell.degradation,
+                cell.trips,
+                cell.faults.crashes
+            );
+        }
+    })
+}
+
 /// `sprint cluster`: multi-rack simulation under a facility breaker.
 pub fn cluster(args: &ParsedArgs) -> Result<(), CliError> {
     args.expect_only(&[
@@ -306,12 +368,8 @@ pub fn cluster(args: &ParsedArgs) -> Result<(), CliError> {
         .map_err(run_err)?;
     let mut policies: Vec<Box<dyn SprintPolicy>> = (0..racks)
         .map(|_| {
-            ThresholdPolicy::uniform(
-                "E-T",
-                eq.strategy(),
-                per_rack as usize,
-            )
-            .map(|p| Box::new(p) as Box<dyn SprintPolicy>)
+            ThresholdPolicy::uniform("E-T", eq.strategy(), per_rack as usize)
+                .map(|p| Box::new(p) as Box<dyn SprintPolicy>)
         })
         .collect::<Result<_, _>>()
         .map_err(run_err)?;
@@ -323,7 +381,10 @@ pub fn cluster(args: &ParsedArgs) -> Result<(), CliError> {
             benchmark.name()
         );
         println!("threshold (facility-aware) {:.3}", eq.threshold());
-        println!("tasks/agent-epoch          {:.4}", result.tasks_per_agent_epoch);
+        println!(
+            "tasks/agent-epoch          {:.4}",
+            result.tasks_per_agent_epoch
+        );
         println!("rack trips                 {}", result.rack_trips);
         println!("facility trips             {}", result.facility_trips);
         let cells: Vec<String> = result
@@ -384,6 +445,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
         "solve" => solve(args),
         "simulate" => simulate(args),
         "compare" => compare(args),
+        "chaos" => chaos(args),
         "cluster" => cluster(args),
         "derive-params" => derive_params(args),
         "benchmarks" => benchmarks(args),
@@ -417,7 +479,14 @@ mod tests {
 
     #[test]
     fn solve_rejects_unknown_flags_and_bad_config() {
-        assert!(solve(&parsed(&["solve", "--benchmark", "decision", "--bogus", "1"])).is_err());
+        assert!(solve(&parsed(&[
+            "solve",
+            "--benchmark",
+            "decision",
+            "--bogus",
+            "1"
+        ]))
+        .is_err());
         assert!(solve(&parsed(&[
             "solve",
             "--benchmark",
@@ -465,8 +534,14 @@ mod tests {
     #[test]
     fn policy_aliases_parse() {
         assert_eq!(parse_policy("greedy").unwrap(), PolicyKind::Greedy);
-        assert_eq!(parse_policy("E-T").unwrap(), PolicyKind::EquilibriumThreshold);
-        assert_eq!(parse_policy("ct").unwrap(), PolicyKind::CooperativeThreshold);
+        assert_eq!(
+            parse_policy("E-T").unwrap(),
+            PolicyKind::EquilibriumThreshold
+        );
+        assert_eq!(
+            parse_policy("ct").unwrap(),
+            PolicyKind::CooperativeThreshold
+        );
         assert!(parse_policy("random").is_err());
     }
 
@@ -523,6 +598,38 @@ mod tests {
             "0",
         ]);
         assert!(compare(&args).is_err());
+    }
+
+    #[test]
+    fn chaos_runs_small_and_validates() {
+        let args = parsed(&[
+            "chaos",
+            "--benchmark",
+            "svm",
+            "--agents",
+            "20",
+            "--epochs",
+            "15",
+            "--seeds",
+            "1",
+        ]);
+        assert!(chaos(&args).is_ok());
+        let json = parsed(&[
+            "chaos",
+            "--benchmark",
+            "svm",
+            "--agents",
+            "20",
+            "--epochs",
+            "15",
+            "--seeds",
+            "1",
+            "--json",
+            "true",
+        ]);
+        assert!(chaos(&json).is_ok());
+        let bad = parsed(&["chaos", "--benchmark", "svm", "--seeds", "0"]);
+        assert!(chaos(&bad).is_err());
     }
 
     #[test]

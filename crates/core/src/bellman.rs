@@ -299,8 +299,7 @@ mod tests {
         ] {
             let d = density_of(b);
             for p in [0.0, 0.05, 0.3, 0.9] {
-                let vi =
-                    solve_value_iteration(&cfg, &d, p, 1e-11, 2_000_000).unwrap();
+                let vi = solve_value_iteration(&cfg, &d, p, 1e-11, 2_000_000).unwrap();
                 let pi = solve_policy_iteration(&cfg, &d, p, 1e-11, 10_000).unwrap();
                 assert!(
                     (vi.threshold - pi.threshold).abs() < 1e-5,
@@ -309,8 +308,7 @@ mod tests {
                     pi.threshold
                 );
                 assert!(
-                    (vi.values.v_active - pi.values.v_active).abs()
-                        / vi.values.v_active.max(1.0)
+                    (vi.values.v_active - pi.values.v_active).abs() / vi.values.v_active.max(1.0)
                         < 1e-6,
                     "{b} @ P={p}: V(A) {} vs {}",
                     vi.values.v_active,

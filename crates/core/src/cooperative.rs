@@ -94,12 +94,11 @@ pub struct CooperativeSolution {
 impl CooperativeSolution {
     /// The cooperative threshold as an executable strategy.
     ///
-    /// # Panics
-    ///
-    /// Never panics: searched thresholds are non-negative.
+    /// Searched thresholds are non-negative; an invalid one degrades to
+    /// the breaker-safe never-sprint strategy instead of panicking.
     #[must_use]
     pub fn strategy(&self) -> ThresholdStrategy {
-        ThresholdStrategy::new(self.threshold).expect("searched thresholds are non-negative")
+        ThresholdStrategy::new(self.threshold).unwrap_or_else(|_| ThresholdStrategy::never_sprint())
     }
 }
 
@@ -160,7 +159,11 @@ impl CooperativeSearch {
                 });
             }
         }
-        Ok(best.expect("resolution >= 2 evaluates at least one threshold"))
+        best.ok_or(GameError::InvalidParameter {
+            name: "resolution",
+            value: self.resolution as f64,
+            expected: "a search grid evaluating at least one threshold",
+        })
     }
 }
 
@@ -275,7 +278,9 @@ mod tests {
         assert!(t.p_trip > 0.0);
         assert_eq!(t.tasks_per_epoch, 0.0);
         // But a high threshold avoids tripping entirely and scores > 1.
-        let ct = CooperativeSearch::default_resolution().solve(&pd, &d).unwrap();
+        let ct = CooperativeSearch::default_resolution()
+            .solve(&pd, &d)
+            .unwrap();
         assert_eq!(ct.throughput.p_trip, 0.0);
         assert!(ct.throughput.tasks_per_epoch > 1.0);
     }

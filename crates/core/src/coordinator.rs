@@ -192,11 +192,7 @@ mod tests {
     #[test]
     fn counts_must_cover_the_rack() {
         let mut c = Coordinator::new(GameConfig::paper_defaults());
-        c.register_profile(
-            "svm",
-            Benchmark::Svm.utility_density(256).unwrap(),
-            123,
-        );
+        c.register_profile("svm", Benchmark::Svm.utility_density(256).unwrap(), 123);
         assert!(c.optimize().is_err(), "counts must sum to N = 1000");
     }
 }

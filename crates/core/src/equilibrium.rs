@@ -36,13 +36,12 @@ impl Equilibrium {
 
     /// The equilibrium threshold as an executable strategy.
     ///
-    /// # Panics
-    ///
-    /// Never panics: equilibrium thresholds are non-negative by
-    /// construction.
+    /// Equilibrium thresholds are non-negative by construction; should a
+    /// corrupted archive carry an invalid one, this degrades to the
+    /// breaker-safe never-sprint strategy instead of panicking.
     #[must_use]
     pub fn strategy(&self) -> ThresholdStrategy {
-        ThresholdStrategy::new(self.threshold).expect("equilibrium thresholds are non-negative")
+        ThresholdStrategy::new(self.threshold).unwrap_or_else(|_| ThresholdStrategy::never_sprint())
     }
 
     /// Stationary probability of tripping the breaker.

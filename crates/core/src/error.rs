@@ -27,6 +27,25 @@ pub enum GameError {
         /// Final fixed-point residual on the tripping probability.
         residual: f64,
     },
+    /// Algorithm 1 exhausted every damping escalation without meeting the
+    /// tolerance, but a usable degraded answer exists.
+    ///
+    /// Carries the best iterate found plus a conservative fallback
+    /// threshold guaranteeing expected sprinters stay below `N_min`
+    /// (the breaker's never-trip region, §2.2), so callers can keep the
+    /// rack running instead of aborting.
+    NonConvergence {
+        /// Iterations attempted across every damping retry.
+        iterations: usize,
+        /// Best (smallest) fixed-point residual observed.
+        residual: f64,
+        /// Threshold of the best iterate.
+        best_threshold: f64,
+        /// Trip probability of the best iterate.
+        best_trip_probability: f64,
+        /// Safe threshold: never sprint above the `N_min/N` margin.
+        fallback_threshold: f64,
+    },
     /// An underlying statistics operation failed.
     Stats(StatsError),
     /// An underlying workload operation failed.
@@ -40,7 +59,10 @@ impl fmt::Display for GameError {
                 name,
                 value,
                 expected,
-            } => write!(f, "parameter `{name}` = {value} is invalid: expected {expected}"),
+            } => write!(
+                f,
+                "parameter `{name}` = {value} is invalid: expected {expected}"
+            ),
             GameError::NoEquilibrium {
                 iterations,
                 residual,
@@ -48,6 +70,19 @@ impl fmt::Display for GameError {
                 f,
                 "mean-field iteration found no equilibrium after {iterations} steps \
                  (residual {residual:e})"
+            ),
+            GameError::NonConvergence {
+                iterations,
+                residual,
+                best_threshold,
+                fallback_threshold,
+                ..
+            } => write!(
+                f,
+                "mean-field iteration did not converge after {iterations} steps across \
+                 every damping escalation (best residual {residual:e}, best threshold \
+                 {best_threshold:.4}); conservative fallback threshold \
+                 {fallback_threshold:.4} is available"
             ),
             GameError::Stats(e) => write!(f, "statistics error: {e}"),
             GameError::Workload(e) => write!(f, "workload error: {e}"),

@@ -88,7 +88,12 @@ pub fn analyze_deviation(
     // mean-field premise), so she optimizes against P = 0.
     let conforming =
         bellman::evaluate_threshold_policy(config, density, 0.0, cooperative_threshold)?;
-    let best = bellman::solve(config, density, 0.0, bellman::BellmanMethod::PolicyIteration)?;
+    let best = bellman::solve(
+        config,
+        density,
+        0.0,
+        bellman::BellmanMethod::PolicyIteration,
+    )?;
     Ok(DeviationAnalysis {
         cooperative_threshold,
         best_response_threshold: best.threshold,
@@ -152,7 +157,10 @@ mod tests {
             e_cheap > e_mid && e_mid > e_costly,
             "{e_cheap} > {e_mid} > {e_costly} expected"
         );
-        assert!(e_costly < 0.3, "near-indefinite recovery collapses efficiency");
+        assert!(
+            e_costly < 0.3,
+            "near-indefinite recovery collapses efficiency"
+        );
     }
 
     #[test]
@@ -161,7 +169,9 @@ mod tests {
         // a strategic agent profits by lowering her threshold.
         let cfg = with_pr(1.0);
         let d = Benchmark::LinearRegression.utility_density(512).unwrap();
-        let ct = CooperativeSearch::default_resolution().solve(&cfg, &d).unwrap();
+        let ct = CooperativeSearch::default_resolution()
+            .solve(&cfg, &d)
+            .unwrap();
         assert_eq!(ct.throughput.p_trip, 0.0, "cooperation avoids the band");
         let dev = analyze_deviation(&cfg, &d, ct.threshold).unwrap();
         assert!(
@@ -190,7 +200,9 @@ mod tests {
         // δ = 0.99: losing the entire future dwarfs any one-shot gain.
         let cfg = with_pr(1.0);
         let d = Benchmark::LinearRegression.utility_density(512).unwrap();
-        let ct = CooperativeSearch::default_resolution().solve(&cfg, &d).unwrap();
+        let ct = CooperativeSearch::default_resolution()
+            .solve(&cfg, &d)
+            .unwrap();
         assert!(punishment_sustains_cooperation(&cfg, &d, ct.threshold).unwrap());
     }
 
@@ -204,7 +216,9 @@ mod tests {
             .build()
             .unwrap();
         let d = Benchmark::LinearRegression.utility_density(512).unwrap();
-        let ct = CooperativeSearch::default_resolution().solve(&cfg, &d).unwrap();
+        let ct = CooperativeSearch::default_resolution()
+            .solve(&cfg, &d)
+            .unwrap();
         assert!(!punishment_sustains_cooperation(&cfg, &d, ct.threshold).unwrap());
     }
 

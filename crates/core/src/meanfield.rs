@@ -110,38 +110,118 @@ impl MeanFieldSolver {
 
     /// Solve for the mean-field equilibrium of `density`.
     ///
+    /// The damped iteration retries with progressively heavier damping
+    /// before falling back to bisection: threshold quantization makes the
+    /// response map discontinuous, so a damping that cycles at one scale
+    /// can settle at another. The escalation is bounded; it never spins.
+    ///
     /// # Errors
     ///
-    /// Returns [`GameError::NoEquilibrium`] when neither damped iteration
-    /// nor bisection settles — which the paper predicts for pathological
+    /// Returns [`GameError::NonConvergence`] when every damping escalation
+    /// *and* bisection fail — which the paper predicts for pathological
     /// configurations such as the §6.4 prisoner's dilemma with a breaker
-    /// band the population always overwhelms.
+    /// band the population always overwhelms. The error carries the best
+    /// iterate found and a conservative fallback threshold that keeps
+    /// expected sprinters below `N_min` (the breaker's never-trip region,
+    /// §2.2), so callers can degrade gracefully instead of aborting.
     pub fn solve(&self, density: &DiscreteDensity) -> crate::Result<Equilibrium> {
-        // Algorithm 1: start from certain tripping.
-        let mut p = 1.0f64;
-        let mut residual = f64::INFINITY;
-        for it in 0..self.options.max_iterations {
-            let (sol, dist, implied) = self.respond(density, p)?;
-            residual = (implied - p).abs();
-            if residual < self.options.tolerance {
-                return Ok(Equilibrium {
-                    threshold: sol.threshold,
-                    p_trip: p,
-                    distribution: dist,
-                    values: sol.values,
-                    iterations: it + 1,
-                    residual,
-                });
+        // Escalation schedule: the configured damping first, then
+        // progressively heavier averaging.
+        const ESCALATION: [f64; 4] = [0.5, 0.25, 0.1, 0.02];
+        let mut total_iterations = 0usize;
+        let mut best: Option<(f64, f64, f64)> = None; // (residual, p, threshold)
+        let attempt = |damping: f64,
+                       max_iterations: usize,
+                       total: &mut usize,
+                       best: &mut Option<(f64, f64, f64)>|
+         -> crate::Result<Option<Equilibrium>> {
+            // Algorithm 1: start from certain tripping.
+            let mut p = 1.0f64;
+            for _ in 0..max_iterations {
+                let (sol, dist, implied) = self.respond(density, p)?;
+                *total += 1;
+                let residual = (implied - p).abs();
+                if best.is_none_or(|(r, _, _)| residual < r) {
+                    *best = Some((residual, p, sol.threshold));
+                }
+                if residual < self.options.tolerance {
+                    return Ok(Some(Equilibrium {
+                        threshold: sol.threshold,
+                        p_trip: p,
+                        distribution: dist,
+                        values: sol.values,
+                        iterations: *total,
+                        residual,
+                    }));
+                }
+                p = (p + damping * (implied - p)).clamp(0.0, 1.0);
             }
-            p = (p + self.options.damping * (implied - p)).clamp(0.0, 1.0);
+            Ok(None)
+        };
+
+        if let Some(eq) = attempt(
+            self.options.damping,
+            self.options.max_iterations,
+            &mut total_iterations,
+            &mut best,
+        )? {
+            return Ok(eq);
+        }
+        for damping in ESCALATION {
+            if damping == self.options.damping {
+                continue;
+            }
+            let retry_iterations = self.options.max_iterations.max(200);
+            if let Some(eq) = attempt(damping, retry_iterations, &mut total_iterations, &mut best)?
+            {
+                return Ok(eq);
+            }
         }
         // Bisection fallback on g(p) = implied(p) − p, which brackets a
         // root on [0, 1] whenever the response map is continuous.
-        self.bisect(density)
-            .ok_or(GameError::NoEquilibrium {
-                iterations: self.options.max_iterations,
-                residual,
-            })
+        if let Some(eq) = self.bisect(density) {
+            return Ok(eq);
+        }
+        let (residual, best_p, best_threshold) = best.unwrap_or((f64::INFINITY, 1.0, 0.0));
+        Err(GameError::NonConvergence {
+            iterations: total_iterations,
+            residual,
+            best_threshold,
+            best_trip_probability: best_p,
+            fallback_threshold: self.conservative_threshold(density),
+        })
+    }
+
+    /// A threshold safe under *any* dynamics: even if every agent were
+    /// active every epoch, expected sprinters `N · P(u ≥ u_T)` stay at or
+    /// below `0.9 · N_min`, inside the breaker's never-trip region (§2.2).
+    ///
+    /// This is the degradation target carried by
+    /// [`GameError::NonConvergence`]; it is also useful on its own as a
+    /// provably breaker-safe operating point.
+    #[must_use]
+    pub fn conservative_threshold(&self, density: &DiscreteDensity) -> f64 {
+        let n = f64::from(self.config.n_agents());
+        let target = 0.9 * self.config.n_min();
+        let safe = |u: f64| n * density.tail_mass(u) <= target;
+        if safe(0.0) {
+            return 0.0;
+        }
+        // tail_mass is non-increasing in u: bracket then bisect.
+        let mut hi = 1.0f64;
+        while !safe(hi) && hi < 1e12 {
+            hi *= 2.0;
+        }
+        let mut lo = 0.0f64;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if safe(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
     }
 
     fn bisect(&self, density: &DiscreteDensity) -> Option<Equilibrium> {
@@ -260,7 +340,11 @@ mod tests {
             (200.0..=350.0).contains(&ns),
             "decision tree equilibrium n_S = {ns}"
         );
-        assert!(eq.trip_probability() < 0.25, "P = {}", eq.trip_probability());
+        assert!(
+            eq.trip_probability() < 0.25,
+            "P = {}",
+            eq.trip_probability()
+        );
     }
 
     #[test]
@@ -350,5 +434,139 @@ mod tests {
         let back: Equilibrium = serde_json::from_str(&json).unwrap();
         assert_eq!(eq, back);
         assert_eq!(back.threshold(), eq.threshold());
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    use super::*;
+    use crate::threshold::ThresholdStrategy;
+    use sprint_workloads::Benchmark;
+
+    #[test]
+    fn escalation_rescues_a_diverging_first_attempt() {
+        // Near-zero damping with a one-iteration budget pins the first
+        // attempt at P = 1, which is not a fixed point for SVM; the
+        // escalation schedule must take over and still find the same
+        // equilibrium as the default solver.
+        let cfg = GameConfig::paper_defaults();
+        let d = Benchmark::Svm.utility_density(512).unwrap();
+        let crippled = SolverOptions {
+            damping: 1e-6,
+            max_iterations: 1,
+            ..SolverOptions::default()
+        };
+        let eq = MeanFieldSolver::with_options(cfg, crippled)
+            .solve(&d)
+            .unwrap();
+        assert!(
+            eq.iterations() > 1,
+            "escalation retries must run past the 1-iteration first attempt"
+        );
+        let reference = MeanFieldSolver::new(cfg).solve(&d).unwrap();
+        assert!(
+            (eq.threshold() - reference.threshold()).abs() < 1e-6,
+            "escalated solve {} must match reference {}",
+            eq.threshold(),
+            reference.threshold()
+        );
+    }
+
+    #[test]
+    fn pathological_step_map_still_solves() {
+        // A two-atom utility density with a needle-thin breaker band makes
+        // the response map a 0/1 step — the sharpest discontinuity the
+        // model can produce (the 6.4 prisoner's-dilemma regime). The
+        // response map is monotone in P (thresholds fall as risk rises,
+        // 6.5), so a fixed point exists and the solver must find it
+        // rather than panic or err.
+        let mut pdf = vec![0.0; 20];
+        pdf[2] = 0.6;
+        pdf[16] = 0.4;
+        let d = DiscreteDensity::new(0.0, 10.0, pdf).unwrap();
+        let cfg = GameConfig::builder()
+            .n_agents(1000)
+            .n_min(400.0)
+            .n_max(410.0)
+            .p_cooling(0.3)
+            .p_recovery(0.99)
+            .discount(0.9)
+            .build()
+            .unwrap();
+        let eq = MeanFieldSolver::new(cfg).solve(&d).unwrap();
+        assert!(eq.residual() < 1e-4);
+        // The step lands on an endpoint equilibrium: either nobody trips
+        // or the rack lives in the always-trip dilemma.
+        assert!(
+            eq.trip_probability() < 1e-9 || eq.trip_probability() > 1.0 - 1e-9,
+            "step-map equilibrium P = {}",
+            eq.trip_probability()
+        );
+    }
+
+    #[test]
+    fn conservative_threshold_is_breaker_safe() {
+        // The degradation target must keep expected sprinters inside the
+        // never-trip region even if every agent were active every epoch.
+        let cfg = GameConfig::paper_defaults();
+        let solver = MeanFieldSolver::new(cfg);
+        for b in Benchmark::ALL {
+            let d = b.utility_density(512).unwrap();
+            let u = solver.conservative_threshold(&d);
+            let worst_case = f64::from(cfg.n_agents()) * d.tail_mass(u);
+            assert!(
+                worst_case <= 0.9 * cfg.n_min() + 1e-6,
+                "{b}: {worst_case} sprinters at fallback threshold {u}"
+            );
+            assert!(
+                ThresholdStrategy::new(u).is_ok(),
+                "{b}: fallback threshold must be a valid strategy"
+            );
+            assert!(
+                TripCurve::from_config(&cfg).p_trip(worst_case) == 0.0,
+                "{b}: fallback must sit strictly below the trip band"
+            );
+        }
+    }
+
+    #[test]
+    fn conservative_threshold_is_zero_when_everything_is_safe() {
+        // A tiny population can all sprint without approaching N_min.
+        let cfg = GameConfig::builder()
+            .n_agents(10)
+            .n_min(250.0)
+            .n_max(750.0)
+            .build()
+            .unwrap();
+        let d = Benchmark::DecisionTree.utility_density(128).unwrap();
+        assert_eq!(MeanFieldSolver::new(cfg).conservative_threshold(&d), 0.0);
+    }
+
+    #[test]
+    fn non_convergence_error_is_actionable() {
+        // The typed error must carry everything a caller needs to degrade
+        // gracefully: diagnostics plus a directly usable fallback.
+        let err = GameError::NonConvergence {
+            iterations: 1300,
+            residual: 0.37,
+            best_threshold: 2.1,
+            best_trip_probability: 0.45,
+            fallback_threshold: 6.25,
+        };
+        let msg = err.to_string();
+        assert!(
+            msg.contains("1300"),
+            "message names the iteration budget: {msg}"
+        );
+        assert!(msg.contains("6.25"), "message names the fallback: {msg}");
+        if let GameError::NonConvergence {
+            fallback_threshold, ..
+        } = err
+        {
+            let strategy = ThresholdStrategy::new(fallback_threshold).unwrap();
+            assert!(!strategy.should_sprint(6.25));
+        } else {
+            unreachable!();
+        }
     }
 }

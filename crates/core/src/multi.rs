@@ -61,12 +61,12 @@ pub struct TypeEquilibrium {
 impl TypeEquilibrium {
     /// The type's threshold as an executable strategy.
     ///
-    /// # Panics
-    ///
-    /// Never panics: solver thresholds are non-negative.
+    /// Solver thresholds are non-negative; an invalid one (e.g. from a
+    /// corrupted archive) degrades to the breaker-safe never-sprint
+    /// strategy instead of panicking.
     #[must_use]
     pub fn strategy(&self) -> ThresholdStrategy {
-        ThresholdStrategy::new(self.threshold).expect("solver thresholds are non-negative")
+        ThresholdStrategy::new(self.threshold).unwrap_or_else(|_| ThresholdStrategy::never_sprint())
     }
 }
 
@@ -344,10 +344,7 @@ mod tests {
     fn fixed_point_is_consistent() {
         let cfg = GameConfig::paper_defaults();
         let eq = MultiSolver::new(cfg)
-            .solve(&[
-                spec(Benchmark::Als, 500),
-                spec(Benchmark::Correlation, 500),
-            ])
+            .solve(&[spec(Benchmark::Als, 500), spec(Benchmark::Correlation, 500)])
             .unwrap();
         let implied = TripCurve::from_config(&cfg).p_trip(eq.expected_sprinters());
         assert!((implied - eq.trip_probability()).abs() < 1e-4);
@@ -358,14 +355,23 @@ mod tests {
     #[test]
     fn all_eleven_types_together() {
         // The Figure 9 end point: all 11 application types share the rack.
-        let cfg = GameConfig::builder().n_agents(1001).n_min(250.25).n_max(750.75).build().unwrap();
-        let types: Vec<AgentTypeSpec> =
-            Benchmark::ALL.into_iter().map(|b| spec(b, 91)).collect();
+        let cfg = GameConfig::builder()
+            .n_agents(1001)
+            .n_min(250.25)
+            .n_max(750.75)
+            .build()
+            .unwrap();
+        let types: Vec<AgentTypeSpec> = Benchmark::ALL.into_iter().map(|b| spec(b, 91)).collect();
         let eq = MultiSolver::new(cfg).solve(&types).unwrap();
         assert_eq!(eq.types().len(), 11);
         for t in eq.types() {
             assert!(t.threshold >= 0.0);
-            assert!((0.0..=1.0).contains(&t.p_sprint), "{}: {}", t.name, t.p_sprint);
+            assert!(
+                (0.0..=1.0).contains(&t.p_sprint),
+                "{}: {}",
+                t.name,
+                t.p_sprint
+            );
         }
     }
 }

@@ -8,7 +8,9 @@
 //! recover before anyone sprints.
 
 /// State of one agent in the sprinting game.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum AgentState {
     /// Agent can safely sprint (default: normal mode, sprint optional).
     Active,

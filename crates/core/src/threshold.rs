@@ -58,6 +58,16 @@ impl ThresholdStrategy {
         ThresholdStrategy { threshold: 0.0 }
     }
 
+    /// The never-sprint strategy: a threshold no finite utility clears.
+    /// The conservative degradation target when a solver cannot produce a
+    /// usable threshold — idling is always breaker-safe.
+    #[must_use]
+    pub fn never_sprint() -> Self {
+        ThresholdStrategy {
+            threshold: f64::MAX,
+        }
+    }
+
     /// The threshold value `u_T`.
     #[must_use]
     pub fn threshold(&self) -> f64 {

@@ -42,6 +42,16 @@ impl TripCurve {
         self.n_max
     }
 
+    /// The curve of a breaker whose tolerance band has drifted from its
+    /// calibration: both edges scale by `1 + shift` (negative shifts model
+    /// a breaker that trips early, positive one that trips late). The
+    /// shift is clamped so edges never collapse below a degenerate band.
+    #[must_use]
+    pub fn with_band_shift(&self, shift: f64) -> Self {
+        let factor = (1.0 + shift).max(f64::EPSILON);
+        TripCurve::new(self.n_min * factor, self.n_max * factor)
+    }
+
     /// Probability of tripping the breaker with `n_sprinters` expected
     /// sprinters (Equation 11).
     #[must_use]
@@ -93,5 +103,21 @@ mod tests {
         assert_eq!(c.n_min(), 10.0);
         assert_eq!(c.n_max(), 20.0);
         assert!((c.p_trip(15.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_shift_moves_both_edges() {
+        let c = TripCurve::new(100.0, 200.0);
+        let early = c.with_band_shift(-0.1);
+        assert!((early.n_min() - 90.0).abs() < 1e-12);
+        assert!((early.n_max() - 180.0).abs() < 1e-12);
+        // A shifted-early breaker trips at counts the nominal curve calls
+        // safe.
+        assert_eq!(c.p_trip(95.0), 0.0);
+        assert!(early.p_trip(95.0) > 0.0);
+        let late = c.with_band_shift(0.1);
+        assert!((late.n_min() - 110.0).abs() < 1e-12);
+        // Zero shift is the identity.
+        assert_eq!(c.with_band_shift(0.0), c);
     }
 }

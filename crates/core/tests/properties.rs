@@ -128,3 +128,50 @@ proptest! {
 fn d_of(b: Benchmark) -> sprint_stats::density::DiscreteDensity {
     b.utility_density(128).expect("valid bins")
 }
+
+proptest! {
+    #[test]
+    fn equation11_band_semantics(
+        n_min in 10.0f64..400.0,
+        width in 1.0f64..500.0,
+        frac in 0.0f64..=1.0,
+        n1 in 0.0f64..1200.0,
+        n2 in 0.0f64..1200.0,
+    ) {
+        let c = sprint_game::trip::TripCurve::new(n_min, n_min + width);
+        // Exactly 0 at and below N_min; exactly 1 at and above N_max.
+        prop_assert_eq!(c.p_trip(n_min), 0.0);
+        prop_assert_eq!(c.p_trip(n_min * frac), 0.0);
+        prop_assert_eq!(c.p_trip(c.n_max()), 1.0);
+        prop_assert_eq!(c.p_trip(c.n_max() * (1.0 + frac)), 1.0);
+        // Monotone non-decreasing and bounded.
+        let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        prop_assert!(c.p_trip(lo) <= c.p_trip(hi));
+        prop_assert!((0.0..=1.0).contains(&c.p_trip(n1)));
+    }
+
+    #[test]
+    fn equation11_stable_under_drift(
+        n_min in 10.0f64..400.0,
+        width in 1.0f64..500.0,
+        shift in -0.9f64..1.0,
+        n in 0.0f64..1200.0,
+    ) {
+        let c = sprint_game::trip::TripCurve::new(n_min, n_min + width);
+        let d = c.with_band_shift(shift);
+        // Band edges scale by exactly 1 + shift, and the drifted curve
+        // keeps Equation 11's exact boundary semantics.
+        prop_assert!((d.n_min() - n_min * (1.0 + shift)).abs() < 1e-9);
+        prop_assert_eq!(d.p_trip(d.n_min()), 0.0);
+        prop_assert_eq!(d.p_trip(d.n_max()), 1.0);
+        prop_assert!((0.0..=1.0).contains(&d.p_trip(n)));
+        // A breaker that trips early can only raise the trip probability;
+        // one that trips late can only lower it.
+        let (base, drifted) = (c.p_trip(n), d.p_trip(n));
+        if shift <= 0.0 {
+            prop_assert!(drifted >= base - 1e-12);
+        } else {
+            prop_assert!(drifted <= base + 1e-12);
+        }
+    }
+}

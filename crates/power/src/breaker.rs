@@ -113,6 +113,30 @@ impl TripCurve {
         self.rated_current_a
     }
 
+    /// The curve of a unit whose calibration has drifted: both `I²t`
+    /// constants scale by `1 + shift`, moving the whole tolerance band
+    /// (negative shifts trip earlier than rated, positive later).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] when the shift is at or
+    /// below −1 or non-finite (the drifted constants must stay positive).
+    pub fn with_band_shift(&self, shift: f64) -> crate::Result<Self> {
+        if shift <= -1.0 || !shift.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "shift",
+                value: shift,
+                expected: "a finite relative shift above -1",
+            });
+        }
+        let factor = 1.0 + shift;
+        TripCurve::new(
+            self.rated_current_a,
+            self.k_fast * factor,
+            self.k_slow * factor,
+        )
+    }
+
     /// Fastest (band lower edge) trip time at current multiple `m`, or
     /// `None` if that unit never trips at `m`.
     #[must_use]
@@ -376,7 +400,10 @@ mod tests {
     #[test]
     fn region_display() {
         assert_eq!(TripRegion::NotTripped.to_string(), "not-tripped");
-        assert_eq!(TripRegion::NonDeterministic.to_string(), "non-deterministic");
+        assert_eq!(
+            TripRegion::NonDeterministic.to_string(),
+            "non-deterministic"
+        );
         assert_eq!(TripRegion::Tripped.to_string(), "tripped");
     }
 }

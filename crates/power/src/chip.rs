@@ -321,7 +321,10 @@ mod tests {
         assert!(full > idle);
         // Out-of-range activity is clamped, not extrapolated.
         assert_eq!(chip.power_w_with_activity(ExecutionMode::Sprint, 2.0), full);
-        assert_eq!(chip.power_w_with_activity(ExecutionMode::Sprint, -1.0), idle);
+        assert_eq!(
+            chip.power_w_with_activity(ExecutionMode::Sprint, -1.0),
+            idle
+        );
     }
 
     #[test]

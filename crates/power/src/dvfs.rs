@@ -95,7 +95,10 @@ impl VoltageScaling {
                 expected: "a non-negative finite slope",
             });
         }
-        Ok(VoltageScaling { v0, slope_v_per_ghz })
+        Ok(VoltageScaling {
+            v0,
+            slope_v_per_ghz,
+        })
     }
 
     /// V/f law calibrated to the paper's Xeon E5-2697 v2-class part:
@@ -115,7 +118,10 @@ impl VoltageScaling {
     /// Returns [`PowerError::InvalidParameter`] for a non-positive
     /// frequency.
     pub fn point_at(&self, frequency_ghz: f64) -> crate::Result<OperatingPoint> {
-        OperatingPoint::new(frequency_ghz, self.v0 + self.slope_v_per_ghz * frequency_ghz)
+        OperatingPoint::new(
+            frequency_ghz,
+            self.v0 + self.slope_v_per_ghz * frequency_ghz,
+        )
     }
 }
 

@@ -30,7 +30,10 @@ impl fmt::Display for PowerError {
                 name,
                 value,
                 expected,
-            } => write!(f, "parameter `{name}` = {value} is invalid: expected {expected}"),
+            } => write!(
+                f,
+                "parameter `{name}` = {value} is invalid: expected {expected}"
+            ),
             PowerError::NoEvent { what } => {
                 write!(f, "simulation never reached event: {what}")
             }

@@ -179,12 +179,7 @@ impl ThermalNetwork {
     ///
     /// Returns [`PowerError::InvalidParameter`] when slice lengths do not
     /// match the node count.
-    pub fn step(
-        &self,
-        temps: &mut [f64],
-        injections_w: &[f64],
-        dt: f64,
-    ) -> crate::Result<()> {
+    pub fn step(&self, temps: &mut [f64], injections_w: &[f64], dt: f64) -> crate::Result<()> {
         if temps.len() != self.nodes.len() || injections_w.len() != self.nodes.len() {
             return Err(PowerError::InvalidParameter {
                 name: "temps",

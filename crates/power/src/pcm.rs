@@ -150,6 +150,99 @@ impl PcmHeatSink {
     }
 }
 
+/// One reading from a [`CurrentSensor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorReading {
+    /// The value the monitoring chain reports downstream.
+    pub value: f64,
+    /// Whether the sensor dropped out and held its last good reading.
+    pub dropped: bool,
+}
+
+/// A panel current sensor with multiplicative noise and dropout.
+///
+/// The rack's power-monitoring chain reports the aggregate current the
+/// breaker is stressed by. A real sensor is imperfect: readings carry
+/// relative Gaussian noise, and the sensor occasionally drops out, holding
+/// its last good value (a stale reading, not a zero). The simulator feeds
+/// this model *pre-drawn* randomness — a standard-normal draw and a
+/// uniform dropout draw — so this crate stays free of RNG dependencies
+/// and the caller controls reproducibility.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurrentSensor {
+    relative_sd: f64,
+    dropout_probability: f64,
+    last_good: f64,
+}
+
+impl CurrentSensor {
+    /// Create a sensor with the given noise level and dropout rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for a negative or
+    /// non-finite noise level, or a dropout probability outside `[0, 1]`.
+    pub fn new(relative_sd: f64, dropout_probability: f64) -> crate::Result<Self> {
+        if relative_sd < 0.0 || !relative_sd.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "relative_sd",
+                value: relative_sd,
+                expected: "a non-negative finite relative noise level",
+            });
+        }
+        if !(0.0..=1.0).contains(&dropout_probability) || !dropout_probability.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "dropout_probability",
+                value: dropout_probability,
+                expected: "a probability in [0, 1]",
+            });
+        }
+        Ok(CurrentSensor {
+            relative_sd,
+            dropout_probability,
+            last_good: 0.0,
+        })
+    }
+
+    /// A perfect sensor: no noise, no dropout.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the ideal parameters are always valid.
+    #[must_use]
+    pub fn ideal() -> Self {
+        CurrentSensor::new(0.0, 0.0).expect("ideal sensor parameters are valid")
+    }
+
+    /// Measure `true_current` given a standard-normal draw `noise_z` and a
+    /// uniform `[0, 1)` draw `dropout_draw`.
+    ///
+    /// On dropout the sensor holds its last good reading; otherwise the
+    /// reading is `true_current · (1 + relative_sd · noise_z)`, floored at
+    /// zero (current magnitudes cannot be negative), and becomes the new
+    /// held value.
+    pub fn measure(&mut self, true_current: f64, noise_z: f64, dropout_draw: f64) -> SensorReading {
+        if self.dropout_probability > 0.0 && dropout_draw < self.dropout_probability {
+            return SensorReading {
+                value: self.last_good,
+                dropped: true,
+            };
+        }
+        let value = (true_current * (1.0 + self.relative_sd * noise_z)).max(0.0);
+        self.last_good = value;
+        SensorReading {
+            value,
+            dropped: false,
+        }
+    }
+
+    /// The last good reading held for dropout epochs.
+    #[must_use]
+    pub fn last_good(&self) -> f64 {
+        self.last_good
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,5 +275,47 @@ mod tests {
         let wax = PhaseChangeMaterial::paraffin_wax();
         assert!(PcmHeatSink::new(wax.clone(), 0.0).is_err());
         assert!(PcmHeatSink::new(wax, -0.1).is_err());
+    }
+
+    #[test]
+    fn sensor_validation() {
+        assert!(CurrentSensor::new(-0.1, 0.0).is_err());
+        assert!(CurrentSensor::new(f64::NAN, 0.0).is_err());
+        assert!(CurrentSensor::new(0.1, 1.5).is_err());
+        assert!(CurrentSensor::new(0.1, 0.5).is_ok());
+    }
+
+    #[test]
+    fn ideal_sensor_reports_truth() {
+        let mut s = CurrentSensor::ideal();
+        let r = s.measure(42.0, 3.0, 0.99);
+        assert_eq!(r.value, 42.0);
+        assert!(!r.dropped);
+        assert_eq!(s.last_good(), 42.0);
+    }
+
+    #[test]
+    fn noisy_sensor_scales_and_floors() {
+        let mut s = CurrentSensor::new(0.1, 0.0).unwrap();
+        let r = s.measure(100.0, 1.0, 0.5);
+        assert!((r.value - 110.0).abs() < 1e-12);
+        // Extreme negative noise floors at zero rather than going
+        // negative.
+        let r = s.measure(100.0, -20.0, 0.5);
+        assert_eq!(r.value, 0.0);
+    }
+
+    #[test]
+    fn dropout_holds_last_good_reading() {
+        let mut s = CurrentSensor::new(0.0, 0.5).unwrap();
+        let good = s.measure(80.0, 0.0, 0.9);
+        assert!(!good.dropped);
+        let held = s.measure(200.0, 0.0, 0.1);
+        assert!(held.dropped);
+        assert_eq!(held.value, 80.0);
+        // A fresh sensor that drops out immediately reports zero — it has
+        // never seen a good sample.
+        let mut cold = CurrentSensor::new(0.0, 1.0).unwrap();
+        assert_eq!(cold.measure(500.0, 0.0, 0.0).value, 0.0);
     }
 }

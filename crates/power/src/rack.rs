@@ -82,10 +82,7 @@ impl RackConfig {
         let breaker = TripCurve::ul489(rated_current).expect("positive rated current");
         // Scale UPS capacity with rack size so the all-sprint discharge of
         // one epoch always fits (the paper battery covers 1000 servers).
-        let capacity = f64::from(n_servers)
-            * server.power_w(ExecutionMode::Sprint)
-            * 150.0
-            * 1.27;
+        let capacity = f64::from(n_servers) * server.power_w(ExecutionMode::Sprint) * 150.0 * 1.27;
         let ups = UpsBattery::new(capacity, UpsBattery::paper_battery().recharge_ratio())
             .expect("valid capacity");
         RackConfig::new(
@@ -267,9 +264,7 @@ mod tests {
         let server = ServerModel::paper_server();
         let breaker = TripCurve::ul489(100.0).unwrap();
         let ups = UpsBattery::paper_battery();
-        assert!(
-            RackConfig::new(0, server, ThermalPackage::paper_package(), breaker, ups).is_err()
-        );
+        assert!(RackConfig::new(0, server, ThermalPackage::paper_package(), breaker, ups).is_err());
     }
 
     #[test]

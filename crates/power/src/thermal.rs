@@ -56,7 +56,10 @@ impl ThermalPackage {
         for (name, v) in [
             ("r_junction_pcm", r_junction_pcm),
             ("r_pcm_ambient", r_pcm_ambient),
-            ("structure_capacitance_j_per_k", structure_capacitance_j_per_k),
+            (
+                "structure_capacitance_j_per_k",
+                structure_capacitance_j_per_k,
+            ),
         ] {
             if v <= 0.0 || !v.is_finite() {
                 return Err(PowerError::InvalidParameter {

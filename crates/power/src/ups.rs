@@ -118,9 +118,7 @@ impl UpsBattery {
     /// Returns [`PowerError::InvalidParameter`] for a depth outside
     /// `(0, 1]`.
     pub fn cycles_to_failure(&self, depth_of_discharge: f64) -> crate::Result<f64> {
-        if depth_of_discharge <= 0.0
-            || depth_of_discharge > 1.0
-            || !depth_of_discharge.is_finite()
+        if depth_of_discharge <= 0.0 || depth_of_discharge > 1.0 || !depth_of_discharge.is_finite()
         {
             return Err(PowerError::InvalidParameter {
                 name: "depth_of_discharge",

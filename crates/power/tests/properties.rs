@@ -159,3 +159,38 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #[test]
+    fn drifted_curve_stays_a_valid_band(
+        rated in 10.0f64..1000.0,
+        shift in -0.9f64..1.0,
+        m in 0.0f64..12.0,
+        duration in 1.0f64..1000.0,
+    ) {
+        let c = TripCurve::ul489(rated).unwrap();
+        let d = c.with_band_shift(shift).unwrap();
+        prop_assert!((0.0..=1.0).contains(&d.trip_probability(m, duration)));
+        prop_assert!(d.never_trip_multiple(duration) <= d.always_trip_multiple(duration));
+        // Early-tripping drift (shift < 0) never lowers the trip
+        // probability; late-tripping drift never raises it.
+        let base = c.trip_probability(m, duration);
+        let drifted = d.trip_probability(m, duration);
+        if shift <= 0.0 {
+            prop_assert!(drifted >= base - 1e-12);
+        } else {
+            prop_assert!(drifted <= base + 1e-12);
+        }
+        // Zero shift is the identity.
+        let zero = c.with_band_shift(0.0).unwrap();
+        prop_assert!((zero.trip_probability(m, duration) - base).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn band_shift_rejects_collapsing_drift() {
+    let c = TripCurve::ul489(100.0).unwrap();
+    assert!(c.with_band_shift(-1.0).is_err());
+    assert!(c.with_band_shift(f64::NAN).is_err());
+    assert!(c.with_band_shift(0.5).is_ok());
+}

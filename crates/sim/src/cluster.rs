@@ -193,7 +193,10 @@ pub fn simulate_cluster(
     let mut facility_trips = 0u32;
 
     for _epoch in 0..config.epochs {
-        let utilities: Vec<f64> = streams.iter_mut().map(PhasedUtility::next_utility).collect();
+        let utilities: Vec<f64> = streams
+            .iter_mut()
+            .map(PhasedUtility::next_utility)
+            .collect();
 
         if facility_recovering {
             if rng.gen::<f64>() < p_facility_exit {
@@ -329,12 +332,8 @@ mod tests {
         (0..n_racks)
             .map(|_| {
                 Box::new(
-                    ThresholdPolicy::uniform(
-                        "E-T",
-                        ThresholdStrategy::new(t).unwrap(),
-                        per_rack,
-                    )
-                    .unwrap(),
+                    ThresholdPolicy::uniform("E-T", ThresholdStrategy::new(t).unwrap(), per_rack)
+                        .unwrap(),
                 ) as Box<dyn SprintPolicy>
             })
             .collect()

@@ -16,21 +16,30 @@
 //! - Wake-up after recovery is staggered over a configurable number of
 //!   epochs to avoid dI/dt problems (§2.2): woken agents compute normally
 //!   but may not sprint until their slot arrives.
+//! - An optional [`FaultPlan`] injects crash churn, stuck sprinters,
+//!   sensor noise, and breaker drift ([`crate::faults`]). Fault
+//!   randomness lives on a dedicated stream, so an empty plan reproduces
+//!   fault-free runs bit for bit, and the engine never panics under any
+//!   plan — degradation is measured, not crashed on.
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use sprint_game::trip::TripCurve;
 use sprint_game::{AgentState, GameConfig};
+use sprint_power::pcm::CurrentSensor;
 use sprint_stats::rng::seeded_rng;
 use sprint_workloads::phases::PhasedUtility;
 
+use crate::faults::{FaultMetrics, FaultPlan};
 use crate::metrics::{SimResult, StateOccupancy};
 use crate::policy::SprintPolicy;
 use crate::SimError;
 
 /// What servers produce while the rack recovers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum RecoverySemantics {
     /// Paper semantics: recovery is idle, producing nothing.
     #[default]
@@ -79,6 +88,7 @@ pub struct SimConfig {
     stagger_epochs: u32,
     interruption: TripInterruption,
     estimation: UtilityEstimation,
+    faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -104,6 +114,7 @@ impl SimConfig {
             stagger_epochs: 2,
             interruption: TripInterruption::CompleteOnUps,
             estimation: UtilityEstimation::Oracle,
+            faults: FaultPlan::none(),
         })
     }
 
@@ -133,6 +144,19 @@ impl SimConfig {
     pub fn with_estimation(mut self, estimation: UtilityEstimation) -> Self {
         self.estimation = estimation;
         self
+    }
+
+    /// Attach a fault-injection plan (robustness experiments).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The fault-injection plan.
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The game parameters.
@@ -198,8 +222,29 @@ pub fn simulate(
             });
         }
     }
+    let plan = config.faults;
+    plan.validate()?;
     let mut rng: StdRng = seeded_rng(config.seed ^ 0x51B_EAC0);
+    // Fault randomness lives on its own stream: an empty plan draws
+    // nothing here and leaves the main stream untouched.
+    let mut fault_rng: StdRng = seeded_rng(config.seed ^ plan.seed.rotate_left(17) ^ 0xFA_17);
     let trip_curve = TripCurve::from_config(&config.game);
+    // What the breaker actually does, vs. the nominal curve every solver
+    // assumes.
+    let actual_curve = match plan.breaker_drift {
+        Some(d) => trip_curve.with_band_shift(d.band_shift),
+        None => trip_curve,
+    };
+    let mut sensor = match plan.sensor {
+        Some(s) => CurrentSensor::new(s.relative_sd, s.dropout_probability).map_err(|_| {
+            SimError::InvalidParameter {
+                name: "sensor",
+                value: s.relative_sd,
+                expected: "a valid sensor fault specification",
+            }
+        })?,
+        None => CurrentSensor::ideal(),
+    };
     let p_cool_exit = 1.0 - config.game.p_cooling();
     let p_recover_exit = 1.0 - config.game.p_recovery();
 
@@ -207,6 +252,11 @@ pub fn simulate(
     // Epoch index before which a freshly woken agent may not sprint.
     let mut sprint_blocked_until = vec![0usize; n];
     let mut rack_recovering = false;
+    // Fault overlays: agents currently down, and power gates stuck in the
+    // sprint position.
+    let mut crashed = vec![false; n];
+    let mut stuck = vec![false; n];
+    let mut faults = FaultMetrics::default();
 
     let mut sprinters_per_epoch = Vec::with_capacity(config.epochs);
     let mut occupancy = StateOccupancy::default();
@@ -217,12 +267,44 @@ pub fn simulate(
 
     for epoch in 0..config.epochs {
         // Phases advance in wall-clock time regardless of power state.
-        let utilities: Vec<f64> = streams.iter_mut().map(PhasedUtility::next_utility).collect();
+        let utilities: Vec<f64> = streams
+            .iter_mut()
+            .map(PhasedUtility::next_utility)
+            .collect();
+
+        // Crash churn progresses in wall-clock time too: agents go down
+        // and come back regardless of the rack's power state. A restart
+        // is a cold start — the agent re-acquires its threshold from the
+        // coordinator before it may sprint again.
+        if let Some(c) = plan.crash {
+            for i in 0..n {
+                if crashed[i] {
+                    if fault_rng.gen::<f64>() >= c.p_restart_stay {
+                        crashed[i] = false;
+                        faults.restarts += 1;
+                        sprint_blocked_until[i] =
+                            (epoch + c.reacquire_epochs as usize).max(sprint_blocked_until[i]);
+                        states[i] = if rack_recovering {
+                            AgentState::Recovery
+                        } else {
+                            AgentState::Active
+                        };
+                    }
+                } else if fault_rng.gen::<f64>() < c.crash_probability {
+                    crashed[i] = true;
+                    faults.crashes += 1;
+                    // Power drops with the machine: a stuck gate releases.
+                    stuck[i] = false;
+                }
+            }
+        }
+        let n_crashed = crashed.iter().filter(|&&down| down).count() as u64;
+        faults.crashed_agent_epochs += n_crashed;
 
         if rack_recovering {
-            occupancy.recovery += n as u64;
+            occupancy.recovery += n as u64 - n_crashed;
             if config.recovery == RecoverySemantics::NormalMode {
-                total_tasks += n as f64;
+                total_tasks += (n as u64 - n_crashed) as f64;
             }
             sprinters_per_epoch.push(0);
             // Batteries recharge: geometric exit, then staggered wake-up.
@@ -244,8 +326,12 @@ pub fn simulate(
 
         // Decisions, on (possibly noisy) utility estimates.
         let mut n_sprinters = 0u32;
+        let mut n_stuck = 0u32;
         for i in 0..n {
             sprinted[i] = false;
+            if crashed[i] {
+                continue;
+            }
             match states[i] {
                 AgentState::Active => {
                     let estimate = match config.estimation {
@@ -254,8 +340,8 @@ pub fn simulate(
                             // Box-Muller standard normal.
                             let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
                             let u2: f64 = rng.gen();
-                            let z = (-2.0 * u1.ln()).sqrt()
-                                * (2.0 * std::f64::consts::PI * u2).cos();
+                            let z =
+                                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                             (utilities[i] * (1.0 + relative_sd * z)).max(0.0)
                         }
                     };
@@ -265,28 +351,68 @@ pub fn simulate(
                         n_sprinters += 1;
                     }
                 }
-                AgentState::Cooling => {}
+                AgentState::Cooling => {
+                    if stuck[i] {
+                        // The power gate failed to release: the chip draws
+                        // sprint current without doing sprint work.
+                        n_stuck += 1;
+                        faults.stuck_epochs += 1;
+                    }
+                }
                 AgentState::Recovery => {
-                    unreachable!("agents only recover while the rack recovers")
+                    // A stale recovery tag (e.g. an agent that restarted
+                    // mid-recovery and outlived it) degrades to normal
+                    // computing instead of panicking; it may not sprint
+                    // this epoch.
+                    states[i] = AgentState::Active;
                 }
             }
         }
         sprinters_per_epoch.push(n_sprinters);
 
-        // Breaker: Equation 11 at the realized sprinter count.
-        let p_trip = trip_curve.p_trip(f64::from(n_sprinters));
+        // Breaker: Equation 11 at what the breaker *measures*. With no
+        // faults, measured load is exactly the decided sprinter count;
+        // stuck gates add phantom sprinter-equivalents, and the sensor
+        // may distort or hold the reading.
+        let realized = f64::from(n_sprinters + n_stuck);
+        let measured = match plan.sensor {
+            None => realized,
+            Some(_) => {
+                // Box-Muller standard normal on the fault stream.
+                let u1: f64 = fault_rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = fault_rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let reading = sensor.measure(realized, z, fault_rng.gen());
+                if reading.dropped {
+                    faults.sensor_dropouts += 1;
+                }
+                reading.value
+            }
+        };
+        let p_trip = actual_curve.p_trip(measured);
         let tripped = p_trip > 0.0 && rng.gen::<f64>() < p_trip;
+
+        // Divergence between the breaker's behavior and the nominal curve
+        // the policies reason about.
+        let nominal_p = trip_curve.p_trip(f64::from(n_sprinters));
+        if tripped && nominal_p == 0.0 {
+            faults.spurious_trips += 1;
+        }
+        if !tripped && nominal_p >= 1.0 {
+            faults.missed_trips += 1;
+        }
 
         // Throughput. Under the paper's UPS semantics sprints complete
         // even on a trip; the Truncated ablation scales the tripped
         // epoch's work by the pre-trip fraction.
         let epoch_scale = match (tripped, config.interruption) {
-            (true, TripInterruption::Truncated) => {
-                pre_trip_fraction(&config.game, f64::from(n_sprinters))
-            }
+            (true, TripInterruption::Truncated) => pre_trip_fraction(&config.game, realized),
             _ => 1.0,
         };
         for i in 0..n {
+            if crashed[i] {
+                continue;
+            }
             if sprinted[i] {
                 total_tasks += utilities[i] * epoch_scale;
                 occupancy.sprinting += 1;
@@ -303,12 +429,35 @@ pub fn simulate(
             trips += 1;
             rack_recovering = true;
             states.fill(AgentState::Recovery);
+            // The emergency cuts rack power: every stuck gate releases.
+            if plan.stuck.is_some() {
+                stuck.fill(false);
+            }
         } else {
             for i in 0..n {
+                if crashed[i] {
+                    continue;
+                }
                 states[i] = match states[i] {
-                    AgentState::Active if sprinted[i] => AgentState::Cooling,
+                    AgentState::Active if sprinted[i] => {
+                        if let Some(s) = plan.stuck {
+                            if fault_rng.gen::<f64>() < s.stick_probability {
+                                stuck[i] = true;
+                            }
+                        }
+                        AgentState::Cooling
+                    }
                     AgentState::Cooling => {
-                        if rng.gen::<f64>() < p_cool_exit {
+                        if stuck[i] {
+                            // A stuck gate releases geometrically (fault
+                            // stream); cooling restarts once it does.
+                            if let Some(s) = plan.stuck {
+                                if fault_rng.gen::<f64>() >= s.p_stuck_stay {
+                                    stuck[i] = false;
+                                }
+                            }
+                            AgentState::Cooling
+                        } else if rng.gen::<f64>() < p_cool_exit {
                             AgentState::Active
                         } else {
                             AgentState::Cooling
@@ -328,6 +477,7 @@ pub fn simulate(
         total_tasks,
         trips,
         occupancy,
+        faults,
     })
 }
 
@@ -367,10 +517,18 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let cfg = SimConfig::new(small_game(50), 200, 42).unwrap();
-        let r1 = simulate(&cfg, &mut streams(Benchmark::DecisionTree, 50, 9), &mut Greedy::new())
-            .unwrap();
-        let r2 = simulate(&cfg, &mut streams(Benchmark::DecisionTree, 50, 9), &mut Greedy::new())
-            .unwrap();
+        let r1 = simulate(
+            &cfg,
+            &mut streams(Benchmark::DecisionTree, 50, 9),
+            &mut Greedy::new(),
+        )
+        .unwrap();
+        let r2 = simulate(
+            &cfg,
+            &mut streams(Benchmark::DecisionTree, 50, 9),
+            &mut Greedy::new(),
+        )
+        .unwrap();
         assert_eq!(r1, r2);
     }
 
@@ -408,8 +566,7 @@ mod tests {
         let cfg = SimConfig::new(small_game(100), 500, 5).unwrap();
         let mut s = streams(Benchmark::PageRank, 100, 5);
         let mut policy =
-            ThresholdPolicy::uniform("safe", ThresholdStrategy::new(13.0).unwrap(), 100)
-                .unwrap();
+            ThresholdPolicy::uniform("safe", ThresholdStrategy::new(13.0).unwrap(), 100).unwrap();
         let r = simulate(&cfg, &mut s, &mut policy).unwrap();
         // Expected sprinters ≈ 8 « N_min = 25; finite-N phase correlation
         // can brush the band at most rarely.
@@ -475,12 +632,15 @@ mod tests {
         // epochs no longer concentrate on high utilities, so throughput
         // falls versus the oracle.
         let run = |est: UtilityEstimation, seed: u64| {
-            let cfg = SimConfig::new(game, 600, seed).unwrap().with_estimation(est);
+            let cfg = SimConfig::new(game, 600, seed)
+                .unwrap()
+                .with_estimation(est);
             let mut s = streams(Benchmark::PageRank, 100, seed);
             let mut p =
-                ThresholdPolicy::uniform("t", ThresholdStrategy::new(5.27).unwrap(), 100)
-                    .unwrap();
-            simulate(&cfg, &mut s, &mut p).unwrap().tasks_per_agent_epoch()
+                ThresholdPolicy::uniform("t", ThresholdStrategy::new(5.27).unwrap(), 100).unwrap();
+            simulate(&cfg, &mut s, &mut p)
+                .unwrap()
+                .tasks_per_agent_epoch()
         };
         let oracle = run(UtilityEstimation::Oracle, 5);
         let noisy = run(UtilityEstimation::Noisy { relative_sd: 2.0 }, 5);
@@ -494,7 +654,9 @@ mod tests {
     fn truncated_interruption_only_reduces_tripped_epochs() {
         let game = small_game(100);
         let run = |mode: TripInterruption| {
-            let cfg = SimConfig::new(game, 500, 3).unwrap().with_interruption(mode);
+            let cfg = SimConfig::new(game, 500, 3)
+                .unwrap()
+                .with_interruption(mode);
             let mut s = streams(Benchmark::DecisionTree, 100, 3);
             simulate(&cfg, &mut s, &mut Greedy::new()).unwrap()
         };
@@ -521,7 +683,10 @@ mod tests {
         }
         // At N_max (m = 1.75): t = 161.56 / (1.75² − 1) ≈ 78 s of 150.
         let at_max = pre_trip_fraction(&game, 750.0);
-        assert!((at_max - 0.522).abs() < 0.01, "fraction at N_max = {at_max}");
+        assert!(
+            (at_max - 0.522).abs() < 0.01,
+            "fraction at N_max = {at_max}"
+        );
     }
 
     #[test]

@@ -21,6 +21,15 @@ pub enum SimError {
     Game(GameError),
     /// Workload construction failed.
     Workload(WorkloadError),
+    /// A parallel worker thread panicked; its trial produced no result.
+    ///
+    /// Surfaced as a typed error instead of propagating the panic so a
+    /// multi-trial experiment degrades gracefully (paper §3.1's recovery
+    /// stance applied to the harness itself).
+    WorkerPanicked {
+        /// What the worker was computing.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -30,9 +39,15 @@ impl fmt::Display for SimError {
                 name,
                 value,
                 expected,
-            } => write!(f, "parameter `{name}` = {value} is invalid: expected {expected}"),
+            } => write!(
+                f,
+                "parameter `{name}` = {value} is invalid: expected {expected}"
+            ),
             SimError::Game(e) => write!(f, "game solver error: {e}"),
             SimError::Workload(e) => write!(f, "workload error: {e}"),
+            SimError::WorkerPanicked { what } => {
+                write!(f, "worker thread panicked while computing {what}")
+            }
         }
     }
 }

@@ -1,0 +1,319 @@
+//! Fault injection for the sprinting rack.
+//!
+//! The paper's protocols assume a well-behaved rack: agents stay up,
+//! sprinters release power when their epoch ends, the breaker sees the
+//! true aggregate current, and the coordinator's offline analysis (§4.4)
+//! matches the population actually racked. A [`FaultPlan`] breaks each of
+//! those assumptions independently so the degradation of every policy can
+//! be measured:
+//!
+//! - [`CrashChurn`] — agents crash mid-epoch and restart cold, losing
+//!   their sprint privileges until they re-acquire thresholds from the
+//!   coordinator.
+//! - [`StuckSprinters`] — a sprinter's power gate sticks at sprint
+//!   completion, so the rack keeps drawing its sprint current even though
+//!   the chip does no sprint work.
+//! - [`SensorFault`] — the panel's current sensor reports noisy values or
+//!   drops out entirely, so the breaker's stress diverges from the truth
+//!   the policies reason about.
+//! - [`BreakerDrift`] — the breaker's tolerance band has drifted from the
+//!   §2.2 calibration the solvers assume.
+//! - [`CoordinatorStaleness`] — equilibrium thresholds were solved for an
+//!   outdated population size (machines since added or drained).
+//!
+//! Fault randomness is drawn from a dedicated stream seeded by
+//! [`FaultPlan::seed`], *never* from the simulation's main stream, so an
+//! empty plan reproduces fault-free runs bit for bit.
+
+use crate::SimError;
+
+/// Agent crash/restart churn.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CrashChurn {
+    /// Per-agent, per-epoch probability of crashing.
+    pub crash_probability: f64,
+    /// Probability a crashed agent stays down another epoch (geometric
+    /// restart delay, like the paper's geometric recovery).
+    pub p_restart_stay: f64,
+    /// Epochs a restarted agent must wait before sprinting again while it
+    /// re-acquires its threshold from the coordinator (cold start).
+    pub reacquire_epochs: u32,
+}
+
+/// Sprinters whose power gate fails to release at sprint completion.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StuckSprinters {
+    /// Probability a completing sprint sticks in the power-on position.
+    pub stick_probability: f64,
+    /// Probability a stuck gate stays stuck another epoch (geometric
+    /// release).
+    pub p_stuck_stay: f64,
+}
+
+/// Noise and dropout on the panel's aggregate current sensor.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SensorFault {
+    /// Relative standard deviation of multiplicative Gaussian noise on
+    /// the measured sprinter-equivalent load.
+    pub relative_sd: f64,
+    /// Per-epoch probability the sensor drops out and holds its last good
+    /// reading.
+    pub dropout_probability: f64,
+}
+
+/// Breaker tolerance-band miscalibration.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BreakerDrift {
+    /// Relative shift of both band edges: the breaker actually trips on
+    /// the band `[(1 + shift)·N_min, (1 + shift)·N_max]` while every
+    /// solver still assumes the nominal §2.2 band. Negative values model
+    /// a breaker that trips early; positive, one that trips late.
+    pub band_shift: f64,
+}
+
+/// Coordinator thresholds solved for an outdated population.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CoordinatorStaleness {
+    /// Ratio of the population the coordinator solved for to the
+    /// population actually racked (`> 1`: machines have since drained;
+    /// `< 1`: machines have since been added).
+    pub population_factor: f64,
+}
+
+/// A complete, serializable fault schedule for one run.
+///
+/// Each component is optional; [`FaultPlan::none`] is the fault-free plan
+/// and leaves simulations bit-identical to runs that never heard of
+/// faults.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the dedicated fault randomness stream.
+    pub seed: u64,
+    /// Agent crash/restart churn.
+    pub crash: Option<CrashChurn>,
+    /// Stuck sprinter power gates.
+    pub stuck: Option<StuckSprinters>,
+    /// Current-sensor noise and dropout.
+    pub sensor: Option<SensorFault>,
+    /// Breaker band miscalibration.
+    pub breaker_drift: Option<BreakerDrift>,
+    /// Stale coordinator thresholds.
+    pub staleness: Option<CoordinatorStaleness>,
+}
+
+fn check_probability(name: &'static str, p: f64) -> crate::Result<()> {
+    if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+        return Err(SimError::InvalidParameter {
+            name,
+            value: p,
+            expected: "a probability in [0, 1]",
+        });
+    }
+    Ok(())
+}
+
+impl FaultPlan {
+    /// The fault-free plan.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A moderate composite plan enabling every fault class at once —
+    /// the stress mix the chaos matrix uses by default.
+    #[must_use]
+    pub fn composite(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            crash: Some(CrashChurn {
+                crash_probability: 0.002,
+                p_restart_stay: 0.8,
+                reacquire_epochs: 3,
+            }),
+            stuck: Some(StuckSprinters {
+                stick_probability: 0.05,
+                p_stuck_stay: 0.6,
+            }),
+            sensor: Some(SensorFault {
+                relative_sd: 0.05,
+                dropout_probability: 0.01,
+            }),
+            breaker_drift: Some(BreakerDrift { band_shift: -0.05 }),
+            staleness: Some(CoordinatorStaleness {
+                population_factor: 1.1,
+            }),
+        }
+    }
+
+    /// Whether any fault class is enabled.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.crash.is_some()
+            || self.stuck.is_some()
+            || self.sensor.is_some()
+            || self.breaker_drift.is_some()
+            || self.staleness.is_some()
+    }
+
+    /// Validate every enabled component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for out-of-range
+    /// probabilities, a non-finite noise level, a band shift at or below
+    /// −1 (a breaker with a negative band), or a non-positive population
+    /// factor.
+    pub fn validate(&self) -> crate::Result<()> {
+        if let Some(c) = self.crash {
+            check_probability("crash_probability", c.crash_probability)?;
+            check_probability("p_restart_stay", c.p_restart_stay)?;
+        }
+        if let Some(s) = self.stuck {
+            check_probability("stick_probability", s.stick_probability)?;
+            check_probability("p_stuck_stay", s.p_stuck_stay)?;
+        }
+        if let Some(s) = self.sensor {
+            if s.relative_sd < 0.0 || !s.relative_sd.is_finite() {
+                return Err(SimError::InvalidParameter {
+                    name: "relative_sd",
+                    value: s.relative_sd,
+                    expected: "a non-negative finite noise level",
+                });
+            }
+            check_probability("dropout_probability", s.dropout_probability)?;
+        }
+        if let Some(d) = self.breaker_drift {
+            if d.band_shift <= -1.0 || !d.band_shift.is_finite() {
+                return Err(SimError::InvalidParameter {
+                    name: "band_shift",
+                    value: d.band_shift,
+                    expected: "a finite relative shift above -1",
+                });
+            }
+        }
+        if let Some(s) = self.staleness {
+            if s.population_factor <= 0.0 || !s.population_factor.is_finite() {
+                return Err(SimError::InvalidParameter {
+                    name: "population_factor",
+                    value: s.population_factor,
+                    expected: "a positive finite population ratio",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-fault counters collected during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct FaultMetrics {
+    /// Agent crashes.
+    pub crashes: u64,
+    /// Agent restarts after a crash.
+    pub restarts: u64,
+    /// Agent-epochs lost to crashes (the agent was down).
+    pub crashed_agent_epochs: u64,
+    /// Agent-epochs with a stuck power gate drawing phantom sprint load.
+    pub stuck_epochs: u64,
+    /// Epochs the current sensor dropped out and held its last reading.
+    pub sensor_dropouts: u64,
+    /// Trips fired while the *decided* sprinter count was below `N_min`
+    /// (the nominal curve says the breaker could not trip).
+    pub spurious_trips: u32,
+    /// Epochs the breaker failed to trip although the decided count was
+    /// at or above `N_max` (the nominal curve says it must trip).
+    pub missed_trips: u32,
+}
+
+impl FaultMetrics {
+    /// Whether every counter is zero (a clean run).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        *self == FaultMetrics::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_valid() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan, FaultPlan::default());
+    }
+
+    #[test]
+    fn composite_enables_everything() {
+        let plan = FaultPlan::composite(7);
+        assert!(plan.is_active());
+        assert!(plan.validate().is_ok());
+        assert!(plan.crash.is_some());
+        assert!(plan.stuck.is_some());
+        assert!(plan.sensor.is_some());
+        assert!(plan.breaker_drift.is_some());
+        assert!(plan.staleness.is_some());
+        assert_eq!(plan.seed, 7);
+    }
+
+    #[test]
+    fn validate_rejects_bad_components() {
+        let mut plan = FaultPlan::none();
+        plan.crash = Some(CrashChurn {
+            crash_probability: 1.5,
+            p_restart_stay: 0.5,
+            reacquire_epochs: 1,
+        });
+        assert!(plan.validate().is_err());
+
+        let mut plan = FaultPlan::none();
+        plan.stuck = Some(StuckSprinters {
+            stick_probability: 0.1,
+            p_stuck_stay: -0.1,
+        });
+        assert!(plan.validate().is_err());
+
+        let mut plan = FaultPlan::none();
+        plan.sensor = Some(SensorFault {
+            relative_sd: f64::NAN,
+            dropout_probability: 0.0,
+        });
+        assert!(plan.validate().is_err());
+
+        let mut plan = FaultPlan::none();
+        plan.breaker_drift = Some(BreakerDrift { band_shift: -1.0 });
+        assert!(plan.validate().is_err());
+
+        let mut plan = FaultPlan::none();
+        plan.staleness = Some(CoordinatorStaleness {
+            population_factor: 0.0,
+        });
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn plan_serde_round_trips() {
+        let plan = FaultPlan::composite(42);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+
+        let none = FaultPlan::none();
+        let json = serde_json::to_string(&none).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(none, back);
+    }
+
+    #[test]
+    fn metrics_default_is_clean() {
+        let m = FaultMetrics::default();
+        assert!(m.is_clean());
+        let dirty = FaultMetrics {
+            crashes: 1,
+            ..FaultMetrics::default()
+        };
+        assert!(!dirty.is_clean());
+    }
+}

@@ -34,6 +34,7 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod policies;
 pub mod policy;
@@ -44,6 +45,7 @@ mod error;
 
 pub use engine::{simulate, RecoverySemantics, SimConfig};
 pub use error::SimError;
+pub use faults::{FaultMetrics, FaultPlan};
 pub use metrics::SimResult;
 pub use policy::{PolicyKind, SprintPolicy};
 

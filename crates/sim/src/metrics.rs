@@ -2,7 +2,11 @@
 //!
 //! The paper reports task throughput (TPS, Figure 8/9), the number of
 //! sprinters per epoch (Figure 6), and the share of time agents spend in
-//! each state (Figure 7). [`SimResult`] collects all three from one run.
+//! each state (Figure 7). [`SimResult`] collects all three from one run,
+//! plus per-fault counters ([`crate::faults::FaultMetrics`]) when a fault
+//! plan is active.
+
+use crate::faults::FaultMetrics;
 
 /// Epochs spent in each condition, summed over agents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
@@ -47,6 +51,7 @@ pub struct SimResult {
     pub(crate) total_tasks: f64,
     pub(crate) trips: u32,
     pub(crate) occupancy: StateOccupancy,
+    pub(crate) faults: FaultMetrics,
 }
 
 impl SimResult {
@@ -91,6 +96,13 @@ impl SimResult {
     #[must_use]
     pub fn occupancy(&self) -> StateOccupancy {
         self.occupancy
+    }
+
+    /// Per-fault counters: all zero unless the run carried an active
+    /// fault plan.
+    #[must_use]
+    pub fn faults(&self) -> FaultMetrics {
+        self.faults
     }
 
     /// Mean sprinters per epoch (recovery epochs count as zero sprinters,
@@ -142,7 +154,9 @@ mod tests {
             total_tasks: 80.0,
             trips: 1,
             occupancy: StateOccupancy::default(),
+            faults: FaultMetrics::default(),
         };
+        assert!(r.faults().is_clean());
         assert_eq!(r.tasks_per_agent_epoch(), 2.0);
         assert_eq!(r.mean_sprinters(), 2.5);
         assert_eq!(r.trips(), 1);
@@ -162,6 +176,15 @@ mod tests {
                 sprinting: 3,
                 cooling: 2,
                 recovery: 10,
+            },
+            faults: FaultMetrics {
+                crashes: 2,
+                restarts: 1,
+                crashed_agent_epochs: 4,
+                stuck_epochs: 3,
+                sensor_dropouts: 1,
+                spurious_trips: 1,
+                missed_trips: 0,
             },
         };
         let json = serde_json::to_string(&r).unwrap();

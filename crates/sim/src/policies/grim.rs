@@ -29,11 +29,7 @@ impl GrimTrigger {
     ///
     /// Returns [`SimError::InvalidParameter`] for an empty threshold list,
     /// invalid thresholds, or deviant indices out of range.
-    pub fn new(
-        thresholds: Vec<f64>,
-        deviants: &[usize],
-        enforcement: bool,
-    ) -> crate::Result<Self> {
+    pub fn new(thresholds: Vec<f64>, deviants: &[usize], enforcement: bool) -> crate::Result<Self> {
         if thresholds.is_empty() {
             return Err(SimError::InvalidParameter {
                 name: "thresholds",

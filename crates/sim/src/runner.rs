@@ -3,12 +3,12 @@
 //! The paper reports averages over repeated randomized runs (e.g.
 //! Figure 9 repeats each mix ten times). [`compare_policies`] runs a
 //! scenario under several policies across several seeds in parallel
-//! (one thread per policy × seed pair, via crossbeam's scoped threads)
+//! (one thread per policy × seed pair, via `std::thread::scope`)
 //! and aggregates the metrics.
 
-use crossbeam::thread;
 use sprint_stats::summary::{confidence_interval_95, ConfidenceInterval, OnlineStats};
 
+use crate::faults::{FaultMetrics, FaultPlan};
 use crate::metrics::SimResult;
 use crate::policy::PolicyKind;
 use crate::scenario::Scenario;
@@ -33,6 +33,9 @@ pub struct PolicyOutcome {
     pub mean_sprinters: f64,
     /// Mean breaker trips per run.
     pub trips: f64,
+    /// Per-fault counters summed across trials (all zero without an
+    /// active fault plan).
+    pub faults: FaultMetrics,
 }
 
 /// A full policy comparison with Greedy-normalized throughput.
@@ -84,6 +87,17 @@ fn aggregate(policy: PolicyKind, results: &[SimResult]) -> PolicyOutcome {
     for acc in &mut occupancy {
         *acc /= results.len() as f64;
     }
+    let mut faults = FaultMetrics::default();
+    for r in results {
+        let f = r.faults();
+        faults.crashes += f.crashes;
+        faults.restarts += f.restarts;
+        faults.crashed_agent_epochs += f.crashed_agent_epochs;
+        faults.stuck_epochs += f.stuck_epochs;
+        faults.sensor_dropouts += f.sensor_dropouts;
+        faults.spurious_trips += f.spurious_trips;
+        faults.missed_trips += f.missed_trips;
+    }
     PolicyOutcome {
         policy,
         tasks_per_agent_epoch: tasks.mean(),
@@ -93,6 +107,7 @@ fn aggregate(policy: PolicyKind, results: &[SimResult]) -> PolicyOutcome {
         mean_sprinters: results.iter().map(SimResult::mean_sprinters).sum::<f64>()
             / results.len() as f64,
         trips: results.iter().map(|r| f64::from(r.trips())).sum::<f64>() / results.len() as f64,
+        faults,
     }
 }
 
@@ -123,37 +138,190 @@ pub fn compare_policies(
         });
     }
 
-    let results: Vec<crate::Result<(PolicyKind, SimResult)>> = thread::scope(|scope| {
+    let results: Vec<crate::Result<(PolicyKind, SimResult)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = policies
             .iter()
             .flat_map(|&policy| seeds.iter().map(move |&seed| (policy, seed)))
             .map(|(policy, seed)| {
-                scope.spawn(move |_| scenario.run(policy, seed).map(|r| (policy, r)))
+                scope.spawn(move || scenario.run(policy, seed).map(|r| (policy, r)))
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("simulation threads do not panic"))
+            .map(|h| {
+                h.join().unwrap_or(Err(SimError::WorkerPanicked {
+                    what: "policy comparison trial",
+                }))
+            })
             .collect()
-    })
-    .expect("scoped threads do not panic");
+    });
 
     let mut by_policy: Vec<(PolicyKind, Vec<SimResult>)> =
         policies.iter().map(|&p| (p, Vec::new())).collect();
     for r in results {
         let (policy, result) = r?;
-        by_policy
-            .iter_mut()
-            .find(|(p, _)| *p == policy)
-            .expect("policy was requested")
-            .1
-            .push(result);
+        if let Some((_, bucket)) = by_policy.iter_mut().find(|(p, _)| *p == policy) {
+            bucket.push(result);
+        }
     }
     Ok(Comparison {
-        outcomes: by_policy
+        outcomes: by_policy.iter().map(|(p, rs)| aggregate(*p, rs)).collect(),
+    })
+}
+
+/// A fault plan with a display name, for chaos-matrix axes.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NamedPlan {
+    /// Human-readable plan name (unique within a suite).
+    pub name: String,
+    /// The fault plan.
+    pub plan: FaultPlan,
+}
+
+/// The standard single-fault plans plus the composite mix, all built from
+/// [`FaultPlan::composite`]'s component intensities.
+#[must_use]
+pub fn standard_fault_suite(seed: u64) -> Vec<NamedPlan> {
+    let composite = FaultPlan::composite(seed);
+    let single = |name: &str, f: &dyn Fn(&mut FaultPlan)| {
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        };
+        f(&mut plan);
+        NamedPlan {
+            name: name.to_string(),
+            plan,
+        }
+    };
+    vec![
+        single("crash-churn", &|p| p.crash = composite.crash),
+        single("stuck-sprinters", &|p| p.stuck = composite.stuck),
+        single("sensor-noise", &|p| p.sensor = composite.sensor),
+        single("breaker-drift", &|p| {
+            p.breaker_drift = composite.breaker_drift
+        }),
+        single("stale-coordinator", &|p| p.staleness = composite.staleness),
+        NamedPlan {
+            name: "composite".to_string(),
+            plan: composite,
+        },
+    ]
+}
+
+/// One cell of the chaos matrix: one policy under one fault plan.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChaosCell {
+    /// The policy.
+    pub policy: PolicyKind,
+    /// The fault plan's name.
+    pub plan: String,
+    /// Mean throughput per agent-epoch under the faults.
+    pub tasks_per_agent_epoch: f64,
+    /// Mean throughput of the same policy with no faults.
+    pub baseline_tasks_per_agent_epoch: f64,
+    /// Faulty throughput over fault-free throughput (1.0 = unharmed,
+    /// 0.0 when the baseline itself produced nothing).
+    pub degradation: f64,
+    /// Mean breaker trips per run under the faults.
+    pub trips: f64,
+    /// Per-fault counters summed across trials.
+    pub faults: FaultMetrics,
+}
+
+/// The full policy × fault-plan resilience report.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChaosReport {
+    plans: Vec<NamedPlan>,
+    baseline: Vec<PolicyOutcome>,
+    cells: Vec<ChaosCell>,
+}
+
+impl ChaosReport {
+    /// The fault plans exercised, in matrix order.
+    #[must_use]
+    pub fn plans(&self) -> &[NamedPlan] {
+        &self.plans
+    }
+
+    /// Fault-free outcomes per policy.
+    #[must_use]
+    pub fn baseline(&self) -> &[PolicyOutcome] {
+        &self.baseline
+    }
+
+    /// All matrix cells, plan-major.
+    #[must_use]
+    pub fn cells(&self) -> &[ChaosCell] {
+        &self.cells
+    }
+
+    /// The cell for one policy under one named plan.
+    #[must_use]
+    pub fn cell(&self, policy: PolicyKind, plan: &str) -> Option<&ChaosCell> {
+        self.cells
             .iter()
-            .map(|(p, rs)| aggregate(*p, rs))
-            .collect(),
+            .find(|c| c.policy == policy && c.plan == plan)
+    }
+}
+
+/// Run the policy × fault-plan chaos matrix: every policy under every
+/// plan across every seed, compared against the same policies' fault-free
+/// baseline.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParameter`] for empty inputs or an invalid
+/// fault plan, and propagates the first simulation error encountered.
+pub fn chaos_matrix(
+    scenario: &Scenario,
+    policies: &[PolicyKind],
+    plans: &[NamedPlan],
+    seeds: &[u64],
+) -> crate::Result<ChaosReport> {
+    if plans.is_empty() {
+        return Err(SimError::InvalidParameter {
+            name: "plans",
+            value: 0.0,
+            expected: "at least one fault plan",
+        });
+    }
+    for p in plans {
+        p.plan.validate()?;
+    }
+    let baseline = compare_policies(
+        &scenario.clone().with_faults(FaultPlan::none()),
+        policies,
+        seeds,
+    )?;
+    let mut cells = Vec::with_capacity(plans.len() * policies.len());
+    for named in plans {
+        let faulted = scenario.clone().with_faults(named.plan);
+        let cmp = compare_policies(&faulted, policies, seeds)?;
+        for outcome in cmp.outcomes() {
+            let base = baseline
+                .outcome(outcome.policy)
+                .map_or(0.0, |o| o.tasks_per_agent_epoch);
+            let degradation = if base > 0.0 {
+                outcome.tasks_per_agent_epoch / base
+            } else {
+                0.0
+            };
+            cells.push(ChaosCell {
+                policy: outcome.policy,
+                plan: named.name.clone(),
+                tasks_per_agent_epoch: outcome.tasks_per_agent_epoch,
+                baseline_tasks_per_agent_epoch: base,
+                degradation,
+                trips: outcome.trips,
+                faults: outcome.faults,
+            });
+        }
+    }
+    Ok(ChaosReport {
+        plans: plans.to_vec(),
+        baseline: baseline.outcomes().to_vec(),
+        cells,
     })
 }
 
@@ -175,7 +343,10 @@ mod tests {
         // profile, even at reduced scale.
         let s = Scenario::homogeneous(Benchmark::DecisionTree, 120, 300).unwrap();
         let cmp = compare_policies(&s, &PolicyKind::ALL, &[1, 2]).unwrap();
-        let g = cmp.outcome(PolicyKind::Greedy).unwrap().tasks_per_agent_epoch;
+        let g = cmp
+            .outcome(PolicyKind::Greedy)
+            .unwrap()
+            .tasks_per_agent_epoch;
         let eb = cmp
             .outcome(PolicyKind::ExponentialBackoff)
             .unwrap()
@@ -219,5 +390,83 @@ mod tests {
         // Three trials yield a confidence interval containing the mean.
         let ci = o.tasks_ci.expect("multiple trials");
         assert!(ci.contains(o.tasks_per_agent_epoch));
+    }
+
+    #[test]
+    fn standard_suite_covers_every_fault_kind() {
+        let suite = standard_fault_suite(9);
+        assert_eq!(suite.len(), 6);
+        let names: Vec<&str> = suite.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "crash-churn",
+                "stuck-sprinters",
+                "sensor-noise",
+                "breaker-drift",
+                "stale-coordinator",
+                "composite"
+            ]
+        );
+        // Each single-fault plan enables exactly one component.
+        for named in &suite[..5] {
+            let p = named.plan;
+            let enabled = usize::from(p.crash.is_some())
+                + usize::from(p.stuck.is_some())
+                + usize::from(p.sensor.is_some())
+                + usize::from(p.breaker_drift.is_some())
+                + usize::from(p.staleness.is_some());
+            assert_eq!(enabled, 1, "{} enables one fault", named.name);
+            p.validate().unwrap();
+        }
+        assert_eq!(suite[5].plan, FaultPlan::composite(9));
+    }
+
+    #[test]
+    fn chaos_matrix_validates_and_fills_cells() {
+        let s = Scenario::homogeneous(Benchmark::Svm, 30, 40).unwrap();
+        assert!(chaos_matrix(&s, &[PolicyKind::Greedy], &[], &[1]).is_err());
+        let plans = vec![
+            NamedPlan {
+                name: "clean".to_string(),
+                plan: FaultPlan::none(),
+            },
+            NamedPlan {
+                name: "composite".to_string(),
+                plan: FaultPlan::composite(3),
+            },
+        ];
+        let policies = [PolicyKind::Greedy, PolicyKind::EquilibriumThreshold];
+        let report = chaos_matrix(&s, &policies, &plans, &[1, 2]).unwrap();
+        assert_eq!(report.plans().len(), 2);
+        assert_eq!(report.baseline().len(), 2);
+        assert_eq!(report.cells().len(), 4);
+        // The clean "plan" reproduces the baseline exactly.
+        for kind in policies {
+            let cell = report.cell(kind, "clean").unwrap();
+            assert!(
+                (cell.tasks_per_agent_epoch - cell.baseline_tasks_per_agent_epoch).abs() < 1e-12,
+                "clean plan must match baseline for {kind:?}"
+            );
+            assert!((cell.degradation - 1.0).abs() < 1e-12);
+            assert!(cell.faults.is_clean());
+        }
+        // The composite plan records fault activity and finite degradation.
+        let cell = report.cell(PolicyKind::Greedy, "composite").unwrap();
+        assert!(!cell.faults.is_clean(), "composite plan must leave traces");
+        assert!(cell.degradation.is_finite());
+        assert!(report.cell(PolicyKind::Greedy, "missing").is_none());
+    }
+
+    #[test]
+    fn chaos_report_serializes() {
+        let s = Scenario::homogeneous(Benchmark::Kmeans, 25, 30).unwrap();
+        let plans = standard_fault_suite(5);
+        let report = chaos_matrix(&s, &[PolicyKind::Greedy], &plans, &[4]).unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"composite\""));
+        assert!(json.contains("degradation"));
+        let back: ChaosReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
     }
 }

@@ -8,12 +8,13 @@
 
 use sprint_game::cooperative::CooperativeSearch;
 use sprint_game::multi::{AgentTypeSpec, MultiSolver};
-use sprint_game::{GameConfig, MeanFieldSolver};
+use sprint_game::{GameConfig, GameError, MeanFieldSolver};
 use sprint_stats::density::DiscreteDensity;
 use sprint_workloads::generator::Population;
 use sprint_workloads::Benchmark;
 
 use crate::engine::{simulate, RecoverySemantics, SimConfig, TripInterruption, UtilityEstimation};
+use crate::faults::FaultPlan;
 use crate::metrics::SimResult;
 use crate::policies::{ExponentialBackoff, Greedy, ThresholdPolicy};
 use crate::policy::{PolicyKind, SprintPolicy};
@@ -31,6 +32,7 @@ pub struct Scenario {
     recovery: RecoverySemantics,
     interruption: TripInterruption,
     estimation: UtilityEstimation,
+    faults: FaultPlan,
 }
 
 impl Scenario {
@@ -112,6 +114,7 @@ impl Scenario {
             recovery: RecoverySemantics::Idle,
             interruption: TripInterruption::CompleteOnUps,
             estimation: UtilityEstimation::Oracle,
+            faults: FaultPlan::none(),
         })
     }
 
@@ -136,6 +139,21 @@ impl Scenario {
         self
     }
 
+    /// Attach a fault-injection plan: the engine injects the runtime
+    /// faults, and [`CoordinatorStaleness`](crate::faults::CoordinatorStaleness)
+    /// additionally skews the population the offline solves assume.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The fault-injection plan.
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// The population.
     #[must_use]
     pub fn population(&self) -> &Population {
@@ -152,6 +170,29 @@ impl Scenario {
     #[must_use]
     pub fn epochs(&self) -> usize {
         self.epochs
+    }
+
+    /// The game configuration the offline solves use. Under
+    /// [`CoordinatorStaleness`](crate::faults::CoordinatorStaleness) the
+    /// coordinator solved for an outdated population: `N` (and nothing
+    /// else) is scaled by the staleness factor, so thresholds are tuned
+    /// for a rack that no longer exists.
+    fn solve_game(&self) -> crate::Result<GameConfig> {
+        let Some(stale) = self.faults.staleness else {
+            return Ok(self.game);
+        };
+        let stale_n = (f64::from(self.game.n_agents()) * stale.population_factor)
+            .round()
+            .max(1.0) as u32;
+        GameConfig::builder()
+            .n_agents(stale_n)
+            .n_min(self.game.n_min())
+            .n_max(self.game.n_max())
+            .p_cooling(self.game.p_cooling())
+            .p_recovery(self.game.p_recovery())
+            .discount(self.game.discount())
+            .build()
+            .map_err(Into::into)
     }
 
     fn type_specs(&self) -> crate::Result<Vec<AgentTypeSpec>> {
@@ -171,26 +212,44 @@ impl Scenario {
     /// Solve the game and build the E-T policy (per-type equilibrium
     /// thresholds, assigned per agent).
     ///
+    /// When Algorithm 1 exhausts every damping escalation
+    /// ([`GameError::NonConvergence`]) the coordinator degrades instead of
+    /// aborting: agents receive the error's conservative fallback
+    /// threshold, which keeps expected sprinters inside the breaker's
+    /// never-trip region (§2.2).
+    ///
     /// # Errors
     ///
-    /// Propagates mean-field solver failures.
+    /// Propagates mean-field solver failures other than recoverable
+    /// non-convergence.
     pub fn equilibrium_policy(&self) -> crate::Result<ThresholdPolicy> {
+        let game = self.solve_game()?;
         let types = self.population.distinct_types();
         let thresholds: Vec<f64> = if types.len() == 1 {
-            let eq = MeanFieldSolver::new(self.game)
-                .solve(&types[0].utility_density(DENSITY_BINS)?)?;
-            vec![eq.threshold(); self.population.len()]
+            let threshold =
+                match MeanFieldSolver::new(game).solve(&types[0].utility_density(DENSITY_BINS)?) {
+                    Ok(eq) => eq.threshold(),
+                    Err(GameError::NonConvergence {
+                        fallback_threshold, ..
+                    }) => fallback_threshold,
+                    Err(e) => return Err(e.into()),
+                };
+            vec![threshold; self.population.len()]
         } else {
-            let eq = MultiSolver::new(self.game).solve(&self.type_specs()?)?;
+            let eq = MultiSolver::new(game).solve(&self.type_specs()?)?;
             self.population
                 .assignments()
                 .iter()
                 .map(|b| {
                     eq.type_named(b.name())
                         .map(|t| t.threshold)
-                        .expect("every assigned type was specified")
+                        .ok_or(SimError::InvalidParameter {
+                            name: "population",
+                            value: 0.0,
+                            expected: "an equilibrium covering every assigned type",
+                        })
                 })
-                .collect()
+                .collect::<crate::Result<_>>()?
         };
         ThresholdPolicy::new("Equilibrium Threshold", thresholds)
     }
@@ -208,7 +267,7 @@ impl Scenario {
     /// Propagates search failures.
     pub fn cooperative_policy(&self) -> crate::Result<ThresholdPolicy> {
         let density = self.mixture_density()?;
-        let ct = CooperativeSearch::default_resolution().solve(&self.game, &density)?;
+        let ct = CooperativeSearch::default_resolution().solve(&self.solve_game()?, &density)?;
         ThresholdPolicy::uniform(
             "Cooperative Threshold",
             ct.strategy(),
@@ -233,11 +292,10 @@ impl Scenario {
                 ))
             })
             .collect::<crate::Result<_>>()?;
-        if densities.len() == 1 {
-            return Ok(densities.into_iter().next().expect("non-empty").0);
+        if let [(only, _)] = densities.as_slice() {
+            return Ok(only.clone());
         }
-        let parts: Vec<(&DiscreteDensity, f64)> =
-            densities.iter().map(|(d, w)| (d, *w)).collect();
+        let parts: Vec<(&DiscreteDensity, f64)> = densities.iter().map(|(d, w)| (d, *w)).collect();
         DiscreteDensity::mixture(&parts, DENSITY_BINS)
             .map_err(|e| SimError::Workload(sprint_workloads::WorkloadError::Stats(e)))
     }
@@ -247,7 +305,11 @@ impl Scenario {
     /// # Errors
     ///
     /// Propagates offline-solve failures for the threshold policies.
-    pub fn build_policy(&self, kind: PolicyKind, seed: u64) -> crate::Result<Box<dyn SprintPolicy>> {
+    pub fn build_policy(
+        &self,
+        kind: PolicyKind,
+        seed: u64,
+    ) -> crate::Result<Box<dyn SprintPolicy>> {
         Ok(match kind {
             PolicyKind::Greedy => Box::new(Greedy::new()),
             PolicyKind::ExponentialBackoff => {
@@ -267,7 +329,8 @@ impl Scenario {
         let config = SimConfig::new(self.game, self.epochs, seed)?
             .with_recovery(self.recovery)
             .with_interruption(self.interruption)
-            .with_estimation(self.estimation);
+            .with_estimation(self.estimation)
+            .with_faults(self.faults);
         let mut streams = self.population.spawn_streams(seed)?;
         let mut policy = self.build_policy(kind, seed)?;
         simulate(&config, &mut streams, policy.as_mut())
@@ -306,12 +369,9 @@ mod tests {
 
     #[test]
     fn equilibrium_policy_tailors_types() {
-        let s = Scenario::heterogeneous(
-            &[Benchmark::LinearRegression, Benchmark::PageRank],
-            100,
-            50,
-        )
-        .unwrap();
+        let s =
+            Scenario::heterogeneous(&[Benchmark::LinearRegression, Benchmark::PageRank], 100, 50)
+                .unwrap();
         let p = s.equilibrium_policy().unwrap();
         // Round-robin: even agents linear, odd agents pagerank.
         let linear = p.thresholds()[0];
@@ -332,12 +392,9 @@ mod tests {
 
     #[test]
     fn mixture_density_weights_by_count() {
-        let s = Scenario::heterogeneous(
-            &[Benchmark::LinearRegression, Benchmark::PageRank],
-            100,
-            50,
-        )
-        .unwrap();
+        let s =
+            Scenario::heterogeneous(&[Benchmark::LinearRegression, Benchmark::PageRank], 100, 50)
+                .unwrap();
         let m = s.mixture_density().unwrap();
         // Half the mass from linear regression's 3-5x band, half from
         // pagerank's bimodal profile — upper tail must be pagerank's.

@@ -19,13 +19,13 @@ fn runs_are_bit_reproducible_across_invocations() {
 
 #[test]
 fn different_seeds_produce_different_dynamics() {
-    let scenario = Scenario::homogeneous(Benchmark::Svm, 120, 300).unwrap();
+    let scenario = Scenario::homogeneous(Benchmark::Svm, 120, 600).unwrap();
     let a = scenario.run(PolicyKind::EquilibriumThreshold, 1).unwrap();
     let b = scenario.run(PolicyKind::EquilibriumThreshold, 2).unwrap();
     assert_ne!(a.sprinters_per_epoch(), b.sprinters_per_epoch());
     // But aggregate throughput is stable across seeds (stationarity).
-    let rel = (a.tasks_per_agent_epoch() - b.tasks_per_agent_epoch()).abs()
-        / a.tasks_per_agent_epoch();
+    let rel =
+        (a.tasks_per_agent_epoch() - b.tasks_per_agent_epoch()).abs() / a.tasks_per_agent_epoch();
     assert!(rel < 0.05, "throughput varies {rel:.3} across seeds");
 }
 

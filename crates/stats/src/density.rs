@@ -113,12 +113,7 @@ impl DiscreteDensity {
     ///
     /// Returns the same errors as [`DiscreteDensity::new`]; in particular
     /// [`StatsError::NotNormalized`] when `f` is zero everywhere on the grid.
-    pub fn from_fn<F: Fn(f64) -> f64>(
-        lo: f64,
-        hi: f64,
-        bins: usize,
-        f: F,
-    ) -> crate::Result<Self> {
+    pub fn from_fn<F: Fn(f64) -> f64>(lo: f64, hi: f64, bins: usize, f: F) -> crate::Result<Self> {
         if bins == 0 {
             return Err(StatsError::InvalidParameter {
                 name: "bins",

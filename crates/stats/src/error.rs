@@ -45,7 +45,10 @@ impl fmt::Display for StatsError {
                 name,
                 value,
                 expected,
-            } => write!(f, "parameter `{name}` = {value} is invalid: expected {expected}"),
+            } => write!(
+                f,
+                "parameter `{name}` = {value} is invalid: expected {expected}"
+            ),
             StatsError::NotNormalized { mass } => {
                 write!(f, "probabilities sum to {mass}, expected 1")
             }

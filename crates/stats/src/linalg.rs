@@ -60,9 +60,7 @@ pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> crate::Result<Vec<
             }
             let (pivot_rows, target_rows) = a.split_at_mut(row);
             let pivot_row = &pivot_rows[col];
-            for (target, &pivot_val) in
-                target_rows[0][col..].iter_mut().zip(&pivot_row[col..])
-            {
+            for (target, &pivot_val) in target_rows[0][col..].iter_mut().zip(&pivot_row[col..]) {
                 *target -= factor * pivot_val;
             }
             b[row] -= factor * b[col];

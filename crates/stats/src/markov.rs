@@ -226,7 +226,8 @@ mod tests {
         assert!(MarkovChain::new(vec![]).is_err());
         assert!(MarkovChain::new(vec![vec![1.0, 0.0]]).is_err()); // non-square
         assert!(MarkovChain::new(vec![vec![0.5, 0.4], vec![0.5, 0.5]]).is_err()); // row sum
-        assert!(MarkovChain::new(vec![vec![-0.5, 1.5], vec![0.5, 0.5]]).is_err()); // negative
+        assert!(MarkovChain::new(vec![vec![-0.5, 1.5], vec![0.5, 0.5]]).is_err());
+        // negative
     }
 
     #[test]

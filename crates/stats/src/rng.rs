@@ -137,7 +137,9 @@ mod tests {
         let mut r1 = seq.next_rng();
         let mut r2 = seq.next_rng();
         // Not a statistical test; just confirms the streams are not identical.
-        let same = (0..32).filter(|_| r1.gen::<u64>() == r2.gen::<u64>()).count();
+        let same = (0..32)
+            .filter(|_| r1.gen::<u64>() == r2.gen::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 }

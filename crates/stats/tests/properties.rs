@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use sprint_stats::dist::{
-    ContinuousDistribution, LogNormal, Mixture, TruncatedNormal, Uniform,
-};
+use sprint_stats::dist::{ContinuousDistribution, LogNormal, Mixture, TruncatedNormal, Uniform};
 use sprint_stats::histogram::Histogram;
 use sprint_stats::kde::{kernel_density_with_bandwidth, silverman_bandwidth};
 use sprint_stats::markov::MarkovChain;

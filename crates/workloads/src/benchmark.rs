@@ -51,7 +51,9 @@ impl std::fmt::Display for Category {
 }
 
 /// One of the paper's eleven Spark benchmarks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Benchmark {
     /// Naive Bayes classification on kdda2010.
     NaiveBayes,
@@ -143,9 +145,9 @@ impl Benchmark {
             Benchmark::Kmeans => Category::Clustering,
             Benchmark::Als => Category::CollaborativeFiltering,
             Benchmark::Correlation => Category::Statistics,
-            Benchmark::PageRank
-            | Benchmark::ConnectedComponents
-            | Benchmark::TriangleCounting => Category::GraphProcessing,
+            Benchmark::PageRank | Benchmark::ConnectedComponents | Benchmark::TriangleCounting => {
+                Category::GraphProcessing
+            }
         }
     }
 
@@ -160,9 +162,9 @@ impl Benchmark {
             Benchmark::GradientBoostedTrees | Benchmark::LinearRegression => "kddb2010",
             Benchmark::Kmeans => "uscensus1990",
             Benchmark::Als => "movielens2015",
-            Benchmark::PageRank
-            | Benchmark::ConnectedComponents
-            | Benchmark::TriangleCounting => "wdc2012",
+            Benchmark::PageRank | Benchmark::ConnectedComponents | Benchmark::TriangleCounting => {
+                "wdc2012"
+            }
         }
     }
 
@@ -177,9 +179,9 @@ impl Benchmark {
             Benchmark::GradientBoostedTrees | Benchmark::LinearRegression => 4.8,
             Benchmark::Kmeans => 0.327,
             Benchmark::Als => 0.325,
-            Benchmark::PageRank
-            | Benchmark::ConnectedComponents
-            | Benchmark::TriangleCounting => 5.3,
+            Benchmark::PageRank | Benchmark::ConnectedComponents | Benchmark::TriangleCounting => {
+                5.3
+            }
         }
     }
 
@@ -287,17 +289,16 @@ impl Benchmark {
     /// Returns [`WorkloadError::Stats`] when `bins` is 0.
     pub fn utility_density(&self, bins: usize) -> crate::Result<DiscreteDensity> {
         let dist = self.speedup_distribution();
-        DiscreteDensity::from_distribution(dist.as_ref(), bins)
-            .map_err(WorkloadError::from)
+        DiscreteDensity::from_distribution(dist.as_ref(), bins).map_err(WorkloadError::from)
     }
 
     /// Parse a benchmark from its short or full name, case-insensitively.
     #[must_use]
     pub fn from_name(name: &str) -> Option<Benchmark> {
         let lower = name.to_ascii_lowercase();
-        Benchmark::ALL.into_iter().find(|b| {
-            b.name() == lower || b.full_name().to_ascii_lowercase() == lower
-        })
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name() == lower || b.full_name().to_ascii_lowercase() == lower)
     }
 }
 

@@ -32,7 +32,10 @@ impl fmt::Display for WorkloadError {
                 name,
                 value,
                 expected,
-            } => write!(f, "parameter `{name}` = {value} is invalid: expected {expected}"),
+            } => write!(
+                f,
+                "parameter `{name}` = {value} is invalid: expected {expected}"
+            ),
             WorkloadError::EmptyWorkload { what } => {
                 write!(f, "workload definition has no {what}")
             }

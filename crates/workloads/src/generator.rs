@@ -221,11 +221,8 @@ mod tests {
 
     #[test]
     fn distinct_types_in_suite_order() {
-        let p = Population::heterogeneous(
-            &[Benchmark::TriangleCounting, Benchmark::NaiveBayes],
-            4,
-        )
-        .unwrap();
+        let p = Population::heterogeneous(&[Benchmark::TriangleCounting, Benchmark::NaiveBayes], 4)
+            .unwrap();
         assert_eq!(
             p.distinct_types(),
             vec![Benchmark::NaiveBayes, Benchmark::TriangleCounting]

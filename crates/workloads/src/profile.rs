@@ -40,10 +40,7 @@ impl UtilityProfile {
     ///
     /// Returns [`WorkloadError::Stats`] for empty or non-finite samples or
     /// `bins == 0`.
-    pub fn from_samples_with_bins(
-        epoch_speedups: &[f64],
-        bins: usize,
-    ) -> crate::Result<Self> {
+    pub fn from_samples_with_bins(epoch_speedups: &[f64], bins: usize) -> crate::Result<Self> {
         let density = kernel_density(epoch_speedups, bins).map_err(WorkloadError::from)?;
         let stats: OnlineStats = epoch_speedups.iter().copied().collect();
         Ok(UtilityProfile {

@@ -298,7 +298,9 @@ pub fn benchmark_app<R: Rng + ?Sized>(
     let sigma = STAGE_SERIAL_SHARE;
     let s_wide = FREQ_RATIO * (sigma + 1.0 / NOMINAL_CORES) / (sigma + 1.0 / SPRINT_CORES);
     let s_narrow = FREQ_RATIO; // narrow stages use the same cores either way
-    let target = benchmark.mean_speedup().clamp(s_narrow + 0.05, s_wide - 0.05);
+    let target = benchmark
+        .mean_speedup()
+        .clamp(s_narrow + 0.05, s_wide - 0.05);
     // Work fraction f in wide stages: 1/S = f/s_wide + (1-f)/s_narrow.
     let wide_work_fraction =
         ((1.0 / s_narrow - 1.0 / target) / (1.0 / s_narrow - 1.0 / s_wide)).clamp(0.0, 1.0);
@@ -566,9 +568,10 @@ mod tests {
         let tasks: Vec<f64> = (0..40).map(|_| 0.5 + 2.0 * rng.gen::<f64>()).collect();
         let total: f64 = tasks.iter().sum();
         let longest = tasks.iter().cloned().fold(0.0, f64::max);
-        let app =
-            SparkApp::new(vec![Job::new(vec![Stage::new(tasks, 0.0).unwrap()]).unwrap()])
-                .unwrap();
+        let app = SparkApp::new(vec![
+            Job::new(vec![Stage::new(tasks, 0.0).unwrap()]).unwrap()
+        ])
+        .unwrap();
         let cfg = ExecutorConfig::new(4, 1.0).unwrap();
         let e = execute(&app, cfg);
         let lower = (total / 4.0).max(longest);

@@ -239,8 +239,14 @@ mod tests {
         let s = epoch_speedups(&normal, &sprint, 20.0).unwrap();
         let first_half = s[1];
         let second_half = s[8];
-        assert!((first_half - 2.0).abs() < 0.3, "early epochs ≈2x: {first_half}");
-        assert!((second_half - 8.0).abs() < 1.0, "late epochs ≈8x: {second_half}");
+        assert!(
+            (first_half - 2.0).abs() < 0.3,
+            "early epochs ≈2x: {first_half}"
+        );
+        assert!(
+            (second_half - 8.0).abs() < 1.0,
+            "late epochs ≈8x: {second_half}"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use sprint_stats::rng::seeded_rng;
 use sprint_workloads::phases::PhasedUtility;
 use sprint_workloads::spark::{
-    execute, end_to_end_speedup, ExecutorConfig, SparkApp, Stage, TaskSkew,
+    end_to_end_speedup, execute, ExecutorConfig, SparkApp, Stage, TaskSkew,
 };
 use sprint_workloads::trace::{epoch_speedups, TpsTrace};
 use sprint_workloads::Benchmark;

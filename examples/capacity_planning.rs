@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sweep the UPS recharge ratio: slower recharge = longer recovery.
     println!("\nUPS recharge-ratio sweep:");
-    println!("{:>10} {:>8} {:>12} {:>10}", "ratio", "p_r", "threshold", "P(trip)");
+    println!(
+        "{:>10} {:>8} {:>12} {:>10}",
+        "ratio", "p_r", "threshold", "P(trip)"
+    );
     for ratio in [2.0, 5.0, 8.33, 15.0, 40.0] {
         let p_r = 1.0 - 1.0 / ratio;
         let config = GameConfig::builder().p_recovery(p_r).build()?;

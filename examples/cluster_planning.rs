@@ -56,31 +56,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Facility sprint budget as a fraction of the racks' combined N_min.
     for frac in [1.5, 1.0, 0.5, 0.25] {
         let fac_min = f64::from(RACKS * PER_RACK) * 0.25 * frac;
-        let config = ClusterConfig::new(
-            rack_game,
-            RACKS,
-            fac_min,
-            fac_min * 3.0,
-            0.95,
-            EPOCHS,
-            33,
-        )?;
+        let config =
+            ClusterConfig::new(rack_game, RACKS, fac_min, fac_min * 3.0, 0.95, EPOCHS, 33)?;
 
-        let mut streams = Population::homogeneous(
-            Benchmark::DecisionTree,
-            (RACKS * PER_RACK) as usize,
-        )?
-        .spawn_streams(33)?;
+        let mut streams =
+            Population::homogeneous(Benchmark::DecisionTree, (RACKS * PER_RACK) as usize)?
+                .spawn_streams(33)?;
         let mut naive = policies(rack_eq.threshold())?;
         let naive_result = simulate_cluster(&config, &mut streams, &mut naive)?;
 
         let aware_game = config.facility_aware_band()?;
         let aware_ct = CooperativeSearch::default_resolution().solve(&aware_game, &density)?;
-        let mut streams = Population::homogeneous(
-            Benchmark::DecisionTree,
-            (RACKS * PER_RACK) as usize,
-        )?
-        .spawn_streams(33)?;
+        let mut streams =
+            Population::homogeneous(Benchmark::DecisionTree, (RACKS * PER_RACK) as usize)?
+                .spawn_streams(33)?;
         let mut aware = policies(aware_ct.threshold)?;
         let aware_result = simulate_cluster(&config, &mut streams, &mut aware)?;
 

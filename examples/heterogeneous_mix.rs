@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let assignments = coordinator.optimize()?;
 
-    println!("coordinator assignments (shared P_trip = {:.3}):\n", assignments.trip_probability());
+    println!(
+        "coordinator assignments (shared P_trip = {:.3}):\n",
+        assignments.trip_probability()
+    );
     println!(
         "{:<14} {:>11} {:>11} {:>11}",
         "type", "threshold", "P(sprint)", "sprinters"

@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         coordinator.register_profile(b.name(), profile.into_density(), AGENTS_PER_TYPE);
     }
     let assignments = coordinator.optimize()?;
-    println!("  assignments (P_trip = {:.3}):", assignments.trip_probability());
+    println!(
+        "  assignments (P_trip = {:.3}):",
+        assignments.trip_probability()
+    );
     for (name, strategy) in assignments.iter() {
         println!("    {name:<10} -> {strategy}");
     }
@@ -67,13 +70,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if epoch < 6 {
             println!(
                 "    epoch {epoch}: utility {measured:5.2} -> {decision:?} (predictor: {:?})",
-                agent.predicted_utility().map(|p| (p * 100.0).round() / 100.0)
+                agent
+                    .predicted_utility()
+                    .map(|p| (p * 100.0).round() / 100.0)
             );
         }
         // Resolve transitions locally; no coordinator involvement.
         agent.end_epoch(decision, false, true, true);
     }
-    println!("    ... agent sprinted {sprints}/20 epochs (sprint rate {:.2})", agent.sprint_rate());
+    println!(
+        "    ... agent sprinted {sprints}/20 epochs (sprint rate {:.2})",
+        agent.sprint_rate()
+    );
 
     // Phase 2: the mix changes — PageRank jobs drain, Linear Regression
     // arrives. Only now does global communication recur.
@@ -90,7 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     // Rebalance: decision keeps its 500; linear takes pagerank's slots.
     let reassigned = coordinator.optimize()?;
-    println!("  assignments (P_trip = {:.3}):", reassigned.trip_probability());
+    println!(
+        "  assignments (P_trip = {:.3}):",
+        reassigned.trip_probability()
+    );
     for (name, strategy) in reassigned.iter() {
         println!("    {name:<10} -> {strategy}");
     }

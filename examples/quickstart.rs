@@ -55,12 +55,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Verify: best-response fixed point and no profitable deviation.
     let check = equilibrium.verify(&config, &density, 100)?;
     println!("\nverification:");
-    println!("  threshold residual     = {:.2e}", check.threshold_residual);
-    println!("  trip residual          = {:.2e}", check.trip_residual);
-    println!("  max deviation gain     = {:.2e}", check.max_deviation_gain);
     println!(
-        "  is equilibrium (1e-4)  = {}",
-        check.holds(1e-4)
+        "  threshold residual     = {:.2e}",
+        check.threshold_residual
     );
+    println!("  trip residual          = {:.2e}", check.trip_residual);
+    println!(
+        "  max deviation gain     = {:.2e}",
+        check.max_deviation_gain
+    );
+    println!("  is equilibrium (1e-4)  = {}", check.holds(1e-4));
     Ok(())
 }

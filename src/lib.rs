@@ -57,8 +57,8 @@ pub use sprint_workloads as workloads;
 /// ```
 pub mod prelude {
     pub use sprint_game::{
-        cooperative::CooperativeSearch, coordinator::Coordinator, multi::MultiSolver,
-        Equilibrium, GameConfig, MeanFieldSolver, ThresholdStrategy,
+        cooperative::CooperativeSearch, coordinator::Coordinator, multi::MultiSolver, Equilibrium,
+        GameConfig, MeanFieldSolver, ThresholdStrategy,
     };
     pub use sprint_power::rack::RackConfig;
     pub use sprint_sim::policy::PolicyKind;

@@ -29,12 +29,9 @@ fn mean_field_sprinter_count_matches_iid_simulation() {
     let eq = MeanFieldSolver::new(config).solve(&density).unwrap();
 
     let mut streams = iid_streams(Benchmark::DecisionTree, 1000, 99);
-    let mut policy = ThresholdPolicy::uniform(
-        "E-T",
-        ThresholdStrategy::new(eq.threshold()).unwrap(),
-        1000,
-    )
-    .unwrap();
+    let mut policy =
+        ThresholdPolicy::uniform("E-T", ThresholdStrategy::new(eq.threshold()).unwrap(), 1000)
+            .unwrap();
     let sim_config = SimConfig::new(config, 2000, 99).unwrap();
     let result = simulate(&sim_config, &mut streams, &mut policy).unwrap();
 
@@ -105,14 +102,15 @@ fn phase_persistence_keeps_system_below_the_band() {
             })
             .collect()
     };
-    let mut policy = ThresholdPolicy::uniform(
-        "E-T",
-        ThresholdStrategy::new(eq.threshold()).unwrap(),
-        1000,
+    let mut policy =
+        ThresholdPolicy::uniform("E-T", ThresholdStrategy::new(eq.threshold()).unwrap(), 1000)
+            .unwrap();
+    let result = simulate(
+        &SimConfig::new(config, 1500, 3).unwrap(),
+        &mut streams,
+        &mut policy,
     )
     .unwrap();
-    let result = simulate(&SimConfig::new(config, 1500, 3).unwrap(), &mut streams, &mut policy)
-        .unwrap();
     assert!(result.mean_sprinters() < eq.expected_sprinters());
     assert!(result.mean_sprinters() > 0.5 * eq.expected_sprinters());
     // Finite-N phase correlation can brush the band at most rarely.

@@ -1,0 +1,156 @@
+//! Minimal, dependency-free stand-in for the parts of `criterion` this
+//! workspace's benches use, vendored so the build works fully offline.
+//!
+//! No statistics, plots, or warm-up heuristics: each benchmark runs its
+//! routine in a short time-boxed loop and prints the mean wall-clock time.
+//! Good enough to keep `cargo bench` meaningful for coarse comparisons and
+//! to keep the bench targets compiling in CI.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching upstream's convenience: `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How much time to spend measuring each benchmark.
+const TARGET_MEASURE_TIME: Duration = Duration::from_millis(300);
+
+/// How batched setup cost is amortized (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// End the group (upstream flushes reports here; ours are immediate).
+    pub fn finish(self) {}
+}
+
+/// Measures one routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // One untimed call to warm caches and visibly exercise the path.
+        black_box(routine());
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        while start.elapsed() < TARGET_MEASURE_TIME {
+            black_box(routine());
+            iterations += 1;
+        }
+        self.iterations = iterations.max(1);
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measure `routine` over inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut measured = Duration::ZERO;
+        let mut iterations = 0u64;
+        let wall = Instant::now();
+        while wall.elapsed() < TARGET_MEASURE_TIME {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iterations += 1;
+        }
+        self.iterations = iterations.max(1);
+        self.elapsed = measured;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iterations == 0 {
+            println!("{name:<40} (no measurement)");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iterations as f64;
+        println!(
+            "{name:<40} {:>12.3} ms/iter ({} iters)",
+            per_iter * 1e3,
+            self.iterations
+        );
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,77 @@
+//! The `prop::` namespace (`prop::collection`, `prop::sample`).
+
+/// Collection strategies.
+pub mod collection {
+    use crate::{Strategy, TestRng};
+
+    /// Lengths accepted by [`vec`]: an exact size or a range of sizes.
+    pub trait SizeRange {
+        /// Pick a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "empty size range");
+            start + rng.below((end - start + 1) as u64) as usize
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` draws with length in `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies over explicit candidate sets.
+pub mod sample {
+    use crate::{Strategy, TestRng};
+
+    /// Strategy drawing one element of `items` uniformly.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select requires at least one candidate");
+        Select { items }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> Option<T> {
+            let idx = rng.below(self.items.len() as u64) as usize;
+            Some(self.items[idx].clone())
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Deserialization from the [`Value`] data model.
+
+use crate::value::Value;
+
+/// Error produced while mapping a [`Value`] onto a Rust type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Build an error from any displayable message.
+    pub fn custom<T: std::fmt::Display>(message: T) -> Self {
+        DeError {
+            message: message.to_string(),
+        }
+    }
+
+    /// Standard "wrong kind" error.
+    #[must_use]
+    pub fn type_mismatch(expected: &str, got: &Value) -> Self {
+        DeError::custom(format!("expected {expected}, found {}", got.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Reconstruct `Self` from the JSON-shaped data model.
+pub trait Deserialize: Sized {
+    /// Map a [`Value`] onto `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value's shape or range does not fit.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+
+    /// Fallback used by derives when a field is absent from the input
+    /// object. `Option<T>` overrides this to `Some(None)`, matching
+    /// upstream serde's treatment of missing optional fields.
+    #[must_use]
+    fn missing() -> Option<Self> {
+        None
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::type_mismatch("boolean", other)),
+        }
+    }
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = match value {
+                    Value::Number(n) => n,
+                    other => return Err(DeError::type_mismatch("integer", other)),
+                };
+                let raw = n
+                    .as_u64()
+                    .ok_or_else(|| DeError::custom("expected unsigned integer"))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = match value {
+                    Value::Number(n) => n,
+                    other => return Err(DeError::type_mismatch("integer", other)),
+                };
+                let raw = n
+                    .as_i64()
+                    .ok_or_else(|| DeError::custom("expected integer"))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_de_uint!(u8, u16, u32, u64, usize);
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(DeError::type_mismatch("number", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::type_mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}

@@ -1,0 +1,27 @@
+//! Minimal, dependency-free stand-in for the parts of `serde` this
+//! workspace uses, vendored so the build works fully offline.
+//!
+//! Unlike upstream serde's visitor architecture, this shim converts through
+//! an owned [`Value`] tree (the `serde_json::Value` shape). That is ample
+//! for the workspace's needs: JSON reports, config round-trips, and
+//! derive-generated impls for plain structs and enums.
+//!
+//! The `Serialize`/`Deserialize` *derive macros* are re-exported from the
+//! companion `serde_derive` shim; they support named-field structs, unit
+//! structs, enums with unit and named-field variants, and the container
+//! attribute `#[serde(try_from = "T", into = "T")]`.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{DeError, Deserialize};
+pub use ser::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};
+
+/// Fetch a field from an object body, if present (used by derive output).
+#[doc(hidden)]
+pub fn __field<'v>(entries: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+    entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}

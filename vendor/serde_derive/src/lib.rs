@@ -1,0 +1,472 @@
+//! Minimal `Serialize`/`Deserialize` derive macros for the vendored serde
+//! shim. Hand-rolled over `proc_macro` token trees (no `syn`/`quote`), so
+//! the workspace builds with zero external dependencies.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! - named-field structs and unit structs;
+//! - enums whose variants are unit or named-field (externally tagged);
+//! - the container attribute `#[serde(try_from = "T", into = "T")]`;
+//! - inert attributes (`#[doc]`, `#[default]`, …) are skipped.
+//!
+//! Tuple structs, generics, and other serde attributes produce a
+//! `compile_error!` naming the limitation rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Container {
+    name: String,
+    try_from: Option<String>,
+    into: Option<String>,
+    data: Data,
+}
+
+enum Data {
+    UnitStruct,
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for named-field variants.
+    fields: Option<Vec<String>>,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_container(input) {
+        Ok(container) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&container),
+                Mode::Deserialize => gen_deserialize(&container),
+            };
+            code.parse().expect("derive generated invalid Rust")
+        }
+        Err(message) => format!("compile_error!({message:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Skip one `#[...]` attribute if present; returns the bracket group.
+    fn eat_attribute(&mut self) -> Option<TokenStream> {
+        if !self.at_punct('#') {
+            return None;
+        }
+        self.pos += 1;
+        match self.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => Some(g.stream()),
+            _ => None,
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)` if present.
+    fn eat_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.pos += 1;
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_container(input: TokenStream) -> Result<Container, String> {
+    let mut cursor = Cursor::new(input);
+    let mut try_from = None;
+    let mut into = None;
+
+    // Attributes and visibility before the `struct`/`enum` keyword.
+    loop {
+        if let Some(attr) = cursor.eat_attribute() {
+            parse_serde_attr(attr, &mut try_from, &mut into)?;
+            continue;
+        }
+        if cursor.at_ident("pub") {
+            cursor.eat_visibility();
+            continue;
+        }
+        break;
+    }
+
+    let keyword = match cursor.bump() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match cursor.bump() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if cursor.at_punct('<') {
+        return Err(format!(
+            "vendored serde derive does not support generics (type `{name}`)"
+        ));
+    }
+
+    let data = match keyword.as_str() {
+        "struct" => match cursor.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "vendored serde derive does not support tuple structs (type `{name}`)"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match cursor.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream(), &name)?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+
+    Ok(Container {
+        name,
+        try_from,
+        into,
+        data,
+    })
+}
+
+/// Parse `#[serde(try_from = "T", into = "T")]`; ignore non-serde attrs.
+fn parse_serde_attr(
+    attr: TokenStream,
+    try_from: &mut Option<String>,
+    into: &mut Option<String>,
+) -> Result<(), String> {
+    let mut cursor = Cursor::new(attr);
+    if !cursor.at_ident("serde") {
+        return Ok(()); // doc comment, derive list, etc.
+    }
+    cursor.pos += 1;
+    let inner = match cursor.bump() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return Err("malformed #[serde(...)] attribute".to_string()),
+    };
+    let mut cursor = Cursor::new(inner);
+    while let Some(tok) = cursor.bump() {
+        let key = match tok {
+            TokenTree::Ident(i) => i.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => continue,
+            other => return Err(format!("unsupported serde attribute token {other:?}")),
+        };
+        if !cursor.at_punct('=') {
+            return Err(format!(
+                "vendored serde derive does not support `#[serde({key})]`"
+            ));
+        }
+        cursor.pos += 1;
+        let value = match cursor.bump() {
+            Some(TokenTree::Literal(l)) => {
+                let s = l.to_string();
+                s.trim_matches('"').to_string()
+            }
+            other => return Err(format!("expected string literal, found {other:?}")),
+        };
+        match key.as_str() {
+            "try_from" => *try_from = Some(value),
+            "into" => *into = Some(value),
+            other => {
+                return Err(format!(
+                    "vendored serde derive does not support `#[serde({other} = ...)]`"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parse `name: Type, ...` named fields, skipping attributes and visibility.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut cursor = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        while cursor.eat_attribute().is_some() {}
+        if cursor.peek().is_none() {
+            break;
+        }
+        cursor.eat_visibility();
+        let field = match cursor.bump() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        if !cursor.at_punct(':') {
+            return Err(format!("expected `:` after field `{field}`"));
+        }
+        cursor.pos += 1;
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = cursor.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    cursor.pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            cursor.pos += 1;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream, enum_name: &str) -> Result<Vec<Variant>, String> {
+    let mut cursor = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        while cursor.eat_attribute().is_some() {}
+        if cursor.peek().is_none() {
+            break;
+        }
+        let name = match cursor.bump() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let fields = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                cursor.pos += 1;
+                Some(parse_named_fields(stream)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "vendored serde derive does not support tuple variants \
+                     (`{enum_name}::{name}`)"
+                ));
+            }
+            _ => None,
+        };
+        if cursor.at_punct('=') {
+            return Err(format!(
+                "vendored serde derive does not support explicit discriminants \
+                 (`{enum_name}::{name}`)"
+            ));
+        }
+        if cursor.at_punct(',') {
+            cursor.pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    if let Some(proxy) = &c.into {
+        return format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     let __proxy: {proxy} = \
+                         ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+                     ::serde::Serialize::to_value(&__proxy)\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &c.data {
+        Data::UnitStruct => "::serde::Value::Null".to_string(),
+        Data::NamedStruct(fields) => object_expr(fields, |f| format!("&self.{f}")),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    Some(fields) => {
+                        let bindings = fields.join(", ");
+                        let inner = object_expr(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {bindings} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), {inner})]),\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// `Value::Object(vec![("f", to_value(<access(f)>)), ...])`.
+fn object_expr(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let mut entries = String::new();
+    for f in fields {
+        let expr = access(f);
+        entries.push_str(&format!(
+            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({expr})),"
+        ));
+    }
+    format!("::serde::Value::Object(::std::vec![{entries}])")
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    if let Some(proxy) = &c.try_from {
+        return format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     let __proxy: {proxy} = ::serde::Deserialize::from_value(__value)?;\n\
+                     ::std::convert::TryFrom::try_from(__proxy)\
+                         .map_err(::serde::DeError::custom)\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &c.data {
+        Data::UnitStruct => format!(
+            "match __value {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 __other => ::std::result::Result::Err(\
+                     ::serde::DeError::type_mismatch(\"null\", __other)),\n\
+             }}"
+        ),
+        Data::NamedStruct(fields) => {
+            let inits = field_inits(name, name, fields);
+            format!(
+                "let __obj = __value.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected object for `{name}`\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Data::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// `f: match __field(__obj, "f") {...}, ...` initializers for a struct or
+/// struct-variant literal.
+fn field_inits(type_label: &str, _path: &str, fields: &[String]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        out.push_str(&format!(
+            "{f}: match ::serde::__field(__obj, \"{f}\") {{\n\
+                 ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                 ::std::option::Option::None => ::serde::Deserialize::missing()\
+                     .ok_or_else(|| ::serde::DeError::custom(\
+                         \"missing field `{f}` in `{type_label}`\"))?,\n\
+             }},\n"
+        ));
+    }
+    out
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            None => unit_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+            )),
+            Some(fields) => {
+                let inits = field_inits(&format!("{name}::{vname}"), name, fields);
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                         let __obj = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\
+                                 \"expected object body for `{name}::{vname}`\"))?;\n\
+                         ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "match __value {{\n\
+             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+             }},\n\
+             ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 let _ = __inner;\n\
+                 match __tag.as_str() {{\n\
+                     {tagged_arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         ::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                 }}\n\
+             }}\n\
+             __other => ::std::result::Result::Err(\
+                 ::serde::DeError::type_mismatch(\"variant of `{name}`\", __other)),\n\
+         }}"
+    )
+}

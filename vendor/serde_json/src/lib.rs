@@ -1,0 +1,151 @@
+//! Minimal, dependency-free stand-in for the parts of `serde_json` this
+//! workspace uses: `to_string`, `to_string_pretty`, `from_str`, and the
+//! [`Value`] tree (re-exported from the vendored `serde`).
+//!
+//! Floats are emitted via Rust's shortest-roundtrip formatting, so
+//! `2.5 -> "2.5"` and values survive a serialize/parse round trip exactly
+//! (the upstream `float_roundtrip` feature's guarantee).
+
+pub use serde::{Number, Value};
+
+mod read;
+mod write;
+
+pub use read::from_str_value;
+
+/// Error produced by JSON serialization or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Result alias matching upstream's shape.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the value contains a non-finite float (JSON has
+/// no representation for `NaN`/`inf`).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    write::compact(&value.to_value())
+}
+
+/// Serialize `value` as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Returns [`Error`] when the value contains a non-finite float.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    write::pretty(&value.to_value())
+}
+
+/// Parse a JSON document into `T`.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or when the document's shape does
+/// not fit `T`.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T> {
+    let value = read::from_str_value(input)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_roundtrip_shortest() {
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&5.0f64).unwrap(), "5.0");
+        assert_eq!(to_string(&0.1f64).unwrap(), "0.1");
+        let x: f64 = from_str("0.1").unwrap();
+        assert_eq!(x, 0.1);
+    }
+
+    #[test]
+    fn nan_is_an_error() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = "a\"b\\c\nd\te\u{1}";
+        let json = to_string(&s).unwrap();
+        assert_eq!(json, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn object_roundtrip_preserves_order() {
+        let v = Value::Object(vec![
+            ("b".into(), Value::Number(Number::PosInt(1))),
+            (
+                "a".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
+        ]);
+        let compact = to_string(&v).unwrap();
+        assert_eq!(compact, "{\"b\":1,\"a\":[null,true]}");
+        let back: Value = from_str(&compact).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let v = Value::Object(vec![("k".into(), Value::Array(vec![Value::Bool(false)]))]);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "{\n  \"k\": [\n    false\n  ]\n}");
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let v: Value = from_str(" { \"x\" : [ 1 , -2.5e1 , \"\\u0041\" ] } ").unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj[0].0, "x");
+        let arr = obj[0].1.as_array().unwrap();
+        assert_eq!(arr[0], Value::Number(Number::PosInt(1)));
+        assert_eq!(arr[1], Value::Number(Number::Float(-25.0)));
+        assert_eq!(arr[2], Value::String("A".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+    }
+}
