@@ -1,0 +1,157 @@
+//! Telemetry overhead smoke check (not a criterion bench).
+//!
+//! Measures the engine at rack scale in three configurations — the plain
+//! `simulate` entry point, `simulate_traced` with disabled ([`Noop`])
+//! telemetry, and `simulate_traced` with a live in-memory recorder — and
+//! enforces the zero-cost-when-disabled contract: the Noop path must stay
+//! within 5 % of the plain path. Results land in `BENCH_telemetry.json`
+//! at the workspace root so CI can archive the trend.
+//!
+//! Run with `--quick` for a reduced-scale CI smoke pass.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use sprint_sim::engine::{simulate, simulate_traced, SimConfig};
+use sprint_sim::policies::Greedy;
+use sprint_sim::telemetry::Telemetry;
+use sprint_workloads::generator::Population;
+use sprint_workloads::Benchmark;
+
+/// Maximum tolerated slowdown of the disabled-telemetry path.
+const MAX_NOOP_OVERHEAD: f64 = 0.05;
+
+struct Scale {
+    agents: usize,
+    epochs: usize,
+    reps: usize,
+}
+
+fn measure(scale: &Scale, mut run: impl FnMut(&SimConfig) -> f64) -> (u64, f64) {
+    let population = Population::homogeneous(Benchmark::DecisionTree, scale.agents).unwrap();
+    let game = sprint_game::GameConfig::builder()
+        .n_agents(scale.agents as u32)
+        .n_min(scale.agents as f64 * 0.25)
+        .n_max(scale.agents as f64 * 0.75)
+        .build()
+        .unwrap();
+    let config = SimConfig::new(game, scale.epochs, 7).unwrap();
+    // One warm-up rep, then take the minimum: the most noise-robust
+    // estimator for "how fast can this go".
+    let _ = population.spawn_streams(7).unwrap();
+    let mut best = u64::MAX;
+    let mut tasks = 0.0;
+    for _ in 0..scale.reps {
+        let started = Instant::now();
+        tasks = run(&config);
+        best = best.min(started.elapsed().as_nanos() as u64);
+    }
+    (best, tasks)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        Scale {
+            agents: 200,
+            epochs: 100,
+            reps: 5,
+        }
+    } else {
+        Scale {
+            agents: 1000,
+            epochs: 200,
+            reps: 9,
+        }
+    };
+
+    let population = Population::homogeneous(Benchmark::DecisionTree, scale.agents).unwrap();
+    let (plain_nanos, plain_tasks) = measure(&scale, |config| {
+        let mut streams = population.spawn_streams(7).unwrap();
+        let r = simulate(black_box(config), &mut streams, &mut Greedy::new()).unwrap();
+        r.total_tasks()
+    });
+    let (noop_nanos, noop_tasks) = measure(&scale, |config| {
+        let mut streams = population.spawn_streams(7).unwrap();
+        let mut telemetry = Telemetry::disabled();
+        let r = simulate_traced(
+            black_box(config),
+            &mut streams,
+            &mut Greedy::new(),
+            &mut telemetry,
+        )
+        .unwrap();
+        r.total_tasks()
+    });
+    let (enabled_nanos, enabled_tasks) = measure(&scale, |config| {
+        let mut streams = population.spawn_streams(7).unwrap();
+        let mut telemetry = Telemetry::in_memory();
+        let r = simulate_traced(
+            black_box(config),
+            &mut streams,
+            &mut Greedy::new(),
+            &mut telemetry,
+        )
+        .unwrap();
+        r.total_tasks()
+    });
+
+    assert_eq!(
+        plain_tasks.to_bits(),
+        noop_tasks.to_bits(),
+        "disabled telemetry must not perturb throughput"
+    );
+    assert_eq!(
+        plain_tasks.to_bits(),
+        enabled_tasks.to_bits(),
+        "enabled telemetry must not perturb throughput"
+    );
+
+    let noop_overhead = noop_nanos as f64 / plain_nanos as f64 - 1.0;
+    let enabled_overhead = enabled_nanos as f64 / plain_nanos as f64 - 1.0;
+    println!(
+        "telemetry smoke ({} agents x {} epochs, min of {} reps)",
+        scale.agents, scale.epochs, scale.reps
+    );
+    println!("  plain    {:>12} ns", plain_nanos);
+    println!(
+        "  noop     {:>12} ns  ({:+.2}%)",
+        noop_nanos,
+        noop_overhead * 100.0
+    );
+    println!(
+        "  enabled  {:>12} ns  ({:+.2}%)",
+        enabled_nanos,
+        enabled_overhead * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"agents\": {},\n  \"epochs\": {},\n  \"reps\": {},\n  \
+         \"plain_nanos\": {},\n  \"noop_nanos\": {},\n  \"enabled_nanos\": {},\n  \
+         \"noop_overhead\": {:.6},\n  \"enabled_overhead\": {:.6},\n  \
+         \"max_noop_overhead\": {MAX_NOOP_OVERHEAD}\n}}\n",
+        scale.agents,
+        scale.epochs,
+        scale.reps,
+        plain_nanos,
+        noop_nanos,
+        enabled_nanos,
+        noop_overhead,
+        enabled_overhead
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_telemetry.json");
+    std::fs::write(&out, json).expect("write BENCH_telemetry.json");
+    println!("  snapshot {}", out.display());
+
+    if noop_overhead > MAX_NOOP_OVERHEAD {
+        eprintln!(
+            "FAIL: disabled-telemetry overhead {:.2}% exceeds the {:.0}% budget",
+            noop_overhead * 100.0,
+            MAX_NOOP_OVERHEAD * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("PASS: disabled-telemetry overhead within budget");
+}

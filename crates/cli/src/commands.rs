@@ -6,8 +6,11 @@ use sprint_game::cooperative::CooperativeSearch;
 use sprint_game::{GameConfig, MeanFieldSolver};
 use sprint_power::rack::RackConfig;
 use sprint_sim::policy::PolicyKind;
-use sprint_sim::runner::{chaos_matrix, compare_policies, standard_fault_suite};
+use sprint_sim::runner::{chaos_matrix_profiled, compare_policies, standard_fault_suite};
 use sprint_sim::scenario::Scenario;
+use sprint_sim::telemetry::{
+    Event, EventKind, JsonlWriter, MetricsSnapshot, SpanProfile, SpanReport, Telemetry,
+};
 use sprint_workloads::Benchmark;
 
 use crate::args::{ArgError, ParsedArgs};
@@ -51,9 +54,14 @@ USAGE:
                        [--p-cooling P] [--p-recovery P] [--discount D] [--json true]
   sprint simulate      --benchmark <name> --policy <g|e-b|e-t|c-t>
                        [--agents N] [--epochs E] [--seed S] [--json true]
+                       [--telemetry true]
+  sprint trace         --benchmark <name> [--policy P] [--agents N] [--epochs E]
+                       [--seed S] [--decisions true] [--out FILE.jsonl]
+  sprint report        --benchmark <name> [--policy P] [--agents N] [--epochs E]
+                       [--seed S] [--json true]
   sprint compare       --benchmark <name> [--agents N] [--epochs E] [--seeds K]
   sprint chaos         --benchmark <name> [--agents N] [--epochs E] [--seeds K]
-                       [--fault-seed S] [--json true]
+                       [--fault-seed S] [--json true] [--telemetry true]
   sprint cluster       --benchmark <name> [--racks K] [--agents-per-rack N]
                        [--epochs E] [--facility-n-min X] [--facility-n-max X]
                        [--seed S] [--json true]
@@ -171,6 +179,43 @@ pub fn solve(args: &ParsedArgs) -> Result<(), CliError> {
 }
 
 #[derive(Serialize)]
+struct TelemetrySection {
+    events: usize,
+    metrics: MetricsSnapshot,
+    spans: SpanReport,
+}
+
+fn print_telemetry_section(section: &TelemetrySection) {
+    println!("telemetry           {} events recorded", section.events);
+    for (name, value) in &section.metrics.counters {
+        println!("  counter {name:<28} {value}");
+    }
+    for (name, value) in &section.metrics.gauges {
+        println!("  gauge   {name:<28} {value:.4}");
+    }
+    print_span_table(&section.spans);
+}
+
+fn print_span_table(spans: &SpanReport) {
+    if spans.spans.is_empty() {
+        return;
+    }
+    println!(
+        "  {:<22} {:>8} {:>12} {:>12}",
+        "span", "count", "mean µs", "max µs"
+    );
+    for (name, stats) in &spans.spans {
+        println!(
+            "  {:<22} {:>8} {:>12.1} {:>12.1}",
+            name,
+            stats.count,
+            stats.mean_nanos() / 1_000.0,
+            stats.max_nanos as f64 / 1_000.0
+        );
+    }
+}
+
+#[derive(Serialize)]
 struct SimulateReport {
     benchmark: &'static str,
     policy: String,
@@ -181,20 +226,43 @@ struct SimulateReport {
     trips: u32,
     mean_sprinters: f64,
     occupancy_active_cooling_recovery_sprint: [f64; 4],
+    telemetry: Option<TelemetrySection>,
 }
 
 /// `sprint simulate`: one policy, one seed.
 pub fn simulate(args: &ParsedArgs) -> Result<(), CliError> {
-    args.expect_only(&["benchmark", "policy", "agents", "epochs", "seed", "json"])?;
+    args.expect_only(&[
+        "benchmark",
+        "policy",
+        "agents",
+        "epochs",
+        "seed",
+        "json",
+        "telemetry",
+    ])?;
     let benchmark = parse_benchmark(args)?;
     let policy = parse_policy(&args.get_or("policy", "e-t"))?;
     let agents: u32 = args.get_parsed("agents", 1000)?;
     let epochs: usize = args.get_parsed("epochs", 600)?;
     let seed: u64 = args.get_parsed("seed", 1)?;
     let json = args.get_bool("json", false)?;
+    let with_telemetry = args.get_bool("telemetry", false)?;
 
     let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
-    let result = scenario.run(policy, seed).map_err(run_err)?;
+    let (result, telemetry) = if with_telemetry {
+        let mut kit = Telemetry::in_memory();
+        let result = scenario
+            .run_traced(policy, seed, &mut kit)
+            .map_err(run_err)?;
+        let section = TelemetrySection {
+            events: kit.events().map_or(0, <[Event]>::len),
+            metrics: kit.registry.snapshot(),
+            spans: kit.spans.report(),
+        };
+        (result, Some(section))
+    } else {
+        (scenario.run(policy, seed).map_err(run_err)?, None)
+    };
     let report = SimulateReport {
         benchmark: benchmark.name(),
         policy: policy.to_string(),
@@ -205,6 +273,7 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), CliError> {
         trips: result.trips(),
         mean_sprinters: result.mean_sprinters(),
         occupancy_active_cooling_recovery_sprint: result.occupancy().fractions(),
+        telemetry,
     };
     emit(json, &report, || {
         println!(
@@ -222,6 +291,174 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), CliError> {
             o[2] * 100.0,
             o[3] * 100.0
         );
+        if let Some(section) = &report.telemetry {
+            print_telemetry_section(section);
+        }
+    })
+}
+
+/// `sprint trace`: stream one run's structured events as JSON Lines.
+///
+/// Events carry simulation-time data only, so two traces of the same
+/// scenario and seed are byte-identical. The per-agent decision firehose
+/// (`SprintDecision`, one event per agent per epoch) is excluded unless
+/// `--decisions true`.
+pub fn trace(args: &ParsedArgs) -> Result<(), CliError> {
+    args.expect_only(&[
+        "benchmark",
+        "policy",
+        "agents",
+        "epochs",
+        "seed",
+        "decisions",
+        "out",
+    ])?;
+    let benchmark = parse_benchmark(args)?;
+    let policy = parse_policy(&args.get_or("policy", "e-t"))?;
+    let agents: u32 = args.get_parsed("agents", 1000)?;
+    let epochs: usize = args.get_parsed("epochs", 600)?;
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let decisions = args.get_bool("decisions", false)?;
+    let out = args.get("out");
+
+    let writer: Box<dyn std::io::Write + Send> = match out {
+        Some(path) => Box::new(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(run_err)?,
+        )),
+        None => Box::new(std::io::stdout()),
+    };
+    let mut jsonl = JsonlWriter::new(writer);
+    if !decisions {
+        jsonl = jsonl.without(EventKind::SprintDecision);
+    }
+    // Deterministic clock: span timings stay out of the byte-reproducible
+    // event stream either way, but the trace itself must not depend on
+    // wall time.
+    let mut telemetry = Telemetry::new(Box::new(jsonl), SpanProfile::deterministic());
+    let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
+    scenario
+        .run_traced(policy, seed, &mut telemetry)
+        .map_err(run_err)?;
+    if let Some(path) = out {
+        let epochs_seen = telemetry
+            .registry
+            .counter_value("engine.epochs")
+            .unwrap_or(0);
+        println!("trace of {epochs_seen} epochs written to {path}");
+    }
+    Ok(())
+}
+
+#[derive(Serialize)]
+struct RunReport {
+    benchmark: &'static str,
+    policy: String,
+    agents: u32,
+    epochs: usize,
+    seed: u64,
+    tasks_per_agent_epoch: f64,
+    trips: u32,
+    /// Algorithm 1's residual per iteration (empty for policies that do
+    /// not run the mean-field solve).
+    solver_residuals: Vec<f64>,
+    metrics: MetricsSnapshot,
+    spans: SpanReport,
+}
+
+/// `sprint report`: one traced run distilled into an observability
+/// report — solver convergence, per-epoch series, fault counters, and
+/// span timings — as text or JSON.
+pub fn report(args: &ParsedArgs) -> Result<(), CliError> {
+    args.expect_only(&["benchmark", "policy", "agents", "epochs", "seed", "json"])?;
+    let benchmark = parse_benchmark(args)?;
+    let policy = parse_policy(&args.get_or("policy", "e-t"))?;
+    let agents: u32 = args.get_parsed("agents", 1000)?;
+    let epochs: usize = args.get_parsed("epochs", 600)?;
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let json = args.get_bool("json", false)?;
+
+    let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
+    let mut telemetry = Telemetry::in_memory();
+    let result = scenario
+        .run_traced(policy, seed, &mut telemetry)
+        .map_err(run_err)?;
+    let solver_residuals: Vec<f64> = telemetry
+        .events()
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|e| match e {
+            Event::SolverIteration { residual, .. } => Some(*residual),
+            _ => None,
+        })
+        .collect();
+    let run_report = RunReport {
+        benchmark: benchmark.name(),
+        policy: policy.to_string(),
+        agents,
+        epochs,
+        seed,
+        tasks_per_agent_epoch: result.tasks_per_agent_epoch(),
+        trips: result.trips(),
+        solver_residuals,
+        metrics: telemetry.registry.snapshot(),
+        spans: telemetry.spans.report(),
+    };
+    emit(json, &run_report, || {
+        println!(
+            "{} on {} x {} for {} epochs (seed {})",
+            run_report.policy,
+            run_report.agents,
+            run_report.benchmark,
+            run_report.epochs,
+            run_report.seed
+        );
+        println!(
+            "tasks/agent-epoch   {:.4}",
+            run_report.tasks_per_agent_epoch
+        );
+        println!("power emergencies   {}", run_report.trips);
+        if run_report.solver_residuals.is_empty() {
+            println!("solver              (no offline mean-field solve for this policy)");
+        } else {
+            let last = run_report.solver_residuals.last().copied().unwrap_or(0.0);
+            println!(
+                "solver              {} iterations, final residual {last:.3e}",
+                run_report.solver_residuals.len()
+            );
+            let curve: Vec<String> = run_report
+                .solver_residuals
+                .iter()
+                .take(8)
+                .map(|r| format!("{r:.2e}"))
+                .collect();
+            println!("residual curve      {}{}", curve.join(" "), {
+                if run_report.solver_residuals.len() > 8 {
+                    " ..."
+                } else {
+                    ""
+                }
+            });
+        }
+        for name in ["engine.sprinters", "engine.tasks", "engine.tripped"] {
+            if let Some(series) = run_report.metrics.series.get(name) {
+                let mean = series.iter().sum::<f64>() / series.len().max(1) as f64;
+                let max = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                println!(
+                    "series {name:<19} {} samples, mean {mean:.3}, max {max:.3}",
+                    series.len()
+                );
+            }
+        }
+        let fault_counters: Vec<(&String, &u64)> = run_report
+            .metrics
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("faults."))
+            .collect();
+        for (name, value) in fault_counters {
+            println!("fault counter       {name:<22} {value}");
+        }
+        print_span_table(&run_report.spans);
     })
 }
 
@@ -271,6 +508,7 @@ pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
         "seeds",
         "fault-seed",
         "json",
+        "telemetry",
     ])?;
     let benchmark = parse_benchmark(args)?;
     let agents: u32 = args.get_parsed("agents", 1000)?;
@@ -278,6 +516,7 @@ pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
     let n_seeds: u64 = args.get_parsed("seeds", 2)?;
     let fault_seed: u64 = args.get_parsed("fault-seed", 17)?;
     let json = args.get_bool("json", false)?;
+    let with_telemetry = args.get_bool("telemetry", false)?;
     if n_seeds == 0 {
         return Err(ArgError("--seeds must be at least 1".into()).into());
     }
@@ -285,7 +524,23 @@ pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
     let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
     let plans = standard_fault_suite(fault_seed);
     let seeds: Vec<u64> = (1..=n_seeds).collect();
-    let report = chaos_matrix(&scenario, &PolicyKind::ALL, &plans, &seeds).map_err(run_err)?;
+    let mut spans = SpanProfile::monotonic();
+    let report = chaos_matrix_profiled(&scenario, &PolicyKind::ALL, &plans, &seeds, &mut spans)
+        .map_err(run_err)?;
+    if json && with_telemetry {
+        #[derive(Serialize)]
+        struct ChaosWithSpans {
+            report: sprint_sim::runner::ChaosReport,
+            spans: SpanReport,
+        }
+        let combined = ChaosWithSpans {
+            report: report.clone(),
+            spans: spans.report(),
+        };
+        let s = serde_json::to_string_pretty(&combined).map_err(run_err)?;
+        println!("{s}");
+        return Ok(());
+    }
     emit(json, &report, || {
         println!(
             "chaos matrix: {} x {} agents, {} epochs, {} seed(s), fault seed {}",
@@ -309,6 +564,9 @@ pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
                 cell.trips,
                 cell.faults.crashes
             );
+        }
+        if with_telemetry {
+            print_span_table(&spans.report());
         }
     })
 }
@@ -444,6 +702,8 @@ pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
     match args.command() {
         "solve" => solve(args),
         "simulate" => simulate(args),
+        "trace" => trace(args),
+        "report" => report(args),
         "compare" => compare(args),
         "chaos" => chaos(args),
         "cluster" => cluster(args),
@@ -529,6 +789,132 @@ mod tests {
             "true",
         ]);
         assert!(simulate(&args).is_ok());
+    }
+
+    #[test]
+    fn simulate_with_telemetry_runs() {
+        let args = parsed(&[
+            "simulate",
+            "--benchmark",
+            "svm",
+            "--policy",
+            "g",
+            "--agents",
+            "20",
+            "--epochs",
+            "10",
+            "--telemetry",
+            "true",
+        ]);
+        assert!(simulate(&args).is_ok());
+        let json = parsed(&[
+            "simulate",
+            "--benchmark",
+            "svm",
+            "--policy",
+            "g",
+            "--agents",
+            "20",
+            "--epochs",
+            "10",
+            "--telemetry",
+            "true",
+            "--json",
+            "true",
+        ]);
+        assert!(simulate(&json).is_ok());
+    }
+
+    #[test]
+    fn trace_writes_deterministic_jsonl() {
+        let dir = std::env::temp_dir();
+        let path_a = dir.join("sprint-trace-test-a.jsonl");
+        let path_b = dir.join("sprint-trace-test-b.jsonl");
+        for path in [&path_a, &path_b] {
+            let args = parsed(&[
+                "trace",
+                "--benchmark",
+                "svm",
+                "--policy",
+                "e-t",
+                "--agents",
+                "20",
+                "--epochs",
+                "15",
+                "--seed",
+                "3",
+                "--out",
+                path.to_str().unwrap(),
+            ]);
+            assert!(trace(&args).is_ok());
+        }
+        let a = std::fs::read(&path_a).unwrap();
+        let b = std::fs::read(&path_b).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "repeated traces must be byte-identical");
+        let text = String::from_utf8(a).unwrap();
+        assert!(text.lines().all(|l| l.starts_with('{') || !l.contains('{')));
+        assert!(text.contains("EpochTick"));
+        assert!(text.contains("SolverOutcome"));
+        assert!(!text.contains("SprintDecision"), "firehose is opt-in");
+        let _ = std::fs::remove_file(path_a);
+        let _ = std::fs::remove_file(path_b);
+    }
+
+    #[test]
+    fn trace_includes_decisions_on_request() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("sprint-trace-test-decisions.jsonl");
+        let args = parsed(&[
+            "trace",
+            "--benchmark",
+            "svm",
+            "--policy",
+            "g",
+            "--agents",
+            "5",
+            "--epochs",
+            "5",
+            "--decisions",
+            "true",
+            "--out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(trace(&args).is_ok());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("SprintDecision"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn report_runs_text_and_json() {
+        let args = parsed(&[
+            "report",
+            "--benchmark",
+            "svm",
+            "--policy",
+            "e-t",
+            "--agents",
+            "20",
+            "--epochs",
+            "15",
+        ]);
+        assert!(report(&args).is_ok());
+        let json = parsed(&[
+            "report",
+            "--benchmark",
+            "svm",
+            "--policy",
+            "g",
+            "--agents",
+            "20",
+            "--epochs",
+            "15",
+            "--json",
+            "true",
+        ]);
+        assert!(report(&json).is_ok());
+        assert!(report(&parsed(&["report"])).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! strategies form an equilibrium that agents self-enforce.
 
 use sprint_stats::density::DiscreteDensity;
+use sprint_telemetry::{Event, Noop, Recorder};
 
 use crate::config::GameConfig;
 use crate::meanfield::SolverOptions;
@@ -85,6 +86,23 @@ impl Coordinator {
     /// registered or counts do not sum to `N`, and
     /// [`GameError::NoEquilibrium`] when the solve fails.
     pub fn optimize(&self) -> crate::Result<StrategyAssignments> {
+        self.optimize_observed(&mut Noop)
+    }
+
+    /// [`Coordinator::optimize`], narrated through a telemetry recorder.
+    ///
+    /// Emits one [`Event::CoordinatorResolve`] summarizing the completed
+    /// solve (type count, iterations, residual, advertised trip
+    /// probability). With the [`Noop`] recorder this is exactly
+    /// `optimize`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Coordinator::optimize`].
+    pub fn optimize_observed(
+        &self,
+        recorder: &mut dyn Recorder,
+    ) -> crate::Result<StrategyAssignments> {
         if self.profiles.is_empty() {
             return Err(GameError::InvalidParameter {
                 name: "profiles",
@@ -94,6 +112,15 @@ impl Coordinator {
         }
         let equilibrium =
             MultiSolver::with_options(self.config, self.options).solve(&self.profiles)?;
+        if recorder.enabled() {
+            recorder.record(&Event::CoordinatorResolve {
+                types: self.profiles.len(),
+                converged: true,
+                iterations: equilibrium.iterations(),
+                residual: equilibrium.residual(),
+                trip_probability: equilibrium.trip_probability(),
+            });
+        }
         Ok(StrategyAssignments { equilibrium })
     }
 }
@@ -187,6 +214,32 @@ mod tests {
         assert!(assignments.strategy_for("nosuch").is_none());
         assert_eq!(assignments.iter().count(), 2);
         assert!((0.0..=1.0).contains(&assignments.trip_probability()));
+    }
+
+    #[test]
+    fn observed_optimize_emits_a_resolve_event() {
+        use sprint_telemetry::{EventKind, InMemory, Recorder as _};
+
+        let mut c = Coordinator::new(GameConfig::paper_defaults());
+        c.register_profile("svm", Benchmark::Svm.utility_density(256).unwrap(), 1000);
+        let mut rec = InMemory::new();
+        let assignments = c.optimize_observed(&mut rec).unwrap();
+        let events = rec.events().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind(), EventKind::CoordinatorResolve);
+        match &events[0] {
+            Event::CoordinatorResolve {
+                types,
+                converged,
+                trip_probability,
+                ..
+            } => {
+                assert_eq!(*types, 1);
+                assert!(*converged);
+                assert!((trip_probability - assignments.trip_probability()).abs() < 1e-15);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub enum GameError {
         best_trip_probability: f64,
         /// Safe threshold: never sprint above the `N_min/N` margin.
         fallback_threshold: f64,
+        /// Fixed-point residual of every outer iteration, in order, across
+        /// all damping escalations — the full convergence curve, so a
+        /// failed solve is diagnosable (plateau vs. oscillation) without
+        /// re-running it instrumented.
+        residual_history: Vec<f64>,
     },
     /// An underlying statistics operation failed.
     Stats(StatsError),
@@ -76,13 +81,15 @@ impl fmt::Display for GameError {
                 residual,
                 best_threshold,
                 fallback_threshold,
+                residual_history,
                 ..
             } => write!(
                 f,
                 "mean-field iteration did not converge after {iterations} steps across \
                  every damping escalation (best residual {residual:e}, best threshold \
-                 {best_threshold:.4}); conservative fallback threshold \
-                 {fallback_threshold:.4} is available"
+                 {best_threshold:.4}, {} residuals recorded); conservative fallback \
+                 threshold {fallback_threshold:.4} is available",
+                residual_history.len()
             ),
             GameError::Stats(e) => write!(f, "statistics error: {e}"),
             GameError::Workload(e) => write!(f, "workload error: {e}"),

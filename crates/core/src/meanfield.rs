@@ -18,6 +18,7 @@
 //! fixed point exists.
 
 use sprint_stats::density::DiscreteDensity;
+use sprint_telemetry::{Event, EventKind, Noop, Recorder};
 
 use crate::bellman::{self, BellmanMethod};
 use crate::config::GameConfig;
@@ -125,22 +126,63 @@ impl MeanFieldSolver {
     /// expected sprinters below `N_min` (the breaker's never-trip region,
     /// §2.2), so callers can degrade gracefully instead of aborting.
     pub fn solve(&self, density: &DiscreteDensity) -> crate::Result<Equilibrium> {
+        self.solve_observed(density, &mut Noop)
+    }
+
+    /// [`MeanFieldSolver::solve`], narrated through a telemetry recorder.
+    ///
+    /// Emits one [`Event::SolverIteration`] per outer iteration (damping,
+    /// residual, and both trip probabilities), [`Event::SolverEscalation`]
+    /// at each damping change, [`Event::SolverBisection`] when the
+    /// fixed-point iteration gives way to bisection, and a final
+    /// [`Event::SolverOutcome`]. With the [`Noop`] recorder this is
+    /// exactly `solve`: emission is gated on [`Recorder::enabled`], so no
+    /// events are constructed and the iteration arithmetic is untouched.
+    ///
+    /// # Errors
+    ///
+    /// As [`MeanFieldSolver::solve`]; the [`GameError::NonConvergence`]
+    /// it returns carries the full residual history.
+    pub fn solve_observed(
+        &self,
+        density: &DiscreteDensity,
+        recorder: &mut dyn Recorder,
+    ) -> crate::Result<Equilibrium> {
         // Escalation schedule: the configured damping first, then
         // progressively heavier averaging.
         const ESCALATION: [f64; 4] = [0.5, 0.25, 0.1, 0.02];
+        let on = recorder.enabled();
+        let want_iter = on && recorder.wants(EventKind::SolverIteration);
         let mut total_iterations = 0usize;
         let mut best: Option<(f64, f64, f64)> = None; // (residual, p, threshold)
-        let attempt = |damping: f64,
-                       max_iterations: usize,
-                       total: &mut usize,
-                       best: &mut Option<(f64, f64, f64)>|
+        let mut history: Vec<f64> = Vec::new();
+        let mut attempt_idx = 0u32;
+        let mut attempt = |damping: f64,
+                           max_iterations: usize,
+                           total: &mut usize,
+                           best: &mut Option<(f64, f64, f64)>,
+                           history: &mut Vec<f64>,
+                           recorder: &mut dyn Recorder|
          -> crate::Result<Option<Equilibrium>> {
+            let attempt_no = attempt_idx;
+            attempt_idx += 1;
             // Algorithm 1: start from certain tripping.
             let mut p = 1.0f64;
             for _ in 0..max_iterations {
                 let (sol, dist, implied) = self.respond(density, p)?;
                 *total += 1;
                 let residual = (implied - p).abs();
+                history.push(residual);
+                if want_iter {
+                    recorder.record(&Event::SolverIteration {
+                        attempt: attempt_no,
+                        iteration: *total,
+                        damping,
+                        p_trip: p,
+                        implied,
+                        residual,
+                    });
+                }
                 if best.is_none_or(|(r, _, _)| residual < r) {
                     *best = Some((residual, p, sol.threshold));
                 }
@@ -159,36 +201,74 @@ impl MeanFieldSolver {
             Ok(None)
         };
 
+        let outcome = |recorder: &mut dyn Recorder, eq: &Equilibrium| {
+            if recorder.enabled() {
+                recorder.record(&Event::SolverOutcome {
+                    converged: true,
+                    iterations: eq.iterations,
+                    residual: eq.residual,
+                    threshold: eq.threshold,
+                });
+            }
+        };
+
         if let Some(eq) = attempt(
             self.options.damping,
             self.options.max_iterations,
             &mut total_iterations,
             &mut best,
+            &mut history,
+            recorder,
         )? {
+            outcome(recorder, &eq);
             return Ok(eq);
         }
         for damping in ESCALATION {
             if damping == self.options.damping {
                 continue;
             }
+            if on {
+                recorder.record(&Event::SolverEscalation { damping });
+            }
             let retry_iterations = self.options.max_iterations.max(200);
-            if let Some(eq) = attempt(damping, retry_iterations, &mut total_iterations, &mut best)?
-            {
+            if let Some(eq) = attempt(
+                damping,
+                retry_iterations,
+                &mut total_iterations,
+                &mut best,
+                &mut history,
+                recorder,
+            )? {
+                outcome(recorder, &eq);
                 return Ok(eq);
             }
         }
         // Bisection fallback on g(p) = implied(p) − p, which brackets a
         // root on [0, 1] whenever the response map is continuous.
+        if on {
+            recorder.record(&Event::SolverBisection);
+        }
         if let Some(eq) = self.bisect(density) {
+            outcome(recorder, &eq);
             return Ok(eq);
         }
         let (residual, best_p, best_threshold) = best.unwrap_or((f64::INFINITY, 1.0, 0.0));
+        let fallback_threshold = self.conservative_threshold(density);
+        if on {
+            recorder.record(&Event::SolverOutcome {
+                converged: false,
+                iterations: total_iterations,
+                residual,
+                threshold: fallback_threshold,
+            });
+        }
         Err(GameError::NonConvergence {
             iterations: total_iterations,
             residual,
             best_threshold,
             best_trip_probability: best_p,
-            fallback_threshold: self.conservative_threshold(density),
+            fallback_threshold,
+            residual_history: history,
         })
     }
 
@@ -552,6 +632,7 @@ mod robustness_tests {
             best_threshold: 2.1,
             best_trip_probability: 0.45,
             fallback_threshold: 6.25,
+            residual_history: vec![0.9, 0.61, 0.37],
         };
         let msg = err.to_string();
         assert!(
@@ -559,14 +640,76 @@ mod robustness_tests {
             "message names the iteration budget: {msg}"
         );
         assert!(msg.contains("6.25"), "message names the fallback: {msg}");
+        assert!(
+            msg.contains("3 residuals"),
+            "message names the recorded history: {msg}"
+        );
         if let GameError::NonConvergence {
-            fallback_threshold, ..
+            fallback_threshold,
+            residual_history,
+            ..
         } = err
         {
             let strategy = ThresholdStrategy::new(fallback_threshold).unwrap();
             assert!(!strategy.should_sprint(6.25));
+            assert_eq!(residual_history.last(), Some(&0.37));
         } else {
             unreachable!();
         }
+    }
+
+    #[test]
+    fn observed_solve_matches_plain_solve_and_narrates() {
+        use sprint_telemetry::{EventKind, InMemory, Recorder as _};
+
+        let cfg = GameConfig::paper_defaults();
+        let d = Benchmark::Svm.utility_density(512).unwrap();
+        let solver = MeanFieldSolver::new(cfg);
+        let plain = solver.solve(&d).unwrap();
+        let mut rec = InMemory::new();
+        let observed = solver.solve_observed(&d, &mut rec).unwrap();
+        assert_eq!(plain, observed, "observation must not perturb the solve");
+
+        let events = rec.events().unwrap();
+        let iters = events
+            .iter()
+            .filter(|e| e.kind() == EventKind::SolverIteration)
+            .count();
+        assert_eq!(iters, observed.iterations(), "one event per iteration");
+        match events.last().unwrap() {
+            Event::SolverOutcome {
+                converged,
+                iterations,
+                residual,
+                ..
+            } => {
+                assert!(*converged);
+                assert_eq!(*iterations, observed.iterations());
+                assert!((*residual - observed.residual()).abs() < 1e-15);
+            }
+            other => panic!("last event must be the outcome, got {other:?}"),
+        }
+        // The per-iteration residuals form a usable convergence curve.
+        let last_residual = events
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                Event::SolverIteration { residual, .. } => Some(*residual),
+                _ => None,
+            })
+            .unwrap();
+        assert!(last_residual < 1e-9);
+    }
+
+    #[test]
+    fn observed_solve_with_noop_is_plain_solve() {
+        let cfg = GameConfig::paper_defaults();
+        let d = Benchmark::PageRank.utility_density(256).unwrap();
+        let solver = MeanFieldSolver::new(cfg);
+        let mut noop = sprint_telemetry::Noop;
+        assert_eq!(
+            solver.solve(&d).unwrap(),
+            solver.solve_observed(&d, &mut noop).unwrap()
+        );
     }
 }

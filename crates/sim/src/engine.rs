@@ -29,6 +29,9 @@ use sprint_game::trip::TripCurve;
 use sprint_game::{AgentState, GameConfig};
 use sprint_power::pcm::CurrentSensor;
 use sprint_stats::rng::seeded_rng;
+use sprint_telemetry::{
+    CounterId, Event, EventKind, FaultKind, HistogramId, Registry, SeriesId, Telemetry,
+};
 use sprint_workloads::phases::PhasedUtility;
 
 use crate::faults::{FaultMetrics, FaultPlan};
@@ -190,6 +193,42 @@ fn pre_trip_fraction(game: &GameConfig, n_sprinters: f64) -> f64 {
     (trip_s / EPOCH_REFERENCE_S).clamp(0.05, 1.0)
 }
 
+/// Registry handles for the engine's per-epoch metric updates, registered
+/// once before the hot loop so each update is a dense-vector index.
+struct EngineIds {
+    epochs: CounterId,
+    trips: CounterId,
+    sprinter_series: SeriesId,
+    task_series: SeriesId,
+    trip_series: SeriesId,
+    sprinter_hist: HistogramId,
+    faults: [CounterId; 6],
+}
+
+impl EngineIds {
+    fn register(reg: &mut Registry, n_agents: f64) -> Self {
+        let fault_ids = FaultKind::ALL.map(|kind| reg.counter(&format!("faults.{}", kind.name())));
+        // Sprinter-load buckets as fractions of the rack.
+        let bounds: Vec<f64> = [0.1, 0.25, 0.5, 0.75, 0.9, 1.0]
+            .iter()
+            .map(|f| f * n_agents)
+            .collect();
+        EngineIds {
+            epochs: reg.counter("engine.epochs"),
+            trips: reg.counter("engine.trips"),
+            sprinter_series: reg.series("engine.sprinters"),
+            task_series: reg.series("engine.tasks"),
+            trip_series: reg.series("engine.tripped"),
+            sprinter_hist: reg.histogram("engine.sprinter_load", &bounds),
+            faults: fault_ids,
+        }
+    }
+
+    fn fault(&self, kind: FaultKind) -> CounterId {
+        self.faults[kind as usize]
+    }
+}
+
 /// Run one simulation.
 ///
 /// `streams` supplies each agent's per-epoch sprint utility; `policy`
@@ -204,6 +243,33 @@ pub fn simulate(
     config: &SimConfig,
     streams: &mut [PhasedUtility],
     policy: &mut dyn SprintPolicy,
+) -> crate::Result<SimResult> {
+    simulate_traced(config, streams, policy, &mut Telemetry::disabled())
+}
+
+/// [`simulate`], narrated through a telemetry kit.
+///
+/// Emits [`Event::RunStart`]/[`Event::RunEnd`], one [`Event::EpochTick`]
+/// per epoch, [`Event::BreakerTrip`] on trips, [`Event::FaultInjected`]
+/// for every fault activation, and (when the recorder wants them)
+/// per-agent [`Event::SprintDecision`]s; maintains epoch-resolution
+/// series for sprinters, tasks, and trips plus per-fault-kind counters in
+/// the kit's registry; and times each epoch and decision sweep in the
+/// kit's span profile.
+///
+/// With a disabled kit this is exactly [`simulate`]: emission is gated on
+/// [`Telemetry::enabled`], the RNG streams are untouched, and the float
+/// accumulation order is identical, so results stay bit-identical with
+/// telemetry on, off, or absent.
+///
+/// # Errors
+///
+/// As [`simulate`].
+pub fn simulate_traced(
+    config: &SimConfig,
+    streams: &mut [PhasedUtility],
+    policy: &mut dyn SprintPolicy,
+    telemetry: &mut Telemetry,
 ) -> crate::Result<SimResult> {
     let n = config.game.n_agents() as usize;
     if streams.len() != n {
@@ -248,6 +314,23 @@ pub fn simulate(
     let p_cool_exit = 1.0 - config.game.p_cooling();
     let p_recover_exit = 1.0 - config.game.p_recovery();
 
+    // Telemetry gates, hoisted out of the hot loop: with a disabled kit
+    // every emission site below is one branch on `on`.
+    let on = telemetry.enabled();
+    let want_decisions = on && telemetry.wants(EventKind::SprintDecision);
+    let want_fault_events = on && telemetry.wants(EventKind::FaultInjected);
+    let want_trip_events = on && telemetry.wants(EventKind::BreakerTrip);
+    let ids =
+        on.then(|| EngineIds::register(&mut telemetry.registry, f64::from(config.game.n_agents())));
+    if on {
+        telemetry.emit(&Event::RunStart {
+            agents: config.game.n_agents(),
+            epochs: config.epochs,
+            seed: config.seed,
+            policy: policy.name().to_string(),
+        });
+    }
+
     let mut states = vec![AgentState::Active; n];
     // Epoch index before which a freshly woken agent may not sprint.
     let mut sprint_blocked_until = vec![0usize; n];
@@ -266,6 +349,10 @@ pub fn simulate(
     let mut sprinted = vec![false; n];
 
     for epoch in 0..config.epochs {
+        let epoch_span = on.then(|| telemetry.spans.start());
+        // Epoch throughput is reported as a delta so instrumentation never
+        // reorders the float accumulation below.
+        let tasks_before = total_tasks;
         // Phases advance in wall-clock time regardless of power state.
         let utilities: Vec<f64> = streams
             .iter_mut()
@@ -282,6 +369,16 @@ pub fn simulate(
                     if fault_rng.gen::<f64>() >= c.p_restart_stay {
                         crashed[i] = false;
                         faults.restarts += 1;
+                        if want_fault_events {
+                            telemetry.emit(&Event::FaultInjected {
+                                epoch,
+                                kind: FaultKind::Restart,
+                                agent: Some(i as u32),
+                            });
+                        }
+                        if let Some(ids) = &ids {
+                            telemetry.registry.inc(ids.fault(FaultKind::Restart), 1);
+                        }
                         sprint_blocked_until[i] =
                             (epoch + c.reacquire_epochs as usize).max(sprint_blocked_until[i]);
                         states[i] = if rack_recovering {
@@ -293,6 +390,16 @@ pub fn simulate(
                 } else if fault_rng.gen::<f64>() < c.crash_probability {
                     crashed[i] = true;
                     faults.crashes += 1;
+                    if want_fault_events {
+                        telemetry.emit(&Event::FaultInjected {
+                            epoch,
+                            kind: FaultKind::Crash,
+                            agent: Some(i as u32),
+                        });
+                    }
+                    if let Some(ids) = &ids {
+                        telemetry.registry.inc(ids.fault(FaultKind::Crash), 1);
+                    }
                     // Power drops with the machine: a stuck gate releases.
                     stuck[i] = false;
                 }
@@ -320,11 +427,32 @@ pub fn simulate(
                     sprint_blocked_until[i] = epoch + 1 + slot;
                 }
             }
+            if on {
+                let epoch_tasks = total_tasks - tasks_before;
+                telemetry.emit(&Event::EpochTick {
+                    epoch,
+                    sprinters: 0,
+                    stuck: 0,
+                    tripped: false,
+                    recovering: true,
+                    tasks: epoch_tasks,
+                });
+                if let Some(ids) = &ids {
+                    telemetry.registry.inc(ids.epochs, 1);
+                    telemetry.registry.push(ids.sprinter_series, 0.0);
+                    telemetry.registry.push(ids.task_series, epoch_tasks);
+                    telemetry.registry.push(ids.trip_series, 0.0);
+                }
+                if let Some(s) = epoch_span {
+                    telemetry.spans.end("engine.epoch", s);
+                }
+            }
             policy.epoch_end(false);
             continue;
         }
 
         // Decisions, on (possibly noisy) utility estimates.
+        let decide_span = on.then(|| telemetry.spans.start());
         let mut n_sprinters = 0u32;
         let mut n_stuck = 0u32;
         for i in 0..n {
@@ -346,9 +474,18 @@ pub fn simulate(
                         }
                     };
                     let may_sprint = epoch >= sprint_blocked_until[i];
-                    if may_sprint && policy.wants_sprint(i, estimate) {
+                    let sprint = may_sprint && policy.wants_sprint(i, estimate);
+                    if sprint {
                         sprinted[i] = true;
                         n_sprinters += 1;
+                    }
+                    if want_decisions {
+                        telemetry.emit(&Event::SprintDecision {
+                            epoch,
+                            agent: i as u32,
+                            estimate,
+                            sprint,
+                        });
                     }
                 }
                 AgentState::Cooling => {
@@ -368,6 +505,9 @@ pub fn simulate(
                 }
             }
         }
+        if let Some(s) = decide_span {
+            telemetry.spans.end("engine.decide", s);
+        }
         sprinters_per_epoch.push(n_sprinters);
 
         // Breaker: Equation 11 at what the breaker *measures*. With no
@@ -385,21 +525,63 @@ pub fn simulate(
                 let reading = sensor.measure(realized, z, fault_rng.gen());
                 if reading.dropped {
                     faults.sensor_dropouts += 1;
+                    if want_fault_events {
+                        telemetry.emit(&Event::FaultInjected {
+                            epoch,
+                            kind: FaultKind::SensorDropout,
+                            agent: None,
+                        });
+                    }
+                    if let Some(ids) = &ids {
+                        telemetry
+                            .registry
+                            .inc(ids.fault(FaultKind::SensorDropout), 1);
+                    }
                 }
                 reading.value
             }
         };
         let p_trip = actual_curve.p_trip(measured);
         let tripped = p_trip > 0.0 && rng.gen::<f64>() < p_trip;
+        if tripped && want_trip_events {
+            telemetry.emit(&Event::BreakerTrip {
+                epoch,
+                realized,
+                measured,
+                p_trip,
+            });
+        }
 
         // Divergence between the breaker's behavior and the nominal curve
         // the policies reason about.
         let nominal_p = trip_curve.p_trip(f64::from(n_sprinters));
         if tripped && nominal_p == 0.0 {
             faults.spurious_trips += 1;
+            if want_fault_events {
+                telemetry.emit(&Event::FaultInjected {
+                    epoch,
+                    kind: FaultKind::SpuriousTrip,
+                    agent: None,
+                });
+            }
+            if let Some(ids) = &ids {
+                telemetry
+                    .registry
+                    .inc(ids.fault(FaultKind::SpuriousTrip), 1);
+            }
         }
         if !tripped && nominal_p >= 1.0 {
             faults.missed_trips += 1;
+            if want_fault_events {
+                telemetry.emit(&Event::FaultInjected {
+                    epoch,
+                    kind: FaultKind::MissedTrip,
+                    agent: None,
+                });
+            }
+            if let Some(ids) = &ids {
+                telemetry.registry.inc(ids.fault(FaultKind::MissedTrip), 1);
+            }
         }
 
         // Throughput. Under the paper's UPS semantics sprints complete
@@ -443,6 +625,16 @@ pub fn simulate(
                         if let Some(s) = plan.stuck {
                             if fault_rng.gen::<f64>() < s.stick_probability {
                                 stuck[i] = true;
+                                if want_fault_events {
+                                    telemetry.emit(&Event::FaultInjected {
+                                        epoch,
+                                        kind: FaultKind::StuckGate,
+                                        agent: Some(i as u32),
+                                    });
+                                }
+                                if let Some(ids) = &ids {
+                                    telemetry.registry.inc(ids.fault(FaultKind::StuckGate), 1);
+                                }
                             }
                         }
                         AgentState::Cooling
@@ -467,10 +659,38 @@ pub fn simulate(
                 };
             }
         }
+        if on {
+            let epoch_tasks = total_tasks - tasks_before;
+            telemetry.emit(&Event::EpochTick {
+                epoch,
+                sprinters: n_sprinters,
+                stuck: n_stuck,
+                tripped,
+                recovering: false,
+                tasks: epoch_tasks,
+            });
+            if let Some(ids) = &ids {
+                telemetry.registry.inc(ids.epochs, 1);
+                if tripped {
+                    telemetry.registry.inc(ids.trips, 1);
+                }
+                telemetry
+                    .registry
+                    .push(ids.sprinter_series, f64::from(n_sprinters));
+                telemetry.registry.push(ids.task_series, epoch_tasks);
+                telemetry
+                    .registry
+                    .push(ids.trip_series, if tripped { 1.0 } else { 0.0 });
+                telemetry.registry.observe(ids.sprinter_hist, realized);
+            }
+            if let Some(s) = epoch_span {
+                telemetry.spans.end("engine.epoch", s);
+            }
+        }
         policy.epoch_end(tripped);
     }
 
-    Ok(SimResult {
+    let result = SimResult {
         n_agents: config.game.n_agents(),
         epochs: config.epochs,
         sprinters_per_epoch,
@@ -478,7 +698,18 @@ pub fn simulate(
         trips,
         occupancy,
         faults,
-    })
+    };
+    if on {
+        telemetry.emit(&Event::RunEnd { total_tasks, trips });
+        policy.export_metrics(&mut telemetry.registry);
+        let g = telemetry.registry.gauge("engine.tasks_per_agent_epoch");
+        telemetry.registry.set(g, result.tasks_per_agent_epoch());
+        let g = telemetry.registry.gauge("engine.trip_rate");
+        telemetry
+            .registry
+            .set(g, f64::from(trips) / config.epochs as f64);
+    }
+    Ok(result)
 }
 
 #[cfg(test)]

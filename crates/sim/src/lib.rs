@@ -43,7 +43,12 @@ pub mod scenario;
 
 mod error;
 
-pub use engine::{simulate, RecoverySemantics, SimConfig};
+/// The telemetry subsystem (re-exported): structured tracing, metrics
+/// registry, and timing spans. See [`engine::simulate_traced`] and
+/// [`scenario::Scenario::run_traced`] for the instrumented entry points.
+pub use sprint_telemetry as telemetry;
+
+pub use engine::{simulate, simulate_traced, RecoverySemantics, SimConfig};
 pub use error::SimError;
 pub use faults::{FaultMetrics, FaultPlan};
 pub use metrics::SimResult;

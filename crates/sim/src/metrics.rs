@@ -80,10 +80,16 @@ impl SimResult {
     }
 
     /// Task throughput per agent per epoch — the paper's TPS metric,
-    /// normalized so an always-normal-mode agent scores 1.
+    /// normalized so an always-normal-mode agent scores 1. An empty run
+    /// (no agents or no epochs) scores 0, not NaN.
     #[must_use]
     pub fn tasks_per_agent_epoch(&self) -> f64 {
-        self.total_tasks / (f64::from(self.n_agents) * self.epochs as f64)
+        let denom = f64::from(self.n_agents) * self.epochs as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.total_tasks / denom
+        }
     }
 
     /// Number of power emergencies (breaker trips).
@@ -161,6 +167,27 @@ mod tests {
         assert_eq!(r.mean_sprinters(), 2.5);
         assert_eq!(r.trips(), 1);
         assert_eq!(r.sprinters_per_epoch().len(), 4);
+    }
+
+    #[test]
+    fn empty_run_throughput_is_zero_not_nan() {
+        // `SimConfig` rejects zero epochs, but results can also be built
+        // from archived JSON (see the serde test) where nothing enforces
+        // that; ratios over an empty run must stay finite.
+        for (n_agents, epochs) in [(0u32, 0usize), (0, 5), (10, 0)] {
+            let r = SimResult {
+                n_agents,
+                epochs,
+                sprinters_per_epoch: vec![],
+                total_tasks: 0.0,
+                trips: 0,
+                occupancy: StateOccupancy::default(),
+                faults: FaultMetrics::default(),
+            };
+            assert_eq!(r.tasks_per_agent_epoch(), 0.0, "{n_agents}x{epochs}");
+            assert_eq!(r.mean_sprinters(), 0.0);
+            assert_eq!(r.occupancy().fractions(), [0.0; 4]);
+        }
     }
 
     #[test]

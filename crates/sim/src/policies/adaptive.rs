@@ -133,6 +133,15 @@ impl SprintPolicy for AdaptiveThreshold {
         utility > self.threshold
     }
 
+    fn export_metrics(&self, registry: &mut sprint_telemetry::Registry) {
+        let g = registry.gauge("policy.adaptive.belief_p_trip");
+        registry.set(g, self.belief_p_trip);
+        let g = registry.gauge("policy.adaptive.threshold");
+        registry.set(g, self.threshold);
+        let s = registry.series("policy.adaptive.threshold_history");
+        registry.extend_series(s, &self.threshold_history);
+    }
+
     fn epoch_end(&mut self, tripped: bool) {
         let observation = if tripped { 1.0 } else { 0.0 };
         self.belief_p_trip += self.learning_rate * (observation - self.belief_p_trip);

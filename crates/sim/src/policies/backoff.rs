@@ -68,6 +68,15 @@ impl SprintPolicy for ExponentialBackoff {
         }
     }
 
+    fn export_metrics(&self, registry: &mut sprint_telemetry::Registry) {
+        let g = registry.gauge("policy.backoff.exponent");
+        registry.set(g, f64::from(self.exponent));
+        let g = registry.gauge("policy.backoff.quiet_epochs");
+        registry.set(g, self.quiet_epochs as f64);
+        let g = registry.gauge("policy.backoff.waiting_agents");
+        registry.set(g, self.waits.iter().filter(|&&w| w > 0).count() as f64);
+    }
+
     fn epoch_end(&mut self, tripped: bool) {
         if tripped {
             self.exponent = (self.exponent + 1).min(MAX_EXPONENT);

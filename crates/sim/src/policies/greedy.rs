@@ -6,17 +6,27 @@
 //! equilibrium — knowing that everyone is sprinting, an agent's best
 //! response is to sprint as well." (§6)
 
+use sprint_telemetry::Registry;
+
 use crate::policy::SprintPolicy;
 
 /// Sprint at every opportunity, regardless of utility.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct Greedy;
+pub struct Greedy {
+    decisions: u64,
+}
 
 impl Greedy {
     /// Create the greedy policy.
     #[must_use]
     pub fn new() -> Self {
-        Greedy
+        Greedy::default()
+    }
+
+    /// Sprint decisions made (every one a yes).
+    #[must_use]
+    pub fn decisions(&self) -> u64 {
+        self.decisions
     }
 }
 
@@ -26,7 +36,13 @@ impl SprintPolicy for Greedy {
     }
 
     fn wants_sprint(&mut self, _agent: usize, _utility: f64) -> bool {
+        self.decisions += 1;
         true
+    }
+
+    fn export_metrics(&self, registry: &mut Registry) {
+        let c = registry.counter("policy.greedy.decisions");
+        registry.inc(c, self.decisions);
     }
 }
 
@@ -42,5 +58,17 @@ mod tests {
         g.epoch_end(true); // no-op, must not panic
         assert!(g.wants_sprint(7, 0.1));
         assert_eq!(g.name(), "Greedy");
+        assert_eq!(g.decisions(), 3);
+    }
+
+    #[test]
+    fn exports_decision_count() {
+        let mut g = Greedy::new();
+        for a in 0..5 {
+            let _ = g.wants_sprint(a, 1.0);
+        }
+        let mut reg = Registry::new();
+        g.export_metrics(&mut reg);
+        assert_eq!(reg.counter_value("policy.greedy.decisions"), Some(5));
     }
 }

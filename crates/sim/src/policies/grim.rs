@@ -110,6 +110,13 @@ impl SprintPolicy for GrimTrigger {
             conforming
         }
     }
+
+    fn export_metrics(&self, registry: &mut sprint_telemetry::Registry) {
+        let c = registry.counter("policy.grim.detections");
+        registry.inc(c, self.detections);
+        let g = registry.gauge("policy.grim.banned_agents");
+        registry.set(g, self.banned_count() as f64);
+    }
 }
 
 #[cfg(test)]

@@ -87,6 +87,14 @@ impl SprintPolicy for PredictiveThreshold {
         self.predictors[agent].observe(utility);
         decision
     }
+
+    fn export_metrics(&self, registry: &mut sprint_telemetry::Registry) {
+        let g = registry.gauge("policy.predictive.agents");
+        registry.set(g, self.thresholds.len() as f64);
+        let mean = self.thresholds.iter().sum::<f64>() / self.thresholds.len() as f64;
+        let g = registry.gauge("policy.predictive.mean_threshold");
+        registry.set(g, mean);
+    }
 }
 
 #[cfg(test)]

@@ -77,6 +77,26 @@ impl SprintPolicy for ThresholdPolicy {
     fn wants_sprint(&mut self, agent: usize, utility: f64) -> bool {
         utility > self.thresholds[agent]
     }
+
+    fn export_metrics(&self, registry: &mut sprint_telemetry::Registry) {
+        let lo = self
+            .thresholds
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .thresholds
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mean = self.thresholds.iter().sum::<f64>() / self.thresholds.len() as f64;
+        let g = registry.gauge("policy.threshold.min");
+        registry.set(g, lo);
+        let g = registry.gauge("policy.threshold.max");
+        registry.set(g, hi);
+        let g = registry.gauge("policy.threshold.mean");
+        registry.set(g, mean);
+    }
 }
 
 #[cfg(test)]

@@ -66,6 +66,14 @@ pub trait SprintPolicy: Send {
     fn epoch_end(&mut self, tripped: bool) {
         let _ = tripped;
     }
+
+    /// Export policy-internal state into a metrics registry. Called once
+    /// at the end of an instrumented run ([`crate::simulate_traced`]);
+    /// the default exports nothing, and un-instrumented runs never call
+    /// it, so stateless policies pay nothing.
+    fn export_metrics(&self, registry: &mut sprint_telemetry::Registry) {
+        let _ = registry;
+    }
 }
 
 #[cfg(test)]

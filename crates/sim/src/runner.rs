@@ -7,6 +7,7 @@
 //! and aggregates the metrics.
 
 use sprint_stats::summary::{confidence_interval_95, ConfidenceInterval, OnlineStats};
+use sprint_telemetry::SpanProfile;
 
 use crate::faults::{FaultMetrics, FaultPlan};
 use crate::metrics::SimResult;
@@ -123,6 +124,24 @@ pub fn compare_policies(
     policies: &[PolicyKind],
     seeds: &[u64],
 ) -> crate::Result<Comparison> {
+    compare_policies_profiled(scenario, policies, seeds, &mut SpanProfile::deterministic())
+}
+
+/// [`compare_policies`] with per-trial wall-clock timing folded into
+/// `spans`: each `policy × seed` thread times its own trial and the
+/// durations accumulate under `trial.<policy>` (plus `runner.compare`
+/// for the whole comparison), so a report can show where the experiment
+/// budget went without perturbing the parallel execution.
+///
+/// # Errors
+///
+/// Same as [`compare_policies`].
+pub fn compare_policies_profiled(
+    scenario: &Scenario,
+    policies: &[PolicyKind],
+    seeds: &[u64],
+    spans: &mut SpanProfile,
+) -> crate::Result<Comparison> {
     if policies.is_empty() {
         return Err(SimError::InvalidParameter {
             name: "policies",
@@ -138,12 +157,18 @@ pub fn compare_policies(
         });
     }
 
-    let results: Vec<crate::Result<(PolicyKind, SimResult)>> = std::thread::scope(|scope| {
+    let compare_started = std::time::Instant::now();
+    let results: Vec<crate::Result<(PolicyKind, SimResult, u64)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = policies
             .iter()
             .flat_map(|&policy| seeds.iter().map(move |&seed| (policy, seed)))
             .map(|(policy, seed)| {
-                scope.spawn(move || scenario.run(policy, seed).map(|r| (policy, r)))
+                scope.spawn(move || {
+                    let started = std::time::Instant::now();
+                    scenario
+                        .run(policy, seed)
+                        .map(|r| (policy, r, started.elapsed().as_nanos() as u64))
+                })
             })
             .collect();
         handles
@@ -155,11 +180,16 @@ pub fn compare_policies(
             })
             .collect()
     });
+    spans.record_nanos(
+        "runner.compare",
+        compare_started.elapsed().as_nanos() as u64,
+    );
 
     let mut by_policy: Vec<(PolicyKind, Vec<SimResult>)> =
         policies.iter().map(|&p| (p, Vec::new())).collect();
     for r in results {
-        let (policy, result) = r?;
+        let (policy, result, nanos) = r?;
+        spans.record_nanos(&format!("trial.{policy}"), nanos);
         if let Some((_, bucket)) = by_policy.iter_mut().find(|(p, _)| *p == policy) {
             bucket.push(result);
         }
@@ -279,6 +309,29 @@ pub fn chaos_matrix(
     plans: &[NamedPlan],
     seeds: &[u64],
 ) -> crate::Result<ChaosReport> {
+    chaos_matrix_profiled(
+        scenario,
+        policies,
+        plans,
+        seeds,
+        &mut SpanProfile::deterministic(),
+    )
+}
+
+/// [`chaos_matrix`] with every underlying comparison profiled into
+/// `spans` (see [`compare_policies_profiled`]): trial durations accumulate
+/// under `trial.<policy>` across the baseline and every fault plan.
+///
+/// # Errors
+///
+/// Same as [`chaos_matrix`].
+pub fn chaos_matrix_profiled(
+    scenario: &Scenario,
+    policies: &[PolicyKind],
+    plans: &[NamedPlan],
+    seeds: &[u64],
+    spans: &mut SpanProfile,
+) -> crate::Result<ChaosReport> {
     if plans.is_empty() {
         return Err(SimError::InvalidParameter {
             name: "plans",
@@ -289,15 +342,16 @@ pub fn chaos_matrix(
     for p in plans {
         p.plan.validate()?;
     }
-    let baseline = compare_policies(
+    let baseline = compare_policies_profiled(
         &scenario.clone().with_faults(FaultPlan::none()),
         policies,
         seeds,
+        spans,
     )?;
     let mut cells = Vec::with_capacity(plans.len() * policies.len());
     for named in plans {
         let faulted = scenario.clone().with_faults(named.plan);
-        let cmp = compare_policies(&faulted, policies, seeds)?;
+        let cmp = compare_policies_profiled(&faulted, policies, seeds, spans)?;
         for outcome in cmp.outcomes() {
             let base = baseline
                 .outcome(outcome.policy)
@@ -390,6 +444,20 @@ mod tests {
         // Three trials yield a confidence interval containing the mean.
         let ci = o.tasks_ci.expect("multiple trials");
         assert!(ci.contains(o.tasks_per_agent_epoch));
+    }
+
+    #[test]
+    fn profiled_comparison_times_every_trial() {
+        let s = Scenario::homogeneous(Benchmark::Svm, 20, 30).unwrap();
+        let mut spans = SpanProfile::monotonic();
+        let policies = [PolicyKind::Greedy, PolicyKind::ExponentialBackoff];
+        let cmp = compare_policies_profiled(&s, &policies, &[1, 2, 3], &mut spans).unwrap();
+        assert_eq!(cmp.outcomes().len(), 2);
+        for p in policies {
+            let stats = spans.stats(&format!("trial.{p}")).expect("trial span");
+            assert_eq!(stats.count, 3, "one span per seed for {p}");
+        }
+        assert_eq!(spans.stats("runner.compare").unwrap().count, 1);
     }
 
     #[test]

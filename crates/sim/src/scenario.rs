@@ -13,7 +13,11 @@ use sprint_stats::density::DiscreteDensity;
 use sprint_workloads::generator::Population;
 use sprint_workloads::Benchmark;
 
-use crate::engine::{simulate, RecoverySemantics, SimConfig, TripInterruption, UtilityEstimation};
+use sprint_telemetry::{Event, Noop, Recorder, Telemetry};
+
+use crate::engine::{
+    simulate_traced, RecoverySemantics, SimConfig, TripInterruption, UtilityEstimation,
+};
 use crate::faults::FaultPlan;
 use crate::metrics::SimResult;
 use crate::policies::{ExponentialBackoff, Greedy, ThresholdPolicy};
@@ -223,20 +227,46 @@ impl Scenario {
     /// Propagates mean-field solver failures other than recoverable
     /// non-convergence.
     pub fn equilibrium_policy(&self) -> crate::Result<ThresholdPolicy> {
+        self.equilibrium_policy_observed(&mut Noop)
+    }
+
+    /// [`Scenario::equilibrium_policy`] with the offline solve narrated
+    /// through `recorder`: the homogeneous path streams Algorithm 1's
+    /// per-iteration residuals ([`SolverIteration`](sprint_telemetry::Event)
+    /// events), the heterogeneous path reports the multi-type fixed point
+    /// as a single `CoordinatorResolve`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scenario::equilibrium_policy`].
+    pub fn equilibrium_policy_observed(
+        &self,
+        recorder: &mut dyn Recorder,
+    ) -> crate::Result<ThresholdPolicy> {
         let game = self.solve_game()?;
         let types = self.population.distinct_types();
         let thresholds: Vec<f64> = if types.len() == 1 {
-            let threshold =
-                match MeanFieldSolver::new(game).solve(&types[0].utility_density(DENSITY_BINS)?) {
-                    Ok(eq) => eq.threshold(),
-                    Err(GameError::NonConvergence {
-                        fallback_threshold, ..
-                    }) => fallback_threshold,
-                    Err(e) => return Err(e.into()),
-                };
+            let threshold = match MeanFieldSolver::new(game)
+                .solve_observed(&types[0].utility_density(DENSITY_BINS)?, recorder)
+            {
+                Ok(eq) => eq.threshold(),
+                Err(GameError::NonConvergence {
+                    fallback_threshold, ..
+                }) => fallback_threshold,
+                Err(e) => return Err(e.into()),
+            };
             vec![threshold; self.population.len()]
         } else {
             let eq = MultiSolver::new(game).solve(&self.type_specs()?)?;
+            if recorder.enabled() {
+                recorder.record(&Event::CoordinatorResolve {
+                    types: eq.types().len(),
+                    converged: true,
+                    iterations: eq.iterations(),
+                    residual: eq.residual(),
+                    trip_probability: eq.trip_probability(),
+                });
+            }
             self.population
                 .assignments()
                 .iter()
@@ -310,12 +340,30 @@ impl Scenario {
         kind: PolicyKind,
         seed: u64,
     ) -> crate::Result<Box<dyn SprintPolicy>> {
+        self.build_policy_observed(kind, seed, &mut Noop)
+    }
+
+    /// [`Scenario::build_policy`] with offline solves narrated through
+    /// `recorder` (only E-T performs an observable solve; the other kinds
+    /// construct silently).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scenario::build_policy`].
+    pub fn build_policy_observed(
+        &self,
+        kind: PolicyKind,
+        seed: u64,
+        recorder: &mut dyn Recorder,
+    ) -> crate::Result<Box<dyn SprintPolicy>> {
         Ok(match kind {
             PolicyKind::Greedy => Box::new(Greedy::new()),
             PolicyKind::ExponentialBackoff => {
                 Box::new(ExponentialBackoff::new(self.population.len(), seed))
             }
-            PolicyKind::EquilibriumThreshold => Box::new(self.equilibrium_policy()?),
+            PolicyKind::EquilibriumThreshold => {
+                Box::new(self.equilibrium_policy_observed(recorder)?)
+            }
             PolicyKind::CooperativeThreshold => Box::new(self.cooperative_policy()?),
         })
     }
@@ -326,14 +374,38 @@ impl Scenario {
     ///
     /// Propagates policy construction and simulation errors.
     pub fn run(&self, kind: PolicyKind, seed: u64) -> crate::Result<SimResult> {
+        self.run_traced(kind, seed, &mut Telemetry::disabled())
+    }
+
+    /// Run one simulation with full telemetry: the offline solve narrates
+    /// through the recorder first (residual curves for E-T), then the
+    /// engine streams per-epoch events, metrics, and spans into the same
+    /// [`Telemetry`] bundle.
+    ///
+    /// Telemetry never alters the simulation: with any recorder attached
+    /// the returned [`SimResult`] is bit-identical to [`Scenario::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy construction and simulation errors.
+    pub fn run_traced(
+        &self,
+        kind: PolicyKind,
+        seed: u64,
+        telemetry: &mut Telemetry,
+    ) -> crate::Result<SimResult> {
         let config = SimConfig::new(self.game, self.epochs, seed)?
             .with_recovery(self.recovery)
             .with_interruption(self.interruption)
             .with_estimation(self.estimation)
             .with_faults(self.faults);
         let mut streams = self.population.spawn_streams(seed)?;
-        let mut policy = self.build_policy(kind, seed)?;
-        simulate(&config, &mut streams, policy.as_mut())
+        let solve_span = telemetry.enabled().then(|| telemetry.spans.start());
+        let mut policy = self.build_policy_observed(kind, seed, telemetry.recorder())?;
+        if let Some(start) = solve_span {
+            telemetry.spans.end("scenario.solve", start);
+        }
+        simulate_traced(&config, &mut streams, policy.as_mut(), telemetry)
     }
 }
 
@@ -411,6 +483,56 @@ mod tests {
             assert_eq!(r.epochs(), 150);
             assert!(r.total_tasks() > 0.0, "{kind}");
         }
+    }
+
+    #[test]
+    fn traced_run_matches_plain_run_and_narrates_the_solve() {
+        use sprint_telemetry::EventKind;
+
+        let s = Scenario::homogeneous(Benchmark::Svm, 60, 120).unwrap();
+        let plain = s.run(PolicyKind::EquilibriumThreshold, 7).unwrap();
+        let mut telemetry = Telemetry::in_memory();
+        let traced = s
+            .run_traced(PolicyKind::EquilibriumThreshold, 7, &mut telemetry)
+            .unwrap();
+        assert_eq!(plain, traced, "telemetry must not perturb the simulation");
+
+        let events = telemetry.events().expect("in-memory recorder");
+        let kinds: Vec<EventKind> = events.iter().map(sprint_telemetry::Event::kind).collect();
+        assert!(kinds.contains(&EventKind::SolverIteration), "{kinds:?}");
+        assert!(kinds.contains(&EventKind::SolverOutcome));
+        assert!(kinds.contains(&EventKind::RunStart));
+        assert!(kinds.contains(&EventKind::RunEnd));
+        // The offline solve narrates before the engine starts.
+        let solve_pos = kinds
+            .iter()
+            .position(|&k| k == EventKind::SolverOutcome)
+            .unwrap();
+        let run_pos = kinds
+            .iter()
+            .position(|&k| k == EventKind::RunStart)
+            .unwrap();
+        assert!(solve_pos < run_pos);
+        assert!(telemetry.spans.stats("scenario.solve").is_some());
+    }
+
+    #[test]
+    fn heterogeneous_traced_run_reports_a_coordinator_resolve() {
+        let s = Scenario::heterogeneous(&[Benchmark::Svm, Benchmark::Kmeans], 40, 60).unwrap();
+        let mut telemetry = Telemetry::in_memory();
+        s.run_traced(PolicyKind::EquilibriumThreshold, 3, &mut telemetry)
+            .unwrap();
+        let events = telemetry.events().unwrap();
+        let resolve = events
+            .iter()
+            .find_map(|e| match e {
+                sprint_telemetry::Event::CoordinatorResolve {
+                    types, converged, ..
+                } => Some((*types, *converged)),
+                _ => None,
+            })
+            .expect("multi-type solve should emit CoordinatorResolve");
+        assert_eq!(resolve, (2, true));
     }
 
     #[test]

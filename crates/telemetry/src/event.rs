@@ -1,0 +1,314 @@
+//! The typed event taxonomy for the sprinting rack.
+//!
+//! Every observable state change in the system — an epoch advancing, a
+//! sprint decision, a breaker trip, a fault firing, the coordinator
+//! re-solving, a mean-field iteration — is one [`Event`] variant. Events
+//! carry only simulation-time data (epoch indices, counts, probabilities),
+//! never wall-clock timestamps, so a recorded stream is bit-reproducible
+//! under a fixed seed.
+
+use serde::{Deserialize, Serialize};
+
+/// Which fault the injection layer fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// An agent crashed.
+    Crash,
+    /// A crashed agent restarted (cold, threshold re-acquisition pending).
+    Restart,
+    /// A sprinter's power gate stuck in the sprint position.
+    StuckGate,
+    /// The panel current sensor dropped out and held its last reading.
+    SensorDropout,
+    /// The drifted breaker tripped where the nominal curve says it cannot.
+    SpuriousTrip,
+    /// The drifted breaker held where the nominal curve says certain trip.
+    MissedTrip,
+}
+
+impl FaultKind {
+    /// All fault kinds, for per-kind metric registration.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::Crash,
+        FaultKind::Restart,
+        FaultKind::StuckGate,
+        FaultKind::SensorDropout,
+        FaultKind::SpuriousTrip,
+        FaultKind::MissedTrip,
+    ];
+
+    /// Stable snake_case name, used for per-kind metric names.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Restart => "restart",
+            FaultKind::StuckGate => "stuck_gate",
+            FaultKind::SensorDropout => "sensor_dropout",
+            FaultKind::SpuriousTrip => "spurious_trip",
+            FaultKind::MissedTrip => "missed_trip",
+        }
+    }
+}
+
+/// Discriminant of an [`Event`], for recorder-side filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// [`Event::RunStart`].
+    RunStart,
+    /// [`Event::EpochTick`].
+    EpochTick,
+    /// [`Event::SprintDecision`].
+    SprintDecision,
+    /// [`Event::BreakerTrip`].
+    BreakerTrip,
+    /// [`Event::FaultInjected`].
+    FaultInjected,
+    /// [`Event::CoordinatorResolve`].
+    CoordinatorResolve,
+    /// [`Event::SolverIteration`].
+    SolverIteration,
+    /// [`Event::SolverEscalation`].
+    SolverEscalation,
+    /// [`Event::SolverBisection`].
+    SolverBisection,
+    /// [`Event::SolverOutcome`].
+    SolverOutcome,
+    /// [`Event::RunEnd`].
+    RunEnd,
+}
+
+/// One structured telemetry event.
+///
+/// Serialized externally tagged — `{"EpochTick":{...}}`, unit variants as
+/// bare strings — so a JSONL stream is self-describing line by line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A simulation run began.
+    RunStart {
+        /// Agents in the rack.
+        agents: u32,
+        /// Epoch horizon.
+        epochs: usize,
+        /// Master seed.
+        seed: u64,
+        /// Driving policy's display name.
+        policy: String,
+    },
+    /// One epoch of rack dynamics resolved.
+    EpochTick {
+        /// Epoch index.
+        epoch: usize,
+        /// Sprinters this epoch (0 while recovering).
+        sprinters: u32,
+        /// Stuck power gates drawing phantom sprint current.
+        stuck: u32,
+        /// Whether the breaker tripped this epoch.
+        tripped: bool,
+        /// Whether the rack spent this epoch in recovery.
+        recovering: bool,
+        /// Task-units produced this epoch across the rack.
+        tasks: f64,
+    },
+    /// One agent's sprint decision (high-volume; recorders may filter).
+    SprintDecision {
+        /// Epoch index.
+        epoch: usize,
+        /// Agent index.
+        agent: u32,
+        /// The utility estimate the decision saw.
+        estimate: f64,
+        /// Whether the agent sprints.
+        sprint: bool,
+    },
+    /// The breaker tripped.
+    BreakerTrip {
+        /// Epoch index.
+        epoch: usize,
+        /// True sprinter-equivalent load.
+        realized: f64,
+        /// Load the breaker measured (differs under sensor faults).
+        measured: f64,
+        /// Equation-11 trip probability at the measured load.
+        p_trip: f64,
+    },
+    /// The fault-injection layer fired.
+    FaultInjected {
+        /// Epoch index.
+        epoch: usize,
+        /// Which fault.
+        kind: FaultKind,
+        /// Affected agent, when the fault is per-agent.
+        agent: Option<u32>,
+    },
+    /// The coordinator completed an offline (re-)solve.
+    CoordinatorResolve {
+        /// Distinct application types solved for.
+        types: usize,
+        /// Whether Algorithm 1 met its tolerance.
+        converged: bool,
+        /// Outer iterations spent.
+        iterations: usize,
+        /// Final fixed-point residual.
+        residual: f64,
+        /// Stationary tripping probability advertised to agents.
+        trip_probability: f64,
+    },
+    /// One outer iteration of the mean-field solver (Algorithm 1).
+    SolverIteration {
+        /// Damping-escalation attempt index (0 = configured damping).
+        attempt: u32,
+        /// Global iteration counter across attempts.
+        iteration: usize,
+        /// Damping factor in effect.
+        damping: f64,
+        /// Tripping probability entering the iteration.
+        p_trip: f64,
+        /// Tripping probability the best response implies.
+        implied: f64,
+        /// `|implied − p_trip|`.
+        residual: f64,
+    },
+    /// The solver escalated to heavier damping.
+    SolverEscalation {
+        /// The new damping factor.
+        damping: f64,
+    },
+    /// The solver fell back to bisection.
+    SolverBisection,
+    /// The solver finished (converged or exhausted).
+    SolverOutcome {
+        /// Whether a fixed point within tolerance was found.
+        converged: bool,
+        /// Total outer iterations across every attempt.
+        iterations: usize,
+        /// Final (best) residual.
+        residual: f64,
+        /// Threshold of the returned (or best) iterate.
+        threshold: f64,
+    },
+    /// A simulation run finished.
+    RunEnd {
+        /// Total task-units completed.
+        total_tasks: f64,
+        /// Breaker trips observed.
+        trips: u32,
+    },
+}
+
+impl Event {
+    /// The event's discriminant, for filtering.
+    #[must_use]
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::RunStart { .. } => EventKind::RunStart,
+            Event::EpochTick { .. } => EventKind::EpochTick,
+            Event::SprintDecision { .. } => EventKind::SprintDecision,
+            Event::BreakerTrip { .. } => EventKind::BreakerTrip,
+            Event::FaultInjected { .. } => EventKind::FaultInjected,
+            Event::CoordinatorResolve { .. } => EventKind::CoordinatorResolve,
+            Event::SolverIteration { .. } => EventKind::SolverIteration,
+            Event::SolverEscalation { .. } => EventKind::SolverEscalation,
+            Event::SolverBisection => EventKind::SolverBisection,
+            Event::SolverOutcome { .. } => EventKind::SolverOutcome,
+            Event::RunEnd { .. } => EventKind::RunEnd,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_self_describing() {
+        let e = Event::EpochTick {
+            epoch: 3,
+            sprinters: 12,
+            stuck: 0,
+            tripped: false,
+            recovering: false,
+            tasks: 41.5,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.starts_with("{\"EpochTick\":"), "{json}");
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.kind(), EventKind::EpochTick);
+    }
+
+    #[test]
+    fn every_variant_reports_its_kind() {
+        let samples = [
+            Event::RunStart {
+                agents: 1,
+                epochs: 1,
+                seed: 0,
+                policy: "g".into(),
+            },
+            Event::SprintDecision {
+                epoch: 0,
+                agent: 0,
+                estimate: 1.0,
+                sprint: true,
+            },
+            Event::BreakerTrip {
+                epoch: 0,
+                realized: 10.0,
+                measured: 10.0,
+                p_trip: 0.5,
+            },
+            Event::FaultInjected {
+                epoch: 0,
+                kind: FaultKind::Crash,
+                agent: Some(4),
+            },
+            Event::CoordinatorResolve {
+                types: 1,
+                converged: true,
+                iterations: 8,
+                residual: 1e-10,
+                trip_probability: 0.05,
+            },
+            Event::SolverIteration {
+                attempt: 0,
+                iteration: 1,
+                damping: 0.5,
+                p_trip: 1.0,
+                implied: 0.2,
+                residual: 0.8,
+            },
+            Event::SolverEscalation { damping: 0.25 },
+            Event::SolverBisection,
+            Event::SolverOutcome {
+                converged: false,
+                iterations: 900,
+                residual: 0.3,
+                threshold: 2.0,
+            },
+            Event::RunEnd {
+                total_tasks: 100.0,
+                trips: 2,
+            },
+        ];
+        for e in samples {
+            let json = serde_json::to_string(&e).unwrap();
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.kind(), e.kind());
+        }
+    }
+
+    #[test]
+    fn fault_kinds_round_trip_and_names_are_distinct() {
+        let mut names = Vec::new();
+        for k in FaultKind::ALL {
+            let json = serde_json::to_string(&k).unwrap();
+            let back: FaultKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, k);
+            names.push(k.name());
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FaultKind::ALL.len());
+    }
+}

@@ -1,0 +1,262 @@
+//! Event sinks: where recorded [`Event`]s go.
+//!
+//! The [`Recorder`] trait is the zero-cost-when-disabled seam between the
+//! instrumented hot paths and storage. Producers check
+//! [`Recorder::enabled`] once and skip event construction entirely when it
+//! returns `false`, so [`Noop`] recording costs one branch per emission
+//! site and perturbs nothing — no RNG draws, no allocation, no I/O.
+
+use std::io::Write;
+
+use crate::event::{Event, EventKind};
+
+/// A sink for structured telemetry events.
+pub trait Recorder: Send {
+    /// Whether this recorder accepts events at all. Producers gate event
+    /// construction on this, so disabled recorders are zero-cost.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Whether this recorder wants events of `kind`. Lets producers skip
+    /// high-volume kinds (per-agent sprint decisions) at the source.
+    fn wants(&self, kind: EventKind) -> bool {
+        let _ = kind;
+        self.enabled()
+    }
+
+    /// Record one event.
+    fn record(&mut self, event: &Event);
+
+    /// The recorded events, when this recorder retains them in memory.
+    fn events(&self) -> Option<&[Event]> {
+        None
+    }
+}
+
+/// The disabled recorder: accepts nothing, records nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Noop;
+
+impl Recorder for Noop {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// Retains every recorded event in memory, for post-run analysis.
+#[derive(Debug, Clone, Default)]
+pub struct InMemory {
+    events: Vec<Event>,
+    excluded: Vec<EventKind>,
+}
+
+impl InMemory {
+    /// An empty in-memory recorder accepting every event kind.
+    #[must_use]
+    pub fn new() -> Self {
+        InMemory::default()
+    }
+
+    /// Exclude an event kind (e.g. the per-agent decision firehose).
+    #[must_use]
+    pub fn without(mut self, kind: EventKind) -> Self {
+        if !self.excluded.contains(&kind) {
+            self.excluded.push(kind);
+        }
+        self
+    }
+
+    /// Recorded events in arrival order.
+    #[must_use]
+    pub fn recorded(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consume the recorder, yielding its events.
+    #[must_use]
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+impl Recorder for InMemory {
+    fn wants(&self, kind: EventKind) -> bool {
+        !self.excluded.contains(&kind)
+    }
+
+    fn record(&mut self, event: &Event) {
+        if self.wants(event.kind()) {
+            self.events.push(event.clone());
+        }
+    }
+
+    fn events(&self) -> Option<&[Event]> {
+        Some(&self.events)
+    }
+}
+
+/// Streams events as JSON Lines to any writer.
+///
+/// One event per line, serialized with serde_json's deterministic float
+/// formatting: identical event streams produce byte-identical output.
+/// Serialization or I/O failures increment [`JsonlWriter::dropped`]
+/// instead of panicking — telemetry must never take the rack down.
+#[derive(Debug)]
+pub struct JsonlWriter<W: Write + Send> {
+    writer: W,
+    excluded: Vec<EventKind>,
+    written: u64,
+    dropped: u64,
+}
+
+impl<W: Write + Send> JsonlWriter<W> {
+    /// Stream events to `writer`.
+    #[must_use]
+    pub fn new(writer: W) -> Self {
+        JsonlWriter {
+            writer,
+            excluded: Vec::new(),
+            written: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Exclude an event kind from the stream.
+    #[must_use]
+    pub fn without(mut self, kind: EventKind) -> Self {
+        if !self.excluded.contains(&kind) {
+            self.excluded.push(kind);
+        }
+        self
+    }
+
+    /// Events successfully written.
+    #[must_use]
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Events lost to serialization or I/O errors.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Flush and release the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the final flush failure.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write + Send> Recorder for JsonlWriter<W> {
+    fn wants(&self, kind: EventKind) -> bool {
+        !self.excluded.contains(&kind)
+    }
+
+    fn record(&mut self, event: &Event) {
+        if !self.wants(event.kind()) {
+            return;
+        }
+        let Ok(mut line) = serde_json::to_string(event) else {
+            self.dropped += 1;
+            return;
+        };
+        line.push('\n');
+        match self.writer.write_all(line.as_bytes()) {
+            Ok(()) => self.written += 1,
+            Err(_) => self.dropped += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick(epoch: usize) -> Event {
+        Event::EpochTick {
+            epoch,
+            sprinters: 1,
+            stuck: 0,
+            tripped: false,
+            recovering: false,
+            tasks: 2.0,
+        }
+    }
+
+    #[test]
+    fn noop_is_disabled_and_silent() {
+        let mut n = Noop;
+        assert!(!n.enabled());
+        assert!(!n.wants(EventKind::EpochTick));
+        n.record(&tick(0));
+        assert!(n.events().is_none());
+    }
+
+    #[test]
+    fn in_memory_retains_in_order_and_filters() {
+        let mut r = InMemory::new().without(EventKind::SprintDecision);
+        r.record(&tick(0));
+        r.record(&Event::SprintDecision {
+            epoch: 0,
+            agent: 1,
+            estimate: 3.0,
+            sprint: true,
+        });
+        r.record(&tick(1));
+        assert_eq!(r.recorded().len(), 2);
+        assert_eq!(r.events().unwrap()[1].kind(), EventKind::EpochTick);
+        assert_eq!(r.into_events().len(), 2);
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_event() {
+        let mut w = JsonlWriter::new(Vec::new());
+        w.record(&tick(0));
+        w.record(&tick(1));
+        assert_eq!(w.written(), 2);
+        assert_eq!(w.dropped(), 0);
+        let bytes = w.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let e: Event = serde_json::from_str(line).unwrap();
+            assert_eq!(e.kind(), EventKind::EpochTick);
+        }
+    }
+
+    #[test]
+    fn jsonl_streams_are_byte_identical_for_identical_events() {
+        let run = || {
+            let mut w = JsonlWriter::new(Vec::new());
+            for epoch in 0..50 {
+                w.record(&tick(epoch));
+                w.record(&Event::BreakerTrip {
+                    epoch,
+                    realized: 0.1 + epoch as f64 / 3.0,
+                    measured: 0.1 + epoch as f64 / 3.0,
+                    p_trip: 1.0 / (1.0 + epoch as f64),
+                });
+            }
+            w.finish().unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn jsonl_filter_drops_kind_silently() {
+        let mut w = JsonlWriter::new(Vec::new()).without(EventKind::EpochTick);
+        w.record(&tick(0));
+        assert_eq!(w.written(), 0);
+        assert_eq!(w.dropped(), 0, "filtered events are not failures");
+    }
+}

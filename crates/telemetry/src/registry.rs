@@ -1,0 +1,302 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms, and
+//! epoch-resolution time series.
+//!
+//! Hot paths register each instrument once (linear name lookup, amortized
+//! to nothing) and then update through copy-sized handles — an index into
+//! a dense `Vec`, no hashing or string comparison per update. A
+//! [`MetricsSnapshot`] freezes everything into name-sorted, serializable
+//! maps for reports.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Handle to a monotonically increasing counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a last-value-wins gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a fixed-bucket histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// Handle to an append-only time series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesId(usize);
+
+/// A histogram over fixed, caller-supplied bucket bounds.
+///
+/// Bucket `i` counts observations `x ≤ bounds[i]` (first matching bound);
+/// one overflow bucket counts everything beyond the last bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixedHistogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl FixedHistogram {
+    /// A histogram with the given ascending upper bounds.
+    #[must_use]
+    pub fn new(bounds: &[f64]) -> Self {
+        FixedHistogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, x: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| x <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += x;
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The bucket upper bounds.
+    #[must_use]
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// The per-run metrics registry.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, FixedHistogram)>,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register (or look up) a counter.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name.to_string(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Increment a counter.
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0].1 += by;
+    }
+
+    /// Register (or look up) a gauge.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name.to_string(), 0.0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Set a gauge.
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0].1 = value;
+    }
+
+    /// Register (or look up) a fixed-bucket histogram. Bounds are fixed by
+    /// the first registration; later registrations reuse them.
+    pub fn histogram(&mut self, name: &str, bounds: &[f64]) -> HistogramId {
+        if let Some(i) = self.histograms.iter().position(|(n, _)| n == name) {
+            return HistogramId(i);
+        }
+        self.histograms
+            .push((name.to_string(), FixedHistogram::new(bounds)));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Record a histogram observation.
+    pub fn observe(&mut self, id: HistogramId, x: f64) {
+        self.histograms[id.0].1.observe(x);
+    }
+
+    /// Register (or look up) a time series.
+    pub fn series(&mut self, name: &str) -> SeriesId {
+        if let Some(i) = self.series.iter().position(|(n, _)| n == name) {
+            return SeriesId(i);
+        }
+        self.series.push((name.to_string(), Vec::new()));
+        SeriesId(self.series.len() - 1)
+    }
+
+    /// Append one sample to a time series.
+    pub fn push(&mut self, id: SeriesId, value: f64) {
+        self.series[id.0].1.push(value);
+    }
+
+    /// Bulk-extend a time series (e.g. a solver's residual curve).
+    pub fn extend_series(&mut self, id: SeriesId, values: &[f64]) {
+        self.series[id.0].1.extend_from_slice(values);
+    }
+
+    /// Current value of a counter by name, if registered.
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Current value of a gauge by name, if registered.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// A time series by name, if registered.
+    #[must_use]
+    pub fn series_values(&self, name: &str) -> Option<&[f64]> {
+        self.series
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Freeze everything into a serializable, name-sorted snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().cloned().collect(),
+            gauges: self.gauges.iter().cloned().collect(),
+            histograms: self.histograms.iter().cloned().collect(),
+            series: self.series.iter().cloned().collect(),
+        }
+    }
+}
+
+/// A frozen, serializable view of a [`Registry`].
+///
+/// Serialize-only: the vendored serde shim has no map deserialization, and
+/// snapshots are an export format, not an interchange one.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct MetricsSnapshot {
+    /// Counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, FixedHistogram>,
+    /// Time series by name.
+    pub series: BTreeMap<String, Vec<f64>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_idempotently_and_accumulate() {
+        let mut r = Registry::new();
+        let a = r.counter("engine.trips");
+        let b = r.counter("engine.trips");
+        assert_eq!(a, b);
+        r.inc(a, 2);
+        r.inc(b, 3);
+        assert_eq!(r.counter_value("engine.trips"), Some(5));
+        assert_eq!(r.counter_value("missing"), None);
+    }
+
+    #[test]
+    fn gauges_hold_last_value() {
+        let mut r = Registry::new();
+        let g = r.gauge("solver.residual");
+        r.set(g, 0.5);
+        r.set(g, 0.25);
+        assert_eq!(r.gauge_value("solver.residual"), Some(0.25));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = FixedHistogram::new(&[1.0, 2.0, 4.0]);
+        for x in [0.5, 1.0, 1.5, 3.0, 100.0] {
+            h.observe(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 21.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_append_and_extend() {
+        let mut r = Registry::new();
+        let s = r.series("engine.sprinters");
+        r.push(s, 3.0);
+        r.extend_series(s, &[4.0, 5.0]);
+        assert_eq!(
+            r.series_values("engine.sprinters"),
+            Some(&[3.0, 4.0, 5.0][..])
+        );
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_serializable() {
+        let mut r = Registry::new();
+        let zc = r.counter("z.last");
+        r.inc(zc, 1);
+        let ac = r.counter("a.first");
+        r.inc(ac, 7);
+        let h = r.histogram("lat", &[1.0]);
+        r.observe(h, 0.5);
+        let s = r.series("ts");
+        r.push(s, 9.0);
+        let snap = r.snapshot();
+        let names: Vec<&String> = snap.counters.keys().collect();
+        assert_eq!(names, ["a.first", "z.last"]);
+        let json = serde_json::to_string(&snap).unwrap();
+        // BTreeMap serialization keeps names sorted: a.first before z.last.
+        let a = json.find("a.first").unwrap();
+        let z = json.find("z.last").unwrap();
+        assert!(a < z, "{json}");
+        assert!(json.contains("\"lat\""), "{json}");
+        assert!(json.contains("\"ts\""), "{json}");
+    }
+}

@@ -1,0 +1,195 @@
+//! Timing spans rolled into a per-run profile.
+//!
+//! A span is a named start/end pair read from an injected [`Clock`];
+//! repeated spans with the same name accumulate into one [`SpanStats`]
+//! entry (count, total, max). The profile is deliberately not a tracing
+//! tree — the rack's hot paths are flat loops, and a flat accumulator
+//! keeps the per-span cost to two clock reads and one vector update.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::{Clock, ManualClock, MonotonicClock};
+
+/// Accumulated statistics for one named span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SpanStats {
+    /// Completed spans under this name.
+    pub count: u64,
+    /// Total nanoseconds across all spans.
+    pub total_nanos: u64,
+    /// Longest single span.
+    pub max_nanos: u64,
+}
+
+impl SpanStats {
+    /// Mean nanoseconds per span (0 when empty).
+    #[must_use]
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_nanos as f64 / self.count as f64
+        }
+    }
+}
+
+/// A started span: the timestamp its matching [`SpanProfile::end`] closes.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanStart(u64);
+
+/// Accumulates named spans against an injected clock.
+pub struct SpanProfile {
+    clock: Box<dyn Clock>,
+    spans: Vec<(String, SpanStats)>,
+}
+
+impl std::fmt::Debug for SpanProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanProfile")
+            .field("spans", &self.spans)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SpanProfile {
+    /// A profile timing against an explicit clock.
+    #[must_use]
+    pub fn with_clock(clock: Box<dyn Clock>) -> Self {
+        SpanProfile {
+            clock,
+            spans: Vec::new(),
+        }
+    }
+
+    /// A profile against the OS monotonic clock (real timings, not
+    /// reproducible run to run).
+    #[must_use]
+    pub fn monotonic() -> Self {
+        SpanProfile::with_clock(Box::new(MonotonicClock::new()))
+    }
+
+    /// A profile against a deterministic manual clock (reproducible
+    /// "timings" counting clock reads, not wall time).
+    #[must_use]
+    pub fn deterministic() -> Self {
+        SpanProfile::with_clock(Box::new(ManualClock::default()))
+    }
+
+    /// Start a span.
+    #[must_use]
+    pub fn start(&mut self) -> SpanStart {
+        SpanStart(self.clock.now_nanos())
+    }
+
+    /// End a span under `name`, accumulating its duration.
+    pub fn end(&mut self, name: &str, started: SpanStart) {
+        let now = self.clock.now_nanos();
+        self.record_nanos(name, now.saturating_sub(started.0));
+    }
+
+    /// Fold an externally measured duration into the profile (used when
+    /// the measurement happened on another thread).
+    pub fn record_nanos(&mut self, name: &str, nanos: u64) {
+        let stats = match self.spans.iter().position(|(n, _)| n == name) {
+            Some(i) => &mut self.spans[i].1,
+            None => {
+                self.spans.push((name.to_string(), SpanStats::default()));
+                &mut self.spans.last_mut().expect("just pushed").1
+            }
+        };
+        stats.count += 1;
+        stats.total_nanos += nanos;
+        stats.max_nanos = stats.max_nanos.max(nanos);
+    }
+
+    /// Stats for one span name, if any span completed under it.
+    #[must_use]
+    pub fn stats(&self, name: &str) -> Option<SpanStats> {
+        self.spans.iter().find(|(n, _)| n == name).map(|(_, s)| *s)
+    }
+
+    /// Freeze into a serializable, name-sorted report.
+    #[must_use]
+    pub fn report(&self) -> SpanReport {
+        SpanReport {
+            spans: self.spans.iter().cloned().collect(),
+        }
+    }
+}
+
+/// A frozen, serializable span profile.
+///
+/// Serialize-only: the vendored serde shim has no map deserialization, and
+/// reports are an export format, not an interchange one.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
+pub struct SpanReport {
+    /// Accumulated stats by span name.
+    pub spans: BTreeMap<String, SpanStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_under_one_name() {
+        let mut p = SpanProfile::deterministic();
+        for _ in 0..3 {
+            let s = p.start();
+            p.end("solver", s);
+        }
+        let stats = p.stats("solver").unwrap();
+        assert_eq!(stats.count, 3);
+        // Manual clock: each start/end pair spans exactly one tick.
+        assert_eq!(stats.total_nanos, 3);
+        assert_eq!(stats.max_nanos, 1);
+        assert!((stats.mean_nanos() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_profiles_reproduce() {
+        let run = || {
+            let mut p = SpanProfile::deterministic();
+            for _ in 0..10 {
+                let outer = p.start();
+                let inner = p.start();
+                p.end("inner", inner);
+                p.end("outer", outer);
+            }
+            p.report()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn monotonic_spans_measure_something() {
+        let mut p = SpanProfile::monotonic();
+        let s = p.start();
+        std::hint::black_box((0..1000).sum::<u64>());
+        p.end("work", s);
+        assert_eq!(p.stats("work").unwrap().count, 1);
+    }
+
+    #[test]
+    fn external_measurements_fold_in() {
+        let mut p = SpanProfile::monotonic();
+        p.record_nanos("trial", 100);
+        p.record_nanos("trial", 300);
+        let stats = p.stats("trial").unwrap();
+        assert_eq!(stats.count, 2);
+        assert_eq!(stats.total_nanos, 400);
+        assert_eq!(stats.max_nanos, 300);
+        let report = p.report();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"trial\""), "{json}");
+        assert!(json.contains("\"total_nanos\":400"), "{json}");
+    }
+
+    #[test]
+    fn missing_span_is_none() {
+        let p = SpanProfile::deterministic();
+        assert!(p.stats("nope").is_none());
+    }
+}

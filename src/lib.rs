@@ -14,6 +14,8 @@
 //! - [`game`] — the paper's contribution: Bellman solver, threshold
 //!   strategies, mean-field equilibrium (Algorithm 1).
 //! - [`sim`] — epoch-driven rack simulator with the paper's four policies.
+//! - [`telemetry`] — observability: structured event tracing, metrics
+//!   registry, and timing spans, zero-cost when disabled.
 //!
 //! # Quickstart
 //!
@@ -41,6 +43,7 @@ pub use sprint_game as game;
 pub use sprint_power as power;
 pub use sprint_sim as sim;
 pub use sprint_stats as stats;
+pub use sprint_telemetry as telemetry;
 pub use sprint_workloads as workloads;
 
 /// The types most sessions start from.
@@ -65,6 +68,7 @@ pub mod prelude {
     pub use sprint_sim::runner::compare_policies;
     pub use sprint_sim::scenario::Scenario;
     pub use sprint_stats::density::DiscreteDensity;
+    pub use sprint_telemetry::Telemetry;
     pub use sprint_workloads::generator::Population;
     pub use sprint_workloads::Benchmark;
 }
