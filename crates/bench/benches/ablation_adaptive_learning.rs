@@ -7,9 +7,10 @@
 
 use sprint_bench::paper_scenario;
 use sprint_game::{GameConfig, MeanFieldSolver};
-use sprint_sim::engine::{simulate, SimConfig};
+use sprint_sim::engine::{run, SimConfig};
 use sprint_sim::policies::AdaptiveThreshold;
 use sprint_sim::policy::PolicyKind;
+use sprint_sim::telemetry::Telemetry;
 use sprint_workloads::Benchmark;
 
 const EPOCHS: usize = 2000;
@@ -29,12 +30,12 @@ fn main() {
     for b in [Benchmark::DecisionTree, Benchmark::Svm, Benchmark::PageRank] {
         let density = b.utility_density(512).expect("valid bins");
         let offline = MeanFieldSolver::new(config)
-            .solve(&density)
+            .run(&density, &mut Telemetry::noop())
             .expect("equilibrium exists");
 
         let scenario = paper_scenario(b, EPOCHS);
         let offline_run = scenario
-            .run(PolicyKind::EquilibriumThreshold, 5)
+            .execute(PolicyKind::EquilibriumThreshold, 5, &mut Telemetry::noop())
             .expect("simulation succeeds");
 
         let mut learner =
@@ -44,8 +45,13 @@ fn main() {
             .spawn_streams(5)
             .expect("streams spawn");
         let sim_config = SimConfig::new(config, EPOCHS, 5).expect("valid epochs");
-        let learned_run =
-            simulate(&sim_config, &mut streams, &mut learner).expect("simulation succeeds");
+        let learned_run = run(
+            &sim_config,
+            &mut streams,
+            &mut learner,
+            &mut Telemetry::noop(),
+        )
+        .expect("simulation succeeds");
 
         println!(
             "{:<14} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>7}",

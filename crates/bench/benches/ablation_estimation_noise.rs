@@ -9,7 +9,8 @@
 use sprint_bench::{paper_scenario, TRIAL_SEEDS};
 use sprint_sim::engine::UtilityEstimation;
 use sprint_sim::policy::PolicyKind;
-use sprint_sim::runner::compare_policies;
+use sprint_sim::runner::compare;
+use sprint_sim::telemetry::Telemetry;
 use sprint_workloads::Benchmark;
 
 const EPOCHS: usize = 600;
@@ -37,9 +38,13 @@ fn main() {
             } else {
                 UtilityEstimation::Noisy { relative_sd: sd }
             });
-            let cmp =
-                compare_policies(&scenario, &[PolicyKind::EquilibriumThreshold], &TRIAL_SEEDS)
-                    .expect("comparison succeeds");
+            let cmp = compare(
+                &scenario,
+                &[PolicyKind::EquilibriumThreshold],
+                &TRIAL_SEEDS,
+                &mut Telemetry::noop(),
+            )
+            .expect("comparison succeeds");
             let tasks = cmp
                 .outcome(PolicyKind::EquilibriumThreshold)
                 .expect("policy present")

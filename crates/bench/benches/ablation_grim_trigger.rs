@@ -17,8 +17,9 @@
 use sprint_bench::paper_scenario;
 use sprint_game::cooperative::CooperativeSearch;
 use sprint_game::GameConfig;
-use sprint_sim::engine::{simulate, SimConfig};
+use sprint_sim::engine::{self, SimConfig};
 use sprint_sim::policies::GrimTrigger;
+use sprint_sim::telemetry::Telemetry;
 use sprint_workloads::Benchmark;
 
 const EPOCHS: usize = 800;
@@ -39,10 +40,11 @@ fn run(config: GameConfig, n_deviants: usize, enforcement: bool) -> (f64, u32, u
     let deviants: Vec<usize> = (0..n_deviants).collect();
     let mut policy =
         GrimTrigger::new(vec![ct.threshold; AGENTS], &deviants, enforcement).expect("valid policy");
-    let result = simulate(
+    let result = engine::run(
         &SimConfig::new(config, EPOCHS, 17).expect("valid epochs"),
         &mut streams,
         &mut policy,
+        &mut Telemetry::noop(),
     )
     .expect("simulation succeeds");
     (

@@ -7,6 +7,7 @@
 use sprint_game::bellman::BellmanMethod;
 use sprint_game::meanfield::{MeanFieldSolver, SolverOptions};
 use sprint_game::GameConfig;
+use sprint_sim::telemetry::Telemetry;
 use sprint_workloads::Benchmark;
 
 fn main() {
@@ -28,8 +29,8 @@ fn main() {
         Benchmark::Kmeans,
     ] {
         let density = b.utility_density(512).expect("valid bins");
-        let literal =
-            MeanFieldSolver::with_options(config, SolverOptions::paper_literal()).solve(&density);
+        let literal = MeanFieldSolver::with_options(config, SolverOptions::paper_literal())
+            .run(&density, &mut Telemetry::noop());
         let damped = MeanFieldSolver::with_options(
             config,
             SolverOptions {
@@ -39,7 +40,7 @@ fn main() {
                 max_iterations: 500,
             },
         )
-        .solve(&density)
+        .run(&density, &mut Telemetry::noop())
         .expect("damped solve succeeds");
         match literal {
             Ok(lit) => println!(

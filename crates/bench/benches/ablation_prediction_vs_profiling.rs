@@ -7,9 +7,10 @@
 
 use sprint_bench::paper_scenario;
 use sprint_game::{GameConfig, MeanFieldSolver};
-use sprint_sim::engine::{simulate, SimConfig};
+use sprint_sim::engine::{run, SimConfig};
 use sprint_sim::policies::PredictiveThreshold;
 use sprint_sim::policy::PolicyKind;
+use sprint_sim::telemetry::Telemetry;
 use sprint_workloads::Benchmark;
 
 const EPOCHS: usize = 800;
@@ -33,11 +34,11 @@ fn main() {
     ] {
         let density = b.utility_density(512).expect("valid bins");
         let eq = MeanFieldSolver::new(config)
-            .solve(&density)
+            .run(&density, &mut Telemetry::noop())
             .expect("equilibrium exists");
         let scenario = paper_scenario(b, EPOCHS);
         let profiled = scenario
-            .run(PolicyKind::EquilibriumThreshold, 9)
+            .execute(PolicyKind::EquilibriumThreshold, 9, &mut Telemetry::noop())
             .expect("simulation succeeds");
 
         let mut streams = scenario
@@ -45,10 +46,11 @@ fn main() {
             .spawn_streams(9)
             .expect("streams spawn");
         let mut policy = PredictiveThreshold::uniform(eq.threshold(), 1000).expect("valid policy");
-        let predictive = simulate(
+        let predictive = run(
             &SimConfig::new(config, EPOCHS, 9).expect("valid epochs"),
             &mut streams,
             &mut policy,
+            &mut Telemetry::noop(),
         )
         .expect("simulation succeeds");
 

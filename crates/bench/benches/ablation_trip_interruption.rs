@@ -11,7 +11,8 @@
 use sprint_bench::{paper_scenario, TRIAL_SEEDS};
 use sprint_sim::engine::TripInterruption;
 use sprint_sim::policy::PolicyKind;
-use sprint_sim::runner::compare_policies;
+use sprint_sim::runner::compare;
+use sprint_sim::telemetry::Telemetry;
 use sprint_workloads::Benchmark;
 
 const EPOCHS: usize = 600;
@@ -36,10 +37,11 @@ fn main() {
         let mut cells = Vec::new();
         for mode in [TripInterruption::CompleteOnUps, TripInterruption::Truncated] {
             let scenario = paper_scenario(b, EPOCHS).with_interruption(mode);
-            let cmp = compare_policies(
+            let cmp = compare(
                 &scenario,
                 &[PolicyKind::Greedy, PolicyKind::EquilibriumThreshold],
                 &TRIAL_SEEDS,
+                &mut Telemetry::noop(),
             )
             .expect("comparison succeeds");
             let g = cmp

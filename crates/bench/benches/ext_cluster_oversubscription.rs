@@ -12,6 +12,7 @@ use sprint_game::{GameConfig, MeanFieldSolver, ThresholdStrategy};
 use sprint_sim::cluster::{simulate_cluster, ClusterConfig};
 use sprint_sim::policies::ThresholdPolicy;
 use sprint_sim::policy::SprintPolicy;
+use sprint_sim::telemetry::Telemetry;
 use sprint_workloads::generator::Population;
 use sprint_workloads::Benchmark;
 
@@ -60,7 +61,7 @@ fn main() {
         .utility_density(512)
         .expect("valid bins");
     let rack_eq = MeanFieldSolver::new(game)
-        .solve(&density)
+        .run(&density, &mut Telemetry::noop())
         .expect("equilibrium exists");
 
     println!(

@@ -4,6 +4,7 @@
 
 use sprint_bench::{downsample, paper_scenario, sparkline, PAPER_EPOCHS};
 use sprint_sim::policy::PolicyKind;
+use sprint_sim::telemetry::Telemetry;
 use sprint_workloads::Benchmark;
 
 fn main() {
@@ -14,7 +15,9 @@ fn main() {
     );
     let scenario = paper_scenario(Benchmark::DecisionTree, PAPER_EPOCHS);
     for kind in PolicyKind::ALL {
-        let result = scenario.run(kind, 11).expect("simulation succeeds");
+        let result = scenario
+            .execute(kind, 11, &mut Telemetry::noop())
+            .expect("simulation succeeds");
         let series: Vec<f64> = result
             .sprinters_per_epoch()
             .iter()

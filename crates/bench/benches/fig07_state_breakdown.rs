@@ -4,6 +4,7 @@
 
 use sprint_bench::{paper_scenario, PAPER_EPOCHS};
 use sprint_sim::policy::PolicyKind;
+use sprint_sim::telemetry::Telemetry;
 use sprint_workloads::Benchmark;
 
 fn main() {
@@ -18,7 +19,9 @@ fn main() {
         "policy", "active%", "cooling%", "recovery%", "sprint%"
     );
     for kind in PolicyKind::ALL {
-        let result = scenario.run(kind, 11).expect("simulation succeeds");
+        let result = scenario
+            .execute(kind, 11, &mut Telemetry::noop())
+            .expect("simulation succeeds");
         let f = result.occupancy().fractions();
         println!(
             "{:<24} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",

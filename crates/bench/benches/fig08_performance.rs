@@ -3,7 +3,8 @@
 
 use sprint_bench::{paper_scenario, TRIAL_SEEDS};
 use sprint_sim::policy::PolicyKind;
-use sprint_sim::runner::compare_policies;
+use sprint_sim::runner::compare;
+use sprint_sim::telemetry::Telemetry;
 use sprint_workloads::Benchmark;
 
 const EPOCHS: usize = 600;
@@ -21,8 +22,13 @@ fn main() {
     );
     for b in Benchmark::ALL {
         let scenario = paper_scenario(b, EPOCHS);
-        let cmp = compare_policies(&scenario, &PolicyKind::ALL, &TRIAL_SEEDS)
-            .expect("comparison succeeds");
+        let cmp = compare(
+            &scenario,
+            &PolicyKind::ALL,
+            &TRIAL_SEEDS,
+            &mut Telemetry::noop(),
+        )
+        .expect("comparison succeeds");
         let norm = |k: PolicyKind| cmp.normalized_to_greedy(k).expect("greedy present");
         let et = norm(PolicyKind::EquilibriumThreshold);
         let ct = norm(PolicyKind::CooperativeThreshold);

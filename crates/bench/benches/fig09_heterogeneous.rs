@@ -2,8 +2,9 @@
 //! application types grows from 1 to 11 (ten random mixes per point).
 
 use sprint_sim::policy::PolicyKind;
-use sprint_sim::runner::compare_policies;
+use sprint_sim::runner::compare;
 use sprint_sim::scenario::Scenario;
+use sprint_sim::telemetry::Telemetry;
 use sprint_stats::rng::seeded_rng;
 use sprint_workloads::generator::Population;
 
@@ -30,8 +31,13 @@ fn main() {
                 PolicyKind::ExponentialBackoff,
                 PolicyKind::EquilibriumThreshold,
             ];
-            let cmp = compare_policies(&scenario, &policies, &[100 + mix as u64])
-                .expect("comparison succeeds");
+            let cmp = compare(
+                &scenario,
+                &policies,
+                &[100 + mix as u64],
+                &mut Telemetry::noop(),
+            )
+            .expect("comparison succeeds");
             for (i, p) in policies.into_iter().enumerate() {
                 sums[i] += cmp.normalized_to_greedy(p).expect("greedy present");
             }

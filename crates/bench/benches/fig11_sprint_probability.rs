@@ -5,6 +5,7 @@
 //! judiciously with higher thresholds.
 
 use sprint_game::{GameConfig, MeanFieldSolver};
+use sprint_sim::telemetry::Telemetry;
 use sprint_workloads::Benchmark;
 
 fn main() {
@@ -20,7 +21,9 @@ fn main() {
     );
     for b in Benchmark::ALL {
         let density = b.utility_density(512).expect("valid bins");
-        let eq = solver.solve(&density).expect("equilibrium exists");
+        let eq = solver
+            .run(&density, &mut Telemetry::noop())
+            .expect("equilibrium exists");
         println!(
             "{:<14} {:>10.3} {:>11.3} {:>9.3} {:>10.1}",
             b.name(),

@@ -2,6 +2,7 @@
 //! architectural parameters p_c, p_r, N_min, and N_max.
 
 use sprint_game::{GameConfig, MeanFieldSolver};
+use sprint_sim::telemetry::Telemetry;
 use sprint_workloads::Benchmark;
 
 fn threshold_for(config: GameConfig) -> f64 {
@@ -9,7 +10,7 @@ fn threshold_for(config: GameConfig) -> f64 {
         .utility_density(512)
         .expect("valid bins");
     MeanFieldSolver::new(config)
-        .solve(&density)
+        .run(&density, &mut Telemetry::noop())
         .map(|eq| eq.threshold())
         .unwrap_or(f64::NAN)
 }

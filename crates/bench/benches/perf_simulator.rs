@@ -5,10 +5,11 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use sprint_sim::engine::{simulate, SimConfig};
+use sprint_sim::engine::{run, SimConfig};
 use sprint_sim::policies::{ExponentialBackoff, Greedy};
 use sprint_sim::policy::PolicyKind;
 use sprint_sim::scenario::Scenario;
+use sprint_sim::telemetry::Telemetry;
 use sprint_workloads::generator::Population;
 use sprint_workloads::Benchmark;
 
@@ -29,7 +30,13 @@ fn bench_engine(c: &mut Criterion) {
                 )
             },
             |(cfg, mut streams)| {
-                simulate(black_box(&cfg), &mut streams, &mut Greedy::new()).unwrap()
+                run(
+                    black_box(&cfg),
+                    &mut streams,
+                    &mut Greedy::new(),
+                    &mut Telemetry::noop(),
+                )
+                .unwrap()
             },
             BatchSize::LargeInput,
         )
@@ -44,7 +51,13 @@ fn bench_engine(c: &mut Criterion) {
                 )
             },
             |(cfg, mut streams, mut policy)| {
-                simulate(black_box(&cfg), &mut streams, &mut policy).unwrap()
+                run(
+                    black_box(&cfg),
+                    &mut streams,
+                    &mut policy,
+                    &mut Telemetry::noop(),
+                )
+                .unwrap()
             },
             BatchSize::LargeInput,
         )
@@ -58,7 +71,11 @@ fn bench_scenario_run(c: &mut Criterion) {
     c.bench_function("scenario_equilibrium_run", |b| {
         b.iter(|| {
             scenario
-                .run(black_box(PolicyKind::EquilibriumThreshold), 7)
+                .execute(
+                    black_box(PolicyKind::EquilibriumThreshold),
+                    7,
+                    &mut Telemetry::noop(),
+                )
                 .unwrap()
         })
     });

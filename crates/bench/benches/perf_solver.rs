@@ -7,6 +7,7 @@ use std::hint::black_box;
 use sprint_game::bellman::{self, BellmanMethod};
 use sprint_game::cooperative::CooperativeSearch;
 use sprint_game::{GameConfig, MeanFieldSolver};
+use sprint_sim::telemetry::Telemetry;
 use sprint_workloads::Benchmark;
 
 fn bench_bellman(c: &mut Criterion) {
@@ -50,7 +51,11 @@ fn bench_algorithm1(c: &mut Criterion) {
         group.bench_function(b.name(), |bench| {
             bench.iter_batched(
                 || density.clone(),
-                |d| MeanFieldSolver::new(cfg).solve(black_box(&d)).unwrap(),
+                |d| {
+                    MeanFieldSolver::new(cfg)
+                        .run(black_box(&d), &mut Telemetry::noop())
+                        .unwrap()
+                },
                 BatchSize::SmallInput,
             )
         });

@@ -1,18 +1,19 @@
 //! Telemetry overhead smoke check (not a criterion bench).
 //!
-//! Measures the engine at rack scale in three configurations — the plain
-//! `simulate` entry point, `simulate_traced` with disabled ([`Noop`])
-//! telemetry, and `simulate_traced` with a live in-memory recorder — and
-//! enforces the zero-cost-when-disabled contract: the Noop path must stay
-//! within 5 % of the plain path. Results land in `BENCH_telemetry.json`
-//! at the workspace root so CI can archive the trend.
+//! Measures the engine at rack scale in three configurations — the
+//! deprecated `simulate` forwarding shim (the unmigrated caller's path),
+//! the unified `engine::run` with disabled telemetry, and `engine::run`
+//! with a live in-memory recorder — and enforces the
+//! zero-cost-when-disabled contract: the disabled path must stay within
+//! 5 % of the shim path. Results land in `BENCH_telemetry.json` at the
+//! workspace root so CI can archive the trend.
 //!
 //! Run with `--quick` for a reduced-scale CI smoke pass.
 
 use std::hint::black_box;
 use std::time::Instant;
 
-use sprint_sim::engine::{simulate, simulate_traced, SimConfig};
+use sprint_sim::engine::{run, SimConfig};
 use sprint_sim::policies::Greedy;
 use sprint_sim::telemetry::Telemetry;
 use sprint_workloads::generator::Population;
@@ -68,13 +69,15 @@ fn main() {
     let population = Population::homogeneous(Benchmark::DecisionTree, scale.agents).unwrap();
     let (plain_nanos, plain_tasks) = measure(&scale, |config| {
         let mut streams = population.spawn_streams(7).unwrap();
-        let r = simulate(black_box(config), &mut streams, &mut Greedy::new()).unwrap();
+        #[allow(deprecated)]
+        let r = sprint_sim::engine::simulate(black_box(config), &mut streams, &mut Greedy::new())
+            .unwrap();
         r.total_tasks()
     });
     let (noop_nanos, noop_tasks) = measure(&scale, |config| {
         let mut streams = population.spawn_streams(7).unwrap();
         let mut telemetry = Telemetry::disabled();
-        let r = simulate_traced(
+        let r = run(
             black_box(config),
             &mut streams,
             &mut Greedy::new(),
@@ -86,7 +89,7 @@ fn main() {
     let (enabled_nanos, enabled_tasks) = measure(&scale, |config| {
         let mut streams = population.spawn_streams(7).unwrap();
         let mut telemetry = Telemetry::in_memory();
-        let r = simulate_traced(
+        let r = run(
             black_box(config),
             &mut streams,
             &mut Greedy::new(),

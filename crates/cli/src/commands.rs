@@ -6,11 +6,13 @@ use sprint_game::cooperative::CooperativeSearch;
 use sprint_game::{GameConfig, MeanFieldSolver};
 use sprint_power::rack::RackConfig;
 use sprint_sim::policy::PolicyKind;
-use sprint_sim::runner::{chaos_matrix_profiled, compare_policies, standard_fault_suite};
+use sprint_sim::runner::standard_fault_suite;
 use sprint_sim::scenario::Scenario;
+use sprint_sim::sweep::{run_sweep, GameVariant, PopulationSpec, SweepSpec};
 use sprint_sim::telemetry::{
-    Event, EventKind, JsonlWriter, MetricsSnapshot, SpanProfile, SpanReport, Telemetry,
+    Event, EventKind, JsonlWriter, MetricsSnapshot, Noop, SpanProfile, SpanReport, Telemetry,
 };
+use sprint_sim::RunOptions;
 use sprint_workloads::Benchmark;
 
 use crate::args::{ArgError, ParsedArgs};
@@ -60,6 +62,10 @@ USAGE:
   sprint report        --benchmark <name> [--policy P] [--agents N] [--epochs E]
                        [--seed S] [--json true]
   sprint compare       --benchmark <name> [--agents N] [--epochs E] [--seeds K]
+  sprint sweep         [--spec FILE.json] [--benchmark <name>] [--agents N]
+                       [--epochs E] [--seeds K] [--jobs J] [--json true]
+                       [--records FILE.jsonl] [--telemetry true]
+                       [--print-spec true]
   sprint chaos         --benchmark <name> [--agents N] [--epochs E] [--seeds K]
                        [--fault-seed S] [--json true] [--telemetry true]
   sprint cluster       --benchmark <name> [--racks K] [--agents-per-rack N]
@@ -147,7 +153,7 @@ pub fn solve(args: &ParsedArgs) -> Result<(), CliError> {
 
     let density = benchmark.utility_density(512).map_err(run_err)?;
     let eq = MeanFieldSolver::new(config)
-        .solve(&density)
+        .run(&density, &mut Telemetry::noop())
         .map_err(run_err)?;
     let ct = CooperativeSearch::default_resolution()
         .solve(&config, &density)
@@ -251,9 +257,7 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), CliError> {
     let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
     let (result, telemetry) = if with_telemetry {
         let mut kit = Telemetry::in_memory();
-        let result = scenario
-            .run_traced(policy, seed, &mut kit)
-            .map_err(run_err)?;
+        let result = scenario.execute(policy, seed, &mut kit).map_err(run_err)?;
         let section = TelemetrySection {
             events: kit.events().map_or(0, <[Event]>::len),
             metrics: kit.registry.snapshot(),
@@ -261,7 +265,12 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), CliError> {
         };
         (result, Some(section))
     } else {
-        (scenario.run(policy, seed).map_err(run_err)?, None)
+        (
+            scenario
+                .execute(policy, seed, &mut Telemetry::noop())
+                .map_err(run_err)?,
+            None,
+        )
     };
     let report = SimulateReport {
         benchmark: benchmark.name(),
@@ -337,7 +346,7 @@ pub fn trace(args: &ParsedArgs) -> Result<(), CliError> {
     let mut telemetry = Telemetry::new(Box::new(jsonl), SpanProfile::deterministic());
     let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
     scenario
-        .run_traced(policy, seed, &mut telemetry)
+        .execute(policy, seed, &mut telemetry)
         .map_err(run_err)?;
     if let Some(path) = out {
         let epochs_seen = telemetry
@@ -380,7 +389,7 @@ pub fn report(args: &ParsedArgs) -> Result<(), CliError> {
     let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
     let mut telemetry = Telemetry::in_memory();
     let result = scenario
-        .run_traced(policy, seed, &mut telemetry)
+        .execute(policy, seed, &mut telemetry)
         .map_err(run_err)?;
     let solver_residuals: Vec<f64> = telemetry
         .events()
@@ -475,7 +484,9 @@ pub fn compare(args: &ParsedArgs) -> Result<(), CliError> {
 
     let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
     let seeds: Vec<u64> = (1..=n_seeds).collect();
-    let cmp = compare_policies(&scenario, &PolicyKind::ALL, &seeds).map_err(run_err)?;
+    let cmp =
+        sprint_sim::runner::compare(&scenario, &PolicyKind::ALL, &seeds, &mut Telemetry::noop())
+            .map_err(run_err)?;
     println!(
         "{:<24} {:>11} {:>8} {:>9} {:>7}",
         "policy", "tasks/ep", "vs G", "±95% CI", "trips"
@@ -495,6 +506,126 @@ pub fn compare(args: &ParsedArgs) -> Result<(), CliError> {
             ci,
             outcome.trips
         );
+    }
+    Ok(())
+}
+
+/// Build a sweep spec from the command line: a spec file wins; otherwise
+/// inline flags shape a single-game spec over all four policies.
+fn sweep_spec(args: &ParsedArgs) -> Result<SweepSpec, CliError> {
+    if let Some(path) = args.get("spec") {
+        for inline in ["benchmark", "agents", "epochs", "seeds"] {
+            if args.get(inline).is_some() {
+                return Err(
+                    ArgError(format!("--spec and --{inline} are mutually exclusive")).into(),
+                );
+            }
+        }
+        let text = std::fs::read_to_string(path).map_err(run_err)?;
+        return serde_json::from_str(&text)
+            .map_err(|e| ArgError(format!("invalid sweep spec `{path}`: {e}")).into());
+    }
+    let benchmark = parse_benchmark(args)?;
+    let agents: u32 = args.get_parsed("agents", 1000)?;
+    let epochs: usize = args.get_parsed("epochs", 600)?;
+    let n_seeds: u64 = args.get_parsed("seeds", 4)?;
+    if n_seeds == 0 {
+        return Err(ArgError("--seeds must be at least 1".into()).into());
+    }
+    Ok(SweepSpec {
+        games: vec![GameVariant::paper("paper")],
+        populations: vec![PopulationSpec::homogeneous(benchmark, agents)],
+        plans: Vec::new(),
+        policies: PolicyKind::ALL.to_vec(),
+        seeds: (1..=n_seeds).collect(),
+        epochs,
+        options: RunOptions::default(),
+    })
+}
+
+/// `sprint sweep`: expand a declarative spec into trials and run them on
+/// a worker pool, with equilibrium solves memoized across trials.
+pub fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
+    args.expect_only(&[
+        "spec",
+        "benchmark",
+        "agents",
+        "epochs",
+        "seeds",
+        "jobs",
+        "json",
+        "records",
+        "telemetry",
+        "print-spec",
+    ])?;
+    if args.get_bool("print-spec", false)? {
+        let s = serde_json::to_string_pretty(&SweepSpec::example()).map_err(run_err)?;
+        println!("{s}");
+        return Ok(());
+    }
+    let spec = sweep_spec(args)?;
+    let jobs: usize = args.get_parsed("jobs", 0)?;
+    let json = args.get_bool("json", false)?;
+    let with_telemetry = args.get_bool("telemetry", false)?;
+    let records_out = args.get("records");
+
+    let mut kit = if with_telemetry {
+        Telemetry::new(Box::new(Noop), SpanProfile::monotonic())
+    } else {
+        Telemetry::noop()
+    };
+    let report = run_sweep(&spec, jobs, &mut kit).map_err(run_err)?;
+
+    if let Some(path) = records_out {
+        use std::io::Write;
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path).map_err(run_err)?);
+        for record in &report.records {
+            let line = serde_json::to_string(record).map_err(run_err)?;
+            writeln!(file, "{line}").map_err(run_err)?;
+        }
+        file.flush().map_err(run_err)?;
+        eprintln!("{} records written to {path}", report.records.len());
+    }
+
+    emit(json, &report, || {
+        println!(
+            "sweep: {} trials ({} games x {} populations x {} plans x {} policies x {} seeds)",
+            report.trials,
+            spec.games.len(),
+            spec.populations.len(),
+            spec.plans.len().max(1),
+            spec.policies.len(),
+            spec.seeds.len()
+        );
+        println!(
+            "{:<14} {:<12} {:<12} {:<24} {:>10} {:>7} {:>7}",
+            "game", "population", "plan", "policy", "tasks/ep", "vs G", "trips"
+        );
+        for cell in &report.cells {
+            let norm = cell
+                .normalized_to_greedy
+                .map_or_else(|| "-".to_string(), |n| format!("{n:.3}"));
+            println!(
+                "{:<14} {:<12} {:<12} {:<24} {:>10.4} {:>7} {:>7.1}",
+                cell.game,
+                cell.population,
+                cell.plan,
+                cell.policy.to_string(),
+                cell.tasks_per_agent_epoch,
+                norm,
+                cell.trips
+            );
+        }
+    })?;
+    if with_telemetry {
+        let snapshot = kit.registry.snapshot();
+        for (name, value) in &snapshot.counters {
+            println!("counter {name:<28} {value}");
+        }
+        for (name, value) in &snapshot.gauges {
+            println!("gauge   {name:<28} {value:.4}");
+        }
+        print_span_table(&kit.spans.report());
     }
     Ok(())
 }
@@ -524,9 +655,10 @@ pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
     let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
     let plans = standard_fault_suite(fault_seed);
     let seeds: Vec<u64> = (1..=n_seeds).collect();
-    let mut spans = SpanProfile::monotonic();
-    let report = chaos_matrix_profiled(&scenario, &PolicyKind::ALL, &plans, &seeds, &mut spans)
+    let mut kit = Telemetry::new(Box::new(Noop), SpanProfile::monotonic());
+    let report = sprint_sim::runner::chaos(&scenario, &PolicyKind::ALL, &plans, &seeds, &mut kit)
         .map_err(run_err)?;
+    let spans = kit.spans;
     if json && with_telemetry {
         #[derive(Serialize)]
         struct ChaosWithSpans {
@@ -618,7 +750,7 @@ pub fn cluster(args: &ParsedArgs) -> Result<(), CliError> {
     let density = benchmark.utility_density(512).map_err(run_err)?;
     let aware_game = config.facility_aware_band().map_err(run_err)?;
     let eq = MeanFieldSolver::new(aware_game)
-        .solve(&density)
+        .run(&density, &mut Telemetry::noop())
         .map_err(run_err)?;
     let mut streams = Population::homogeneous(benchmark, (racks * per_rack) as usize)
         .map_err(run_err)?
@@ -705,6 +837,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
         "trace" => trace(args),
         "report" => report(args),
         "compare" => compare(args),
+        "sweep" => sweep(args),
         "chaos" => chaos(args),
         "cluster" => cluster(args),
         "derive-params" => derive_params(args),
@@ -984,6 +1117,73 @@ mod tests {
             "0",
         ]);
         assert!(compare(&args).is_err());
+    }
+
+    #[test]
+    fn sweep_runs_inline_spec() {
+        let args = parsed(&[
+            "sweep",
+            "--benchmark",
+            "svm",
+            "--agents",
+            "20",
+            "--epochs",
+            "15",
+            "--seeds",
+            "2",
+            "--jobs",
+            "2",
+        ]);
+        assert!(sweep(&args).is_ok());
+        assert!(sweep(&parsed(&["sweep", "--benchmark", "svm", "--seeds", "0"])).is_err());
+        assert!(sweep(&parsed(&["sweep", "--bogus", "1"])).is_err());
+    }
+
+    #[test]
+    fn sweep_print_spec_round_trips() {
+        assert!(sweep(&parsed(&["sweep", "--print-spec", "true"])).is_ok());
+    }
+
+    #[test]
+    fn sweep_accepts_spec_file_and_writes_records() {
+        let dir = std::env::temp_dir();
+        let spec_path = dir.join("sprint-sweep-test-spec.json");
+        let records_path = dir.join("sprint-sweep-test-records.jsonl");
+        let mut spec = SweepSpec::example();
+        spec.populations[0].agents = 20;
+        spec.epochs = 10;
+        spec.games.truncate(1);
+        spec.policies.truncate(2);
+        spec.seeds.truncate(2);
+        std::fs::write(&spec_path, serde_json::to_string(&spec).unwrap()).unwrap();
+        let args = parsed(&[
+            "sweep",
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--jobs",
+            "2",
+            "--json",
+            "true",
+            "--records",
+            records_path.to_str().unwrap(),
+            "--telemetry",
+            "true",
+        ]);
+        assert!(sweep(&args).is_ok());
+        let records = std::fs::read_to_string(&records_path).unwrap();
+        assert_eq!(records.lines().count(), 4, "2 policies x 2 seeds");
+        assert!(records.lines().all(|l| l.starts_with('{')));
+        // --spec excludes the inline shape flags.
+        let conflicted = parsed(&[
+            "sweep",
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--benchmark",
+            "svm",
+        ]);
+        assert!(sweep(&conflicted).is_err());
+        let _ = std::fs::remove_file(spec_path);
+        let _ = std::fs::remove_file(records_path);
     }
 
     #[test]

@@ -205,7 +205,9 @@ mod tests {
             Benchmark::LinearRegression,
         ] {
             let d = b.utility_density(512).unwrap();
-            let eq = MeanFieldSolver::new(cfg()).solve(&d).unwrap();
+            let eq = MeanFieldSolver::new(cfg())
+                .run(&d, &mut sprint_telemetry::Telemetry::noop())
+                .unwrap();
             let et = analytic_throughput(&cfg(), &d, eq.threshold()).unwrap();
             let ct = CooperativeSearch::default_resolution()
                 .solve(&cfg(), &d)
@@ -224,7 +226,9 @@ mod tests {
         // "E-T's task throughput is 90% that of C-T's for most
         // applications" (§6.2). Check the representative app clears 80%.
         let d = Benchmark::DecisionTree.utility_density(512).unwrap();
-        let eq = MeanFieldSolver::new(cfg()).solve(&d).unwrap();
+        let eq = MeanFieldSolver::new(cfg())
+            .run(&d, &mut sprint_telemetry::Telemetry::noop())
+            .unwrap();
         let et = analytic_throughput(&cfg(), &d, eq.threshold()).unwrap();
         let ct = CooperativeSearch::default_resolution()
             .solve(&cfg(), &d)
@@ -242,7 +246,9 @@ mod tests {
         // performance because E-T degenerates to greedy. Check it lands
         // well below the diverse-profile efficiency.
         let d = Benchmark::LinearRegression.utility_density(512).unwrap();
-        let eq = MeanFieldSolver::new(cfg()).solve(&d).unwrap();
+        let eq = MeanFieldSolver::new(cfg())
+            .run(&d, &mut sprint_telemetry::Telemetry::noop())
+            .unwrap();
         let et = analytic_throughput(&cfg(), &d, eq.threshold()).unwrap();
         let ct = CooperativeSearch::default_resolution()
             .solve(&cfg(), &d)

@@ -8,7 +8,7 @@
 //! strategies form an equilibrium that agents self-enforce.
 
 use sprint_stats::density::DiscreteDensity;
-use sprint_telemetry::{Event, Noop, Recorder};
+use sprint_telemetry::{Event, Noop, Recorder, Telemetry};
 
 use crate::config::GameConfig;
 use crate::meanfield::SolverOptions;
@@ -78,31 +78,48 @@ impl Coordinator {
     }
 
     /// Run the offline analysis: solve the (possibly heterogeneous)
-    /// mean-field game and produce per-type strategy assignments.
+    /// mean-field game and produce per-type strategy assignments — the
+    /// unified entry point (pass [`Telemetry::noop()`] for an unobserved
+    /// solve).
+    ///
+    /// With an enabled kit this emits one [`Event::CoordinatorResolve`]
+    /// summarizing the completed solve (type count, iterations, residual,
+    /// advertised trip probability); results are bit-identical with
+    /// telemetry on or off.
     ///
     /// # Errors
     ///
     /// Returns [`GameError::InvalidParameter`] when no profiles are
     /// registered or counts do not sum to `N`, and
     /// [`GameError::NoEquilibrium`] when the solve fails.
-    pub fn optimize(&self) -> crate::Result<StrategyAssignments> {
-        self.optimize_observed(&mut Noop)
+    pub fn run(&self, telemetry: &mut Telemetry) -> crate::Result<StrategyAssignments> {
+        self.optimize_impl(telemetry.recorder())
     }
 
-    /// [`Coordinator::optimize`], narrated through a telemetry recorder.
-    ///
-    /// Emits one [`Event::CoordinatorResolve`] summarizing the completed
-    /// solve (type count, iterations, residual, advertised trip
-    /// probability). With the [`Noop`] recorder this is exactly
-    /// `optimize`.
+    /// Forwarding shim for the pre-unification entry point.
     ///
     /// # Errors
     ///
-    /// As [`Coordinator::optimize`].
+    /// As [`Coordinator::run`].
+    #[deprecated(note = "use `Coordinator::run(&mut Telemetry::noop())`")]
+    pub fn optimize(&self) -> crate::Result<StrategyAssignments> {
+        self.optimize_impl(&mut Noop)
+    }
+
+    /// Forwarding shim for the pre-unification observed entry point.
+    ///
+    /// # Errors
+    ///
+    /// As [`Coordinator::run`].
+    #[deprecated(note = "use `Coordinator::run` with a telemetry kit around the recorder")]
     pub fn optimize_observed(
         &self,
         recorder: &mut dyn Recorder,
     ) -> crate::Result<StrategyAssignments> {
+        self.optimize_impl(recorder)
+    }
+
+    fn optimize_impl(&self, recorder: &mut dyn Recorder) -> crate::Result<StrategyAssignments> {
         if self.profiles.is_empty() {
             return Err(GameError::InvalidParameter {
                 name: "profiles",
@@ -167,7 +184,7 @@ mod tests {
     #[test]
     fn empty_coordinator_errors() {
         let c = Coordinator::new(GameConfig::paper_defaults());
-        assert!(c.optimize().is_err());
+        assert!(c.run(&mut Telemetry::noop()).is_err());
         assert_eq!(c.profile_count(), 0);
     }
 
@@ -207,7 +224,7 @@ mod tests {
             Benchmark::PageRank.utility_density(512).unwrap(),
             500,
         );
-        let assignments = c.optimize().unwrap();
+        let assignments = c.run(&mut Telemetry::noop()).unwrap();
         let linear = assignments.strategy_for("linear").unwrap();
         let pagerank = assignments.strategy_for("pagerank").unwrap();
         assert!(pagerank.threshold() > linear.threshold());
@@ -218,13 +235,13 @@ mod tests {
 
     #[test]
     fn observed_optimize_emits_a_resolve_event() {
-        use sprint_telemetry::{EventKind, InMemory, Recorder as _};
+        use sprint_telemetry::EventKind;
 
         let mut c = Coordinator::new(GameConfig::paper_defaults());
         c.register_profile("svm", Benchmark::Svm.utility_density(256).unwrap(), 1000);
-        let mut rec = InMemory::new();
-        let assignments = c.optimize_observed(&mut rec).unwrap();
-        let events = rec.events().unwrap();
+        let mut kit = Telemetry::in_memory();
+        let assignments = c.run(&mut kit).unwrap();
+        let events = kit.events().unwrap().to_vec();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind(), EventKind::CoordinatorResolve);
         match &events[0] {
@@ -246,6 +263,19 @@ mod tests {
     fn counts_must_cover_the_rack() {
         let mut c = Coordinator::new(GameConfig::paper_defaults());
         c.register_profile("svm", Benchmark::Svm.utility_density(256).unwrap(), 123);
-        assert!(c.optimize().is_err(), "counts must sum to N = 1000");
+        assert!(
+            c.run(&mut Telemetry::noop()).is_err(),
+            "counts must sum to N = 1000"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward_to_run() {
+        let mut c = Coordinator::new(GameConfig::paper_defaults());
+        c.register_profile("svm", Benchmark::Svm.utility_density(256).unwrap(), 1000);
+        let canonical = c.run(&mut Telemetry::noop()).unwrap();
+        assert_eq!(canonical, c.optimize().unwrap());
+        assert_eq!(canonical, c.optimize_observed(&mut Noop).unwrap());
     }
 }

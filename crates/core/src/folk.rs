@@ -15,6 +15,7 @@
 //! ([`punishment_sustains_cooperation`]).
 
 use sprint_stats::density::DiscreteDensity;
+use sprint_telemetry::Telemetry;
 
 use crate::bellman;
 use crate::config::GameConfig;
@@ -30,7 +31,7 @@ use crate::GameError;
 /// Propagates solver errors; returns [`GameError::NoEquilibrium`] when the
 /// mean-field solve fails.
 pub fn efficiency(config: &GameConfig, density: &DiscreteDensity) -> crate::Result<f64> {
-    let eq = MeanFieldSolver::new(*config).solve(density)?;
+    let eq = MeanFieldSolver::new(*config).run(density, &mut Telemetry::noop())?;
     let et = analytic_throughput(config, density, eq.threshold())?;
     let ct = CooperativeSearch::default_resolution().solve(config, density)?;
     if ct.throughput.tasks_per_epoch <= 0.0 {
@@ -188,7 +189,9 @@ mod tests {
         // profitable deviation (at its own P_trip = 0 fixed point).
         let cfg = GameConfig::paper_defaults();
         let d = Benchmark::PageRank.utility_density(512).unwrap();
-        let eq = MeanFieldSolver::new(cfg).solve(&d).unwrap();
+        let eq = MeanFieldSolver::new(cfg)
+            .run(&d, &mut Telemetry::noop())
+            .unwrap();
         if eq.trip_probability() == 0.0 {
             let dev = analyze_deviation(&cfg, &d, eq.threshold()).unwrap();
             assert!(dev.is_self_enforcing(1e-6), "gain {}", dev.deviation_gain());

@@ -31,12 +31,13 @@
 //!
 //! ```
 //! use sprint_game::{GameConfig, MeanFieldSolver};
+//! use sprint_telemetry::Telemetry;
 //! use sprint_workloads::Benchmark;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let config = GameConfig::paper_defaults();
 //! let f_u = Benchmark::DecisionTree.utility_density(256)?;
-//! let eq = MeanFieldSolver::new(config).solve(&f_u)?;
+//! let eq = MeanFieldSolver::new(config).run(&f_u, &mut Telemetry::noop())?;
 //!
 //! // The representative app sprints judiciously...
 //! assert!(eq.sprint_probability() < 0.9);
@@ -50,6 +51,7 @@
 
 pub mod agent;
 pub mod bellman;
+pub mod cache;
 pub mod config;
 pub mod cooperative;
 pub mod coordinator;
@@ -64,6 +66,7 @@ pub mod trip;
 
 mod error;
 
+pub use cache::{CacheStats, EquilibriumCache};
 pub use config::GameConfig;
 pub use equilibrium::Equilibrium;
 pub use error::GameError;

@@ -18,7 +18,7 @@
 //! fixed point exists.
 
 use sprint_stats::density::DiscreteDensity;
-use sprint_telemetry::{Event, EventKind, Noop, Recorder};
+use sprint_telemetry::{Event, EventKind, Noop, Recorder, Telemetry};
 
 use crate::bellman::{self, BellmanMethod};
 use crate::config::GameConfig;
@@ -95,6 +95,12 @@ impl MeanFieldSolver {
         &self.config
     }
 
+    /// The solver options.
+    #[must_use]
+    pub fn options(&self) -> &SolverOptions {
+        &self.options
+    }
+
     /// One composition of Algorithm 1's three steps: threshold, sprint
     /// distribution, and implied tripping probability at `p_trip`.
     fn respond(
@@ -109,12 +115,23 @@ impl MeanFieldSolver {
         Ok((sol, dist, implied))
     }
 
-    /// Solve for the mean-field equilibrium of `density`.
+    /// Solve for the mean-field equilibrium of `density`, narrated
+    /// through a telemetry kit — the unified entry point (pass
+    /// [`Telemetry::noop()`] for an unobserved solve).
     ///
     /// The damped iteration retries with progressively heavier damping
     /// before falling back to bisection: threshold quantization makes the
     /// response map discontinuous, so a damping that cycles at one scale
     /// can settle at another. The escalation is bounded; it never spins.
+    ///
+    /// With an enabled kit this emits one [`Event::SolverIteration`] per
+    /// outer iteration (damping, residual, and both trip probabilities),
+    /// [`Event::SolverEscalation`] at each damping change,
+    /// [`Event::SolverBisection`] when the fixed-point iteration gives way
+    /// to bisection, and a final [`Event::SolverOutcome`]. With a disabled
+    /// kit emission is gated on [`Recorder::enabled`], so no events are
+    /// constructed and the iteration arithmetic is untouched — results are
+    /// bit-identical either way.
     ///
     /// # Errors
     ///
@@ -122,28 +139,43 @@ impl MeanFieldSolver {
     /// *and* bisection fail — which the paper predicts for pathological
     /// configurations such as the §6.4 prisoner's dilemma with a breaker
     /// band the population always overwhelms. The error carries the best
-    /// iterate found and a conservative fallback threshold that keeps
-    /// expected sprinters below `N_min` (the breaker's never-trip region,
-    /// §2.2), so callers can degrade gracefully instead of aborting.
-    pub fn solve(&self, density: &DiscreteDensity) -> crate::Result<Equilibrium> {
-        self.solve_observed(density, &mut Noop)
+    /// iterate found, the full residual history, and a conservative
+    /// fallback threshold that keeps expected sprinters below `N_min`
+    /// (the breaker's never-trip region, §2.2), so callers can degrade
+    /// gracefully instead of aborting.
+    pub fn run(
+        &self,
+        density: &DiscreteDensity,
+        telemetry: &mut Telemetry,
+    ) -> crate::Result<Equilibrium> {
+        self.solve_impl(density, telemetry.recorder())
     }
 
-    /// [`MeanFieldSolver::solve`], narrated through a telemetry recorder.
-    ///
-    /// Emits one [`Event::SolverIteration`] per outer iteration (damping,
-    /// residual, and both trip probabilities), [`Event::SolverEscalation`]
-    /// at each damping change, [`Event::SolverBisection`] when the
-    /// fixed-point iteration gives way to bisection, and a final
-    /// [`Event::SolverOutcome`]. With the [`Noop`] recorder this is
-    /// exactly `solve`: emission is gated on [`Recorder::enabled`], so no
-    /// events are constructed and the iteration arithmetic is untouched.
+    /// Forwarding shim for the pre-unification entry point.
     ///
     /// # Errors
     ///
-    /// As [`MeanFieldSolver::solve`]; the [`GameError::NonConvergence`]
-    /// it returns carries the full residual history.
+    /// As [`MeanFieldSolver::run`].
+    #[deprecated(note = "use `MeanFieldSolver::run(density, &mut Telemetry::noop())`")]
+    pub fn solve(&self, density: &DiscreteDensity) -> crate::Result<Equilibrium> {
+        self.solve_impl(density, &mut Noop)
+    }
+
+    /// Forwarding shim for the pre-unification observed entry point.
+    ///
+    /// # Errors
+    ///
+    /// As [`MeanFieldSolver::run`].
+    #[deprecated(note = "use `MeanFieldSolver::run` with a telemetry kit around the recorder")]
     pub fn solve_observed(
+        &self,
+        density: &DiscreteDensity,
+        recorder: &mut dyn Recorder,
+    ) -> crate::Result<Equilibrium> {
+        self.solve_impl(density, recorder)
+    }
+
+    pub(crate) fn solve_impl(
         &self,
         density: &DiscreteDensity,
         recorder: &mut dyn Recorder,
@@ -362,7 +394,7 @@ mod tests {
     fn solve_benchmark(b: Benchmark) -> Equilibrium {
         let cfg = GameConfig::paper_defaults();
         MeanFieldSolver::new(cfg)
-            .solve(&b.utility_density(512).unwrap())
+            .run(&b.utility_density(512).unwrap(), &mut Telemetry::noop())
             .unwrap()
     }
 
@@ -431,7 +463,9 @@ mod tests {
     fn equilibrium_is_consistent_fixed_point() {
         let cfg = GameConfig::paper_defaults();
         let d = Benchmark::Svm.utility_density(512).unwrap();
-        let eq = MeanFieldSolver::new(cfg).solve(&d).unwrap();
+        let eq = MeanFieldSolver::new(cfg)
+            .run(&d, &mut Telemetry::noop())
+            .unwrap();
         // Re-deriving P from n_S reproduces the equilibrium P.
         let p = TripCurve::from_config(&cfg).p_trip(eq.expected_sprinters());
         assert!((p - eq.trip_probability()).abs() < 1e-6);
@@ -443,9 +477,11 @@ mod tests {
     fn damped_and_literal_algorithms_agree() {
         let cfg = GameConfig::paper_defaults();
         let d = Benchmark::PageRank.utility_density(512).unwrap();
-        let damped = MeanFieldSolver::new(cfg).solve(&d).unwrap();
+        let damped = MeanFieldSolver::new(cfg)
+            .run(&d, &mut Telemetry::noop())
+            .unwrap();
         let literal = MeanFieldSolver::with_options(cfg, SolverOptions::paper_literal())
-            .solve(&d)
+            .run(&d, &mut Telemetry::noop())
             .unwrap();
         assert!(
             (damped.threshold() - literal.threshold()).abs() < 0.05,
@@ -471,8 +507,12 @@ mod tests {
             .n_max(950.0)
             .build()
             .unwrap();
-        let eq_small = MeanFieldSolver::new(small).solve(&d).unwrap();
-        let eq_big = MeanFieldSolver::new(big).solve(&d).unwrap();
+        let eq_small = MeanFieldSolver::new(small)
+            .run(&d, &mut Telemetry::noop())
+            .unwrap();
+        let eq_big = MeanFieldSolver::new(big)
+            .run(&d, &mut Telemetry::noop())
+            .unwrap();
         assert!(
             eq_small.threshold() < eq_big.threshold(),
             "small-band threshold {} should be below big-band {}",
@@ -491,7 +531,9 @@ mod tests {
         // epoch regardless, so n_S sits above N_min at any P_trip.
         let cfg = GameConfig::builder().p_recovery(1.0).build().unwrap();
         let d = Benchmark::LinearRegression.utility_density(512).unwrap();
-        let eq = MeanFieldSolver::new(cfg).solve(&d).unwrap();
+        let eq = MeanFieldSolver::new(cfg)
+            .run(&d, &mut Telemetry::noop())
+            .unwrap();
         assert!(
             eq.trip_probability() > 0.0,
             "no equilibrium avoids tripping: P = {}",
@@ -537,13 +579,15 @@ mod robustness_tests {
             ..SolverOptions::default()
         };
         let eq = MeanFieldSolver::with_options(cfg, crippled)
-            .solve(&d)
+            .run(&d, &mut Telemetry::noop())
             .unwrap();
         assert!(
             eq.iterations() > 1,
             "escalation retries must run past the 1-iteration first attempt"
         );
-        let reference = MeanFieldSolver::new(cfg).solve(&d).unwrap();
+        let reference = MeanFieldSolver::new(cfg)
+            .run(&d, &mut Telemetry::noop())
+            .unwrap();
         assert!(
             (eq.threshold() - reference.threshold()).abs() < 1e-6,
             "escalated solve {} must match reference {}",
@@ -573,7 +617,9 @@ mod robustness_tests {
             .discount(0.9)
             .build()
             .unwrap();
-        let eq = MeanFieldSolver::new(cfg).solve(&d).unwrap();
+        let eq = MeanFieldSolver::new(cfg)
+            .run(&d, &mut Telemetry::noop())
+            .unwrap();
         assert!(eq.residual() < 1e-4);
         // The step lands on an endpoint equilibrium: either nobody trips
         // or the rack lives in the always-trip dilemma.
@@ -660,17 +706,17 @@ mod robustness_tests {
 
     #[test]
     fn observed_solve_matches_plain_solve_and_narrates() {
-        use sprint_telemetry::{EventKind, InMemory, Recorder as _};
+        use sprint_telemetry::EventKind;
 
         let cfg = GameConfig::paper_defaults();
         let d = Benchmark::Svm.utility_density(512).unwrap();
         let solver = MeanFieldSolver::new(cfg);
-        let plain = solver.solve(&d).unwrap();
-        let mut rec = InMemory::new();
-        let observed = solver.solve_observed(&d, &mut rec).unwrap();
+        let plain = solver.run(&d, &mut Telemetry::noop()).unwrap();
+        let mut kit = Telemetry::in_memory();
+        let observed = solver.run(&d, &mut kit).unwrap();
         assert_eq!(plain, observed, "observation must not perturb the solve");
 
-        let events = rec.events().unwrap();
+        let events = kit.events().unwrap();
         let iters = events
             .iter()
             .filter(|e| e.kind() == EventKind::SolverIteration)
@@ -702,14 +748,16 @@ mod robustness_tests {
     }
 
     #[test]
-    fn observed_solve_with_noop_is_plain_solve() {
+    #[allow(deprecated)]
+    fn deprecated_shims_forward_to_the_unified_entry_point() {
+        // `solve` and `solve_observed` remain for one release as thin
+        // forwards; they must agree bit-for-bit with `run`.
         let cfg = GameConfig::paper_defaults();
         let d = Benchmark::PageRank.utility_density(256).unwrap();
         let solver = MeanFieldSolver::new(cfg);
+        let canonical = solver.run(&d, &mut Telemetry::noop()).unwrap();
+        assert_eq!(canonical, solver.solve(&d).unwrap());
         let mut noop = sprint_telemetry::Noop;
-        assert_eq!(
-            solver.solve(&d).unwrap(),
-            solver.solve_observed(&d, &mut noop).unwrap()
-        );
+        assert_eq!(canonical, solver.solve_observed(&d, &mut noop).unwrap());
     }
 }

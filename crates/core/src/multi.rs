@@ -284,7 +284,10 @@ mod tests {
             .solve(&[spec(Benchmark::DecisionTree, 1000)])
             .unwrap();
         let homo = MeanFieldSolver::new(cfg)
-            .solve(&Benchmark::DecisionTree.utility_density(512).unwrap())
+            .run(
+                &Benchmark::DecisionTree.utility_density(512).unwrap(),
+                &mut sprint_telemetry::Telemetry::noop(),
+            )
             .unwrap();
         let t = &multi.types()[0];
         assert!(

@@ -7,6 +7,7 @@ use sprint_game::cooperative::analytic_throughput;
 use sprint_game::meanfield::MeanFieldSolver;
 use sprint_game::sprint_dist::SprintDistribution;
 use sprint_game::GameConfig;
+use sprint_telemetry::Telemetry;
 use sprint_workloads::Benchmark;
 
 fn arb_benchmark() -> impl Strategy<Value = Benchmark> {
@@ -71,7 +72,9 @@ proptest! {
     fn equilibrium_is_internally_consistent(b in arb_benchmark()) {
         let cfg = GameConfig::paper_defaults();
         let d = b.utility_density(256).expect("valid bins");
-        let eq = MeanFieldSolver::new(cfg).solve(&d).expect("equilibrium exists");
+        let eq = MeanFieldSolver::new(cfg)
+            .run(&d, &mut Telemetry::noop())
+            .expect("equilibrium exists");
         // Equations 9-10 recompose.
         let dist = SprintDistribution::from_sprint_probability(&cfg, eq.sprint_probability())
             .expect("valid probability");

@@ -367,7 +367,10 @@ mod tests {
         let g = rack_game(100);
         let cfg = ClusterConfig::new(g, 3, 1e6, 2e6, 0.9, 400, 7).unwrap();
         let eq = MeanFieldSolver::new(g)
-            .solve(&Benchmark::DecisionTree.utility_density(256).unwrap())
+            .run(
+                &Benchmark::DecisionTree.utility_density(256).unwrap(),
+                &mut sprint_telemetry::Telemetry::noop(),
+            )
             .unwrap();
         let mut streams = cluster_streams(300, 7);
         let mut policies = threshold_policies(3, 100, eq.threshold());
@@ -392,7 +395,9 @@ mod tests {
         let cfg = ClusterConfig::new(g, 4, 40.0, 120.0, 0.95, 800, 11).unwrap();
         let density = Benchmark::DecisionTree.utility_density(256).unwrap();
 
-        let naive_eq = MeanFieldSolver::new(g).solve(&density).unwrap();
+        let naive_eq = MeanFieldSolver::new(g)
+            .run(&density, &mut sprint_telemetry::Telemetry::noop())
+            .unwrap();
         let mut streams = cluster_streams(400, 11);
         let mut naive = threshold_policies(4, 100, naive_eq.threshold());
         let naive_result = simulate_cluster(&cfg, &mut streams, &mut naive).unwrap();

@@ -81,17 +81,43 @@ pub enum UtilityEstimation {
     },
 }
 
+/// Everything about a run that is not the game, horizon, or seed: the
+/// ablation knobs and the fault plan, bundled so [`SimConfig`],
+/// [`crate::scenario::Scenario`], and sweep specs carry one options value
+/// instead of re-plumbing five setters.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunOptions {
+    /// What servers produce while the rack recovers.
+    pub recovery: RecoverySemantics,
+    /// What happens to sprints when the breaker trips mid-epoch.
+    pub interruption: TripInterruption,
+    /// How agents estimate utility before deciding.
+    pub estimation: UtilityEstimation,
+    /// The fault-injection plan ([`FaultPlan::none`] for clean runs).
+    pub faults: FaultPlan,
+    /// Post-recovery wake-up stagger window (paper: two epochs).
+    pub stagger_epochs: u32,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            recovery: RecoverySemantics::Idle,
+            interruption: TripInterruption::CompleteOnUps,
+            estimation: UtilityEstimation::Oracle,
+            faults: FaultPlan::none(),
+            stagger_epochs: 2,
+        }
+    }
+}
+
 /// Simulation configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     game: GameConfig,
     epochs: usize,
     seed: u64,
-    recovery: RecoverySemantics,
-    stagger_epochs: u32,
-    interruption: TripInterruption,
-    estimation: UtilityEstimation,
-    faults: FaultPlan,
+    options: RunOptions,
 }
 
 impl SimConfig {
@@ -113,53 +139,63 @@ impl SimConfig {
             game,
             epochs,
             seed,
-            recovery: RecoverySemantics::Idle,
-            stagger_epochs: 2,
-            interruption: TripInterruption::CompleteOnUps,
-            estimation: UtilityEstimation::Oracle,
-            faults: FaultPlan::none(),
+            options: RunOptions::default(),
         })
+    }
+
+    /// Replace the whole options bundle at once (sweep specs carry one
+    /// [`RunOptions`] instead of chaining the five setters below).
+    #[must_use]
+    pub fn with_options(mut self, options: RunOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The run options.
+    #[must_use]
+    pub fn options(&self) -> &RunOptions {
+        &self.options
     }
 
     /// Override the recovery semantics (ablation).
     #[must_use]
     pub fn with_recovery(mut self, semantics: RecoverySemantics) -> Self {
-        self.recovery = semantics;
+        self.options.recovery = semantics;
         self
     }
 
     /// Override the post-recovery stagger window (paper: two epochs).
     #[must_use]
     pub fn with_stagger(mut self, epochs: u32) -> Self {
-        self.stagger_epochs = epochs;
+        self.options.stagger_epochs = epochs;
         self
     }
 
     /// Override the trip-interruption semantics (ablation).
     #[must_use]
     pub fn with_interruption(mut self, interruption: TripInterruption) -> Self {
-        self.interruption = interruption;
+        self.options.interruption = interruption;
         self
     }
 
     /// Override the utility-estimation model (ablation).
     #[must_use]
     pub fn with_estimation(mut self, estimation: UtilityEstimation) -> Self {
-        self.estimation = estimation;
+        self.options.estimation = estimation;
         self
     }
 
     /// Attach a fault-injection plan (robustness experiments).
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
-        self.faults = faults;
+        self.options.faults = faults;
         self
     }
 
     /// The fault-injection plan.
     #[must_use]
     pub fn faults(&self) -> &FaultPlan {
-        &self.faults
+        &self.options.faults
     }
 
     /// The game parameters.
@@ -229,43 +265,30 @@ impl EngineIds {
     }
 }
 
-/// Run one simulation.
+/// Run one simulation — the unified entry point.
 ///
 /// `streams` supplies each agent's per-epoch sprint utility; `policy`
-/// makes the sprint decisions. Identical inputs and seed produce
-/// bit-identical results.
+/// makes the sprint decisions; `telemetry` observes (pass
+/// [`Telemetry::noop()`] for an unobserved run). Identical inputs and
+/// seed produce bit-identical results.
+///
+/// With an enabled kit this emits [`Event::RunStart`]/[`Event::RunEnd`],
+/// one [`Event::EpochTick`] per epoch, [`Event::BreakerTrip`] on trips,
+/// [`Event::FaultInjected`] for every fault activation, and (when the
+/// recorder wants them) per-agent [`Event::SprintDecision`]s; maintains
+/// epoch-resolution series for sprinters, tasks, and trips plus
+/// per-fault-kind counters in the kit's registry; and times each epoch
+/// and decision sweep in the kit's span profile.
+///
+/// With a disabled kit emission is gated on [`Telemetry::enabled`], the
+/// RNG streams are untouched, and the float accumulation order is
+/// identical, so results stay bit-identical with telemetry on or off.
 ///
 /// # Errors
 ///
 /// Returns [`SimError::InvalidParameter`] when the stream count does not
 /// match the configured agent count.
-pub fn simulate(
-    config: &SimConfig,
-    streams: &mut [PhasedUtility],
-    policy: &mut dyn SprintPolicy,
-) -> crate::Result<SimResult> {
-    simulate_traced(config, streams, policy, &mut Telemetry::disabled())
-}
-
-/// [`simulate`], narrated through a telemetry kit.
-///
-/// Emits [`Event::RunStart`]/[`Event::RunEnd`], one [`Event::EpochTick`]
-/// per epoch, [`Event::BreakerTrip`] on trips, [`Event::FaultInjected`]
-/// for every fault activation, and (when the recorder wants them)
-/// per-agent [`Event::SprintDecision`]s; maintains epoch-resolution
-/// series for sprinters, tasks, and trips plus per-fault-kind counters in
-/// the kit's registry; and times each epoch and decision sweep in the
-/// kit's span profile.
-///
-/// With a disabled kit this is exactly [`simulate`]: emission is gated on
-/// [`Telemetry::enabled`], the RNG streams are untouched, and the float
-/// accumulation order is identical, so results stay bit-identical with
-/// telemetry on, off, or absent.
-///
-/// # Errors
-///
-/// As [`simulate`].
-pub fn simulate_traced(
+pub fn run(
     config: &SimConfig,
     streams: &mut [PhasedUtility],
     policy: &mut dyn SprintPolicy,
@@ -279,7 +302,7 @@ pub fn simulate_traced(
             expected: "one utility stream per agent",
         });
     }
-    if let UtilityEstimation::Noisy { relative_sd } = config.estimation {
+    if let UtilityEstimation::Noisy { relative_sd } = config.options.estimation {
         if relative_sd < 0.0 || !relative_sd.is_finite() {
             return Err(SimError::InvalidParameter {
                 name: "relative_sd",
@@ -288,7 +311,7 @@ pub fn simulate_traced(
             });
         }
     }
-    let plan = config.faults;
+    let plan = config.options.faults;
     plan.validate()?;
     let mut rng: StdRng = seeded_rng(config.seed ^ 0x51B_EAC0);
     // Fault randomness lives on its own stream: an empty plan draws
@@ -410,7 +433,7 @@ pub fn simulate_traced(
 
         if rack_recovering {
             occupancy.recovery += n as u64 - n_crashed;
-            if config.recovery == RecoverySemantics::NormalMode {
+            if config.options.recovery == RecoverySemantics::NormalMode {
                 total_tasks += (n as u64 - n_crashed) as f64;
             }
             sprinters_per_epoch.push(0);
@@ -419,10 +442,10 @@ pub fn simulate_traced(
                 rack_recovering = false;
                 for (i, state) in states.iter_mut().enumerate() {
                     *state = AgentState::Active;
-                    let slot = if config.stagger_epochs == 0 {
+                    let slot = if config.options.stagger_epochs == 0 {
                         0
                     } else {
-                        rng.gen_range(0..config.stagger_epochs) as usize
+                        rng.gen_range(0..config.options.stagger_epochs) as usize
                     };
                     sprint_blocked_until[i] = epoch + 1 + slot;
                 }
@@ -462,7 +485,7 @@ pub fn simulate_traced(
             }
             match states[i] {
                 AgentState::Active => {
-                    let estimate = match config.estimation {
+                    let estimate = match config.options.estimation {
                         UtilityEstimation::Oracle => utilities[i],
                         UtilityEstimation::Noisy { relative_sd } => {
                             // Box-Muller standard normal.
@@ -587,7 +610,7 @@ pub fn simulate_traced(
         // Throughput. Under the paper's UPS semantics sprints complete
         // even on a trip; the Truncated ablation scales the tripped
         // epoch's work by the pre-trip fraction.
-        let epoch_scale = match (tripped, config.interruption) {
+        let epoch_scale = match (tripped, config.options.interruption) {
             (true, TripInterruption::Truncated) => pre_trip_fraction(&config.game, realized),
             _ => 1.0,
         };
@@ -712,6 +735,35 @@ pub fn simulate_traced(
     Ok(result)
 }
 
+/// Forwarding shim for the pre-unification entry point.
+///
+/// # Errors
+///
+/// As [`run`].
+#[deprecated(note = "use `engine::run(config, streams, policy, &mut Telemetry::noop())`")]
+pub fn simulate(
+    config: &SimConfig,
+    streams: &mut [PhasedUtility],
+    policy: &mut dyn SprintPolicy,
+) -> crate::Result<SimResult> {
+    run(config, streams, policy, &mut Telemetry::noop())
+}
+
+/// Forwarding shim for the pre-unification traced entry point.
+///
+/// # Errors
+///
+/// As [`run`].
+#[deprecated(note = "use `engine::run` (identical signature)")]
+pub fn simulate_traced(
+    config: &SimConfig,
+    streams: &mut [PhasedUtility],
+    policy: &mut dyn SprintPolicy,
+    telemetry: &mut Telemetry,
+) -> crate::Result<SimResult> {
+    run(config, streams, policy, telemetry)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -742,22 +794,30 @@ mod tests {
         assert!(SimConfig::new(game, 0, 1).is_err());
         let cfg = SimConfig::new(game, 10, 1).unwrap();
         let mut too_few = streams(Benchmark::Svm, 5, 1);
-        assert!(simulate(&cfg, &mut too_few, &mut Greedy::new()).is_err());
+        assert!(run(
+            &cfg,
+            &mut too_few,
+            &mut Greedy::new(),
+            &mut Telemetry::noop()
+        )
+        .is_err());
     }
 
     #[test]
     fn deterministic_under_seed() {
         let cfg = SimConfig::new(small_game(50), 200, 42).unwrap();
-        let r1 = simulate(
+        let r1 = run(
             &cfg,
             &mut streams(Benchmark::DecisionTree, 50, 9),
             &mut Greedy::new(),
+            &mut Telemetry::noop(),
         )
         .unwrap();
-        let r2 = simulate(
+        let r2 = run(
             &cfg,
             &mut streams(Benchmark::DecisionTree, 50, 9),
             &mut Greedy::new(),
+            &mut Telemetry::noop(),
         )
         .unwrap();
         assert_eq!(r1, r2);
@@ -769,7 +829,7 @@ mod tests {
         // recovery.
         let cfg = SimConfig::new(small_game(100), 500, 3).unwrap();
         let mut s = streams(Benchmark::DecisionTree, 100, 3);
-        let r = simulate(&cfg, &mut s, &mut Greedy::new()).unwrap();
+        let r = run(&cfg, &mut s, &mut Greedy::new(), &mut Telemetry::noop()).unwrap();
         assert!(r.trips() > 10, "greedy must trip repeatedly: {}", r.trips());
         let f = r.occupancy().fractions();
         assert!(f[2] > 0.4, "greedy spends >40% in recovery, got {}", f[2]);
@@ -783,7 +843,7 @@ mod tests {
         let mut s = streams(Benchmark::PageRank, 100, 4);
         let never = ThresholdStrategy::new(1e9).unwrap();
         let mut policy = ThresholdPolicy::uniform("never", never, 100).unwrap();
-        let r = simulate(&cfg, &mut s, &mut policy).unwrap();
+        let r = run(&cfg, &mut s, &mut policy, &mut Telemetry::noop()).unwrap();
         assert_eq!(r.trips(), 0);
         assert!((r.tasks_per_agent_epoch() - 1.0).abs() < 1e-12);
         assert_eq!(r.occupancy().sprinting, 0);
@@ -798,7 +858,7 @@ mod tests {
         let mut s = streams(Benchmark::PageRank, 100, 5);
         let mut policy =
             ThresholdPolicy::uniform("safe", ThresholdStrategy::new(13.0).unwrap(), 100).unwrap();
-        let r = simulate(&cfg, &mut s, &mut policy).unwrap();
+        let r = run(&cfg, &mut s, &mut policy, &mut Telemetry::noop()).unwrap();
         // Expected sprinters ≈ 8 « N_min = 25; finite-N phase correlation
         // can brush the band at most rarely.
         assert!(r.trips() <= 1, "trips = {}", r.trips());
@@ -810,7 +870,7 @@ mod tests {
     fn occupancy_accounts_every_agent_epoch() {
         let cfg = SimConfig::new(small_game(60), 400, 6).unwrap();
         let mut s = streams(Benchmark::Kmeans, 60, 6);
-        let r = simulate(&cfg, &mut s, &mut Greedy::new()).unwrap();
+        let r = run(&cfg, &mut s, &mut Greedy::new(), &mut Telemetry::noop()).unwrap();
         assert_eq!(r.occupancy().total(), 60 * 400);
     }
 
@@ -819,18 +879,20 @@ mod tests {
         let game = small_game(100);
         let mut idle_s = streams(Benchmark::DecisionTree, 100, 7);
         let mut norm_s = streams(Benchmark::DecisionTree, 100, 7);
-        let idle = simulate(
+        let idle = run(
             &SimConfig::new(game, 400, 7).unwrap(),
             &mut idle_s,
             &mut Greedy::new(),
+            &mut Telemetry::noop(),
         )
         .unwrap();
-        let normal = simulate(
+        let normal = run(
             &SimConfig::new(game, 400, 7)
                 .unwrap()
                 .with_recovery(RecoverySemantics::NormalMode),
             &mut norm_s,
             &mut Greedy::new(),
+            &mut Telemetry::noop(),
         )
         .unwrap();
         assert!(normal.tasks_per_agent_epoch() > idle.tasks_per_agent_epoch());
@@ -843,7 +905,7 @@ mod tests {
         let game = small_game(50);
         let cfg = SimConfig::new(game, 200, 8).unwrap().with_stagger(10_000);
         let mut s = streams(Benchmark::LinearRegression, 50, 8);
-        let r = simulate(&cfg, &mut s, &mut Greedy::new()).unwrap();
+        let r = run(&cfg, &mut s, &mut Greedy::new(), &mut Telemetry::noop()).unwrap();
         assert!(r.trips() <= 1, "trips = {}", r.trips());
     }
 
@@ -857,7 +919,7 @@ mod tests {
         let mut s = streams(Benchmark::PageRank, 100, 1);
         let mut p =
             ThresholdPolicy::uniform("t", ThresholdStrategy::new(5.0).unwrap(), 100).unwrap();
-        assert!(simulate(&bad, &mut s, &mut p).is_err());
+        assert!(run(&bad, &mut s, &mut p, &mut Telemetry::noop()).is_err());
 
         // With huge noise the threshold loses selectivity: sprinted
         // epochs no longer concentrate on high utilities, so throughput
@@ -869,7 +931,7 @@ mod tests {
             let mut s = streams(Benchmark::PageRank, 100, seed);
             let mut p =
                 ThresholdPolicy::uniform("t", ThresholdStrategy::new(5.27).unwrap(), 100).unwrap();
-            simulate(&cfg, &mut s, &mut p)
+            run(&cfg, &mut s, &mut p, &mut Telemetry::noop())
                 .unwrap()
                 .tasks_per_agent_epoch()
         };
@@ -889,7 +951,7 @@ mod tests {
                 .unwrap()
                 .with_interruption(mode);
             let mut s = streams(Benchmark::DecisionTree, 100, 3);
-            simulate(&cfg, &mut s, &mut Greedy::new()).unwrap()
+            run(&cfg, &mut s, &mut Greedy::new(), &mut Telemetry::noop()).unwrap()
         };
         let ups = run(TripInterruption::CompleteOnUps);
         let truncated = run(TripInterruption::Truncated);
@@ -933,7 +995,7 @@ mod tests {
             .unwrap();
         let cfg = SimConfig::new(game, 1000, 9).unwrap();
         let mut s = streams(Benchmark::LinearRegression, 1, 9);
-        let r = simulate(&cfg, &mut s, &mut Greedy::new()).unwrap();
+        let r = run(&cfg, &mut s, &mut Greedy::new(), &mut Telemetry::noop()).unwrap();
         // Alternates sprint (mean 4.0) and cooling (1.0): ≈ 2.5.
         let tpe = r.tasks_per_agent_epoch();
         assert!((2.2..=2.8).contains(&tpe), "tasks/epoch = {tpe}");

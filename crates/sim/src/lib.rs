@@ -12,7 +12,7 @@
 //!   ([`policies::ExponentialBackoff`]).
 //! - **Equilibrium Threshold (E-T)** — per-type thresholds from the
 //!   mean-field game ([`policies::ThresholdPolicy`] +
-//!   [`scenario::Scenario::equilibrium_policy`]).
+//!   [`scenario::Scenario::equilibrium_thresholds`]).
 //! - **Cooperative Threshold (C-T)** — the globally optimal common
 //!   threshold ([`scenario::Scenario::cooperative_policy`]).
 //!
@@ -21,12 +21,13 @@
 //! ```
 //! use sprint_sim::scenario::Scenario;
 //! use sprint_sim::policy::PolicyKind;
+//! use sprint_sim::telemetry::Telemetry;
 //! use sprint_workloads::Benchmark;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let scenario = Scenario::homogeneous(Benchmark::DecisionTree, 200, 300)?;
-//! let greedy = scenario.run(PolicyKind::Greedy, 7)?;
-//! let equilibrium = scenario.run(PolicyKind::EquilibriumThreshold, 7)?;
+//! let greedy = scenario.execute(PolicyKind::Greedy, 7, &mut Telemetry::noop())?;
+//! let equilibrium = scenario.execute(PolicyKind::EquilibriumThreshold, 7, &mut Telemetry::noop())?;
 //! assert!(equilibrium.tasks_per_agent_epoch() > greedy.tasks_per_agent_epoch());
 //! # Ok(())
 //! # }
@@ -40,19 +41,27 @@ pub mod policies;
 pub mod policy;
 pub mod runner;
 pub mod scenario;
+pub mod sweep;
 
 mod error;
 
 /// The telemetry subsystem (re-exported): structured tracing, metrics
-/// registry, and timing spans. See [`engine::simulate_traced`] and
-/// [`scenario::Scenario::run_traced`] for the instrumented entry points.
+/// registry, and timing spans. Every unified entry point —
+/// [`engine::run`], [`scenario::Scenario::execute`], [`runner::compare`],
+/// [`runner::chaos`], [`sweep::run_sweep`] — takes a
+/// [`Telemetry`](telemetry::Telemetry) kit; pass
+/// [`Telemetry::noop()`](telemetry::Telemetry::noop) for unobserved runs.
 pub use sprint_telemetry as telemetry;
 
-pub use engine::{simulate, simulate_traced, RecoverySemantics, SimConfig};
+pub use engine::{RecoverySemantics, RunOptions, SimConfig};
 pub use error::SimError;
 pub use faults::{FaultMetrics, FaultPlan};
 pub use metrics::SimResult;
 pub use policy::{PolicyKind, SprintPolicy};
+pub use sweep::{SweepRecord, SweepReport, SweepSpec};
+
+#[allow(deprecated)]
+pub use engine::{simulate, simulate_traced};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, SimError>;

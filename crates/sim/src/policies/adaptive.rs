@@ -201,7 +201,9 @@ mod tests {
         assert!(p.belief_p_trip() < 0.01);
         // Belief ≈ 0: the learned threshold approaches the offline
         // equilibrium threshold for this (zero-trip) regime.
-        let eq = MeanFieldSolver::new(cfg).solve(&d).unwrap();
+        let eq = MeanFieldSolver::new(cfg)
+            .run(&d, &mut sprint_telemetry::Telemetry::noop())
+            .unwrap();
         assert!(
             (p.threshold() - eq.threshold()).abs() < 0.05,
             "learned {} vs equilibrium {}",

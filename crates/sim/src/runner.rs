@@ -1,13 +1,14 @@
 //! Multi-trial experiment runner.
 //!
 //! The paper reports averages over repeated randomized runs (e.g.
-//! Figure 9 repeats each mix ten times). [`compare_policies`] runs a
-//! scenario under several policies across several seeds in parallel
-//! (one thread per policy × seed pair, via `std::thread::scope`)
-//! and aggregates the metrics.
+//! Figure 9 repeats each mix ten times). [`compare`] runs a scenario
+//! under several policies across several seeds in parallel (one thread
+//! per policy × seed pair, via `std::thread::scope`) and aggregates the
+//! metrics; [`chaos`] crosses that with fault plans. For full cartesian
+//! grids over games, populations, and options, see [`crate::sweep`].
 
 use sprint_stats::summary::{confidence_interval_95, ConfidenceInterval, OnlineStats};
-use sprint_telemetry::SpanProfile;
+use sprint_telemetry::{SpanProfile, Telemetry};
 
 use crate::faults::{FaultMetrics, FaultPlan};
 use crate::metrics::SimResult;
@@ -113,30 +114,55 @@ fn aggregate(policy: PolicyKind, results: &[SimResult]) -> PolicyOutcome {
 }
 
 /// Run `scenario` under each policy for every seed, in parallel, and
-/// aggregate.
+/// aggregate — the unified entry point. Pass [`Telemetry::noop()`] for
+/// an unprofiled comparison; with a kit attached, each `policy × seed`
+/// thread times its own trial and the durations accumulate in the kit's
+/// span profile under `trial.<policy>` (plus `runner.compare` for the
+/// whole comparison), without perturbing the parallel execution.
 ///
 /// # Errors
 ///
 /// Returns [`SimError::InvalidParameter`] for empty `policies`/`seeds`
 /// and propagates the first simulation error encountered.
+pub fn compare(
+    scenario: &Scenario,
+    policies: &[PolicyKind],
+    seeds: &[u64],
+    telemetry: &mut Telemetry,
+) -> crate::Result<Comparison> {
+    compare_impl(scenario, policies, seeds, &mut telemetry.spans)
+}
+
+/// Forwarding shim for the pre-unification entry point.
+///
+/// # Errors
+///
+/// As [`compare`].
+#[deprecated(note = "use `runner::compare(scenario, policies, seeds, &mut Telemetry::noop())`")]
 pub fn compare_policies(
     scenario: &Scenario,
     policies: &[PolicyKind],
     seeds: &[u64],
 ) -> crate::Result<Comparison> {
-    compare_policies_profiled(scenario, policies, seeds, &mut SpanProfile::deterministic())
+    compare_impl(scenario, policies, seeds, &mut SpanProfile::deterministic())
 }
 
-/// [`compare_policies`] with per-trial wall-clock timing folded into
-/// `spans`: each `policy × seed` thread times its own trial and the
-/// durations accumulate under `trial.<policy>` (plus `runner.compare`
-/// for the whole comparison), so a report can show where the experiment
-/// budget went without perturbing the parallel execution.
+/// Forwarding shim for the pre-unification profiled entry point.
 ///
 /// # Errors
 ///
-/// Same as [`compare_policies`].
+/// As [`compare`].
+#[deprecated(note = "use `runner::compare` with a telemetry kit around the span profile")]
 pub fn compare_policies_profiled(
+    scenario: &Scenario,
+    policies: &[PolicyKind],
+    seeds: &[u64],
+    spans: &mut SpanProfile,
+) -> crate::Result<Comparison> {
+    compare_impl(scenario, policies, seeds, spans)
+}
+
+fn compare_impl(
     scenario: &Scenario,
     policies: &[PolicyKind],
     seeds: &[u64],
@@ -166,7 +192,7 @@ pub fn compare_policies_profiled(
                 scope.spawn(move || {
                     let started = std::time::Instant::now();
                     scenario
-                        .run(policy, seed)
+                        .execute(policy, seed, &mut Telemetry::noop())
                         .map(|r| (policy, r, started.elapsed().as_nanos() as u64))
                 })
             })
@@ -297,19 +323,40 @@ impl ChaosReport {
 
 /// Run the policy × fault-plan chaos matrix: every policy under every
 /// plan across every seed, compared against the same policies' fault-free
-/// baseline.
+/// baseline — the unified entry point. Pass [`Telemetry::noop()`] for an
+/// unprofiled matrix; with a kit attached, trial durations accumulate in
+/// its span profile under `trial.<policy>` across the baseline and every
+/// fault plan.
 ///
 /// # Errors
 ///
 /// Returns [`SimError::InvalidParameter`] for empty inputs or an invalid
 /// fault plan, and propagates the first simulation error encountered.
+pub fn chaos(
+    scenario: &Scenario,
+    policies: &[PolicyKind],
+    plans: &[NamedPlan],
+    seeds: &[u64],
+    telemetry: &mut Telemetry,
+) -> crate::Result<ChaosReport> {
+    chaos_impl(scenario, policies, plans, seeds, &mut telemetry.spans)
+}
+
+/// Forwarding shim for the pre-unification entry point.
+///
+/// # Errors
+///
+/// As [`chaos`].
+#[deprecated(
+    note = "use `runner::chaos(scenario, policies, plans, seeds, &mut Telemetry::noop())`"
+)]
 pub fn chaos_matrix(
     scenario: &Scenario,
     policies: &[PolicyKind],
     plans: &[NamedPlan],
     seeds: &[u64],
 ) -> crate::Result<ChaosReport> {
-    chaos_matrix_profiled(
+    chaos_impl(
         scenario,
         policies,
         plans,
@@ -318,14 +365,23 @@ pub fn chaos_matrix(
     )
 }
 
-/// [`chaos_matrix`] with every underlying comparison profiled into
-/// `spans` (see [`compare_policies_profiled`]): trial durations accumulate
-/// under `trial.<policy>` across the baseline and every fault plan.
+/// Forwarding shim for the pre-unification profiled entry point.
 ///
 /// # Errors
 ///
-/// Same as [`chaos_matrix`].
+/// As [`chaos`].
+#[deprecated(note = "use `runner::chaos` with a telemetry kit around the span profile")]
 pub fn chaos_matrix_profiled(
+    scenario: &Scenario,
+    policies: &[PolicyKind],
+    plans: &[NamedPlan],
+    seeds: &[u64],
+    spans: &mut SpanProfile,
+) -> crate::Result<ChaosReport> {
+    chaos_impl(scenario, policies, plans, seeds, spans)
+}
+
+fn chaos_impl(
     scenario: &Scenario,
     policies: &[PolicyKind],
     plans: &[NamedPlan],
@@ -342,7 +398,7 @@ pub fn chaos_matrix_profiled(
     for p in plans {
         p.plan.validate()?;
     }
-    let baseline = compare_policies_profiled(
+    let baseline = compare_impl(
         &scenario.clone().with_faults(FaultPlan::none()),
         policies,
         seeds,
@@ -351,7 +407,7 @@ pub fn chaos_matrix_profiled(
     let mut cells = Vec::with_capacity(plans.len() * policies.len());
     for named in plans {
         let faulted = scenario.clone().with_faults(named.plan);
-        let cmp = compare_policies_profiled(&faulted, policies, seeds, spans)?;
+        let cmp = compare_impl(&faulted, policies, seeds, spans)?;
         for outcome in cmp.outcomes() {
             let base = baseline
                 .outcome(outcome.policy)
@@ -387,8 +443,8 @@ mod tests {
     #[test]
     fn validates_inputs() {
         let s = Scenario::homogeneous(Benchmark::Svm, 20, 10).unwrap();
-        assert!(compare_policies(&s, &[], &[1]).is_err());
-        assert!(compare_policies(&s, &[PolicyKind::Greedy], &[]).is_err());
+        assert!(compare(&s, &[], &[1], &mut Telemetry::noop()).is_err());
+        assert!(compare(&s, &[PolicyKind::Greedy], &[], &mut Telemetry::noop()).is_err());
     }
 
     #[test]
@@ -396,7 +452,7 @@ mod tests {
         // E-T and C-T beat E-B which beats (or ties) G for a diverse
         // profile, even at reduced scale.
         let s = Scenario::homogeneous(Benchmark::DecisionTree, 120, 300).unwrap();
-        let cmp = compare_policies(&s, &PolicyKind::ALL, &[1, 2]).unwrap();
+        let cmp = compare(&s, &PolicyKind::ALL, &[1, 2], &mut Telemetry::noop()).unwrap();
         let g = cmp
             .outcome(PolicyKind::Greedy)
             .unwrap()
@@ -425,7 +481,7 @@ mod tests {
     #[test]
     fn greedy_normalization_is_one() {
         let s = Scenario::homogeneous(Benchmark::Als, 40, 60).unwrap();
-        let cmp = compare_policies(&s, &[PolicyKind::Greedy], &[5]).unwrap();
+        let cmp = compare(&s, &[PolicyKind::Greedy], &[5], &mut Telemetry::noop()).unwrap();
         assert!((cmp.normalized_to_greedy(PolicyKind::Greedy).unwrap() - 1.0).abs() < 1e-12);
         assert!(cmp
             .normalized_to_greedy(PolicyKind::CooperativeThreshold)
@@ -435,7 +491,13 @@ mod tests {
     #[test]
     fn aggregation_averages_across_seeds() {
         let s = Scenario::homogeneous(Benchmark::Kmeans, 30, 50).unwrap();
-        let cmp = compare_policies(&s, &[PolicyKind::Greedy], &[1, 2, 3]).unwrap();
+        let cmp = compare(
+            &s,
+            &[PolicyKind::Greedy],
+            &[1, 2, 3],
+            &mut Telemetry::noop(),
+        )
+        .unwrap();
         let o = cmp.outcome(PolicyKind::Greedy).unwrap();
         assert!(o.tasks_per_agent_epoch > 0.0);
         assert!(o.tasks_std_dev >= 0.0);
@@ -449,9 +511,10 @@ mod tests {
     #[test]
     fn profiled_comparison_times_every_trial() {
         let s = Scenario::homogeneous(Benchmark::Svm, 20, 30).unwrap();
-        let mut spans = SpanProfile::monotonic();
+        let mut kit = Telemetry::in_memory();
         let policies = [PolicyKind::Greedy, PolicyKind::ExponentialBackoff];
-        let cmp = compare_policies_profiled(&s, &policies, &[1, 2, 3], &mut spans).unwrap();
+        let cmp = compare(&s, &policies, &[1, 2, 3], &mut kit).unwrap();
+        let spans = kit.spans;
         assert_eq!(cmp.outcomes().len(), 2);
         for p in policies {
             let stats = spans.stats(&format!("trial.{p}")).expect("trial span");
@@ -493,7 +556,7 @@ mod tests {
     #[test]
     fn chaos_matrix_validates_and_fills_cells() {
         let s = Scenario::homogeneous(Benchmark::Svm, 30, 40).unwrap();
-        assert!(chaos_matrix(&s, &[PolicyKind::Greedy], &[], &[1]).is_err());
+        assert!(chaos(&s, &[PolicyKind::Greedy], &[], &[1], &mut Telemetry::noop()).is_err());
         let plans = vec![
             NamedPlan {
                 name: "clean".to_string(),
@@ -505,7 +568,7 @@ mod tests {
             },
         ];
         let policies = [PolicyKind::Greedy, PolicyKind::EquilibriumThreshold];
-        let report = chaos_matrix(&s, &policies, &plans, &[1, 2]).unwrap();
+        let report = chaos(&s, &policies, &plans, &[1, 2], &mut Telemetry::noop()).unwrap();
         assert_eq!(report.plans().len(), 2);
         assert_eq!(report.baseline().len(), 2);
         assert_eq!(report.cells().len(), 4);
@@ -530,11 +593,67 @@ mod tests {
     fn chaos_report_serializes() {
         let s = Scenario::homogeneous(Benchmark::Kmeans, 25, 30).unwrap();
         let plans = standard_fault_suite(5);
-        let report = chaos_matrix(&s, &[PolicyKind::Greedy], &plans, &[4]).unwrap();
+        let report = chaos(
+            &s,
+            &[PolicyKind::Greedy],
+            &plans,
+            &[4],
+            &mut Telemetry::noop(),
+        )
+        .unwrap();
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("\"composite\""));
         assert!(json.contains("degradation"));
         let back: ChaosReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward_to_the_unified_entry_points() {
+        let s = Scenario::homogeneous(Benchmark::Als, 30, 40).unwrap();
+        let canonical =
+            compare(&s, &[PolicyKind::Greedy], &[1, 2], &mut Telemetry::noop()).unwrap();
+        assert_eq!(
+            canonical,
+            compare_policies(&s, &[PolicyKind::Greedy], &[1, 2]).unwrap()
+        );
+        assert_eq!(
+            canonical,
+            compare_policies_profiled(
+                &s,
+                &[PolicyKind::Greedy],
+                &[1, 2],
+                &mut SpanProfile::deterministic()
+            )
+            .unwrap()
+        );
+        let plans = vec![NamedPlan {
+            name: "composite".to_string(),
+            plan: FaultPlan::composite(3),
+        }];
+        let canonical = chaos(
+            &s,
+            &[PolicyKind::Greedy],
+            &plans,
+            &[1],
+            &mut Telemetry::noop(),
+        )
+        .unwrap();
+        assert_eq!(
+            canonical,
+            chaos_matrix(&s, &[PolicyKind::Greedy], &plans, &[1]).unwrap()
+        );
+        assert_eq!(
+            canonical,
+            chaos_matrix_profiled(
+                &s,
+                &[PolicyKind::Greedy],
+                &plans,
+                &[1],
+                &mut SpanProfile::deterministic()
+            )
+            .unwrap()
+        );
     }
 }

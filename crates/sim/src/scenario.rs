@@ -8,15 +8,15 @@
 
 use sprint_game::cooperative::CooperativeSearch;
 use sprint_game::multi::{AgentTypeSpec, MultiSolver};
-use sprint_game::{GameConfig, GameError, MeanFieldSolver};
+use sprint_game::{EquilibriumCache, GameConfig, GameError, MeanFieldSolver};
 use sprint_stats::density::DiscreteDensity;
 use sprint_workloads::generator::Population;
 use sprint_workloads::Benchmark;
 
-use sprint_telemetry::{Event, Noop, Recorder, Telemetry};
+use sprint_telemetry::{Event, Recorder, Telemetry};
 
 use crate::engine::{
-    simulate_traced, RecoverySemantics, SimConfig, TripInterruption, UtilityEstimation,
+    self, RecoverySemantics, RunOptions, SimConfig, TripInterruption, UtilityEstimation,
 };
 use crate::faults::FaultPlan;
 use crate::metrics::SimResult;
@@ -33,10 +33,7 @@ pub struct Scenario {
     population: Population,
     game: GameConfig,
     epochs: usize,
-    recovery: RecoverySemantics,
-    interruption: TripInterruption,
-    estimation: UtilityEstimation,
-    faults: FaultPlan,
+    options: RunOptions,
 }
 
 impl Scenario {
@@ -115,31 +112,42 @@ impl Scenario {
             population,
             game,
             epochs,
-            recovery: RecoverySemantics::Idle,
-            interruption: TripInterruption::CompleteOnUps,
-            estimation: UtilityEstimation::Oracle,
-            faults: FaultPlan::none(),
+            options: RunOptions::default(),
         })
+    }
+
+    /// Replace the whole options bundle at once (shared with
+    /// [`SimConfig`]; sweep specs carry one [`RunOptions`] value).
+    #[must_use]
+    pub fn with_options(mut self, options: RunOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The run options.
+    #[must_use]
+    pub fn options(&self) -> &RunOptions {
+        &self.options
     }
 
     /// Override the recovery semantics (ablation).
     #[must_use]
     pub fn with_recovery(mut self, semantics: RecoverySemantics) -> Self {
-        self.recovery = semantics;
+        self.options.recovery = semantics;
         self
     }
 
     /// Override the trip-interruption semantics (ablation).
     #[must_use]
     pub fn with_interruption(mut self, interruption: TripInterruption) -> Self {
-        self.interruption = interruption;
+        self.options.interruption = interruption;
         self
     }
 
     /// Override the utility-estimation model (ablation).
     #[must_use]
     pub fn with_estimation(mut self, estimation: UtilityEstimation) -> Self {
-        self.estimation = estimation;
+        self.options.estimation = estimation;
         self
     }
 
@@ -148,14 +156,14 @@ impl Scenario {
     /// additionally skews the population the offline solves assume.
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
-        self.faults = faults;
+        self.options.faults = faults;
         self
     }
 
     /// The fault-injection plan.
     #[must_use]
     pub fn faults(&self) -> &FaultPlan {
-        &self.faults
+        &self.options.faults
     }
 
     /// The population.
@@ -182,7 +190,7 @@ impl Scenario {
     /// else) is scaled by the staleness factor, so thresholds are tuned
     /// for a rack that no longer exists.
     fn solve_game(&self) -> crate::Result<GameConfig> {
-        let Some(stale) = self.faults.staleness else {
+        let Some(stale) = self.options.faults.staleness else {
             return Ok(self.game);
         };
         let stale_n = (f64::from(self.game.n_agents()) * stale.population_factor)
@@ -214,7 +222,12 @@ impl Scenario {
     }
 
     /// Solve the game and build the E-T policy (per-type equilibrium
-    /// thresholds, assigned per agent).
+    /// thresholds, assigned per agent) — the unified entry point. Pass
+    /// [`Telemetry::noop()`] for an unobserved solve; with an enabled kit
+    /// the homogeneous path streams Algorithm 1's per-iteration residuals
+    /// ([`SolverIteration`](sprint_telemetry::Event) events) and the
+    /// heterogeneous path reports the multi-type fixed point as a single
+    /// `CoordinatorResolve`.
     ///
     /// When Algorithm 1 exhausts every damping escalation
     /// ([`GameError::NonConvergence`]) the coordinator degrades instead of
@@ -226,19 +239,135 @@ impl Scenario {
     ///
     /// Propagates mean-field solver failures other than recoverable
     /// non-convergence.
-    pub fn equilibrium_policy(&self) -> crate::Result<ThresholdPolicy> {
-        self.equilibrium_policy_observed(&mut Noop)
+    pub fn equilibrium_thresholds(
+        &self,
+        telemetry: &mut Telemetry,
+    ) -> crate::Result<ThresholdPolicy> {
+        let game = self.solve_game()?;
+        let types = self.population.distinct_types();
+        let thresholds: Vec<f64> = if types.len() == 1 {
+            let threshold = match MeanFieldSolver::new(game)
+                .run(&types[0].utility_density(DENSITY_BINS)?, telemetry)
+            {
+                Ok(eq) => eq.threshold(),
+                Err(GameError::NonConvergence {
+                    fallback_threshold, ..
+                }) => fallback_threshold,
+                Err(e) => return Err(e.into()),
+            };
+            vec![threshold; self.population.len()]
+        } else {
+            let eq = MultiSolver::new(game).solve(&self.type_specs()?)?;
+            telemetry.emit(&Event::CoordinatorResolve {
+                types: eq.types().len(),
+                converged: true,
+                iterations: eq.iterations(),
+                residual: eq.residual(),
+                trip_probability: eq.trip_probability(),
+            });
+            self.per_agent_thresholds(&eq)?
+        };
+        ThresholdPolicy::new("Equilibrium Threshold", thresholds)
     }
 
-    /// [`Scenario::equilibrium_policy`] with the offline solve narrated
-    /// through `recorder`: the homogeneous path streams Algorithm 1's
-    /// per-iteration residuals ([`SolverIteration`](sprint_telemetry::Event)
-    /// events), the heterogeneous path reports the multi-type fixed point
-    /// as a single `CoordinatorResolve`.
+    /// [`Scenario::equilibrium_thresholds`] with the homogeneous solve
+    /// memoized through `cache`: repeated sweep trials over the same game
+    /// pay for Algorithm 1 once. Also returns a [`SolveSummary`] for
+    /// per-cell convergence reporting.
+    ///
+    /// Cached results are bit-identical to fresh solves (the solver is
+    /// deterministic), so sweeps aggregate identically with or without
+    /// the cache. Heterogeneous populations solve uncached (the
+    /// multi-type fixed point is not yet memoized).
     ///
     /// # Errors
     ///
-    /// Same as [`Scenario::equilibrium_policy`].
+    /// Same as [`Scenario::equilibrium_thresholds`].
+    pub fn equilibrium_policy_cached(
+        &self,
+        cache: &EquilibriumCache,
+    ) -> crate::Result<(ThresholdPolicy, SolveSummary)> {
+        let game = self.solve_game()?;
+        let types = self.population.distinct_types();
+        let (thresholds, summary): (Vec<f64>, SolveSummary) = if types.len() == 1 {
+            let solver = MeanFieldSolver::new(game);
+            let (threshold, summary) =
+                match cache.solve(&solver, &types[0].utility_density(DENSITY_BINS)?) {
+                    Ok(eq) => (
+                        eq.threshold(),
+                        SolveSummary {
+                            converged: true,
+                            iterations: eq.iterations(),
+                            residual: eq.residual(),
+                        },
+                    ),
+                    Err(GameError::NonConvergence {
+                        iterations,
+                        residual,
+                        fallback_threshold,
+                        ..
+                    }) => (
+                        fallback_threshold,
+                        SolveSummary {
+                            converged: false,
+                            iterations,
+                            residual,
+                        },
+                    ),
+                    Err(e) => return Err(e.into()),
+                };
+            (vec![threshold; self.population.len()], summary)
+        } else {
+            let eq = MultiSolver::new(game).solve(&self.type_specs()?)?;
+            let summary = SolveSummary {
+                converged: true,
+                iterations: eq.iterations(),
+                residual: eq.residual(),
+            };
+            (self.per_agent_thresholds(&eq)?, summary)
+        };
+        Ok((
+            ThresholdPolicy::new("Equilibrium Threshold", thresholds)?,
+            summary,
+        ))
+    }
+
+    fn per_agent_thresholds(
+        &self,
+        eq: &sprint_game::multi::HeterogeneousEquilibrium,
+    ) -> crate::Result<Vec<f64>> {
+        self.population
+            .assignments()
+            .iter()
+            .map(|b| {
+                eq.type_named(b.name())
+                    .map(|t| t.threshold)
+                    .ok_or(SimError::InvalidParameter {
+                        name: "population",
+                        value: 0.0,
+                        expected: "an equilibrium covering every assigned type",
+                    })
+            })
+            .collect::<crate::Result<_>>()
+    }
+
+    /// Forwarding shim for the pre-unification entry point.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::equilibrium_thresholds`].
+    #[deprecated(note = "use `Scenario::equilibrium_thresholds(&mut Telemetry::noop())`")]
+    pub fn equilibrium_policy(&self) -> crate::Result<ThresholdPolicy> {
+        self.equilibrium_thresholds(&mut Telemetry::noop())
+    }
+
+    /// Forwarding shim for the pre-unification observed entry point.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::equilibrium_thresholds`].
+    #[deprecated(note = "use `Scenario::equilibrium_thresholds` with a telemetry kit")]
+    #[allow(deprecated)]
     pub fn equilibrium_policy_observed(
         &self,
         recorder: &mut dyn Recorder,
@@ -267,19 +396,7 @@ impl Scenario {
                     trip_probability: eq.trip_probability(),
                 });
             }
-            self.population
-                .assignments()
-                .iter()
-                .map(|b| {
-                    eq.type_named(b.name())
-                        .map(|t| t.threshold)
-                        .ok_or(SimError::InvalidParameter {
-                            name: "population",
-                            value: 0.0,
-                            expected: "an equilibrium covering every assigned type",
-                        })
-                })
-                .collect::<crate::Result<_>>()?
+            self.per_agent_thresholds(&eq)?
         };
         ThresholdPolicy::new("Equilibrium Threshold", thresholds)
     }
@@ -330,26 +447,50 @@ impl Scenario {
             .map_err(|e| SimError::Workload(sprint_workloads::WorkloadError::Stats(e)))
     }
 
-    /// Build a policy by kind.
+    /// Build a policy by kind — the unified entry point (only E-T
+    /// performs an observable solve; the other kinds construct silently).
+    /// Pass [`Telemetry::noop()`] for unobserved construction.
     ///
     /// # Errors
     ///
     /// Propagates offline-solve failures for the threshold policies.
+    pub fn policy(
+        &self,
+        kind: PolicyKind,
+        seed: u64,
+        telemetry: &mut Telemetry,
+    ) -> crate::Result<Box<dyn SprintPolicy>> {
+        Ok(match kind {
+            PolicyKind::Greedy => Box::new(Greedy::new()),
+            PolicyKind::ExponentialBackoff => {
+                Box::new(ExponentialBackoff::new(self.population.len(), seed))
+            }
+            PolicyKind::EquilibriumThreshold => Box::new(self.equilibrium_thresholds(telemetry)?),
+            PolicyKind::CooperativeThreshold => Box::new(self.cooperative_policy()?),
+        })
+    }
+
+    /// Forwarding shim for the pre-unification entry point.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::policy`].
+    #[deprecated(note = "use `Scenario::policy(kind, seed, &mut Telemetry::noop())`")]
     pub fn build_policy(
         &self,
         kind: PolicyKind,
         seed: u64,
     ) -> crate::Result<Box<dyn SprintPolicy>> {
-        self.build_policy_observed(kind, seed, &mut Noop)
+        self.policy(kind, seed, &mut Telemetry::noop())
     }
 
-    /// [`Scenario::build_policy`] with offline solves narrated through
-    /// `recorder` (only E-T performs an observable solve; the other kinds
-    /// construct silently).
+    /// Forwarding shim for the pre-unification observed entry point.
     ///
     /// # Errors
     ///
-    /// Same as [`Scenario::build_policy`].
+    /// As [`Scenario::policy`].
+    #[deprecated(note = "use `Scenario::policy` with a telemetry kit")]
+    #[allow(deprecated)]
     pub fn build_policy_observed(
         &self,
         kind: PolicyKind,
@@ -368,45 +509,72 @@ impl Scenario {
         })
     }
 
-    /// Run one simulation of this scenario under `kind` with `seed`.
+    /// Run one simulation of this scenario under `kind` with `seed` — the
+    /// unified entry point. Pass [`Telemetry::noop()`] for an unobserved
+    /// run; with an enabled kit the offline solve narrates through the
+    /// recorder first (residual curves for E-T), then the engine streams
+    /// per-epoch events, metrics, and spans into the same [`Telemetry`]
+    /// bundle.
+    ///
+    /// Telemetry never alters the simulation: the returned [`SimResult`]
+    /// is bit-identical with telemetry on or off.
     ///
     /// # Errors
     ///
     /// Propagates policy construction and simulation errors.
-    pub fn run(&self, kind: PolicyKind, seed: u64) -> crate::Result<SimResult> {
-        self.run_traced(kind, seed, &mut Telemetry::disabled())
+    pub fn execute(
+        &self,
+        kind: PolicyKind,
+        seed: u64,
+        telemetry: &mut Telemetry,
+    ) -> crate::Result<SimResult> {
+        let config = SimConfig::new(self.game, self.epochs, seed)?.with_options(self.options);
+        let mut streams = self.population.spawn_streams(seed)?;
+        let solve_span = telemetry.enabled().then(|| telemetry.spans.start());
+        let mut policy = self.policy(kind, seed, telemetry)?;
+        if let Some(start) = solve_span {
+            telemetry.spans.end("scenario.solve", start);
+        }
+        engine::run(&config, &mut streams, policy.as_mut(), telemetry)
     }
 
-    /// Run one simulation with full telemetry: the offline solve narrates
-    /// through the recorder first (residual curves for E-T), then the
-    /// engine streams per-epoch events, metrics, and spans into the same
-    /// [`Telemetry`] bundle.
-    ///
-    /// Telemetry never alters the simulation: with any recorder attached
-    /// the returned [`SimResult`] is bit-identical to [`Scenario::run`].
+    /// Forwarding shim for the pre-unification entry point.
     ///
     /// # Errors
     ///
-    /// Propagates policy construction and simulation errors.
+    /// As [`Scenario::execute`].
+    #[deprecated(note = "use `Scenario::execute(kind, seed, &mut Telemetry::noop())`")]
+    pub fn run(&self, kind: PolicyKind, seed: u64) -> crate::Result<SimResult> {
+        self.execute(kind, seed, &mut Telemetry::noop())
+    }
+
+    /// Forwarding shim for the pre-unification traced entry point.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::execute`].
+    #[deprecated(note = "use `Scenario::execute` (identical signature)")]
     pub fn run_traced(
         &self,
         kind: PolicyKind,
         seed: u64,
         telemetry: &mut Telemetry,
     ) -> crate::Result<SimResult> {
-        let config = SimConfig::new(self.game, self.epochs, seed)?
-            .with_recovery(self.recovery)
-            .with_interruption(self.interruption)
-            .with_estimation(self.estimation)
-            .with_faults(self.faults);
-        let mut streams = self.population.spawn_streams(seed)?;
-        let solve_span = telemetry.enabled().then(|| telemetry.spans.start());
-        let mut policy = self.build_policy_observed(kind, seed, telemetry.recorder())?;
-        if let Some(start) = solve_span {
-            telemetry.spans.end("scenario.solve", start);
-        }
-        simulate_traced(&config, &mut streams, policy.as_mut(), telemetry)
+        self.execute(kind, seed, telemetry)
     }
+}
+
+/// Convergence facts about one offline solve, for per-cell sweep
+/// reporting.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SolveSummary {
+    /// Whether Algorithm 1 (or the multi-type fixed point) converged; a
+    /// `false` here means agents run the conservative fallback threshold.
+    pub converged: bool,
+    /// Outer iterations spent (across damping escalations on failure).
+    pub iterations: usize,
+    /// Final (or best) fixed-point residual.
+    pub residual: f64,
 }
 
 #[cfg(test)]
@@ -433,7 +601,7 @@ mod tests {
     #[test]
     fn equilibrium_policy_is_uniform_for_homogeneous() {
         let s = Scenario::homogeneous(Benchmark::PageRank, 100, 50).unwrap();
-        let p = s.equilibrium_policy().unwrap();
+        let p = s.equilibrium_thresholds(&mut Telemetry::noop()).unwrap();
         let t0 = p.thresholds()[0];
         assert!(p.thresholds().iter().all(|&t| (t - t0).abs() < 1e-12));
         assert!(t0 > 1.0, "pagerank threshold should be substantial: {t0}");
@@ -444,7 +612,7 @@ mod tests {
         let s =
             Scenario::heterogeneous(&[Benchmark::LinearRegression, Benchmark::PageRank], 100, 50)
                 .unwrap();
-        let p = s.equilibrium_policy().unwrap();
+        let p = s.equilibrium_thresholds(&mut Telemetry::noop()).unwrap();
         // Round-robin: even agents linear, odd agents pagerank.
         let linear = p.thresholds()[0];
         let pagerank = p.thresholds()[1];
@@ -478,7 +646,7 @@ mod tests {
     fn run_produces_results_for_all_policies() {
         let s = Scenario::homogeneous(Benchmark::DecisionTree, 80, 150).unwrap();
         for kind in PolicyKind::ALL {
-            let r = s.run(kind, 11).unwrap();
+            let r = s.execute(kind, 11, &mut Telemetry::noop()).unwrap();
             assert_eq!(r.n_agents(), 80);
             assert_eq!(r.epochs(), 150);
             assert!(r.total_tasks() > 0.0, "{kind}");
@@ -490,10 +658,12 @@ mod tests {
         use sprint_telemetry::EventKind;
 
         let s = Scenario::homogeneous(Benchmark::Svm, 60, 120).unwrap();
-        let plain = s.run(PolicyKind::EquilibriumThreshold, 7).unwrap();
+        let plain = s
+            .execute(PolicyKind::EquilibriumThreshold, 7, &mut Telemetry::noop())
+            .unwrap();
         let mut telemetry = Telemetry::in_memory();
         let traced = s
-            .run_traced(PolicyKind::EquilibriumThreshold, 7, &mut telemetry)
+            .execute(PolicyKind::EquilibriumThreshold, 7, &mut telemetry)
             .unwrap();
         assert_eq!(plain, traced, "telemetry must not perturb the simulation");
 
@@ -520,7 +690,7 @@ mod tests {
     fn heterogeneous_traced_run_reports_a_coordinator_resolve() {
         let s = Scenario::heterogeneous(&[Benchmark::Svm, Benchmark::Kmeans], 40, 60).unwrap();
         let mut telemetry = Telemetry::in_memory();
-        s.run_traced(PolicyKind::EquilibriumThreshold, 3, &mut telemetry)
+        s.execute(PolicyKind::EquilibriumThreshold, 3, &mut telemetry)
             .unwrap();
         let events = telemetry.events().unwrap();
         let resolve = events
@@ -539,9 +709,68 @@ mod tests {
     fn equilibrium_beats_greedy_in_simulation() {
         // The headline claim, at small scale: E-T outperforms G.
         let s = Scenario::homogeneous(Benchmark::DecisionTree, 150, 400).unwrap();
-        let g = s.run(PolicyKind::Greedy, 13).unwrap();
-        let et = s.run(PolicyKind::EquilibriumThreshold, 13).unwrap();
+        let g = s
+            .execute(PolicyKind::Greedy, 13, &mut Telemetry::noop())
+            .unwrap();
+        let et = s
+            .execute(PolicyKind::EquilibriumThreshold, 13, &mut Telemetry::noop())
+            .unwrap();
         let ratio = et.tasks_per_agent_epoch() / g.tasks_per_agent_epoch();
         assert!(ratio > 2.0, "E-T/G = {ratio}");
+    }
+
+    #[test]
+    fn cached_equilibrium_policy_matches_fresh_solve() {
+        let s = Scenario::homogeneous(Benchmark::PageRank, 100, 50).unwrap();
+        let fresh = s.equilibrium_thresholds(&mut Telemetry::noop()).unwrap();
+        let cache = EquilibriumCache::default();
+        let (first, summary) = s.equilibrium_policy_cached(&cache).unwrap();
+        let (second, _) = s.equilibrium_policy_cached(&cache).unwrap();
+        assert_eq!(fresh.thresholds(), first.thresholds());
+        assert_eq!(fresh.thresholds(), second.thresholds());
+        assert!(summary.converged);
+        assert!(summary.iterations > 0);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn cached_heterogeneous_solve_bypasses_the_cache() {
+        let s = Scenario::heterogeneous(&[Benchmark::Svm, Benchmark::Kmeans], 40, 60).unwrap();
+        let cache = EquilibriumCache::default();
+        let (p, summary) = s.equilibrium_policy_cached(&cache).unwrap();
+        assert_eq!(p.thresholds().len(), 40);
+        assert!(summary.converged);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward_to_the_unified_entry_points() {
+        use sprint_telemetry::Noop;
+
+        let s = Scenario::homogeneous(Benchmark::DecisionTree, 60, 80).unwrap();
+        let canonical = s
+            .execute(PolicyKind::EquilibriumThreshold, 5, &mut Telemetry::noop())
+            .unwrap();
+        assert_eq!(
+            canonical,
+            s.run(PolicyKind::EquilibriumThreshold, 5).unwrap()
+        );
+        assert_eq!(
+            canonical,
+            s.run_traced(PolicyKind::EquilibriumThreshold, 5, &mut Telemetry::noop())
+                .unwrap()
+        );
+        let via_shim = s.equilibrium_policy().unwrap();
+        let via_observed = s.equilibrium_policy_observed(&mut Noop).unwrap();
+        let fresh = s.equilibrium_thresholds(&mut Telemetry::noop()).unwrap();
+        assert_eq!(fresh.thresholds(), via_shim.thresholds());
+        assert_eq!(fresh.thresholds(), via_observed.thresholds());
+        assert!(s.build_policy(PolicyKind::Greedy, 1).is_ok());
+        assert!(s
+            .build_policy_observed(PolicyKind::EquilibriumThreshold, 1, &mut Noop)
+            .is_ok());
     }
 }

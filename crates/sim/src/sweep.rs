@@ -1,0 +1,711 @@
+//! Parallel parameter sweeps over the paper's design space.
+//!
+//! The paper explores Table 2's parameters (`N`, `p_c`, `p_r`, `δ`),
+//! benchmark mixes (Figs. 7–10), policies, and fault plans by re-solving
+//! Algorithm 1 and re-simulating for every point. A [`SweepSpec`]
+//! declares that grid once — games × populations × fault plans ×
+//! policies × seeds — and [`run_sweep`] expands it into trials and
+//! executes them on a pool of scoped worker threads sized to the
+//! available cores.
+//!
+//! Two properties are load-bearing:
+//!
+//! - **Byte-reproducible aggregates.** Workers pull trial indices from an
+//!   atomic counter and write results into a slot-per-trial table, so
+//!   completion order never reaches the output: the same spec serializes
+//!   to the same bytes at `--jobs 1` and `--jobs N`. Wall-clock facts
+//!   (trial durations, job count, cache counters) go to the telemetry
+//!   kit, never into the report.
+//! - **Solve memoization.** Every E-T trial resolves its equilibrium
+//!   through a shared [`EquilibriumCache`]: trials that vary only
+//!   simulation-side knobs (seeds, faults, policies) pay for Algorithm 1
+//!   once per distinct game, and cached results are bit-identical to
+//!   fresh solves.
+//!
+//! Trials use only the unified telemetry-carrying API ([`engine::run`],
+//! [`Scenario::policy`], [`Scenario::equilibrium_policy_cached`]).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use sprint_game::{EquilibriumCache, GameConfig};
+use sprint_stats::summary::{confidence_interval_95, ConfidenceInterval, OnlineStats};
+use sprint_telemetry::Telemetry;
+use sprint_workloads::generator::Population;
+use sprint_workloads::Benchmark;
+
+use crate::engine::{self, RunOptions, SimConfig};
+use crate::metrics::SimResult;
+use crate::policy::{PolicyKind, SprintPolicy};
+use crate::runner::NamedPlan;
+use crate::scenario::{Scenario, SolveSummary};
+use crate::SimError;
+
+/// One point on the sweep's game axis: breaker band as a fraction of the
+/// population (so one variant scales across population sizes), plus the
+/// Markov persistences and discount.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GameVariant {
+    /// Display name (unique within a spec).
+    pub name: String,
+    /// `N_min` as a fraction of the population (paper: 0.25).
+    pub n_min_frac: f64,
+    /// `N_max` as a fraction of the population (paper: 0.75).
+    pub n_max_frac: f64,
+    /// Cooling-state persistence `p_c`.
+    pub p_cooling: f64,
+    /// Recovery-state persistence `p_r`.
+    pub p_recovery: f64,
+    /// Discount factor `δ`.
+    pub discount: f64,
+}
+
+impl GameVariant {
+    /// The Table-2 variant under `name`.
+    #[must_use]
+    pub fn paper(name: impl Into<String>) -> Self {
+        let g = GameConfig::paper_defaults();
+        GameVariant {
+            name: name.into(),
+            n_min_frac: g.n_min() / f64::from(g.n_agents()),
+            n_max_frac: g.n_max() / f64::from(g.n_agents()),
+            p_cooling: g.p_cooling(),
+            p_recovery: g.p_recovery(),
+            discount: g.discount(),
+        }
+    }
+
+    /// Instantiate the variant for a concrete population size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GameConfig`] builder validation.
+    pub fn build(&self, agents: u32) -> crate::Result<GameConfig> {
+        GameConfig::builder()
+            .n_agents(agents)
+            .n_min(f64::from(agents) * self.n_min_frac)
+            .n_max(f64::from(agents) * self.n_max_frac)
+            .p_cooling(self.p_cooling)
+            .p_recovery(self.p_recovery)
+            .discount(self.discount)
+            .build()
+            .map_err(Into::into)
+    }
+}
+
+/// One point on the sweep's population axis: benchmarks by name (a single
+/// name is a homogeneous rack; several are split round-robin).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PopulationSpec {
+    /// Display name (unique within a spec).
+    pub name: String,
+    /// Benchmark names (see [`Benchmark::from_name`]).
+    pub benchmarks: Vec<String>,
+    /// Rack size.
+    pub agents: u32,
+}
+
+impl PopulationSpec {
+    /// A homogeneous population of `agents` × `benchmark`.
+    #[must_use]
+    pub fn homogeneous(benchmark: Benchmark, agents: u32) -> Self {
+        PopulationSpec {
+            name: benchmark.name().to_string(),
+            benchmarks: vec![benchmark.name().to_string()],
+            agents,
+        }
+    }
+
+    fn resolve(&self) -> crate::Result<Population> {
+        let benchmarks: Vec<Benchmark> = self
+            .benchmarks
+            .iter()
+            .map(|name| {
+                Benchmark::from_name(name).ok_or(SimError::InvalidParameter {
+                    name: "benchmarks",
+                    value: 0.0,
+                    expected: "benchmark names known to sprint_workloads",
+                })
+            })
+            .collect::<crate::Result<_>>()?;
+        match benchmarks.as_slice() {
+            [] => Err(SimError::InvalidParameter {
+                name: "benchmarks",
+                value: 0.0,
+                expected: "at least one benchmark name",
+            }),
+            [only] => Population::homogeneous(*only, self.agents as usize).map_err(Into::into),
+            many => Population::heterogeneous(many, self.agents as usize).map_err(Into::into),
+        }
+    }
+}
+
+/// A declarative sweep: the cartesian product
+/// `games × populations × plans × policies × seeds`, expanded in exactly
+/// that axis order (seeds fastest) into trials numbered from 0.
+///
+/// An empty `plans` list means one unnamed clean entry that keeps
+/// `options.faults`; every listed plan *overrides* `options.faults` for
+/// its trials.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepSpec {
+    /// The game axis.
+    pub games: Vec<GameVariant>,
+    /// The population axis.
+    pub populations: Vec<PopulationSpec>,
+    /// The fault-plan axis (may be empty; see above).
+    pub plans: Vec<NamedPlan>,
+    /// The policy axis.
+    pub policies: Vec<PolicyKind>,
+    /// The seed axis.
+    pub seeds: Vec<u64>,
+    /// Simulated epochs per trial.
+    pub epochs: usize,
+    /// Shared run options (recovery/interruption/estimation/stagger and
+    /// the default fault plan).
+    pub options: RunOptions,
+}
+
+impl SweepSpec {
+    /// A ready-to-edit example spec: the acceptance sweep — 4 game
+    /// variants × 1 population × 4 policies × 4 seeds = 64 trials.
+    #[must_use]
+    pub fn example() -> Self {
+        let paper = GameVariant::paper("paper");
+        let mut tight_band = GameVariant::paper("tight-band");
+        tight_band.n_min_frac = 0.15;
+        tight_band.n_max_frac = 0.60;
+        let mut slow_cooling = GameVariant::paper("slow-cooling");
+        slow_cooling.p_cooling = 0.75;
+        let mut fast_recovery = GameVariant::paper("fast-recovery");
+        fast_recovery.p_recovery = 0.70;
+        SweepSpec {
+            games: vec![paper, tight_band, slow_cooling, fast_recovery],
+            populations: vec![PopulationSpec::homogeneous(Benchmark::DecisionTree, 100)],
+            plans: Vec::new(),
+            policies: PolicyKind::ALL.to_vec(),
+            seeds: vec![1, 2, 3, 4],
+            epochs: 200,
+            options: RunOptions::default(),
+        }
+    }
+
+    /// Trials this spec expands to.
+    #[must_use]
+    pub fn trial_count(&self) -> usize {
+        self.games.len()
+            * self.populations.len()
+            * self.plans.len().max(1)
+            * self.policies.len()
+            * self.seeds.len()
+    }
+
+    fn validate(&self) -> crate::Result<()> {
+        let axes: [(&str, usize); 4] = [
+            ("games", self.games.len()),
+            ("populations", self.populations.len()),
+            ("policies", self.policies.len()),
+            ("seeds", self.seeds.len()),
+        ];
+        for (name, len) in axes {
+            if len == 0 {
+                return Err(SimError::InvalidParameter {
+                    name,
+                    value: 0.0,
+                    expected: "a non-empty sweep axis",
+                });
+            }
+        }
+        if self.epochs == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "epochs",
+                value: 0.0,
+                expected: "at least one epoch",
+            });
+        }
+        for plan in &self.plans {
+            plan.plan.validate()?;
+        }
+        self.options.faults.validate()?;
+        Ok(())
+    }
+
+    /// The plan axis with the empty-list default applied.
+    fn effective_plans(&self) -> Vec<NamedPlan> {
+        if self.plans.is_empty() {
+            vec![NamedPlan {
+                name: "none".to_string(),
+                plan: self.options.faults,
+            }]
+        } else {
+            self.plans.clone()
+        }
+    }
+
+    fn expand(&self, plans: &[NamedPlan]) -> Vec<Trial> {
+        let mut trials = Vec::with_capacity(self.trial_count());
+        for game in 0..self.games.len() {
+            for population in 0..self.populations.len() {
+                for plan in 0..plans.len() {
+                    for policy in 0..self.policies.len() {
+                        for &seed in &self.seeds {
+                            trials.push(Trial {
+                                id: trials.len(),
+                                game,
+                                population,
+                                plan,
+                                policy,
+                                seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        trials
+    }
+}
+
+/// One expanded grid point (indices into the spec's axes).
+#[derive(Debug, Clone, Copy)]
+struct Trial {
+    id: usize,
+    game: usize,
+    population: usize,
+    plan: usize,
+    policy: usize,
+    seed: u64,
+}
+
+/// The outcome of one trial.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepRecord {
+    /// Trial index in expansion order.
+    pub trial: usize,
+    /// Game variant name.
+    pub game: String,
+    /// Population name.
+    pub population: String,
+    /// Fault-plan name (`"none"` for the clean default).
+    pub plan: String,
+    /// The policy.
+    pub policy: PolicyKind,
+    /// The seed.
+    pub seed: u64,
+    /// Task throughput per agent-epoch.
+    pub tasks_per_agent_epoch: f64,
+    /// Total tasks completed.
+    pub total_tasks: f64,
+    /// Breaker trips.
+    pub trips: u32,
+    /// Mean sprinters per epoch.
+    pub mean_sprinters: f64,
+    /// Occupancy fractions `[active idle, cooling, recovery, sprinting]`.
+    pub occupancy: [f64; 4],
+    /// Convergence facts for the offline solve (E-T trials only).
+    pub solve: Option<SolveSummary>,
+}
+
+/// Aggregate over one cell's seeds (one `game × population × plan ×
+/// policy` point).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepCell {
+    /// Game variant name.
+    pub game: String,
+    /// Population name.
+    pub population: String,
+    /// Fault-plan name.
+    pub plan: String,
+    /// The policy.
+    pub policy: PolicyKind,
+    /// Trials aggregated (the seed count).
+    pub trials: usize,
+    /// Mean task throughput per agent-epoch.
+    pub tasks_per_agent_epoch: f64,
+    /// Standard deviation of the throughput across seeds.
+    pub tasks_std_dev: f64,
+    /// 95 % Student-t confidence interval (`None` for one seed).
+    pub tasks_ci: Option<ConfidenceInterval>,
+    /// Mean breaker trips per run.
+    pub trips: f64,
+    /// Mean sprinters per epoch.
+    pub mean_sprinters: f64,
+    /// Mean occupancy fractions.
+    pub occupancy: [f64; 4],
+    /// Throughput over the same-cell-group Greedy throughput (the
+    /// paper's Figure 8/9 metric; `None` when Greedy is not swept).
+    pub normalized_to_greedy: Option<f64>,
+    /// Convergence facts for the cell's offline solve (E-T cells only;
+    /// identical across seeds since the solve is seed-independent).
+    pub solve: Option<SolveSummary>,
+}
+
+/// A completed sweep: per-trial records (expansion order) and per-cell
+/// aggregates. Contains simulation-time data only — wall-clock facts go
+/// to the telemetry kit — so serialization is byte-identical across job
+/// counts and runs.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepReport {
+    /// Total trials executed.
+    pub trials: usize,
+    /// Per-trial records in expansion order.
+    pub records: Vec<SweepRecord>,
+    /// Per-cell aggregates in expansion order.
+    pub cells: Vec<SweepCell>,
+}
+
+/// Resolve a job count: 0 means all available cores, and no pool is ever
+/// larger than the trial list.
+fn effective_jobs(jobs: usize, trials: usize) -> usize {
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        jobs
+    };
+    jobs.clamp(1, trials.max(1))
+}
+
+/// Execute a sweep — the unified entry point.
+///
+/// Expands `spec` into trials and runs them on `jobs` scoped worker
+/// threads (`jobs == 0` sizes the pool to the available cores). Workers
+/// pull trial indices from a shared atomic counter and publish into a
+/// slot-per-trial table, so the report is identical — byte-for-byte under
+/// serialization — for every job count. E-T solves are memoized in a
+/// sweep-wide [`EquilibriumCache`] whose hit/miss/eviction counters land
+/// in the kit's registry (`cache.equilibrium.*`), alongside
+/// `sweep.trials` and `sweep.jobs`; per-trial wall-clock durations
+/// accumulate in the kit's span profile under `sweep.trial`.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParameter`] for an empty axis or invalid
+/// plan, [`SimError::WorkerPanicked`] when a worker thread dies, and
+/// otherwise the first failing trial's error (in trial order).
+pub fn run_sweep(
+    spec: &SweepSpec,
+    jobs: usize,
+    telemetry: &mut Telemetry,
+) -> crate::Result<SweepReport> {
+    spec.validate()?;
+    let plans = spec.effective_plans();
+    let trials = spec.expand(&plans);
+    let jobs = effective_jobs(jobs, trials.len());
+    let cache = EquilibriumCache::default();
+
+    type Slot = OnceLock<(crate::Result<SweepRecord>, u64)>;
+    let slots: Vec<Slot> = (0..trials.len()).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let panicked = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(trial) = trials.get(i) else { break };
+                        let started = std::time::Instant::now();
+                        let record = run_trial(spec, &plans, trial, &cache);
+                        // First write wins; a slot is only ever written
+                        // once because indices are unique.
+                        let _ = slots[i].set((record, started.elapsed().as_nanos() as u64));
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().any(|h| h.join().is_err())
+    });
+    if panicked {
+        return Err(SimError::WorkerPanicked {
+            what: "sweep trial",
+        });
+    }
+
+    let profile = telemetry.enabled();
+    let mut records = Vec::with_capacity(trials.len());
+    for slot in slots {
+        let (record, nanos) = slot.into_inner().expect("every trial slot is filled");
+        if profile {
+            telemetry.spans.record_nanos("sweep.trial", nanos);
+        }
+        records.push(record?);
+    }
+    let cells = aggregate_cells(spec, &plans, &records);
+
+    cache.export_metrics(&mut telemetry.registry);
+    let c = telemetry.registry.counter("sweep.trials");
+    telemetry.registry.inc(c, records.len() as u64);
+    let g = telemetry.registry.gauge("sweep.jobs");
+    telemetry.registry.set(g, jobs as f64);
+
+    Ok(SweepReport {
+        trials: records.len(),
+        records,
+        cells,
+    })
+}
+
+/// Run one grid point through the unified API only.
+fn run_trial(
+    spec: &SweepSpec,
+    plans: &[NamedPlan],
+    trial: &Trial,
+    cache: &EquilibriumCache,
+) -> crate::Result<SweepRecord> {
+    let variant = &spec.games[trial.game];
+    let pop_spec = &spec.populations[trial.population];
+    let named = &plans[trial.plan];
+    let kind = spec.policies[trial.policy];
+
+    let game = variant.build(pop_spec.agents)?;
+    let mut options = spec.options;
+    options.faults = named.plan;
+    let scenario =
+        Scenario::with_game(pop_spec.resolve()?, game, spec.epochs)?.with_options(options);
+
+    let (mut policy, solve): (Box<dyn SprintPolicy>, Option<SolveSummary>) = match kind {
+        PolicyKind::EquilibriumThreshold => {
+            let (policy, summary) = scenario.equilibrium_policy_cached(cache)?;
+            (Box::new(policy), Some(summary))
+        }
+        other => (
+            scenario.policy(other, trial.seed, &mut Telemetry::noop())?,
+            None,
+        ),
+    };
+    let config = SimConfig::new(game, spec.epochs, trial.seed)?.with_options(*scenario.options());
+    let mut streams = scenario.population().spawn_streams(trial.seed)?;
+    let result = engine::run(
+        &config,
+        &mut streams,
+        policy.as_mut(),
+        &mut Telemetry::noop(),
+    )?;
+
+    Ok(record_of(
+        trial, variant, pop_spec, named, kind, &result, solve,
+    ))
+}
+
+fn record_of(
+    trial: &Trial,
+    variant: &GameVariant,
+    pop_spec: &PopulationSpec,
+    named: &NamedPlan,
+    kind: PolicyKind,
+    result: &SimResult,
+    solve: Option<SolveSummary>,
+) -> SweepRecord {
+    SweepRecord {
+        trial: trial.id,
+        game: variant.name.clone(),
+        population: pop_spec.name.clone(),
+        plan: named.name.clone(),
+        policy: kind,
+        seed: trial.seed,
+        tasks_per_agent_epoch: result.tasks_per_agent_epoch(),
+        total_tasks: result.total_tasks(),
+        trips: result.trips(),
+        mean_sprinters: result.mean_sprinters(),
+        occupancy: result.occupancy().fractions(),
+        solve,
+    }
+}
+
+/// Fold records (expansion order: seeds fastest, policies next) into
+/// per-cell aggregates, normalizing each policy cell against the Greedy
+/// cell of the same `game × population × plan` group.
+fn aggregate_cells(
+    spec: &SweepSpec,
+    plans: &[NamedPlan],
+    records: &[SweepRecord],
+) -> Vec<SweepCell> {
+    let seeds = spec.seeds.len();
+    let mut cells: Vec<SweepCell> = records
+        .chunks(seeds)
+        .map(|chunk| {
+            let first = &chunk[0];
+            let per_trial: Vec<f64> = chunk.iter().map(|r| r.tasks_per_agent_epoch).collect();
+            let tasks: OnlineStats = per_trial.iter().copied().collect();
+            let mut occupancy = [0.0f64; 4];
+            for r in chunk {
+                for (acc, x) in occupancy.iter_mut().zip(r.occupancy) {
+                    *acc += x;
+                }
+            }
+            for acc in &mut occupancy {
+                *acc /= chunk.len() as f64;
+            }
+            SweepCell {
+                game: first.game.clone(),
+                population: first.population.clone(),
+                plan: first.plan.clone(),
+                policy: first.policy,
+                trials: chunk.len(),
+                tasks_per_agent_epoch: tasks.mean(),
+                tasks_std_dev: tasks.std_dev(),
+                tasks_ci: confidence_interval_95(&per_trial).ok(),
+                trips: chunk.iter().map(|r| f64::from(r.trips)).sum::<f64>() / chunk.len() as f64,
+                mean_sprinters: chunk.iter().map(|r| r.mean_sprinters).sum::<f64>()
+                    / chunk.len() as f64,
+                occupancy,
+                normalized_to_greedy: None,
+                solve: chunk.iter().find_map(|r| r.solve),
+            }
+        })
+        .collect();
+
+    // Cells are policy-major within each game × population × plan group
+    // of `policies.len()` consecutive cells.
+    let group = spec.policies.len();
+    for cells in cells.chunks_mut(group) {
+        let greedy = cells
+            .iter()
+            .find(|c| c.policy == PolicyKind::Greedy)
+            .map(|c| c.tasks_per_agent_epoch)
+            .filter(|&g| g > 0.0);
+        if let Some(greedy) = greedy {
+            for cell in cells {
+                cell.normalized_to_greedy = Some(cell.tasks_per_agent_epoch / greedy);
+            }
+        }
+    }
+    let _ = plans;
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec {
+            games: vec![GameVariant::paper("paper")],
+            populations: vec![PopulationSpec::homogeneous(Benchmark::DecisionTree, 40)],
+            plans: Vec::new(),
+            policies: vec![PolicyKind::Greedy, PolicyKind::EquilibriumThreshold],
+            seeds: vec![1, 2, 3],
+            epochs: 60,
+            options: RunOptions::default(),
+        }
+    }
+
+    #[test]
+    fn validates_axes() {
+        let mut spec = small_spec();
+        spec.seeds.clear();
+        assert!(run_sweep(&spec, 1, &mut Telemetry::noop()).is_err());
+        let mut spec = small_spec();
+        spec.policies.clear();
+        assert!(run_sweep(&spec, 1, &mut Telemetry::noop()).is_err());
+        let mut spec = small_spec();
+        spec.epochs = 0;
+        assert!(run_sweep(&spec, 1, &mut Telemetry::noop()).is_err());
+        let mut spec = small_spec();
+        spec.populations[0].benchmarks = vec!["no-such-benchmark".to_string()];
+        assert!(run_sweep(&spec, 1, &mut Telemetry::noop()).is_err());
+    }
+
+    #[test]
+    fn expansion_orders_trials_seeds_fastest() {
+        let spec = small_spec();
+        assert_eq!(spec.trial_count(), 6);
+        let report = run_sweep(&spec, 1, &mut Telemetry::noop()).unwrap();
+        assert_eq!(report.trials, 6);
+        let seeds: Vec<u64> = report.records.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds, [1, 2, 3, 1, 2, 3]);
+        assert_eq!(report.records[0].policy, PolicyKind::Greedy);
+        assert_eq!(report.records[3].policy, PolicyKind::EquilibriumThreshold);
+        for (i, r) in report.records.iter().enumerate() {
+            assert_eq!(r.trial, i);
+            assert_eq!(r.plan, "none");
+        }
+    }
+
+    #[test]
+    fn aggregate_is_identical_across_job_counts() {
+        let spec = small_spec();
+        let serial = run_sweep(&spec, 1, &mut Telemetry::noop()).unwrap();
+        let parallel = run_sweep(&spec, 4, &mut Telemetry::noop()).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap(),
+            "reports must serialize byte-identically across job counts"
+        );
+    }
+
+    #[test]
+    fn cells_normalize_to_greedy_and_carry_solves() {
+        let report = run_sweep(&small_spec(), 2, &mut Telemetry::noop()).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        let greedy = &report.cells[0];
+        let et = &report.cells[1];
+        assert_eq!(greedy.policy, PolicyKind::Greedy);
+        assert!((greedy.normalized_to_greedy.unwrap() - 1.0).abs() < 1e-12);
+        assert!(et.normalized_to_greedy.unwrap() > 1.0, "E-T beats G");
+        assert!(greedy.solve.is_none());
+        let solve = et.solve.expect("E-T cells carry solve summaries");
+        assert!(solve.converged);
+        assert_eq!(greedy.trials, 3);
+        assert!(greedy.tasks_ci.is_some());
+    }
+
+    #[test]
+    fn equilibrium_solves_hit_the_cache_across_seeds() {
+        let mut spec = small_spec();
+        spec.policies = vec![PolicyKind::EquilibriumThreshold];
+        spec.seeds = (1..=8).collect();
+        let mut kit = Telemetry::in_memory();
+        let report = run_sweep(&spec, 4, &mut kit).unwrap();
+        assert_eq!(report.trials, 8);
+        assert_eq!(
+            kit.registry.counter_value("cache.equilibrium.misses"),
+            Some(1),
+            "one distinct game solves once"
+        );
+        assert_eq!(
+            kit.registry.counter_value("cache.equilibrium.hits"),
+            Some(7)
+        );
+        assert_eq!(kit.registry.counter_value("sweep.trials"), Some(8));
+        assert_eq!(kit.spans.stats("sweep.trial").unwrap().count, 8);
+    }
+
+    #[test]
+    fn plan_axis_overrides_spec_faults() {
+        let mut spec = small_spec();
+        spec.policies = vec![PolicyKind::Greedy];
+        spec.seeds = vec![1];
+        spec.plans = vec![
+            NamedPlan {
+                name: "clean".to_string(),
+                plan: FaultPlan::none(),
+            },
+            NamedPlan {
+                name: "composite".to_string(),
+                plan: FaultPlan::composite(7),
+            },
+        ];
+        let report = run_sweep(&spec, 1, &mut Telemetry::noop()).unwrap();
+        assert_eq!(report.trials, 2);
+        assert_eq!(report.records[0].plan, "clean");
+        assert_eq!(report.records[1].plan, "composite");
+        assert_ne!(
+            report.records[0].tasks_per_agent_epoch, report.records[1].tasks_per_agent_epoch,
+            "the composite plan must perturb the run"
+        );
+    }
+
+    #[test]
+    fn report_round_trips_through_serde() {
+        let report = run_sweep(&small_spec(), 2, &mut Telemetry::noop()).unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: SweepReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        let spec_json = serde_json::to_string(&SweepSpec::example()).unwrap();
+        let spec_back: SweepSpec = serde_json::from_str(&spec_json).unwrap();
+        assert_eq!(spec_back, SweepSpec::example());
+        assert_eq!(SweepSpec::example().trial_count(), 64);
+    }
+}

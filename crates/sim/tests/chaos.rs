@@ -9,6 +9,7 @@
 use sprint_sim::faults::{BreakerDrift, CoordinatorStaleness, CrashChurn, SensorFault};
 use sprint_sim::policy::PolicyKind;
 use sprint_sim::scenario::Scenario;
+use sprint_sim::telemetry::Telemetry;
 use sprint_sim::FaultPlan;
 use sprint_workloads::Benchmark;
 
@@ -22,7 +23,7 @@ fn all_policies_survive_composite_faults_at_rack_scale() {
         .with_faults(FaultPlan::composite(42));
     let mut tasks = Vec::new();
     for kind in PolicyKind::ALL {
-        let r = scenario.run(kind, 11).unwrap();
+        let r = scenario.execute(kind, 11, &mut Telemetry::noop()).unwrap();
         assert!(
             r.tasks_per_agent_epoch() > 0.0,
             "{kind} must still make progress under composite faults"
@@ -50,8 +51,8 @@ fn faulted_runs_are_bit_reproducible() {
         .unwrap()
         .with_faults(FaultPlan::composite(7));
     for kind in PolicyKind::ALL {
-        let a = scenario.run(kind, 99).unwrap();
-        let b = scenario.run(kind, 99).unwrap();
+        let a = scenario.execute(kind, 99, &mut Telemetry::noop()).unwrap();
+        let b = scenario.execute(kind, 99, &mut Telemetry::noop()).unwrap();
         assert_eq!(a, b, "{kind} must be deterministic under faults");
         assert_eq!(
             serde_json::to_string(&a).unwrap(),
@@ -72,8 +73,10 @@ fn inactive_plan_is_rng_neutral() {
         ..FaultPlan::none()
     });
     for kind in PolicyKind::ALL {
-        let clean = base.run(kind, 77).unwrap();
-        let empty = with_empty_plan.run(kind, 77).unwrap();
+        let clean = base.execute(kind, 77, &mut Telemetry::noop()).unwrap();
+        let empty = with_empty_plan
+            .execute(kind, 77, &mut Telemetry::noop())
+            .unwrap();
         assert_eq!(clean, empty, "{kind}: empty plan must not perturb the run");
         assert!(empty.faults().is_clean());
     }
@@ -97,7 +100,9 @@ fn occupancy_accounts_for_crashed_agents() {
     let scenario = Scenario::homogeneous(Benchmark::Kmeans, n, epochs)
         .unwrap()
         .with_faults(plan);
-    let r = scenario.run(PolicyKind::Greedy, 5).unwrap();
+    let r = scenario
+        .execute(PolicyKind::Greedy, 5, &mut Telemetry::noop())
+        .unwrap();
     let f = r.faults();
     assert!(f.crashes > 0, "crash churn must actually crash agents");
     assert!(f.restarts > 0, "crashed agents must come back");
@@ -122,7 +127,7 @@ fn per_fault_counters_record_each_class() {
             }),
             ..FaultPlan::none()
         })
-        .run(PolicyKind::Greedy, 4)
+        .execute(PolicyKind::Greedy, 4, &mut Telemetry::noop())
         .unwrap();
     assert!(
         stuck.faults().stuck_epochs > 0,
@@ -139,7 +144,7 @@ fn per_fault_counters_record_each_class() {
             }),
             ..FaultPlan::none()
         })
-        .run(PolicyKind::Greedy, 4)
+        .execute(PolicyKind::Greedy, 4, &mut Telemetry::noop())
         .unwrap();
     assert!(
         sensor.faults().sensor_dropouts > 0,
@@ -157,7 +162,7 @@ fn per_fault_counters_record_each_class() {
             breaker_drift: Some(BreakerDrift { band_shift: -0.5 }),
             ..FaultPlan::none()
         })
-        .run(PolicyKind::EquilibriumThreshold, 4)
+        .execute(PolicyKind::EquilibriumThreshold, 4, &mut Telemetry::noop())
         .unwrap();
     assert!(
         drift.faults().spurious_trips > 0,
@@ -177,8 +182,12 @@ fn stale_coordinator_shifts_the_equilibrium() {
         }),
         ..FaultPlan::none()
     });
-    let fresh_run = base.run(PolicyKind::EquilibriumThreshold, 9).unwrap();
-    let stale_run = stale.run(PolicyKind::EquilibriumThreshold, 9).unwrap();
+    let fresh_run = base
+        .execute(PolicyKind::EquilibriumThreshold, 9, &mut Telemetry::noop())
+        .unwrap();
+    let stale_run = stale
+        .execute(PolicyKind::EquilibriumThreshold, 9, &mut Telemetry::noop())
+        .unwrap();
     assert_ne!(
         fresh_run.sprinters_per_epoch(),
         stale_run.sprinters_per_epoch(),

@@ -2,8 +2,9 @@
 //! policy behavior over long horizons.
 
 use sprint_sim::policy::PolicyKind;
-use sprint_sim::runner::compare_policies;
+use sprint_sim::runner::compare;
 use sprint_sim::scenario::Scenario;
+use sprint_sim::telemetry::Telemetry;
 use sprint_stats::summary::OnlineStats;
 use sprint_workloads::Benchmark;
 
@@ -11,8 +12,8 @@ use sprint_workloads::Benchmark;
 fn runs_are_bit_reproducible_across_invocations() {
     let scenario = Scenario::homogeneous(Benchmark::Svm, 120, 300).unwrap();
     for kind in PolicyKind::ALL {
-        let a = scenario.run(kind, 77).unwrap();
-        let b = scenario.run(kind, 77).unwrap();
+        let a = scenario.execute(kind, 77, &mut Telemetry::noop()).unwrap();
+        let b = scenario.execute(kind, 77, &mut Telemetry::noop()).unwrap();
         assert_eq!(a, b, "{kind} must be deterministic under a fixed seed");
     }
 }
@@ -20,8 +21,12 @@ fn runs_are_bit_reproducible_across_invocations() {
 #[test]
 fn different_seeds_produce_different_dynamics() {
     let scenario = Scenario::homogeneous(Benchmark::Svm, 120, 600).unwrap();
-    let a = scenario.run(PolicyKind::EquilibriumThreshold, 1).unwrap();
-    let b = scenario.run(PolicyKind::EquilibriumThreshold, 2).unwrap();
+    let a = scenario
+        .execute(PolicyKind::EquilibriumThreshold, 1, &mut Telemetry::noop())
+        .unwrap();
+    let b = scenario
+        .execute(PolicyKind::EquilibriumThreshold, 2, &mut Telemetry::noop())
+        .unwrap();
     assert_ne!(a.sprinters_per_epoch(), b.sprinters_per_epoch());
     // But aggregate throughput is stable across seeds (stationarity).
     let rel =
@@ -34,7 +39,9 @@ fn equilibrium_sprinter_series_is_stationary() {
     // Figure 6: E-T produces a flat series. Split the horizon into
     // quarters; their means must agree within a few percent.
     let scenario = Scenario::homogeneous(Benchmark::DecisionTree, 400, 800).unwrap();
-    let r = scenario.run(PolicyKind::EquilibriumThreshold, 5).unwrap();
+    let r = scenario
+        .execute(PolicyKind::EquilibriumThreshold, 5, &mut Telemetry::noop())
+        .unwrap();
     let series: Vec<f64> = r
         .sprinters_per_epoch()
         .iter()
@@ -60,7 +67,9 @@ fn backoff_stabilizes_after_initial_trips() {
     // E-B learns from early emergencies: the second half of the run must
     // trip much less than the first.
     let scenario = Scenario::homogeneous(Benchmark::DecisionTree, 300, 1000).unwrap();
-    let r = scenario.run(PolicyKind::ExponentialBackoff, 7).unwrap();
+    let r = scenario
+        .execute(PolicyKind::ExponentialBackoff, 7, &mut Telemetry::noop())
+        .unwrap();
     let series = r.sprinters_per_epoch();
     // Count epochs at the rack ceiling (everyone sprinting = the greedy
     // signature) in each half.
@@ -78,8 +87,8 @@ fn comparison_is_deterministic_despite_parallelism() {
     // The parallel runner must produce identical aggregates regardless of
     // thread scheduling.
     let scenario = Scenario::homogeneous(Benchmark::Kmeans, 80, 200).unwrap();
-    let a = compare_policies(&scenario, &PolicyKind::ALL, &[3, 4]).unwrap();
-    let b = compare_policies(&scenario, &PolicyKind::ALL, &[3, 4]).unwrap();
+    let a = compare(&scenario, &PolicyKind::ALL, &[3, 4], &mut Telemetry::noop()).unwrap();
+    let b = compare(&scenario, &PolicyKind::ALL, &[3, 4], &mut Telemetry::noop()).unwrap();
     assert_eq!(a, b);
 }
 
@@ -89,8 +98,12 @@ fn longer_horizons_do_not_change_the_verdict() {
     let short = Scenario::homogeneous(Benchmark::PageRank, 150, 200).unwrap();
     let long = Scenario::homogeneous(Benchmark::PageRank, 150, 1600).unwrap();
     for scenario in [short, long] {
-        let g = scenario.run(PolicyKind::Greedy, 9).unwrap();
-        let et = scenario.run(PolicyKind::EquilibriumThreshold, 9).unwrap();
+        let g = scenario
+            .execute(PolicyKind::Greedy, 9, &mut Telemetry::noop())
+            .unwrap();
+        let et = scenario
+            .execute(PolicyKind::EquilibriumThreshold, 9, &mut Telemetry::noop())
+            .unwrap();
         assert!(
             et.tasks_per_agent_epoch() > 2.0 * g.tasks_per_agent_epoch(),
             "E-T {} vs G {} at {} epochs",

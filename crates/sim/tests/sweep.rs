@@ -1,0 +1,79 @@
+//! Sweep-engine integration tests: the parallel sweep must be a pure
+//! function of its spec — same spec, any job count, byte-identical
+//! aggregate JSON — and must pay for each distinct game's equilibrium
+//! solve exactly once.
+
+use sprint_sim::sweep::{run_sweep, GameVariant, PopulationSpec, SweepSpec};
+use sprint_sim::telemetry::Telemetry;
+use sprint_sim::{PolicyKind, RunOptions};
+use sprint_workloads::Benchmark;
+
+fn spec() -> SweepSpec {
+    let mut hot = GameVariant::paper("hot");
+    hot.p_cooling = 0.70;
+    SweepSpec {
+        games: vec![GameVariant::paper("paper"), hot],
+        populations: vec![PopulationSpec::homogeneous(Benchmark::Svm, 50)],
+        plans: Vec::new(),
+        policies: vec![PolicyKind::Greedy, PolicyKind::EquilibriumThreshold],
+        seeds: vec![11, 12, 13, 14],
+        epochs: 80,
+        options: RunOptions::default(),
+    }
+}
+
+#[test]
+fn fixed_seed_sweep_is_byte_identical_across_job_counts() {
+    let spec = spec();
+    let serial = run_sweep(&spec, 1, &mut Telemetry::noop()).unwrap();
+    let json_serial = serde_json::to_string(&serial).unwrap();
+    for jobs in [2, 4, 8] {
+        let parallel = run_sweep(&spec, jobs, &mut Telemetry::noop()).unwrap();
+        assert_eq!(
+            json_serial,
+            serde_json::to_string(&parallel).unwrap(),
+            "jobs={jobs} must serialize byte-identically to jobs=1"
+        );
+    }
+}
+
+#[test]
+fn each_distinct_game_solves_once() {
+    let spec = spec();
+    let mut kit = Telemetry::in_memory();
+    let report = run_sweep(&spec, 4, &mut kit).unwrap();
+    assert_eq!(report.trials, 16);
+    // 2 games × 4 E-T seeds = 8 solve requests against 2 distinct keys.
+    assert_eq!(
+        kit.registry.counter_value("cache.equilibrium.misses"),
+        Some(2)
+    );
+    assert_eq!(
+        kit.registry.counter_value("cache.equilibrium.hits"),
+        Some(6)
+    );
+    assert_eq!(
+        kit.registry.gauge_value("cache.equilibrium.entries"),
+        Some(2.0)
+    );
+}
+
+#[test]
+fn sweep_records_match_unified_single_runs() {
+    use sprint_sim::scenario::Scenario;
+
+    let spec = spec();
+    let report = run_sweep(&spec, 2, &mut Telemetry::noop()).unwrap();
+    let record = &report.records[0];
+    assert_eq!(record.policy, PolicyKind::Greedy);
+    let scenario = Scenario::homogeneous(Benchmark::Svm, 50, spec.epochs).unwrap();
+    let single = scenario
+        .execute(PolicyKind::Greedy, record.seed, &mut Telemetry::noop())
+        .unwrap();
+    assert_eq!(
+        record.tasks_per_agent_epoch,
+        single.tasks_per_agent_epoch(),
+        "a sweep trial must reproduce the equivalent single run bit-for-bit"
+    );
+    assert_eq!(record.trips, single.trips());
+}

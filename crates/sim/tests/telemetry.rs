@@ -35,7 +35,7 @@ fn trace_jsonl(scenario: &Scenario, kind: PolicyKind, seed: u64) -> Vec<u8> {
     let buf = SharedBuf::default();
     let writer = JsonlWriter::new(buf.clone());
     let mut telemetry = Telemetry::new(Box::new(writer), SpanProfile::deterministic());
-    scenario.run_traced(kind, seed, &mut telemetry).unwrap();
+    scenario.execute(kind, seed, &mut telemetry).unwrap();
     buf.contents()
 }
 
@@ -64,9 +64,9 @@ fn enabled_telemetry_never_perturbs_the_simulation() {
         .unwrap()
         .with_faults(sprint_sim::faults::FaultPlan::composite(7));
     for kind in PolicyKind::ALL {
-        let plain = scenario.run(kind, 19).unwrap();
+        let plain = scenario.execute(kind, 19, &mut Telemetry::noop()).unwrap();
         let mut telemetry = Telemetry::in_memory();
-        let traced = scenario.run_traced(kind, 19, &mut telemetry).unwrap();
+        let traced = scenario.execute(kind, 19, &mut telemetry).unwrap();
         assert_eq!(plain, traced, "{kind} result must be bit-identical");
         assert!(telemetry.events().unwrap().len() > 250, "{kind}");
     }
@@ -78,7 +78,7 @@ fn trace_has_expected_shape() {
     let scenario = Scenario::homogeneous(Benchmark::Kmeans, 50, epochs).unwrap();
     let mut telemetry = Telemetry::in_memory();
     scenario
-        .run_traced(PolicyKind::Greedy, 5, &mut telemetry)
+        .execute(PolicyKind::Greedy, 5, &mut telemetry)
         .unwrap();
     let events = telemetry.events().unwrap();
     assert_eq!(events.first().map(Event::kind), Some(EventKind::RunStart));
@@ -115,7 +115,7 @@ fn decision_firehose_is_opt_in_by_recorder_filter() {
     let recorder = sprint_sim::telemetry::InMemory::new().without(EventKind::SprintDecision);
     let mut telemetry = Telemetry::new(Box::new(recorder), SpanProfile::deterministic());
     scenario
-        .run_traced(PolicyKind::Greedy, 9, &mut telemetry)
+        .execute(PolicyKind::Greedy, 9, &mut telemetry)
         .unwrap();
     let events = telemetry.events().unwrap();
     assert!(events.iter().all(|e| e.kind() != EventKind::SprintDecision));

@@ -66,6 +66,14 @@ impl Telemetry {
         }
     }
 
+    /// Alias for [`Telemetry::disabled`], for call sites of the unified
+    /// run API that want no observation: `engine::run(cfg, streams,
+    /// policy, &mut Telemetry::noop())`.
+    #[must_use]
+    pub fn noop() -> Self {
+        Telemetry::disabled()
+    }
+
     /// In-memory telemetry with real (monotonic) span timings — the usual
     /// kit for report generation.
     #[must_use]

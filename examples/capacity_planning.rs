@@ -15,6 +15,7 @@ use computational_sprinting::power::chip::ChipModel;
 use computational_sprinting::power::pcm::{PcmHeatSink, PhaseChangeMaterial};
 use computational_sprinting::power::rack::RackConfig;
 use computational_sprinting::power::thermal::{SprintEnvelope, ThermalPackage};
+use computational_sprinting::telemetry::Telemetry;
 use computational_sprinting::workloads::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -47,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let config = GameConfig::builder()
             .p_cooling(envelope.p_cooling())
             .build()?;
-        let eq = MeanFieldSolver::new(config).solve(&density)?;
+        let eq = MeanFieldSolver::new(config).run(&density, &mut Telemetry::noop())?;
         println!(
             "{grams:>10.0} {:>12.0} {:>12.0} {:>8.2} {:>12.3}",
             envelope.sprint_duration_s,
@@ -70,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for ratio in [2.0, 5.0, 8.33, 15.0, 40.0] {
         let p_r = 1.0 - 1.0 / ratio;
         let config = GameConfig::builder().p_recovery(p_r).build()?;
-        let eq = MeanFieldSolver::new(config).solve(&density)?;
+        let eq = MeanFieldSolver::new(config).run(&density, &mut Telemetry::noop())?;
         println!(
             "{ratio:>10.2} {p_r:>8.3} {:>12.3} {:>10.3}",
             eq.threshold(),

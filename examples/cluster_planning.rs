@@ -15,6 +15,7 @@ use computational_sprinting::game::{GameConfig, MeanFieldSolver};
 use computational_sprinting::sim::cluster::{simulate_cluster, ClusterConfig};
 use computational_sprinting::sim::policies::ThresholdPolicy;
 use computational_sprinting::sim::SprintPolicy;
+use computational_sprinting::telemetry::Telemetry;
 use computational_sprinting::workloads::generator::Population;
 use computational_sprinting::workloads::Benchmark;
 
@@ -42,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .n_max(f64::from(PER_RACK) * 0.75)
         .build()?;
     let density = Benchmark::DecisionTree.utility_density(512)?;
-    let rack_eq = MeanFieldSolver::new(rack_game).solve(&density)?;
+    let rack_eq = MeanFieldSolver::new(rack_game).run(&density, &mut Telemetry::noop())?;
     println!(
         "{RACKS} racks x {PER_RACK} DecisionTree agents; rack-local equilibrium \
          threshold {:.2}\n",

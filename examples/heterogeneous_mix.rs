@@ -13,6 +13,7 @@ use computational_sprinting::game::coordinator::Coordinator;
 use computational_sprinting::game::GameConfig;
 use computational_sprinting::sim::policy::PolicyKind;
 use computational_sprinting::sim::scenario::Scenario;
+use computational_sprinting::telemetry::Telemetry;
 use computational_sprinting::workloads::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for b in mix {
         coordinator.register_profile(b.name(), b.utility_density(512)?, 250);
     }
-    let assignments = coordinator.optimize()?;
+    let assignments = coordinator.run(&mut Telemetry::noop())?;
 
     println!(
         "coordinator assignments (shared P_trip = {:.3}):\n",
@@ -52,8 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Online: simulate the mix under the assigned strategies vs Greedy.
     let scenario = Scenario::heterogeneous(&mix, 1000, 500)?;
-    let greedy = scenario.run(PolicyKind::Greedy, 42)?;
-    let equilibrium = scenario.run(PolicyKind::EquilibriumThreshold, 42)?;
+    let greedy = scenario.execute(PolicyKind::Greedy, 42, &mut Telemetry::noop())?;
+    let equilibrium =
+        scenario.execute(PolicyKind::EquilibriumThreshold, 42, &mut Telemetry::noop())?;
     println!(
         "\nsimulated throughput: greedy {:.3}, equilibrium {:.3} ({:.1}x better), \
          trips {} vs {}",

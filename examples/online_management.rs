@@ -13,6 +13,7 @@
 use computational_sprinting::game::agent::{Decision, OnlineAgent};
 use computational_sprinting::game::coordinator::Coordinator;
 use computational_sprinting::game::GameConfig;
+use computational_sprinting::telemetry::Telemetry;
 use computational_sprinting::workloads::phases::PhasedUtility;
 use computational_sprinting::workloads::profile::UtilityProfile;
 use computational_sprinting::workloads::Benchmark;
@@ -45,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         coordinator.register_profile(b.name(), profile.into_density(), AGENTS_PER_TYPE);
     }
-    let assignments = coordinator.optimize()?;
+    let assignments = coordinator.run(&mut Telemetry::noop())?;
     println!(
         "  assignments (P_trip = {:.3}):",
         assignments.trip_probability()
@@ -97,7 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         AGENTS_PER_TYPE,
     );
     // Rebalance: decision keeps its 500; linear takes pagerank's slots.
-    let reassigned = coordinator.optimize()?;
+    let reassigned = coordinator.run(&mut Telemetry::noop())?;
     println!(
         "  assignments (P_trip = {:.3}):",
         reassigned.trip_probability()

@@ -9,6 +9,7 @@
 //! ```
 
 use computational_sprinting::game::{GameConfig, MeanFieldSolver};
+use computational_sprinting::telemetry::Telemetry;
 use computational_sprinting::workloads::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Algorithm 1: iterate threshold <-> tripping probability to the
     //    mean-field equilibrium.
-    let equilibrium = MeanFieldSolver::new(config).solve(&density)?;
+    let equilibrium = MeanFieldSolver::new(config).run(&density, &mut Telemetry::noop())?;
     println!("\nequilibrium:");
     println!("  sprint threshold u_T   = {:.3}", equilibrium.threshold());
     println!(

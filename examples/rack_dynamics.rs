@@ -9,8 +9,9 @@
 //! ```
 
 use computational_sprinting::sim::policy::PolicyKind;
-use computational_sprinting::sim::runner::compare_policies;
+use computational_sprinting::sim::runner::compare;
 use computational_sprinting::sim::scenario::Scenario;
+use computational_sprinting::telemetry::Telemetry;
 use computational_sprinting::workloads::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,7 +24,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scenario.epochs()
     );
 
-    let comparison = compare_policies(&scenario, &PolicyKind::ALL, &[1, 2, 3])?;
+    let comparison = compare(
+        &scenario,
+        &PolicyKind::ALL,
+        &[1, 2, 3],
+        &mut Telemetry::noop(),
+    )?;
 
     println!(
         "{:<24} {:>10} {:>8} {:>8} {:>10} {:>9} {:>7}",

@@ -23,12 +23,13 @@
 //!
 //! ```
 //! use computational_sprinting::game::{GameConfig, MeanFieldSolver};
+//! use computational_sprinting::telemetry::Telemetry;
 //! use computational_sprinting::workloads::Benchmark;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let config = GameConfig::paper_defaults();
 //! let density = Benchmark::DecisionTree.utility_density(256)?;
-//! let eq = MeanFieldSolver::new(config).solve(&density)?;
+//! let eq = MeanFieldSolver::new(config).run(&density, &mut Telemetry::noop())?;
 //! println!(
 //!     "threshold = {:.3}, sprinters = {:.0}, P(trip) = {:.3}",
 //!     eq.threshold(),
@@ -53,7 +54,7 @@ pub use sprint_workloads as workloads;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let eq = MeanFieldSolver::new(GameConfig::paper_defaults())
-///     .solve(&Benchmark::Svm.utility_density(256)?)?;
+///     .run(&Benchmark::Svm.utility_density(256)?, &mut Telemetry::noop())?;
 /// assert!(eq.threshold() > 0.0);
 /// # Ok(())
 /// # }
@@ -65,8 +66,9 @@ pub mod prelude {
     };
     pub use sprint_power::rack::RackConfig;
     pub use sprint_sim::policy::PolicyKind;
-    pub use sprint_sim::runner::compare_policies;
+    pub use sprint_sim::runner::compare;
     pub use sprint_sim::scenario::Scenario;
+    pub use sprint_sim::sweep::{run_sweep, SweepReport, SweepSpec};
     pub use sprint_stats::density::DiscreteDensity;
     pub use sprint_telemetry::Telemetry;
     pub use sprint_workloads::generator::Population;

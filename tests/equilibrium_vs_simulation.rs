@@ -4,9 +4,10 @@
 //! phase persistence.
 
 use computational_sprinting::game::{GameConfig, MeanFieldSolver, ThresholdStrategy};
-use computational_sprinting::sim::engine::{simulate, SimConfig};
+use computational_sprinting::sim::engine::{run, SimConfig};
 use computational_sprinting::sim::policies::ThresholdPolicy;
 use computational_sprinting::stats::rng::SeedSequence;
+use computational_sprinting::telemetry::Telemetry;
 use computational_sprinting::workloads::phases::PhasedUtility;
 use computational_sprinting::workloads::Benchmark;
 
@@ -26,14 +27,22 @@ fn iid_streams(benchmark: Benchmark, n: usize, master_seed: u64) -> Vec<PhasedUt
 fn mean_field_sprinter_count_matches_iid_simulation() {
     let config = GameConfig::paper_defaults();
     let density = Benchmark::DecisionTree.utility_density(512).unwrap();
-    let eq = MeanFieldSolver::new(config).solve(&density).unwrap();
+    let eq = MeanFieldSolver::new(config)
+        .run(&density, &mut Telemetry::noop())
+        .unwrap();
 
     let mut streams = iid_streams(Benchmark::DecisionTree, 1000, 99);
     let mut policy =
         ThresholdPolicy::uniform("E-T", ThresholdStrategy::new(eq.threshold()).unwrap(), 1000)
             .unwrap();
     let sim_config = SimConfig::new(config, 2000, 99).unwrap();
-    let result = simulate(&sim_config, &mut streams, &mut policy).unwrap();
+    let result = run(
+        &sim_config,
+        &mut streams,
+        &mut policy,
+        &mut Telemetry::noop(),
+    )
+    .unwrap();
 
     // Equation 10's n_S versus the realized mean sprinter count. The
     // mean-field model ignores trips' interruption of the chain; with the
@@ -52,7 +61,9 @@ fn mean_field_sprinter_count_matches_iid_simulation() {
 fn equation_9_sprint_rate_matches_iid_simulation() {
     let config = GameConfig::paper_defaults();
     let density = Benchmark::PageRank.utility_density(512).unwrap();
-    let eq = MeanFieldSolver::new(config).solve(&density).unwrap();
+    let eq = MeanFieldSolver::new(config)
+        .run(&density, &mut Telemetry::noop())
+        .unwrap();
 
     // Single agent, huge band (never trips): the fraction of *active*
     // epochs that sprint must equal p_s.
@@ -67,7 +78,13 @@ fn equation_9_sprint_rate_matches_iid_simulation() {
         ThresholdPolicy::uniform("E-T", ThresholdStrategy::new(eq.threshold()).unwrap(), 1)
             .unwrap();
     let sim_config = SimConfig::new(solo, 40_000, 7).unwrap();
-    let result = simulate(&sim_config, &mut streams, &mut policy).unwrap();
+    let result = run(
+        &sim_config,
+        &mut streams,
+        &mut policy,
+        &mut Telemetry::noop(),
+    )
+    .unwrap();
 
     let occ = result.occupancy();
     let active_epochs = occ.active_idle + occ.sprinting;
@@ -87,7 +104,9 @@ fn phase_persistence_keeps_system_below_the_band() {
     // model-vs-simulation gap in EXPERIMENTS.md.
     let config = GameConfig::paper_defaults();
     let density = Benchmark::DecisionTree.utility_density(512).unwrap();
-    let eq = MeanFieldSolver::new(config).solve(&density).unwrap();
+    let eq = MeanFieldSolver::new(config)
+        .run(&density, &mut Telemetry::noop())
+        .unwrap();
 
     let mut streams: Vec<PhasedUtility> = {
         let mut seq = SeedSequence::new(3);
@@ -105,10 +124,11 @@ fn phase_persistence_keeps_system_below_the_band() {
     let mut policy =
         ThresholdPolicy::uniform("E-T", ThresholdStrategy::new(eq.threshold()).unwrap(), 1000)
             .unwrap();
-    let result = simulate(
+    let result = run(
         &SimConfig::new(config, 1500, 3).unwrap(),
         &mut streams,
         &mut policy,
+        &mut Telemetry::noop(),
     )
     .unwrap();
     assert!(result.mean_sprinters() < eq.expected_sprinters());

@@ -6,6 +6,7 @@
 
 use computational_sprinting::game::{GameConfig, MeanFieldSolver};
 use computational_sprinting::power::rack::RackConfig;
+use computational_sprinting::telemetry::Telemetry;
 use computational_sprinting::workloads::Benchmark;
 
 #[test]
@@ -30,9 +31,11 @@ fn derived_rack_parameters_drive_the_game() {
         .unwrap();
 
     let density = Benchmark::DecisionTree.utility_density(512).unwrap();
-    let derived_eq = MeanFieldSolver::new(config).solve(&density).unwrap();
+    let derived_eq = MeanFieldSolver::new(config)
+        .run(&density, &mut Telemetry::noop())
+        .unwrap();
     let table2_eq = MeanFieldSolver::new(GameConfig::paper_defaults())
-        .solve(&density)
+        .run(&density, &mut Telemetry::noop())
         .unwrap();
 
     // The physics-derived equilibrium matches the Table-2 equilibrium

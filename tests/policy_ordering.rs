@@ -2,8 +2,9 @@
 //! hold end to end in the simulator.
 
 use computational_sprinting::sim::policy::PolicyKind;
-use computational_sprinting::sim::runner::compare_policies;
+use computational_sprinting::sim::runner::compare;
 use computational_sprinting::sim::scenario::Scenario;
+use computational_sprinting::telemetry::Telemetry;
 use computational_sprinting::workloads::Benchmark;
 
 #[test]
@@ -11,7 +12,7 @@ fn equilibrium_beats_heuristics_for_diverse_profiles() {
     // §6.2: E-T outperforms G and E-B; E-T is competitive with C-T.
     for benchmark in [Benchmark::DecisionTree, Benchmark::PageRank] {
         let scenario = Scenario::homogeneous(benchmark, 300, 500).unwrap();
-        let cmp = compare_policies(&scenario, &PolicyKind::ALL, &[5, 6]).unwrap();
+        let cmp = compare(&scenario, &PolicyKind::ALL, &[5, 6], &mut Telemetry::noop()).unwrap();
         let tp = |k: PolicyKind| cmp.outcome(k).unwrap().tasks_per_agent_epoch;
         let (g, eb, et, ct) = (
             tp(PolicyKind::Greedy),
@@ -35,7 +36,7 @@ fn narrow_profiles_degenerate_to_greedy() {
     // as G and E-B ... E-T produces a greedy equilibrium".
     for benchmark in [Benchmark::LinearRegression, Benchmark::Correlation] {
         let scenario = Scenario::homogeneous(benchmark, 300, 500).unwrap();
-        let cmp = compare_policies(
+        let cmp = compare(
             &scenario,
             &[
                 PolicyKind::Greedy,
@@ -43,6 +44,7 @@ fn narrow_profiles_degenerate_to_greedy() {
                 PolicyKind::CooperativeThreshold,
             ],
             &[7],
+            &mut Telemetry::noop(),
         )
         .unwrap();
         let et = cmp
@@ -69,8 +71,12 @@ fn equilibrium_policy_rarely_trips() {
     // Figure 6: the equilibrium dynamics avoid power emergencies almost
     // entirely while greedy oscillates through them.
     let scenario = Scenario::homogeneous(Benchmark::Svm, 400, 600).unwrap();
-    let greedy = scenario.run(PolicyKind::Greedy, 9).unwrap();
-    let et = scenario.run(PolicyKind::EquilibriumThreshold, 9).unwrap();
+    let greedy = scenario
+        .execute(PolicyKind::Greedy, 9, &mut Telemetry::noop())
+        .unwrap();
+    let et = scenario
+        .execute(PolicyKind::EquilibriumThreshold, 9, &mut Telemetry::noop())
+        .unwrap();
     assert!(greedy.trips() > 20);
     assert!(et.trips() <= 3, "E-T trips = {}", et.trips());
 }
@@ -89,7 +95,7 @@ fn heterogeneous_mixes_preserve_the_ordering() {
         500,
     )
     .unwrap();
-    let cmp = compare_policies(
+    let cmp = compare(
         &scenario,
         &[
             PolicyKind::Greedy,
@@ -97,6 +103,7 @@ fn heterogeneous_mixes_preserve_the_ordering() {
             PolicyKind::EquilibriumThreshold,
         ],
         &[11, 12],
+        &mut Telemetry::noop(),
     )
     .unwrap();
     let et = cmp
