@@ -38,6 +38,7 @@ fn main() {
                 damping: 0.5,
                 tolerance: 1e-9,
                 max_iterations: 500,
+                iteration_budget: None,
             },
         )
         .run(&density, &mut Telemetry::noop())

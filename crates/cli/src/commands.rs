@@ -8,7 +8,9 @@ use sprint_power::rack::RackConfig;
 use sprint_sim::policy::PolicyKind;
 use sprint_sim::runner::standard_fault_suite;
 use sprint_sim::scenario::Scenario;
-use sprint_sim::sweep::{run_sweep, GameVariant, PopulationSpec, SweepSpec};
+use sprint_sim::sweep::{
+    run_sweep_supervised, GameVariant, PopulationSpec, Supervision, SweepSpec,
+};
 use sprint_sim::telemetry::{
     Event, EventKind, JsonlWriter, MetricsSnapshot, Noop, SpanProfile, SpanReport, Telemetry,
 };
@@ -65,9 +67,11 @@ USAGE:
   sprint sweep         [--spec FILE.json] [--benchmark <name>] [--agents N]
                        [--epochs E] [--seeds K] [--jobs J] [--json true]
                        [--records FILE.jsonl] [--telemetry true]
-                       [--print-spec true]
+                       [--print-spec true] [--trial-deadline MS]
   sprint chaos         --benchmark <name> [--agents N] [--epochs E] [--seeds K]
                        [--fault-seed S] [--json true] [--telemetry true]
+                       [--partition true] [--partition-start E]
+                       [--partition-epochs D] [--report FILE.json]
   sprint cluster       --benchmark <name> [--racks K] [--agents-per-rack N]
                        [--epochs E] [--facility-n-min X] [--facility-n-max X]
                        [--seed S] [--json true]
@@ -557,6 +561,7 @@ pub fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
         "records",
         "telemetry",
         "print-spec",
+        "trial-deadline",
     ])?;
     if args.get_bool("print-spec", false)? {
         let s = serde_json::to_string_pretty(&SweepSpec::example()).map_err(run_err)?;
@@ -568,13 +573,20 @@ pub fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
     let json = args.get_bool("json", false)?;
     let with_telemetry = args.get_bool("telemetry", false)?;
     let records_out = args.get("records");
+    let mut supervision = Supervision::default();
+    if let Some(raw) = args.get("trial-deadline") {
+        let ms: u64 = raw
+            .parse()
+            .map_err(|_| ArgError(format!("invalid --trial-deadline `{raw}`")))?;
+        supervision = supervision.with_deadline_ms(ms);
+    }
 
     let mut kit = if with_telemetry {
         Telemetry::new(Box::new(Noop), SpanProfile::monotonic())
     } else {
         Telemetry::noop()
     };
-    let report = run_sweep(&spec, jobs, &mut kit).map_err(run_err)?;
+    let report = run_sweep_supervised(&spec, jobs, supervision, &mut kit).map_err(run_err)?;
 
     if let Some(path) = records_out {
         use std::io::Write;
@@ -597,6 +609,18 @@ pub fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
             spec.policies.len(),
             spec.seeds.len()
         );
+        if !report.quarantined.is_empty() {
+            println!(
+                "quarantined {} trial(s) after retries:",
+                report.quarantined.len()
+            );
+            for q in &report.quarantined {
+                println!(
+                    "  trial {} ({}/{}/{}/{} seed {}), {} attempt(s): {}",
+                    q.trial, q.game, q.population, q.plan, q.policy, q.seed, q.attempts, q.error
+                );
+            }
+        }
         println!(
             "{:<14} {:<12} {:<12} {:<24} {:>10} {:>7} {:>7}",
             "game", "population", "plan", "policy", "tasks/ep", "vs G", "trips"
@@ -630,7 +654,8 @@ pub fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `sprint chaos`: the policy × fault-plan resilience matrix.
+/// `sprint chaos`: the policy × fault-plan resilience matrix, or (with
+/// `--partition true`) the control-plane partition-resilience suite.
 pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
     args.expect_only(&[
         "benchmark",
@@ -640,6 +665,10 @@ pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
         "fault-seed",
         "json",
         "telemetry",
+        "partition",
+        "partition-start",
+        "partition-epochs",
+        "report",
     ])?;
     let benchmark = parse_benchmark(args)?;
     let agents: u32 = args.get_parsed("agents", 1000)?;
@@ -653,6 +682,14 @@ pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
     }
 
     let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
+    if args.get_bool("partition", false)? {
+        return chaos_partition(args, &scenario, fault_seed, n_seeds, json);
+    }
+    for flag in ["partition-start", "partition-epochs", "report"] {
+        if args.get(flag).is_some() {
+            return Err(ArgError(format!("--{flag} requires --partition true")).into());
+        }
+    }
     let plans = standard_fault_suite(fault_seed);
     let seeds: Vec<u64> = (1..=n_seeds).collect();
     let mut kit = Telemetry::new(Box::new(Noop), SpanProfile::monotonic());
@@ -701,6 +738,93 @@ pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
             print_span_table(&spans.report());
         }
     })
+}
+
+/// `sprint chaos --partition`: run the control-plane resilience suite
+/// (lossy transport + rack partition, one [`ControlSim`] trial per seed)
+/// and optionally archive the JSON resilience report for CI.
+fn chaos_partition(
+    args: &ParsedArgs,
+    scenario: &Scenario,
+    fault_seed: u64,
+    n_seeds: u64,
+    json: bool,
+) -> Result<(), CliError> {
+    use sprint_sim::control::ControlConfig;
+    use sprint_sim::faults::FaultPlan;
+
+    let epochs = scenario.epochs();
+    let start: usize = args.get_parsed("partition-start", epochs / 2)?;
+    let duration: usize = args.get_parsed("partition-epochs", 3)?;
+    let plan = FaultPlan::partition_chaos(fault_seed, start, duration);
+    let seeds: Vec<u64> = (1..=n_seeds).collect();
+    let mut kit = Telemetry::noop();
+    let report =
+        sprint_sim::runner::resilience(scenario, plan, ControlConfig::default(), &seeds, &mut kit)
+            .map_err(run_err)?;
+
+    if let Some(path) = args.get("report") {
+        let s = serde_json::to_string_pretty(&report).map_err(run_err)?;
+        std::fs::write(path, s).map_err(run_err)?;
+        eprintln!("resilience report written to {path}");
+    }
+    emit(json, &report, || {
+        let lost: u64 = report.trials.iter().map(|t| t.messages.lost).sum();
+        let sent: u64 = report.trials.iter().map(|t| t.messages.sent).sum();
+        let mut tiers = [0u64; 3];
+        for t in &report.trials {
+            for (acc, &e) in tiers.iter_mut().zip(&t.tier_epochs) {
+                *acc += e;
+            }
+        }
+        println!(
+            "partition chaos: {} trial(s), partition @{start} for {duration} epoch(s), \
+             fault seed {fault_seed}",
+            report.trials.len()
+        );
+        println!("  invariant violations   {}", report.invariant_violations);
+        println!(
+            "  messages lost          {lost}/{sent} ({:.1}%)",
+            if sent > 0 {
+                lost as f64 / sent as f64 * 100.0
+            } else {
+                0.0
+            }
+        );
+        println!(
+            "  tier epochs (eq/stale/cons)  {}/{}/{}",
+            tiers[0], tiers[1], tiers[2]
+        );
+        println!(
+            "  mean recovery          {} (budget: {} epochs = 2 leases)",
+            report.mean_recovery_epochs.map_or_else(
+                || "n/a (never degraded)".to_string(),
+                |m| format!("{m:.2} epochs")
+            ),
+            2 * report.control.lease_epochs
+        );
+        println!(
+            "  utility vs conservative baseline  {:.6} vs {:.6}",
+            report.mean_utility, report.conservative_utility
+        );
+        let ok = report.invariant_violations == 0
+            && report.recovered_within(2.0)
+            && report.mean_utility >= report.conservative_utility - 1e-12;
+        println!(
+            "  acceptance             {}",
+            if ok { "PASS" } else { "FAIL" }
+        );
+    })?;
+    if report.invariant_violations > 0 {
+        return Err(CliError::Run(
+            format!(
+                "{} agent-epoch(s) without a valid threshold",
+                report.invariant_violations
+            )
+            .into(),
+        ));
+    }
+    Ok(())
 }
 
 /// `sprint cluster`: multi-rack simulation under a facility breaker.
@@ -1216,6 +1340,69 @@ mod tests {
         assert!(chaos(&json).is_ok());
         let bad = parsed(&["chaos", "--benchmark", "svm", "--seeds", "0"]);
         assert!(chaos(&bad).is_err());
+    }
+
+    #[test]
+    fn chaos_partition_runs_and_archives_the_report() {
+        let report_path = std::env::temp_dir().join("sprint-chaos-partition-report.json");
+        let args = parsed(&[
+            "chaos",
+            "--benchmark",
+            "svm",
+            "--agents",
+            "20",
+            "--epochs",
+            "120",
+            "--seeds",
+            "2",
+            "--partition",
+            "true",
+            "--partition-epochs",
+            "3",
+            "--report",
+            report_path.to_str().unwrap(),
+        ]);
+        assert!(chaos(&args).is_ok());
+        let text = std::fs::read_to_string(&report_path).unwrap();
+        let report: sprint_sim::runner::ResilienceReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(report.trials.len(), 2);
+        assert_eq!(report.invariant_violations, 0);
+        let _ = std::fs::remove_file(report_path);
+        // The partition-only flags require --partition true.
+        let orphan = parsed(&[
+            "chaos",
+            "--benchmark",
+            "svm",
+            "--agents",
+            "20",
+            "--epochs",
+            "15",
+            "--seeds",
+            "1",
+            "--partition-epochs",
+            "3",
+        ]);
+        assert!(chaos(&orphan).is_err());
+    }
+
+    #[test]
+    fn sweep_accepts_a_trial_deadline() {
+        let args = parsed(&[
+            "sweep",
+            "--benchmark",
+            "svm",
+            "--agents",
+            "20",
+            "--epochs",
+            "15",
+            "--seeds",
+            "1",
+            "--trial-deadline",
+            "60000",
+        ]);
+        assert!(sweep(&args).is_ok());
+        let bad = parsed(&["sweep", "--benchmark", "svm", "--trial-deadline", "soon"]);
+        assert!(sweep(&bad).is_err());
     }
 
     #[test]

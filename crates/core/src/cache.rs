@@ -107,6 +107,9 @@ impl SolveKey {
             self.options.damping.to_bits(),
             self.options.tolerance.to_bits(),
             self.options.max_iterations as u64,
+            // Unbounded solves encode as MAX: a budget that large is
+            // indistinguishable from no budget at all.
+            self.options.iteration_budget.map_or(u64::MAX, |b| b as u64),
             self.lo.to_bits(),
             self.hi.to_bits(),
             self.pdf.len() as u64,
@@ -133,9 +136,15 @@ impl std::hash::Hash for SolveKey {
 type SolveResult = Result<Equilibrium, GameError>;
 type Cell = Arc<OnceLock<SolveResult>>;
 
+struct Entry {
+    /// Global insertion sequence, for [`EquilibriumCache::latest`].
+    seq: u64,
+    cell: Cell,
+}
+
 #[derive(Default)]
 struct Shard {
-    map: HashMap<SolveKey, Cell>,
+    map: HashMap<SolveKey, Entry>,
     /// Insertion order for capacity eviction (oldest first).
     order: VecDeque<SolveKey>,
 }
@@ -176,6 +185,7 @@ pub struct EquilibriumCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    inserts: AtomicU64,
 }
 
 impl std::fmt::Debug for EquilibriumCache {
@@ -204,6 +214,7 @@ impl EquilibriumCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
         }
     }
 
@@ -228,8 +239,8 @@ impl EquilibriumCache {
         let shard_idx = (key.canonical_hash() % self.shards.len() as u64) as usize;
         let (cell, fresh) = {
             let mut shard = self.lock_shard(shard_idx);
-            if let Some(cell) = shard.map.get(&key) {
-                (Arc::clone(cell), false)
+            if let Some(entry) = shard.map.get(&key) {
+                (Arc::clone(&entry.cell), false)
             } else {
                 if shard.map.len() >= self.capacity_per_shard {
                     if let Some(victim) = shard.order.pop_front() {
@@ -238,7 +249,14 @@ impl EquilibriumCache {
                     }
                 }
                 let cell: Cell = Arc::new(OnceLock::new());
-                shard.map.insert(key.clone(), Arc::clone(&cell));
+                let seq = self.inserts.fetch_add(1, Ordering::Relaxed);
+                shard.map.insert(
+                    key.clone(),
+                    Entry {
+                        seq,
+                        cell: Arc::clone(&cell),
+                    },
+                );
                 shard.order.push_back(key);
                 (cell, true)
             }
@@ -252,6 +270,44 @@ impl EquilibriumCache {
         // threads block here instead of solving twice.
         cell.get_or_init(|| solver.solve_impl(density, &mut Noop))
             .clone()
+    }
+
+    /// Non-solving lookup: the cached result for this exact key, if one
+    /// has finished. Never inserts, never blocks on an in-flight solve,
+    /// and does not perturb the hit/miss counters — this is the read
+    /// path for the degradation ladder, where running Algorithm 1 is
+    /// precisely what just failed or timed out.
+    #[must_use]
+    pub fn peek(
+        &self,
+        solver: &MeanFieldSolver,
+        density: &DiscreteDensity,
+    ) -> Option<crate::Result<Equilibrium>> {
+        let key = SolveKey::new(solver.config(), solver.options(), density);
+        let shard_idx = (key.canonical_hash() % self.shards.len() as u64) as usize;
+        let shard = self.lock_shard(shard_idx);
+        shard.map.get(&key).and_then(|e| e.cell.get()).cloned()
+    }
+
+    /// The most recently inserted *successful* equilibrium, regardless
+    /// of key — the "last cached assignment" tier of the degradation
+    /// ladder. Callers must treat the result as stale: it was solved
+    /// for whatever population the coordinator last saw, not the
+    /// current one. `None` when no solve has ever succeeded.
+    #[must_use]
+    pub fn latest(&self) -> Option<Equilibrium> {
+        let mut best: Option<(u64, Equilibrium)> = None;
+        for i in 0..self.shards.len() {
+            let shard = self.lock_shard(i);
+            for entry in shard.map.values() {
+                if let Some(Ok(eq)) = entry.cell.get() {
+                    if best.as_ref().is_none_or(|(seq, _)| entry.seq > *seq) {
+                        best = Some((entry.seq, *eq));
+                    }
+                }
+            }
+        }
+        best.map(|(_, eq)| eq)
     }
 
     /// Current counters and entry count.
@@ -420,6 +476,65 @@ mod tests {
         assert_eq!(stats.misses, 1, "single-flight: one solve per key");
         assert_eq!(stats.hits, 7);
         assert!(results.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn peek_reads_without_solving_or_counting() {
+        let cache = EquilibriumCache::default();
+        let solver = MeanFieldSolver::new(GameConfig::paper_defaults());
+        let d = density();
+        assert!(cache.peek(&solver, &d).is_none(), "cold cache has nothing");
+        let solved = cache.solve(&solver, &d).unwrap();
+        let peeked = cache.peek(&solver, &d).unwrap().unwrap();
+        assert_eq!(solved, peeked);
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (0, 1),
+            "peek must not perturb the counters"
+        );
+        // A different key stays invisible to peek.
+        let other = MeanFieldSolver::with_options(
+            GameConfig::paper_defaults(),
+            SolverOptions::paper_literal(),
+        );
+        assert!(cache.peek(&other, &d).is_none());
+    }
+
+    #[test]
+    fn latest_returns_the_most_recent_success() {
+        let cache = EquilibriumCache::default();
+        let d = density();
+        assert!(cache.latest().is_none());
+        let first = GameConfig::builder().n_min(250.0).build().unwrap();
+        let second = GameConfig::builder().n_min(300.0).build().unwrap();
+        cache.solve(&MeanFieldSolver::new(first), &d).unwrap();
+        let newer = cache.solve(&MeanFieldSolver::new(second), &d).unwrap();
+        assert_eq!(cache.latest().unwrap(), newer);
+        // A failed solve is cached but never surfaces through latest().
+        let strangled = SolverOptions {
+            tolerance: -1.0,
+            ..SolverOptions::default()
+        }
+        .with_iteration_budget(3);
+        let failing = MeanFieldSolver::with_options(second, strangled);
+        assert!(cache.solve(&failing, &d).is_err());
+        assert_eq!(
+            cache.latest().unwrap(),
+            newer,
+            "latest() must skip cached failures"
+        );
+    }
+
+    #[test]
+    fn key_distinguishes_iteration_budgets() {
+        let config = GameConfig::paper_defaults();
+        let d = density();
+        let unbounded = SolverOptions::default();
+        let bounded = SolverOptions::default().with_iteration_budget(50_000);
+        let ka = SolveKey::new(&config, &unbounded, &d);
+        let kb = SolveKey::new(&config, &bounded, &d);
+        assert_ne!(ka, kb, "budgeted and unbounded solves are distinct keys");
     }
 
     #[test]

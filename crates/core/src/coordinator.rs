@@ -8,7 +8,7 @@
 //! strategies form an equilibrium that agents self-enforce.
 
 use sprint_stats::density::DiscreteDensity;
-use sprint_telemetry::{Event, Noop, Recorder, Telemetry};
+use sprint_telemetry::{Event, Recorder, Telemetry};
 
 use crate::config::GameConfig;
 use crate::meanfield::SolverOptions;
@@ -94,29 +94,6 @@ impl Coordinator {
     /// [`GameError::NoEquilibrium`] when the solve fails.
     pub fn run(&self, telemetry: &mut Telemetry) -> crate::Result<StrategyAssignments> {
         self.optimize_impl(telemetry.recorder())
-    }
-
-    /// Forwarding shim for the pre-unification entry point.
-    ///
-    /// # Errors
-    ///
-    /// As [`Coordinator::run`].
-    #[deprecated(note = "use `Coordinator::run(&mut Telemetry::noop())`")]
-    pub fn optimize(&self) -> crate::Result<StrategyAssignments> {
-        self.optimize_impl(&mut Noop)
-    }
-
-    /// Forwarding shim for the pre-unification observed entry point.
-    ///
-    /// # Errors
-    ///
-    /// As [`Coordinator::run`].
-    #[deprecated(note = "use `Coordinator::run` with a telemetry kit around the recorder")]
-    pub fn optimize_observed(
-        &self,
-        recorder: &mut dyn Recorder,
-    ) -> crate::Result<StrategyAssignments> {
-        self.optimize_impl(recorder)
     }
 
     fn optimize_impl(&self, recorder: &mut dyn Recorder) -> crate::Result<StrategyAssignments> {
@@ -267,15 +244,5 @@ mod tests {
             c.run(&mut Telemetry::noop()).is_err(),
             "counts must sum to N = 1000"
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_forward_to_run() {
-        let mut c = Coordinator::new(GameConfig::paper_defaults());
-        c.register_profile("svm", Benchmark::Svm.utility_density(256).unwrap(), 1000);
-        let canonical = c.run(&mut Telemetry::noop()).unwrap();
-        assert_eq!(canonical, c.optimize().unwrap());
-        assert_eq!(canonical, c.optimize_observed(&mut Noop).unwrap());
     }
 }

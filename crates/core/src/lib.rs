@@ -59,6 +59,7 @@ pub mod equilibrium;
 pub mod folk;
 pub mod meanfield;
 pub mod multi;
+pub mod retry;
 pub mod sprint_dist;
 pub mod state;
 pub mod threshold;
@@ -71,6 +72,7 @@ pub use config::GameConfig;
 pub use equilibrium::Equilibrium;
 pub use error::GameError;
 pub use meanfield::MeanFieldSolver;
+pub use retry::{BackoffSchedule, RetryPolicy};
 pub use state::AgentState;
 pub use threshold::ThresholdStrategy;
 

@@ -18,7 +18,7 @@
 //! fixed point exists.
 
 use sprint_stats::density::DiscreteDensity;
-use sprint_telemetry::{Event, EventKind, Noop, Recorder, Telemetry};
+use sprint_telemetry::{Event, EventKind, Recorder, Telemetry};
 
 use crate::bellman::{self, BellmanMethod};
 use crate::config::GameConfig;
@@ -39,6 +39,14 @@ pub struct SolverOptions {
     pub tolerance: f64,
     /// Maximum outer iterations before falling back to bisection.
     pub max_iterations: usize,
+    /// Hard budget on *total* response-map evaluations across the first
+    /// attempt, every damping escalation, and bisection. `None` leaves
+    /// the solve unbounded (the historical behavior). This is the
+    /// deterministic analog of a solve deadline: the control plane sets
+    /// it so a coordinator re-solve can never stall an epoch loop, and
+    /// exhaustion surfaces as [`GameError::NonConvergence`] with the
+    /// conservative fallback attached.
+    pub iteration_budget: Option<usize>,
 }
 
 impl Default for SolverOptions {
@@ -48,6 +56,7 @@ impl Default for SolverOptions {
             damping: 0.5,
             tolerance: 1e-9,
             max_iterations: 500,
+            iteration_budget: None,
         }
     }
 }
@@ -62,7 +71,15 @@ impl SolverOptions {
             damping: 1.0,
             tolerance: 1e-6,
             max_iterations: 200,
+            iteration_budget: None,
         }
+    }
+
+    /// Cap total response-map evaluations (builder style).
+    #[must_use]
+    pub fn with_iteration_budget(mut self, budget: usize) -> Self {
+        self.iteration_budget = Some(budget);
+        self
     }
 }
 
@@ -151,30 +168,6 @@ impl MeanFieldSolver {
         self.solve_impl(density, telemetry.recorder())
     }
 
-    /// Forwarding shim for the pre-unification entry point.
-    ///
-    /// # Errors
-    ///
-    /// As [`MeanFieldSolver::run`].
-    #[deprecated(note = "use `MeanFieldSolver::run(density, &mut Telemetry::noop())`")]
-    pub fn solve(&self, density: &DiscreteDensity) -> crate::Result<Equilibrium> {
-        self.solve_impl(density, &mut Noop)
-    }
-
-    /// Forwarding shim for the pre-unification observed entry point.
-    ///
-    /// # Errors
-    ///
-    /// As [`MeanFieldSolver::run`].
-    #[deprecated(note = "use `MeanFieldSolver::run` with a telemetry kit around the recorder")]
-    pub fn solve_observed(
-        &self,
-        density: &DiscreteDensity,
-        recorder: &mut dyn Recorder,
-    ) -> crate::Result<Equilibrium> {
-        self.solve_impl(density, recorder)
-    }
-
     pub(crate) fn solve_impl(
         &self,
         density: &DiscreteDensity,
@@ -185,6 +178,7 @@ impl MeanFieldSolver {
         const ESCALATION: [f64; 4] = [0.5, 0.25, 0.1, 0.02];
         let on = recorder.enabled();
         let want_iter = on && recorder.wants(EventKind::SolverIteration);
+        let budget = self.options.iteration_budget.unwrap_or(usize::MAX);
         let mut total_iterations = 0usize;
         let mut best: Option<(f64, f64, f64)> = None; // (residual, p, threshold)
         let mut history: Vec<f64> = Vec::new();
@@ -201,6 +195,9 @@ impl MeanFieldSolver {
             // Algorithm 1: start from certain tripping.
             let mut p = 1.0f64;
             for _ in 0..max_iterations {
+                if *total >= budget {
+                    return Ok(None);
+                }
                 let (sol, dist, implied) = self.respond(density, p)?;
                 *total += 1;
                 let residual = (implied - p).abs();
@@ -276,13 +273,17 @@ impl MeanFieldSolver {
             }
         }
         // Bisection fallback on g(p) = implied(p) − p, which brackets a
-        // root on [0, 1] whenever the response map is continuous.
-        if on {
-            recorder.record(&Event::SolverBisection);
-        }
-        if let Some(eq) = self.bisect(density) {
-            outcome(recorder, &eq);
-            return Ok(eq);
+        // root on [0, 1] whenever the response map is continuous. An
+        // exhausted iteration budget skips it: the caller asked for a
+        // bounded solve, and bisection costs hundreds more evaluations.
+        if total_iterations < budget {
+            if on {
+                recorder.record(&Event::SolverBisection);
+            }
+            if let Some(eq) = self.bisect(density) {
+                outcome(recorder, &eq);
+                return Ok(eq);
+            }
         }
         let (residual, best_p, best_threshold) = best.unwrap_or((f64::INFINITY, 1.0, 0.0));
         let fallback_threshold = self.conservative_threshold(density);
@@ -748,16 +749,40 @@ mod robustness_tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_forward_to_the_unified_entry_point() {
-        // `solve` and `solve_observed` remain for one release as thin
-        // forwards; they must agree bit-for-bit with `run`.
+    fn iteration_budget_bounds_the_solve_and_carries_the_fallback() {
+        // An exhausted budget is the deterministic analog of a solve
+        // deadline: the solver must stop promptly, skip bisection, and
+        // hand back the conservative fallback for graceful degradation.
         let cfg = GameConfig::paper_defaults();
-        let d = Benchmark::PageRank.utility_density(256).unwrap();
-        let solver = MeanFieldSolver::new(cfg);
-        let canonical = solver.run(&d, &mut Telemetry::noop()).unwrap();
-        assert_eq!(canonical, solver.solve(&d).unwrap());
-        let mut noop = sprint_telemetry::Noop;
-        assert_eq!(canonical, solver.solve_observed(&d, &mut noop).unwrap());
+        let d = Benchmark::Svm.utility_density(512).unwrap();
+        let strangled = SolverOptions {
+            tolerance: -1.0, // unreachable: forces the budget to bind
+            ..SolverOptions::default()
+        }
+        .with_iteration_budget(7);
+        let err = MeanFieldSolver::with_options(cfg, strangled)
+            .run(&d, &mut Telemetry::noop())
+            .unwrap_err();
+        match err {
+            GameError::NonConvergence {
+                iterations,
+                fallback_threshold,
+                ..
+            } => {
+                assert_eq!(iterations, 7, "budget must cap total evaluations");
+                let reference = MeanFieldSolver::new(cfg).conservative_threshold(&d);
+                assert_eq!(fallback_threshold, reference);
+            }
+            other => panic!("expected NonConvergence, got {other:?}"),
+        }
+        // A generous budget leaves a convergent solve untouched.
+        let roomy = SolverOptions::default().with_iteration_budget(100_000);
+        let budgeted = MeanFieldSolver::with_options(cfg, roomy)
+            .run(&d, &mut Telemetry::noop())
+            .unwrap();
+        let plain = MeanFieldSolver::new(cfg)
+            .run(&d, &mut Telemetry::noop())
+            .unwrap();
+        assert_eq!(budgeted, plain);
     }
 }

@@ -1,0 +1,166 @@
+//! Bounded retry with exponential backoff and deterministic jitter.
+//!
+//! The control plane retries coordinator solves and message sends a
+//! bounded number of times, spacing attempts by an exponentially
+//! growing number of epochs. Jitter decorrelates retry storms across
+//! agents while staying fully deterministic: the same seed always
+//! yields the bit-identical delay sequence, so simulated racks remain
+//! byte-reproducible.
+//!
+//! The schedule guarantees three properties (enforced by property
+//! tests in `tests/backoff.rs`):
+//!
+//! 1. delays are monotone non-decreasing,
+//! 2. no delay ever exceeds [`RetryPolicy::max_delay`],
+//! 3. equal seeds produce bit-identical sequences.
+
+use serde::{Deserialize, Serialize};
+use sprint_stats::rng::splitmix64;
+
+/// Bounded exponential-backoff policy, measured in epochs.
+///
+/// Attempt `n` (zero-based) is preceded by a delay of
+/// `min(max_delay, base_delay * 2^n + jitter_n)` epochs, where
+/// `jitter_n` is drawn deterministically from the schedule seed and
+/// never exceeds `jitter * base_delay * 2^n`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts before giving up (the first attempt counts).
+    pub max_attempts: u32,
+    /// Delay before the first retry, in epochs.
+    pub base_delay: u32,
+    /// Hard cap on any single delay, in epochs.
+    pub max_delay: u32,
+    /// Jitter fraction in `[0, 1]`: each delay is stretched by up to
+    /// this fraction of its un-jittered value. Values outside the
+    /// range are clamped.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_delay: 1,
+            max_delay: 32,
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: one attempt, no delays.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            base_delay: 0,
+            max_delay: 0,
+            jitter: 0.0,
+        }
+    }
+
+    /// Number of retries available after the first attempt.
+    pub fn retries(&self) -> u32 {
+        self.max_attempts.saturating_sub(1)
+    }
+
+    /// Deterministic delay schedule for one retry loop.
+    pub fn schedule(&self, seed: u64) -> BackoffSchedule {
+        BackoffSchedule {
+            policy: *self,
+            issued: 0,
+            // Mix the seed so a zero seed still produces jitter.
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+/// Iterator over the jittered delays of a [`RetryPolicy`].
+///
+/// Yields one delay (in epochs) per remaining retry; `None` once the
+/// attempt budget is exhausted.
+#[derive(Debug, Clone)]
+pub struct BackoffSchedule {
+    policy: RetryPolicy,
+    issued: u32,
+    state: u64,
+}
+
+impl BackoffSchedule {
+    /// Delay to wait before the next retry, or `None` when the
+    /// attempt budget is spent.
+    pub fn next_delay(&mut self) -> Option<u32> {
+        if self.issued >= self.policy.retries() {
+            return None;
+        }
+        let n = self.issued;
+        self.issued += 1;
+
+        let cap = u64::from(self.policy.max_delay);
+        let raw = u64::from(self.policy.base_delay)
+            .checked_shl(n)
+            .unwrap_or(cap)
+            .min(cap);
+        let jitter_frac = self.policy.jitter.clamp(0.0, 1.0);
+        // 53 uniform bits in [0, 1): deterministic across platforms.
+        let u = (splitmix64(&mut self.state) >> 11) as f64 / (1u64 << 53) as f64;
+        let jitter = (u * jitter_frac * raw as f64).floor() as u64;
+        Some((raw + jitter).min(cap) as u32)
+    }
+}
+
+impl Iterator for BackoffSchedule {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        self.next_delay()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.policy.retries().saturating_sub(self.issued) as usize;
+        (left, Some(left))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_bounded_and_monotone() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay: 1,
+            max_delay: 20,
+            jitter: 0.5,
+        };
+        let delays: Vec<u32> = policy.schedule(7).collect();
+        assert_eq!(delays.len(), 7);
+        for pair in delays.windows(2) {
+            assert!(pair[0] <= pair[1], "delays must not shrink: {delays:?}");
+        }
+        assert!(delays.iter().all(|&d| d <= 20));
+    }
+
+    #[test]
+    fn equal_seeds_are_bit_identical_and_unequal_seeds_diverge() {
+        let policy = RetryPolicy::default();
+        let a: Vec<u32> = policy.schedule(42).collect();
+        let b: Vec<u32> = policy.schedule(42).collect();
+        assert_eq!(a, b);
+        let differs = (0..64u64).any(|s| policy.schedule(s).collect::<Vec<_>>() != a);
+        assert!(differs, "jitter must actually depend on the seed");
+    }
+
+    #[test]
+    fn none_never_delays() {
+        assert_eq!(RetryPolicy::none().schedule(1).next_delay(), None);
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let policy = RetryPolicy::default();
+        let json = serde_json::to_string(&policy).unwrap();
+        assert_eq!(serde_json::from_str::<RetryPolicy>(&json).unwrap(), policy);
+    }
+}

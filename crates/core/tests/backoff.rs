@@ -1,0 +1,71 @@
+//! Property tests for the retry/backoff schedule ([`sprint_game::retry`]).
+//!
+//! The control plane leans on three guarantees: delays never shrink
+//! (monotone non-decreasing), the cap is absolute (jitter can never
+//! push past `max_delay`), and equal seeds yield bit-identical jitter
+//! sequences (determinism survives the randomization).
+
+use proptest::prelude::*;
+use sprint_game::RetryPolicy;
+
+fn policies() -> impl Strategy<Value = RetryPolicy> {
+    (1u32..12, 0u32..64, 0u32..512, 0.0f64..=1.0).prop_map(
+        |(max_attempts, base_delay, max_delay, jitter)| RetryPolicy {
+            max_attempts,
+            base_delay,
+            max_delay,
+            jitter,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn delays_are_monotone_nondecreasing(policy in policies(), seed in 0u64..u64::MAX) {
+        let delays: Vec<u32> = policy.schedule(seed).collect();
+        prop_assert_eq!(delays.len(), policy.retries() as usize);
+        for pair in delays.windows(2) {
+            prop_assert!(
+                pair[0] <= pair[1],
+                "delay shrank: {} then {} in {:?}",
+                pair[0],
+                pair[1],
+                delays
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_never_pushes_past_the_cap(policy in policies(), seed in 0u64..u64::MAX) {
+        for (i, delay) in policy.schedule(seed).enumerate() {
+            prop_assert!(
+                delay <= policy.max_delay,
+                "delay #{i} = {delay} exceeds cap {}",
+                policy.max_delay
+            );
+        }
+    }
+
+    #[test]
+    fn equal_seeds_are_bit_identical(policy in policies(), seed in 0u64..u64::MAX) {
+        let a: Vec<u32> = policy.schedule(seed).collect();
+        let b: Vec<u32> = policy.schedule(seed).collect();
+        prop_assert_eq!(a, b, "same seed must replay the same jitter");
+    }
+
+    #[test]
+    fn unjittered_schedules_are_pure_binary_exponential(
+        (max_attempts, base, cap) in (1u32..12, 1u32..64, 1u32..512),
+        seed in 0u64..u64::MAX,
+    ) {
+        let policy = RetryPolicy { max_attempts, base_delay: base, max_delay: cap, jitter: 0.0 };
+        for (i, delay) in policy.schedule(seed).enumerate() {
+            let expected = u64::from(base)
+                .checked_shl(u32::try_from(i).unwrap())
+                .map_or(u64::from(cap), |raw| raw.min(u64::from(cap)));
+            prop_assert_eq!(u64::from(delay), expected);
+        }
+    }
+}

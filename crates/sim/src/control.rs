@@ -1,0 +1,1137 @@
+//! The supervised coordinator↔agent control plane.
+//!
+//! The paper's architecture (§2.3, Figure 4) separates an *offline*
+//! coordinator — collect profiles, run Algorithm 1, hand each agent a
+//! threshold strategy — from *online* agents that self-enforce the
+//! assigned equilibrium. The base [`sprint_game::coordinator`] assumes
+//! that handoff rides a lossless, instantaneous channel. This module
+//! drops that assumption: messages flow through an injectable
+//! [`Transport`] that may lose, delay, duplicate, or partition them,
+//! and the protocol is built to survive it.
+//!
+//! The protocol, epoch by epoch:
+//!
+//! - **Messages** ([`Payload`]): agents send `ProfileReport` (once, at
+//!   enrollment) and periodic `Heartbeat`s; the coordinator answers
+//!   with `StrategyAssign` carrying a threshold and a lease; agents
+//!   `Ack` adoption. Every message is idempotent, so duplicates and
+//!   stale retransmissions are harmless.
+//! - **Leases**: a `StrategyAssign` is valid for
+//!   [`ControlConfig::lease_epochs`]. Agents heartbeat well inside the
+//!   lease to renew it; an agent whose renewals go unanswered retries
+//!   on a bounded exponential backoff with seeded jitter
+//!   ([`sprint_game::retry`]).
+//! - **Suspicion**: the coordinator marks agents silent for more than
+//!   [`ControlConfig::suspect_after`] epochs as suspect and re-solves
+//!   the equilibrium over the surviving population; a heartbeat from a
+//!   suspect re-enrolls it (and triggers another re-solve).
+//! - **Degradation ladder** ([`ControlTier`]): every agent holds a
+//!   valid threshold at every epoch. Preferred: a leased, freshly
+//!   solved equilibrium. If the coordinator is unreachable or its
+//!   solve fails ([`GameError::NonConvergence`] under an iteration
+//!   budget), the agent runs its last assignment stamped stale; past a
+//!   grace window it falls to the provably breaker-safe conservative
+//!   threshold. Each rung transition emits one typed
+//!   [`Event::TierShift`], and the climb back to the equilibrium tier
+//!   is measured into a recovery-latency histogram.
+//!
+//! Everything is deterministic: transport faults draw from a dedicated
+//! seeded stream, backoff jitter is seeded per participant, and agents
+//! are iterated in index order — the same seed yields a bit-identical
+//! [`ControlReport`].
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use sprint_game::cache::EquilibriumCache;
+use sprint_game::meanfield::SolverOptions;
+use sprint_game::retry::BackoffSchedule;
+use sprint_game::{GameConfig, MeanFieldSolver, RetryPolicy};
+use sprint_stats::density::DiscreteDensity;
+use sprint_stats::rng::seeded_rng;
+use sprint_telemetry::{ControlTier, Event, EventKind, FaultKind, Telemetry};
+
+use crate::faults::{FaultPlan, RackPartition, TransportFault};
+use crate::SimError;
+
+/// Where a control-plane message is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Address {
+    /// The rack coordinator.
+    Coordinator,
+    /// One agent, by index.
+    Agent {
+        /// Agent index.
+        id: u32,
+    },
+}
+
+/// A control-plane message body.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Payload {
+    /// An agent enrolls its utility profile with the coordinator.
+    ProfileReport {
+        /// Reporting agent.
+        agent: u32,
+    },
+    /// An agent signals liveness and asks for lease renewal.
+    Heartbeat {
+        /// Heartbeating agent.
+        agent: u32,
+    },
+    /// The coordinator assigns (or renews) a leased strategy.
+    StrategyAssign {
+        /// Receiving agent.
+        agent: u32,
+        /// Assigned sprint threshold.
+        threshold: f64,
+        /// Advertised stationary tripping probability.
+        trip_probability: f64,
+        /// Lease duration, in epochs from receipt.
+        lease_epochs: u32,
+        /// Whether the strategy came from the stale-cache tier (the
+        /// coordinator could not produce a fresh solve).
+        stale: bool,
+    },
+    /// An agent acknowledges an adopted assignment.
+    Ack {
+        /// Acknowledging agent.
+        agent: u32,
+    },
+}
+
+impl Payload {
+    /// The agent on whose behalf this message travels (for partition
+    /// checks on coordinator-bound traffic).
+    #[must_use]
+    pub fn agent(&self) -> u32 {
+        match *self {
+            Payload::ProfileReport { agent }
+            | Payload::Heartbeat { agent }
+            | Payload::StrategyAssign { agent, .. }
+            | Payload::Ack { agent } => agent,
+        }
+    }
+}
+
+/// One queued control-plane message.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Envelope {
+    /// Destination.
+    pub to: Address,
+    /// Message body.
+    pub payload: Payload,
+    /// Epoch the sender handed it to the transport.
+    pub sent_epoch: usize,
+}
+
+/// Cumulative transport counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct TransportStats {
+    /// Messages handed to the transport.
+    pub sent: u64,
+    /// Messages delivered to their destination.
+    pub delivered: u64,
+    /// Messages silently dropped by the lossy channel.
+    pub lost: u64,
+    /// Messages delivered late.
+    pub delayed: u64,
+    /// Extra deliveries from duplication.
+    pub duplicated: u64,
+    /// Messages dropped because an endpoint was partitioned.
+    pub partition_drops: u64,
+}
+
+/// The injectable message channel between coordinator and agents.
+///
+/// Implementations must be deterministic: the delivery schedule may
+/// depend only on the messages sent and the transport's own seed.
+/// Minimum latency is one epoch — a message sent at epoch `e` is
+/// deliverable at `e + 1` at the earliest — so the control plane never
+/// depends on same-epoch round trips.
+pub trait Transport {
+    /// Queue a message.
+    fn send(&mut self, env: Envelope);
+    /// Remove and return every message due at `epoch`, in a
+    /// deterministic order.
+    fn deliver(&mut self, epoch: usize) -> Vec<Envelope>;
+    /// Cumulative counters.
+    fn stats(&self) -> TransportStats;
+    /// Drain the log of fault activations since the last call
+    /// (empty for well-behaved transports).
+    fn drain_faults(&mut self) -> Vec<(usize, FaultKind)> {
+        Vec::new()
+    }
+}
+
+/// A reliable transport: every message arrives exactly once, one epoch
+/// after it was sent, in send order.
+#[derive(Debug, Default)]
+pub struct PerfectTransport {
+    queue: Vec<(usize, u64, Envelope)>,
+    seq: u64,
+    stats: TransportStats,
+}
+
+impl PerfectTransport {
+    /// An empty reliable transport.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transport for PerfectTransport {
+    fn send(&mut self, env: Envelope) {
+        self.stats.sent += 1;
+        self.queue.push((env.sent_epoch + 1, self.seq, env));
+        self.seq += 1;
+    }
+
+    fn deliver(&mut self, epoch: usize) -> Vec<Envelope> {
+        let mut due: Vec<(usize, u64, Envelope)> = Vec::new();
+        self.queue.retain(|item| {
+            if item.0 <= epoch {
+                due.push(*item);
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|&(_, seq, _)| seq);
+        self.stats.delivered += due.len() as u64;
+        due.into_iter().map(|(_, _, env)| env).collect()
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+/// A deterministic fault-injecting transport: message loss, delay,
+/// duplication ([`TransportFault`]) and rack partitions
+/// ([`RackPartition`]), all drawn from a dedicated seeded stream.
+///
+/// Partition semantics: a message is dropped when its agent endpoint is
+/// cut at the *send* epoch or at the delivery epoch — in-flight traffic
+/// does not survive a partition closing around it, and nothing is
+/// queued for later.
+#[derive(Debug)]
+pub struct FaultyTransport {
+    fault: Option<TransportFault>,
+    partition: Option<RackPartition>,
+    n_agents: u32,
+    queue: Vec<(usize, u64, Envelope)>,
+    seq: u64,
+    rng: StdRng,
+    stats: TransportStats,
+    fault_log: Vec<(usize, FaultKind)>,
+}
+
+impl FaultyTransport {
+    /// Build from a fault plan's transport components. With both absent
+    /// the behavior is identical to [`PerfectTransport`].
+    #[must_use]
+    pub fn new(plan: &FaultPlan, n_agents: u32, seed: u64) -> Self {
+        FaultyTransport {
+            fault: plan.transport,
+            partition: plan.partition,
+            n_agents,
+            queue: Vec::new(),
+            seq: 0,
+            rng: seeded_rng(seed ^ plan.seed.rotate_left(29) ^ 0xC0_117),
+            stats: TransportStats::default(),
+            fault_log: Vec::new(),
+        }
+    }
+
+    fn cut(&self, epoch: usize, agent: u32) -> bool {
+        self.partition
+            .is_some_and(|p| p.cuts(epoch, agent, self.n_agents))
+    }
+
+    fn enqueue(&mut self, env: Envelope, extra_delay: usize) {
+        self.queue
+            .push((env.sent_epoch + 1 + extra_delay, self.seq, env));
+        self.seq += 1;
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn send(&mut self, env: Envelope) {
+        self.stats.sent += 1;
+        let agent = env.payload.agent();
+        if self.cut(env.sent_epoch, agent) {
+            self.stats.partition_drops += 1;
+            self.fault_log.push((env.sent_epoch, FaultKind::Partition));
+            return;
+        }
+        let Some(f) = self.fault else {
+            self.enqueue(env, 0);
+            return;
+        };
+        if self.rng.gen::<f64>() < f.loss_probability {
+            self.stats.lost += 1;
+            self.fault_log
+                .push((env.sent_epoch, FaultKind::MessageLoss));
+            return;
+        }
+        let delay = if f.max_delay_epochs > 0 && self.rng.gen::<f64>() < f.delay_probability {
+            let d = self.rng.gen_range(1..=f.max_delay_epochs) as usize;
+            self.stats.delayed += 1;
+            self.fault_log
+                .push((env.sent_epoch, FaultKind::MessageDelay));
+            d
+        } else {
+            0
+        };
+        self.enqueue(env, delay);
+        if self.rng.gen::<f64>() < f.duplicate_probability {
+            self.stats.duplicated += 1;
+            self.fault_log
+                .push((env.sent_epoch, FaultKind::MessageDuplicate));
+            self.enqueue(env, delay);
+        }
+    }
+
+    fn deliver(&mut self, epoch: usize) -> Vec<Envelope> {
+        let mut due: Vec<(usize, u64, Envelope)> = Vec::new();
+        self.queue.retain(|item| {
+            if item.0 <= epoch {
+                due.push(*item);
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|&(_, seq, _)| seq);
+        let mut out = Vec::with_capacity(due.len());
+        for (_, _, env) in due {
+            if self.cut(epoch, env.payload.agent()) {
+                self.stats.partition_drops += 1;
+                self.fault_log.push((epoch, FaultKind::Partition));
+                continue;
+            }
+            self.stats.delivered += 1;
+            out.push(env);
+        }
+        out
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    fn drain_faults(&mut self) -> Vec<(usize, FaultKind)> {
+        std::mem::take(&mut self.fault_log)
+    }
+}
+
+/// Timing and retry knobs for the control plane.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ControlConfig {
+    /// Epochs a `StrategyAssign` stays valid.
+    pub lease_epochs: u32,
+    /// Epochs between routine heartbeats while the lease is healthy.
+    pub heartbeat_interval: u32,
+    /// Epochs of silence before the coordinator suspects an agent.
+    pub suspect_after: u32,
+    /// Epochs an expired assignment may run stale before the agent
+    /// falls to the conservative tier.
+    pub stale_grace_epochs: u32,
+    /// Backoff policy for unanswered renewals and failed solves.
+    pub retry: RetryPolicy,
+    /// Iteration budget per coordinator solve (the deterministic solve
+    /// deadline threaded into [`MeanFieldSolver`]).
+    pub solve_budget: usize,
+}
+
+impl Default for ControlConfig {
+    fn default() -> Self {
+        ControlConfig {
+            lease_epochs: 20,
+            heartbeat_interval: 5,
+            suspect_after: 12,
+            stale_grace_epochs: 10,
+            retry: RetryPolicy::default(),
+            solve_budget: 50_000,
+        }
+    }
+}
+
+impl ControlConfig {
+    /// Validate the timing parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when any window is zero
+    /// or the heartbeat interval does not fit inside the lease.
+    pub fn validate(&self) -> crate::Result<()> {
+        let positive: [(&'static str, u32); 4] = [
+            ("lease_epochs", self.lease_epochs),
+            ("heartbeat_interval", self.heartbeat_interval),
+            ("suspect_after", self.suspect_after),
+            (
+                "solve_budget",
+                u32::try_from(self.solve_budget.min(1)).unwrap_or(1),
+            ),
+        ];
+        for (name, v) in positive {
+            if v == 0 {
+                return Err(SimError::InvalidParameter {
+                    name,
+                    value: 0.0,
+                    expected: "a positive epoch count",
+                });
+            }
+        }
+        if self.heartbeat_interval >= self.lease_epochs {
+            return Err(SimError::InvalidParameter {
+                name: "heartbeat_interval",
+                value: f64::from(self.heartbeat_interval),
+                expected: "an interval strictly inside the lease window",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic outcome summary of one control-plane run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ControlReport {
+    /// Agents simulated.
+    pub agents: u32,
+    /// Epochs simulated.
+    pub epochs: usize,
+    /// Live agent-epochs spent on each ladder tier
+    /// (`[equilibrium, stale_cache, conservative]`).
+    pub tier_epochs: [u64; 3],
+    /// Total ladder transitions across all agents.
+    pub tier_transitions: u64,
+    /// Epochs at which an agent held an unusable threshold (must be 0).
+    pub invariant_violations: u64,
+    /// Coordinator solve attempts.
+    pub resolves: u64,
+    /// Coordinator solves that failed (budget exhausted or divergent).
+    pub resolve_failures: u64,
+    /// Agents marked suspect (cumulative).
+    pub suspects: u64,
+    /// Strategy leases granted or renewed.
+    pub lease_grants: u64,
+    /// Leases that lapsed without renewal.
+    pub lease_expiries: u64,
+    /// Completed recoveries back to the equilibrium tier.
+    pub recoveries: u64,
+    /// Mean epochs from degradation (or partition heal, whichever is
+    /// later) back to the equilibrium tier; `None` when no agent ever
+    /// recovered.
+    pub mean_recovery_epochs: Option<f64>,
+    /// Mean per-agent-epoch sprint-gain proxy actually realized:
+    /// `(1 − P(u > T)) + E[u · 1(u > T)]` at each held threshold.
+    /// Ignores cooling externalities — it compares ladder tiers, not
+    /// policies.
+    pub mean_utility: f64,
+    /// The same proxy for a rack pinned to the conservative threshold.
+    pub conservative_utility: f64,
+    /// Transport counters.
+    pub messages: TransportStats,
+}
+
+struct AgentCtl {
+    threshold: f64,
+    tier: ControlTier,
+    lease_until: usize,
+    stale_deadline: Option<usize>,
+    next_heartbeat: usize,
+    enrolled: bool,
+    backoff: Option<BackoffSchedule>,
+    attempt: u32,
+    crashed: bool,
+    degraded_since: Option<usize>,
+}
+
+/// An epoch-driven simulation of the control plane for one homogeneous
+/// rack (the coordinator, `n` agents, and a transport between them).
+#[derive(Debug, Clone)]
+pub struct ControlSim {
+    game: GameConfig,
+    density: DiscreteDensity,
+    options: SolverOptions,
+    plan: FaultPlan,
+    config: ControlConfig,
+    epochs: usize,
+}
+
+impl ControlSim {
+    /// A control-plane simulation of `epochs` epochs over the agents of
+    /// `game`, all running the profile `density`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when `epochs` is zero.
+    pub fn new(game: GameConfig, density: DiscreteDensity, epochs: usize) -> crate::Result<Self> {
+        if epochs == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "epochs",
+                value: 0.0,
+                expected: "at least one epoch",
+            });
+        }
+        Ok(ControlSim {
+            game,
+            density,
+            options: SolverOptions::default(),
+            plan: FaultPlan::none(),
+            config: ControlConfig::default(),
+            epochs,
+        })
+    }
+
+    /// Override the solver options (the control plane adds its own
+    /// iteration budget on top).
+    #[must_use]
+    pub fn with_options(mut self, options: SolverOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Attach a fault plan (transport faults, partitions, crash churn).
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Override the control-plane timing/retry configuration.
+    #[must_use]
+    pub fn with_control(mut self, config: ControlConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The control configuration in effect.
+    #[must_use]
+    pub fn control(&self) -> &ControlConfig {
+        &self.config
+    }
+
+    /// Run with the fault plan's own [`FaultyTransport`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ControlSim::run_with_transport`].
+    pub fn run(&self, seed: u64, telemetry: &mut Telemetry) -> crate::Result<ControlReport> {
+        let mut transport = FaultyTransport::new(&self.plan, self.game.n_agents(), seed);
+        self.run_with_transport(&mut transport, seed, telemetry)
+    }
+
+    /// Run the message loop over an injected transport.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for invalid fault or
+    /// control configurations. Solver failures never error: they are
+    /// what the degradation ladder absorbs.
+    pub fn run_with_transport(
+        &self,
+        transport: &mut dyn Transport,
+        seed: u64,
+        telemetry: &mut Telemetry,
+    ) -> crate::Result<ControlReport> {
+        self.plan.validate()?;
+        self.config.validate()?;
+        let n = self.game.n_agents() as usize;
+        let cfg = &self.config;
+
+        let budgeted = self.options.with_iteration_budget(cfg.solve_budget);
+        let base_solver = MeanFieldSolver::with_options(self.game, budgeted);
+        let fallback = base_solver.conservative_threshold(&self.density);
+        let cache = EquilibriumCache::default();
+        let mut fault_rng: StdRng = seeded_rng(seed ^ self.plan.seed.rotate_left(17) ^ 0xFA_17);
+
+        let on = telemetry.enabled();
+        let want_tier = on && telemetry.wants(EventKind::TierShift);
+        let want_lease = on && telemetry.wants(EventKind::LeaseGranted);
+        let want_suspect = on && telemetry.wants(EventKind::AgentSuspected);
+        let want_retry = on && telemetry.wants(EventKind::RetryBackoff);
+        let want_faults = on && telemetry.wants(EventKind::FaultInjected);
+
+        // Agent-side state. Every agent boots on the conservative tier:
+        // the ladder's floor is also its starting rung, so a threshold
+        // is valid from epoch 0.
+        let mut agents: Vec<AgentCtl> = (0..n)
+            .map(|_| AgentCtl {
+                threshold: fallback,
+                tier: ControlTier::Conservative,
+                lease_until: 0,
+                stale_deadline: None,
+                next_heartbeat: 0,
+                enrolled: false,
+                backoff: None,
+                attempt: 0,
+                crashed: false,
+                degraded_since: None,
+            })
+            .collect();
+
+        // Coordinator-side state.
+        let mut last_heard = vec![0usize; n];
+        let mut suspect = vec![false; n];
+        let mut assignment: Option<(f64, f64, bool)> = None; // (threshold, p_trip, stale)
+        let mut assignment_pop: u32 = 0;
+        let mut next_solve_at = 0usize;
+        let mut solve_backoff: Option<BackoffSchedule> = None;
+        let mut solve_attempt = 0u32;
+
+        // Report accumulators.
+        let mut tier_epochs = [0u64; 3];
+        let mut tier_transitions = 0u64;
+        let mut invariant_violations = 0u64;
+        let mut resolves = 0u64;
+        let mut resolve_failures = 0u64;
+        let mut suspects = 0u64;
+        let mut lease_grants = 0u64;
+        let mut lease_expiries = 0u64;
+        let mut recovery_samples: Vec<u64> = Vec::new();
+        let mut utility_sum = 0.0f64;
+        let mut live_agent_epochs = 0u64;
+        // The proxy is evaluated per distinct threshold, memoized by bit
+        // pattern — thresholds take a handful of values per run.
+        let mut utility_memo: Vec<(u64, f64)> = Vec::new();
+        let mut utility_of = |t: f64, density: &DiscreteDensity| -> f64 {
+            let bits = t.to_bits();
+            if let Some(&(_, u)) = utility_memo.iter().find(|&&(b, _)| b == bits) {
+                return u;
+            }
+            let u = (1.0 - density.tail_mass(t)) + density.partial_expectation(t);
+            utility_memo.push((bits, u));
+            u
+        };
+        let heal_epoch = self.plan.partition.as_ref().map(RackPartition::heal_epoch);
+
+        for epoch in 0..self.epochs {
+            // 1. Crash churn progresses first (engine convention): agents
+            // go down silently and restart cold on the conservative rung.
+            if let Some(c) = self.plan.crash {
+                for (i, a) in agents.iter_mut().enumerate() {
+                    if a.crashed {
+                        if fault_rng.gen::<f64>() >= c.p_restart_stay {
+                            a.crashed = false;
+                            a.threshold = fallback;
+                            a.tier = ControlTier::Conservative;
+                            a.lease_until = 0;
+                            a.stale_deadline = None;
+                            a.enrolled = false;
+                            a.backoff = None;
+                            a.attempt = 0;
+                            a.next_heartbeat = epoch;
+                            a.degraded_since = None;
+                            if want_faults {
+                                telemetry.emit(&Event::FaultInjected {
+                                    epoch,
+                                    kind: FaultKind::Restart,
+                                    agent: Some(i as u32),
+                                });
+                            }
+                        }
+                    } else if fault_rng.gen::<f64>() < c.crash_probability {
+                        a.crashed = true;
+                        if want_faults {
+                            telemetry.emit(&Event::FaultInjected {
+                                epoch,
+                                kind: FaultKind::Crash,
+                                agent: Some(i as u32),
+                            });
+                        }
+                    }
+                }
+            }
+
+            // 2. Deliver due messages.
+            let mut renewal_requests: Vec<u32> = Vec::new();
+            for env in transport.deliver(epoch) {
+                match env.to {
+                    Address::Coordinator => {
+                        let who = env.payload.agent() as usize;
+                        if who >= n {
+                            continue;
+                        }
+                        last_heard[who] = epoch;
+                        if suspect[who] {
+                            // The suspect came back: re-enroll and force
+                            // a re-solve over the grown population.
+                            suspect[who] = false;
+                        }
+                        if matches!(env.payload, Payload::Heartbeat { .. }) {
+                            renewal_requests.push(who as u32);
+                        }
+                    }
+                    Address::Agent { id } => {
+                        let i = id as usize;
+                        if i >= n || agents[i].crashed {
+                            continue;
+                        }
+                        if let Payload::StrategyAssign {
+                            threshold,
+                            lease_epochs,
+                            stale,
+                            ..
+                        } = env.payload
+                        {
+                            let a = &mut agents[i];
+                            a.threshold = threshold;
+                            a.lease_until = epoch + lease_epochs as usize;
+                            a.stale_deadline = None;
+                            a.backoff = None;
+                            a.attempt = 0;
+                            let to = if stale {
+                                ControlTier::StaleCache
+                            } else {
+                                ControlTier::Equilibrium
+                            };
+                            if a.tier != to {
+                                if to == ControlTier::Equilibrium {
+                                    if let Some(since) = a.degraded_since.take() {
+                                        let from = match heal_epoch {
+                                            // Degraded through a partition:
+                                            // recovery is measured from the
+                                            // heal, the earliest instant
+                                            // recovery was possible.
+                                            Some(h) if since < h && epoch >= h => h,
+                                            _ => since,
+                                        };
+                                        recovery_samples.push((epoch - from) as u64);
+                                    }
+                                } else if a.tier == ControlTier::Equilibrium
+                                    && a.degraded_since.is_none()
+                                {
+                                    a.degraded_since = Some(epoch);
+                                }
+                                if want_tier {
+                                    telemetry.emit(&Event::TierShift {
+                                        epoch,
+                                        agent: i as u32,
+                                        from: a.tier,
+                                        to,
+                                    });
+                                }
+                                a.tier = to;
+                                tier_transitions += 1;
+                            }
+                            lease_grants += 1;
+                            if want_lease {
+                                telemetry.emit(&Event::LeaseGranted {
+                                    epoch,
+                                    agent: i as u32,
+                                    lease_epochs,
+                                    stale,
+                                });
+                            }
+                            transport.send(Envelope {
+                                to: Address::Coordinator,
+                                payload: Payload::Ack { agent: i as u32 },
+                                sent_epoch: epoch,
+                            });
+                        }
+                    }
+                }
+            }
+
+            // 3. Surface transport fault activations.
+            if want_faults {
+                for (e, kind) in transport.drain_faults() {
+                    telemetry.emit(&Event::FaultInjected {
+                        epoch: e,
+                        kind,
+                        agent: None,
+                    });
+                }
+            }
+
+            // 4. Coordinator: suspicion scan, then solve if the
+            // population or assignment demands one.
+            for (i, heard) in last_heard.iter().enumerate() {
+                if !suspect[i] && epoch.saturating_sub(*heard) > cfg.suspect_after as usize {
+                    suspect[i] = true;
+                    suspects += 1;
+                    if want_suspect {
+                        telemetry.emit(&Event::AgentSuspected {
+                            epoch,
+                            agent: i as u32,
+                            silent_epochs: (epoch - heard) as u32,
+                        });
+                    }
+                }
+            }
+            let live = suspect.iter().filter(|s| !**s).count() as u32;
+            let enrolled_any = agents.iter().any(|a| a.enrolled);
+            let needs_solve = enrolled_any
+                && live > 0
+                && (assignment.is_none_or(|(_, _, stale)| stale) || assignment_pop != live);
+            if needs_solve && epoch >= next_solve_at {
+                let solver = if live == self.game.n_agents() {
+                    base_solver
+                } else {
+                    let shrunk = GameConfig::builder()
+                        .n_agents(live)
+                        .n_min(self.game.n_min())
+                        .n_max(self.game.n_max())
+                        .p_cooling(self.game.p_cooling())
+                        .p_recovery(self.game.p_recovery())
+                        .discount(self.game.discount())
+                        .build()?;
+                    MeanFieldSolver::with_options(shrunk, budgeted)
+                };
+                resolves += 1;
+                let span = on.then(|| telemetry.spans.start());
+                let solved = cache.solve(&solver, &self.density);
+                if let Some(s) = span {
+                    telemetry.spans.end("control.solve", s);
+                }
+                match solved {
+                    Ok(eq) => {
+                        assignment = Some((eq.threshold(), eq.trip_probability(), false));
+                        assignment_pop = live;
+                        solve_backoff = None;
+                        solve_attempt = 0;
+                        next_solve_at = epoch + 1;
+                    }
+                    Err(_) => {
+                        resolve_failures += 1;
+                        // Ladder tier 2 at the source: the last cached
+                        // assignment, stamped stale. Tier 3 (conservative)
+                        // is agent-side — silence gets them there.
+                        assignment = cache
+                            .latest()
+                            .map(|eq| (eq.threshold(), eq.trip_probability(), true));
+                        assignment_pop = live;
+                        let sched = solve_backoff
+                            .get_or_insert_with(|| cfg.retry.schedule(seed ^ 0x50_17E));
+                        solve_attempt += 1;
+                        let delay = sched
+                            .next_delay()
+                            .unwrap_or_else(|| cfg.retry.max_delay.max(1));
+                        if want_retry {
+                            telemetry.emit(&Event::RetryBackoff {
+                                epoch,
+                                attempt: solve_attempt,
+                                delay_epochs: delay,
+                            });
+                        }
+                        next_solve_at = epoch + 1 + delay as usize;
+                    }
+                }
+                if assignment.is_some() {
+                    // Broadcast to the live population.
+                    for (i, _) in suspect.iter().enumerate().filter(|&(_, &s)| !s) {
+                        self.send_assign(transport, assignment, i as u32, epoch, cfg);
+                    }
+                    renewal_requests.clear();
+                }
+            }
+            // Unicast renewals for heartbeats that did not ride a
+            // broadcast this epoch.
+            for who in renewal_requests {
+                self.send_assign(transport, assignment, who, epoch, cfg);
+            }
+
+            // 5. Agent bookkeeping: ladder descent and heartbeats.
+            for (i, a) in agents.iter_mut().enumerate() {
+                if a.crashed {
+                    continue;
+                }
+                if a.tier != ControlTier::Conservative && epoch >= a.lease_until {
+                    match a.stale_deadline {
+                        None => {
+                            lease_expiries += 1;
+                            if on && telemetry.wants(EventKind::LeaseExpired) {
+                                telemetry.emit(&Event::LeaseExpired {
+                                    epoch,
+                                    agent: i as u32,
+                                });
+                            }
+                            a.stale_deadline = Some(epoch + cfg.stale_grace_epochs as usize);
+                            if a.tier == ControlTier::Equilibrium {
+                                if a.degraded_since.is_none() {
+                                    a.degraded_since = Some(epoch);
+                                }
+                                if want_tier {
+                                    telemetry.emit(&Event::TierShift {
+                                        epoch,
+                                        agent: i as u32,
+                                        from: ControlTier::Equilibrium,
+                                        to: ControlTier::StaleCache,
+                                    });
+                                }
+                                a.tier = ControlTier::StaleCache;
+                                tier_transitions += 1;
+                            }
+                        }
+                        Some(deadline) if epoch >= deadline => {
+                            if a.degraded_since.is_none() {
+                                a.degraded_since = Some(epoch);
+                            }
+                            if want_tier {
+                                telemetry.emit(&Event::TierShift {
+                                    epoch,
+                                    agent: i as u32,
+                                    from: a.tier,
+                                    to: ControlTier::Conservative,
+                                });
+                            }
+                            a.tier = ControlTier::Conservative;
+                            a.threshold = fallback;
+                            a.stale_deadline = None;
+                            tier_transitions += 1;
+                        }
+                        Some(_) => {}
+                    }
+                }
+                if epoch >= a.next_heartbeat {
+                    if !a.enrolled {
+                        a.enrolled = true;
+                        transport.send(Envelope {
+                            to: Address::Coordinator,
+                            payload: Payload::ProfileReport { agent: i as u32 },
+                            sent_epoch: epoch,
+                        });
+                    }
+                    transport.send(Envelope {
+                        to: Address::Coordinator,
+                        payload: Payload::Heartbeat { agent: i as u32 },
+                        sent_epoch: epoch,
+                    });
+                    let healthy = a.tier == ControlTier::Equilibrium
+                        && epoch + (cfg.heartbeat_interval as usize) < a.lease_until;
+                    if healthy {
+                        a.backoff = None;
+                        a.attempt = 0;
+                        a.next_heartbeat = epoch + cfg.heartbeat_interval as usize;
+                    } else {
+                        // Renewal is overdue: retry on seeded backoff so
+                        // a healing partition is not met by a thundering
+                        // herd of synchronized heartbeats.
+                        let sched = a.backoff.get_or_insert_with(|| {
+                            cfg.retry
+                                .schedule(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                        });
+                        a.attempt += 1;
+                        // Clamp to one lease period: however far the
+                        // backoff has grown during an outage, a healed
+                        // agent re-announces within a single lease.
+                        let delay = sched
+                            .next_delay()
+                            .unwrap_or_else(|| cfg.retry.max_delay.max(1))
+                            .min(cfg.lease_epochs);
+                        if want_retry {
+                            telemetry.emit(&Event::RetryBackoff {
+                                epoch,
+                                attempt: a.attempt,
+                                delay_epochs: delay,
+                            });
+                        }
+                        a.next_heartbeat = epoch + 1 + delay as usize;
+                    }
+                }
+
+                // 6. Accounting: every live agent holds a valid
+                // threshold at every epoch, on some rung.
+                if !(a.threshold.is_finite() && a.threshold >= 0.0) {
+                    invariant_violations += 1;
+                }
+                tier_epochs[match a.tier {
+                    ControlTier::Equilibrium => 0,
+                    ControlTier::StaleCache => 1,
+                    ControlTier::Conservative => 2,
+                }] += 1;
+                utility_sum += utility_of(a.threshold, &self.density);
+                live_agent_epochs += 1;
+            }
+        }
+
+        let conservative_utility = utility_of(fallback, &self.density);
+        let mean_utility = if live_agent_epochs == 0 {
+            conservative_utility
+        } else {
+            utility_sum / live_agent_epochs as f64
+        };
+        let mean_recovery_epochs = if recovery_samples.is_empty() {
+            None
+        } else {
+            Some(recovery_samples.iter().sum::<u64>() as f64 / recovery_samples.len() as f64)
+        };
+
+        if on {
+            let reg = &mut telemetry.registry;
+            for (tier, count) in ControlTier::ALL.iter().zip(tier_epochs) {
+                let c = reg.counter(&format!("control.tier_epochs.{}", tier.name()));
+                reg.inc(c, count);
+            }
+            let pairs: [(&str, u64); 6] = [
+                ("control.resolves", resolves),
+                ("control.resolve_failures", resolve_failures),
+                ("control.suspects", suspects),
+                ("control.lease_grants", lease_grants),
+                ("control.lease_expiries", lease_expiries),
+                ("control.tier_transitions", tier_transitions),
+            ];
+            for (name, v) in pairs {
+                let c = reg.counter(name);
+                reg.inc(c, v);
+            }
+            let h = reg.histogram(
+                "control.recovery_epochs",
+                &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+            );
+            for s in &recovery_samples {
+                reg.observe(h, *s as f64);
+            }
+            let g = reg.gauge("control.mean_utility");
+            reg.set(g, mean_utility);
+            cache.export_metrics(reg);
+        }
+
+        Ok(ControlReport {
+            agents: self.game.n_agents(),
+            epochs: self.epochs,
+            tier_epochs,
+            tier_transitions,
+            invariant_violations,
+            resolves,
+            resolve_failures,
+            suspects,
+            lease_grants,
+            lease_expiries,
+            recoveries: recovery_samples.len() as u64,
+            mean_recovery_epochs,
+            mean_utility,
+            conservative_utility,
+            messages: transport.stats(),
+        })
+    }
+
+    fn send_assign(
+        &self,
+        transport: &mut dyn Transport,
+        assignment: Option<(f64, f64, bool)>,
+        agent: u32,
+        epoch: usize,
+        cfg: &ControlConfig,
+    ) {
+        if let Some((threshold, trip_probability, stale)) = assignment {
+            transport.send(Envelope {
+                to: Address::Agent { id: agent },
+                payload: Payload::StrategyAssign {
+                    agent,
+                    threshold,
+                    trip_probability,
+                    lease_epochs: cfg.lease_epochs,
+                    stale,
+                },
+                sent_epoch: epoch,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_workloads::Benchmark;
+
+    fn sim(agents: u32, epochs: usize) -> ControlSim {
+        let game = GameConfig::builder()
+            .n_agents(agents)
+            .n_min(f64::from(agents) * 0.25)
+            .n_max(f64::from(agents) * 0.75)
+            .build()
+            .unwrap();
+        let density = Benchmark::DecisionTree.utility_density(256).unwrap();
+        ControlSim::new(game, density, epochs).unwrap()
+    }
+
+    #[test]
+    fn clean_transport_reaches_and_holds_the_equilibrium_tier() {
+        let report = sim(32, 400).run(7, &mut Telemetry::noop()).unwrap();
+        assert_eq!(report.invariant_violations, 0);
+        assert_eq!(report.messages.lost, 0);
+        assert_eq!(report.resolve_failures, 0);
+        let [eq, stale, cons] = report.tier_epochs;
+        assert!(
+            eq > 9 * (stale + cons),
+            "healthy racks live on the equilibrium tier: {:?}",
+            report.tier_epochs
+        );
+        assert!(report.lease_grants > 0);
+        assert!(report.mean_utility >= report.conservative_utility);
+    }
+
+    #[test]
+    fn reports_are_bit_reproducible() {
+        let s = sim(24, 300).with_faults(FaultPlan::partition_chaos(3, 80, 3));
+        let a = s.run(11, &mut Telemetry::noop()).unwrap();
+        let b = s.run(11, &mut Telemetry::noop()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn perfect_transport_injection_matches_empty_fault_plan() {
+        let s = sim(16, 200);
+        let via_plan = s.run(5, &mut Telemetry::noop()).unwrap();
+        let mut perfect = PerfectTransport::new();
+        let injected = s
+            .run_with_transport(&mut perfect, 5, &mut Telemetry::noop())
+            .unwrap();
+        assert_eq!(via_plan, injected);
+    }
+
+    #[test]
+    fn faulty_transport_is_deterministic_and_lossy() {
+        let plan = FaultPlan::partition_chaos(9, 50, 3);
+        let mk = || {
+            let mut t = FaultyTransport::new(&plan, 8, 123);
+            for e in 0..60usize {
+                t.send(Envelope {
+                    to: Address::Coordinator,
+                    payload: Payload::Heartbeat { agent: 3 },
+                    sent_epoch: e,
+                });
+            }
+            let mut delivered = Vec::new();
+            for e in 0..80usize {
+                delivered.extend(t.deliver(e));
+            }
+            (t.stats(), delivered.len())
+        };
+        let (sa, da) = mk();
+        let (sb, db) = mk();
+        assert_eq!(sa, sb);
+        assert_eq!(da, db);
+        assert!(sa.lost > 0, "20% loss over 60 sends must drop something");
+        assert!(sa.partition_drops > 0, "the window must cut traffic");
+        assert_eq!(
+            sa.delivered + sa.lost + sa.partition_drops,
+            sa.sent + sa.duplicated,
+            "every copy is delivered, lost, or cut"
+        );
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_windows() {
+        let bad = ControlConfig {
+            heartbeat_interval: 20,
+            lease_epochs: 20,
+            ..ControlConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let zero = ControlConfig {
+            lease_epochs: 0,
+            ..ControlConfig::default()
+        };
+        assert!(zero.validate().is_err());
+    }
+}

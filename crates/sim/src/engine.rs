@@ -238,7 +238,7 @@ struct EngineIds {
     task_series: SeriesId,
     trip_series: SeriesId,
     sprinter_hist: HistogramId,
-    faults: [CounterId; 6],
+    faults: [CounterId; 10],
 }
 
 impl EngineIds {
@@ -292,6 +292,30 @@ pub fn run(
     config: &SimConfig,
     streams: &mut [PhasedUtility],
     policy: &mut dyn SprintPolicy,
+    telemetry: &mut Telemetry,
+) -> crate::Result<SimResult> {
+    run_with_deadline(config, streams, policy, None, telemetry)
+}
+
+/// [`run`], abandoned cooperatively if `deadline` passes.
+///
+/// The deadline is checked at epoch boundaries (every 64 epochs, so the
+/// hot loop pays nothing measurable); a run that blows past it returns
+/// [`SimError::DeadlineExceeded`] instead of its result. The check reads
+/// the wall clock but never feeds it into the dynamics, so a run that
+/// *completes* is bit-identical to an undeadlined run — the deadline
+/// decides only whether a result exists, which is exactly the property
+/// sweep supervision needs to quarantine hung trials without breaking
+/// byte-reproducibility of surviving ones.
+///
+/// # Errors
+///
+/// As [`run`], plus [`SimError::DeadlineExceeded`].
+pub fn run_with_deadline(
+    config: &SimConfig,
+    streams: &mut [PhasedUtility],
+    policy: &mut dyn SprintPolicy,
+    deadline: Option<std::time::Instant>,
     telemetry: &mut Telemetry,
 ) -> crate::Result<SimResult> {
     let n = config.game.n_agents() as usize;
@@ -372,6 +396,16 @@ pub fn run(
     let mut sprinted = vec![false; n];
 
     for epoch in 0..config.epochs {
+        if epoch & 63 == 0 {
+            if let Some(d) = deadline {
+                if std::time::Instant::now() >= d {
+                    return Err(SimError::DeadlineExceeded {
+                        what: "simulation run",
+                        limit_ms: 0,
+                    });
+                }
+            }
+        }
         let epoch_span = on.then(|| telemetry.spans.start());
         // Epoch throughput is reported as a delta so instrumentation never
         // reorders the float accumulation below.
@@ -733,35 +767,6 @@ pub fn run(
             .set(g, f64::from(trips) / config.epochs as f64);
     }
     Ok(result)
-}
-
-/// Forwarding shim for the pre-unification entry point.
-///
-/// # Errors
-///
-/// As [`run`].
-#[deprecated(note = "use `engine::run(config, streams, policy, &mut Telemetry::noop())`")]
-pub fn simulate(
-    config: &SimConfig,
-    streams: &mut [PhasedUtility],
-    policy: &mut dyn SprintPolicy,
-) -> crate::Result<SimResult> {
-    run(config, streams, policy, &mut Telemetry::noop())
-}
-
-/// Forwarding shim for the pre-unification traced entry point.
-///
-/// # Errors
-///
-/// As [`run`].
-#[deprecated(note = "use `engine::run` (identical signature)")]
-pub fn simulate_traced(
-    config: &SimConfig,
-    streams: &mut [PhasedUtility],
-    policy: &mut dyn SprintPolicy,
-    telemetry: &mut Telemetry,
-) -> crate::Result<SimResult> {
-    run(config, streams, policy, telemetry)
 }
 
 #[cfg(test)]

@@ -30,6 +30,14 @@ pub enum SimError {
         /// What the worker was computing.
         what: &'static str,
     },
+    /// A supervised computation ran past its wall-clock deadline and was
+    /// abandoned at the next cooperative checkpoint.
+    DeadlineExceeded {
+        /// What was being computed when the deadline fired.
+        what: &'static str,
+        /// The deadline that was exceeded, in milliseconds.
+        limit_ms: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -47,6 +55,9 @@ impl fmt::Display for SimError {
             SimError::Workload(e) => write!(f, "workload error: {e}"),
             SimError::WorkerPanicked { what } => {
                 write!(f, "worker thread panicked while computing {what}")
+            }
+            SimError::DeadlineExceeded { what, limit_ms } => {
+                write!(f, "{what} exceeded its {limit_ms} ms deadline")
             }
         }
     }

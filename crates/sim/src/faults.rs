@@ -20,6 +20,10 @@
 //!   §2.2 calibration the solvers assume.
 //! - [`CoordinatorStaleness`] — equilibrium thresholds were solved for an
 //!   outdated population size (machines since added or drained).
+//! - [`TransportFault`] — the coordinator↔agent control channel loses,
+//!   delays, or duplicates messages ([`crate::control`]).
+//! - [`RackPartition`] — a window of epochs during which some fraction of
+//!   agents cannot exchange any message with the coordinator.
 //!
 //! Fault randomness is drawn from a dedicated stream seeded by
 //! [`FaultPlan::seed`], *never* from the simulation's main stream, so an
@@ -80,6 +84,58 @@ pub struct CoordinatorStaleness {
     pub population_factor: f64,
 }
 
+/// Unreliable coordinator↔agent message transport.
+///
+/// Applied per message by [`crate::control::FaultyTransport`]: a message
+/// is first dropped with `loss_probability`; a surviving message is
+/// delayed a uniform `1..=max_delay_epochs` extra epochs with
+/// `delay_probability`, and an extra copy is enqueued with
+/// `duplicate_probability`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TransportFault {
+    /// Per-message probability of silent loss.
+    pub loss_probability: f64,
+    /// Per-message probability of extra delivery delay.
+    pub delay_probability: f64,
+    /// Maximum extra delay, in epochs (ignored unless delay fires).
+    pub max_delay_epochs: u32,
+    /// Per-message probability of a duplicate delivery.
+    pub duplicate_probability: f64,
+}
+
+/// A rack partition: a contiguous window of epochs during which a
+/// fraction of agents exchange no messages with the coordinator in
+/// either direction (messages are dropped, not queued).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RackPartition {
+    /// First epoch of the partition window.
+    pub start_epoch: usize,
+    /// Length of the window, in epochs.
+    pub duration_epochs: usize,
+    /// Fraction of agents cut off, in `(0, 1]` (1.0 = the whole rack
+    /// loses its coordinator). Agents `0..ceil(fraction · n)` are the
+    /// partitioned ones, so the affected set is deterministic.
+    pub fraction: f64,
+}
+
+impl RackPartition {
+    /// Whether `agent` (of `n_agents`) is cut off at `epoch`.
+    #[must_use]
+    pub fn cuts(&self, epoch: usize, agent: u32, n_agents: u32) -> bool {
+        if epoch < self.start_epoch || epoch >= self.start_epoch + self.duration_epochs {
+            return false;
+        }
+        let affected = (self.fraction * f64::from(n_agents)).ceil() as u32;
+        agent < affected
+    }
+
+    /// First epoch after the partition heals.
+    #[must_use]
+    pub fn heal_epoch(&self) -> usize {
+        self.start_epoch + self.duration_epochs
+    }
+}
+
 /// A complete, serializable fault schedule for one run.
 ///
 /// Each component is optional; [`FaultPlan::none`] is the fault-free plan
@@ -99,6 +155,13 @@ pub struct FaultPlan {
     pub breaker_drift: Option<BreakerDrift>,
     /// Stale coordinator thresholds.
     pub staleness: Option<CoordinatorStaleness>,
+    /// Lossy/delaying/duplicating control-plane transport. `serde`
+    /// defaults keep pre-control-plane plan JSON loadable.
+    #[serde(default)]
+    pub transport: Option<TransportFault>,
+    /// A scheduled rack partition.
+    #[serde(default)]
+    pub partition: Option<RackPartition>,
 }
 
 fn check_probability(name: &'static str, p: f64) -> crate::Result<()> {
@@ -142,6 +205,30 @@ impl FaultPlan {
             staleness: Some(CoordinatorStaleness {
                 population_factor: 1.1,
             }),
+            transport: None,
+            partition: None,
+        }
+    }
+
+    /// A partition-chaos plan: ≥ 20% message loss with delays and
+    /// duplicates, plus a full-rack partition over the given window —
+    /// the acceptance mix of the partition resilience suite.
+    #[must_use]
+    pub fn partition_chaos(seed: u64, start_epoch: usize, duration_epochs: usize) -> Self {
+        FaultPlan {
+            seed,
+            transport: Some(TransportFault {
+                loss_probability: 0.2,
+                delay_probability: 0.1,
+                max_delay_epochs: 3,
+                duplicate_probability: 0.05,
+            }),
+            partition: Some(RackPartition {
+                start_epoch,
+                duration_epochs,
+                fraction: 1.0,
+            }),
+            ..FaultPlan::none()
         }
     }
 
@@ -153,6 +240,8 @@ impl FaultPlan {
             || self.sensor.is_some()
             || self.breaker_drift.is_some()
             || self.staleness.is_some()
+            || self.transport.is_some()
+            || self.partition.is_some()
     }
 
     /// Validate every enabled component.
@@ -197,6 +286,27 @@ impl FaultPlan {
                     name: "population_factor",
                     value: s.population_factor,
                     expected: "a positive finite population ratio",
+                });
+            }
+        }
+        if let Some(t) = self.transport {
+            check_probability("loss_probability", t.loss_probability)?;
+            check_probability("delay_probability", t.delay_probability)?;
+            check_probability("duplicate_probability", t.duplicate_probability)?;
+        }
+        if let Some(p) = self.partition {
+            if !(p.fraction > 0.0 && p.fraction <= 1.0) {
+                return Err(SimError::InvalidParameter {
+                    name: "fraction",
+                    value: p.fraction,
+                    expected: "a partitioned fraction in (0, 1]",
+                });
+            }
+            if p.duration_epochs == 0 {
+                return Err(SimError::InvalidParameter {
+                    name: "duration_epochs",
+                    value: 0.0,
+                    expected: "a partition lasting at least one epoch",
                 });
             }
         }
@@ -291,6 +401,72 @@ mod tests {
             population_factor: 0.0,
         });
         assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn partition_chaos_meets_the_acceptance_floor() {
+        let plan = FaultPlan::partition_chaos(9, 100, 3);
+        assert!(plan.is_active());
+        assert!(plan.validate().is_ok());
+        let t = plan.transport.unwrap();
+        assert!(t.loss_probability >= 0.2, "acceptance demands ≥ 20% loss");
+        let p = plan.partition.unwrap();
+        assert_eq!((p.start_epoch, p.duration_epochs), (100, 3));
+        assert_eq!(p.heal_epoch(), 103);
+        // Full-rack partition: every agent is cut inside the window,
+        // nobody outside it.
+        assert!(p.cuts(100, 0, 64) && p.cuts(102, 63, 64));
+        assert!(!p.cuts(99, 0, 64) && !p.cuts(103, 0, 64));
+    }
+
+    #[test]
+    fn partial_partition_cuts_a_deterministic_prefix() {
+        let p = RackPartition {
+            start_epoch: 0,
+            duration_epochs: 10,
+            fraction: 0.25,
+        };
+        assert!(p.cuts(5, 0, 100) && p.cuts(5, 24, 100));
+        assert!(!p.cuts(5, 25, 100) && !p.cuts(5, 99, 100));
+    }
+
+    #[test]
+    fn validate_rejects_bad_transport_and_partition() {
+        let mut plan = FaultPlan::none();
+        plan.transport = Some(TransportFault {
+            loss_probability: 1.2,
+            delay_probability: 0.0,
+            max_delay_epochs: 1,
+            duplicate_probability: 0.0,
+        });
+        assert!(plan.validate().is_err());
+
+        let mut plan = FaultPlan::none();
+        plan.partition = Some(RackPartition {
+            start_epoch: 0,
+            duration_epochs: 5,
+            fraction: 0.0,
+        });
+        assert!(plan.validate().is_err());
+
+        let mut plan = FaultPlan::none();
+        plan.partition = Some(RackPartition {
+            start_epoch: 0,
+            duration_epochs: 0,
+            fraction: 1.0,
+        });
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn pre_transport_plan_json_still_parses() {
+        // Plans serialized before the control plane existed carry no
+        // transport/partition keys; they must load as None.
+        let legacy = r#"{"seed":7,"crash":null,"stuck":null,"sensor":null,
+                          "breaker_drift":null,"staleness":null}"#;
+        let plan: FaultPlan = serde_json::from_str(legacy).unwrap();
+        assert!(plan.transport.is_none() && plan.partition.is_none());
+        assert!(!plan.is_active());
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod cluster;
+pub mod control;
 pub mod engine;
 pub mod faults;
 pub mod metrics;
@@ -53,15 +54,13 @@ mod error;
 /// [`Telemetry::noop()`](telemetry::Telemetry::noop) for unobserved runs.
 pub use sprint_telemetry as telemetry;
 
+pub use control::{ControlConfig, ControlReport, ControlSim, FaultyTransport, Transport};
 pub use engine::{RecoverySemantics, RunOptions, SimConfig};
 pub use error::SimError;
-pub use faults::{FaultMetrics, FaultPlan};
+pub use faults::{FaultMetrics, FaultPlan, RackPartition, TransportFault};
 pub use metrics::SimResult;
 pub use policy::{PolicyKind, SprintPolicy};
 pub use sweep::{SweepRecord, SweepReport, SweepSpec};
-
-#[allow(deprecated)]
-pub use engine::{simulate, simulate_traced};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, SimError>;

@@ -10,6 +10,7 @@
 use sprint_stats::summary::{confidence_interval_95, ConfidenceInterval, OnlineStats};
 use sprint_telemetry::{SpanProfile, Telemetry};
 
+use crate::control::{ControlConfig, ControlReport, ControlSim};
 use crate::faults::{FaultMetrics, FaultPlan};
 use crate::metrics::SimResult;
 use crate::policy::PolicyKind;
@@ -131,35 +132,6 @@ pub fn compare(
     telemetry: &mut Telemetry,
 ) -> crate::Result<Comparison> {
     compare_impl(scenario, policies, seeds, &mut telemetry.spans)
-}
-
-/// Forwarding shim for the pre-unification entry point.
-///
-/// # Errors
-///
-/// As [`compare`].
-#[deprecated(note = "use `runner::compare(scenario, policies, seeds, &mut Telemetry::noop())`")]
-pub fn compare_policies(
-    scenario: &Scenario,
-    policies: &[PolicyKind],
-    seeds: &[u64],
-) -> crate::Result<Comparison> {
-    compare_impl(scenario, policies, seeds, &mut SpanProfile::deterministic())
-}
-
-/// Forwarding shim for the pre-unification profiled entry point.
-///
-/// # Errors
-///
-/// As [`compare`].
-#[deprecated(note = "use `runner::compare` with a telemetry kit around the span profile")]
-pub fn compare_policies_profiled(
-    scenario: &Scenario,
-    policies: &[PolicyKind],
-    seeds: &[u64],
-    spans: &mut SpanProfile,
-) -> crate::Result<Comparison> {
-    compare_impl(scenario, policies, seeds, spans)
 }
 
 fn compare_impl(
@@ -342,45 +314,6 @@ pub fn chaos(
     chaos_impl(scenario, policies, plans, seeds, &mut telemetry.spans)
 }
 
-/// Forwarding shim for the pre-unification entry point.
-///
-/// # Errors
-///
-/// As [`chaos`].
-#[deprecated(
-    note = "use `runner::chaos(scenario, policies, plans, seeds, &mut Telemetry::noop())`"
-)]
-pub fn chaos_matrix(
-    scenario: &Scenario,
-    policies: &[PolicyKind],
-    plans: &[NamedPlan],
-    seeds: &[u64],
-) -> crate::Result<ChaosReport> {
-    chaos_impl(
-        scenario,
-        policies,
-        plans,
-        seeds,
-        &mut SpanProfile::deterministic(),
-    )
-}
-
-/// Forwarding shim for the pre-unification profiled entry point.
-///
-/// # Errors
-///
-/// As [`chaos`].
-#[deprecated(note = "use `runner::chaos` with a telemetry kit around the span profile")]
-pub fn chaos_matrix_profiled(
-    scenario: &Scenario,
-    policies: &[PolicyKind],
-    plans: &[NamedPlan],
-    seeds: &[u64],
-    spans: &mut SpanProfile,
-) -> crate::Result<ChaosReport> {
-    chaos_impl(scenario, policies, plans, seeds, spans)
-}
-
 fn chaos_impl(
     scenario: &Scenario,
     policies: &[PolicyKind],
@@ -432,6 +365,119 @@ fn chaos_impl(
         plans: plans.to_vec(),
         baseline: baseline.outcomes().to_vec(),
         cells,
+    })
+}
+
+/// Aggregated outcome of the partition-resilience suite: one
+/// [`ControlSim`] trial per seed under a shared fault plan, with the
+/// acceptance invariants pre-digested.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ResilienceReport {
+    /// The fault plan every trial ran under.
+    pub plan: FaultPlan,
+    /// Control-plane timing in effect.
+    pub control: ControlConfig,
+    /// Per-seed control-plane reports, in seed order.
+    pub trials: Vec<ControlReport>,
+    /// Agent-epochs at which any agent lacked a usable threshold,
+    /// summed across trials. The suite's hard invariant: must be 0.
+    pub invariant_violations: u64,
+    /// Recovery-weighted mean epochs back to the equilibrium tier.
+    pub mean_recovery_epochs: Option<f64>,
+    /// Mean realized sprint-gain proxy across trials.
+    pub mean_utility: f64,
+    /// The always-conservative baseline proxy (identical across trials).
+    pub conservative_utility: f64,
+}
+
+impl ResilienceReport {
+    /// Whether mean recovery landed within `lease_periods` lease windows.
+    /// Vacuously true when nothing ever degraded.
+    #[must_use]
+    pub fn recovered_within(&self, lease_periods: f64) -> bool {
+        self.mean_recovery_epochs
+            .is_none_or(|m| m <= lease_periods * f64::from(self.control.lease_epochs))
+    }
+}
+
+/// Run the partition-resilience suite: one [`ControlSim`] trial per
+/// seed (in parallel, one thread each) under `plan`, aggregated in seed
+/// order so the report is byte-reproducible. With a telemetry kit
+/// attached, per-trial durations accumulate under `trial.control`.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParameter`] for empty `seeds` and
+/// propagates configuration errors; degraded trials are data, not
+/// errors.
+pub fn resilience(
+    scenario: &Scenario,
+    plan: FaultPlan,
+    control: ControlConfig,
+    seeds: &[u64],
+    telemetry: &mut Telemetry,
+) -> crate::Result<ResilienceReport> {
+    if seeds.is_empty() {
+        return Err(SimError::InvalidParameter {
+            name: "seeds",
+            value: 0.0,
+            expected: "at least one seed",
+        });
+    }
+    let sim = ControlSim::new(
+        *scenario.game(),
+        scenario.mixture_density()?,
+        scenario.epochs(),
+    )?
+    .with_faults(plan)
+    .with_control(control);
+    let results: Vec<crate::Result<(ControlReport, u64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let sim = &sim;
+                scope.spawn(move || {
+                    let started = std::time::Instant::now();
+                    sim.run(seed, &mut Telemetry::noop())
+                        .map(|r| (r, started.elapsed().as_nanos() as u64))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or(Err(SimError::WorkerPanicked {
+                    what: "control-plane resilience trial",
+                }))
+            })
+            .collect()
+    });
+
+    let mut trials = Vec::with_capacity(seeds.len());
+    for r in results {
+        let (report, nanos) = r?;
+        telemetry.spans.record_nanos("trial.control", nanos);
+        trials.push(report);
+    }
+    let invariant_violations = trials.iter().map(|t| t.invariant_violations).sum();
+    let recoveries: u64 = trials.iter().map(|t| t.recoveries).sum();
+    let mean_recovery_epochs = (recoveries > 0).then(|| {
+        trials
+            .iter()
+            .filter_map(|t| Some(t.mean_recovery_epochs? * t.recoveries as f64))
+            .sum::<f64>()
+            / recoveries as f64
+    });
+    let mean_utility = trials.iter().map(|t| t.mean_utility).sum::<f64>() / trials.len() as f64;
+    let conservative_utility = trials[0].conservative_utility;
+    Ok(ResilienceReport {
+        plan,
+        control,
+        trials,
+        invariant_violations,
+        mean_recovery_epochs,
+        mean_utility,
+        conservative_utility,
     })
 }
 
@@ -606,54 +652,5 @@ mod tests {
         assert!(json.contains("degradation"));
         let back: ChaosReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_forward_to_the_unified_entry_points() {
-        let s = Scenario::homogeneous(Benchmark::Als, 30, 40).unwrap();
-        let canonical =
-            compare(&s, &[PolicyKind::Greedy], &[1, 2], &mut Telemetry::noop()).unwrap();
-        assert_eq!(
-            canonical,
-            compare_policies(&s, &[PolicyKind::Greedy], &[1, 2]).unwrap()
-        );
-        assert_eq!(
-            canonical,
-            compare_policies_profiled(
-                &s,
-                &[PolicyKind::Greedy],
-                &[1, 2],
-                &mut SpanProfile::deterministic()
-            )
-            .unwrap()
-        );
-        let plans = vec![NamedPlan {
-            name: "composite".to_string(),
-            plan: FaultPlan::composite(3),
-        }];
-        let canonical = chaos(
-            &s,
-            &[PolicyKind::Greedy],
-            &plans,
-            &[1],
-            &mut Telemetry::noop(),
-        )
-        .unwrap();
-        assert_eq!(
-            canonical,
-            chaos_matrix(&s, &[PolicyKind::Greedy], &plans, &[1]).unwrap()
-        );
-        assert_eq!(
-            canonical,
-            chaos_matrix_profiled(
-                &s,
-                &[PolicyKind::Greedy],
-                &plans,
-                &[1],
-                &mut SpanProfile::deterministic()
-            )
-            .unwrap()
-        );
     }
 }

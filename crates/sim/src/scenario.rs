@@ -13,7 +13,7 @@ use sprint_stats::density::DiscreteDensity;
 use sprint_workloads::generator::Population;
 use sprint_workloads::Benchmark;
 
-use sprint_telemetry::{Event, Recorder, Telemetry};
+use sprint_telemetry::{Event, Telemetry};
 
 use crate::engine::{
     self, RecoverySemantics, RunOptions, SimConfig, TripInterruption, UtilityEstimation,
@@ -351,56 +351,6 @@ impl Scenario {
             .collect::<crate::Result<_>>()
     }
 
-    /// Forwarding shim for the pre-unification entry point.
-    ///
-    /// # Errors
-    ///
-    /// As [`Scenario::equilibrium_thresholds`].
-    #[deprecated(note = "use `Scenario::equilibrium_thresholds(&mut Telemetry::noop())`")]
-    pub fn equilibrium_policy(&self) -> crate::Result<ThresholdPolicy> {
-        self.equilibrium_thresholds(&mut Telemetry::noop())
-    }
-
-    /// Forwarding shim for the pre-unification observed entry point.
-    ///
-    /// # Errors
-    ///
-    /// As [`Scenario::equilibrium_thresholds`].
-    #[deprecated(note = "use `Scenario::equilibrium_thresholds` with a telemetry kit")]
-    #[allow(deprecated)]
-    pub fn equilibrium_policy_observed(
-        &self,
-        recorder: &mut dyn Recorder,
-    ) -> crate::Result<ThresholdPolicy> {
-        let game = self.solve_game()?;
-        let types = self.population.distinct_types();
-        let thresholds: Vec<f64> = if types.len() == 1 {
-            let threshold = match MeanFieldSolver::new(game)
-                .solve_observed(&types[0].utility_density(DENSITY_BINS)?, recorder)
-            {
-                Ok(eq) => eq.threshold(),
-                Err(GameError::NonConvergence {
-                    fallback_threshold, ..
-                }) => fallback_threshold,
-                Err(e) => return Err(e.into()),
-            };
-            vec![threshold; self.population.len()]
-        } else {
-            let eq = MultiSolver::new(game).solve(&self.type_specs()?)?;
-            if recorder.enabled() {
-                recorder.record(&Event::CoordinatorResolve {
-                    types: eq.types().len(),
-                    converged: true,
-                    iterations: eq.iterations(),
-                    residual: eq.residual(),
-                    trip_probability: eq.trip_probability(),
-                });
-            }
-            self.per_agent_thresholds(&eq)?
-        };
-        ThresholdPolicy::new("Equilibrium Threshold", thresholds)
-    }
-
     /// Build the C-T policy: the globally optimal *common* threshold from
     /// exhaustive search.
     ///
@@ -470,45 +420,6 @@ impl Scenario {
         })
     }
 
-    /// Forwarding shim for the pre-unification entry point.
-    ///
-    /// # Errors
-    ///
-    /// As [`Scenario::policy`].
-    #[deprecated(note = "use `Scenario::policy(kind, seed, &mut Telemetry::noop())`")]
-    pub fn build_policy(
-        &self,
-        kind: PolicyKind,
-        seed: u64,
-    ) -> crate::Result<Box<dyn SprintPolicy>> {
-        self.policy(kind, seed, &mut Telemetry::noop())
-    }
-
-    /// Forwarding shim for the pre-unification observed entry point.
-    ///
-    /// # Errors
-    ///
-    /// As [`Scenario::policy`].
-    #[deprecated(note = "use `Scenario::policy` with a telemetry kit")]
-    #[allow(deprecated)]
-    pub fn build_policy_observed(
-        &self,
-        kind: PolicyKind,
-        seed: u64,
-        recorder: &mut dyn Recorder,
-    ) -> crate::Result<Box<dyn SprintPolicy>> {
-        Ok(match kind {
-            PolicyKind::Greedy => Box::new(Greedy::new()),
-            PolicyKind::ExponentialBackoff => {
-                Box::new(ExponentialBackoff::new(self.population.len(), seed))
-            }
-            PolicyKind::EquilibriumThreshold => {
-                Box::new(self.equilibrium_policy_observed(recorder)?)
-            }
-            PolicyKind::CooperativeThreshold => Box::new(self.cooperative_policy()?),
-        })
-    }
-
     /// Run one simulation of this scenario under `kind` with `seed` — the
     /// unified entry point. Pass [`Telemetry::noop()`] for an unobserved
     /// run; with an enabled kit the offline solve narrates through the
@@ -536,31 +447,6 @@ impl Scenario {
             telemetry.spans.end("scenario.solve", start);
         }
         engine::run(&config, &mut streams, policy.as_mut(), telemetry)
-    }
-
-    /// Forwarding shim for the pre-unification entry point.
-    ///
-    /// # Errors
-    ///
-    /// As [`Scenario::execute`].
-    #[deprecated(note = "use `Scenario::execute(kind, seed, &mut Telemetry::noop())`")]
-    pub fn run(&self, kind: PolicyKind, seed: u64) -> crate::Result<SimResult> {
-        self.execute(kind, seed, &mut Telemetry::noop())
-    }
-
-    /// Forwarding shim for the pre-unification traced entry point.
-    ///
-    /// # Errors
-    ///
-    /// As [`Scenario::execute`].
-    #[deprecated(note = "use `Scenario::execute` (identical signature)")]
-    pub fn run_traced(
-        &self,
-        kind: PolicyKind,
-        seed: u64,
-        telemetry: &mut Telemetry,
-    ) -> crate::Result<SimResult> {
-        self.execute(kind, seed, telemetry)
     }
 }
 
@@ -743,34 +629,5 @@ mod tests {
         assert!(summary.converged);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (0, 0));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_forward_to_the_unified_entry_points() {
-        use sprint_telemetry::Noop;
-
-        let s = Scenario::homogeneous(Benchmark::DecisionTree, 60, 80).unwrap();
-        let canonical = s
-            .execute(PolicyKind::EquilibriumThreshold, 5, &mut Telemetry::noop())
-            .unwrap();
-        assert_eq!(
-            canonical,
-            s.run(PolicyKind::EquilibriumThreshold, 5).unwrap()
-        );
-        assert_eq!(
-            canonical,
-            s.run_traced(PolicyKind::EquilibriumThreshold, 5, &mut Telemetry::noop())
-                .unwrap()
-        );
-        let via_shim = s.equilibrium_policy().unwrap();
-        let via_observed = s.equilibrium_policy_observed(&mut Noop).unwrap();
-        let fresh = s.equilibrium_thresholds(&mut Telemetry::noop()).unwrap();
-        assert_eq!(fresh.thresholds(), via_shim.thresholds());
-        assert_eq!(fresh.thresholds(), via_observed.thresholds());
-        assert!(s.build_policy(PolicyKind::Greedy, 1).is_ok());
-        assert!(s
-            .build_policy_observed(PolicyKind::EquilibriumThreshold, 1, &mut Noop)
-            .is_ok());
     }
 }

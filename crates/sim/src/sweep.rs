@@ -24,9 +24,20 @@
 //!
 //! Trials use only the unified telemetry-carrying API ([`engine::run`],
 //! [`Scenario::policy`], [`Scenario::equilibrium_policy_cached`]).
+//!
+//! Trials run **supervised** ([`Supervision`]): each gets an optional
+//! wall-clock deadline (enforced cooperatively at the engine's epoch
+//! checkpoints) and a bounded retry budget, and a trial that still
+//! panics or errors after its retries is *quarantined* into
+//! [`SweepReport::quarantined`] instead of failing the whole sweep.
+//! Quarantine preserves byte-reproducibility: records keep expansion
+//! order, aggregation groups cells by label rather than position, and
+//! the quarantine list is ordered by trial id for every `--jobs`.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 use sprint_game::{EquilibriumCache, GameConfig};
 use sprint_stats::summary::{confidence_interval_95, ConfidenceInterval, OnlineStats};
@@ -226,6 +237,11 @@ impl SweepSpec {
         for plan in &self.plans {
             plan.plan.validate()?;
         }
+        // Resolve populations eagerly so configuration mistakes fail the
+        // sweep up front; quarantine is reserved for runtime failures.
+        for population in &self.populations {
+            population.resolve()?;
+        }
         self.options.faults.validate()?;
         Ok(())
     }
@@ -340,11 +356,83 @@ pub struct SweepCell {
     pub solve: Option<SolveSummary>,
 }
 
+/// A sabotage instruction for supervision tests: make a trial attempt
+/// misbehave on purpose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sabotage {
+    /// Panic inside the trial.
+    Panic,
+    /// Sleep past the trial deadline before running, so the engine's
+    /// cooperative deadline check fires on entry.
+    Hang,
+}
+
+/// A test hook deciding whether a given `(trial, attempt)` is sabotaged.
+pub type SabotageHook = fn(trial: usize, attempt: u32) -> Option<Sabotage>;
+
+/// Per-trial supervision policy for a sweep. Runtime-only (never part
+/// of a serialized report): wall-clock limits are facts about the host,
+/// not the simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct Supervision {
+    /// Wall-clock deadline per trial attempt, in milliseconds, enforced
+    /// cooperatively at the engine's epoch checkpoints (a hung attempt
+    /// is abandoned at the next checkpoint, never preempted). `None`
+    /// disables the deadline.
+    pub trial_deadline_ms: Option<u64>,
+    /// Re-runs granted to a failing trial before quarantine.
+    pub retries: u32,
+    /// Deliberate-failure injection for supervision tests.
+    pub sabotage: Option<SabotageHook>,
+}
+
+impl Default for Supervision {
+    fn default() -> Self {
+        Supervision {
+            trial_deadline_ms: None,
+            retries: 1,
+            sabotage: None,
+        }
+    }
+}
+
+impl Supervision {
+    /// Supervision with a per-attempt deadline of `ms` milliseconds.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.trial_deadline_ms = Some(ms);
+        self
+    }
+}
+
+/// A trial that kept failing after its retries and was excluded from
+/// the records instead of failing the sweep.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QuarantinedTrial {
+    /// Trial index in expansion order.
+    pub trial: usize,
+    /// Game variant name.
+    pub game: String,
+    /// Population name.
+    pub population: String,
+    /// Fault-plan name.
+    pub plan: String,
+    /// The policy.
+    pub policy: PolicyKind,
+    /// The seed.
+    pub seed: u64,
+    /// Attempts consumed (initial run plus retries).
+    pub attempts: u32,
+    /// Display form of the final error (panics surface as worker-panic
+    /// errors).
+    pub error: String,
+}
+
 /// A completed sweep: per-trial records (expansion order) and per-cell
 /// aggregates. Contains simulation-time data only — wall-clock facts go
 /// to the telemetry kit — so serialization is byte-identical across job
 /// counts and runs.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct SweepReport {
     /// Total trials executed.
     pub trials: usize,
@@ -352,6 +440,38 @@ pub struct SweepReport {
     pub records: Vec<SweepRecord>,
     /// Per-cell aggregates in expansion order.
     pub cells: Vec<SweepCell>,
+    /// Trials excluded by supervision, in trial order.
+    pub quarantined: Vec<QuarantinedTrial>,
+}
+
+// Hand-written so reports serialized before the supervision layer (no
+// `quarantined` field) keep parsing: an absent list means no quarantine.
+impl serde::Deserialize for SweepReport {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let Some(obj) = value.as_object() else {
+            return Err(serde::DeError::type_mismatch("object", value));
+        };
+        fn required<T: serde::Deserialize>(
+            obj: &[(String, serde::Value)],
+            name: &str,
+        ) -> Result<T, serde::DeError> {
+            match serde::__field(obj, name) {
+                Some(v) => T::from_value(v),
+                None => Err(serde::DeError::custom(format!(
+                    "missing field `{name}` in `SweepReport`"
+                ))),
+            }
+        }
+        Ok(SweepReport {
+            trials: required(obj, "trials")?,
+            records: required(obj, "records")?,
+            cells: required(obj, "cells")?,
+            quarantined: match serde::__field(obj, "quarantined") {
+                Some(v) => serde::Deserialize::from_value(v)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 /// Resolve a job count: 0 means all available cores, and no pool is ever
@@ -379,12 +499,28 @@ fn effective_jobs(jobs: usize, trials: usize) -> usize {
 ///
 /// # Errors
 ///
-/// Returns [`SimError::InvalidParameter`] for an empty axis or invalid
-/// plan, [`SimError::WorkerPanicked`] when a worker thread dies, and
-/// otherwise the first failing trial's error (in trial order).
+/// Returns [`SimError::InvalidParameter`] for an empty axis, invalid
+/// plan, or unresolvable population. Runtime trial failures are
+/// quarantined, not propagated (default supervision: no deadline, one
+/// retry).
 pub fn run_sweep(
     spec: &SweepSpec,
     jobs: usize,
+    telemetry: &mut Telemetry,
+) -> crate::Result<SweepReport> {
+    run_sweep_supervised(spec, jobs, Supervision::default(), telemetry)
+}
+
+/// Execute a sweep under an explicit [`Supervision`] policy.
+///
+/// # Errors
+///
+/// As [`run_sweep`]; [`SimError::WorkerPanicked`] additionally surfaces
+/// when a worker thread itself dies outside a supervised trial.
+pub fn run_sweep_supervised(
+    spec: &SweepSpec,
+    jobs: usize,
+    supervision: Supervision,
     telemetry: &mut Telemetry,
 ) -> crate::Result<SweepReport> {
     spec.validate()?;
@@ -393,7 +529,7 @@ pub fn run_sweep(
     let jobs = effective_jobs(jobs, trials.len());
     let cache = EquilibriumCache::default();
 
-    type Slot = OnceLock<(crate::Result<SweepRecord>, u64)>;
+    type Slot = OnceLock<(crate::Result<SweepRecord>, u64, u32)>;
     let slots: Vec<Slot> = (0..trials.len()).map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
     let panicked = std::thread::scope(|scope| {
@@ -404,10 +540,12 @@ pub fn run_sweep(
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(trial) = trials.get(i) else { break };
                         let started = std::time::Instant::now();
-                        let record = run_trial(spec, &plans, trial, &cache);
+                        let (record, attempts) =
+                            run_trial_supervised(spec, &plans, trial, &cache, supervision);
                         // First write wins; a slot is only ever written
                         // once because indices are unique.
-                        let _ = slots[i].set((record, started.elapsed().as_nanos() as u64));
+                        let _ =
+                            slots[i].set((record, started.elapsed().as_nanos() as u64, attempts));
                     }
                 })
             })
@@ -422,18 +560,37 @@ pub fn run_sweep(
 
     let profile = telemetry.enabled();
     let mut records = Vec::with_capacity(trials.len());
-    for slot in slots {
-        let (record, nanos) = slot.into_inner().expect("every trial slot is filled");
+    let mut quarantined = Vec::new();
+    let mut retried = 0u64;
+    for (trial, slot) in trials.iter().zip(slots) {
+        let (record, nanos, attempts) = slot.into_inner().expect("every trial slot is filled");
         if profile {
             telemetry.spans.record_nanos("sweep.trial", nanos);
         }
-        records.push(record?);
+        retried += u64::from(attempts.saturating_sub(1));
+        match record {
+            Ok(record) => records.push(record),
+            Err(e) => quarantined.push(QuarantinedTrial {
+                trial: trial.id,
+                game: spec.games[trial.game].name.clone(),
+                population: spec.populations[trial.population].name.clone(),
+                plan: plans[trial.plan].name.clone(),
+                policy: spec.policies[trial.policy],
+                seed: trial.seed,
+                attempts,
+                error: e.to_string(),
+            }),
+        }
     }
-    let cells = aggregate_cells(spec, &plans, &records);
+    let cells = aggregate_cells(&records);
 
     cache.export_metrics(&mut telemetry.registry);
     let c = telemetry.registry.counter("sweep.trials");
     telemetry.registry.inc(c, records.len() as u64);
+    let c = telemetry.registry.counter("sweep.quarantined");
+    telemetry.registry.inc(c, quarantined.len() as u64);
+    let c = telemetry.registry.counter("sweep.retries");
+    telemetry.registry.inc(c, retried);
     let g = telemetry.registry.gauge("sweep.jobs");
     telemetry.registry.set(g, jobs as f64);
 
@@ -441,7 +598,55 @@ pub fn run_sweep(
         trials: records.len(),
         records,
         cells,
+        quarantined,
     })
+}
+
+/// Run one trial under supervision: per-attempt deadline, panic
+/// isolation, bounded retry. Returns the final outcome and the attempts
+/// consumed.
+fn run_trial_supervised(
+    spec: &SweepSpec,
+    plans: &[NamedPlan],
+    trial: &Trial,
+    cache: &EquilibriumCache,
+    supervision: Supervision,
+) -> (crate::Result<SweepRecord>, u32) {
+    let attempts_allowed = supervision.retries.saturating_add(1);
+    let mut last = SimError::WorkerPanicked {
+        what: "sweep trial",
+    };
+    for attempt in 0..attempts_allowed {
+        let deadline = supervision
+            .trial_deadline_ms
+            .map(|ms| (Instant::now() + Duration::from_millis(ms), ms));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(hook) = supervision.sabotage {
+                match hook(trial.id, attempt) {
+                    Some(Sabotage::Panic) => panic!("sabotaged sweep trial {}", trial.id),
+                    Some(Sabotage::Hang) => {
+                        // Overshoot the deadline, then fall through to the
+                        // real trial: the engine's cooperative checkpoint
+                        // abandons it on entry.
+                        let ms = supervision.trial_deadline_ms.unwrap_or(0);
+                        std::thread::sleep(Duration::from_millis(ms + 10));
+                    }
+                    None => {}
+                }
+            }
+            run_trial(spec, plans, trial, cache, deadline)
+        }));
+        match outcome {
+            Ok(Ok(record)) => return (Ok(record), attempt + 1),
+            Ok(Err(e)) => last = e,
+            Err(_) => {
+                last = SimError::WorkerPanicked {
+                    what: "sweep trial",
+                }
+            }
+        }
+    }
+    (Err(last), attempts_allowed)
 }
 
 /// Run one grid point through the unified API only.
@@ -450,6 +655,7 @@ fn run_trial(
     plans: &[NamedPlan],
     trial: &Trial,
     cache: &EquilibriumCache,
+    deadline: Option<(Instant, u64)>,
 ) -> crate::Result<SweepRecord> {
     let variant = &spec.games[trial.game];
     let pop_spec = &spec.populations[trial.population];
@@ -474,12 +680,20 @@ fn run_trial(
     };
     let config = SimConfig::new(game, spec.epochs, trial.seed)?.with_options(*scenario.options());
     let mut streams = scenario.population().spawn_streams(trial.seed)?;
-    let result = engine::run(
+    let result = engine::run_with_deadline(
         &config,
         &mut streams,
         policy.as_mut(),
+        deadline.map(|(at, _)| at),
         &mut Telemetry::noop(),
-    )?;
+    )
+    .map_err(|e| match (e, deadline) {
+        // The engine cannot know the configured limit; stamp it here.
+        (SimError::DeadlineExceeded { what, .. }, Some((_, ms))) => {
+            SimError::DeadlineExceeded { what, limit_ms: ms }
+        }
+        (e, _) => e,
+    })?;
 
     Ok(record_of(
         trial, variant, pop_spec, named, kind, &result, solve,
@@ -511,19 +725,29 @@ fn record_of(
     }
 }
 
-/// Fold records (expansion order: seeds fastest, policies next) into
-/// per-cell aggregates, normalizing each policy cell against the Greedy
-/// cell of the same `game × population × plan` group.
-fn aggregate_cells(
-    spec: &SweepSpec,
-    plans: &[NamedPlan],
-    records: &[SweepRecord],
-) -> Vec<SweepCell> {
-    let seeds = spec.seeds.len();
-    let mut cells: Vec<SweepCell> = records
-        .chunks(seeds)
+/// Fold records into per-cell aggregates, normalizing each policy cell
+/// against the Greedy cell of the same `game × population × plan`
+/// group. Grouping is by label, not position, so quarantine holes in
+/// the record list shrink a cell's seed count instead of smearing
+/// neighbouring cells into each other; cells keep first-seen (i.e.
+/// expansion) order.
+fn aggregate_cells(records: &[SweepRecord]) -> Vec<SweepCell> {
+    let mut groups: Vec<Vec<&SweepRecord>> = Vec::new();
+    for r in records {
+        let key = (&r.game, &r.population, &r.plan, r.policy);
+        match groups
+            .iter_mut()
+            .find(|g| (&g[0].game, &g[0].population, &g[0].plan, g[0].policy) == key)
+        {
+            Some(group) => group.push(r),
+            None => groups.push(vec![r]),
+        }
+    }
+
+    let mut cells: Vec<SweepCell> = groups
+        .iter()
         .map(|chunk| {
-            let first = &chunk[0];
+            let first = chunk[0];
             let per_trial: Vec<f64> = chunk.iter().map(|r| r.tasks_per_agent_epoch).collect();
             let tasks: OnlineStats = per_trial.iter().copied().collect();
             let mut occupancy = [0.0f64; 4];
@@ -554,22 +778,21 @@ fn aggregate_cells(
         })
         .collect();
 
-    // Cells are policy-major within each game × population × plan group
-    // of `policies.len()` consecutive cells.
-    let group = spec.policies.len();
-    for cells in cells.chunks_mut(group) {
+    for i in 0..cells.len() {
         let greedy = cells
             .iter()
-            .find(|c| c.policy == PolicyKind::Greedy)
+            .find(|c| {
+                c.policy == PolicyKind::Greedy
+                    && c.game == cells[i].game
+                    && c.population == cells[i].population
+                    && c.plan == cells[i].plan
+            })
             .map(|c| c.tasks_per_agent_epoch)
             .filter(|&g| g > 0.0);
         if let Some(greedy) = greedy {
-            for cell in cells {
-                cell.normalized_to_greedy = Some(cell.tasks_per_agent_epoch / greedy);
-            }
+            cells[i].normalized_to_greedy = Some(cells[i].tasks_per_agent_epoch / greedy);
         }
     }
-    let _ = plans;
     cells
 }
 
@@ -697,12 +920,96 @@ mod tests {
         );
     }
 
+    fn sabotage_first_attempts(trial: usize, attempt: u32) -> Option<Sabotage> {
+        // Trial 1 panics on every attempt; trial 2 panics once and then
+        // recovers on retry.
+        match (trial, attempt) {
+            (1, _) => Some(Sabotage::Panic),
+            (2, 0) => Some(Sabotage::Panic),
+            _ => None,
+        }
+    }
+
+    fn sabotage_hang(trial: usize, _attempt: u32) -> Option<Sabotage> {
+        (trial == 0).then_some(Sabotage::Hang)
+    }
+
+    #[test]
+    fn panicking_trials_are_quarantined_not_fatal() {
+        let mut spec = small_spec();
+        spec.policies = vec![PolicyKind::Greedy];
+        let supervision = Supervision {
+            sabotage: Some(sabotage_first_attempts),
+            ..Supervision::default()
+        };
+        let report = run_sweep_supervised(&spec, 2, supervision, &mut Telemetry::noop()).unwrap();
+        assert_eq!(report.trials, 2, "two of three trials survive");
+        assert_eq!(report.quarantined.len(), 1);
+        let q = &report.quarantined[0];
+        assert_eq!((q.trial, q.attempts), (1, 2), "one retry before quarantine");
+        assert!(q.error.contains("panicked"));
+        // The recovered-on-retry trial is a normal record.
+        assert!(report.records.iter().any(|r| r.trial == 2));
+        // Aggregation shrinks the cell instead of failing it.
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.cells[0].trials, 2);
+    }
+
+    #[test]
+    fn hanging_trials_hit_the_cooperative_deadline() {
+        let mut spec = small_spec();
+        spec.policies = vec![PolicyKind::Greedy];
+        spec.seeds = vec![1, 2];
+        let supervision = Supervision {
+            retries: 0,
+            sabotage: Some(sabotage_hang),
+            ..Supervision::default()
+        }
+        .with_deadline_ms(40);
+        let mut kit = Telemetry::in_memory();
+        let report = run_sweep_supervised(&spec, 2, supervision, &mut kit).unwrap();
+        assert_eq!(report.trials, 1);
+        assert_eq!(report.quarantined.len(), 1);
+        let q = &report.quarantined[0];
+        assert_eq!(q.trial, 0);
+        assert!(
+            q.error.contains("40 ms deadline"),
+            "deadline error carries the configured limit: {}",
+            q.error
+        );
+        assert_eq!(kit.registry.counter_value("sweep.quarantined"), Some(1));
+    }
+
+    #[test]
+    fn quarantined_reports_are_identical_across_job_counts() {
+        let mut spec = small_spec();
+        spec.policies = vec![PolicyKind::Greedy, PolicyKind::EquilibriumThreshold];
+        let supervision = Supervision {
+            sabotage: Some(sabotage_first_attempts),
+            ..Supervision::default()
+        };
+        let serial = run_sweep_supervised(&spec, 1, supervision, &mut Telemetry::noop()).unwrap();
+        let parallel = run_sweep_supervised(&spec, 4, supervision, &mut Telemetry::noop()).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap(),
+            "quarantine must not break byte-reproducibility"
+        );
+        assert_eq!(serial.quarantined.len(), 1);
+    }
+
     #[test]
     fn report_round_trips_through_serde() {
         let report = run_sweep(&small_spec(), 2, &mut Telemetry::noop()).unwrap();
         let json = serde_json::to_string(&report).unwrap();
         let back: SweepReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+        // Pre-supervision reports (no quarantine field) still parse.
+        let legacy = json.replace(",\"quarantined\":[]", "");
+        assert_ne!(legacy, json);
+        let legacy: SweepReport = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(legacy, report);
         let spec_json = serde_json::to_string(&SweepSpec::example()).unwrap();
         let spec_back: SweepSpec = serde_json::from_str(&spec_json).unwrap();
         assert_eq!(spec_back, SweepSpec::example());

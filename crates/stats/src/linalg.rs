@@ -16,9 +16,10 @@ use crate::StatsError;
 /// # Errors
 ///
 /// Returns [`StatsError::DimensionMismatch`] for a non-square system or a
-/// right-hand side of the wrong length, and [`StatsError::NoConvergence`]
-/// when the matrix is singular to working precision (pivot below
-/// `1e-12`).
+/// right-hand side of the wrong length, [`StatsError::InvalidParameter`]
+/// when elimination meets a non-finite pivot (NaN or infinity in the
+/// matrix), and [`StatsError::NoConvergence`] when the matrix is singular
+/// to working precision (pivot below `1e-12`).
 pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> crate::Result<Vec<f64>> {
     let n = a.len();
     for row in &a {
@@ -37,14 +38,22 @@ pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> crate::Result<Vec<
     }
 
     for col in 0..n {
-        let pivot = (col..n)
-            .max_by(|&r1, &r2| {
-                a[r1][col]
-                    .abs()
-                    .partial_cmp(&a[r2][col].abs())
-                    .expect("finite pivots")
-            })
-            .expect("non-empty range");
+        // `total_cmp` keeps the selection total (and panic-free) even for
+        // NaN candidates; a non-finite winner is then rejected as a typed
+        // error instead of poisoning the elimination.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if a[row][col].abs().total_cmp(&a[pivot][col].abs()).is_gt() {
+                pivot = row;
+            }
+        }
+        if !a[pivot][col].is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "a",
+                value: a[pivot][col],
+                expected: "finite matrix entries",
+            });
+        }
         if a[pivot][col].abs() < 1e-12 {
             return Err(StatsError::NoConvergence {
                 iterations: 0,
@@ -110,6 +119,18 @@ mod tests {
     fn singular_matrix_errors() {
         let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
         assert!(solve_linear(a, vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn non_finite_entries_are_a_typed_error_not_a_panic() {
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let a = vec![vec![poison, 2.0], vec![3.0, 4.0]];
+            let err = solve_linear(a, vec![1.0, 2.0]).unwrap_err();
+            assert!(
+                matches!(err, StatsError::InvalidParameter { name: "a", .. }),
+                "{poison} must surface as InvalidParameter, got {err:?}"
+            );
+        }
     }
 
     #[test]

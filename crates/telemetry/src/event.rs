@@ -24,17 +24,29 @@ pub enum FaultKind {
     SpuriousTrip,
     /// The drifted breaker held where the nominal curve says certain trip.
     MissedTrip,
+    /// The transport dropped a control-plane message.
+    MessageLoss,
+    /// The transport delayed a control-plane message past its epoch.
+    MessageDelay,
+    /// The transport delivered a control-plane message more than once.
+    MessageDuplicate,
+    /// A rack partition cut agents off from the coordinator.
+    Partition,
 }
 
 impl FaultKind {
     /// All fault kinds, for per-kind metric registration.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 10] = [
         FaultKind::Crash,
         FaultKind::Restart,
         FaultKind::StuckGate,
         FaultKind::SensorDropout,
         FaultKind::SpuriousTrip,
         FaultKind::MissedTrip,
+        FaultKind::MessageLoss,
+        FaultKind::MessageDelay,
+        FaultKind::MessageDuplicate,
+        FaultKind::Partition,
     ];
 
     /// Stable snake_case name, used for per-kind metric names.
@@ -47,6 +59,43 @@ impl FaultKind {
             FaultKind::SensorDropout => "sensor_dropout",
             FaultKind::SpuriousTrip => "spurious_trip",
             FaultKind::MissedTrip => "missed_trip",
+            FaultKind::MessageLoss => "message_loss",
+            FaultKind::MessageDelay => "message_delay",
+            FaultKind::MessageDuplicate => "message_duplicate",
+            FaultKind::Partition => "partition",
+        }
+    }
+}
+
+/// One rung of the control plane's graceful-degradation ladder.
+///
+/// An agent always holds a usable threshold; this names where it came
+/// from, ordered best to worst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ControlTier {
+    /// A live lease on a freshly solved equilibrium strategy.
+    Equilibrium,
+    /// The lease lapsed; the agent runs its last assignment, stale.
+    StaleCache,
+    /// No usable assignment; the provably breaker-safe fallback.
+    Conservative,
+}
+
+impl ControlTier {
+    /// All tiers, best first, for per-tier metric registration.
+    pub const ALL: [ControlTier; 3] = [
+        ControlTier::Equilibrium,
+        ControlTier::StaleCache,
+        ControlTier::Conservative,
+    ];
+
+    /// Stable snake_case name, used for per-tier metric names.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ControlTier::Equilibrium => "equilibrium",
+            ControlTier::StaleCache => "stale_cache",
+            ControlTier::Conservative => "conservative",
         }
     }
 }
@@ -74,6 +123,16 @@ pub enum EventKind {
     SolverBisection,
     /// [`Event::SolverOutcome`].
     SolverOutcome,
+    /// [`Event::TierShift`].
+    TierShift,
+    /// [`Event::LeaseGranted`].
+    LeaseGranted,
+    /// [`Event::LeaseExpired`].
+    LeaseExpired,
+    /// [`Event::AgentSuspected`].
+    AgentSuspected,
+    /// [`Event::RetryBackoff`].
+    RetryBackoff,
     /// [`Event::RunEnd`].
     RunEnd,
 }
@@ -187,6 +246,53 @@ pub enum Event {
         /// Threshold of the returned (or best) iterate.
         threshold: f64,
     },
+    /// An agent moved between degradation-ladder tiers.
+    TierShift {
+        /// Epoch index.
+        epoch: usize,
+        /// The agent whose tier changed.
+        agent: u32,
+        /// Tier before the shift.
+        from: ControlTier,
+        /// Tier after the shift.
+        to: ControlTier,
+    },
+    /// The coordinator granted (or renewed) a strategy lease.
+    LeaseGranted {
+        /// Epoch index.
+        epoch: usize,
+        /// The agent holding the lease.
+        agent: u32,
+        /// Lease duration in epochs.
+        lease_epochs: u32,
+        /// Whether the leased strategy came from the stale-cache tier.
+        stale: bool,
+    },
+    /// An agent's strategy lease lapsed without renewal.
+    LeaseExpired {
+        /// Epoch index.
+        epoch: usize,
+        /// The agent whose lease lapsed.
+        agent: u32,
+    },
+    /// The coordinator marked an agent suspect after missed heartbeats.
+    AgentSuspected {
+        /// Epoch index.
+        epoch: usize,
+        /// The suspect agent.
+        agent: u32,
+        /// Epochs of silence that triggered suspicion.
+        silent_epochs: u32,
+    },
+    /// A retry loop backed off before its next attempt.
+    RetryBackoff {
+        /// Epoch index.
+        epoch: usize,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+        /// Jittered delay until the next attempt, in epochs.
+        delay_epochs: u32,
+    },
     /// A simulation run finished.
     RunEnd {
         /// Total task-units completed.
@@ -211,6 +317,11 @@ impl Event {
             Event::SolverEscalation { .. } => EventKind::SolverEscalation,
             Event::SolverBisection => EventKind::SolverBisection,
             Event::SolverOutcome { .. } => EventKind::SolverOutcome,
+            Event::TierShift { .. } => EventKind::TierShift,
+            Event::LeaseGranted { .. } => EventKind::LeaseGranted,
+            Event::LeaseExpired { .. } => EventKind::LeaseExpired,
+            Event::AgentSuspected { .. } => EventKind::AgentSuspected,
+            Event::RetryBackoff { .. } => EventKind::RetryBackoff,
             Event::RunEnd { .. } => EventKind::RunEnd,
         }
     }
@@ -286,6 +397,32 @@ mod tests {
                 residual: 0.3,
                 threshold: 2.0,
             },
+            Event::TierShift {
+                epoch: 5,
+                agent: 3,
+                from: ControlTier::Equilibrium,
+                to: ControlTier::StaleCache,
+            },
+            Event::LeaseGranted {
+                epoch: 5,
+                agent: 3,
+                lease_epochs: 20,
+                stale: false,
+            },
+            Event::LeaseExpired {
+                epoch: 25,
+                agent: 3,
+            },
+            Event::AgentSuspected {
+                epoch: 30,
+                agent: 3,
+                silent_epochs: 12,
+            },
+            Event::RetryBackoff {
+                epoch: 31,
+                attempt: 1,
+                delay_epochs: 2,
+            },
             Event::RunEnd {
                 total_tasks: 100.0,
                 trips: 2,
@@ -310,5 +447,17 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), FaultKind::ALL.len());
+    }
+
+    #[test]
+    fn control_tiers_round_trip_and_order_best_first() {
+        let mut names = Vec::new();
+        for t in ControlTier::ALL {
+            let json = serde_json::to_string(&t).unwrap();
+            let back: ControlTier = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, t);
+            names.push(t.name());
+        }
+        assert_eq!(names, ["equilibrium", "stale_cache", "conservative"]);
     }
 }
