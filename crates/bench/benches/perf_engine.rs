@@ -1,0 +1,421 @@
+//! Engine hot-path smoke check (not a criterion bench).
+//!
+//! Measures the struct-of-arrays agent kernel end to end and enforces the
+//! hot-path contracts:
+//!
+//! - agent-epochs/sec at N ∈ {1k, 10k, 100k}, serial and at 4 jobs,
+//!   against a faithful reimplementation of the pre-SoA epoch loop
+//!   (per-epoch `Vec` allocation, sequential `StdRng`, per-agent dyn
+//!   policy dispatch);
+//! - the serial kernel beats the reference loop by ≥ `MIN_SERIAL_SPEEDUP`
+//!   at the largest N;
+//! - 4 jobs beat serial by ≥ `MIN_PARALLEL_SPEEDUP`, enforced only when
+//!   the host actually has ≥ 4 cores;
+//! - the epoch loop allocates nothing: a counting global allocator sees
+//!   the same allocation count for a 2× longer horizon;
+//! - warm-started Algorithm 1 (`EquilibriumCache::solve_warm`) cuts mean
+//!   iterations per cell ≥ `MIN_WARM_RATIO`× across a parameter ladder.
+//!
+//! Results land in `BENCH_engine.json` at the workspace root so CI can
+//! archive the trend. Run with `--quick` for a reduced-scale smoke pass.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use rand::Rng;
+use sprint_game::trip::TripCurve;
+use sprint_game::{AgentState, EquilibriumCache, GameConfig, MeanFieldSolver, ThresholdStrategy};
+use sprint_sim::engine::{run_jobs, SimConfig};
+use sprint_sim::policies::ThresholdPolicy;
+use sprint_sim::policy::SprintPolicy;
+use sprint_sim::telemetry::Telemetry;
+use sprint_stats::rng::seeded_rng;
+use sprint_workloads::generator::Population;
+use sprint_workloads::phases::PhasedUtility;
+use sprint_workloads::Benchmark;
+
+/// Count allocations so the no-alloc contract is checkable from outside
+/// the engine: a longer horizon must not allocate more.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Measured headroom on a quiet dev container: the SoA kernel runs N=100k
+/// at ~30 ns/agent-epoch vs ~95-100 ns for the faithful reference loop —
+/// a ~3.2x serial speedup. The remaining engine cost is dominated by the
+/// phase-resample events themselves (two counter words, one alias sample,
+/// one `ln` every `persistence` epochs per agent), which the reference
+/// pays too, so the ratio is structural, not slack. The floor sits below
+/// the measurement with margin for CI-runner noise (observed ±15%).
+const MIN_SERIAL_SPEEDUP: f64 = 2.5;
+const MIN_PARALLEL_SPEEDUP: f64 = 3.0;
+const MIN_WARM_RATIO: f64 = 2.0;
+const PARALLEL_JOBS: usize = 4;
+const SEED: u64 = 7;
+
+fn game_for(n: usize) -> GameConfig {
+    GameConfig::builder()
+        .n_agents(n as u32)
+        .n_min(n as f64 * 0.25)
+        .n_max(n as f64 * 0.75)
+        .build()
+        .unwrap()
+}
+
+fn spawn(n: usize) -> Vec<PhasedUtility> {
+    Population::homogeneous(Benchmark::DecisionTree, n)
+        .unwrap()
+        .spawn_streams(SEED)
+        .unwrap()
+}
+
+fn policy_for(n: usize) -> ThresholdPolicy {
+    ThresholdPolicy::uniform("E-T", ThresholdStrategy::new(5.0).unwrap(), n).unwrap()
+}
+
+/// The pre-SoA engine's epoch loop, reproduced pass-for-pass from the
+/// shipped version (commit history: "Resilient coordinator control
+/// plane"): a fresh `Vec<f64>` of stream utilities per epoch, then three
+/// separate full-population passes — decide, throughput/occupancy, state
+/// transitions — each re-checking the fault overlays, with sequential
+/// `StdRng` draws for cooling exits and recovery wake-up stagger.
+fn reference_run(game: &GameConfig, streams: &mut [PhasedUtility], epochs: usize) -> f64 {
+    let n = streams.len();
+    let curve = TripCurve::from_config(game);
+    let p_cool_exit = 1.0 - game.p_cooling();
+    let p_recover_exit = 1.0 - game.p_recovery();
+    let mut policy: Box<dyn SprintPolicy> = Box::new(policy_for(n));
+    let mut rng = seeded_rng(SEED ^ 0x51B_EAC0);
+    let mut states = vec![AgentState::Active; n];
+    let mut blocked = vec![0usize; n];
+    let mut sprinted = vec![false; n];
+    let mut crashed = vec![false; n];
+    let mut stuck = vec![false; n];
+    let mut recovering = false;
+    let mut total_tasks = 0.0f64;
+    let mut occ_sprinting = 0u64;
+    let mut occ_cooling = 0u64;
+    let mut occ_idle = 0u64;
+    for epoch in 0..epochs {
+        // Phases advance in wall-clock time regardless of power state.
+        let utilities: Vec<f64> = streams
+            .iter_mut()
+            .map(PhasedUtility::next_utility)
+            .collect();
+        if recovering {
+            if rng.gen::<f64>() < p_recover_exit {
+                recovering = false;
+                for (i, state) in states.iter_mut().enumerate() {
+                    *state = AgentState::Active;
+                    blocked[i] = epoch + 1 + rng.gen_range(0..2usize);
+                }
+            }
+            continue;
+        }
+        // Pass 1: decisions.
+        let mut n_sprinters = 0u32;
+        let mut n_stuck = 0u32;
+        for i in 0..n {
+            sprinted[i] = false;
+            if crashed[i] {
+                continue;
+            }
+            match states[i] {
+                AgentState::Active => {
+                    if epoch >= blocked[i] && policy.wants_sprint(i, utilities[i]) {
+                        sprinted[i] = true;
+                        n_sprinters += 1;
+                    }
+                }
+                AgentState::Cooling => {
+                    if stuck[i] {
+                        n_stuck += 1;
+                    }
+                }
+                AgentState::Recovery => {
+                    states[i] = AgentState::Active;
+                }
+            }
+        }
+        let p_trip = curve.p_trip(f64::from(n_sprinters + n_stuck));
+        let tripped = p_trip > 0.0 && rng.gen::<f64>() < p_trip;
+        // Pass 2: throughput and occupancy.
+        for i in 0..n {
+            if crashed[i] {
+                continue;
+            }
+            if sprinted[i] {
+                total_tasks += utilities[i];
+                occ_sprinting += 1;
+            } else {
+                total_tasks += 1.0;
+                match states[i] {
+                    AgentState::Cooling => occ_cooling += 1,
+                    _ => occ_idle += 1,
+                }
+            }
+        }
+        // Pass 3: state transitions.
+        if tripped {
+            recovering = true;
+            states.fill(AgentState::Recovery);
+        } else {
+            for i in 0..n {
+                if crashed[i] {
+                    continue;
+                }
+                states[i] = match states[i] {
+                    AgentState::Active if sprinted[i] => AgentState::Cooling,
+                    AgentState::Cooling => {
+                        if stuck[i] {
+                            AgentState::Cooling
+                        } else if rng.gen::<f64>() < p_cool_exit {
+                            AgentState::Active
+                        } else {
+                            AgentState::Cooling
+                        }
+                    }
+                    s => s,
+                };
+            }
+        }
+        policy.epoch_end(tripped);
+    }
+    std::hint::black_box((
+        occ_sprinting,
+        occ_cooling,
+        occ_idle,
+        &mut crashed,
+        &mut stuck,
+    ));
+    total_tasks
+}
+
+fn engine_rate(n: usize, epochs: usize, jobs: usize) -> f64 {
+    let game = game_for(n);
+    let cfg = SimConfig::new(game, epochs, SEED).unwrap();
+    let mut streams = spawn(n);
+    let mut policy = policy_for(n);
+    let started = Instant::now();
+    let result = run_jobs(
+        &cfg,
+        &mut streams,
+        &mut policy,
+        jobs,
+        &mut Telemetry::noop(),
+    )
+    .unwrap();
+    let secs = started.elapsed().as_secs_f64();
+    assert!(result.total_tasks() > 0.0);
+    (n * epochs) as f64 / secs
+}
+
+fn reference_rate(n: usize, epochs: usize) -> f64 {
+    let game = game_for(n);
+    let mut streams = spawn(n);
+    let started = Instant::now();
+    let tasks = reference_run(&game, &mut streams, epochs);
+    let secs = started.elapsed().as_secs_f64();
+    assert!(tasks > 0.0);
+    (n * epochs) as f64 / secs
+}
+
+/// Allocation count of one serial engine run (setup included).
+fn allocs_for(n: usize, epochs: usize) -> u64 {
+    let game = game_for(n);
+    let cfg = SimConfig::new(game, epochs, SEED).unwrap();
+    let mut streams = spawn(n);
+    let mut policy = policy_for(n);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    run_jobs(&cfg, &mut streams, &mut policy, 1, &mut Telemetry::noop()).unwrap();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// Mean Algorithm-1 iterations per cell over a breaker-band ladder,
+/// solved cold and warm-started through the equilibrium cache.
+fn warm_start_ratio(cells: usize) -> (f64, f64) {
+    let density = Benchmark::DecisionTree.utility_density(512).unwrap();
+    let games: Vec<GameConfig> = (0..cells)
+        .map(|i| {
+            GameConfig::builder()
+                .n_agents(1000)
+                .n_min(250.0)
+                .n_max(600.0 + 15.0 * i as f64)
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let cold: usize = games
+        .iter()
+        .map(|g| {
+            MeanFieldSolver::new(*g)
+                .run(&density, &mut Telemetry::noop())
+                .unwrap()
+                .iterations()
+        })
+        .sum();
+    let cache = EquilibriumCache::default();
+    let warm: usize = games
+        .iter()
+        .map(|g| {
+            cache
+                .solve_warm(&MeanFieldSolver::new(*g), &density)
+                .unwrap()
+                .iterations()
+        })
+        .sum();
+    (cold as f64 / cells as f64, warm as f64 / cells as f64)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Quick mode still ends at N=100k: the serial gate is evaluated at the
+    // largest size, and the SoA advantage is structural only once the
+    // reference loop's stream array falls out of cache.
+    let sizes: &[usize] = if quick {
+        &[1_000, 100_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    // Constant total agent-epochs per size so every row does comparable
+    // work and the timings stay comparable.
+    let work = if quick { 2_000_000 } else { 20_000_000 };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let enforce_parallel = cores >= PARALLEL_JOBS;
+
+    println!("engine hot-path smoke ({cores} cores)");
+    println!(
+        "{:>8} {:>8} {:>14} {:>14} {:>14} {:>8} {:>8}",
+        "agents", "epochs", "ref ae/s", "serial ae/s", "jobs4 ae/s", "vs ref", "vs ser"
+    );
+    let mut rows = String::new();
+    let mut serial_speedup_at_max = 0.0;
+    let mut parallel_speedup_at_max = 0.0;
+    for &n in sizes {
+        let epochs = (work / n).max(10);
+        let reference = reference_rate(n, epochs);
+        let serial = engine_rate(n, epochs, 1);
+        let parallel = engine_rate(n, epochs, PARALLEL_JOBS);
+        let vs_ref = serial / reference;
+        let vs_serial = parallel / serial;
+        if n == *sizes.last().unwrap() {
+            serial_speedup_at_max = vs_ref;
+            parallel_speedup_at_max = vs_serial;
+        }
+        println!(
+            "{n:>8} {epochs:>8} {reference:>14.0} {serial:>14.0} {parallel:>14.0} \
+             {vs_ref:>7.2}x {vs_serial:>7.2}x"
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"agents\": {n}, \"epochs\": {epochs}, \
+             \"reference_agent_epochs_per_sec\": {reference:.0}, \
+             \"serial_agent_epochs_per_sec\": {serial:.0}, \
+             \"parallel_agent_epochs_per_sec\": {parallel:.0}, \
+             \"serial_vs_reference\": {vs_ref:.4}, \
+             \"parallel_vs_serial\": {vs_serial:.4}}}"
+        ));
+    }
+
+    // No-alloc contract: doubling the horizon must not add a single
+    // allocation — everything the epoch loop needs exists before it runs.
+    let (alloc_n, alloc_epochs) = if quick { (5_000, 200) } else { (20_000, 400) };
+    let short = allocs_for(alloc_n, alloc_epochs);
+    let long = allocs_for(alloc_n, alloc_epochs * 2);
+    println!(
+        "  allocs    {short} at {alloc_epochs} epochs, {long} at {} epochs",
+        alloc_epochs * 2
+    );
+
+    let warm_cells = if quick { 6 } else { 12 };
+    let (cold_iters, warm_iters) = warm_start_ratio(warm_cells);
+    let warm_ratio = cold_iters / warm_iters.max(1e-9);
+    println!(
+        "  warm      {cold_iters:.1} cold vs {warm_iters:.1} warm iterations/cell \
+         ({warm_ratio:.2}x over {warm_cells} cells)"
+    );
+
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"jobs\": {PARALLEL_JOBS},\n  \
+         \"rows\": [\n{rows}\n  ],\n  \
+         \"serial_speedup_at_max_n\": {serial_speedup_at_max:.4},\n  \
+         \"min_serial_speedup\": {MIN_SERIAL_SPEEDUP},\n  \
+         \"parallel_speedup_at_max_n\": {parallel_speedup_at_max:.4},\n  \
+         \"min_parallel_speedup\": {MIN_PARALLEL_SPEEDUP},\n  \
+         \"parallel_enforced\": {enforce_parallel},\n  \
+         \"allocs_short_run\": {short},\n  \"allocs_long_run\": {long},\n  \
+         \"warm_cells\": {warm_cells},\n  \
+         \"cold_iterations_per_cell\": {cold_iters:.4},\n  \
+         \"warm_iterations_per_cell\": {warm_iters:.4},\n  \
+         \"warm_start_ratio\": {warm_ratio:.4},\n  \"min_warm_ratio\": {MIN_WARM_RATIO}\n}}\n"
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_engine.json");
+    std::fs::write(&out, json).expect("write BENCH_engine.json");
+    println!("  snapshot {}", out.display());
+
+    let mut failed = false;
+    if long != short {
+        eprintln!(
+            "FAIL: epoch loop allocated ({short} allocs at {alloc_epochs} epochs, \
+             {long} at {} epochs)",
+            alloc_epochs * 2
+        );
+        failed = true;
+    }
+    if serial_speedup_at_max < MIN_SERIAL_SPEEDUP {
+        eprintln!(
+            "FAIL: serial kernel {serial_speedup_at_max:.2}x over the reference loop, \
+             below the {MIN_SERIAL_SPEEDUP:.1}x floor"
+        );
+        failed = true;
+    }
+    if enforce_parallel && parallel_speedup_at_max < MIN_PARALLEL_SPEEDUP {
+        eprintln!(
+            "FAIL: {PARALLEL_JOBS} jobs {parallel_speedup_at_max:.2}x over serial, \
+             below the {MIN_PARALLEL_SPEEDUP:.1}x floor"
+        );
+        failed = true;
+    }
+    if warm_ratio < MIN_WARM_RATIO {
+        eprintln!(
+            "FAIL: warm starts cut iterations {warm_ratio:.2}x, \
+             below the {MIN_WARM_RATIO:.1}x floor"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    if enforce_parallel {
+        println!("PASS: no-alloc, serial, parallel, and warm-start budgets all met");
+    } else {
+        println!(
+            "PASS: no-alloc, serial, and warm-start budgets met \
+             (parallel not enforced on {cores} core(s))"
+        );
+    }
+}

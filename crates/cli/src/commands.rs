@@ -57,19 +57,20 @@ USAGE:
   sprint solve         --benchmark <name> [--n-agents N] [--n-min X] [--n-max X]
                        [--p-cooling P] [--p-recovery P] [--discount D] [--json true]
   sprint simulate      --benchmark <name> --policy <g|e-b|e-t|c-t>
-                       [--agents N] [--epochs E] [--seed S] [--json true]
-                       [--telemetry true]
+                       [--agents N] [--epochs E] [--seed S] [--jobs J]
+                       [--json true] [--telemetry true]
   sprint trace         --benchmark <name> [--policy P] [--agents N] [--epochs E]
-                       [--seed S] [--decisions true] [--out FILE.jsonl]
+                       [--seed S] [--jobs J] [--decisions true] [--out FILE.jsonl]
   sprint report        --benchmark <name> [--policy P] [--agents N] [--epochs E]
-                       [--seed S] [--json true]
+                       [--seed S] [--jobs J] [--json true]
   sprint compare       --benchmark <name> [--agents N] [--epochs E] [--seeds K]
+                       [--jobs J]
   sprint sweep         [--spec FILE.json] [--benchmark <name>] [--agents N]
                        [--epochs E] [--seeds K] [--jobs J] [--json true]
                        [--records FILE.jsonl] [--telemetry true]
                        [--print-spec true] [--trial-deadline MS]
   sprint chaos         --benchmark <name> [--agents N] [--epochs E] [--seeds K]
-                       [--fault-seed S] [--json true] [--telemetry true]
+                       [--jobs J] [--fault-seed S] [--json true] [--telemetry true]
                        [--partition true] [--partition-start E]
                        [--partition-epochs D] [--report FILE.json]
   sprint cluster       --benchmark <name> [--racks K] [--agents-per-rack N]
@@ -102,6 +103,18 @@ fn parse_policy(raw: &str) -> Result<PolicyKind, CliError> {
         "c-t" | "ct" | "cooperative" => Ok(PolicyKind::CooperativeThreshold),
         other => Err(ArgError(format!("unknown policy `{other}`; use g, e-b, e-t, or c-t")).into()),
     }
+}
+
+/// Parse `--jobs` for run-style commands: default 1 (serial); 0 sizes
+/// the engine's agent-kernel worker pool to the available cores. Results
+/// are byte-identical at every job count.
+fn parse_jobs(args: &ParsedArgs) -> Result<usize, CliError> {
+    let jobs: usize = args.get_parsed("jobs", 1)?;
+    Ok(if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        jobs
+    })
 }
 
 fn parse_config(args: &ParsedArgs) -> Result<GameConfig, CliError> {
@@ -247,6 +260,7 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), CliError> {
         "agents",
         "epochs",
         "seed",
+        "jobs",
         "json",
         "telemetry",
     ])?;
@@ -255,13 +269,16 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), CliError> {
     let agents: u32 = args.get_parsed("agents", 1000)?;
     let epochs: usize = args.get_parsed("epochs", 600)?;
     let seed: u64 = args.get_parsed("seed", 1)?;
+    let jobs = parse_jobs(args)?;
     let json = args.get_bool("json", false)?;
     let with_telemetry = args.get_bool("telemetry", false)?;
 
     let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
     let (result, telemetry) = if with_telemetry {
         let mut kit = Telemetry::in_memory();
-        let result = scenario.execute(policy, seed, &mut kit).map_err(run_err)?;
+        let result = scenario
+            .execute_jobs(policy, seed, jobs, &mut kit)
+            .map_err(run_err)?;
         let section = TelemetrySection {
             events: kit.events().map_or(0, <[Event]>::len),
             metrics: kit.registry.snapshot(),
@@ -271,7 +288,7 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), CliError> {
     } else {
         (
             scenario
-                .execute(policy, seed, &mut Telemetry::noop())
+                .execute_jobs(policy, seed, jobs, &mut Telemetry::noop())
                 .map_err(run_err)?,
             None,
         )
@@ -323,6 +340,7 @@ pub fn trace(args: &ParsedArgs) -> Result<(), CliError> {
         "agents",
         "epochs",
         "seed",
+        "jobs",
         "decisions",
         "out",
     ])?;
@@ -331,6 +349,7 @@ pub fn trace(args: &ParsedArgs) -> Result<(), CliError> {
     let agents: u32 = args.get_parsed("agents", 1000)?;
     let epochs: usize = args.get_parsed("epochs", 600)?;
     let seed: u64 = args.get_parsed("seed", 1)?;
+    let jobs = parse_jobs(args)?;
     let decisions = args.get_bool("decisions", false)?;
     let out = args.get("out");
 
@@ -350,7 +369,7 @@ pub fn trace(args: &ParsedArgs) -> Result<(), CliError> {
     let mut telemetry = Telemetry::new(Box::new(jsonl), SpanProfile::deterministic());
     let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
     scenario
-        .execute(policy, seed, &mut telemetry)
+        .execute_jobs(policy, seed, jobs, &mut telemetry)
         .map_err(run_err)?;
     if let Some(path) = out {
         let epochs_seen = telemetry
@@ -382,18 +401,27 @@ struct RunReport {
 /// report — solver convergence, per-epoch series, fault counters, and
 /// span timings — as text or JSON.
 pub fn report(args: &ParsedArgs) -> Result<(), CliError> {
-    args.expect_only(&["benchmark", "policy", "agents", "epochs", "seed", "json"])?;
+    args.expect_only(&[
+        "benchmark",
+        "policy",
+        "agents",
+        "epochs",
+        "seed",
+        "jobs",
+        "json",
+    ])?;
     let benchmark = parse_benchmark(args)?;
     let policy = parse_policy(&args.get_or("policy", "e-t"))?;
     let agents: u32 = args.get_parsed("agents", 1000)?;
     let epochs: usize = args.get_parsed("epochs", 600)?;
     let seed: u64 = args.get_parsed("seed", 1)?;
+    let jobs = parse_jobs(args)?;
     let json = args.get_bool("json", false)?;
 
     let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
     let mut telemetry = Telemetry::in_memory();
     let result = scenario
-        .execute(policy, seed, &mut telemetry)
+        .execute_jobs(policy, seed, jobs, &mut telemetry)
         .map_err(run_err)?;
     let solver_residuals: Vec<f64> = telemetry
         .events()
@@ -477,20 +505,26 @@ pub fn report(args: &ParsedArgs) -> Result<(), CliError> {
 
 /// `sprint compare`: the paper's four policies, averaged over seeds.
 pub fn compare(args: &ParsedArgs) -> Result<(), CliError> {
-    args.expect_only(&["benchmark", "agents", "epochs", "seeds"])?;
+    args.expect_only(&["benchmark", "agents", "epochs", "seeds", "jobs"])?;
     let benchmark = parse_benchmark(args)?;
     let agents: u32 = args.get_parsed("agents", 1000)?;
     let epochs: usize = args.get_parsed("epochs", 600)?;
     let n_seeds: u64 = args.get_parsed("seeds", 3)?;
+    let jobs = parse_jobs(args)?;
     if n_seeds == 0 {
         return Err(ArgError("--seeds must be at least 1".into()).into());
     }
 
     let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
     let seeds: Vec<u64> = (1..=n_seeds).collect();
-    let cmp =
-        sprint_sim::runner::compare(&scenario, &PolicyKind::ALL, &seeds, &mut Telemetry::noop())
-            .map_err(run_err)?;
+    let cmp = sprint_sim::runner::compare_jobs(
+        &scenario,
+        &PolicyKind::ALL,
+        &seeds,
+        jobs,
+        &mut Telemetry::noop(),
+    )
+    .map_err(run_err)?;
     println!(
         "{:<24} {:>11} {:>8} {:>9} {:>7}",
         "policy", "tasks/ep", "vs G", "±95% CI", "trips"
@@ -662,6 +696,7 @@ pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
         "agents",
         "epochs",
         "seeds",
+        "jobs",
         "fault-seed",
         "json",
         "telemetry",
@@ -674,6 +709,7 @@ pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
     let agents: u32 = args.get_parsed("agents", 1000)?;
     let epochs: usize = args.get_parsed("epochs", 600)?;
     let n_seeds: u64 = args.get_parsed("seeds", 2)?;
+    let jobs = parse_jobs(args)?;
     let fault_seed: u64 = args.get_parsed("fault-seed", 17)?;
     let json = args.get_bool("json", false)?;
     let with_telemetry = args.get_bool("telemetry", false)?;
@@ -693,8 +729,9 @@ pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
     let plans = standard_fault_suite(fault_seed);
     let seeds: Vec<u64> = (1..=n_seeds).collect();
     let mut kit = Telemetry::new(Box::new(Noop), SpanProfile::monotonic());
-    let report = sprint_sim::runner::chaos(&scenario, &PolicyKind::ALL, &plans, &seeds, &mut kit)
-        .map_err(run_err)?;
+    let report =
+        sprint_sim::runner::chaos_jobs(&scenario, &PolicyKind::ALL, &plans, &seeds, jobs, &mut kit)
+            .map_err(run_err)?;
     let spans = kit.spans;
     if json && with_telemetry {
         #[derive(Serialize)]
@@ -985,6 +1022,88 @@ mod tests {
     #[test]
     fn dispatch_rejects_unknown_command() {
         assert!(dispatch(&parsed(&["frobnicate"])).is_err());
+    }
+
+    /// Run `sprint trace` into a temp file and return the bytes written.
+    fn trace_bytes(extra: &[&str]) -> Vec<u8> {
+        let path = std::env::temp_dir().join(format!(
+            "sprint-trace-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut args = vec!["trace"];
+        args.extend_from_slice(extra);
+        args.push("--out");
+        args.push(path.to_str().unwrap());
+        trace(&parsed(&args)).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        bytes
+    }
+
+    #[test]
+    fn trace_output_matches_the_golden_bytes() {
+        // Regression pins for the engine's event stream: any change to
+        // the RNG layout, draw coordinates, accumulation order, or event
+        // ordering shows up here as a byte diff. Regenerate with
+        //   sprint trace ... --out crates/cli/src/testdata/<name>.jsonl
+        // only when such a change is intentional.
+        let greedy = trace_bytes(&[
+            "--benchmark",
+            "decision",
+            "--policy",
+            "g",
+            "--agents",
+            "40",
+            "--epochs",
+            "60",
+            "--seed",
+            "7",
+        ]);
+        assert_eq!(
+            greedy,
+            include_bytes!("testdata/trace_greedy_40x60_seed7.jsonl"),
+            "greedy trace diverged from the golden file"
+        );
+        let et = trace_bytes(&[
+            "--benchmark",
+            "svm",
+            "--policy",
+            "e-t",
+            "--agents",
+            "40",
+            "--epochs",
+            "60",
+            "--seed",
+            "11",
+        ]);
+        assert_eq!(
+            et,
+            include_bytes!("testdata/trace_et_40x60_seed11.jsonl"),
+            "e-t trace (solver events included) diverged from the golden file"
+        );
+    }
+
+    #[test]
+    fn trace_bytes_are_identical_at_any_job_count() {
+        let base = [
+            "--benchmark",
+            "kmeans",
+            "--policy",
+            "e-t",
+            "--agents",
+            "50",
+            "--epochs",
+            "40",
+            "--seed",
+            "3",
+        ];
+        let serial = trace_bytes(&base);
+        for jobs in ["2", "4"] {
+            let mut args = base.to_vec();
+            args.extend_from_slice(&["--jobs", jobs]);
+            assert_eq!(serial, trace_bytes(&args), "jobs = {jobs}");
+        }
     }
 
     #[test]

@@ -50,6 +50,41 @@ fn fnv1a(hash: u64, word: u64) -> u64 {
     h
 }
 
+/// Relative distance between two solve keys over the coordinates that
+/// move the equilibrium: population, breaker band, transition
+/// probabilities, discount, and the utility density. Symmetric, zero for
+/// identical keys; solver options are ignored (they shape the path, not
+/// the fixed point).
+fn key_distance(a: &SolveKey, b: &SolveKey) -> f64 {
+    let rel = |x: f64, y: f64| {
+        if x == y {
+            0.0
+        } else {
+            (x - y).abs() / x.abs().max(y.abs()).max(1e-12)
+        }
+    };
+    let mut d = rel(
+        f64::from(a.config.n_agents()),
+        f64::from(b.config.n_agents()),
+    ) + rel(a.config.n_min(), b.config.n_min())
+        + rel(a.config.n_max(), b.config.n_max())
+        + rel(a.config.p_cooling(), b.config.p_cooling())
+        + rel(a.config.p_recovery(), b.config.p_recovery())
+        + rel(a.config.discount(), b.config.discount())
+        + rel(a.lo, b.lo)
+        + rel(a.hi, b.hi);
+    if a.pdf.len() == b.pdf.len() {
+        // Total-variation-style term in [0, 1]: half the L1 pdf distance
+        // times the bin width.
+        let dx = (a.hi - a.lo) / a.pdf.len().max(1) as f64;
+        let l1: f64 = a.pdf.iter().zip(&b.pdf).map(|(x, y)| (x - y).abs()).sum();
+        d += 0.5 * l1 * dx;
+    } else {
+        d += 1.0;
+    }
+    d
+}
+
 /// Canonical cache key: one solvable game, byte-exact.
 ///
 /// Two keys are equal iff every game parameter, every solver option, and
@@ -268,8 +303,104 @@ impl EquilibriumCache {
         }
         // Single-flight: the solve runs outside the shard lock, and racing
         // threads block here instead of solving twice.
-        cell.get_or_init(|| solver.solve_impl(density, &mut Noop))
+        cell.get_or_init(|| solver.solve_impl(density, None, &mut Noop))
             .clone()
+    }
+
+    /// [`EquilibriumCache::solve`], but a miss warm-starts Algorithm 1
+    /// from the nearest completed equilibrium ([`EquilibriumCache::warm_hint`])
+    /// instead of cold-starting at `P_trip = 1`.
+    ///
+    /// Hit/miss accounting is identical to [`EquilibriumCache::solve`].
+    /// Because the hint depends on which neighbors have *finished*, the
+    /// result of a warm miss depends on completion order — callers that
+    /// need scheduling-independent bytes (the sweep engine) must issue
+    /// their warm solves in a deterministic serial order, as
+    /// `run_sweep`'s pre-pass does.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`EquilibriumCache::solve`].
+    pub fn solve_warm(
+        &self,
+        solver: &MeanFieldSolver,
+        density: &DiscreteDensity,
+    ) -> crate::Result<Equilibrium> {
+        let key = SolveKey::new(solver.config(), solver.options(), density);
+        let shard_idx = (key.canonical_hash() % self.shards.len() as u64) as usize;
+        let (cell, fresh) = {
+            let mut shard = self.lock_shard(shard_idx);
+            if let Some(entry) = shard.map.get(&key) {
+                (Arc::clone(&entry.cell), false)
+            } else {
+                if shard.map.len() >= self.capacity_per_shard {
+                    if let Some(victim) = shard.order.pop_front() {
+                        shard.map.remove(&victim);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let cell: Cell = Arc::new(OnceLock::new());
+                let seq = self.inserts.fetch_add(1, Ordering::Relaxed);
+                shard.map.insert(
+                    key.clone(),
+                    Entry {
+                        seq,
+                        cell: Arc::clone(&cell),
+                    },
+                );
+                shard.order.push_back(key.clone());
+                (cell, true)
+            }
+        };
+        if fresh {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        cell.get_or_init(|| {
+            // The hint scan skips in-flight cells (including this key's
+            // own just-inserted one), so it only ever sees finished
+            // neighbors.
+            let hint = self.warm_hint_for(&key);
+            solver.solve_impl(density, hint, &mut Noop)
+        })
+        .clone()
+    }
+
+    /// The `P_trip` of the completed successful equilibrium whose key is
+    /// nearest to `(solver, density)` in game-parameter space — a warm
+    /// start for [`MeanFieldSolver::run_from`]. `None` when no solve has
+    /// finished successfully.
+    ///
+    /// Nearness is a relative distance over the solve-relevant
+    /// coordinates (population, breaker band, transition probabilities,
+    /// discount, density support and shape); ties break toward the
+    /// earliest-inserted entry, so the lookup is deterministic for any
+    /// cache content. Does not insert, block, or touch the hit/miss
+    /// counters.
+    #[must_use]
+    pub fn warm_hint(&self, solver: &MeanFieldSolver, density: &DiscreteDensity) -> Option<f64> {
+        self.warm_hint_for(&SolveKey::new(solver.config(), solver.options(), density))
+    }
+
+    fn warm_hint_for(&self, key: &SolveKey) -> Option<f64> {
+        let mut best: Option<(f64, u64, f64)> = None; // (distance, seq, p_trip)
+        for i in 0..self.shards.len() {
+            let shard = self.lock_shard(i);
+            for (other, entry) in &shard.map {
+                let Some(Ok(eq)) = entry.cell.get() else {
+                    continue;
+                };
+                let d = key_distance(key, other);
+                let closer = best
+                    .as_ref()
+                    .is_none_or(|&(bd, bseq, _)| d < bd || (d == bd && entry.seq < bseq));
+                if closer {
+                    best = Some((d, entry.seq, eq.p_trip));
+                }
+            }
+        }
+        best.map(|(_, _, p)| p)
     }
 
     /// Non-solving lookup: the cached result for this exact key, if one
@@ -429,6 +560,57 @@ mod tests {
         let again = SolveKey::new(&config, &opts, &density());
         assert_eq!(a, again);
         assert_eq!(a.canonical_hash(), again.canonical_hash());
+    }
+
+    #[test]
+    fn warm_hint_finds_the_nearest_completed_neighbor() {
+        let cache = EquilibriumCache::default();
+        let d = density();
+        let near = GameConfig::builder().n_max(755.0).build().unwrap();
+        let solver = MeanFieldSolver::new(GameConfig::paper_defaults());
+        // Empty cache: nothing to warm from.
+        assert!(cache.warm_hint(&solver, &d).is_none());
+
+        let far = GameConfig::builder().n_max(400.0).build().unwrap();
+        let eq_far = cache.solve(&MeanFieldSolver::new(far), &d).unwrap();
+        let eq_near = cache.solve(&MeanFieldSolver::new(near), &d).unwrap();
+        // Paper defaults sit closer to n_max = 755 than to 400.
+        let hint = cache.warm_hint(&solver, &d).unwrap();
+        assert_eq!(hint.to_bits(), eq_near.trip_probability().to_bits());
+        assert_ne!(hint.to_bits(), eq_far.trip_probability().to_bits());
+        // Pure lookup: counters untouched beyond the two solves.
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 2));
+    }
+
+    #[test]
+    fn solve_warm_counts_like_solve_and_converges_to_the_same_equilibrium() {
+        let d = density();
+        let solver = MeanFieldSolver::new(GameConfig::paper_defaults());
+        let cold = {
+            let cache = EquilibriumCache::default();
+            cache.solve(&solver, &d).unwrap()
+        };
+
+        let cache = EquilibriumCache::default();
+        let neighbor = GameConfig::builder().n_max(745.0).build().unwrap();
+        cache.solve(&MeanFieldSolver::new(neighbor), &d).unwrap();
+        let warm = cache.solve_warm(&solver, &d).unwrap();
+        // Same fixed point within solver tolerance, found in fewer (or
+        // equal) iterations thanks to the neighbor's iterate.
+        assert!((warm.threshold() - cold.threshold()).abs() < 1e-6);
+        assert!((warm.trip_probability() - cold.trip_probability()).abs() < 1e-6);
+        assert!(
+            warm.iterations() <= cold.iterations(),
+            "warm {} vs cold {} iterations",
+            warm.iterations(),
+            cold.iterations()
+        );
+        // Second warm lookup is a plain hit returning the cached value.
+        let again = cache.solve_warm(&solver, &d).unwrap();
+        assert_eq!(warm, again);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
     }
 
     #[test]

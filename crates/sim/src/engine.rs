@@ -18,17 +18,32 @@
 //!   but may not sprint until their slot arrives.
 //! - An optional [`FaultPlan`] injects crash churn, stuck sprinters,
 //!   sensor noise, and breaker drift ([`crate::faults`]). Fault
-//!   randomness lives on a dedicated stream, so an empty plan reproduces
+//!   randomness lives on dedicated streams, so an empty plan reproduces
 //!   fault-free runs bit for bit, and the engine never panics under any
 //!   plan — degradation is measured, not crashed on.
+//!
+//! # The hot path
+//!
+//! The per-epoch loop is a struct-of-arrays kernel over a `Lanes` scratch
+//! block allocated once per run: after setup the epoch loop performs
+//! **zero heap allocation**. All per-agent randomness comes from
+//! counter-based streams ([`sprint_stats::rng::CounterRng`]) — every draw
+//! is a pure function of `(purpose, agent, epoch, slot)` — so agents are
+//! processed in fixed-size chunks whose partial sums are reduced in chunk
+//! order, and the result is bit-identical whether the chunks run on one
+//! thread or fan out over `jobs` scoped workers ([`run_jobs`]).
+//! Policies that expose a [`StaticDecider`] snapshot (Greedy and the
+//! threshold policies) decide inside the parallel kernel; stateful
+//! policies keep a serial decision loop between two kernel passes and
+//! produce the same bytes at every job count.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use std::sync::Arc;
 
 use sprint_game::trip::TripCurve;
 use sprint_game::{AgentState, GameConfig};
 use sprint_power::pcm::CurrentSensor;
-use sprint_stats::rng::seeded_rng;
+use sprint_stats::density::{AliasSampler, DiscreteDensity};
+use sprint_stats::rng::{CounterLane, CounterRng};
 use sprint_telemetry::{
     CounterId, Event, EventKind, FaultKind, HistogramId, Registry, SeriesId, Telemetry,
 };
@@ -36,7 +51,7 @@ use sprint_workloads::phases::PhasedUtility;
 
 use crate::faults::{FaultMetrics, FaultPlan};
 use crate::metrics::{SimResult, StateOccupancy};
-use crate::policy::SprintPolicy;
+use crate::policy::{SprintPolicy, StaticDecider};
 use crate::SimError;
 
 /// What servers produce while the rack recovers.
@@ -211,6 +226,42 @@ impl SimConfig {
     }
 }
 
+/// A wall-clock budget for one run: the moment to give up, plus the
+/// configured limit so [`SimError::DeadlineExceeded`] can report the
+/// number the caller actually asked for.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: std::time::Instant,
+    limit_ms: u64,
+}
+
+impl Deadline {
+    /// A deadline `limit_ms` milliseconds from now.
+    #[must_use]
+    pub fn within_ms(limit_ms: u64) -> Self {
+        Deadline {
+            at: std::time::Instant::now() + std::time::Duration::from_millis(limit_ms),
+            limit_ms,
+        }
+    }
+
+    /// A deadline at an explicit instant, reported as `limit_ms`.
+    #[must_use]
+    pub fn new(at: std::time::Instant, limit_ms: u64) -> Self {
+        Deadline { at, limit_ms }
+    }
+
+    /// The configured limit in milliseconds.
+    #[must_use]
+    pub fn limit_ms(&self) -> u64 {
+        self.limit_ms
+    }
+
+    fn expired(&self) -> bool {
+        std::time::Instant::now() >= self.at
+    }
+}
+
 /// Fraction of the epoch elapsed before the breaker's thermal element
 /// trips, from the center of the UL489 I²t band. Mild overloads (near
 /// `N_min`) trip late; heavy overloads (beyond `N_max`) trip early.
@@ -265,6 +316,616 @@ impl EngineIds {
     }
 }
 
+/// Agents per kernel chunk. Fixed — never derived from the job count —
+/// so per-chunk float accumulation and the chunk-ordered reduction are
+/// identical at every `jobs` value.
+const CHUNK: usize = 1024;
+
+/// The rack-level "agent" coordinate for draws that are not per-agent
+/// (breaker trip, sensor noise, recovery exit). Real agent indices are
+/// always far below this sentinel.
+const RACK: u64 = u64::MAX;
+
+/// Counter-based draw streams, one per purpose. Every draw is a pure
+/// function of `(purpose, agent, epoch, slot)`, so speculative draws are
+/// free (nothing is consumed) and evaluation order never matters.
+#[derive(Clone, Copy)]
+struct Draws {
+    /// Estimation noise (main stream, slots 0–1 per agent-epoch).
+    estimate: CounterRng,
+    /// Breaker trip draw (main stream, rack-level).
+    trip: CounterRng,
+    /// Chip cooling exit (main stream, per agent).
+    cooling: CounterRng,
+    /// Rack recovery exit (rack-level, slot 0) and wake-up stagger slots
+    /// (per agent, slot 1).
+    recovery: CounterRng,
+    /// Crash/restart churn (fault stream; one draw per agent-epoch — an
+    /// agent is either down, drawing for restart, or up, drawing for
+    /// crash).
+    crash: CounterRng,
+    /// Stuck-gate stick/release (fault stream; mutually exclusive per
+    /// agent-epoch).
+    stick: CounterRng,
+    /// Sensor noise and dropout (fault stream, rack-level, slots 0–2).
+    sensor: CounterRng,
+}
+
+impl Draws {
+    fn new(config: &SimConfig) -> Self {
+        let main = config.seed ^ 0x51B_EAC0;
+        // Fault randomness is keyed on the plan's own seed too: an empty
+        // plan makes no fault draws, and two plans rooted at different
+        // fault seeds see independent fault streams over the same
+        // main-stream dynamics.
+        let fault = config.seed ^ config.options.faults.seed.rotate_left(17) ^ 0xFA_17;
+        Draws {
+            estimate: CounterRng::new(main, 1),
+            trip: CounterRng::new(main, 2),
+            cooling: CounterRng::new(main, 3),
+            recovery: CounterRng::new(main, 4),
+            crash: CounterRng::new(fault, 5),
+            stick: CounterRng::new(fault, 6),
+            sensor: CounterRng::new(fault, 7),
+        }
+    }
+}
+
+/// Purpose tag for phase-process draws. Unlike the purposes above, phase
+/// streams are rooted at each *stream's own seed* (not the run seed), so
+/// a population's utility sequences depend only on how it was spawned —
+/// exactly as when each stream walked its own sequential generator.
+const PHASE_PURPOSE: u64 = 8;
+
+/// Per-agent phase-process constants, extracted from the utility streams
+/// once at setup so the epoch loop advances phases in flat lanes: emit
+/// the current value, then resample from the discretized stationary
+/// density with probability `1 / persistence` — one counter draw per
+/// agent-epoch plus an O(1) alias-table lookup on resample, instead of
+/// walking a sequential per-agent generator through a boxed
+/// distribution.
+struct PhaseKernel {
+    /// Counter stream per agent, rooted at the stream's seed.
+    keys: Vec<CounterLane>,
+    /// `1 / ln(1 - p_resample)` per agent — the scale that turns one
+    /// uniform into a geometric phase length by inversion (`-0.0` when
+    /// `p_resample >= 1`, which correctly yields length-1 phases).
+    gap_scale: Vec<f64>,
+    /// Index into `samplers` per agent (cohorts share one table, so this
+    /// lane is small integers and `samplers` stays cache-hot).
+    sampler_of: Vec<u32>,
+    /// One O(1) alias sampler per distinct cohort density.
+    samplers: Vec<AliasSampler>,
+}
+
+impl PhaseKernel {
+    fn new(streams: &[PhasedUtility]) -> Self {
+        // Deduplicate by shared-table identity: spawn cohorts hand every
+        // stream of a benchmark the same `Arc`, so a population has a
+        // handful of distinct tables regardless of agent count (streams
+        // built one-off each carry their own, which degrades gracefully
+        // to one sampler per agent).
+        let mut seen: std::collections::HashMap<*const DiscreteDensity, u32> =
+            std::collections::HashMap::new();
+        let mut samplers = Vec::new();
+        let sampler_of = streams
+            .iter()
+            .map(|s| {
+                let ptr = Arc::as_ptr(s.sample_table());
+                *seen.entry(ptr).or_insert_with(|| {
+                    samplers.push(AliasSampler::new(s.sample_table()));
+                    (samplers.len() - 1) as u32
+                })
+            })
+            .collect();
+        PhaseKernel {
+            keys: streams
+                .iter()
+                .map(|s| CounterRng::new(s.stream_seed(), PHASE_PURPOSE).lane(0))
+                .collect(),
+            gap_scale: streams
+                .iter()
+                .map(|s| 1.0 / (1.0 - s.resample_probability()).ln())
+                .collect(),
+            sampler_of,
+            samplers,
+        }
+    }
+
+    /// A geometric phase length on `{1, 2, ...}` with mean `persistence`,
+    /// by inversion of one uniform.
+    #[inline]
+    fn gap(&self, a: usize, u: f64) -> u64 {
+        geometric_gap(u, self.gap_scale[a])
+    }
+}
+
+/// A geometric variate on `{1, 2, ...}` with success probability `p`, by
+/// inversion: `1 + floor(ln(1-u) / ln(1-p))` with `scale = 1 / ln(1-p)`
+/// precomputed. The `f64 -> u64` cast saturates, so near-zero exit
+/// probabilities yield astronomically long (not wrapped) gaps, and
+/// `p = 1` (`scale = -0.0`) always yields 1.
+#[inline]
+fn geometric_gap(u: f64, scale: f64) -> u64 {
+    1 + ((1.0 - u).ln() * scale) as u64
+}
+
+/// Reserved epoch coordinate for setup-time phase draws; run epochs are
+/// array indices and can never reach it.
+const PHASE_SETUP_EPOCH: u64 = u64::MAX;
+
+/// The struct-of-arrays per-agent scratch, allocated once per run. The
+/// epoch loop reads and writes these flat lanes and allocates nothing.
+struct Lanes {
+    /// Current phase value per agent — the utility each epoch emits.
+    phase: Vec<f64>,
+    /// Epoch at which each agent's phase resamples next.
+    next_change: Vec<u64>,
+    states: Vec<AgentState>,
+    /// Epoch index before which a freshly woken agent may not sprint.
+    blocked_until: Vec<usize>,
+    /// First epoch at which a cooling agent may return to Active, drawn
+    /// once when the sprint begins (geometric inversion — same law as a
+    /// per-epoch exit draw, but parked agents cost one compare).
+    cool_until: Vec<u64>,
+    /// Fault overlay: agents currently down.
+    crashed: Vec<bool>,
+    /// Fault overlay: power gates stuck in the sprint position.
+    stuck: Vec<bool>,
+    /// Which agents sprinted this epoch.
+    sprinted: Vec<bool>,
+    /// Churn outcome this epoch: 0 none, 1 crash, 2 restart. Written by
+    /// the kernel, drained on the main thread for event emission.
+    churn_flag: Vec<u8>,
+    /// Gate stuck this epoch (speculative until the trip resolves).
+    stick_flag: Vec<bool>,
+}
+
+impl Lanes {
+    fn new(n: usize) -> Self {
+        Lanes {
+            phase: vec![0.0; n],
+            next_change: vec![0; n],
+            states: vec![AgentState::Active; n],
+            blocked_until: vec![0; n],
+            cool_until: vec![0; n],
+            crashed: vec![false; n],
+            stuck: vec![false; n],
+            sprinted: vec![false; n],
+            churn_flag: vec![0; n],
+            stick_flag: vec![false; n],
+        }
+    }
+
+    fn view(&mut self) -> LaneView<'_> {
+        LaneView {
+            phase: &mut self.phase,
+            next_change: &mut self.next_change,
+            states: &mut self.states,
+            blocked_until: &mut self.blocked_until,
+            cool_until: &mut self.cool_until,
+            crashed: &mut self.crashed,
+            stuck: &mut self.stuck,
+            sprinted: &mut self.sprinted,
+            churn_flag: &mut self.churn_flag,
+            stick_flag: &mut self.stick_flag,
+        }
+    }
+}
+
+/// A mutable window over every lane for one contiguous span of agents.
+/// Splitting a view splits every lane at the same agent index, which is
+/// how disjoint spans fan out to workers.
+struct LaneView<'a> {
+    phase: &'a mut [f64],
+    next_change: &'a mut [u64],
+    states: &'a mut [AgentState],
+    blocked_until: &'a mut [usize],
+    cool_until: &'a mut [u64],
+    crashed: &'a mut [bool],
+    stuck: &'a mut [bool],
+    sprinted: &'a mut [bool],
+    churn_flag: &'a mut [u8],
+    stick_flag: &'a mut [bool],
+}
+
+impl<'a> LaneView<'a> {
+    fn len(&self) -> usize {
+        self.phase.len()
+    }
+
+    fn split_at_mut(self, mid: usize) -> (LaneView<'a>, LaneView<'a>) {
+        let (phase_a, phase_b) = self.phase.split_at_mut(mid);
+        let (next_a, next_b) = self.next_change.split_at_mut(mid);
+        let (states_a, states_b) = self.states.split_at_mut(mid);
+        let (blocked_a, blocked_b) = self.blocked_until.split_at_mut(mid);
+        let (cool_a, cool_b) = self.cool_until.split_at_mut(mid);
+        let (crashed_a, crashed_b) = self.crashed.split_at_mut(mid);
+        let (stuck_a, stuck_b) = self.stuck.split_at_mut(mid);
+        let (sprinted_a, sprinted_b) = self.sprinted.split_at_mut(mid);
+        let (churn_a, churn_b) = self.churn_flag.split_at_mut(mid);
+        let (stick_a, stick_b) = self.stick_flag.split_at_mut(mid);
+        (
+            LaneView {
+                phase: phase_a,
+                next_change: next_a,
+                states: states_a,
+                blocked_until: blocked_a,
+                cool_until: cool_a,
+                crashed: crashed_a,
+                stuck: stuck_a,
+                sprinted: sprinted_a,
+                churn_flag: churn_a,
+                stick_flag: stick_a,
+            },
+            LaneView {
+                phase: phase_b,
+                next_change: next_b,
+                states: states_b,
+                blocked_until: blocked_b,
+                cool_until: cool_b,
+                crashed: crashed_b,
+                stuck: stuck_b,
+                sprinted: sprinted_b,
+                churn_flag: churn_b,
+                stick_flag: stick_b,
+            },
+        )
+    }
+}
+
+/// Per-chunk partial sums, reduced on the main thread in chunk order so
+/// the totals — including the float task sum — are independent of which
+/// worker ran which chunk.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChunkStats {
+    crashes: u32,
+    restarts: u32,
+    n_crashed: u32,
+    n_sprinters: u32,
+    n_stuck: u32,
+    decisions: u32,
+    sticks: u32,
+    occ_sprinting: u32,
+    occ_cooling: u32,
+    occ_idle: u32,
+    /// Unscaled epoch tasks (sprint utility for sprinters, 1.0 for other
+    /// powered agents); the trip scale is applied during reduction.
+    tasks: f64,
+}
+
+/// What a kernel pass does per agent.
+#[derive(Clone, Copy, PartialEq)]
+enum KernelMode {
+    /// Advance utility streams and run crash churn only (recovery
+    /// epochs, and the pre-pass for stateful policies).
+    Advance,
+    /// The full fused pass: advance, churn, decide through the
+    /// [`StaticDecider`], accumulate throughput/occupancy, and apply
+    /// speculative as-if-untripped state transitions.
+    Fused,
+}
+
+/// Everything a kernel pass reads, shared immutably across workers.
+struct EpochCtx<'a> {
+    epoch: usize,
+    plan: &'a FaultPlan,
+    draws: &'a Draws,
+    /// Phase-process constants, indexed by *global* agent id.
+    phases: &'a PhaseKernel,
+    estimation: UtilityEstimation,
+    rack_recovering: bool,
+    /// Precomputed `1 / ln(p_cooling)` for [`geometric_gap`] cooling
+    /// durations.
+    cool_scale: f64,
+    decider: Option<&'a StaticDecider>,
+    mode: KernelMode,
+}
+
+/// Advance one agent's wall-clock processes: utility stream and crash
+/// churn. Returns (is down this epoch, churn flag).
+#[inline]
+fn advance_agent(ctx: &EpochCtx<'_>, agent: u64, i: usize, v: &mut LaneView<'_>) -> (bool, u8) {
+    // Phase process, geometric-jump form: each resample schedules the
+    // *next* resample epoch, so the common path is one load and compare.
+    // At a change epoch, one counter word (keyed by the stream's own
+    // seed) splits into the alias-table bin and in-bin position draws,
+    // and a second turns into the next geometric gap. Phases advance in
+    // wall-clock time regardless of power state, exactly like the
+    // sequential streams.
+    let a = agent as usize;
+    let epoch = ctx.epoch as u64;
+    if epoch == v.next_change[i] {
+        let key = ctx.phases.keys[a];
+        let w = key.word(epoch, 0);
+        let sampler = &ctx.phases.samplers[ctx.phases.sampler_of[a] as usize];
+        let scale = 1.0 / 4_294_967_296.0;
+        let u_bin = (w >> 32) as f64 * scale;
+        let u_pos = f64::from(w as u32) * scale;
+        v.phase[i] = sampler.sample(u_bin, u_pos);
+        v.next_change[i] = epoch + ctx.phases.gap(a, key.uniform(epoch, 1));
+    }
+    let mut flag = 0u8;
+    // Crash churn progresses in wall-clock time too: agents go down and
+    // come back regardless of the rack's power state. A restart is a cold
+    // start — the agent re-acquires its threshold from the coordinator
+    // before it may sprint again.
+    if let Some(c) = ctx.plan.crash {
+        let epoch = ctx.epoch as u64;
+        if v.crashed[i] {
+            if ctx.draws.crash.uniform(agent, epoch, 0) >= c.p_restart_stay {
+                v.crashed[i] = false;
+                flag = 2;
+                v.blocked_until[i] =
+                    (ctx.epoch + c.reacquire_epochs as usize).max(v.blocked_until[i]);
+                v.states[i] = if ctx.rack_recovering {
+                    AgentState::Recovery
+                } else {
+                    AgentState::Active
+                };
+            }
+        } else if ctx.draws.crash.uniform(agent, epoch, 0) < c.crash_probability {
+            v.crashed[i] = true;
+            flag = 1;
+            // Power drops with the machine: a stuck gate releases.
+            v.stuck[i] = false;
+        }
+        v.churn_flag[i] = flag;
+    }
+    (v.crashed[i], flag)
+}
+
+/// Run one chunk of agents; lane index `i` is agent `base + i`.
+fn run_chunk(
+    ctx: &EpochCtx<'_>,
+    base: usize,
+    v: &mut LaneView<'_>,
+    lo: usize,
+    hi: usize,
+) -> ChunkStats {
+    let mut st = ChunkStats::default();
+    let epoch = ctx.epoch as u64;
+    let track_stuck = ctx.plan.stuck.is_some();
+    for i in lo..hi {
+        let agent = (base + i) as u64;
+        let (down, flag) = advance_agent(ctx, agent, i, v);
+        match flag {
+            1 => st.crashes += 1,
+            2 => st.restarts += 1,
+            _ => {}
+        }
+        if track_stuck {
+            v.stick_flag[i] = false;
+        }
+        if down {
+            st.n_crashed += 1;
+            v.sprinted[i] = false;
+            continue;
+        }
+        if ctx.mode == KernelMode::Advance || ctx.rack_recovering {
+            continue;
+        }
+        // Fused decide + throughput + speculative transition. Transitions
+        // assume the breaker does not trip; a trip overwrites every state
+        // with `Recovery` afterwards, and the counter draws made here
+        // cost nothing because nothing is consumed.
+        match v.states[i] {
+            AgentState::Active => {
+                let u = v.phase[i];
+                let estimate = match ctx.estimation {
+                    UtilityEstimation::Oracle => u,
+                    UtilityEstimation::Noisy { relative_sd } => {
+                        let z = ctx.draws.estimate.normal(agent, epoch, 0);
+                        (u * (1.0 + relative_sd * z)).max(0.0)
+                    }
+                };
+                let may_sprint = ctx.epoch >= v.blocked_until[i];
+                let sprint = may_sprint && {
+                    st.decisions += 1;
+                    ctx.decider
+                        .expect("fused kernel requires a static decider")
+                        .wants_sprint(base + i, estimate)
+                };
+                v.sprinted[i] = sprint;
+                if sprint {
+                    st.n_sprinters += 1;
+                    st.occ_sprinting += 1;
+                    st.tasks += u;
+                    if let Some(s) = ctx.plan.stuck {
+                        if ctx.draws.stick.uniform(agent, epoch, 0) < s.stick_probability {
+                            v.stuck[i] = true;
+                            v.stick_flag[i] = true;
+                            st.sticks += 1;
+                        }
+                    }
+                    v.states[i] = AgentState::Cooling;
+                    // Cooling duration, drawn once at sprint time: the
+                    // same geometric law as a per-epoch exit draw, so
+                    // parked agents below cost one load and compare.
+                    let u = ctx.draws.cooling.uniform(agent, epoch, 0);
+                    v.cool_until[i] = epoch + geometric_gap(u, ctx.cool_scale);
+                } else {
+                    st.occ_idle += 1;
+                    st.tasks += 1.0;
+                }
+            }
+            AgentState::Cooling => {
+                v.sprinted[i] = false;
+                st.occ_cooling += 1;
+                st.tasks += 1.0;
+                if v.stuck[i] {
+                    // The power gate failed to release: the chip draws
+                    // sprint current without doing sprint work, and the
+                    // gate releases geometrically on the fault stream.
+                    st.n_stuck += 1;
+                    if let Some(s) = ctx.plan.stuck {
+                        if ctx.draws.stick.uniform(agent, epoch, 0) >= s.p_stuck_stay {
+                            v.stuck[i] = false;
+                            // Cooling restarts from the release epoch;
+                            // geometric memorylessness makes this the
+                            // same law as resuming per-epoch exit draws.
+                            let u = ctx.draws.cooling.uniform(agent, epoch, 0);
+                            v.cool_until[i] = epoch + geometric_gap(u, ctx.cool_scale);
+                        }
+                    }
+                } else if epoch >= v.cool_until[i] {
+                    v.states[i] = AgentState::Active;
+                }
+            }
+            AgentState::Recovery => {
+                // A stale recovery tag (e.g. an agent that restarted
+                // mid-recovery and outlived it) degrades to normal
+                // computing instead of panicking; it may not sprint this
+                // epoch.
+                v.sprinted[i] = false;
+                v.states[i] = AgentState::Active;
+                st.occ_idle += 1;
+                st.tasks += 1.0;
+            }
+        }
+    }
+    st
+}
+
+/// Run every chunk of one span in order, writing one [`ChunkStats`] per
+/// chunk.
+fn run_span(ctx: &EpochCtx<'_>, base: usize, v: &mut LaneView<'_>, stats: &mut [ChunkStats]) {
+    let mut lo = 0;
+    for cs in stats.iter_mut() {
+        let hi = (lo + CHUNK).min(v.len());
+        *cs = run_chunk(ctx, base, v, lo, hi);
+        lo = hi;
+    }
+}
+
+/// One kernel pass over all agents: serial when one worker suffices,
+/// otherwise fanned out over scoped threads in contiguous whole-chunk
+/// spans. Chunk results land in `stats` by chunk index either way, so the
+/// reduction downstream never sees the difference.
+fn run_epoch_region(ctx: &EpochCtx<'_>, jobs: usize, view: LaneView<'_>, stats: &mut [ChunkStats]) {
+    let n_chunks = stats.len();
+    let workers = jobs.clamp(1, n_chunks.max(1));
+    if workers <= 1 {
+        let mut v = view;
+        run_span(ctx, 0, &mut v, stats);
+        return;
+    }
+    let q = n_chunks / workers;
+    let r = n_chunks % workers;
+    std::thread::scope(|scope| {
+        let mut rest = view;
+        let mut rest_stats = stats;
+        let mut base = 0usize;
+        let mut own: Option<(usize, LaneView<'_>, &mut [ChunkStats])> = None;
+        for w in 0..workers {
+            let span_chunks = q + usize::from(w < r);
+            let span_agents = (span_chunks * CHUNK).min(rest.len());
+            let (head, tail) = rest.split_at_mut(span_agents);
+            rest = tail;
+            let (head_stats, tail_stats) = rest_stats.split_at_mut(span_chunks);
+            rest_stats = tail_stats;
+            if w == 0 {
+                own = Some((base, head, head_stats));
+            } else {
+                scope.spawn(move || {
+                    let mut v = head;
+                    run_span(ctx, base, &mut v, head_stats);
+                });
+            }
+            base += span_agents;
+        }
+        // The caller's thread processes the first span while the spawned
+        // workers handle the rest.
+        if let Some((b, mut v, s)) = own {
+            run_span(ctx, b, &mut v, s);
+        }
+    });
+}
+
+/// The serial path's second pass: occupancy and unscaled task sums in the
+/// exact chunk grouping the fused kernel uses (so both paths accumulate
+/// floats identically), plus state transitions when the breaker did not
+/// trip. Transition draws use the same counter coordinates the fused
+/// kernel would, so the two paths stay bit-identical.
+fn post_decide_pass(
+    ctx: &EpochCtx<'_>,
+    v: &mut LaneView<'_>,
+    stats: &mut [ChunkStats],
+    do_transitions: bool,
+) {
+    let epoch = ctx.epoch as u64;
+    let track_stuck = ctx.plan.stuck.is_some();
+    let mut lo = 0;
+    for cs in stats.iter_mut() {
+        let hi = (lo + CHUNK).min(v.len());
+        // Preserve the churn partials this epoch already produced;
+        // rebuild the decision-dependent ones.
+        let mut st = *cs;
+        st.n_sprinters = 0;
+        st.occ_sprinting = 0;
+        st.occ_cooling = 0;
+        st.occ_idle = 0;
+        st.sticks = 0;
+        st.tasks = 0.0;
+        for i in lo..hi {
+            let agent = i as u64;
+            if track_stuck {
+                v.stick_flag[i] = false;
+            }
+            if v.crashed[i] {
+                continue;
+            }
+            match v.states[i] {
+                AgentState::Active => {
+                    if v.sprinted[i] {
+                        st.n_sprinters += 1;
+                        st.occ_sprinting += 1;
+                        st.tasks += v.phase[i];
+                        if do_transitions {
+                            if let Some(s) = ctx.plan.stuck {
+                                if ctx.draws.stick.uniform(agent, epoch, 0) < s.stick_probability {
+                                    v.stuck[i] = true;
+                                    v.stick_flag[i] = true;
+                                    st.sticks += 1;
+                                }
+                            }
+                            v.states[i] = AgentState::Cooling;
+                            let u = ctx.draws.cooling.uniform(agent, epoch, 0);
+                            v.cool_until[i] = epoch + geometric_gap(u, ctx.cool_scale);
+                        }
+                    } else {
+                        st.occ_idle += 1;
+                        st.tasks += 1.0;
+                    }
+                }
+                AgentState::Cooling => {
+                    st.occ_cooling += 1;
+                    st.tasks += 1.0;
+                    if do_transitions {
+                        if v.stuck[i] {
+                            if let Some(s) = ctx.plan.stuck {
+                                if ctx.draws.stick.uniform(agent, epoch, 0) >= s.p_stuck_stay {
+                                    v.stuck[i] = false;
+                                    let u = ctx.draws.cooling.uniform(agent, epoch, 0);
+                                    v.cool_until[i] = epoch + geometric_gap(u, ctx.cool_scale);
+                                }
+                            }
+                        } else if epoch >= v.cool_until[i] {
+                            v.states[i] = AgentState::Active;
+                        }
+                    }
+                }
+                AgentState::Recovery => {
+                    st.occ_idle += 1;
+                    st.tasks += 1.0;
+                }
+            }
+        }
+        *cs = st;
+        lo = hi;
+    }
+}
+
 /// Run one simulation — the unified entry point.
 ///
 /// `streams` supplies each agent's per-epoch sprint utility; `policy`
@@ -280,9 +941,9 @@ impl EngineIds {
 /// per-fault-kind counters in the kit's registry; and times each epoch
 /// and decision sweep in the kit's span profile.
 ///
-/// With a disabled kit emission is gated on [`Telemetry::enabled`], the
-/// RNG streams are untouched, and the float accumulation order is
-/// identical, so results stay bit-identical with telemetry on or off.
+/// With a disabled kit emission is gated on [`Telemetry::enabled`] and
+/// the float accumulation order is identical, so results stay
+/// bit-identical with telemetry on or off.
 ///
 /// # Errors
 ///
@@ -294,19 +955,38 @@ pub fn run(
     policy: &mut dyn SprintPolicy,
     telemetry: &mut Telemetry,
 ) -> crate::Result<SimResult> {
-    run_with_deadline(config, streams, policy, None, telemetry)
+    run_supervised(config, streams, policy, None, 1, telemetry)
 }
 
-/// [`run`], abandoned cooperatively if `deadline` passes.
+/// [`run`] with the agent kernel fanned out over `jobs` scoped threads.
+///
+/// Randomness is counter-based and partial sums reduce in chunk order, so
+/// the result — and any trace or report derived from it — is
+/// byte-identical at every job count, including `jobs = 1`.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_jobs(
+    config: &SimConfig,
+    streams: &mut [PhasedUtility],
+    policy: &mut dyn SprintPolicy,
+    jobs: usize,
+    telemetry: &mut Telemetry,
+) -> crate::Result<SimResult> {
+    run_supervised(config, streams, policy, None, jobs, telemetry)
+}
+
+/// [`run`], abandoned cooperatively if the deadline passes.
 ///
 /// The deadline is checked at epoch boundaries (every 64 epochs, so the
 /// hot loop pays nothing measurable); a run that blows past it returns
-/// [`SimError::DeadlineExceeded`] instead of its result. The check reads
-/// the wall clock but never feeds it into the dynamics, so a run that
-/// *completes* is bit-identical to an undeadlined run — the deadline
-/// decides only whether a result exists, which is exactly the property
-/// sweep supervision needs to quarantine hung trials without breaking
-/// byte-reproducibility of surviving ones.
+/// [`SimError::DeadlineExceeded`] carrying the deadline's configured
+/// limit. The check reads the wall clock but never feeds it into the
+/// dynamics, so a run that *completes* is bit-identical to an undeadlined
+/// run — the deadline decides only whether a result exists, which is
+/// exactly the property sweep supervision needs to quarantine hung trials
+/// without breaking byte-reproducibility of surviving ones.
 ///
 /// # Errors
 ///
@@ -315,7 +995,27 @@ pub fn run_with_deadline(
     config: &SimConfig,
     streams: &mut [PhasedUtility],
     policy: &mut dyn SprintPolicy,
-    deadline: Option<std::time::Instant>,
+    deadline: Option<Deadline>,
+    telemetry: &mut Telemetry,
+) -> crate::Result<SimResult> {
+    run_supervised(config, streams, policy, deadline, 1, telemetry)
+}
+
+/// The full-control entry point: optional deadline plus intra-run
+/// parallelism. [`run`], [`run_jobs`], and [`run_with_deadline`] are
+/// thin wrappers over this.
+///
+/// # Errors
+///
+/// As [`run`], plus [`SimError::DeadlineExceeded`] when the deadline
+/// passes.
+#[allow(clippy::too_many_lines)]
+pub fn run_supervised(
+    config: &SimConfig,
+    streams: &mut [PhasedUtility],
+    policy: &mut dyn SprintPolicy,
+    deadline: Option<Deadline>,
+    jobs: usize,
     telemetry: &mut Telemetry,
 ) -> crate::Result<SimResult> {
     let n = config.game.n_agents() as usize;
@@ -337,10 +1037,7 @@ pub fn run_with_deadline(
     }
     let plan = config.options.faults;
     plan.validate()?;
-    let mut rng: StdRng = seeded_rng(config.seed ^ 0x51B_EAC0);
-    // Fault randomness lives on its own stream: an empty plan draws
-    // nothing here and leaves the main stream untouched.
-    let mut fault_rng: StdRng = seeded_rng(config.seed ^ plan.seed.rotate_left(17) ^ 0xFA_17);
+    let draws = Draws::new(config);
     let trip_curve = TripCurve::from_config(&config.game);
     // What the breaker actually does, vs. the nominal curve every solver
     // assumes.
@@ -358,7 +1055,9 @@ pub fn run_with_deadline(
         })?,
         None => CurrentSensor::ideal(),
     };
-    let p_cool_exit = 1.0 - config.game.p_cooling();
+    // Exit prob is 1 - p_cooling, so ln(1 - p_exit) = ln(p_cooling);
+    // p_cooling = 0 gives scale -0.0 and one-epoch cooldowns, correctly.
+    let cool_scale = config.game.p_cooling().ln().recip();
     let p_recover_exit = 1.0 - config.game.p_recovery();
 
     // Telemetry gates, hoisted out of the hot loop: with a disabled kit
@@ -378,30 +1077,39 @@ pub fn run_with_deadline(
         });
     }
 
-    let mut states = vec![AgentState::Active; n];
-    // Epoch index before which a freshly woken agent may not sprint.
-    let mut sprint_blocked_until = vec![0usize; n];
-    let mut rack_recovering = false;
-    // Fault overlays: agents currently down, and power gates stuck in the
-    // sprint position.
-    let mut crashed = vec![false; n];
-    let mut stuck = vec![false; n];
-    let mut faults = FaultMetrics::default();
+    // Per-agent decision events need the serial loop; otherwise a policy
+    // with a static snapshot decides inside the parallel kernel.
+    let decider = if want_decisions {
+        None
+    } else {
+        policy.static_decider()
+    };
 
+    // All per-run heap allocation happens here; the epoch loop below is
+    // allocation-free.
+    let phases = PhaseKernel::new(streams);
+    let mut lanes = Lanes::new(n);
+    for (i, s) in streams.iter().enumerate() {
+        lanes.phase[i] = s.phase_value();
+        // First phase length, from the reserved setup coordinate.
+        lanes.next_change[i] = phases.gap(i, phases.keys[i].uniform(PHASE_SETUP_EPOCH, 0));
+    }
+    let n_chunks = n.div_ceil(CHUNK);
+    let mut chunk_stats = vec![ChunkStats::default(); n_chunks];
+    let mut rack_recovering = false;
+    let mut faults = FaultMetrics::default();
     let mut sprinters_per_epoch = Vec::with_capacity(config.epochs);
     let mut occupancy = StateOccupancy::default();
     let mut total_tasks = 0.0f64;
     let mut trips = 0u32;
-    // Reused per epoch: which agents sprinted.
-    let mut sprinted = vec![false; n];
 
     for epoch in 0..config.epochs {
         if epoch & 63 == 0 {
             if let Some(d) = deadline {
-                if std::time::Instant::now() >= d {
+                if d.expired() {
                     return Err(SimError::DeadlineExceeded {
                         what: "simulation run",
-                        limit_ms: 0,
+                        limit_ms: d.limit_ms(),
                     });
                 }
             }
@@ -410,60 +1118,72 @@ pub fn run_with_deadline(
         // Epoch throughput is reported as a delta so instrumentation never
         // reorders the float accumulation below.
         let tasks_before = total_tasks;
-        // Phases advance in wall-clock time regardless of power state.
-        let utilities: Vec<f64> = streams
-            .iter_mut()
-            .map(PhasedUtility::next_utility)
-            .collect();
 
-        // Crash churn progresses in wall-clock time too: agents go down
-        // and come back regardless of the rack's power state. A restart
-        // is a cold start — the agent re-acquires its threshold from the
-        // coordinator before it may sprint again.
-        if let Some(c) = plan.crash {
-            for i in 0..n {
-                if crashed[i] {
-                    if fault_rng.gen::<f64>() >= c.p_restart_stay {
-                        crashed[i] = false;
-                        faults.restarts += 1;
-                        if want_fault_events {
-                            telemetry.emit(&Event::FaultInjected {
-                                epoch,
-                                kind: FaultKind::Restart,
-                                agent: Some(i as u32),
-                            });
-                        }
-                        if let Some(ids) = &ids {
-                            telemetry.registry.inc(ids.fault(FaultKind::Restart), 1);
-                        }
-                        sprint_blocked_until[i] =
-                            (epoch + c.reacquire_epochs as usize).max(sprint_blocked_until[i]);
-                        states[i] = if rack_recovering {
-                            AgentState::Recovery
-                        } else {
-                            AgentState::Active
-                        };
-                    }
-                } else if fault_rng.gen::<f64>() < c.crash_probability {
-                    crashed[i] = true;
-                    faults.crashes += 1;
-                    if want_fault_events {
-                        telemetry.emit(&Event::FaultInjected {
-                            epoch,
-                            kind: FaultKind::Crash,
-                            agent: Some(i as u32),
-                        });
-                    }
-                    if let Some(ids) = &ids {
-                        telemetry.registry.inc(ids.fault(FaultKind::Crash), 1);
-                    }
-                    // Power drops with the machine: a stuck gate releases.
-                    stuck[i] = false;
+        let fused = decider.is_some() && !rack_recovering;
+        let ctx = EpochCtx {
+            epoch,
+            plan: &plan,
+            draws: &draws,
+            phases: &phases,
+            estimation: config.options.estimation,
+            rack_recovering,
+            cool_scale,
+            decider: decider.as_ref(),
+            mode: if fused {
+                KernelMode::Fused
+            } else {
+                KernelMode::Advance
+            },
+        };
+        let fused_decide_span = (on && fused).then(|| telemetry.spans.start());
+        run_epoch_region(&ctx, jobs, lanes.view(), &mut chunk_stats);
+        if let Some(s) = fused_decide_span {
+            telemetry.spans.end("engine.decide", s);
+        }
+
+        // Reduce the churn partials (every mode produces them) and drain
+        // the per-agent event flags on this thread, in agent order.
+        let mut epoch_crashes = 0u32;
+        let mut epoch_restarts = 0u32;
+        let mut n_crashed = 0u64;
+        for cs in &chunk_stats {
+            epoch_crashes += cs.crashes;
+            epoch_restarts += cs.restarts;
+            n_crashed += u64::from(cs.n_crashed);
+        }
+        faults.crashes += u64::from(epoch_crashes);
+        faults.restarts += u64::from(epoch_restarts);
+        faults.crashed_agent_epochs += n_crashed;
+        if plan.crash.is_some() {
+            if want_fault_events {
+                for (i, flag) in lanes.churn_flag.iter().enumerate() {
+                    let kind = match flag {
+                        1 => FaultKind::Crash,
+                        2 => FaultKind::Restart,
+                        _ => continue,
+                    };
+                    telemetry.emit(&Event::FaultInjected {
+                        epoch,
+                        kind,
+                        agent: Some(i as u32),
+                    });
+                }
+            }
+            // Registry increments are batched per epoch: one add per
+            // fault kind instead of one per affected agent.
+            if let Some(ids) = &ids {
+                if epoch_crashes > 0 {
+                    telemetry
+                        .registry
+                        .inc(ids.fault(FaultKind::Crash), u64::from(epoch_crashes));
+                }
+                if epoch_restarts > 0 {
+                    telemetry
+                        .registry
+                        .inc(ids.fault(FaultKind::Restart), u64::from(epoch_restarts));
                 }
             }
         }
-        let n_crashed = crashed.iter().filter(|&&down| down).count() as u64;
-        faults.crashed_agent_epochs += n_crashed;
 
         if rack_recovering {
             occupancy.recovery += n as u64 - n_crashed;
@@ -472,16 +1192,20 @@ pub fn run_with_deadline(
             }
             sprinters_per_epoch.push(0);
             // Batteries recharge: geometric exit, then staggered wake-up.
-            if rng.gen::<f64>() < p_recover_exit {
+            if draws.recovery.uniform(RACK, epoch as u64, 0) < p_recover_exit {
                 rack_recovering = false;
-                for (i, state) in states.iter_mut().enumerate() {
+                let stagger = config.options.stagger_epochs;
+                for (i, state) in lanes.states.iter_mut().enumerate() {
                     *state = AgentState::Active;
-                    let slot = if config.options.stagger_epochs == 0 {
+                    let slot = if stagger == 0 {
                         0
                     } else {
-                        rng.gen_range(0..config.options.stagger_epochs) as usize
+                        draws
+                            .recovery
+                            .index(i as u64, epoch as u64, 1, u64::from(stagger))
+                            as usize
                     };
-                    sprint_blocked_until[i] = epoch + 1 + slot;
+                    lanes.blocked_until[i] = epoch + 1 + slot;
                 }
             }
             if on {
@@ -508,62 +1232,65 @@ pub fn run_with_deadline(
             continue;
         }
 
-        // Decisions, on (possibly noisy) utility estimates.
-        let decide_span = on.then(|| telemetry.spans.start());
+        // Decisions. The fused kernel already made them; stateful
+        // policies (and decision-traced runs) decide serially here on the
+        // same counter draws.
         let mut n_sprinters = 0u32;
         let mut n_stuck = 0u32;
-        for i in 0..n {
-            sprinted[i] = false;
-            if crashed[i] {
-                continue;
+        if fused {
+            let mut decisions = 0u64;
+            for cs in &chunk_stats {
+                n_sprinters += cs.n_sprinters;
+                n_stuck += cs.n_stuck;
+                decisions += u64::from(cs.decisions);
             }
-            match states[i] {
-                AgentState::Active => {
-                    let estimate = match config.options.estimation {
-                        UtilityEstimation::Oracle => utilities[i],
-                        UtilityEstimation::Noisy { relative_sd } => {
-                            // Box-Muller standard normal.
-                            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                            let u2: f64 = rng.gen();
-                            let z =
-                                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-                            (utilities[i] * (1.0 + relative_sd * z)).max(0.0)
+            faults.stuck_epochs += u64::from(n_stuck);
+            policy.note_decisions(decisions);
+        } else {
+            let decide_span = on.then(|| telemetry.spans.start());
+            for i in 0..n {
+                lanes.sprinted[i] = false;
+                if lanes.crashed[i] {
+                    continue;
+                }
+                match lanes.states[i] {
+                    AgentState::Active => {
+                        let estimate = match config.options.estimation {
+                            UtilityEstimation::Oracle => lanes.phase[i],
+                            UtilityEstimation::Noisy { relative_sd } => {
+                                let z = draws.estimate.normal(i as u64, epoch as u64, 0);
+                                (lanes.phase[i] * (1.0 + relative_sd * z)).max(0.0)
+                            }
+                        };
+                        let may_sprint = epoch >= lanes.blocked_until[i];
+                        let sprint = may_sprint && policy.wants_sprint(i, estimate);
+                        if sprint {
+                            lanes.sprinted[i] = true;
+                            n_sprinters += 1;
                         }
-                    };
-                    let may_sprint = epoch >= sprint_blocked_until[i];
-                    let sprint = may_sprint && policy.wants_sprint(i, estimate);
-                    if sprint {
-                        sprinted[i] = true;
-                        n_sprinters += 1;
+                        if want_decisions {
+                            telemetry.emit(&Event::SprintDecision {
+                                epoch,
+                                agent: i as u32,
+                                estimate,
+                                sprint,
+                            });
+                        }
                     }
-                    if want_decisions {
-                        telemetry.emit(&Event::SprintDecision {
-                            epoch,
-                            agent: i as u32,
-                            estimate,
-                            sprint,
-                        });
+                    AgentState::Cooling => {
+                        if lanes.stuck[i] {
+                            n_stuck += 1;
+                            faults.stuck_epochs += 1;
+                        }
                     }
-                }
-                AgentState::Cooling => {
-                    if stuck[i] {
-                        // The power gate failed to release: the chip draws
-                        // sprint current without doing sprint work.
-                        n_stuck += 1;
-                        faults.stuck_epochs += 1;
+                    AgentState::Recovery => {
+                        lanes.states[i] = AgentState::Active;
                     }
-                }
-                AgentState::Recovery => {
-                    // A stale recovery tag (e.g. an agent that restarted
-                    // mid-recovery and outlived it) degrades to normal
-                    // computing instead of panicking; it may not sprint
-                    // this epoch.
-                    states[i] = AgentState::Active;
                 }
             }
-        }
-        if let Some(s) = decide_span {
-            telemetry.spans.end("engine.decide", s);
+            if let Some(s) = decide_span {
+                telemetry.spans.end("engine.decide", s);
+            }
         }
         sprinters_per_epoch.push(n_sprinters);
 
@@ -575,11 +1302,9 @@ pub fn run_with_deadline(
         let measured = match plan.sensor {
             None => realized,
             Some(_) => {
-                // Box-Muller standard normal on the fault stream.
-                let u1: f64 = fault_rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                let u2: f64 = fault_rng.gen();
-                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-                let reading = sensor.measure(realized, z, fault_rng.gen());
+                let z = draws.sensor.normal(RACK, epoch as u64, 0);
+                let reading =
+                    sensor.measure(realized, z, draws.sensor.uniform(RACK, epoch as u64, 2));
                 if reading.dropped {
                     faults.sensor_dropouts += 1;
                     if want_fault_events {
@@ -599,7 +1324,7 @@ pub fn run_with_deadline(
             }
         };
         let p_trip = actual_curve.p_trip(measured);
-        let tripped = p_trip > 0.0 && rng.gen::<f64>() < p_trip;
+        let tripped = p_trip > 0.0 && draws.trip.uniform(RACK, epoch as u64, 0) < p_trip;
         if tripped && want_trip_events {
             telemetry.emit(&Event::BreakerTrip {
                 epoch,
@@ -643,77 +1368,51 @@ pub fn run_with_deadline(
 
         // Throughput. Under the paper's UPS semantics sprints complete
         // even on a trip; the Truncated ablation scales the tripped
-        // epoch's work by the pre-trip fraction.
+        // epoch's work by the pre-trip fraction. The fused kernel already
+        // produced per-chunk unscaled sums; the serial path replays the
+        // identical pass (transitions included) now that the trip is
+        // known.
+        if !fused {
+            post_decide_pass(&ctx, &mut lanes.view(), &mut chunk_stats, !tripped);
+        }
         let epoch_scale = match (tripped, config.options.interruption) {
             (true, TripInterruption::Truncated) => pre_trip_fraction(&config.game, realized),
             _ => 1.0,
         };
-        for i in 0..n {
-            if crashed[i] {
-                continue;
-            }
-            if sprinted[i] {
-                total_tasks += utilities[i] * epoch_scale;
-                occupancy.sprinting += 1;
-            } else {
-                total_tasks += epoch_scale;
-                match states[i] {
-                    AgentState::Cooling => occupancy.cooling += 1,
-                    _ => occupancy.active_idle += 1,
-                }
-            }
+        let mut epoch_sticks = 0u32;
+        for cs in &chunk_stats {
+            total_tasks += cs.tasks * epoch_scale;
+            occupancy.sprinting += u64::from(cs.occ_sprinting);
+            occupancy.cooling += u64::from(cs.occ_cooling);
+            occupancy.active_idle += u64::from(cs.occ_idle);
+            epoch_sticks += cs.sticks;
         }
 
         if tripped {
             trips += 1;
             rack_recovering = true;
-            states.fill(AgentState::Recovery);
-            // The emergency cuts rack power: every stuck gate releases.
+            lanes.states.fill(AgentState::Recovery);
+            // The emergency cuts rack power: every stuck gate releases,
+            // and the kernel's speculative stick outcomes are discarded.
             if plan.stuck.is_some() {
-                stuck.fill(false);
+                lanes.stuck.fill(false);
             }
-        } else {
-            for i in 0..n {
-                if crashed[i] {
-                    continue;
+        } else if plan.stuck.is_some() && epoch_sticks > 0 {
+            if want_fault_events {
+                for (i, &flag) in lanes.stick_flag.iter().enumerate() {
+                    if flag {
+                        telemetry.emit(&Event::FaultInjected {
+                            epoch,
+                            kind: FaultKind::StuckGate,
+                            agent: Some(i as u32),
+                        });
+                    }
                 }
-                states[i] = match states[i] {
-                    AgentState::Active if sprinted[i] => {
-                        if let Some(s) = plan.stuck {
-                            if fault_rng.gen::<f64>() < s.stick_probability {
-                                stuck[i] = true;
-                                if want_fault_events {
-                                    telemetry.emit(&Event::FaultInjected {
-                                        epoch,
-                                        kind: FaultKind::StuckGate,
-                                        agent: Some(i as u32),
-                                    });
-                                }
-                                if let Some(ids) = &ids {
-                                    telemetry.registry.inc(ids.fault(FaultKind::StuckGate), 1);
-                                }
-                            }
-                        }
-                        AgentState::Cooling
-                    }
-                    AgentState::Cooling => {
-                        if stuck[i] {
-                            // A stuck gate releases geometrically (fault
-                            // stream); cooling restarts once it does.
-                            if let Some(s) = plan.stuck {
-                                if fault_rng.gen::<f64>() >= s.p_stuck_stay {
-                                    stuck[i] = false;
-                                }
-                            }
-                            AgentState::Cooling
-                        } else if rng.gen::<f64>() < p_cool_exit {
-                            AgentState::Active
-                        } else {
-                            AgentState::Cooling
-                        }
-                    }
-                    s => s,
-                };
+            }
+            if let Some(ids) = &ids {
+                telemetry
+                    .registry
+                    .inc(ids.fault(FaultKind::StuckGate), u64::from(epoch_sticks));
             }
         }
         if on {
@@ -745,6 +1444,12 @@ pub fn run_with_deadline(
             }
         }
         policy.epoch_end(tripped);
+    }
+
+    // The streams observe their own evolution: write the final phase
+    // back so callers holding the streams see them advanced by the run.
+    for (s, &p) in streams.iter_mut().zip(lanes.phase.iter()) {
+        s.sync_phase(p);
     }
 
     let result = SimResult {
@@ -1005,5 +1710,111 @@ mod tests {
         let tpe = r.tasks_per_agent_epoch();
         assert!((2.2..=2.8).contains(&tpe), "tasks/epoch = {tpe}");
         assert_eq!(r.trips(), 0);
+    }
+
+    #[test]
+    fn deadline_error_reports_the_configured_limit() {
+        let cfg = SimConfig::new(small_game(50), 100_000, 1).unwrap();
+        let mut s = streams(Benchmark::PageRank, 50, 1);
+        let mut policy = Greedy::new();
+        // Already-expired deadline with a nonzero configured limit: the
+        // error must echo the limit, not 0.
+        let d = Deadline::new(std::time::Instant::now(), 40);
+        let err = run_with_deadline(&cfg, &mut s, &mut policy, Some(d), &mut Telemetry::noop())
+            .unwrap_err();
+        match err {
+            SimError::DeadlineExceeded { limit_ms, .. } => assert_eq!(limit_ms, 40),
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+        assert!(err.to_string().contains("40 ms"), "display: {err}");
+    }
+
+    /// A threshold rule that hides its static snapshot, forcing the
+    /// serial decide + post-pass path the stateful policies use.
+    struct DynamicThreshold(Vec<f64>);
+
+    impl SprintPolicy for DynamicThreshold {
+        fn name(&self) -> &'static str {
+            "dynamic-threshold"
+        }
+        fn wants_sprint(&mut self, agent: usize, utility: f64) -> bool {
+            utility > self.0[agent]
+        }
+    }
+
+    #[test]
+    fn fused_kernel_matches_the_serial_decide_path_bitwise() {
+        // Same rule, two execution paths: the fused kernel (static
+        // decider) and the serial decide + post pass must agree bit for
+        // bit, including under faults and noisy estimation.
+        let game = small_game(300);
+        let cfg = SimConfig::new(game, 400, 21)
+            .unwrap()
+            .with_estimation(UtilityEstimation::Noisy { relative_sd: 0.3 })
+            .with_faults(FaultPlan::composite(99));
+        let thresholds = vec![5.0; 300];
+        let mut fused_policy = ThresholdPolicy::new("E-T", thresholds.clone()).unwrap();
+        let fused = run(
+            &cfg,
+            &mut streams(Benchmark::PageRank, 300, 21),
+            &mut fused_policy,
+            &mut Telemetry::noop(),
+        )
+        .unwrap();
+        let serial = run(
+            &cfg,
+            &mut streams(Benchmark::PageRank, 300, 21),
+            &mut DynamicThreshold(thresholds),
+            &mut Telemetry::noop(),
+        )
+        .unwrap();
+        assert_eq!(fused, serial);
+        assert_eq!(
+            fused.total_tasks().to_bits(),
+            serial.total_tasks().to_bits()
+        );
+    }
+
+    #[test]
+    fn results_are_byte_identical_at_any_job_count() {
+        // More agents than one chunk so multiple chunks actually move
+        // between workers; faults + noise exercise every draw site.
+        let game = small_game(2500);
+        let cfg = SimConfig::new(game, 120, 77)
+            .unwrap()
+            .with_estimation(UtilityEstimation::Noisy { relative_sd: 0.2 })
+            .with_faults(FaultPlan::composite(5));
+        let run_with = |jobs: usize| {
+            let mut s = streams(Benchmark::DecisionTree, 2500, 77);
+            let mut p = ThresholdPolicy::uniform("E-T", ThresholdStrategy::new(2.0).unwrap(), 2500)
+                .unwrap();
+            run_jobs(&cfg, &mut s, &mut p, jobs, &mut Telemetry::noop()).unwrap()
+        };
+        let serial = run_with(1);
+        for jobs in [2, 3, 4, 8] {
+            let parallel = run_with(jobs);
+            assert_eq!(serial, parallel, "jobs = {jobs}");
+            assert_eq!(
+                serial.total_tasks().to_bits(),
+                parallel.total_tasks().to_bits(),
+                "jobs = {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_decision_count_matches_across_paths_and_jobs() {
+        // The fused kernel reports decisions through `note_decisions`;
+        // the count must equal the serial path's `wants_sprint` calls.
+        let cfg = SimConfig::new(small_game(1500), 150, 13).unwrap();
+        let count_with = |jobs: usize| {
+            let mut s = streams(Benchmark::Kmeans, 1500, 13);
+            let mut g = Greedy::new();
+            run_jobs(&cfg, &mut s, &mut g, jobs, &mut Telemetry::noop()).unwrap();
+            g.decisions()
+        };
+        let serial = count_with(1);
+        assert!(serial > 0);
+        assert_eq!(serial, count_with(4));
     }
 }

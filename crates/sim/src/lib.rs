@@ -55,7 +55,7 @@ mod error;
 pub use sprint_telemetry as telemetry;
 
 pub use control::{ControlConfig, ControlReport, ControlSim, FaultyTransport, Transport};
-pub use engine::{RecoverySemantics, RunOptions, SimConfig};
+pub use engine::{Deadline, RecoverySemantics, RunOptions, SimConfig};
 pub use error::SimError;
 pub use faults::{FaultMetrics, FaultPlan, RackPartition, TransportFault};
 pub use metrics::SimResult;

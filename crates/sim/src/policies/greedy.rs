@@ -8,7 +8,7 @@
 
 use sprint_telemetry::Registry;
 
-use crate::policy::SprintPolicy;
+use crate::policy::{SprintPolicy, StaticDecider};
 
 /// Sprint at every opportunity, regardless of utility.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -38,6 +38,14 @@ impl SprintPolicy for Greedy {
     fn wants_sprint(&mut self, _agent: usize, _utility: f64) -> bool {
         self.decisions += 1;
         true
+    }
+
+    fn static_decider(&self) -> Option<StaticDecider> {
+        Some(StaticDecider::AlwaysSprint)
+    }
+
+    fn note_decisions(&mut self, n: u64) {
+        self.decisions += n;
     }
 
     fn export_metrics(&self, registry: &mut Registry) {

@@ -7,7 +7,7 @@
 
 use sprint_game::ThresholdStrategy;
 
-use crate::policy::SprintPolicy;
+use crate::policy::{SprintPolicy, StaticDecider};
 use crate::SimError;
 
 /// Per-agent threshold policy.
@@ -76,6 +76,10 @@ impl SprintPolicy for ThresholdPolicy {
 
     fn wants_sprint(&mut self, agent: usize, utility: f64) -> bool {
         utility > self.thresholds[agent]
+    }
+
+    fn static_decider(&self) -> Option<StaticDecider> {
+        Some(StaticDecider::PerAgent(self.thresholds.clone()))
     }
 
     fn export_metrics(&self, registry: &mut sprint_telemetry::Registry) {

@@ -51,6 +51,34 @@ impl std::fmt::Display for PolicyKind {
     }
 }
 
+/// A snapshot of a policy's decision rule that needs no mutable state.
+///
+/// Policies whose per-epoch decisions are a pure function of
+/// `(agent, utility)` — Greedy and the threshold policies — export one of
+/// these so the engine can evaluate decisions inside its parallel agent
+/// kernel without threading `&mut dyn SprintPolicy` across workers.
+/// Stateful policies (backoff, adaptive, …) return `None` from
+/// [`SprintPolicy::static_decider`] and keep the serial decision loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StaticDecider {
+    /// Sprint at every opportunity (Greedy).
+    AlwaysSprint,
+    /// Sprint iff `utility > thresholds[agent]` (E-T / C-T).
+    PerAgent(Vec<f64>),
+}
+
+impl StaticDecider {
+    /// The decision for `agent` at `utility`.
+    #[inline]
+    #[must_use]
+    pub fn wants_sprint(&self, agent: usize, utility: f64) -> bool {
+        match self {
+            StaticDecider::AlwaysSprint => true,
+            StaticDecider::PerAgent(thresholds) => utility > thresholds[agent],
+        }
+    }
+}
+
 /// A sprinting policy driving every agent in a simulated rack.
 pub trait SprintPolicy: Send {
     /// Short policy name for reports.
@@ -59,6 +87,24 @@ pub trait SprintPolicy: Send {
     /// Whether agent `agent` (currently active) wants to sprint this
     /// epoch, given its estimated utility.
     fn wants_sprint(&mut self, agent: usize, utility: f64) -> bool;
+
+    /// A stateless snapshot of the decision rule, if one exists.
+    ///
+    /// Returning `Some` lets the engine decide agents inside its
+    /// chunk-parallel kernel (bit-identical to the serial loop);
+    /// [`SprintPolicy::note_decisions`] then reports how many decisions
+    /// were evaluated so counting policies stay accurate. The default
+    /// (`None`) keeps every decision on [`SprintPolicy::wants_sprint`].
+    fn static_decider(&self) -> Option<StaticDecider> {
+        None
+    }
+
+    /// Observe that the engine evaluated `n` decisions through the
+    /// [`StaticDecider`] snapshot this epoch (never called on the
+    /// serial `wants_sprint` path).
+    fn note_decisions(&mut self, n: u64) {
+        let _ = n;
+    }
 
     /// Observe the epoch's outcome (breaker tripped or not). Called once
     /// per epoch after all decisions resolve; adaptive policies (E-B)
@@ -85,6 +131,14 @@ mod tests {
         assert_eq!(PolicyKind::ALL.len(), 4);
         assert_eq!(PolicyKind::ALL[0].abbreviation(), "G");
         assert_eq!(PolicyKind::ALL[3].abbreviation(), "C-T");
+    }
+
+    #[test]
+    fn static_decider_rules() {
+        assert!(StaticDecider::AlwaysSprint.wants_sprint(3, 0.0));
+        let per = StaticDecider::PerAgent(vec![2.0, 5.0]);
+        assert!(per.wants_sprint(0, 3.0));
+        assert!(!per.wants_sprint(1, 3.0));
     }
 
     #[test]

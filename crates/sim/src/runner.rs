@@ -131,13 +131,31 @@ pub fn compare(
     seeds: &[u64],
     telemetry: &mut Telemetry,
 ) -> crate::Result<Comparison> {
-    compare_impl(scenario, policies, seeds, &mut telemetry.spans)
+    compare_impl(scenario, policies, seeds, 1, &mut telemetry.spans)
+}
+
+/// [`compare`] with each trial's agent kernel fanned out over `jobs`
+/// scoped threads ([`Scenario::execute_jobs`]); aggregates are
+/// byte-identical at every job count.
+///
+/// # Errors
+///
+/// As [`compare`].
+pub fn compare_jobs(
+    scenario: &Scenario,
+    policies: &[PolicyKind],
+    seeds: &[u64],
+    jobs: usize,
+    telemetry: &mut Telemetry,
+) -> crate::Result<Comparison> {
+    compare_impl(scenario, policies, seeds, jobs, &mut telemetry.spans)
 }
 
 fn compare_impl(
     scenario: &Scenario,
     policies: &[PolicyKind],
     seeds: &[u64],
+    jobs: usize,
     spans: &mut SpanProfile,
 ) -> crate::Result<Comparison> {
     if policies.is_empty() {
@@ -164,7 +182,7 @@ fn compare_impl(
                 scope.spawn(move || {
                     let started = std::time::Instant::now();
                     scenario
-                        .execute(policy, seed, &mut Telemetry::noop())
+                        .execute_jobs(policy, seed, jobs, &mut Telemetry::noop())
                         .map(|r| (policy, r, started.elapsed().as_nanos() as u64))
                 })
             })
@@ -311,7 +329,24 @@ pub fn chaos(
     seeds: &[u64],
     telemetry: &mut Telemetry,
 ) -> crate::Result<ChaosReport> {
-    chaos_impl(scenario, policies, plans, seeds, &mut telemetry.spans)
+    chaos_impl(scenario, policies, plans, seeds, 1, &mut telemetry.spans)
+}
+
+/// [`chaos`] with each trial's agent kernel fanned out over `jobs`
+/// scoped threads; the report is byte-identical at every job count.
+///
+/// # Errors
+///
+/// As [`chaos`].
+pub fn chaos_jobs(
+    scenario: &Scenario,
+    policies: &[PolicyKind],
+    plans: &[NamedPlan],
+    seeds: &[u64],
+    jobs: usize,
+    telemetry: &mut Telemetry,
+) -> crate::Result<ChaosReport> {
+    chaos_impl(scenario, policies, plans, seeds, jobs, &mut telemetry.spans)
 }
 
 fn chaos_impl(
@@ -319,6 +354,7 @@ fn chaos_impl(
     policies: &[PolicyKind],
     plans: &[NamedPlan],
     seeds: &[u64],
+    jobs: usize,
     spans: &mut SpanProfile,
 ) -> crate::Result<ChaosReport> {
     if plans.is_empty() {
@@ -335,12 +371,13 @@ fn chaos_impl(
         &scenario.clone().with_faults(FaultPlan::none()),
         policies,
         seeds,
+        jobs,
         spans,
     )?;
     let mut cells = Vec::with_capacity(plans.len() * policies.len());
     for named in plans {
         let faulted = scenario.clone().with_faults(named.plan);
-        let cmp = compare_impl(&faulted, policies, seeds, spans)?;
+        let cmp = compare_impl(&faulted, policies, seeds, jobs, spans)?;
         for outcome in cmp.outcomes() {
             let base = baseline
                 .outcome(outcome.policy)

@@ -291,8 +291,11 @@ impl Scenario {
         let types = self.population.distinct_types();
         let (thresholds, summary): (Vec<f64>, SolveSummary) = if types.len() == 1 {
             let solver = MeanFieldSolver::new(game);
+            // Warm-started: a fresh key seeds Algorithm 1 from the nearest
+            // completed equilibrium already in the cache (sweep neighbors
+            // differ by one knob, so their fixed points are close).
             let (threshold, summary) =
-                match cache.solve(&solver, &types[0].utility_density(DENSITY_BINS)?) {
+                match cache.solve_warm(&solver, &types[0].utility_density(DENSITY_BINS)?) {
                     Ok(eq) => (
                         eq.threshold(),
                         SolveSummary {
@@ -439,6 +442,23 @@ impl Scenario {
         seed: u64,
         telemetry: &mut Telemetry,
     ) -> crate::Result<SimResult> {
+        self.execute_jobs(kind, seed, 1, telemetry)
+    }
+
+    /// [`Scenario::execute`] with the engine's agent kernel fanned out
+    /// over `jobs` scoped threads ([`engine::run_jobs`]). The result is
+    /// byte-identical at every job count.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::execute`].
+    pub fn execute_jobs(
+        &self,
+        kind: PolicyKind,
+        seed: u64,
+        jobs: usize,
+        telemetry: &mut Telemetry,
+    ) -> crate::Result<SimResult> {
         let config = SimConfig::new(self.game, self.epochs, seed)?.with_options(self.options);
         let mut streams = self.population.spawn_streams(seed)?;
         let solve_span = telemetry.enabled().then(|| telemetry.spans.start());
@@ -446,7 +466,7 @@ impl Scenario {
         if let Some(start) = solve_span {
             telemetry.spans.end("scenario.solve", start);
         }
-        engine::run(&config, &mut streams, policy.as_mut(), telemetry)
+        engine::run_jobs(&config, &mut streams, policy.as_mut(), jobs, telemetry)
     }
 }
 

@@ -37,7 +37,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use sprint_game::{EquilibriumCache, GameConfig};
 use sprint_stats::summary::{confidence_interval_95, ConfidenceInterval, OnlineStats};
@@ -529,6 +529,23 @@ pub fn run_sweep_supervised(
     let jobs = effective_jobs(jobs, trials.len());
     let cache = EquilibriumCache::default();
 
+    // Warm pre-pass: solve every distinct E-T cell serially, in expansion
+    // order, before the worker pool starts. Each solve warm-starts from
+    // the nearest equilibrium already cached, and because every solve
+    // completes before any worker touches the cache, warm hints — and
+    // therefore the report — stay identical at every job count.
+    let mut presolved = std::collections::HashSet::new();
+    for trial in &trials {
+        if spec.policies[trial.policy] != PolicyKind::EquilibriumThreshold
+            || !presolved.insert((trial.game, trial.population, trial.plan))
+        {
+            continue;
+        }
+        // Failures are not quarantine-worthy here: the trial itself will
+        // re-encounter the error under supervision.
+        let _ = presolve_cell(spec, &plans, trial, &cache);
+    }
+
     type Slot = OnceLock<(crate::Result<SweepRecord>, u64, u32)>;
     let slots: Vec<Slot> = (0..trials.len()).map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
@@ -619,7 +636,7 @@ fn run_trial_supervised(
     for attempt in 0..attempts_allowed {
         let deadline = supervision
             .trial_deadline_ms
-            .map(|ms| (Instant::now() + Duration::from_millis(ms), ms));
+            .map(engine::Deadline::within_ms);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if let Some(hook) = supervision.sabotage {
                 match hook(trial.id, attempt) {
@@ -649,13 +666,31 @@ fn run_trial_supervised(
     (Err(last), attempts_allowed)
 }
 
+/// Solve one cell's equilibrium into the sweep cache ahead of the worker
+/// pool (E-T only; the solve key ignores the seed).
+fn presolve_cell(
+    spec: &SweepSpec,
+    plans: &[NamedPlan],
+    trial: &Trial,
+    cache: &EquilibriumCache,
+) -> crate::Result<()> {
+    let variant = &spec.games[trial.game];
+    let pop_spec = &spec.populations[trial.population];
+    let game = variant.build(pop_spec.agents)?;
+    let mut options = spec.options;
+    options.faults = plans[trial.plan].plan;
+    let scenario =
+        Scenario::with_game(pop_spec.resolve()?, game, spec.epochs)?.with_options(options);
+    scenario.equilibrium_policy_cached(cache).map(|_| ())
+}
+
 /// Run one grid point through the unified API only.
 fn run_trial(
     spec: &SweepSpec,
     plans: &[NamedPlan],
     trial: &Trial,
     cache: &EquilibriumCache,
-    deadline: Option<(Instant, u64)>,
+    deadline: Option<engine::Deadline>,
 ) -> crate::Result<SweepRecord> {
     let variant = &spec.games[trial.game];
     let pop_spec = &spec.populations[trial.population];
@@ -684,16 +719,9 @@ fn run_trial(
         &config,
         &mut streams,
         policy.as_mut(),
-        deadline.map(|(at, _)| at),
+        deadline,
         &mut Telemetry::noop(),
-    )
-    .map_err(|e| match (e, deadline) {
-        // The engine cannot know the configured limit; stamp it here.
-        (SimError::DeadlineExceeded { what, .. }, Some((_, ms))) => {
-            SimError::DeadlineExceeded { what, limit_ms: ms }
-        }
-        (e, _) => e,
-    })?;
+    )?;
 
     Ok(record_of(
         trial, variant, pop_spec, named, kind, &result, solve,
@@ -887,9 +915,10 @@ mod tests {
             Some(1),
             "one distinct game solves once"
         );
+        // The warm pre-pass takes the one miss; all eight trials hit.
         assert_eq!(
             kit.registry.counter_value("cache.equilibrium.hits"),
-            Some(7)
+            Some(8)
         );
         assert_eq!(kit.registry.counter_value("sweep.trials"), Some(8));
         assert_eq!(kit.spans.stats("sweep.trial").unwrap().count, 8);

@@ -28,6 +28,15 @@ pub struct DiscreteDensity {
     hi: f64,
     /// Density value over each bin; `sum(pdf) * dx == 1`.
     pdf: Vec<f64>,
+    /// Prefix masses: `cum_mass[i]` is the mass of bins `[0, i)`,
+    /// accumulated left-to-right in the same order as a naive cdf scan so
+    /// [`DiscreteDensity::cdf`] stays bitwise identical to the O(n) loop.
+    /// Length `pdf.len() + 1`. Derived from `pdf` in the constructor and
+    /// rebuilt on deserialization (the wire format stays `{lo, hi, pdf}`).
+    cum_mass: Vec<f64>,
+    /// Suffix x-weighted masses: `tail_xmass[i] = ∫` over bins
+    /// `[i, len)` of `x f(x) dx`. Length `pdf.len() + 1`; derived.
+    tail_xmass: Vec<f64>,
 }
 
 /// Wire format for [`DiscreteDensity`].
@@ -90,8 +99,38 @@ impl DiscreteDensity {
         if mass <= 0.0 {
             return Err(StatsError::NotNormalized { mass });
         }
-        let pdf = values.into_iter().map(|v| v / mass).collect();
-        Ok(DiscreteDensity { lo, hi, pdf })
+        let pdf: Vec<f64> = values.into_iter().map(|v| v / mass).collect();
+        Ok(DiscreteDensity::with_tables(lo, hi, pdf))
+    }
+
+    /// Assemble a density from an already-normalized pdf, precomputing the
+    /// prefix/suffix tables that make `cdf`, `tail_mass`, `quantile`, and
+    /// `partial_expectation` O(1)/O(log n). Every constructor funnels
+    /// through here.
+    fn with_tables(lo: f64, hi: f64, pdf: Vec<f64>) -> Self {
+        let dx = (hi - lo) / pdf.len() as f64;
+        let mut cum_mass = Vec::with_capacity(pdf.len() + 1);
+        let mut acc = 0.0;
+        cum_mass.push(acc);
+        for &p in &pdf {
+            // Exactly the naive cdf loop's accumulation order, so the
+            // table lookups round identically to the former O(n) scan.
+            acc += p * dx;
+            cum_mass.push(acc);
+        }
+        let mut tail_xmass = vec![0.0; pdf.len() + 1];
+        for i in (0..pdf.len()).rev() {
+            let l = lo + i as f64 * dx;
+            let r = l + dx;
+            tail_xmass[i] = pdf[i] * 0.5 * (r * r - l * l) + tail_xmass[i + 1];
+        }
+        DiscreteDensity {
+            lo,
+            hi,
+            pdf,
+            cum_mass,
+            tail_xmass,
+        }
     }
 
     /// Estimate a density from samples with `bins` uniform bins.
@@ -238,7 +277,7 @@ impl DiscreteDensity {
     }
 
     /// Cumulative probability `P(X <= x)`, exact for the piecewise-constant
-    /// representation.
+    /// representation. O(1) via the precomputed prefix table.
     #[must_use]
     pub fn cdf(&self, x: f64) -> f64 {
         if x <= self.lo {
@@ -251,11 +290,7 @@ impl DiscreteDensity {
         let pos = (x - self.lo) / dx;
         let full = pos.floor() as usize;
         let frac = pos - full as f64;
-        let mut acc = 0.0;
-        for &p in &self.pdf[..full] {
-            acc += p * dx;
-        }
-        acc + self.pdf[full] * frac * dx
+        self.cum_mass[full] + self.pdf[full] * frac * dx
     }
 
     /// Upper-tail mass `P(X > u) = ∫_u^{hi} f(x) dx` — the paper's
@@ -279,17 +314,10 @@ impl DiscreteDensity {
         let dx = self.dx();
         let pos = (u - self.lo) / dx;
         let first = (pos.floor() as usize).min(self.pdf.len() - 1);
-        let mut acc = 0.0;
-        // Partial bin: integrate x*p over [u, right edge].
+        // Partial bin: integrate x*p over [u, right edge]. Full bins above
+        // come from the precomputed suffix table — O(1) instead of O(n).
         let right = self.lo + (first as f64 + 1.0) * dx;
-        acc += self.pdf[first] * 0.5 * (right * right - u * u);
-        // Full bins above.
-        for (i, &p) in self.pdf.iter().enumerate().skip(first + 1) {
-            let l = self.lo + i as f64 * dx;
-            let r = l + dx;
-            acc += p * 0.5 * (r * r - l * l);
-        }
-        acc
+        self.pdf[first] * 0.5 * (right * right - u * u) + self.tail_xmass[first + 1]
     }
 
     /// Conditional mean `E[X | X > u]`.
@@ -319,22 +347,38 @@ impl DiscreteDensity {
             });
         }
         let dx = self.dx();
-        let mut acc = 0.0;
-        for (i, &p) in self.pdf.iter().enumerate() {
-            let mass = p * dx;
-            if acc + mass >= q {
-                let frac = if mass <= 0.0 { 0.0 } else { (q - acc) / mass };
-                return Ok(self.lo + (i as f64 + frac) * dx);
-            }
-            acc += mass;
+        // First bin whose running prefix reaches q — binary search over
+        // the monotone prefix table (O(log n) instead of a linear scan).
+        // `cum_mass[i + 1]` rounds identically to the old scan's
+        // `acc + mass`, so the selected bin and interpolation match the
+        // naive loop bit for bit.
+        let i = self.cum_mass[1..].partition_point(|&c| c < q);
+        if i >= self.pdf.len() {
+            return Ok(self.hi);
         }
-        Ok(self.hi)
+        let mass = self.pdf[i] * dx;
+        let frac = if mass <= 0.0 {
+            0.0
+        } else {
+            (q - self.cum_mass[i]) / mass
+        };
+        Ok(self.lo + (i as f64 + frac) * dx)
     }
 
     /// Sample via inverse-cdf over the discretized density.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let q: f64 = rng.gen();
         self.quantile(q).expect("q in [0,1] by construction")
+    }
+
+    /// Fill `out` with inverse-cdf samples — the batched form of
+    /// [`DiscreteDensity::sample`] for hot paths that draw many variates
+    /// at once into a reusable buffer (no per-call allocation).
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        for v in out {
+            let q: f64 = rng.gen();
+            *v = self.quantile(q).expect("q in [0,1] by construction");
+        }
     }
 
     /// Apply an affine transform `x -> a*x + b` to the random variable.
@@ -412,6 +456,88 @@ impl DiscreteDensity {
     /// this density's mass, or construction errors for invalid parameters.
     pub fn regrid(&self, lo: f64, hi: f64, bins: usize) -> crate::Result<Self> {
         DiscreteDensity::from_fn(lo, hi, bins, |x| self.pdf_at(x))
+    }
+}
+
+/// O(1) sampler over a [`DiscreteDensity`], built with Walker's alias
+/// method (Vose's stable construction).
+///
+/// [`DiscreteDensity::sample`] costs an O(log bins) binary search per
+/// draw; an alias table answers the same bin-selection question with two
+/// array reads, which is what the simulator's per-agent phase-resample
+/// kernel needs. A selected bin is then interpolated uniformly, so the
+/// sampled law is *exactly* the discretized density — the same law the
+/// inverse-cdf path draws from, reached through a different mapping of
+/// uniforms to values.
+#[derive(Debug, Clone)]
+pub struct AliasSampler {
+    lo: f64,
+    dx: f64,
+    /// Acceptance threshold per bin, pre-scaled to `[0, 1)` within the
+    /// bin's slice of the uniform.
+    prob: Vec<f64>,
+    /// Donor bin used when the acceptance test fails.
+    alias: Vec<u32>,
+}
+
+impl AliasSampler {
+    /// Build the alias table for `density` — O(bins) once, O(1) per draw.
+    #[must_use]
+    pub fn new(density: &DiscreteDensity) -> Self {
+        let n = density.len();
+        let dx = density.dx();
+        // Bin masses scaled so a perfectly uniform density gives 1.0 per
+        // bin; construction normalizes, so the total is ~n.
+        let scaled: Vec<f64> = density.pdf().iter().map(|&p| p * dx * n as f64).collect();
+        let mut prob = vec![1.0f64; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        let mut work = scaled;
+        for (i, &w) in work.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s as usize] = work[s as usize];
+            alias[s as usize] = l;
+            work[l as usize] = (work[l as usize] + work[s as usize]) - 1.0;
+            if work[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are 1.0 up to rounding: accept them outright.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        AliasSampler {
+            lo: density.lo(),
+            dx,
+            prob,
+            alias,
+        }
+    }
+
+    /// Draw one value from two uniforms in `[0, 1)`: `u_bin` selects the
+    /// bin through the alias table, `u_pos` places the value uniformly
+    /// inside it.
+    #[inline]
+    #[must_use]
+    pub fn sample(&self, u_bin: f64, u_pos: f64) -> f64 {
+        let scaled = u_bin * self.prob.len() as f64;
+        let j = (scaled as usize).min(self.prob.len() - 1);
+        let frac = scaled - j as f64;
+        let bin = if frac < self.prob[j] {
+            j
+        } else {
+            self.alias[j] as usize
+        };
+        self.lo + (bin as f64 + u_pos) * self.dx
     }
 }
 
@@ -608,11 +734,182 @@ mod tests {
         assert!((d.total_mass() - 1.0).abs() < 1e-12);
     }
 
+    /// The pre-table O(n) cdf scan, kept as the reference implementation.
+    fn naive_cdf(d: &DiscreteDensity, x: f64) -> f64 {
+        if x <= d.lo() {
+            return 0.0;
+        }
+        if x >= d.hi() {
+            return 1.0;
+        }
+        let dx = d.dx();
+        let pos = (x - d.lo()) / dx;
+        let full = pos.floor() as usize;
+        let frac = pos - full as f64;
+        let mut acc = 0.0;
+        for &p in &d.pdf()[..full] {
+            acc += p * dx;
+        }
+        acc + d.pdf()[full] * frac * dx
+    }
+
+    /// The pre-table O(n) partial-expectation scan.
+    fn naive_partial_expectation(d: &DiscreteDensity, u: f64) -> f64 {
+        if u >= d.hi() {
+            return 0.0;
+        }
+        let u = u.max(d.lo());
+        let dx = d.dx();
+        let pos = (u - d.lo()) / dx;
+        let first = (pos.floor() as usize).min(d.len() - 1);
+        let right = d.lo() + (first as f64 + 1.0) * dx;
+        let mut acc = d.pdf()[first] * 0.5 * (right * right - u * u);
+        for (i, &p) in d.pdf().iter().enumerate().skip(first + 1) {
+            let l = d.lo() + i as f64 * dx;
+            let r = l + dx;
+            acc += p * 0.5 * (r * r - l * l);
+        }
+        acc
+    }
+
+    /// The pre-table O(n) quantile scan.
+    fn naive_quantile(d: &DiscreteDensity, q: f64) -> f64 {
+        let dx = d.dx();
+        let mut acc = 0.0;
+        for (i, &p) in d.pdf().iter().enumerate() {
+            let mass = p * dx;
+            if acc + mass >= q {
+                let frac = if mass <= 0.0 { 0.0 } else { (q - acc) / mass };
+                return d.lo() + (i as f64 + frac) * dx;
+            }
+            acc += mass;
+        }
+        d.hi()
+    }
+
+    #[test]
+    fn prefix_tables_match_naive_scans_on_random_densities() {
+        // Property test: across 40 randomized densities (random support,
+        // bin count, spiky values including exact-zero bins), the table
+        // kernels agree with the naive O(n) scans — bitwise for cdf and
+        // quantile (identical accumulation order), and to tight relative
+        // tolerance for the suffix-summed partial expectation.
+        let mut rng = seeded_rng(0x5EED_D155);
+        for case in 0..40 {
+            let lo = rng.gen::<f64>() * 10.0 - 5.0;
+            let hi = lo + 0.1 + rng.gen::<f64>() * 20.0;
+            let bins = 1 + (rng.gen::<f64>() * 300.0) as usize;
+            let values: Vec<f64> = (0..bins)
+                .map(|_| {
+                    if rng.gen::<f64>() < 0.2 {
+                        0.0
+                    } else {
+                        rng.gen::<f64>() * 3.0
+                    }
+                })
+                .collect();
+            let Ok(d) = DiscreteDensity::new(lo, hi, values) else {
+                continue; // all-zero draw: invalid by construction
+            };
+            for _ in 0..50 {
+                let x = lo - 1.0 + rng.gen::<f64>() * (hi - lo + 2.0);
+                let fast = d.cdf(x);
+                let slow = naive_cdf(&d, x);
+                assert_eq!(fast.to_bits(), slow.to_bits(), "cdf case {case} x={x}");
+
+                let fast = d.partial_expectation(x);
+                let slow = naive_partial_expectation(&d, x);
+                let tol = 1e-12 * slow.abs().max(1.0);
+                assert!(
+                    (fast - slow).abs() <= tol,
+                    "partial_expectation case {case} x={x}: {fast} vs {slow}"
+                );
+
+                let q = rng.gen::<f64>();
+                let fast = d.quantile(q).unwrap();
+                let slow = naive_quantile(&d, q);
+                assert_eq!(fast.to_bits(), slow.to_bits(), "quantile case {case} q={q}");
+            }
+            // Boundary probabilities too.
+            for q in [0.0, 1.0] {
+                assert_eq!(
+                    d.quantile(q).unwrap().to_bits(),
+                    naive_quantile(&d, q).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sample_many_matches_sequential_sampling() {
+        let d = DiscreteDensity::new(0.0, 1.0, vec![1.0, 3.0, 0.5, 2.0]).unwrap();
+        let mut a = seeded_rng(77);
+        let mut b = seeded_rng(77);
+        let mut batch = [0.0f64; 64];
+        d.sample_many(&mut a, &mut batch);
+        for (i, &x) in batch.iter().enumerate() {
+            assert_eq!(x.to_bits(), d.sample(&mut b).to_bits(), "draw {i}");
+        }
+    }
+
     #[test]
     fn regrid_preserves_moments() {
         let d = uniform_density();
         let r = d.regrid(-5.0, 15.0, 400).unwrap();
         assert!((r.mean() - 5.0).abs() < 0.05);
         assert!((r.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alias_sampler_reproduces_bin_masses() {
+        let d = DiscreteDensity::new(0.0, 4.0, vec![1.0, 3.0, 0.5, 2.0]).unwrap();
+        let a = AliasSampler::new(&d);
+        // Sweep a fine deterministic grid of bin-selection uniforms; the
+        // empirical bin frequencies must converge on the bin masses.
+        let trials = 200_000usize;
+        let mut counts = [0usize; 4];
+        for t in 0..trials {
+            let u_bin = (t as f64 + 0.5) / trials as f64;
+            let x = a.sample(u_bin, 0.5);
+            counts[((x / 1.0).floor() as usize).min(3)] += 1;
+        }
+        let total: f64 = 1.0 + 3.0 + 0.5 + 2.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = [1.0, 3.0, 0.5, 2.0][i] / total;
+            let got = c as f64 / trials as f64;
+            assert!((got - expect).abs() < 2e-3, "bin {i}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn alias_sampler_interpolates_within_bin() {
+        let d = DiscreteDensity::new(2.0, 3.0, vec![1.0]).unwrap();
+        let a = AliasSampler::new(&d);
+        assert!((a.sample(0.0, 0.0) - 2.0).abs() < 1e-12);
+        assert!((a.sample(0.999_999, 0.5) - 2.5).abs() < 1e-6);
+        let x = a.sample(0.3, 0.75);
+        assert!((x - 2.75).abs() < 1e-12, "single bin: position is u_pos");
+    }
+
+    #[test]
+    fn alias_sampler_matches_quantile_law() {
+        // The alias sample and the interpolated inverse cdf are different
+        // mappings of uniforms onto the same discretized law: compare
+        // their empirical means over dense deterministic grids.
+        let d = DiscreteDensity::new(-1.0, 5.0, vec![0.2, 1.4, 2.0, 0.7, 0.1, 0.9]).unwrap();
+        let a = AliasSampler::new(&d);
+        let trials = 100_000usize;
+        let mean_alias: f64 = (0..trials)
+            .map(|t| a.sample((t as f64 + 0.5) / trials as f64, 0.5))
+            .sum::<f64>()
+            / trials as f64;
+        let mean_q: f64 = (0..trials)
+            .map(|t| d.quantile((t as f64 + 0.5) / trials as f64).unwrap())
+            .sum::<f64>()
+            / trials as f64;
+        assert!(
+            (mean_alias - mean_q).abs() < 5e-3,
+            "{mean_alias} vs {mean_q}"
+        );
     }
 }

@@ -134,12 +134,36 @@ impl Population {
     /// Never fails for the built-in benchmarks; the `Result` propagates
     /// stream-construction errors for API uniformity.
     pub fn spawn_streams(&self, master_seed: u64) -> crate::Result<Vec<PhasedUtility>> {
+        // One discretized sample table per distinct benchmark, shared by
+        // every stream in that cohort (discretization is O(bins) pdf
+        // evaluations — paying it per agent would dominate large-N setup).
+        let tables: Vec<(
+            Benchmark,
+            std::sync::Arc<sprint_stats::density::DiscreteDensity>,
+        )> = self
+            .distinct_types()
+            .into_iter()
+            .map(|b| {
+                b.utility_density(crate::phases::PHASE_SAMPLE_BINS)
+                    .map(|d| (b, std::sync::Arc::new(d)))
+            })
+            .collect::<crate::Result<_>>()?;
         let mut seq = SeedSequence::new(master_seed);
         self.assignments
             .iter()
             .map(|&b| {
                 let seed = seq.next_seed();
-                let mut stream = PhasedUtility::for_benchmark(b, seed)?;
+                let table = tables
+                    .iter()
+                    .find(|(t, _)| *t == b)
+                    .map(|(_, table)| table.clone())
+                    .expect("every assignment is a distinct type");
+                let mut stream = PhasedUtility::with_shared_table(
+                    b.speedup_distribution(),
+                    table,
+                    crate::phases::DEFAULT_PERSISTENCE_EPOCHS,
+                    seed,
+                )?;
                 // Randomized arrival: advance by a seed-derived offset.
                 let offset = (seed >> 32) as usize % MAX_ARRIVAL_OFFSET_EPOCHS;
                 stream.skip(offset);

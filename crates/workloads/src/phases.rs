@@ -14,22 +14,39 @@
 //! emitted sequence equals the benchmark's `f(u)` while consecutive epochs
 //! are positively correlated.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use sprint_stats::density::DiscreteDensity;
 use sprint_stats::dist::ContinuousDistribution;
 use sprint_stats::rng::seeded_rng;
 
 use crate::benchmark::Benchmark;
 use crate::WorkloadError;
 
+/// Grid resolution of the discretized sample table every stream carries
+/// for the simulator's O(1) phase-resample kernel. At 1024 bins the
+/// quantization error of a resampled phase value is below 0.1% of the
+/// support width — far inside every statistical tolerance in the suite.
+pub const PHASE_SAMPLE_BINS: usize = 1024;
+
+/// Default mean phase persistence: data-analytics phases span a handful
+/// of 150 s epochs; 3 epochs reflects multi-epoch Spark stages.
+pub const DEFAULT_PERSISTENCE_EPOCHS: f64 = 3.0;
+
 /// A stream of per-epoch sprinting utilities with phase persistence.
 #[derive(Debug)]
 pub struct PhasedUtility {
     dist: Box<dyn ContinuousDistribution>,
+    /// The discretized stationary density `f(u)`, shared across a cohort
+    /// so the engine can resample phases with one inverse-cdf lookup.
+    table: Arc<DiscreteDensity>,
     /// Mean number of epochs a phase persists (>= 1; 1 = iid).
     persistence_epochs: f64,
     current: f64,
+    seed: u64,
     rng: StdRng,
 }
 
@@ -37,12 +54,37 @@ impl PhasedUtility {
     /// Create a stream drawing phases from `dist`, each persisting for a
     /// geometric number of epochs with the given mean.
     ///
+    /// Discretizes `dist` into a private sample table; spawn cohorts
+    /// through [`PhasedUtility::with_shared_table`] (as
+    /// [`crate::generator::Population::spawn_streams`] does) to pay that
+    /// cost once per distribution instead of once per agent.
+    ///
     /// # Errors
     ///
     /// Returns [`WorkloadError::InvalidParameter`] when
     /// `persistence_epochs < 1`.
     pub fn new(
         dist: Box<dyn ContinuousDistribution>,
+        persistence_epochs: f64,
+        seed: u64,
+    ) -> crate::Result<Self> {
+        let table = Arc::new(DiscreteDensity::from_distribution(
+            dist.as_ref(),
+            PHASE_SAMPLE_BINS,
+        )?);
+        PhasedUtility::with_shared_table(dist, table, persistence_epochs, seed)
+    }
+
+    /// [`PhasedUtility::new`] with a pre-discretized sample table, so a
+    /// cohort of streams over one distribution shares one table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] when
+    /// `persistence_epochs < 1`.
+    pub fn with_shared_table(
+        dist: Box<dyn ContinuousDistribution>,
+        table: Arc<DiscreteDensity>,
         persistence_epochs: f64,
         seed: u64,
     ) -> crate::Result<Self> {
@@ -57,23 +99,27 @@ impl PhasedUtility {
         let current = dist.sample(&mut rng);
         Ok(PhasedUtility {
             dist,
+            table,
             persistence_epochs,
             current,
+            seed,
             rng,
         })
     }
 
-    /// Create a stream for a benchmark with its default persistence.
-    ///
-    /// Data-analytics phases span a handful of 150 s epochs; the default
-    /// persistence of 3 epochs reflects multi-epoch Spark stages.
+    /// Create a stream for a benchmark with its default persistence
+    /// ([`DEFAULT_PERSISTENCE_EPOCHS`]).
     ///
     /// # Errors
     ///
     /// Never fails for the built-in persistence; the `Result` mirrors
     /// [`PhasedUtility::new`] for API uniformity.
     pub fn for_benchmark(benchmark: Benchmark, seed: u64) -> crate::Result<Self> {
-        PhasedUtility::new(benchmark.speedup_distribution(), 3.0, seed)
+        PhasedUtility::new(
+            benchmark.speedup_distribution(),
+            DEFAULT_PERSISTENCE_EPOCHS,
+            seed,
+        )
     }
 
     /// Mean phase persistence in epochs.
@@ -98,6 +144,45 @@ impl PhasedUtility {
         for _ in 0..epochs {
             let _ = self.next_utility();
         }
+    }
+
+    // --- Kernel decomposition -------------------------------------------
+    //
+    // The simulation engine advances phases in struct-of-arrays lanes
+    // with counter-based draws instead of walking each stream's
+    // sequential generator: it reads the pieces below once at setup and
+    // writes the final phase back with [`PhasedUtility::sync_phase`].
+
+    /// The phase value the next [`PhasedUtility::next_utility`] call
+    /// would emit.
+    #[must_use]
+    pub fn phase_value(&self) -> f64 {
+        self.current
+    }
+
+    /// Per-epoch probability that the phase resamples (`1 / persistence`).
+    #[must_use]
+    pub fn resample_probability(&self) -> f64 {
+        1.0 / self.persistence_epochs
+    }
+
+    /// The shared discretized density phases resample from.
+    #[must_use]
+    pub fn sample_table(&self) -> &Arc<DiscreteDensity> {
+        &self.table
+    }
+
+    /// The seed this stream was created with — the root of its
+    /// counter-based draw coordinates in the engine kernel.
+    #[must_use]
+    pub fn stream_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Write back a phase value advanced outside the stream (the engine's
+    /// lane kernel), so the stream observes its own evolution.
+    pub fn sync_phase(&mut self, value: f64) {
+        self.current = value;
     }
 }
 
