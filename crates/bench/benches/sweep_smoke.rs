@@ -35,6 +35,7 @@ fn main() {
         games: vec![GameVariant::paper("paper")],
         populations: vec![PopulationSpec::homogeneous(Benchmark::DecisionTree, agents)],
         plans: Vec::new(),
+        adversaries: Vec::new(),
         policies: vec![PolicyKind::Greedy, PolicyKind::EquilibriumThreshold],
         seeds: (1..=16).collect(),
         epochs,

@@ -73,6 +73,9 @@ USAGE:
                        [--jobs J] [--fault-seed S] [--json true] [--telemetry true]
                        [--partition true] [--partition-start E]
                        [--partition-epochs D] [--report FILE.json]
+                       [--adversaries FRAC] [--adversary-kind K]
+                       [--cheat-probability P] [--clique-period N]
+                       [--ceasefire E]
   sprint cluster       --benchmark <name> [--racks K] [--agents-per-rack N]
                        [--epochs E] [--facility-n-min X] [--facility-n-max X]
                        [--seed S] [--json true]
@@ -81,7 +84,9 @@ USAGE:
   sprint help
 
 Benchmarks: naive decision gradient svm linear kmeans als correlation
-            pagerank cc triangle";
+            pagerank cc triangle
+Adversary kinds: greedy_defector stochastic_cheater collusive_clique
+                 fictitious_play";
 
 fn parse_benchmark(args: &ParsedArgs) -> Result<Benchmark, CliError> {
     let name = args
@@ -574,6 +579,7 @@ fn sweep_spec(args: &ParsedArgs) -> Result<SweepSpec, CliError> {
         games: vec![GameVariant::paper("paper")],
         populations: vec![PopulationSpec::homogeneous(benchmark, agents)],
         plans: Vec::new(),
+        adversaries: Vec::new(),
         policies: PolicyKind::ALL.to_vec(),
         seeds: (1..=n_seeds).collect(),
         epochs,
@@ -688,8 +694,38 @@ pub fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The provenance header echoed on every `sprint chaos` JSON report:
+/// the resolved fault seed, trial seeds, fully resolved fault plans,
+/// and the adversary mix (when one is in play).
+#[derive(Serialize)]
+struct ChaosHeader {
+    fault_seed: u64,
+    trial_seeds: Vec<u64>,
+    plans: Vec<sprint_sim::runner::NamedPlan>,
+    adversaries: Option<sprint_sim::AdversaryMix>,
+}
+
+/// A chaos report wrapped with its [`ChaosHeader`].
+struct ChaosEnvelope<T> {
+    header: ChaosHeader,
+    report: T,
+    spans: Option<SpanReport>,
+}
+
+// Hand-written: the vendored serde derive does not support generics.
+impl<T: Serialize> Serialize for ChaosEnvelope<T> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("header".to_string(), self.header.to_value()),
+            ("report".to_string(), self.report.to_value()),
+            ("spans".to_string(), self.spans.to_value()),
+        ])
+    }
+}
+
 /// `sprint chaos`: the policy × fault-plan resilience matrix, or (with
-/// `--partition true`) the control-plane partition-resilience suite.
+/// `--partition true`) the control-plane partition-resilience suite, or
+/// (with `--adversaries`) the adversary-defense suite.
 pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
     args.expect_only(&[
         "benchmark",
@@ -704,6 +740,11 @@ pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
         "partition-start",
         "partition-epochs",
         "report",
+        "adversaries",
+        "adversary-kind",
+        "cheat-probability",
+        "clique-period",
+        "ceasefire",
     ])?;
     let benchmark = parse_benchmark(args)?;
     let agents: u32 = args.get_parsed("agents", 1000)?;
@@ -718,13 +759,34 @@ pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
     }
 
     let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
-    if args.get_bool("partition", false)? {
+    let with_partition = args.get_bool("partition", false)?;
+    let with_adversaries = args.get("adversaries").is_some();
+    if with_partition && with_adversaries {
+        return Err(ArgError("--partition and --adversaries are mutually exclusive".into()).into());
+    }
+    if with_adversaries {
+        return chaos_adversaries(args, &scenario, fault_seed, n_seeds, json);
+    }
+    if with_partition {
         return chaos_partition(args, &scenario, fault_seed, n_seeds, json);
     }
-    for flag in ["partition-start", "partition-epochs", "report"] {
+    for flag in ["partition-start", "partition-epochs"] {
         if args.get(flag).is_some() {
             return Err(ArgError(format!("--{flag} requires --partition true")).into());
         }
+    }
+    for flag in [
+        "adversary-kind",
+        "cheat-probability",
+        "clique-period",
+        "ceasefire",
+    ] {
+        if args.get(flag).is_some() {
+            return Err(ArgError(format!("--{flag} requires --adversaries")).into());
+        }
+    }
+    if args.get("report").is_some() {
+        return Err(ArgError("--report requires --partition true or --adversaries".into()).into());
     }
     let plans = standard_fault_suite(fault_seed);
     let seeds: Vec<u64> = (1..=n_seeds).collect();
@@ -733,15 +795,16 @@ pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
         sprint_sim::runner::chaos_jobs(&scenario, &PolicyKind::ALL, &plans, &seeds, jobs, &mut kit)
             .map_err(run_err)?;
     let spans = kit.spans;
-    if json && with_telemetry {
-        #[derive(Serialize)]
-        struct ChaosWithSpans {
-            report: sprint_sim::runner::ChaosReport,
-            spans: SpanReport,
-        }
-        let combined = ChaosWithSpans {
+    if json {
+        let combined = ChaosEnvelope {
+            header: ChaosHeader {
+                fault_seed,
+                trial_seeds: seeds.clone(),
+                plans: plans.clone(),
+                adversaries: None,
+            },
             report: report.clone(),
-            spans: spans.report(),
+            spans: with_telemetry.then(|| spans.report()),
         };
         let s = serde_json::to_string_pretty(&combined).map_err(run_err)?;
         println!("{s}");
@@ -805,7 +868,24 @@ fn chaos_partition(
         std::fs::write(path, s).map_err(run_err)?;
         eprintln!("resilience report written to {path}");
     }
-    emit(json, &report, || {
+    if json {
+        let combined = ChaosEnvelope {
+            header: ChaosHeader {
+                fault_seed,
+                trial_seeds: seeds.clone(),
+                plans: vec![sprint_sim::runner::NamedPlan {
+                    name: "partition-chaos".to_string(),
+                    plan,
+                }],
+                adversaries: None,
+            },
+            report: report.clone(),
+            spans: None,
+        };
+        let s = serde_json::to_string_pretty(&combined).map_err(run_err)?;
+        println!("{s}");
+    }
+    if !json {
         let lost: u64 = report.trials.iter().map(|t| t.messages.lost).sum();
         let sent: u64 = report.trials.iter().map(|t| t.messages.sent).sum();
         let mut tiers = [0u64; 3];
@@ -851,12 +931,158 @@ fn chaos_partition(
             "  acceptance             {}",
             if ok { "PASS" } else { "FAIL" }
         );
-    })?;
+    }
     if report.invariant_violations > 0 {
         return Err(CliError::Run(
             format!(
                 "{} agent-epoch(s) without a valid threshold",
                 report.invariant_violations
+            )
+            .into(),
+        ));
+    }
+    Ok(())
+}
+
+/// `sprint chaos --adversaries FRAC`: run the adversary-defense suite —
+/// FRAC of the population misbehaves under sensor noise and transport
+/// faults while the coordinator's detector and graduated sanctions try
+/// to restore honest throughput — and optionally archive the JSON
+/// report for CI.
+fn chaos_adversaries(
+    args: &ParsedArgs,
+    scenario: &Scenario,
+    fault_seed: u64,
+    n_seeds: u64,
+    json: bool,
+) -> Result<(), CliError> {
+    use sprint_sim::control::{ControlConfig, DetectorConfig};
+    use sprint_sim::faults::FaultPlan;
+    use sprint_sim::{AdversaryKind, AdversaryMix};
+
+    let fraction: f64 = args.get_parsed("adversaries", 0.1)?;
+    let kind_name = args.get("adversary-kind").unwrap_or("greedy_defector");
+    let mut kind = AdversaryKind::from_name(kind_name).ok_or_else(|| {
+        ArgError(format!(
+            "unknown adversary kind `{kind_name}`; see `sprint help`"
+        ))
+    })?;
+    if let Some(p) = args.get("cheat-probability") {
+        let cheat_probability: f64 = p
+            .parse()
+            .map_err(|_| ArgError(format!("--cheat-probability: invalid number `{p}`")))?;
+        if !matches!(kind, AdversaryKind::StochasticCheater { .. }) {
+            return Err(ArgError(
+                "--cheat-probability requires --adversary-kind stochastic_cheater".into(),
+            )
+            .into());
+        }
+        kind = AdversaryKind::StochasticCheater { cheat_probability };
+    }
+    if let Some(p) = args.get("clique-period") {
+        let period: u32 = p
+            .parse()
+            .map_err(|_| ArgError(format!("--clique-period: invalid integer `{p}`")))?;
+        if !matches!(kind, AdversaryKind::CollusiveClique { .. }) {
+            return Err(ArgError(
+                "--clique-period requires --adversary-kind collusive_clique".into(),
+            )
+            .into());
+        }
+        kind = AdversaryKind::CollusiveClique { period };
+    }
+    let ceasefire_epoch: Option<usize> = match args.get("ceasefire") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| ArgError(format!("--ceasefire: invalid epoch `{raw}`")))?,
+        ),
+        None => None,
+    };
+    let mix = AdversaryMix {
+        kind,
+        fraction,
+        seed: fault_seed,
+        ceasefire_epoch,
+    };
+    let plan = FaultPlan::adversary_chaos(fault_seed);
+    let detector = DetectorConfig::default();
+    let seeds: Vec<u64> = (1..=n_seeds).collect();
+    let mut kit = Telemetry::noop();
+    let report = sprint_sim::runner::adversary_defense(
+        scenario,
+        plan,
+        ControlConfig::default(),
+        detector,
+        mix,
+        &seeds,
+        &mut kit,
+    )
+    .map_err(run_err)?;
+
+    if let Some(path) = args.get("report") {
+        let s = serde_json::to_string_pretty(&report).map_err(run_err)?;
+        std::fs::write(path, s).map_err(run_err)?;
+        eprintln!("adversary report written to {path}");
+    }
+    if json {
+        let combined = ChaosEnvelope {
+            header: ChaosHeader {
+                fault_seed,
+                trial_seeds: seeds.clone(),
+                plans: vec![sprint_sim::runner::NamedPlan {
+                    name: "adversary-chaos".to_string(),
+                    plan,
+                }],
+                adversaries: Some(mix),
+            },
+            report: report.clone(),
+            spans: None,
+        };
+        let s = serde_json::to_string_pretty(&combined).map_err(run_err)?;
+        println!("{s}");
+    } else {
+        println!(
+            "adversary chaos: {} trial(s), {} {} @ {:.0}% of {} agents, fault seed {fault_seed}",
+            report.trials.len(),
+            mix.adversary_count(report.agents as usize),
+            mix.kind.name(),
+            mix.fraction * 100.0,
+            report.agents,
+        );
+        println!(
+            "  throughput (honest/unchecked/enforced)  {:.4} / {:.4} / {:.4}",
+            report.honest_throughput, report.unenforced_throughput, report.enforced_throughput
+        );
+        println!(
+            "  recovery ratio         {:.4} (unchecked: {:.4})",
+            report.recovery_ratio, report.unenforced_ratio
+        );
+        println!(
+            "  detections             {} (mean latency: {})",
+            report.detections,
+            report
+                .mean_detection_latency_epochs
+                .map_or_else(|| "n/a".to_string(), |m| format!("{m:.1} epochs")),
+        );
+        println!(
+            "  sanctions              {} exclusion(s), {} readmission(s)",
+            report.exclusions, report.readmissions
+        );
+        println!(
+            "  errors                 {} false-positive exclusion(s), {} false negative(s)",
+            report.false_positive_exclusions, report.false_negatives
+        );
+        let ok = report.recovery_ratio >= 0.95 && report.false_positive_exclusions == 0;
+        println!(
+            "  acceptance             {}",
+            if ok { "PASS" } else { "FAIL" }
+        );
+    }
+    if report.false_positive_exclusions > 0 {
+        return Err(CliError::Run(
+            format!(
+                "{} honest agent(s) permanently excluded",
+                report.false_positive_exclusions
             )
             .into(),
         ));
@@ -1502,6 +1728,71 @@ mod tests {
             "3",
         ]);
         assert!(chaos(&orphan).is_err());
+    }
+
+    #[test]
+    fn chaos_adversaries_runs_and_archives_the_report() {
+        let report_path = std::env::temp_dir().join("sprint-chaos-adversary-report.json");
+        let args = parsed(&[
+            "chaos",
+            "--benchmark",
+            "svm",
+            "--agents",
+            "40",
+            "--epochs",
+            "300",
+            "--seeds",
+            "1",
+            "--adversaries",
+            "0.1",
+            "--report",
+            report_path.to_str().unwrap(),
+        ]);
+        assert!(chaos(&args).is_ok());
+        let text = std::fs::read_to_string(&report_path).unwrap();
+        let report: sprint_sim::AdversaryReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(report.trials.len(), 1);
+        assert_eq!(report.false_positive_exclusions, 0);
+        let _ = std::fs::remove_file(report_path);
+        // Kind-specific flags demand the matching kind.
+        let mismatched = parsed(&[
+            "chaos",
+            "--benchmark",
+            "svm",
+            "--agents",
+            "20",
+            "--epochs",
+            "15",
+            "--adversaries",
+            "0.1",
+            "--clique-period",
+            "4",
+        ]);
+        assert!(chaos(&mismatched).is_err());
+        // Adversary flags without --adversaries are rejected.
+        let orphan = parsed(&[
+            "chaos",
+            "--benchmark",
+            "svm",
+            "--agents",
+            "20",
+            "--epochs",
+            "15",
+            "--adversary-kind",
+            "greedy_defector",
+        ]);
+        assert!(chaos(&orphan).is_err());
+        // --partition and --adversaries are mutually exclusive.
+        let both = parsed(&[
+            "chaos",
+            "--benchmark",
+            "svm",
+            "--partition",
+            "true",
+            "--adversaries",
+            "0.1",
+        ]);
+        assert!(chaos(&both).is_err());
     }
 
     #[test]

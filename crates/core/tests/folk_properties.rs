@@ -1,0 +1,79 @@
+//! Property-based tests for the folk-theorem enforcement analysis
+//! (§6.4): the grim-trigger sustainability condition must be monotone
+//! in the discount factor, and the best response can never be worse
+//! than conforming.
+
+use proptest::prelude::*;
+
+use sprint_game::cooperative::CooperativeSearch;
+use sprint_game::folk::{analyze_deviation, punishment_sustains_cooperation};
+use sprint_game::GameConfig;
+use sprint_workloads::Benchmark;
+
+fn arb_benchmark() -> impl Strategy<Value = Benchmark> {
+    prop::sample::select(Benchmark::ALL.to_vec())
+}
+
+fn config(p_recovery: f64, discount: f64) -> GameConfig {
+    GameConfig::builder()
+        .p_recovery(p_recovery)
+        .discount(discount)
+        .build()
+        .expect("generated parameters are in-domain")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Patience only ever helps the threat: if banning deviators
+    /// sustains cooperation at some discount factor, it sustains it at
+    /// every higher discount factor (`u_max − u_T < δ·V_conform` has an
+    /// increasing right-hand side in `δ`).
+    #[test]
+    fn punishment_sustainability_is_monotone_in_discount(
+        b in arb_benchmark(),
+        pr in 0.5f64..=1.0,
+        d_lo in 0.5f64..0.99,
+        step in 0.001f64..0.4,
+    ) {
+        let d_hi = (d_lo + step).min(0.995);
+        let density = b.utility_density(128).expect("valid bins");
+        let ct = CooperativeSearch::default_resolution()
+            .solve(&config(pr, d_lo), &density)
+            .expect("cooperative search converges")
+            .threshold;
+        let lo = punishment_sustains_cooperation(&config(pr, d_lo), &density, ct)
+            .expect("solver converges");
+        let hi = punishment_sustains_cooperation(&config(pr, d_hi), &density, ct)
+            .expect("solver converges");
+        prop_assert!(
+            !lo || hi,
+            "sustained at discount {d_lo} but not at {d_hi} (threshold {ct})"
+        );
+    }
+
+    /// The deviator's best response is found by optimizing over all
+    /// thresholds, so it can never pay less than conforming to the
+    /// cooperative assignment: the one-shot gain is non-negative.
+    #[test]
+    fn deviation_gain_is_non_negative_at_the_cooperative_threshold(
+        b in arb_benchmark(),
+        pr in 0.5f64..=1.0,
+        discount in 0.5f64..0.995,
+    ) {
+        let cfg = config(pr, discount);
+        let density = b.utility_density(128).expect("valid bins");
+        let ct = CooperativeSearch::default_resolution()
+            .solve(&cfg, &density)
+            .expect("cooperative search converges")
+            .threshold;
+        let dev = analyze_deviation(&cfg, &density, ct).expect("solver converges");
+        prop_assert!(
+            dev.deviation_gain() >= -1e-9,
+            "best response {} pays {} less than conforming at {}",
+            dev.best_response_threshold,
+            -dev.deviation_gain(),
+            ct
+        );
+    }
+}

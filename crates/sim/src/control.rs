@@ -35,9 +35,24 @@
 //!   [`Event::TierShift`], and the climb back to the equilibrium tier
 //!   is measured into a recovery-latency histogram.
 //!
+//! On top of the ladder sits the **online adversary defense** (§6.4
+//! made operational): when a [`DetectorConfig`] is attached, a rack-side
+//! dynamics model simulates actual sprinting — honest agents follow
+//! their held thresholds, an optional [`AdversaryMix`] misbehaves — and
+//! panel sensors report per-agent sprint counts over the same lossy
+//! transport. The coordinator runs a per-agent CUSUM test on the
+//! observed sprint-rate-given-active against the rate the assigned
+//! threshold implies under the density, and walks detected agents up a
+//! graduated sanctions ladder (warn → timed revocation → probation →
+//! permanent exclusion) instead of the grim trigger's one-shot ban.
+//! Detection uses only delivered control-plane messages — never engine
+//! ground truth and never scheduling order — so runs stay
+//! bit-reproducible.
+//!
 //! Everything is deterministic: transport faults draw from a dedicated
-//! seeded stream, backoff jitter is seeded per participant, and agents
-//! are iterated in index order — the same seed yields a bit-identical
+//! seeded stream, backoff jitter is seeded per participant, rack-model
+//! randomness is counter-based per `(agent, epoch)`, and agents are
+//! iterated in index order — the same seed yields a bit-identical
 //! [`ControlReport`].
 
 use rand::rngs::StdRng;
@@ -46,12 +61,14 @@ use rand::Rng;
 use sprint_game::cache::EquilibriumCache;
 use sprint_game::meanfield::SolverOptions;
 use sprint_game::retry::BackoffSchedule;
+use sprint_game::trip::TripCurve;
 use sprint_game::{GameConfig, MeanFieldSolver, RetryPolicy};
-use sprint_stats::density::DiscreteDensity;
-use sprint_stats::rng::seeded_rng;
-use sprint_telemetry::{ControlTier, Event, EventKind, FaultKind, Telemetry};
+use sprint_stats::density::{AliasSampler, DiscreteDensity};
+use sprint_stats::rng::{seeded_rng, CounterRng};
+use sprint_telemetry::{ControlTier, Event, EventKind, FaultKind, SanctionLevel, Telemetry};
 
-use crate::faults::{FaultPlan, RackPartition, TransportFault};
+use crate::faults::{FaultPlan, RackPartition, SensorFault, TransportFault};
+use crate::policies::AdversaryMix;
 use crate::SimError;
 
 /// Where a control-plane message is headed.
@@ -69,10 +86,23 @@ pub enum Address {
 /// A control-plane message body.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Payload {
-    /// An agent enrolls its utility profile with the coordinator.
+    /// A sprint-activity report for one agent. At enrollment agents send
+    /// an empty report (`window_end == 0`); when the defense subsystem
+    /// is active, rack-side panel sensors send one per observation
+    /// window with the counts the coordinator's detector consumes.
     ProfileReport {
-        /// Reporting agent.
+        /// Reported agent.
         agent: u32,
+        /// Sprints the panel sensor counted in the window (noisy under
+        /// a [`SensorFault`]).
+        sprints: u32,
+        /// Epochs the agent was observably active (powered and not
+        /// cooling) in the window.
+        active: u32,
+        /// Epoch the window closed, plus one; `0` marks an enrollment
+        /// report carrying no observation. Monotone per agent, so
+        /// duplicated or reordered deliveries are discarded.
+        window_end: u32,
     },
     /// An agent signals liveness and asks for lease renewal.
     Heartbeat {
@@ -106,7 +136,7 @@ impl Payload {
     #[must_use]
     pub fn agent(&self) -> u32 {
         match *self {
-            Payload::ProfileReport { agent }
+            Payload::ProfileReport { agent, .. }
             | Payload::Heartbeat { agent }
             | Payload::StrategyAssign { agent, .. }
             | Payload::Ack { agent } => agent,
@@ -396,6 +426,641 @@ impl ControlConfig {
     }
 }
 
+/// CUSUM detector and graduated-sanctions knobs for the online
+/// adversary defense.
+///
+/// The detector runs per agent on accepted [`Payload::ProfileReport`]s:
+/// with `x` the observed sprint rate given active and `p₀` the rate the
+/// assigned threshold implies under the density,
+/// `S ← max(0, S + x − p₀ − slack)`, and `S > decision_threshold`
+/// declares a deviation. The sanctions ladder then escalates —
+/// `max_warnings` free warnings, timed revocations with probation
+/// re-admission, and permanent exclusion after `max_revocations`
+/// strikes — so a noise spike costs an honest agent at most a warning.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DetectorConfig {
+    /// Epochs per panel-sensor observation window.
+    pub report_interval: u32,
+    /// CUSUM slack (the allowance `k`): per-report overshoot absorbed
+    /// before the statistic grows.
+    pub slack: f64,
+    /// CUSUM decision threshold (`h`). During probation the effective
+    /// threshold is halved — the detector stays armed.
+    pub decision_threshold: f64,
+    /// Detections forgiven with a warning before the first revocation.
+    pub max_warnings: u32,
+    /// Length of a sprint-lease revocation, in epochs.
+    pub revocation_epochs: u32,
+    /// Probation length after a revocation expires, in epochs.
+    pub probation_epochs: u32,
+    /// Revocation strikes before permanent exclusion.
+    pub max_revocations: u32,
+    /// Apply sanctions. With `false` the detector observes and counts
+    /// but never punishes — the unenforced baseline.
+    pub enforcement: bool,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            report_interval: 10,
+            slack: 0.2,
+            decision_threshold: 2.0,
+            max_warnings: 1,
+            revocation_epochs: 30,
+            probation_epochs: 40,
+            max_revocations: 2,
+            enforcement: true,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// Validate the detector parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for zero windows or
+    /// non-positive/non-finite statistics parameters.
+    pub fn validate(&self) -> crate::Result<()> {
+        let positive: [(&'static str, u32); 4] = [
+            ("report_interval", self.report_interval),
+            ("revocation_epochs", self.revocation_epochs),
+            ("probation_epochs", self.probation_epochs),
+            ("max_revocations", self.max_revocations),
+        ];
+        for (name, v) in positive {
+            if v == 0 {
+                return Err(SimError::InvalidParameter {
+                    name,
+                    value: 0.0,
+                    expected: "a positive count",
+                });
+            }
+        }
+        if !(self.slack.is_finite() && self.slack >= 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "slack",
+                value: self.slack,
+                expected: "a non-negative finite CUSUM slack",
+            });
+        }
+        if !(self.decision_threshold.is_finite() && self.decision_threshold > 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "decision_threshold",
+                value: self.decision_threshold,
+                expected: "a positive finite CUSUM threshold",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Outcome summary of the adversary-defense subsystem for one run.
+/// Present in a [`ControlReport`] only when the rack model ran (a
+/// detector or an adversary mix was attached).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DefenseReport {
+    /// Adversarial agents in the population (ground truth, for
+    /// false-positive/false-negative scoring only — the detector never
+    /// sees it).
+    pub adversaries: u32,
+    /// Sensor reports the coordinator received.
+    pub reports_received: u64,
+    /// Received reports discarded as duplicates, reordered, or empty.
+    pub reports_discarded: u64,
+    /// CUSUM detections across all agents.
+    pub detections: u64,
+    /// Warnings issued.
+    pub warnings: u64,
+    /// Timed revocations applied.
+    pub revocations: u64,
+    /// Permanent exclusions applied.
+    pub exclusions: u64,
+    /// Probations completed (full re-admissions).
+    pub readmissions: u64,
+    /// Warnings issued to honest agents.
+    pub false_positive_warnings: u64,
+    /// Revocations applied to honest agents.
+    pub false_positive_revocations: u64,
+    /// Permanent exclusions of honest agents (the acceptance gate pins
+    /// this to zero).
+    pub false_positive_exclusions: u64,
+    /// Adversarial agents the detector never flagged.
+    pub false_negatives: u32,
+    /// Mean epochs from adversary onset to first detection; `None` when
+    /// nothing was detected.
+    pub mean_detection_latency_epochs: Option<f64>,
+    /// Sprint attempts physically blocked by an active sanction (the
+    /// rack-side power-gate veto).
+    pub vetoed_sprints: u64,
+    /// Mean task-units per agent-epoch the rack actually produced.
+    pub throughput: f64,
+    /// Breaker trips over the run.
+    pub trips: u64,
+}
+
+/// Where an agent stands on the sanctions ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Sanction {
+    Good,
+    Warned,
+    Revoked { until: usize },
+    Probation { until: usize },
+    Excluded,
+}
+
+impl Sanction {
+    /// Sanctions that bar the agent from the cooperative population:
+    /// no lease renewals, no solve membership, power gate vetoed.
+    fn bars(self) -> bool {
+        matches!(self, Sanction::Revoked { .. } | Sanction::Excluded)
+    }
+}
+
+/// Per-agent detector and sanction state.
+struct Suspicion {
+    s: f64,
+    last_window: u32,
+    sanction: Sanction,
+    warnings: u32,
+    strikes: u32,
+    first_detection: Option<usize>,
+}
+
+/// Counter-RNG purposes for the rack dynamics model. Distinct constants
+/// per stream; none of them touch the crash/fault or transport RNGs, so
+/// attaching the defense never perturbs existing fault schedules.
+const DEFENSE_UTILITY: u64 = 0xDEF01;
+const DEFENSE_COOLING: u64 = 0xDEF02;
+const DEFENSE_TRIP: u64 = 0xDEF03;
+const DEFENSE_RECOVERY: u64 = 0xDEF04;
+const DEFENSE_SENSOR: u64 = 0xDEF05;
+
+/// The adversary-defense subsystem: the rack-side dynamics model that
+/// generates sensor telemetry, and the coordinator-side CUSUM detector
+/// with its sanctions ladder. All state updates are driven by epoch
+/// index and delivered messages only.
+struct DefenseState {
+    detector: Option<DetectorConfig>,
+    mix: AdversaryMix,
+    n: usize,
+    agents: Vec<Suspicion>,
+    cooling: Vec<bool>,
+    window_sprints: Vec<u32>,
+    window_active: Vec<u32>,
+    recovering: bool,
+    utility_rng: CounterRng,
+    cooling_rng: CounterRng,
+    trip_rng: CounterRng,
+    recovery_rng: CounterRng,
+    sensor_rng: CounterRng,
+    cheat_rng: CounterRng,
+    sampler: AliasSampler,
+    trip_curve: TripCurve,
+    p_cooling: f64,
+    p_recovery: f64,
+    sensor: Option<SensorFault>,
+    learner_scale: f64,
+    trips: u64,
+    tasks: f64,
+    vetoed_sprints: u64,
+    reports_received: u64,
+    reports_discarded: u64,
+    detections: u64,
+    warnings: u64,
+    revocations: u64,
+    exclusions: u64,
+    readmissions: u64,
+    fp_warnings: u64,
+    fp_revocations: u64,
+    fp_exclusions: u64,
+    detection_latencies: Vec<u64>,
+}
+
+impl DefenseState {
+    fn new(
+        game: &GameConfig,
+        density: &DiscreteDensity,
+        plan: &FaultPlan,
+        mix: AdversaryMix,
+        detector: Option<DetectorConfig>,
+        seed: u64,
+    ) -> Self {
+        let n = game.n_agents() as usize;
+        DefenseState {
+            detector,
+            mix,
+            n,
+            agents: (0..n)
+                .map(|_| Suspicion {
+                    s: 0.0,
+                    last_window: 0,
+                    sanction: Sanction::Good,
+                    warnings: 0,
+                    strikes: 0,
+                    first_detection: None,
+                })
+                .collect(),
+            cooling: vec![false; n],
+            window_sprints: vec![0; n],
+            window_active: vec![0; n],
+            recovering: false,
+            utility_rng: CounterRng::new(seed, DEFENSE_UTILITY),
+            cooling_rng: CounterRng::new(seed, DEFENSE_COOLING),
+            trip_rng: CounterRng::new(seed, DEFENSE_TRIP),
+            recovery_rng: CounterRng::new(seed, DEFENSE_RECOVERY),
+            sensor_rng: CounterRng::new(seed ^ plan.seed.rotate_left(11), DEFENSE_SENSOR),
+            cheat_rng: mix.cheat_rng(),
+            sampler: AliasSampler::new(density),
+            trip_curve: TripCurve::from_config(game),
+            p_cooling: game.p_cooling(),
+            p_recovery: game.p_recovery(),
+            sensor: plan.sensor,
+            learner_scale: 1.0,
+            trips: 0,
+            tasks: 0.0,
+            vetoed_sprints: 0,
+            reports_received: 0,
+            reports_discarded: 0,
+            detections: 0,
+            warnings: 0,
+            revocations: 0,
+            exclusions: 0,
+            readmissions: 0,
+            fp_warnings: 0,
+            fp_revocations: 0,
+            fp_exclusions: 0,
+            detection_latencies: Vec::new(),
+        }
+    }
+
+    fn enforcing(&self) -> bool {
+        self.detector.is_some_and(|d| d.enforcement)
+    }
+
+    /// Whether agent `i` is barred from the cooperative population.
+    fn barred(&self, i: usize) -> bool {
+        self.agents[i].sanction.bars()
+    }
+
+    fn is_honest(&self, i: usize) -> bool {
+        !self.mix.is_adversary(i, self.n)
+    }
+
+    /// Timed ladder transitions: revocations expire into probation,
+    /// probations complete into full re-admission. Driven purely by the
+    /// epoch index, so scheduling order cannot matter.
+    fn tick_sanctions(&mut self, epoch: usize, telemetry: &mut Telemetry, want: bool) {
+        let Some(cfg) = self.detector else { return };
+        for i in 0..self.n {
+            let a = &mut self.agents[i];
+            match a.sanction {
+                Sanction::Revoked { until } if epoch >= until => {
+                    a.sanction = Sanction::Probation {
+                        until: epoch + cfg.probation_epochs as usize,
+                    };
+                    a.s = 0.0;
+                    if want {
+                        telemetry.emit(&Event::SanctionLifted {
+                            epoch,
+                            agent: i as u32,
+                            probation: true,
+                        });
+                    }
+                }
+                Sanction::Probation { until } if epoch >= until => {
+                    a.sanction = Sanction::Good;
+                    a.warnings = 0;
+                    a.s = 0.0;
+                    self.readmissions += 1;
+                    if want {
+                        telemetry.emit(&Event::SanctionLifted {
+                            epoch,
+                            agent: i as u32,
+                            probation: false,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Feed one accepted sensor report into the CUSUM detector.
+    /// `expected` is the sprint rate (given active) the coordinator's
+    /// current assignment implies for this agent.
+    #[allow(clippy::too_many_arguments)]
+    fn on_report(
+        &mut self,
+        agent: usize,
+        sprints: u32,
+        active: u32,
+        window_end: u32,
+        epoch: usize,
+        expected: f64,
+        telemetry: &mut Telemetry,
+        want_detect: bool,
+        want_sanction: bool,
+    ) {
+        let Some(cfg) = self.detector else { return };
+        self.reports_received += 1;
+        let a = &mut self.agents[agent];
+        if window_end <= a.last_window || active == 0 {
+            self.reports_discarded += 1;
+            return;
+        }
+        a.last_window = window_end;
+        if a.sanction.bars() {
+            // A gated agent's panel counts are vetoed sprints, not
+            // evidence; the statistic stays frozen until re-admission.
+            return;
+        }
+        let x = f64::from(sprints) / f64::from(active);
+        a.s = (a.s + x - expected - cfg.slack).max(0.0);
+        let armed = if matches!(a.sanction, Sanction::Probation { .. }) {
+            cfg.decision_threshold * 0.5
+        } else {
+            cfg.decision_threshold
+        };
+        if a.s <= armed {
+            return;
+        }
+        // Detection.
+        let statistic = a.s;
+        a.s = 0.0;
+        self.detections += 1;
+        if a.first_detection.is_none() {
+            a.first_detection = Some(epoch);
+            if !self.is_honest(agent) {
+                self.detection_latencies.push(epoch as u64);
+            }
+        }
+        if want_detect {
+            telemetry.emit(&Event::AdversaryDetected {
+                epoch,
+                agent: agent as u32,
+                statistic,
+                observed: x,
+                expected,
+            });
+        }
+        if cfg.enforcement {
+            self.escalate(agent, epoch, cfg, telemetry, want_sanction);
+        }
+    }
+
+    /// Walk one agent up the sanctions ladder after a detection.
+    fn escalate(
+        &mut self,
+        i: usize,
+        epoch: usize,
+        cfg: DetectorConfig,
+        telemetry: &mut Telemetry,
+        want: bool,
+    ) {
+        let honest = self.is_honest(i);
+        let a = &mut self.agents[i];
+        let (level, duration) = match a.sanction {
+            Sanction::Good | Sanction::Warned if a.warnings < cfg.max_warnings => {
+                a.warnings += 1;
+                a.sanction = Sanction::Warned;
+                (SanctionLevel::Warning, None)
+            }
+            Sanction::Good | Sanction::Warned | Sanction::Probation { .. } => {
+                a.strikes += 1;
+                if a.strikes >= cfg.max_revocations {
+                    a.sanction = Sanction::Excluded;
+                    (SanctionLevel::Exclusion, None)
+                } else {
+                    a.sanction = Sanction::Revoked {
+                        until: epoch + cfg.revocation_epochs as usize,
+                    };
+                    (SanctionLevel::Revocation, Some(cfg.revocation_epochs))
+                }
+            }
+            // Gated agents produce no evidence; a detection here cannot
+            // happen, but keep the ladder total.
+            Sanction::Revoked { .. } | Sanction::Excluded => return,
+        };
+        let strikes = a.strikes;
+        match level {
+            SanctionLevel::Warning => {
+                self.warnings += 1;
+                if honest {
+                    self.fp_warnings += 1;
+                }
+            }
+            SanctionLevel::Revocation => {
+                self.revocations += 1;
+                if honest {
+                    self.fp_revocations += 1;
+                }
+            }
+            SanctionLevel::Exclusion => {
+                self.exclusions += 1;
+                if honest {
+                    self.fp_exclusions += 1;
+                }
+            }
+        }
+        if want {
+            telemetry.emit(&Event::SanctionApplied {
+                epoch,
+                agent: i as u32,
+                level,
+                strikes,
+                duration_epochs: duration,
+            });
+        }
+    }
+
+    /// One epoch of rack dynamics: utility draws, sprint decisions
+    /// (honest or adversarial), the power-gate veto, cooling/recovery
+    /// churn, the Equation-11 trip draw, and — on window boundaries —
+    /// panel-sensor reports over the transport.
+    fn rack_epoch(&mut self, epoch: usize, agents: &[AgentCtl], transport: &mut dyn Transport) {
+        if self.recovering {
+            if self.recovery_rng.uniform(0, epoch as u64, 0) < self.p_recovery {
+                // The rack spends the whole epoch dark: no work, no
+                // decisions, cooling frozen.
+                self.flush_reports(epoch, agents, transport);
+                return;
+            }
+            self.recovering = false;
+        }
+        let adversary_active = self.mix.active_at(epoch);
+        let enforcing = self.enforcing();
+        let mut sprinters = 0u32;
+        for (i, ctl) in agents.iter().enumerate() {
+            if ctl.crashed {
+                continue;
+            }
+            if self.cooling[i] {
+                if self.cooling_rng.uniform(i as u64, epoch as u64, 0) < self.p_cooling {
+                    // Still cooling: powered, working at nominal rate.
+                    self.tasks += 1.0;
+                    continue;
+                }
+                self.cooling[i] = false;
+            }
+            let u = self.sampler.sample(
+                self.utility_rng.uniform(i as u64, epoch as u64, 0),
+                self.utility_rng.uniform(i as u64, epoch as u64, 1),
+            );
+            let honest = u > ctl.threshold;
+            let wants = if adversary_active && self.mix.is_adversary(i, self.n) {
+                self.mix.kind.decide(
+                    honest,
+                    u,
+                    ctl.threshold,
+                    i as u64,
+                    epoch as u64,
+                    &self.cheat_rng,
+                    self.learner_scale,
+                )
+            } else {
+                honest
+            };
+            let gated = enforcing && self.agents[i].sanction.bars();
+            self.window_active[i] += 1;
+            if wants && gated {
+                // The sanction is physical: the coordinator holds this
+                // agent's power gate shut, so even a protocol-ignoring
+                // defector cannot draw sprint current.
+                self.vetoed_sprints += 1;
+            }
+            if wants && !gated {
+                sprinters += 1;
+                self.window_sprints[i] += 1;
+                self.tasks += u;
+                self.cooling[i] = true;
+            } else {
+                self.tasks += 1.0;
+            }
+        }
+        let p = self.trip_curve.p_trip(f64::from(sprinters));
+        if self.trip_rng.uniform(0, epoch as u64, 0) < p {
+            // Tripped-epoch sprints still count (UPS ride-through);
+            // recovery starts next epoch.
+            self.trips += 1;
+            self.recovering = true;
+        }
+        let freq = self.trips as f64 / (epoch + 1) as f64;
+        self.learner_scale = self.mix.kind.learner_step(self.learner_scale, freq);
+        self.flush_reports(epoch, agents, transport);
+    }
+
+    /// On a window boundary, send each live agent's panel counts to the
+    /// coordinator (noisy and droppable under a [`SensorFault`]) and
+    /// reset the windows.
+    fn flush_reports(&mut self, epoch: usize, agents: &[AgentCtl], transport: &mut dyn Transport) {
+        let Some(cfg) = self.detector else { return };
+        if !(epoch + 1).is_multiple_of(cfg.report_interval as usize) {
+            return;
+        }
+        for (i, ctl) in agents.iter().enumerate() {
+            let active = self.window_active[i];
+            if ctl.crashed || active == 0 {
+                continue;
+            }
+            if let Some(sf) = self.sensor {
+                if self.sensor_rng.uniform(i as u64, epoch as u64, 0) < sf.dropout_probability {
+                    continue;
+                }
+            }
+            let sprints = match self.sensor {
+                Some(sf) if sf.relative_sd > 0.0 => {
+                    let noise = self.sensor_rng.normal(i as u64, epoch as u64, 1)
+                        * sf.relative_sd
+                        * f64::from(active);
+                    (f64::from(self.window_sprints[i]) + noise)
+                        .round()
+                        .clamp(0.0, f64::from(active)) as u32
+                }
+                _ => self.window_sprints[i],
+            };
+            transport.send(Envelope {
+                to: Address::Coordinator,
+                payload: Payload::ProfileReport {
+                    agent: i as u32,
+                    sprints,
+                    active,
+                    window_end: (epoch + 1) as u32,
+                },
+                sent_epoch: epoch,
+            });
+        }
+        self.window_sprints.fill(0);
+        self.window_active.fill(0);
+    }
+
+    fn export_metrics(&self, registry: &mut sprint_telemetry::Registry) {
+        let pairs: [(&str, u64); 9] = [
+            ("control.defense.reports_received", self.reports_received),
+            ("control.defense.detections", self.detections),
+            ("control.defense.warnings", self.warnings),
+            ("control.defense.revocations", self.revocations),
+            ("control.defense.exclusions", self.exclusions),
+            ("control.defense.readmissions", self.readmissions),
+            (
+                "control.defense.false_positive_exclusions",
+                self.fp_exclusions,
+            ),
+            ("control.defense.vetoed_sprints", self.vetoed_sprints),
+            ("control.defense.trips", self.trips),
+        ];
+        for (name, v) in pairs {
+            let c = registry.counter(name);
+            registry.inc(c, v);
+        }
+        let h = registry.histogram(
+            "control.defense.detection_latency_epochs",
+            &[10.0, 20.0, 40.0, 80.0, 160.0, 320.0, 640.0],
+        );
+        for &l in &self.detection_latencies {
+            registry.observe(h, l as f64);
+        }
+    }
+
+    fn finish(self, epochs: usize) -> DefenseReport {
+        let adversaries = self.mix.adversary_count(self.n) as u32;
+        let false_negatives = if self.detector.is_some() {
+            (0..self.n)
+                .filter(|&i| !self.is_honest(i) && self.agents[i].first_detection.is_none())
+                .count() as u32
+        } else {
+            0
+        };
+        let mean_detection_latency_epochs = if self.detection_latencies.is_empty() {
+            None
+        } else {
+            Some(
+                self.detection_latencies.iter().sum::<u64>() as f64
+                    / self.detection_latencies.len() as f64,
+            )
+        };
+        DefenseReport {
+            adversaries,
+            reports_received: self.reports_received,
+            reports_discarded: self.reports_discarded,
+            detections: self.detections,
+            warnings: self.warnings,
+            revocations: self.revocations,
+            exclusions: self.exclusions,
+            readmissions: self.readmissions,
+            false_positive_warnings: self.fp_warnings,
+            false_positive_revocations: self.fp_revocations,
+            false_positive_exclusions: self.fp_exclusions,
+            false_negatives,
+            mean_detection_latency_epochs,
+            vetoed_sprints: self.vetoed_sprints,
+            throughput: self.tasks / (self.n * epochs) as f64,
+            trips: self.trips,
+        }
+    }
+}
+
 /// Deterministic outcome summary of one control-plane run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ControlReport {
@@ -435,6 +1100,9 @@ pub struct ControlReport {
     pub conservative_utility: f64,
     /// Transport counters.
     pub messages: TransportStats,
+    /// Adversary-defense outcome; `None` when the rack model was off
+    /// (no detector and no adversary mix attached).
+    pub defense: Option<DefenseReport>,
 }
 
 struct AgentCtl {
@@ -459,6 +1127,8 @@ pub struct ControlSim {
     options: SolverOptions,
     plan: FaultPlan,
     config: ControlConfig,
+    adversaries: Option<AdversaryMix>,
+    detector: Option<DetectorConfig>,
     epochs: usize,
 }
 
@@ -483,6 +1153,8 @@ impl ControlSim {
             options: SolverOptions::default(),
             plan: FaultPlan::none(),
             config: ControlConfig::default(),
+            adversaries: None,
+            detector: None,
             epochs,
         })
     }
@@ -506,6 +1178,23 @@ impl ControlSim {
     #[must_use]
     pub fn with_control(mut self, config: ControlConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Mix adversarial agents into the rack population. Attaching a mix
+    /// (or a detector) turns on the rack dynamics model.
+    #[must_use]
+    pub fn with_adversaries(mut self, mix: AdversaryMix) -> Self {
+        self.adversaries = Some(mix);
+        self
+    }
+
+    /// Attach the online CUSUM detector and sanctions ladder. Attaching
+    /// a detector (or an adversary mix) turns on the rack dynamics
+    /// model and its panel-sensor reports.
+    #[must_use]
+    pub fn with_detector(mut self, detector: DetectorConfig) -> Self {
+        self.detector = Some(detector);
         self
     }
 
@@ -540,8 +1229,25 @@ impl ControlSim {
     ) -> crate::Result<ControlReport> {
         self.plan.validate()?;
         self.config.validate()?;
+        if let Some(d) = &self.detector {
+            d.validate()?;
+        }
+        if let Some(m) = &self.adversaries {
+            m.validate()?;
+        }
         let n = self.game.n_agents() as usize;
         let cfg = &self.config;
+        let mut defense: Option<DefenseState> =
+            (self.detector.is_some() || self.adversaries.is_some()).then(|| {
+                DefenseState::new(
+                    &self.game,
+                    &self.density,
+                    &self.plan,
+                    self.adversaries.unwrap_or_else(AdversaryMix::honest),
+                    self.detector,
+                    seed,
+                )
+            });
 
         let budgeted = self.options.with_iteration_budget(cfg.solve_budget);
         let base_solver = MeanFieldSolver::with_options(self.game, budgeted);
@@ -555,6 +1261,10 @@ impl ControlSim {
         let want_suspect = on && telemetry.wants(EventKind::AgentSuspected);
         let want_retry = on && telemetry.wants(EventKind::RetryBackoff);
         let want_faults = on && telemetry.wants(EventKind::FaultInjected);
+        let want_detect = on && telemetry.wants(EventKind::AdversaryDetected);
+        let want_sanction = on
+            && (telemetry.wants(EventKind::SanctionApplied)
+                || telemetry.wants(EventKind::SanctionLifted));
 
         // Agent-side state. Every agent boots on the conservative tier:
         // the ladder's floor is also its starting rung, so a threshold
@@ -665,6 +1375,35 @@ impl ControlSim {
                         if matches!(env.payload, Payload::Heartbeat { .. }) {
                             renewal_requests.push(who as u32);
                         }
+                        if let Payload::ProfileReport {
+                            sprints,
+                            active,
+                            window_end,
+                            ..
+                        } = env.payload
+                        {
+                            if window_end > 0 {
+                                if let Some(d) = defense.as_mut() {
+                                    // The rate the coordinator's current
+                                    // assignment implies — its best model
+                                    // of a conforming agent.
+                                    let expected = self
+                                        .density
+                                        .tail_mass(assignment.map_or(fallback, |(t, _, _)| t));
+                                    d.on_report(
+                                        who,
+                                        sprints,
+                                        active,
+                                        window_end,
+                                        epoch,
+                                        expected,
+                                        telemetry,
+                                        want_detect,
+                                        want_sanction,
+                                    );
+                                }
+                            }
+                        }
                     }
                     Address::Agent { id } => {
                         let i = id as usize;
@@ -748,8 +1487,17 @@ impl ControlSim {
                 }
             }
 
-            // 4. Coordinator: suspicion scan, then solve if the
-            // population or assignment demands one.
+            // 4. Coordinator: sanction timers, suspicion scan, then
+            // solve if the population or assignment demands one.
+            if let Some(d) = defense.as_mut() {
+                d.tick_sanctions(epoch, telemetry, want_sanction);
+                if d.enforcing() {
+                    // Barred agents get no renewals: their leases run
+                    // out and they descend the ladder until probation
+                    // completes.
+                    renewal_requests.retain(|&w| !d.barred(w as usize));
+                }
+            }
             for (i, heard) in last_heard.iter().enumerate() {
                 if !suspect[i] && epoch.saturating_sub(*heard) > cfg.suspect_after as usize {
                     suspect[i] = true;
@@ -763,7 +1511,15 @@ impl ControlSim {
                     }
                 }
             }
-            let live = suspect.iter().filter(|s| !**s).count() as u32;
+            // The cooperative population: not suspect and not under an
+            // active sanction — re-solves run over the survivors.
+            let in_population = |i: usize| {
+                !suspect[i]
+                    && defense
+                        .as_ref()
+                        .is_none_or(|d| !(d.enforcing() && d.barred(i)))
+            };
+            let live = (0..n).filter(|&i| in_population(i)).count() as u32;
             let enrolled_any = agents.iter().any(|a| a.enrolled);
             let needs_solve = enrolled_any
                 && live > 0
@@ -823,7 +1579,7 @@ impl ControlSim {
                 }
                 if assignment.is_some() {
                     // Broadcast to the live population.
-                    for (i, _) in suspect.iter().enumerate().filter(|&(_, &s)| !s) {
+                    for i in (0..n).filter(|&i| in_population(i)) {
                         self.send_assign(transport, assignment, i as u32, epoch, cfg);
                     }
                     renewal_requests.clear();
@@ -892,7 +1648,12 @@ impl ControlSim {
                         a.enrolled = true;
                         transport.send(Envelope {
                             to: Address::Coordinator,
-                            payload: Payload::ProfileReport { agent: i as u32 },
+                            payload: Payload::ProfileReport {
+                                agent: i as u32,
+                                sprints: 0,
+                                active: 0,
+                                window_end: 0,
+                            },
                             sent_epoch: epoch,
                         });
                     }
@@ -947,6 +1708,13 @@ impl ControlSim {
                 utility_sum += utility_of(a.threshold, &self.density);
                 live_agent_epochs += 1;
             }
+
+            // 7. Rack dynamics: actual sprinting under the thresholds
+            // held this epoch, panel-sensor reports, and the power-gate
+            // veto — only when the defense subsystem is attached.
+            if let Some(d) = defense.as_mut() {
+                d.rack_epoch(epoch, &agents, transport);
+            }
         }
 
         let conservative_utility = utility_of(fallback, &self.density);
@@ -988,6 +1756,9 @@ impl ControlSim {
             }
             let g = reg.gauge("control.mean_utility");
             reg.set(g, mean_utility);
+            if let Some(d) = &defense {
+                d.export_metrics(reg);
+            }
             cache.export_metrics(reg);
         }
 
@@ -1007,6 +1778,7 @@ impl ControlSim {
             mean_utility,
             conservative_utility,
             messages: transport.stats(),
+            defense: defense.map(|d| d.finish(self.epochs)),
         })
     }
 

@@ -232,6 +232,28 @@ impl FaultPlan {
         }
     }
 
+    /// The adversary-defense acceptance mix: noisy, occasionally dropped
+    /// sensor readings over a lossy, delaying, duplicating transport.
+    /// No partition — the detector must prove itself against degraded
+    /// evidence, not a severed control plane.
+    #[must_use]
+    pub fn adversary_chaos(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            sensor: Some(SensorFault {
+                relative_sd: 0.05,
+                dropout_probability: 0.01,
+            }),
+            transport: Some(TransportFault {
+                loss_probability: 0.2,
+                delay_probability: 0.1,
+                max_delay_epochs: 3,
+                duplicate_probability: 0.05,
+            }),
+            ..FaultPlan::none()
+        }
+    }
+
     /// Whether any fault class is enabled.
     #[must_use]
     pub fn is_active(&self) -> bool {

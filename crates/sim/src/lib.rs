@@ -54,13 +54,18 @@ mod error;
 /// [`Telemetry::noop()`](telemetry::Telemetry::noop) for unobserved runs.
 pub use sprint_telemetry as telemetry;
 
-pub use control::{ControlConfig, ControlReport, ControlSim, FaultyTransport, Transport};
+pub use control::{
+    ControlConfig, ControlReport, ControlSim, DefenseReport, DetectorConfig, FaultyTransport,
+    Transport,
+};
 pub use engine::{Deadline, RecoverySemantics, RunOptions, SimConfig};
 pub use error::SimError;
 pub use faults::{FaultMetrics, FaultPlan, RackPartition, TransportFault};
 pub use metrics::SimResult;
+pub use policies::{AdversarialPopulation, AdversaryKind, AdversaryMix};
 pub use policy::{PolicyKind, SprintPolicy};
-pub use sweep::{SweepRecord, SweepReport, SweepSpec};
+pub use runner::{AdversaryReport, AdversaryTrial};
+pub use sweep::{NamedAdversaries, SweepRecord, SweepReport, SweepSpec};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, SimError>;

@@ -19,6 +19,7 @@ pub struct GrimTrigger {
     banned: Vec<bool>,
     enforcement: bool,
     detections: u64,
+    bans: u64,
 }
 
 impl GrimTrigger {
@@ -62,6 +63,7 @@ impl GrimTrigger {
             banned: vec![false; n],
             enforcement,
             detections: 0,
+            bans: 0,
         })
     }
 
@@ -76,6 +78,12 @@ impl GrimTrigger {
     #[must_use]
     pub fn banned_count(&self) -> usize {
         self.banned.iter().filter(|&&b| b).count()
+    }
+
+    /// Cumulative bans the grim trigger has handed out.
+    #[must_use]
+    pub fn bans(&self) -> u64 {
+        self.bans
     }
 }
 
@@ -100,6 +108,7 @@ impl SprintPolicy for GrimTrigger {
                 self.detections += 1;
                 if self.enforcement {
                     self.banned[agent] = true;
+                    self.bans += 1;
                     // The ban takes effect immediately: the attempted
                     // deviation is blocked.
                     return false;
@@ -114,6 +123,8 @@ impl SprintPolicy for GrimTrigger {
     fn export_metrics(&self, registry: &mut sprint_telemetry::Registry) {
         let c = registry.counter("policy.grim.detections");
         registry.inc(c, self.detections);
+        let b = registry.counter("policy.grim.bans");
+        registry.inc(b, self.bans);
         let g = registry.gauge("policy.grim.banned_agents");
         registry.set(g, self.banned_count() as f64);
     }

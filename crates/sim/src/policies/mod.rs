@@ -1,7 +1,9 @@
-//! The paper's four sprinting policies (§6) plus two extensions: online
-//! best-response learning and grim-trigger enforcement (§6.4).
+//! The paper's four sprinting policies (§6) plus extensions: online
+//! best-response learning, grim-trigger enforcement (§6.4), and the
+//! adversary zoo of strategically misbehaving populations.
 
 mod adaptive;
+mod adversary;
 mod backoff;
 mod greedy;
 mod grim;
@@ -9,6 +11,7 @@ mod predictive;
 mod threshold;
 
 pub use adaptive::AdaptiveThreshold;
+pub use adversary::{AdversarialPopulation, AdversaryKind, AdversaryMix};
 pub use backoff::ExponentialBackoff;
 pub use greedy::Greedy;
 pub use grim::GrimTrigger;

@@ -10,9 +10,10 @@
 use sprint_stats::summary::{confidence_interval_95, ConfidenceInterval, OnlineStats};
 use sprint_telemetry::{SpanProfile, Telemetry};
 
-use crate::control::{ControlConfig, ControlReport, ControlSim};
+use crate::control::{ControlConfig, ControlReport, ControlSim, DetectorConfig};
 use crate::faults::{FaultMetrics, FaultPlan};
 use crate::metrics::SimResult;
+use crate::policies::AdversaryMix;
 use crate::policy::PolicyKind;
 use crate::scenario::Scenario;
 use crate::SimError;
@@ -518,6 +519,255 @@ pub fn resilience(
     })
 }
 
+/// One seed of the adversary-defense suite: the same scenario run three
+/// ways so enforcement value is measured against matched baselines.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AdversaryTrial {
+    /// Trial seed.
+    pub seed: u64,
+    /// Fully honest population with the detector armed — the throughput
+    /// baseline and the false-positive self-test.
+    pub honest: ControlReport,
+    /// Adversaries present, detector observing but never punishing —
+    /// the damage they do unchecked.
+    pub unenforced: ControlReport,
+    /// Adversaries present, graduated sanctions enforced.
+    pub enforced: ControlReport,
+}
+
+/// Aggregated outcome of the adversary-defense acceptance suite.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AdversaryReport {
+    /// The fault plan every trial ran under.
+    pub plan: FaultPlan,
+    /// Control-plane timing in effect.
+    pub control: ControlConfig,
+    /// Detector and sanctions configuration.
+    pub detector: DetectorConfig,
+    /// The adversary population specification.
+    pub mix: AdversaryMix,
+    /// Agents per trial.
+    pub agents: u32,
+    /// Epochs per trial.
+    pub epochs: usize,
+    /// Per-seed triples, in seed order.
+    pub trials: Vec<AdversaryTrial>,
+    /// Mean honest-population throughput (tasks per agent-epoch).
+    pub honest_throughput: f64,
+    /// Mean throughput with adversaries unchecked.
+    pub unenforced_throughput: f64,
+    /// Mean throughput with graduated enforcement.
+    pub enforced_throughput: f64,
+    /// `enforced / honest` — the acceptance gate requires ≥ 0.95.
+    pub recovery_ratio: f64,
+    /// `unenforced / honest` — how much damage enforcement undoes.
+    pub unenforced_ratio: f64,
+    /// Detections across enforced trials.
+    pub detections: u64,
+    /// Permanent exclusions across enforced trials.
+    pub exclusions: u64,
+    /// Completed probations across enforced trials.
+    pub readmissions: u64,
+    /// Honest agents permanently excluded, across the honest *and*
+    /// enforced legs — the acceptance gate requires exactly 0.
+    pub false_positive_exclusions: u64,
+    /// Adversaries never detected, summed across enforced trials.
+    pub false_negatives: u64,
+    /// Detection-count-weighted mean epochs to first detection.
+    pub mean_detection_latency_epochs: Option<f64>,
+}
+
+/// Run the adversary-defense suite: for each seed, the same rack is run
+/// honest (detector armed — any sanction is a false positive), with
+/// adversaries unchecked, and with graduated enforcement. One thread
+/// per seed; aggregation is in seed order so the report is
+/// byte-reproducible at any parallelism. With a telemetry kit attached,
+/// per-trial durations accumulate under `trial.adversary` and per-trial
+/// detection-latency / false-positive / false-negative distributions
+/// land in the metrics registry.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParameter`] for empty `seeds` or an
+/// adversary fraction of zero, and propagates configuration errors.
+pub fn adversary_defense(
+    scenario: &Scenario,
+    plan: FaultPlan,
+    control: ControlConfig,
+    detector: DetectorConfig,
+    mix: AdversaryMix,
+    seeds: &[u64],
+    telemetry: &mut Telemetry,
+) -> crate::Result<AdversaryReport> {
+    if seeds.is_empty() {
+        return Err(SimError::InvalidParameter {
+            name: "seeds",
+            value: 0.0,
+            expected: "at least one seed",
+        });
+    }
+    if mix.fraction <= 0.0 {
+        return Err(SimError::InvalidParameter {
+            name: "fraction",
+            value: mix.fraction,
+            expected: "a positive adversary fraction (the honest leg is built in)",
+        });
+    }
+    mix.validate()?;
+    detector.validate()?;
+    let base = ControlSim::new(
+        *scenario.game(),
+        scenario.mixture_density()?,
+        scenario.epochs(),
+    )?
+    .with_faults(plan)
+    .with_control(control);
+    let honest_sim = base.clone().with_detector(detector);
+    let unenforced_sim = base
+        .clone()
+        .with_adversaries(mix)
+        .with_detector(DetectorConfig {
+            enforcement: false,
+            ..detector
+        });
+    let enforced_sim = base.with_adversaries(mix).with_detector(detector);
+
+    let results: Vec<crate::Result<(AdversaryTrial, u64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let (h, u, e) = (&honest_sim, &unenforced_sim, &enforced_sim);
+                scope.spawn(move || {
+                    let started = std::time::Instant::now();
+                    let honest = h.run(seed, &mut Telemetry::noop())?;
+                    let unenforced = u.run(seed, &mut Telemetry::noop())?;
+                    let enforced = e.run(seed, &mut Telemetry::noop())?;
+                    Ok((
+                        AdversaryTrial {
+                            seed,
+                            honest,
+                            unenforced,
+                            enforced,
+                        },
+                        started.elapsed().as_nanos() as u64,
+                    ))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or(Err(SimError::WorkerPanicked {
+                    what: "adversary-defense trial",
+                }))
+            })
+            .collect()
+    });
+
+    let mut trials = Vec::with_capacity(seeds.len());
+    for r in results {
+        let (trial, nanos) = r?;
+        telemetry.spans.record_nanos("trial.adversary", nanos);
+        trials.push(trial);
+    }
+
+    let mean_throughput = |pick: fn(&AdversaryTrial) -> &ControlReport| -> f64 {
+        trials
+            .iter()
+            .filter_map(|t| pick(t).defense.as_ref().map(|d| d.throughput))
+            .sum::<f64>()
+            / trials.len() as f64
+    };
+    let honest_throughput = mean_throughput(|t| &t.honest);
+    let unenforced_throughput = mean_throughput(|t| &t.unenforced);
+    let enforced_throughput = mean_throughput(|t| &t.enforced);
+    let ratio = |num: f64| {
+        if honest_throughput > 0.0 {
+            num / honest_throughput
+        } else {
+            0.0
+        }
+    };
+
+    let mut detections = 0u64;
+    let mut exclusions = 0u64;
+    let mut readmissions = 0u64;
+    let mut false_positive_exclusions = 0u64;
+    let mut false_negatives = 0u64;
+    let mut latency_weighted = 0.0f64;
+    let mut latency_count = 0u64;
+    for t in &trials {
+        if let Some(d) = &t.enforced.defense {
+            detections += d.detections;
+            exclusions += d.exclusions;
+            readmissions += d.readmissions;
+            false_positive_exclusions += d.false_positive_exclusions;
+            false_negatives += u64::from(d.false_negatives);
+            if let Some(m) = d.mean_detection_latency_epochs {
+                let k = u64::from(d.adversaries - d.false_negatives);
+                latency_weighted += m * k as f64;
+                latency_count += k;
+            }
+        }
+        if let Some(d) = &t.honest.defense {
+            // No adversaries exist in the honest leg: every exclusion
+            // there is a false positive by construction.
+            false_positive_exclusions += d.exclusions;
+        }
+    }
+    let mean_detection_latency_epochs =
+        (latency_count > 0).then(|| latency_weighted / latency_count as f64);
+
+    if telemetry.enabled() {
+        let reg = &mut telemetry.registry;
+        let lat = reg.histogram(
+            "defense.trial.detection_latency_epochs",
+            &[10.0, 20.0, 40.0, 80.0, 160.0, 320.0, 640.0],
+        );
+        let fps = reg.histogram(
+            "defense.trial.false_positives",
+            &[0.5, 1.5, 2.5, 4.5, 8.5, 16.5],
+        );
+        let fns = reg.histogram(
+            "defense.trial.false_negatives",
+            &[0.5, 1.5, 2.5, 4.5, 8.5, 16.5],
+        );
+        for t in &trials {
+            if let Some(d) = &t.enforced.defense {
+                if let Some(m) = d.mean_detection_latency_epochs {
+                    reg.observe(lat, m);
+                }
+                let fp = d.false_positive_warnings
+                    + d.false_positive_revocations
+                    + d.false_positive_exclusions;
+                reg.observe(fps, fp as f64);
+                reg.observe(fns, f64::from(d.false_negatives));
+            }
+        }
+    }
+
+    Ok(AdversaryReport {
+        plan,
+        control,
+        detector,
+        mix,
+        agents: scenario.game().n_agents(),
+        epochs: scenario.epochs(),
+        trials,
+        honest_throughput,
+        unenforced_throughput,
+        enforced_throughput,
+        recovery_ratio: ratio(enforced_throughput),
+        unenforced_ratio: ratio(unenforced_throughput),
+        detections,
+        exclusions,
+        readmissions,
+        false_positive_exclusions,
+        false_negatives,
+        mean_detection_latency_epochs,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -670,6 +920,90 @@ mod tests {
         assert!(!cell.faults.is_clean(), "composite plan must leave traces");
         assert!(cell.degradation.is_finite());
         assert!(report.cell(PolicyKind::Greedy, "missing").is_none());
+    }
+
+    #[test]
+    fn adversary_defense_validates_inputs() {
+        let s = Scenario::homogeneous(Benchmark::Svm, 30, 40).unwrap();
+        let mix = AdversaryMix::greedy(0.1, 7);
+        assert!(adversary_defense(
+            &s,
+            FaultPlan::none(),
+            ControlConfig::default(),
+            DetectorConfig::default(),
+            mix,
+            &[],
+            &mut Telemetry::noop(),
+        )
+        .is_err());
+        assert!(adversary_defense(
+            &s,
+            FaultPlan::none(),
+            ControlConfig::default(),
+            DetectorConfig::default(),
+            AdversaryMix::honest(),
+            &[1],
+            &mut Telemetry::noop(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn adversary_defense_detects_and_recovers() {
+        let s = Scenario::homogeneous(Benchmark::Svm, 40, 400).unwrap();
+        let mut telemetry = Telemetry::in_memory();
+        let report = adversary_defense(
+            &s,
+            FaultPlan::adversary_chaos(11),
+            ControlConfig::default(),
+            DetectorConfig::default(),
+            AdversaryMix::greedy(0.1, 11),
+            &[1, 2],
+            &mut telemetry,
+        )
+        .unwrap();
+        assert_eq!(report.trials.len(), 2);
+        assert_eq!(report.agents, 40);
+        assert!(
+            report.detections > 0,
+            "greedy defectors must be detected: {report:?}"
+        );
+        assert!(
+            report.recovery_ratio > report.unenforced_ratio,
+            "enforcement must beat laissez-faire: {} vs {}",
+            report.recovery_ratio,
+            report.unenforced_ratio
+        );
+        for t in &report.trials {
+            let h = t.honest.defense.as_ref().unwrap();
+            assert_eq!(h.adversaries, 0);
+            let e = t.enforced.defense.as_ref().unwrap();
+            assert_eq!(e.adversaries, 4, "10% of 40 agents");
+        }
+        // Per-trial distributions landed in the registry and spans.
+        let snapshot = telemetry.registry.snapshot();
+        assert!(snapshot
+            .histograms
+            .contains_key("defense.trial.detection_latency_epochs"));
+        assert_eq!(telemetry.spans.stats("trial.adversary").unwrap().count, 2);
+    }
+
+    #[test]
+    fn adversary_defense_report_serializes() {
+        let s = Scenario::homogeneous(Benchmark::Kmeans, 20, 120).unwrap();
+        let report = adversary_defense(
+            &s,
+            FaultPlan::none(),
+            ControlConfig::default(),
+            DetectorConfig::default(),
+            AdversaryMix::greedy(0.15, 3),
+            &[5],
+            &mut Telemetry::noop(),
+        )
+        .unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: AdversaryReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -47,6 +47,7 @@ use sprint_workloads::Benchmark;
 
 use crate::engine::{self, RunOptions, SimConfig};
 use crate::metrics::SimResult;
+use crate::policies::{AdversarialPopulation, AdversaryMix};
 use crate::policy::{PolicyKind, SprintPolicy};
 use crate::runner::NamedPlan;
 use crate::scenario::{Scenario, SolveSummary};
@@ -151,14 +152,37 @@ impl PopulationSpec {
     }
 }
 
+/// One point on the sweep's adversary axis: a named [`AdversaryMix`]
+/// applied to every policy trial (the label `"honest"` with a zero
+/// fraction is the clean default).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NamedAdversaries {
+    /// Display name (unique within a spec).
+    pub name: String,
+    /// The adversary population specification.
+    pub mix: AdversaryMix,
+}
+
+impl NamedAdversaries {
+    /// The clean default: no adversaries.
+    #[must_use]
+    pub fn honest() -> Self {
+        NamedAdversaries {
+            name: "honest".to_string(),
+            mix: AdversaryMix::honest(),
+        }
+    }
+}
+
 /// A declarative sweep: the cartesian product
-/// `games × populations × plans × policies × seeds`, expanded in exactly
-/// that axis order (seeds fastest) into trials numbered from 0.
+/// `games × populations × plans × adversaries × policies × seeds`,
+/// expanded in exactly that axis order (seeds fastest) into trials
+/// numbered from 0.
 ///
 /// An empty `plans` list means one unnamed clean entry that keeps
 /// `options.faults`; every listed plan *overrides* `options.faults` for
-/// its trials.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+/// its trials. An empty `adversaries` list means one honest entry.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct SweepSpec {
     /// The game axis.
     pub games: Vec<GameVariant>,
@@ -166,6 +190,8 @@ pub struct SweepSpec {
     pub populations: Vec<PopulationSpec>,
     /// The fault-plan axis (may be empty; see above).
     pub plans: Vec<NamedPlan>,
+    /// The adversary axis (may be empty; see above).
+    pub adversaries: Vec<NamedAdversaries>,
     /// The policy axis.
     pub policies: Vec<PolicyKind>,
     /// The seed axis.
@@ -175,6 +201,54 @@ pub struct SweepSpec {
     /// Shared run options (recovery/interruption/estimation/stagger and
     /// the default fault plan).
     pub options: RunOptions,
+}
+
+/// Read a required field of a hand-written `Deserialize` impl.
+fn de_required<T: serde::Deserialize>(
+    obj: &[(String, serde::Value)],
+    name: &str,
+    parent: &str,
+) -> Result<T, serde::DeError> {
+    match serde::__field(obj, name) {
+        Some(v) => T::from_value(v),
+        None => Err(serde::DeError::custom(format!(
+            "missing field `{name}` in `{parent}`"
+        ))),
+    }
+}
+
+/// Read an optional field, substituting `default` when absent — the
+/// back-compat hook for reports and specs written before the field
+/// existed.
+fn de_or<T: serde::Deserialize>(
+    obj: &[(String, serde::Value)],
+    name: &str,
+    default: T,
+) -> Result<T, serde::DeError> {
+    match serde::__field(obj, name) {
+        Some(v) => T::from_value(v),
+        None => Ok(default),
+    }
+}
+
+// Hand-written so specs written before the adversary axis (no
+// `adversaries` field) keep parsing: an absent axis means all-honest.
+impl serde::Deserialize for SweepSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let Some(obj) = value.as_object() else {
+            return Err(serde::DeError::type_mismatch("object", value));
+        };
+        Ok(SweepSpec {
+            games: de_required(obj, "games", "SweepSpec")?,
+            populations: de_required(obj, "populations", "SweepSpec")?,
+            plans: de_required(obj, "plans", "SweepSpec")?,
+            adversaries: de_or(obj, "adversaries", Vec::new())?,
+            policies: de_required(obj, "policies", "SweepSpec")?,
+            seeds: de_required(obj, "seeds", "SweepSpec")?,
+            epochs: de_required(obj, "epochs", "SweepSpec")?,
+            options: de_required(obj, "options", "SweepSpec")?,
+        })
+    }
 }
 
 impl SweepSpec {
@@ -194,6 +268,7 @@ impl SweepSpec {
             games: vec![paper, tight_band, slow_cooling, fast_recovery],
             populations: vec![PopulationSpec::homogeneous(Benchmark::DecisionTree, 100)],
             plans: Vec::new(),
+            adversaries: Vec::new(),
             policies: PolicyKind::ALL.to_vec(),
             seeds: vec![1, 2, 3, 4],
             epochs: 200,
@@ -207,6 +282,7 @@ impl SweepSpec {
         self.games.len()
             * self.populations.len()
             * self.plans.len().max(1)
+            * self.adversaries.len().max(1)
             * self.policies.len()
             * self.seeds.len()
     }
@@ -237,6 +313,9 @@ impl SweepSpec {
         for plan in &self.plans {
             plan.plan.validate()?;
         }
+        for named in &self.adversaries {
+            named.mix.validate()?;
+        }
         // Resolve populations eagerly so configuration mistakes fail the
         // sweep up front; quarantine is reserved for runtime failures.
         for population in &self.populations {
@@ -258,21 +337,33 @@ impl SweepSpec {
         }
     }
 
-    fn expand(&self, plans: &[NamedPlan]) -> Vec<Trial> {
+    /// The adversary axis with the empty-list default applied.
+    fn effective_adversaries(&self) -> Vec<NamedAdversaries> {
+        if self.adversaries.is_empty() {
+            vec![NamedAdversaries::honest()]
+        } else {
+            self.adversaries.clone()
+        }
+    }
+
+    fn expand(&self, plans: &[NamedPlan], adversaries: &[NamedAdversaries]) -> Vec<Trial> {
         let mut trials = Vec::with_capacity(self.trial_count());
         for game in 0..self.games.len() {
             for population in 0..self.populations.len() {
                 for plan in 0..plans.len() {
-                    for policy in 0..self.policies.len() {
-                        for &seed in &self.seeds {
-                            trials.push(Trial {
-                                id: trials.len(),
-                                game,
-                                population,
-                                plan,
-                                policy,
-                                seed,
-                            });
+                    for adversary in 0..adversaries.len() {
+                        for policy in 0..self.policies.len() {
+                            for &seed in &self.seeds {
+                                trials.push(Trial {
+                                    id: trials.len(),
+                                    game,
+                                    population,
+                                    plan,
+                                    adversary,
+                                    policy,
+                                    seed,
+                                });
+                            }
                         }
                     }
                 }
@@ -289,12 +380,13 @@ struct Trial {
     game: usize,
     population: usize,
     plan: usize,
+    adversary: usize,
     policy: usize,
     seed: u64,
 }
 
 /// The outcome of one trial.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct SweepRecord {
     /// Trial index in expansion order.
     pub trial: usize,
@@ -304,6 +396,8 @@ pub struct SweepRecord {
     pub population: String,
     /// Fault-plan name (`"none"` for the clean default).
     pub plan: String,
+    /// Adversary-mix name (`"honest"` for the clean default).
+    pub adversaries: String,
     /// The policy.
     pub policy: PolicyKind,
     /// The seed.
@@ -322,9 +416,34 @@ pub struct SweepRecord {
     pub solve: Option<SolveSummary>,
 }
 
+// Hand-written so records serialized before the adversary axis keep
+// parsing: an absent label means an honest trial.
+impl serde::Deserialize for SweepRecord {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let Some(obj) = value.as_object() else {
+            return Err(serde::DeError::type_mismatch("object", value));
+        };
+        Ok(SweepRecord {
+            trial: de_required(obj, "trial", "SweepRecord")?,
+            game: de_required(obj, "game", "SweepRecord")?,
+            population: de_required(obj, "population", "SweepRecord")?,
+            plan: de_required(obj, "plan", "SweepRecord")?,
+            adversaries: de_or(obj, "adversaries", "honest".to_string())?,
+            policy: de_required(obj, "policy", "SweepRecord")?,
+            seed: de_required(obj, "seed", "SweepRecord")?,
+            tasks_per_agent_epoch: de_required(obj, "tasks_per_agent_epoch", "SweepRecord")?,
+            total_tasks: de_required(obj, "total_tasks", "SweepRecord")?,
+            trips: de_required(obj, "trips", "SweepRecord")?,
+            mean_sprinters: de_required(obj, "mean_sprinters", "SweepRecord")?,
+            occupancy: de_required(obj, "occupancy", "SweepRecord")?,
+            solve: de_or(obj, "solve", None)?,
+        })
+    }
+}
+
 /// Aggregate over one cell's seeds (one `game × population × plan ×
-/// policy` point).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+/// adversaries × policy` point).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct SweepCell {
     /// Game variant name.
     pub game: String,
@@ -332,6 +451,8 @@ pub struct SweepCell {
     pub population: String,
     /// Fault-plan name.
     pub plan: String,
+    /// Adversary-mix name.
+    pub adversaries: String,
     /// The policy.
     pub policy: PolicyKind,
     /// Trials aggregated (the seed count).
@@ -354,6 +475,31 @@ pub struct SweepCell {
     /// Convergence facts for the cell's offline solve (E-T cells only;
     /// identical across seeds since the solve is seed-independent).
     pub solve: Option<SolveSummary>,
+}
+
+// Hand-written for the same back-compat reason as [`SweepRecord`].
+impl serde::Deserialize for SweepCell {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let Some(obj) = value.as_object() else {
+            return Err(serde::DeError::type_mismatch("object", value));
+        };
+        Ok(SweepCell {
+            game: de_required(obj, "game", "SweepCell")?,
+            population: de_required(obj, "population", "SweepCell")?,
+            plan: de_required(obj, "plan", "SweepCell")?,
+            adversaries: de_or(obj, "adversaries", "honest".to_string())?,
+            policy: de_required(obj, "policy", "SweepCell")?,
+            trials: de_required(obj, "trials", "SweepCell")?,
+            tasks_per_agent_epoch: de_required(obj, "tasks_per_agent_epoch", "SweepCell")?,
+            tasks_std_dev: de_required(obj, "tasks_std_dev", "SweepCell")?,
+            tasks_ci: de_or(obj, "tasks_ci", None)?,
+            trips: de_required(obj, "trips", "SweepCell")?,
+            mean_sprinters: de_required(obj, "mean_sprinters", "SweepCell")?,
+            occupancy: de_required(obj, "occupancy", "SweepCell")?,
+            normalized_to_greedy: de_or(obj, "normalized_to_greedy", None)?,
+            solve: de_or(obj, "solve", None)?,
+        })
+    }
 }
 
 /// A sabotage instruction for supervision tests: make a trial attempt
@@ -407,7 +553,7 @@ impl Supervision {
 
 /// A trial that kept failing after its retries and was excluded from
 /// the records instead of failing the sweep.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct QuarantinedTrial {
     /// Trial index in expansion order.
     pub trial: usize,
@@ -417,6 +563,8 @@ pub struct QuarantinedTrial {
     pub population: String,
     /// Fault-plan name.
     pub plan: String,
+    /// Adversary-mix name.
+    pub adversaries: String,
     /// The policy.
     pub policy: PolicyKind,
     /// The seed.
@@ -426,6 +574,26 @@ pub struct QuarantinedTrial {
     /// Display form of the final error (panics surface as worker-panic
     /// errors).
     pub error: String,
+}
+
+// Hand-written for the same back-compat reason as [`SweepRecord`].
+impl serde::Deserialize for QuarantinedTrial {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let Some(obj) = value.as_object() else {
+            return Err(serde::DeError::type_mismatch("object", value));
+        };
+        Ok(QuarantinedTrial {
+            trial: de_required(obj, "trial", "QuarantinedTrial")?,
+            game: de_required(obj, "game", "QuarantinedTrial")?,
+            population: de_required(obj, "population", "QuarantinedTrial")?,
+            plan: de_required(obj, "plan", "QuarantinedTrial")?,
+            adversaries: de_or(obj, "adversaries", "honest".to_string())?,
+            policy: de_required(obj, "policy", "QuarantinedTrial")?,
+            seed: de_required(obj, "seed", "QuarantinedTrial")?,
+            attempts: de_required(obj, "attempts", "QuarantinedTrial")?,
+            error: de_required(obj, "error", "QuarantinedTrial")?,
+        })
+    }
 }
 
 /// A completed sweep: per-trial records (expansion order) and per-cell
@@ -451,25 +619,11 @@ impl serde::Deserialize for SweepReport {
         let Some(obj) = value.as_object() else {
             return Err(serde::DeError::type_mismatch("object", value));
         };
-        fn required<T: serde::Deserialize>(
-            obj: &[(String, serde::Value)],
-            name: &str,
-        ) -> Result<T, serde::DeError> {
-            match serde::__field(obj, name) {
-                Some(v) => T::from_value(v),
-                None => Err(serde::DeError::custom(format!(
-                    "missing field `{name}` in `SweepReport`"
-                ))),
-            }
-        }
         Ok(SweepReport {
-            trials: required(obj, "trials")?,
-            records: required(obj, "records")?,
-            cells: required(obj, "cells")?,
-            quarantined: match serde::__field(obj, "quarantined") {
-                Some(v) => serde::Deserialize::from_value(v)?,
-                None => Vec::new(),
-            },
+            trials: de_required(obj, "trials", "SweepReport")?,
+            records: de_required(obj, "records", "SweepReport")?,
+            cells: de_required(obj, "cells", "SweepReport")?,
+            quarantined: de_or(obj, "quarantined", Vec::new())?,
         })
     }
 }
@@ -525,7 +679,8 @@ pub fn run_sweep_supervised(
 ) -> crate::Result<SweepReport> {
     spec.validate()?;
     let plans = spec.effective_plans();
-    let trials = spec.expand(&plans);
+    let adversaries = spec.effective_adversaries();
+    let trials = spec.expand(&plans, &adversaries);
     let jobs = effective_jobs(jobs, trials.len());
     let cache = EquilibriumCache::default();
 
@@ -557,8 +712,14 @@ pub fn run_sweep_supervised(
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(trial) = trials.get(i) else { break };
                         let started = std::time::Instant::now();
-                        let (record, attempts) =
-                            run_trial_supervised(spec, &plans, trial, &cache, supervision);
+                        let (record, attempts) = run_trial_supervised(
+                            spec,
+                            &plans,
+                            &adversaries,
+                            trial,
+                            &cache,
+                            supervision,
+                        );
                         // First write wins; a slot is only ever written
                         // once because indices are unique.
                         let _ =
@@ -592,6 +753,7 @@ pub fn run_sweep_supervised(
                 game: spec.games[trial.game].name.clone(),
                 population: spec.populations[trial.population].name.clone(),
                 plan: plans[trial.plan].name.clone(),
+                adversaries: adversaries[trial.adversary].name.clone(),
                 policy: spec.policies[trial.policy],
                 seed: trial.seed,
                 attempts,
@@ -625,6 +787,7 @@ pub fn run_sweep_supervised(
 fn run_trial_supervised(
     spec: &SweepSpec,
     plans: &[NamedPlan],
+    adversaries: &[NamedAdversaries],
     trial: &Trial,
     cache: &EquilibriumCache,
     supervision: Supervision,
@@ -651,7 +814,7 @@ fn run_trial_supervised(
                     None => {}
                 }
             }
-            run_trial(spec, plans, trial, cache, deadline)
+            run_trial(spec, plans, adversaries, trial, cache, deadline)
         }));
         match outcome {
             Ok(Ok(record)) => return (Ok(record), attempt + 1),
@@ -688,6 +851,7 @@ fn presolve_cell(
 fn run_trial(
     spec: &SweepSpec,
     plans: &[NamedPlan],
+    adversaries: &[NamedAdversaries],
     trial: &Trial,
     cache: &EquilibriumCache,
     deadline: Option<engine::Deadline>,
@@ -695,6 +859,7 @@ fn run_trial(
     let variant = &spec.games[trial.game];
     let pop_spec = &spec.populations[trial.population];
     let named = &plans[trial.plan];
+    let named_mix = &adversaries[trial.adversary];
     let kind = spec.policies[trial.policy];
 
     let game = variant.build(pop_spec.agents)?;
@@ -713,6 +878,13 @@ fn run_trial(
             None,
         ),
     };
+    if named_mix.mix.fraction > 0.0 {
+        policy = Box::new(AdversarialPopulation::new(
+            policy,
+            named_mix.mix,
+            pop_spec.agents as usize,
+        )?);
+    }
     let config = SimConfig::new(game, spec.epochs, trial.seed)?.with_options(*scenario.options());
     let mut streams = scenario.population().spawn_streams(trial.seed)?;
     let result = engine::run_with_deadline(
@@ -724,15 +896,17 @@ fn run_trial(
     )?;
 
     Ok(record_of(
-        trial, variant, pop_spec, named, kind, &result, solve,
+        trial, variant, pop_spec, named, named_mix, kind, &result, solve,
     ))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn record_of(
     trial: &Trial,
     variant: &GameVariant,
     pop_spec: &PopulationSpec,
     named: &NamedPlan,
+    named_mix: &NamedAdversaries,
     kind: PolicyKind,
     result: &SimResult,
     solve: Option<SolveSummary>,
@@ -742,6 +916,7 @@ fn record_of(
         game: variant.name.clone(),
         population: pop_spec.name.clone(),
         plan: named.name.clone(),
+        adversaries: named_mix.name.clone(),
         policy: kind,
         seed: trial.seed,
         tasks_per_agent_epoch: result.tasks_per_agent_epoch(),
@@ -762,11 +937,16 @@ fn record_of(
 fn aggregate_cells(records: &[SweepRecord]) -> Vec<SweepCell> {
     let mut groups: Vec<Vec<&SweepRecord>> = Vec::new();
     for r in records {
-        let key = (&r.game, &r.population, &r.plan, r.policy);
-        match groups
-            .iter_mut()
-            .find(|g| (&g[0].game, &g[0].population, &g[0].plan, g[0].policy) == key)
-        {
+        let key = (&r.game, &r.population, &r.plan, &r.adversaries, r.policy);
+        match groups.iter_mut().find(|g| {
+            (
+                &g[0].game,
+                &g[0].population,
+                &g[0].plan,
+                &g[0].adversaries,
+                g[0].policy,
+            ) == key
+        }) {
             Some(group) => group.push(r),
             None => groups.push(vec![r]),
         }
@@ -791,6 +971,7 @@ fn aggregate_cells(records: &[SweepRecord]) -> Vec<SweepCell> {
                 game: first.game.clone(),
                 population: first.population.clone(),
                 plan: first.plan.clone(),
+                adversaries: first.adversaries.clone(),
                 policy: first.policy,
                 trials: chunk.len(),
                 tasks_per_agent_epoch: tasks.mean(),
@@ -814,6 +995,7 @@ fn aggregate_cells(records: &[SweepRecord]) -> Vec<SweepCell> {
                     && c.game == cells[i].game
                     && c.population == cells[i].population
                     && c.plan == cells[i].plan
+                    && c.adversaries == cells[i].adversaries
             })
             .map(|c| c.tasks_per_agent_epoch)
             .filter(|&g| g > 0.0);
@@ -834,6 +1016,7 @@ mod tests {
             games: vec![GameVariant::paper("paper")],
             populations: vec![PopulationSpec::homogeneous(Benchmark::DecisionTree, 40)],
             plans: Vec::new(),
+            adversaries: Vec::new(),
             policies: vec![PolicyKind::Greedy, PolicyKind::EquilibriumThreshold],
             seeds: vec![1, 2, 3],
             epochs: 60,
@@ -1043,5 +1226,89 @@ mod tests {
         let spec_back: SweepSpec = serde_json::from_str(&spec_json).unwrap();
         assert_eq!(spec_back, SweepSpec::example());
         assert_eq!(SweepSpec::example().trial_count(), 64);
+    }
+
+    #[test]
+    fn pre_adversary_json_parses_as_honest() {
+        let report = run_sweep(&small_spec(), 1, &mut Telemetry::noop()).unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        // Strip the adversary labels everywhere, as reports serialized
+        // before the axis existed would lack them.
+        let legacy = json.replace("\"adversaries\":\"honest\",", "");
+        assert_ne!(legacy, json);
+        let back: SweepReport = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, report);
+        // Same for specs missing the axis entirely.
+        let spec_json = serde_json::to_string(&small_spec()).unwrap();
+        let legacy_spec = spec_json.replace("\"adversaries\":[],", "");
+        assert_ne!(legacy_spec, spec_json);
+        let back: SweepSpec = serde_json::from_str(&legacy_spec).unwrap();
+        assert_eq!(back, small_spec());
+    }
+
+    #[test]
+    fn adversary_axis_expands_labels_and_degrades_honest_cells() {
+        let mut spec = small_spec();
+        spec.policies = vec![PolicyKind::EquilibriumThreshold];
+        spec.adversaries = vec![
+            NamedAdversaries::honest(),
+            NamedAdversaries {
+                name: "greedy@0.2".to_string(),
+                mix: AdversaryMix::greedy(0.2, 7),
+            },
+        ];
+        assert_eq!(spec.trial_count(), 6);
+        let report = run_sweep(&spec, 1, &mut Telemetry::noop()).unwrap();
+        assert_eq!(report.trials, 6);
+        let labels: Vec<&str> = report
+            .records
+            .iter()
+            .map(|r| r.adversaries.as_str())
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                "honest",
+                "honest",
+                "honest",
+                "greedy@0.2",
+                "greedy@0.2",
+                "greedy@0.2"
+            ],
+            "adversary axis sits between plans and policies"
+        );
+        assert_eq!(report.cells.len(), 2);
+        let honest = &report.cells[0];
+        let attacked = &report.cells[1];
+        assert_eq!(honest.adversaries, "honest");
+        assert_eq!(attacked.adversaries, "greedy@0.2");
+        assert!(
+            attacked.trips > honest.trips,
+            "unchecked defectors must trip the breaker more: {} vs {}",
+            attacked.trips,
+            honest.trips
+        );
+    }
+
+    #[test]
+    fn adversary_trials_are_identical_across_job_counts() {
+        let mut spec = small_spec();
+        spec.adversaries = vec![NamedAdversaries {
+            name: "cheat".to_string(),
+            mix: AdversaryMix {
+                kind: crate::policies::AdversaryKind::StochasticCheater {
+                    cheat_probability: 0.3,
+                },
+                fraction: 0.15,
+                seed: 9,
+                ceasefire_epoch: None,
+            },
+        }];
+        let serial = run_sweep(&spec, 1, &mut Telemetry::noop()).unwrap();
+        let parallel = run_sweep(&spec, 4, &mut Telemetry::noop()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
+        );
     }
 }

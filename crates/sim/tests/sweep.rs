@@ -15,6 +15,7 @@ fn spec() -> SweepSpec {
         games: vec![GameVariant::paper("paper"), hot],
         populations: vec![PopulationSpec::homogeneous(Benchmark::Svm, 50)],
         plans: Vec::new(),
+        adversaries: Vec::new(),
         policies: vec![PolicyKind::Greedy, PolicyKind::EquilibriumThreshold],
         seeds: vec![11, 12, 13, 14],
         epochs: 80,

@@ -100,6 +100,41 @@ impl ControlTier {
     }
 }
 
+/// One rung of the coordinator's graduated sanctions ladder.
+///
+/// Replaces the offline grim trigger's single irreversible ban with an
+/// escalation that tolerates sensor noise: a warning costs nothing, a
+/// revocation is timed and followed by probation, and only repeated
+/// detections reach permanent exclusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SanctionLevel {
+    /// First detection: the agent is put on notice, nothing changes.
+    Warning,
+    /// Timed sprint-lease revocation; expires into probation.
+    Revocation,
+    /// Permanent exclusion from the sprinting population.
+    Exclusion,
+}
+
+impl SanctionLevel {
+    /// All sanction levels, mildest first, for per-level metrics.
+    pub const ALL: [SanctionLevel; 3] = [
+        SanctionLevel::Warning,
+        SanctionLevel::Revocation,
+        SanctionLevel::Exclusion,
+    ];
+
+    /// Stable snake_case name, used for per-level metric names.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SanctionLevel::Warning => "warning",
+            SanctionLevel::Revocation => "revocation",
+            SanctionLevel::Exclusion => "exclusion",
+        }
+    }
+}
+
 /// Discriminant of an [`Event`], for recorder-side filtering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum EventKind {
@@ -133,6 +168,12 @@ pub enum EventKind {
     AgentSuspected,
     /// [`Event::RetryBackoff`].
     RetryBackoff,
+    /// [`Event::AdversaryDetected`].
+    AdversaryDetected,
+    /// [`Event::SanctionApplied`].
+    SanctionApplied,
+    /// [`Event::SanctionLifted`].
+    SanctionLifted,
     /// [`Event::RunEnd`].
     RunEnd,
 }
@@ -293,6 +334,44 @@ pub enum Event {
         /// Jittered delay until the next attempt, in epochs.
         delay_epochs: u32,
     },
+    /// The CUSUM detector crossed its decision threshold for an agent.
+    AdversaryDetected {
+        /// Epoch index (when the triggering report was accepted).
+        epoch: usize,
+        /// The agent the detector flagged.
+        agent: u32,
+        /// The CUSUM statistic at the moment of detection.
+        statistic: f64,
+        /// Observed sprint rate given active, over the triggering window.
+        observed: f64,
+        /// Sprint rate the assigned threshold implies under the density.
+        expected: f64,
+    },
+    /// The coordinator escalated an agent on the sanctions ladder.
+    SanctionApplied {
+        /// Epoch index.
+        epoch: usize,
+        /// The sanctioned agent.
+        agent: u32,
+        /// Which rung of the ladder was applied.
+        level: SanctionLevel,
+        /// Confirmed detections against this agent so far.
+        strikes: u32,
+        /// Sanction duration in epochs; `None` when untimed (a warning,
+        /// or a permanent exclusion).
+        duration_epochs: Option<u32>,
+    },
+    /// A timed sanction lapsed and the agent moved back down the ladder.
+    SanctionLifted {
+        /// Epoch index.
+        epoch: usize,
+        /// The re-admitted agent.
+        agent: u32,
+        /// `true` when a revocation expired into probation (the detector
+        /// stays armed with a reduced threshold); `false` when probation
+        /// completed and the agent is fully restored.
+        probation: bool,
+    },
     /// A simulation run finished.
     RunEnd {
         /// Total task-units completed.
@@ -322,6 +401,9 @@ impl Event {
             Event::LeaseExpired { .. } => EventKind::LeaseExpired,
             Event::AgentSuspected { .. } => EventKind::AgentSuspected,
             Event::RetryBackoff { .. } => EventKind::RetryBackoff,
+            Event::AdversaryDetected { .. } => EventKind::AdversaryDetected,
+            Event::SanctionApplied { .. } => EventKind::SanctionApplied,
+            Event::SanctionLifted { .. } => EventKind::SanctionLifted,
             Event::RunEnd { .. } => EventKind::RunEnd,
         }
     }
@@ -423,6 +505,25 @@ mod tests {
                 attempt: 1,
                 delay_epochs: 2,
             },
+            Event::AdversaryDetected {
+                epoch: 40,
+                agent: 7,
+                statistic: 2.4,
+                observed: 1.0,
+                expected: 0.3,
+            },
+            Event::SanctionApplied {
+                epoch: 40,
+                agent: 7,
+                level: SanctionLevel::Revocation,
+                strikes: 2,
+                duration_epochs: Some(30),
+            },
+            Event::SanctionLifted {
+                epoch: 70,
+                agent: 7,
+                probation: true,
+            },
             Event::RunEnd {
                 total_tasks: 100.0,
                 trips: 2,
@@ -447,6 +548,18 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), FaultKind::ALL.len());
+    }
+
+    #[test]
+    fn sanction_levels_round_trip_and_order_mildest_first() {
+        let mut names = Vec::new();
+        for s in SanctionLevel::ALL {
+            let json = serde_json::to_string(&s).unwrap();
+            let back: SanctionLevel = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, s);
+            names.push(s.name());
+        }
+        assert_eq!(names, ["warning", "revocation", "exclusion"]);
     }
 
     #[test]

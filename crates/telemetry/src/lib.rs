@@ -27,7 +27,7 @@ pub mod registry;
 pub mod spans;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
-pub use event::{ControlTier, Event, EventKind, FaultKind};
+pub use event::{ControlTier, Event, EventKind, FaultKind, SanctionLevel};
 pub use recorder::{InMemory, JsonlWriter, Noop, Recorder};
 pub use registry::{
     CounterId, FixedHistogram, GaugeId, HistogramId, MetricsSnapshot, Registry, SeriesId,
