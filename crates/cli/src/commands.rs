@@ -12,7 +12,8 @@ use sprint_sim::sweep::{
     run_sweep_supervised, GameVariant, PopulationSpec, Supervision, SweepSpec,
 };
 use sprint_sim::telemetry::{
-    Event, EventKind, JsonlWriter, MetricsSnapshot, Noop, SpanProfile, SpanReport, Telemetry,
+    collapsed_stacks, prometheus_text, Event, EventKind, EventRing, HealthAggregator, JsonlWriter,
+    MetricsSnapshot, Noop, RingConfig, Severity, SpanProfile, SpanReport, Telemetry,
 };
 use sprint_sim::RunOptions;
 use sprint_workloads::Benchmark;
@@ -63,6 +64,12 @@ USAGE:
                        [--seed S] [--jobs J] [--decisions true] [--out FILE.jsonl]
   sprint report        --benchmark <name> [--policy P] [--agents N] [--epochs E]
                        [--seed S] [--jobs J] [--json true]
+                       [--prometheus FILE.prom] [--flamegraph FILE.folded]
+  sprint monitor       --trace FILE.jsonl [--follow true] [--every N] [--json true]
+  sprint monitor       --benchmark <name> [--policy P] [--agents N] [--epochs E]
+                       [--seed S] [--jobs J] [--every N] [--decisions true]
+                       [--json true] [--prometheus FILE.prom]
+                       [--flamegraph FILE.folded]
   sprint compare       --benchmark <name> [--agents N] [--epochs E] [--seeds K]
                        [--jobs J]
   sprint sweep         [--spec FILE.json] [--benchmark <name>] [--agents N]
@@ -414,6 +421,8 @@ pub fn report(args: &ParsedArgs) -> Result<(), CliError> {
         "seed",
         "jobs",
         "json",
+        "prometheus",
+        "flamegraph",
     ])?;
     let benchmark = parse_benchmark(args)?;
     let policy = parse_policy(&args.get_or("policy", "e-t"))?;
@@ -505,7 +514,26 @@ pub fn report(args: &ParsedArgs) -> Result<(), CliError> {
             println!("fault counter       {name:<22} {value}");
         }
         print_span_table(&run_report.spans);
-    })
+    })?;
+    write_exports(args, &run_report.metrics, &run_report.spans)
+}
+
+/// Write the optional `--prometheus` / `--flamegraph` export files from
+/// frozen telemetry state, announcing each path written.
+fn write_exports(
+    args: &ParsedArgs,
+    metrics: &MetricsSnapshot,
+    spans: &SpanReport,
+) -> Result<(), CliError> {
+    if let Some(path) = args.get("prometheus") {
+        std::fs::write(path, prometheus_text(metrics)).map_err(run_err)?;
+        println!("prometheus exposition written to {path}");
+    }
+    if let Some(path) = args.get("flamegraph") {
+        std::fs::write(path, collapsed_stacks(spans)).map_err(run_err)?;
+        println!("collapsed stacks written to {path}");
+    }
+    Ok(())
 }
 
 /// `sprint compare`: the paper's four policies, averaged over seeds.
@@ -1211,6 +1239,172 @@ pub fn benchmarks(args: &ParsedArgs) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `sprint monitor`: rolling health snapshots from a live run or a
+/// recorded JSONL trace.
+///
+/// Recorded mode (`--trace FILE.jsonl`) folds the trace through the
+/// health aggregator and renders a snapshot line every `--every` epochs;
+/// `--follow true` keeps tailing the file until its `RunEnd` arrives.
+/// Live mode (`--benchmark ...`) runs the scenario on a worker thread
+/// publishing into a lock-free ring; the monitor drains the ring
+/// concurrently and renders rolling snapshots without ever blocking the
+/// engine. `--json true` prints the final health snapshot as JSON
+/// instead of the rolling lines.
+pub fn monitor(args: &ParsedArgs) -> Result<(), CliError> {
+    args.expect_only(&[
+        "trace",
+        "follow",
+        "every",
+        "json",
+        "benchmark",
+        "policy",
+        "agents",
+        "epochs",
+        "seed",
+        "jobs",
+        "decisions",
+        "prometheus",
+        "flamegraph",
+    ])?;
+    let every: u64 = args.get_parsed("every", 100)?;
+    let every = every.max(1);
+    let json = args.get_bool("json", false)?;
+    if let Some(path) = args.get("trace") {
+        if args.get("benchmark").is_some() {
+            return Err(ArgError("--trace and --benchmark are mutually exclusive".into()).into());
+        }
+        let follow = args.get_bool("follow", false)?;
+        monitor_recorded(path, follow, every, json)
+    } else if args.get("benchmark").is_some() {
+        monitor_live(args, every, json)
+    } else {
+        Err(ArgError("monitor needs --trace FILE.jsonl or --benchmark <name>".into()).into())
+    }
+}
+
+/// Tail a recorded JSONL trace into rolling health snapshots.
+///
+/// Unparseable lines are never fatal: they count into the snapshot's
+/// `dropped_events` so truncation is visible, not silent. Elapsed time
+/// is unknown for a recording, so rate fields derived from wall time
+/// (`epochs_per_sec`) read zero and the output is deterministic for a
+/// given trace.
+fn monitor_recorded(path: &str, follow: bool, every: u64, json: bool) -> Result<(), CliError> {
+    use std::io::BufRead;
+
+    let file = std::fs::File::open(path)
+        .map_err(|e| CliError::Run(format!("cannot open trace {path}: {e}").into()))?;
+    let mut reader = std::io::BufReader::new(file);
+    let mut agg = HealthAggregator::default();
+    let mut unparseable = 0u64;
+    let mut last_printed = 0u64;
+    let mut line = String::new();
+    let mut pending = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(run_err)?;
+        if n == 0 {
+            if follow && !agg.finished() {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                continue;
+            }
+            // A trailing unterminated line still counts at end of file.
+            if !pending.trim().is_empty() {
+                fold_line(&mut agg, pending.trim(), &mut unparseable);
+            }
+            break;
+        }
+        pending.push_str(&line);
+        if !pending.ends_with('\n') {
+            // Mid-write partial line; wait for the writer to finish it.
+            continue;
+        }
+        fold_line(&mut agg, pending.trim(), &mut unparseable);
+        pending.clear();
+        if !json && agg.epochs() >= last_printed + every {
+            last_printed = agg.epochs();
+            println!("{}", agg.snapshot(0, unparseable).render_line());
+        }
+        if follow && agg.finished() {
+            break;
+        }
+    }
+    let snapshot = agg.snapshot(0, unparseable);
+    if json {
+        let s = serde_json::to_string_pretty(&snapshot).map_err(run_err)?;
+        println!("{s}");
+    } else {
+        println!("{}", snapshot.render_line());
+    }
+    Ok(())
+}
+
+fn fold_line(agg: &mut HealthAggregator, line: &str, unparseable: &mut u64) {
+    match serde_json::from_str::<Event>(line) {
+        Ok(event) => agg.fold(&event),
+        Err(_) => *unparseable += 1,
+    }
+}
+
+/// Run a scenario live on a worker thread and monitor it from this one.
+///
+/// The engine publishes into a single-producer ring segment; the monitor
+/// thread drains it concurrently, so observation never takes a lock the
+/// engine could block on. The decision firehose is filtered at the ring
+/// (severity gate) unless `--decisions true`.
+fn monitor_live(args: &ParsedArgs, every: u64, json: bool) -> Result<(), CliError> {
+    let benchmark = parse_benchmark(args)?;
+    let policy = parse_policy(&args.get_or("policy", "e-t"))?;
+    let agents: u32 = args.get_parsed("agents", 1000)?;
+    let epochs: usize = args.get_parsed("epochs", 600)?;
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let jobs = parse_jobs(args)?;
+    let decisions = args.get_bool("decisions", false)?;
+
+    let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
+    let mut config = RingConfig::default();
+    if !decisions {
+        config = config.with_min_severity(Severity::Info);
+    }
+    let (mut ring, mut producers) = EventRing::with_config(1, &config);
+    let producer = producers.pop().expect("one producer was requested");
+
+    let started = std::time::Instant::now();
+    let mut agg = HealthAggregator::default();
+    let mut last_printed = 0u64;
+    let (result, mut kit) = std::thread::scope(|scope| {
+        let handle = scope.spawn(move || {
+            let mut kit = Telemetry::new(Box::new(producer), SpanProfile::monotonic());
+            let result = scenario.execute_jobs(policy, seed, jobs, &mut kit);
+            (result, kit)
+        });
+        while !handle.is_finished() {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+            agg.fold_all(&ring.drain());
+            if !json && agg.epochs() >= last_printed + every {
+                last_printed = agg.epochs();
+                let snap = agg.snapshot(started.elapsed().as_nanos() as u64, ring.dropped());
+                println!("{}", snap.render_line());
+            }
+        }
+        handle.join().expect("monitored run panicked")
+    });
+    let result = result.map_err(run_err)?;
+    agg.fold_all(&ring.drain());
+    ring.export_metrics(&mut kit.registry);
+    let elapsed = started.elapsed().as_nanos() as u64;
+    let snapshot = agg.snapshot_with_registry(elapsed, ring.dropped(), &kit.registry);
+    if json {
+        let s = serde_json::to_string_pretty(&snapshot).map_err(run_err)?;
+        println!("{s}");
+    } else {
+        println!("{}", snapshot.render_line());
+        println!("tasks/agent-epoch   {:.4}", result.tasks_per_agent_epoch());
+        println!("power emergencies   {}", result.trips());
+    }
+    write_exports(args, &kit.registry.snapshot(), &kit.spans.report())
+}
+
 /// Dispatch a parsed command line.
 ///
 /// # Errors
@@ -1223,6 +1417,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
         "simulate" => simulate(args),
         "trace" => trace(args),
         "report" => report(args),
+        "monitor" => monitor(args),
         "compare" => compare(args),
         "sweep" => sweep(args),
         "chaos" => chaos(args),
@@ -1248,6 +1443,72 @@ mod tests {
     #[test]
     fn dispatch_rejects_unknown_command() {
         assert!(dispatch(&parsed(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn monitor_replays_a_recorded_trace() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/src/testdata/trace_greedy_40x60_seed7.jsonl"
+        );
+        monitor(&parsed(&["monitor", "--trace", path, "--every", "25"])).unwrap();
+        monitor(&parsed(&["monitor", "--trace", path, "--json", "true"])).unwrap();
+    }
+
+    #[test]
+    fn monitor_rejects_conflicting_or_missing_sources() {
+        assert!(monitor(&parsed(&["monitor"])).is_err());
+        assert!(monitor(&parsed(&[
+            "monitor",
+            "--trace",
+            "x.jsonl",
+            "--benchmark",
+            "svm"
+        ]))
+        .is_err());
+        assert!(monitor(&parsed(&["monitor", "--trace", "/nonexistent/x.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn monitor_live_exports_prometheus_and_flamegraph() {
+        let stamp = format!("{}-{:?}", std::process::id(), std::thread::current().id());
+        let prom = std::env::temp_dir().join(format!("sprint-mon-{stamp}.prom"));
+        let folded = std::env::temp_dir().join(format!("sprint-mon-{stamp}.folded"));
+        monitor(&parsed(&[
+            "monitor",
+            "--benchmark",
+            "decision",
+            "--policy",
+            "g",
+            "--agents",
+            "40",
+            "--epochs",
+            "60",
+            "--seed",
+            "7",
+            "--prometheus",
+            prom.to_str().unwrap(),
+            "--flamegraph",
+            folded.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let prom_text = std::fs::read_to_string(&prom).unwrap();
+        let _ = std::fs::remove_file(&prom);
+        assert!(
+            prom_text.contains("# TYPE engine_epochs_total counter"),
+            "{prom_text}"
+        );
+        assert!(prom_text.contains("engine_epochs_total 60"), "{prom_text}");
+        assert!(
+            prom_text.contains("ring_published_total"),
+            "ring accounting must be scrapeable: {prom_text}"
+        );
+        let folded_text = std::fs::read_to_string(&folded).unwrap();
+        let _ = std::fs::remove_file(&folded);
+        assert!(
+            folded_text.contains("engine.epoch;engine.decide "),
+            "nested engine spans must fold into stacks: {folded_text}"
+        );
     }
 
     /// Run `sprint trace` into a temp file and return the bytes written.

@@ -1114,7 +1114,7 @@ pub fn run_supervised(
                 }
             }
         }
-        let epoch_span = on.then(|| telemetry.spans.start());
+        let epoch_span = on.then(|| telemetry.spans.open("engine.epoch"));
         // Epoch throughput is reported as a delta so instrumentation never
         // reorders the float accumulation below.
         let tasks_before = total_tasks;
@@ -1135,10 +1135,10 @@ pub fn run_supervised(
                 KernelMode::Advance
             },
         };
-        let fused_decide_span = (on && fused).then(|| telemetry.spans.start());
+        let fused_decide_span = (on && fused).then(|| telemetry.spans.open("engine.decide"));
         run_epoch_region(&ctx, jobs, lanes.view(), &mut chunk_stats);
         if let Some(s) = fused_decide_span {
-            telemetry.spans.end("engine.decide", s);
+            telemetry.spans.close(s);
         }
 
         // Reduce the churn partials (every mode produces them) and drain
@@ -1225,7 +1225,7 @@ pub fn run_supervised(
                     telemetry.registry.push(ids.trip_series, 0.0);
                 }
                 if let Some(s) = epoch_span {
-                    telemetry.spans.end("engine.epoch", s);
+                    telemetry.spans.close(s);
                 }
             }
             policy.epoch_end(false);
@@ -1247,7 +1247,7 @@ pub fn run_supervised(
             faults.stuck_epochs += u64::from(n_stuck);
             policy.note_decisions(decisions);
         } else {
-            let decide_span = on.then(|| telemetry.spans.start());
+            let decide_span = on.then(|| telemetry.spans.open("engine.decide"));
             for i in 0..n {
                 lanes.sprinted[i] = false;
                 if lanes.crashed[i] {
@@ -1289,7 +1289,7 @@ pub fn run_supervised(
                 }
             }
             if let Some(s) = decide_span {
-                telemetry.spans.end("engine.decide", s);
+                telemetry.spans.close(s);
             }
         }
         sprinters_per_epoch.push(n_sprinters);
@@ -1440,7 +1440,7 @@ pub fn run_supervised(
                 telemetry.registry.observe(ids.sprinter_hist, realized);
             }
             if let Some(s) = epoch_span {
-                telemetry.spans.end("engine.epoch", s);
+                telemetry.spans.close(s);
             }
         }
         policy.epoch_end(tripped);
@@ -1470,6 +1470,7 @@ pub fn run_supervised(
         telemetry
             .registry
             .set(g, f64::from(trips) / config.epochs as f64);
+        telemetry.export_recorder_metrics();
     }
     Ok(result)
 }

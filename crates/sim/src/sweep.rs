@@ -41,7 +41,7 @@ use std::time::Duration;
 
 use sprint_game::{EquilibriumCache, GameConfig};
 use sprint_stats::summary::{confidence_interval_95, ConfidenceInterval, OnlineStats};
-use sprint_telemetry::Telemetry;
+use sprint_telemetry::{Event, EventRing, Recorder, RingConfig, Telemetry, WorkerHealth};
 use sprint_workloads::generator::Population;
 use sprint_workloads::Benchmark;
 
@@ -600,7 +600,7 @@ impl serde::Deserialize for QuarantinedTrial {
 /// aggregates. Contains simulation-time data only — wall-clock facts go
 /// to the telemetry kit — so serialization is byte-identical across job
 /// counts and runs.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepReport {
     /// Total trials executed.
     pub trials: usize,
@@ -610,6 +610,37 @@ pub struct SweepReport {
     pub cells: Vec<SweepCell>,
     /// Trials excluded by supervision, in trial order.
     pub quarantined: Vec<QuarantinedTrial>,
+    /// Per-worker utilization and timing for the pool that ran this
+    /// sweep, in worker-slot order. Wall-clock, scheduling-dependent
+    /// diagnostics: excluded from serialization and equality so the
+    /// canonical report stays byte-identical at every job count
+    /// (deserialized reports carry an empty list).
+    pub workers: Vec<WorkerHealth>,
+}
+
+// Hand-written (not derived) so the jobs-dependent `workers` diagnostics
+// never reach the canonical bytes: the serialized report is the same at
+// `--jobs 1` and `--jobs N`.
+impl serde::Serialize for SweepReport {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("trials".to_string(), self.trials.to_value()),
+            ("records".to_string(), self.records.to_value()),
+            ("cells".to_string(), self.cells.to_value()),
+            ("quarantined".to_string(), self.quarantined.to_value()),
+        ])
+    }
+}
+
+// Equality mirrors serialization: two reports with the same
+// simulation-time content are equal regardless of pool scheduling.
+impl PartialEq for SweepReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.trials == other.trials
+            && self.records == other.records
+            && self.cells == other.cells
+            && self.quarantined == other.quarantined
+    }
 }
 
 // Hand-written so reports serialized before the supervision layer (no
@@ -624,6 +655,7 @@ impl serde::Deserialize for SweepReport {
             records: de_required(obj, "records", "SweepReport")?,
             cells: de_required(obj, "cells", "SweepReport")?,
             quarantined: de_or(obj, "quarantined", Vec::new())?,
+            workers: Vec::new(),
         })
     }
 }
@@ -704,39 +736,130 @@ pub fn run_sweep_supervised(
     type Slot = OnceLock<(crate::Result<SweepRecord>, u64, u32)>;
     let slots: Vec<Slot> = (0..trials.len()).map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
+    let profile = telemetry.enabled();
+
+    // Each worker emits trial lifecycle events into its own lock-free
+    // ring segment — no shared sink, no contention on the hot path. The
+    // ring is sized so a worker that somehow runs every trial still
+    // never drops (and drops, were they to happen, are counted).
+    let mut ring = None;
+    let mut producers: Vec<Option<sprint_telemetry::RingProducer>> = Vec::new();
+    if profile {
+        let capacity = trials.len().saturating_mul(2).max(16);
+        let (r, p) = EventRing::with_config(jobs, &RingConfig::default().with_capacity(capacity));
+        ring = Some(r);
+        producers = p.into_iter().map(Some).collect();
+    } else {
+        producers.resize_with(jobs, || None);
+    }
+
+    let mut worker_stats: Vec<(usize, u64, u64)> = Vec::with_capacity(jobs);
+    let pool_started = std::time::Instant::now();
     let panicked = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..jobs)
-            .map(|_| {
-                scope.spawn(|| {
+        let slots = &slots;
+        let next = &next;
+        let trials = &trials;
+        let plans = &plans;
+        let adversaries = &adversaries;
+        let cache = &cache;
+        let handles: Vec<_> = producers
+            .drain(..)
+            .enumerate()
+            .map(|(worker, mut producer)| {
+                scope.spawn(move || {
+                    let mut done = 0u64;
+                    let mut busy = 0u64;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(trial) = trials.get(i) else { break };
+                        if let Some(p) = producer.as_mut() {
+                            p.record(&Event::TrialStarted {
+                                trial: trial.id,
+                                worker,
+                            });
+                        }
                         let started = std::time::Instant::now();
                         let (record, attempts) = run_trial_supervised(
                             spec,
-                            &plans,
-                            &adversaries,
+                            plans,
+                            adversaries,
                             trial,
-                            &cache,
+                            cache,
                             supervision,
                         );
+                        let nanos = started.elapsed().as_nanos() as u64;
+                        done += 1;
+                        busy += nanos;
+                        if let Some(p) = producer.as_mut() {
+                            p.record(&Event::TrialFinished {
+                                trial: trial.id,
+                                worker,
+                                attempts,
+                                quarantined: record.is_err(),
+                            });
+                        }
                         // First write wins; a slot is only ever written
                         // once because indices are unique.
-                        let _ =
-                            slots[i].set((record, started.elapsed().as_nanos() as u64, attempts));
+                        let _ = slots[i].set((record, nanos, attempts));
                     }
+                    (done, busy)
                 })
             })
             .collect();
-        handles.into_iter().any(|h| h.join().is_err())
+        let mut any_panicked = false;
+        for handle in handles {
+            match handle.join() {
+                Ok((done, busy)) => worker_stats.push((worker_stats.len(), done, busy)),
+                Err(_) => any_panicked = true,
+            }
+        }
+        any_panicked
     });
+    let pool_nanos = pool_started.elapsed().as_nanos() as u64;
     if panicked {
         return Err(SimError::WorkerPanicked {
             what: "sweep trial",
         });
     }
 
-    let profile = telemetry.enabled();
+    // Per-worker utilization/timing ride on the report as diagnostics
+    // (excluded from canonical serialization and equality), and feed the
+    // span path table so flamegraphs show the pool split.
+    let workers: Vec<WorkerHealth> = worker_stats
+        .iter()
+        .map(|&(worker, done, busy)| WorkerHealth {
+            worker,
+            trials: done,
+            busy_nanos: busy,
+            utilization: busy as f64 / pool_nanos.max(1) as f64,
+        })
+        .collect();
+    if profile {
+        telemetry.spans.record_path_nanos("sweep", pool_nanos);
+        for w in &workers {
+            telemetry
+                .spans
+                .record_path_nanos(&format!("sweep;worker-{}", w.worker), w.busy_nanos);
+        }
+    }
+
+    // Drain the ring into the kit's recorder in deterministic (trial id,
+    // started-before-finished) order, and mirror its publish/drop
+    // accounting into the registry. Worker assignment inside each event
+    // is inherently scheduling-dependent; everything else is invariant.
+    if let Some(mut ring) = ring {
+        ring.export_metrics(&mut telemetry.registry);
+        let mut events = ring.drain();
+        events.sort_by_key(|e| match e {
+            Event::TrialStarted { trial, .. } => (*trial, 0u8),
+            Event::TrialFinished { trial, .. } => (*trial, 1),
+            _ => (usize::MAX, 2),
+        });
+        for event in &events {
+            telemetry.emit(event);
+        }
+        telemetry.export_recorder_metrics();
+    }
     let mut records = Vec::with_capacity(trials.len());
     let mut quarantined = Vec::new();
     let mut retried = 0u64;
@@ -778,6 +901,7 @@ pub fn run_sweep_supervised(
         records,
         cells,
         quarantined,
+        workers,
     })
 }
 
@@ -1022,6 +1146,71 @@ mod tests {
             epochs: 60,
             options: RunOptions::default(),
         }
+    }
+
+    #[test]
+    fn worker_stats_ride_the_report_outside_the_canonical_bytes() {
+        let spec = small_spec();
+        let mut kit = Telemetry::in_memory();
+        let report = run_sweep(&spec, 2, &mut kit).unwrap();
+        assert_eq!(report.workers.len(), 2);
+        let done: u64 = report.workers.iter().map(|w| w.trials).sum();
+        assert_eq!(done as usize, report.trials);
+        for w in &report.workers {
+            assert!(w.utilization >= 0.0);
+            assert!(w.busy_nanos > 0 || w.trials == 0);
+        }
+        // The diagnostics never reach the canonical bytes or equality.
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(!json.contains("\"workers\""), "{json}");
+        let mut stripped = report.clone();
+        stripped.workers.clear();
+        assert_eq!(report, stripped, "equality ignores pool diagnostics");
+        // The pool split lands in the span path table for flamegraphs.
+        assert!(kit.spans.path_stats("sweep").is_some());
+        assert!(kit.spans.path_stats("sweep;worker-0").is_some());
+        assert!(kit.spans.path_stats("sweep;worker-1").is_some());
+    }
+
+    #[test]
+    fn trial_lifecycle_events_drain_from_the_ring_in_trial_order() {
+        let spec = small_spec(); // 2 policies × 3 seeds = 6 trials
+        let mut kit = Telemetry::in_memory();
+        let report = run_sweep(&spec, 3, &mut kit).unwrap();
+        assert_eq!(report.trials, 6);
+        let events = kit.events().unwrap();
+        let lifecycle: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e, Event::TrialStarted { .. } | Event::TrialFinished { .. }))
+            .collect();
+        assert_eq!(lifecycle.len(), 12, "start + finish per trial");
+        for (i, pair) in lifecycle.chunks(2).enumerate() {
+            match (pair[0], pair[1]) {
+                (
+                    Event::TrialStarted { trial: a, .. },
+                    Event::TrialFinished {
+                        trial: b,
+                        attempts,
+                        quarantined,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(*a, i);
+                    assert_eq!(*b, i);
+                    assert_eq!(*attempts, 1);
+                    assert!(!*quarantined);
+                }
+                other => panic!("unexpected lifecycle pair {other:?}"),
+            }
+        }
+        // Ring accounting is mirrored into the registry: publishes
+        // counted, drops zero (the ring is sized to the trial list).
+        assert_eq!(kit.registry.counter_value("ring.published"), Some(12));
+        assert_eq!(kit.registry.counter_value("ring.dropped"), Some(0));
+        assert_eq!(
+            kit.registry.counter_value("telemetry.recorder.written"),
+            Some(events.len() as u64)
+        );
     }
 
     #[test]

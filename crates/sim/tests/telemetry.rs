@@ -121,3 +121,77 @@ fn decision_firehose_is_opt_in_by_recorder_filter() {
     assert!(events.iter().all(|e| e.kind() != EventKind::SprintDecision));
     assert!(events.iter().any(|e| e.kind() == EventKind::EpochTick));
 }
+
+#[test]
+fn ring_backed_engine_stream_is_jobs_invariant() {
+    use sprint_sim::telemetry::EventRing;
+    let scenario = Scenario::homogeneous(Benchmark::DecisionTree, 50, 120).unwrap();
+    let drain = |jobs: usize| {
+        let (mut ring, mut producers) = EventRing::new(1);
+        let producer = producers.pop().unwrap();
+        let mut kit = Telemetry::new(Box::new(producer), SpanProfile::deterministic());
+        scenario
+            .execute_jobs(PolicyKind::Greedy, 11, jobs, &mut kit)
+            .unwrap();
+        assert_eq!(ring.dropped(), 0, "default capacity must not drop");
+        ring.drain()
+    };
+    let serial = drain(1);
+    let parallel = drain(4);
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, parallel,
+        "engine emits from one thread: the ring stream is identical at every job count"
+    );
+    let bytes = |events: &[Event]| {
+        events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(bytes(&serial), bytes(&parallel));
+}
+
+#[test]
+fn worker_local_registries_merge_across_sweep_threads() {
+    use sprint_sim::telemetry::Registry;
+    // The sweep pattern: each worker records into a thread-local
+    // registry, the coordinator folds them in after join. Totals must
+    // not depend on which worker saw which trial.
+    let partials: Vec<Registry> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut r = Registry::new();
+                    let c = r.counter("sweep.trials");
+                    r.inc(c, w + 1);
+                    let h = r.histogram("trial.nanos", &[10.0, 100.0]);
+                    r.observe(h, 5.0);
+                    r.observe(h, 50.0);
+                    let s = r.series("worker.tasks");
+                    r.push(s, w as f64);
+                    r
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut main = Registry::new();
+    for partial in &partials {
+        main.merge(partial);
+    }
+    assert_eq!(main.counter_value("sweep.trials"), Some(10));
+    let snapshot = main.snapshot();
+    let hist = snapshot.histograms.get("trial.nanos").unwrap();
+    assert_eq!(hist.count(), 8);
+    assert_eq!(hist.sum(), 220.0);
+    assert_eq!(
+        hist.counts(),
+        &[4, 4, 0],
+        "per-bucket counts (incl. overflow) fold elementwise"
+    );
+    let series = main.series_values("worker.tasks").unwrap();
+    assert_eq!(series.len(), 4, "series samples append across workers");
+    assert_eq!(series.iter().sum::<f64>(), 6.0);
+}

@@ -135,6 +135,51 @@ impl SanctionLevel {
     }
 }
 
+/// How loud an event is, for severity-based recorder filtering.
+///
+/// Ordered quietest first so `severity >= min` expresses "at least this
+/// important". The mapping from kind to severity is fixed (see
+/// [`EventKind::severity`]): per-agent firehose kinds are [`Debug`],
+/// routine lifecycle is [`Info`], anomalies the operator should see are
+/// [`Warn`], and enforcement actions are [`Error`].
+///
+/// [`Debug`]: Severity::Debug
+/// [`Info`]: Severity::Info
+/// [`Warn`]: Severity::Warn
+/// [`Error`]: Severity::Error
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Per-agent / per-iteration firehose detail.
+    Debug,
+    /// Routine lifecycle: epochs, leases, solver outcomes.
+    Info,
+    /// Anomalies: trips, faults, tier degradation, suspicion.
+    Warn,
+    /// Enforcement: adversary detections and sanctions.
+    Error,
+}
+
+impl Severity {
+    /// All severities, quietest first.
+    pub const ALL: [Severity; 4] = [
+        Severity::Debug,
+        Severity::Info,
+        Severity::Warn,
+        Severity::Error,
+    ];
+
+    /// Stable snake_case name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
 /// Discriminant of an [`Event`], for recorder-side filtering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum EventKind {
@@ -174,8 +219,66 @@ pub enum EventKind {
     SanctionApplied,
     /// [`Event::SanctionLifted`].
     SanctionLifted,
+    /// [`Event::TrialStarted`].
+    TrialStarted,
+    /// [`Event::TrialFinished`].
+    TrialFinished,
     /// [`Event::RunEnd`].
     RunEnd,
+}
+
+impl EventKind {
+    /// All event kinds, in declaration order.
+    pub const ALL: [EventKind; 21] = [
+        EventKind::RunStart,
+        EventKind::EpochTick,
+        EventKind::SprintDecision,
+        EventKind::BreakerTrip,
+        EventKind::FaultInjected,
+        EventKind::CoordinatorResolve,
+        EventKind::SolverIteration,
+        EventKind::SolverEscalation,
+        EventKind::SolverBisection,
+        EventKind::SolverOutcome,
+        EventKind::TierShift,
+        EventKind::LeaseGranted,
+        EventKind::LeaseExpired,
+        EventKind::AgentSuspected,
+        EventKind::RetryBackoff,
+        EventKind::AdversaryDetected,
+        EventKind::SanctionApplied,
+        EventKind::SanctionLifted,
+        EventKind::TrialStarted,
+        EventKind::TrialFinished,
+        EventKind::RunEnd,
+    ];
+
+    /// The fixed severity of events of this kind.
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        match self {
+            EventKind::SprintDecision
+            | EventKind::SolverIteration
+            | EventKind::SolverEscalation
+            | EventKind::SolverBisection
+            | EventKind::TrialStarted => Severity::Debug,
+            EventKind::RunStart
+            | EventKind::EpochTick
+            | EventKind::CoordinatorResolve
+            | EventKind::SolverOutcome
+            | EventKind::LeaseGranted
+            | EventKind::LeaseExpired
+            | EventKind::SanctionLifted
+            | EventKind::TrialFinished
+            | EventKind::RunEnd => Severity::Info,
+            EventKind::BreakerTrip
+            | EventKind::FaultInjected
+            | EventKind::TierShift
+            | EventKind::AgentSuspected
+            | EventKind::RetryBackoff => Severity::Warn,
+            EventKind::AdversaryDetected | EventKind::SanctionApplied => Severity::Error,
+        }
+    }
 }
 
 /// One structured telemetry event.
@@ -372,6 +475,25 @@ pub enum Event {
         /// completed and the agent is fully restored.
         probation: bool,
     },
+    /// A sweep worker picked up one grid trial.
+    TrialStarted {
+        /// Trial index in expansion order.
+        trial: usize,
+        /// The worker slot executing it (pool-local index, not a thread
+        /// id; jobs-dependent, so never folded into canonical reports).
+        worker: usize,
+    },
+    /// A sweep worker finished one grid trial.
+    TrialFinished {
+        /// Trial index in expansion order.
+        trial: usize,
+        /// The worker slot that executed it.
+        worker: usize,
+        /// Supervised attempts consumed (1 = clean first try).
+        attempts: u32,
+        /// Whether the trial ended quarantined instead of recorded.
+        quarantined: bool,
+    },
     /// A simulation run finished.
     RunEnd {
         /// Total task-units completed.
@@ -404,8 +526,16 @@ impl Event {
             Event::AdversaryDetected { .. } => EventKind::AdversaryDetected,
             Event::SanctionApplied { .. } => EventKind::SanctionApplied,
             Event::SanctionLifted { .. } => EventKind::SanctionLifted,
+            Event::TrialStarted { .. } => EventKind::TrialStarted,
+            Event::TrialFinished { .. } => EventKind::TrialFinished,
             Event::RunEnd { .. } => EventKind::RunEnd,
         }
+    }
+
+    /// The event's severity (fixed per kind).
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        self.kind().severity()
     }
 }
 
@@ -524,6 +654,16 @@ mod tests {
                 agent: 7,
                 probation: true,
             },
+            Event::TrialStarted {
+                trial: 9,
+                worker: 1,
+            },
+            Event::TrialFinished {
+                trial: 9,
+                worker: 1,
+                attempts: 2,
+                quarantined: false,
+            },
             Event::RunEnd {
                 total_tasks: 100.0,
                 trips: 2,
@@ -534,6 +674,25 @@ mod tests {
             let back: Event = serde_json::from_str(&json).unwrap();
             assert_eq!(back.kind(), e.kind());
         }
+    }
+
+    #[test]
+    fn severities_cover_every_kind_and_order_quietest_first() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+        for kind in EventKind::ALL {
+            // Every kind maps to a severity without panicking, and the
+            // mapping is stable enough to filter on.
+            let s = kind.severity();
+            assert!(Severity::ALL.contains(&s));
+        }
+        assert_eq!(EventKind::SprintDecision.severity(), Severity::Debug);
+        assert_eq!(EventKind::EpochTick.severity(), Severity::Info);
+        assert_eq!(EventKind::BreakerTrip.severity(), Severity::Warn);
+        assert_eq!(EventKind::SanctionApplied.severity(), Severity::Error);
+        let e = Event::SolverBisection;
+        assert_eq!(e.severity(), Severity::Debug);
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Collapsed-stack flamegraph export from span path profiles.
+//!
+//! Consumes the `;`-joined stack paths a nesting-aware
+//! [`SpanProfile`](crate::SpanProfile) accumulates (see
+//! [`SpanReport::paths`]) and renders the standard collapsed-stack
+//! format — one `frame;frame;... value` line per stack, value in
+//! nanoseconds — that `flamegraph.pl`, inferno, and speedscope consume
+//! directly. Values are *self* time: each stack's total minus the total
+//! of its direct children, clamped at zero (a child measured on another
+//! thread can exceed its parent's inline window). The full
+//! self/cumulative split is available structurally via [`flame_tree`].
+//!
+//! Profiles that never used the nesting API still export: flat span
+//! names are treated as single-frame stacks.
+
+use std::collections::BTreeMap;
+
+use crate::spans::{SpanReport, SpanStats, PATH_SEPARATOR};
+
+/// One node of the span tree, with the self/cumulative split resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlameNode {
+    /// Frame name (one path segment).
+    pub name: String,
+    /// Completed spans at exactly this path.
+    pub count: u64,
+    /// Cumulative nanoseconds: this path's own total (which, measured by
+    /// enclosing open/close pairs, already contains its children).
+    pub total_nanos: u64,
+    /// Self nanoseconds: `total_nanos` minus direct children's totals,
+    /// clamped at zero.
+    pub self_nanos: u64,
+    /// Child frames, name-sorted.
+    pub children: Vec<FlameNode>,
+}
+
+/// The paths to fold: `paths` when the profile recorded any, otherwise
+/// every flat span as a single-frame stack.
+fn effective_paths(report: &SpanReport) -> &BTreeMap<String, SpanStats> {
+    if report.paths.is_empty() {
+        &report.spans
+    } else {
+        &report.paths
+    }
+}
+
+/// Build the span tree with self/cumulative splits from a report.
+///
+/// Returns the name-sorted roots. Paths missing intermediate nodes (a
+/// path table can hold `a;b` without `a` when the outer span never
+/// closed) get synthetic zero-total parents so the tree is always
+/// well-formed.
+#[must_use]
+pub fn flame_tree(report: &SpanReport) -> Vec<FlameNode> {
+    #[derive(Default)]
+    struct Build {
+        count: u64,
+        total: u64,
+        children: BTreeMap<String, Build>,
+    }
+
+    let mut root = Build::default();
+    for (path, stats) in effective_paths(report) {
+        let mut node = &mut root;
+        for frame in path.split(PATH_SEPARATOR) {
+            node = node.children.entry(frame.to_string()).or_default();
+        }
+        node.count += stats.count;
+        node.total += stats.total_nanos;
+    }
+
+    fn finish(name: &str, b: &Build) -> FlameNode {
+        let children: Vec<FlameNode> = b
+            .children
+            .iter()
+            .map(|(name, child)| finish(name, child))
+            .collect();
+        let child_total: u64 = children.iter().map(|c| c.total_nanos).sum();
+        // A synthetic parent (total 0) reports its children's weight as
+        // cumulative; a measured parent keeps its own inline total.
+        let total = if b.total == 0 && b.count == 0 {
+            child_total
+        } else {
+            b.total
+        };
+        FlameNode {
+            name: name.to_string(),
+            count: b.count,
+            total_nanos: total,
+            self_nanos: total.saturating_sub(child_total),
+            children,
+        }
+    }
+
+    root.children
+        .iter()
+        .map(|(name, child)| finish(name, child))
+        .collect()
+}
+
+/// Render a report in collapsed-stack format: one name-sorted
+/// `frame;frame value` line per stack with nonzero self time (plus
+/// zero-self leaf stacks, so every measured path appears). Byte-stable
+/// for a given report.
+#[must_use]
+pub fn collapsed_stacks(report: &SpanReport) -> String {
+    let mut out = String::new();
+    let mut stack = Vec::new();
+    fn walk(nodes: &[FlameNode], stack: &mut Vec<String>, out: &mut String) {
+        for node in nodes {
+            stack.push(node.name.clone());
+            if node.self_nanos > 0 || node.children.is_empty() {
+                out.push_str(&stack.join(";"));
+                out.push(' ');
+                out.push_str(&node.self_nanos.to_string());
+                out.push('\n');
+            }
+            walk(&node.children, stack, out);
+            stack.pop();
+        }
+    }
+    walk(&flame_tree(report), &mut stack, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spans::SpanProfile;
+
+    fn report_with_paths(entries: &[(&str, u64)]) -> SpanReport {
+        let mut p = SpanProfile::deterministic();
+        for (path, nanos) in entries {
+            p.record_path_nanos(path, *nanos);
+        }
+        p.report()
+    }
+
+    #[test]
+    fn golden_collapsed_output() {
+        let report = report_with_paths(&[
+            ("engine.epoch", 1000),
+            ("engine.epoch;engine.decide", 600),
+            ("engine.epoch;engine.faults", 150),
+            ("sweep.trial", 400),
+        ]);
+        let expected = "\
+engine.epoch 250
+engine.epoch;engine.decide 600
+engine.epoch;engine.faults 150
+sweep.trial 400
+";
+        assert_eq!(collapsed_stacks(&report), expected);
+    }
+
+    #[test]
+    fn tree_carries_self_and_cumulative_split() {
+        let report =
+            report_with_paths(&[("engine.epoch", 1000), ("engine.epoch;engine.decide", 600)]);
+        let tree = flame_tree(&report);
+        assert_eq!(tree.len(), 1);
+        let epoch = &tree[0];
+        assert_eq!(epoch.name, "engine.epoch");
+        assert_eq!(epoch.total_nanos, 1000);
+        assert_eq!(epoch.self_nanos, 400);
+        assert_eq!(epoch.children.len(), 1);
+        let decide = &epoch.children[0];
+        assert_eq!(decide.total_nanos, 600);
+        assert_eq!(decide.self_nanos, 600);
+    }
+
+    #[test]
+    fn missing_parent_gets_synthetic_cumulative_node() {
+        let report = report_with_paths(&[("outer;inner", 500)]);
+        let tree = flame_tree(&report);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].name, "outer");
+        assert_eq!(tree[0].total_nanos, 500, "synthetic parent sums children");
+        assert_eq!(tree[0].self_nanos, 0);
+        let text = collapsed_stacks(&report);
+        assert_eq!(text, "outer;inner 500\n");
+    }
+
+    #[test]
+    fn child_exceeding_parent_clamps_self_at_zero() {
+        // Cross-thread fold-ins can out-measure the parent's window.
+        let report = report_with_paths(&[("sweep", 100), ("sweep;worker-0", 900)]);
+        let tree = flame_tree(&report);
+        assert_eq!(tree[0].total_nanos, 100);
+        assert_eq!(tree[0].self_nanos, 0);
+    }
+
+    #[test]
+    fn flat_profiles_export_as_single_frame_stacks() {
+        let mut p = SpanProfile::deterministic();
+        let s = p.start();
+        p.end("solver", s);
+        let report = p.report();
+        assert!(report.paths.is_empty());
+        let text = collapsed_stacks(&report);
+        assert_eq!(text, "solver 1\n");
+    }
+
+    #[test]
+    fn output_is_byte_stable_regardless_of_record_order() {
+        let a = collapsed_stacks(&report_with_paths(&[("b", 2), ("a", 1), ("c", 3)]));
+        let b = collapsed_stacks(&report_with_paths(&[("c", 3), ("a", 1), ("b", 2)]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn real_open_close_profiles_produce_nested_stacks() {
+        let mut p = SpanProfile::deterministic();
+        let outer = p.open("engine.epoch");
+        let inner = p.open("engine.decide");
+        p.close(inner);
+        p.close(outer);
+        let text = collapsed_stacks(&p.report());
+        assert!(text.contains("engine.epoch;engine.decide "), "{text}");
+    }
+}

@@ -1,0 +1,16 @@
+//! Exporters: external text formats derived from telemetry state.
+//!
+//! - [`prometheus`] — Prometheus text exposition (format 0.0.4) from a
+//!   [`MetricsSnapshot`](crate::MetricsSnapshot), for scraping.
+//! - [`flamegraph`] — collapsed-stack output from a
+//!   [`SpanReport`](crate::SpanReport)'s path table, with self/cumulative
+//!   split, for `flamegraph.pl` / speedscope-style tooling.
+//!
+//! Both exporters are pure functions over frozen snapshots: stable
+//! output ordering (inputs are name-sorted maps), no I/O, no clock.
+
+pub mod flamegraph;
+pub mod prometheus;
+
+pub use flamegraph::{collapsed_stacks, flame_tree, FlameNode};
+pub use prometheus::{prometheus_text, prometheus_text_with_labels};

@@ -1,0 +1,244 @@
+//! Prometheus text exposition for the metrics registry.
+//!
+//! Renders a [`MetricsSnapshot`] in the Prometheus text format
+//! (version 0.0.4): one `# TYPE` header per metric, counters suffixed
+//! `_total`, histograms expanded into cumulative `_bucket{le="..."}`
+//! sample series plus `_sum`/`_count`, and time series summarized as
+//! `_count` / `_sum` / `_last` gauges (Prometheus has no native series
+//! type; the scraper's own TSDB is the series store).
+//!
+//! Hygiene rules, pinned by golden tests:
+//! - metric names are sanitized to `[a-zA-Z_:][a-zA-Z0-9_:]*` (our
+//!   dotted names become underscored: `engine.trips` → `engine_trips`);
+//! - label values escape backslash, double-quote, and newline;
+//! - output is name-sorted (inherited from the snapshot's `BTreeMap`s)
+//!   and therefore byte-stable for a given snapshot.
+
+use std::fmt::Write as _;
+
+use crate::registry::MetricsSnapshot;
+
+/// Render a snapshot as Prometheus text exposition with no extra labels.
+#[must_use]
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    prometheus_text_with_labels(snapshot, &[])
+}
+
+/// Render a snapshot as Prometheus text exposition, attaching the given
+/// constant labels to every sample (e.g. `[("run", "sweep-42")]`).
+#[must_use]
+pub fn prometheus_text_with_labels(snapshot: &MetricsSnapshot, labels: &[(&str, &str)]) -> String {
+    let base = render_labels(labels, None);
+    let mut out = String::new();
+
+    for (name, value) in &snapshot.counters {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name}_total counter");
+        let _ = writeln!(out, "{name}_total{base} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name}{base} {}", fmt_f64(*value));
+    }
+    for (name, hist) in &snapshot.histograms {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in hist.bounds().iter().zip(hist.counts()) {
+            cumulative += count;
+            let le = render_labels(labels, Some(("le", &fmt_f64(*bound))));
+            let _ = writeln!(out, "{name}_bucket{le} {cumulative}");
+        }
+        // The overflow bucket closes the cumulative series at +Inf.
+        let le = render_labels(labels, Some(("le", "+Inf")));
+        let _ = writeln!(out, "{name}_bucket{le} {}", hist.count());
+        let _ = writeln!(out, "{name}_sum{base} {}", fmt_f64(hist.sum()));
+        let _ = writeln!(out, "{name}_count{base} {}", hist.count());
+    }
+    for (name, values) in &snapshot.series {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name}_count gauge");
+        let _ = writeln!(out, "{name}_count{base} {}", values.len());
+        let _ = writeln!(out, "# TYPE {name}_sum gauge");
+        let _ = writeln!(
+            out,
+            "{name}_sum{base} {}",
+            fmt_f64(values.iter().sum::<f64>())
+        );
+        let _ = writeln!(out, "# TYPE {name}_last gauge");
+        let _ = writeln!(
+            out,
+            "{name}_last{base} {}",
+            fmt_f64(values.last().copied().unwrap_or(0.0))
+        );
+    }
+    out
+}
+
+/// Sanitize a metric name into the Prometheus charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`; every invalid byte becomes `_`.
+fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let valid =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if valid { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a label value: backslash, double-quote, and newline, per the
+/// exposition format.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Render `{k="v",...}` for the constant labels plus an optional extra
+/// (the histogram `le`); empty when there are no labels at all.
+fn render_labels(labels: &[(&str, &str)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels.iter().copied().chain(extra) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}=\"{}\"", sanitize_name(k), escape_label_value(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Format a float the way Prometheus expects: shortest round-trip
+/// decimal, with non-finite values spelled `+Inf` / `-Inf` / `NaN`.
+fn fmt_f64(x: f64) -> String {
+    if x.is_nan() {
+        "NaN".to_string()
+    } else if x.is_infinite() {
+        if x > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn golden_exposition_for_a_mixed_registry() {
+        let mut r = Registry::new();
+        let c = r.counter("engine.trips");
+        r.inc(c, 3);
+        let c = r.counter("a.first");
+        r.inc(c, 1);
+        let g = r.gauge("sweep.jobs");
+        r.set(g, 4.0);
+        let h = r.histogram("engine.sprinters", &[1.0, 2.5]);
+        r.observe(h, 0.5);
+        r.observe(h, 2.0);
+        r.observe(h, 9.0);
+        let s = r.series("engine.tasks");
+        r.push(s, 1.5);
+        r.push(s, 2.5);
+
+        let text = prometheus_text(&r.snapshot());
+        let expected = "\
+# TYPE a_first_total counter
+a_first_total 1
+# TYPE engine_trips_total counter
+engine_trips_total 3
+# TYPE sweep_jobs gauge
+sweep_jobs 4
+# TYPE engine_sprinters histogram
+engine_sprinters_bucket{le=\"1\"} 1
+engine_sprinters_bucket{le=\"2.5\"} 2
+engine_sprinters_bucket{le=\"+Inf\"} 3
+engine_sprinters_sum 11.5
+engine_sprinters_count 3
+# TYPE engine_tasks_count gauge
+engine_tasks_count 2
+# TYPE engine_tasks_sum gauge
+engine_tasks_sum 4
+# TYPE engine_tasks_last gauge
+engine_tasks_last 2.5
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn exposition_is_byte_stable() {
+        let build = || {
+            let mut r = Registry::new();
+            // Registration order differs run to run; output must not.
+            for name in ["z.last", "a.first", "m.mid"] {
+                let c = r.counter(name);
+                r.inc(c, 1);
+            }
+            prometheus_text(&r.snapshot())
+        };
+        let a = build();
+        assert_eq!(a, build());
+        let first = a.find("a_first_total").unwrap();
+        let last = a.find("z_last_total").unwrap();
+        assert!(first < last, "{a}");
+    }
+
+    #[test]
+    fn names_sanitize_and_label_values_escape() {
+        let mut r = Registry::new();
+        let c = r.counter("9weird-name.with spaces");
+        r.inc(c, 1);
+        let text =
+            prometheus_text_with_labels(&r.snapshot(), &[("run", "a\"b\\c\nd"), ("host", "rack1")]);
+        assert!(
+            text.contains(
+                "_weird_name_with_spaces_total{run=\"a\\\"b\\\\c\\nd\",host=\"rack1\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(!text.contains('\u{0}'), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_labels() {
+        let mut r = Registry::new();
+        let h = r.histogram("lat", &[1.0]);
+        r.observe(h, 0.5);
+        r.observe(h, 5.0);
+        let text = prometheus_text_with_labels(&r.snapshot(), &[("run", "x")]);
+        assert!(text.contains("lat_bucket{run=\"x\",le=\"1\"} 1"), "{text}");
+        assert!(
+            text.contains("lat_bucket{run=\"x\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("lat_sum{run=\"x\"} 5.5"), "{text}");
+        assert!(text.contains("lat_count{run=\"x\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn non_finite_gauges_render_prometheus_spellings() {
+        let mut r = Registry::new();
+        let g = r.gauge("inf");
+        r.set(g, f64::INFINITY);
+        let text = prometheus_text(&r.snapshot());
+        assert!(text.contains("inf +Inf"), "{text}");
+    }
+}

@@ -22,16 +22,22 @@
 
 pub mod clock;
 pub mod event;
+pub mod export;
 pub mod recorder;
 pub mod registry;
+pub mod ring;
+pub mod snapshot;
 pub mod spans;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
-pub use event::{ControlTier, Event, EventKind, FaultKind, SanctionLevel};
-pub use recorder::{InMemory, JsonlWriter, Noop, Recorder};
+pub use event::{ControlTier, Event, EventKind, FaultKind, SanctionLevel, Severity};
+pub use export::{collapsed_stacks, flame_tree, prometheus_text, prometheus_text_with_labels};
+pub use recorder::{InMemory, JsonlWriter, Noop, Recorder, RecorderError, RotatingJsonl};
 pub use registry::{
     CounterId, FixedHistogram, GaugeId, HistogramId, MetricsSnapshot, Registry, SeriesId,
 };
+pub use ring::{EventRing, RingConfig, RingProducer, DEFAULT_RING_CAPACITY};
+pub use snapshot::{HealthAggregator, HealthSnapshot, WorkerHealth};
 pub use spans::{SpanProfile, SpanReport, SpanStats};
 
 /// A run's complete telemetry kit: recorder, registry, and span profile.
@@ -126,6 +132,22 @@ impl Telemetry {
     pub fn events(&self) -> Option<&[Event]> {
         self.recorder.events()
     }
+
+    /// Mirror the recorder's write/drop accounting into the registry as
+    /// `telemetry.recorder.written` / `telemetry.recorder.dropped`.
+    /// Monotone and idempotent (safe to call at every checkpoint), so
+    /// drops are surfaced as counters, never silent truncation.
+    pub fn export_recorder_metrics(&mut self) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        let written = self.recorder.write_count();
+        let dropped = self.recorder.drop_count();
+        let c = self.registry.counter("telemetry.recorder.written");
+        self.registry.set_counter(c, written);
+        let c = self.registry.counter("telemetry.recorder.dropped");
+        self.registry.set_counter(c, dropped);
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +178,43 @@ mod tests {
         let s = t.spans.start();
         t.spans.end("x", s);
         assert_eq!(t.spans.report().spans.len(), 1);
+    }
+
+    #[test]
+    fn recorder_accounting_mirrors_into_registry() {
+        let mut t = Telemetry::in_memory();
+        t.emit(&Event::SolverBisection);
+        t.emit(&Event::SolverBisection);
+        t.export_recorder_metrics();
+        t.export_recorder_metrics();
+        assert_eq!(
+            t.registry.counter_value("telemetry.recorder.written"),
+            Some(2)
+        );
+        assert_eq!(
+            t.registry.counter_value("telemetry.recorder.dropped"),
+            Some(0)
+        );
+        // Disabled kits export nothing (and register nothing).
+        let mut d = Telemetry::disabled();
+        d.export_recorder_metrics();
+        assert_eq!(d.registry.counter_value("telemetry.recorder.written"), None);
+    }
+
+    #[test]
+    fn ring_backed_kit_drains_through_the_consumer() {
+        let (mut ring, mut producers) = EventRing::new(1);
+        let producer = producers.pop().unwrap();
+        let mut t = Telemetry::new(Box::new(producer), SpanProfile::deterministic());
+        assert!(t.enabled());
+        t.emit(&Event::SolverBisection);
+        t.export_recorder_metrics();
+        assert_eq!(
+            t.registry.counter_value("telemetry.recorder.written"),
+            Some(1)
+        );
+        let events = ring.drain();
+        assert_eq!(events, vec![Event::SolverBisection]);
     }
 
     #[test]

@@ -128,6 +128,15 @@ impl Registry {
         self.counters[id.0].1 += by;
     }
 
+    /// Raise a counter to an absolute value, keeping it monotone: the
+    /// counter becomes `max(current, value)`. For mirroring totals that
+    /// accumulate outside the registry (a recorder's drop count, a
+    /// ring's published count) without double-counting on re-export.
+    pub fn set_counter(&mut self, id: CounterId, value: u64) {
+        let c = &mut self.counters[id.0].1;
+        *c = (*c).max(value);
+    }
+
     /// Register (or look up) a gauge.
     pub fn gauge(&mut self, name: &str) -> GaugeId {
         if let Some(i) = self.gauges.iter().position(|(n, _)| n == name) {
@@ -199,6 +208,41 @@ impl Registry {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_slice())
+    }
+
+    /// Fold another registry into this one, instrument by instrument.
+    ///
+    /// Merge semantics are chosen so that folding per-worker registries
+    /// in a fixed (worker-index) order is deterministic given each
+    /// worker's content: counters add; gauges are last-value-wins (the
+    /// merged-in value overwrites); histograms add bucket counts
+    /// elementwise when the bounds agree, and otherwise fold only the
+    /// scalar count/sum (bounds are fixed by first registration); series
+    /// append. Instruments missing on either side are registered.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, value) in &other.counters {
+            let id = self.counter(name);
+            self.inc(id, *value);
+        }
+        for (name, value) in &other.gauges {
+            let id = self.gauge(name);
+            self.set(id, *value);
+        }
+        for (name, hist) in &other.histograms {
+            let id = self.histogram(name, hist.bounds());
+            let mine = &mut self.histograms[id.0].1;
+            if mine.bounds == hist.bounds {
+                for (acc, x) in mine.counts.iter_mut().zip(&hist.counts) {
+                    *acc += x;
+                }
+            }
+            mine.count += hist.count;
+            mine.sum += hist.sum;
+        }
+        for (name, values) in &other.series {
+            let id = self.series(name);
+            self.extend_series(id, values);
+        }
     }
 
     /// Freeze everything into a serializable, name-sorted snapshot.
@@ -275,6 +319,70 @@ mod tests {
             r.series_values("engine.sprinters"),
             Some(&[3.0, 4.0, 5.0][..])
         );
+    }
+
+    #[test]
+    fn set_counter_is_monotone_and_idempotent() {
+        let mut r = Registry::new();
+        let c = r.counter("ring.dropped");
+        r.set_counter(c, 5);
+        r.set_counter(c, 5);
+        assert_eq!(r.counter_value("ring.dropped"), Some(5));
+        r.set_counter(c, 3);
+        assert_eq!(r.counter_value("ring.dropped"), Some(5), "never decreases");
+        r.set_counter(c, 9);
+        assert_eq!(r.counter_value("ring.dropped"), Some(9));
+    }
+
+    #[test]
+    fn merge_folds_every_instrument_kind() {
+        let mut a = Registry::new();
+        let c = a.counter("trials");
+        a.inc(c, 2);
+        let g = a.gauge("jobs");
+        a.set(g, 1.0);
+        let h = a.histogram("lat", &[1.0, 2.0]);
+        a.observe(h, 0.5);
+        let s = a.series("ts");
+        a.push(s, 1.0);
+
+        let mut b = Registry::new();
+        let c = b.counter("trials");
+        b.inc(c, 3);
+        let c = b.counter("only_b");
+        b.inc(c, 7);
+        let g = b.gauge("jobs");
+        b.set(g, 4.0);
+        let h = b.histogram("lat", &[1.0, 2.0]);
+        b.observe(h, 1.5);
+        let s = b.series("ts");
+        b.push(s, 2.0);
+
+        a.merge(&b);
+        assert_eq!(a.counter_value("trials"), Some(5));
+        assert_eq!(a.counter_value("only_b"), Some(7));
+        assert_eq!(a.gauge_value("jobs"), Some(4.0));
+        let snap = a.snapshot();
+        let lat = &snap.histograms["lat"];
+        assert_eq!(lat.count(), 2);
+        assert_eq!(lat.counts(), &[1, 1, 0]);
+        assert_eq!(a.series_values("ts"), Some(&[1.0, 2.0][..]));
+    }
+
+    #[test]
+    fn merge_with_mismatched_bounds_keeps_scalars() {
+        let mut a = Registry::new();
+        let h = a.histogram("lat", &[1.0]);
+        a.observe(h, 0.5);
+        let mut b = Registry::new();
+        let h = b.histogram("lat", &[9.0, 10.0]);
+        b.observe(h, 8.0);
+        a.merge(&b);
+        let snap = a.snapshot();
+        let lat = &snap.histograms["lat"];
+        assert_eq!(lat.count(), 2, "scalar totals still fold");
+        assert!((lat.sum() - 8.5).abs() < 1e-12);
+        assert_eq!(lat.bounds(), &[1.0], "first registration wins");
     }
 
     #[test]

@@ -1,0 +1,474 @@
+//! Periodic health snapshots: a read-only observer over the event stream.
+//!
+//! A [`HealthAggregator`] folds [`Event`]s — from a live ring drain, an
+//! in-process recorder, or a recorded JSONL trace — into running counts,
+//! and freezes them on demand into a serializable [`HealthSnapshot`]:
+//! epoch progress and rate, sprint/trip/recovery rates, degradation
+//! tier, lease and sanction counts, sweep trial progress, and drop
+//! accounting. The aggregator is an observer in the pattern sense: it
+//! never touches the epoch loop, holds no references into the engine,
+//! and derives everything from the same event stream any other consumer
+//! sees, so attaching it cannot perturb a run.
+//!
+//! Snapshots carry simulation-time facts plus one explicitly injected
+//! wall-clock input: the caller passes `elapsed_nanos` into
+//! [`HealthAggregator::snapshot`], which keeps snapshot bytes
+//! deterministic whenever the caller injects a deterministic elapsed
+//! time (the CI jobs-invariance gate does exactly that).
+
+use serde::Serialize;
+
+use crate::event::{ControlTier, Event};
+use crate::registry::Registry;
+
+/// Running state folded from an event stream. Create one per run (or
+/// per monitoring window), feed every event to [`HealthAggregator::fold`],
+/// and freeze views with [`HealthAggregator::snapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct HealthAggregator {
+    agents: u32,
+    policy: Option<String>,
+    horizon: usize,
+    last_epoch: usize,
+    epochs: u64,
+    sprinter_epochs: f64,
+    recovering_epochs: u64,
+    tripped_epochs: u64,
+    tasks: f64,
+    breaker_trips: u64,
+    faults: u64,
+    decisions: u64,
+    tier: Option<ControlTier>,
+    tier_shifts: u64,
+    leases_granted: u64,
+    leases_expired: u64,
+    agents_suspected: u64,
+    adversaries_detected: u64,
+    sanctions_applied: u64,
+    sanctions_lifted: u64,
+    trials_started: u64,
+    trials_finished: u64,
+    trials_quarantined: u64,
+    runs_finished: u64,
+}
+
+impl HealthAggregator {
+    /// An empty aggregator.
+    #[must_use]
+    pub fn new() -> Self {
+        HealthAggregator::default()
+    }
+
+    /// Fold one event into the running state.
+    pub fn fold(&mut self, event: &Event) {
+        match event {
+            Event::RunStart {
+                agents,
+                epochs,
+                policy,
+                ..
+            } => {
+                self.agents = *agents;
+                self.horizon = *epochs;
+                self.policy = Some(policy.clone());
+            }
+            Event::EpochTick {
+                epoch,
+                sprinters,
+                tripped,
+                recovering,
+                tasks,
+                ..
+            } => {
+                self.last_epoch = *epoch;
+                self.epochs += 1;
+                self.sprinter_epochs += f64::from(*sprinters);
+                self.tripped_epochs += u64::from(*tripped);
+                self.recovering_epochs += u64::from(*recovering);
+                self.tasks += tasks;
+            }
+            Event::SprintDecision { .. } => self.decisions += 1,
+            Event::BreakerTrip { .. } => self.breaker_trips += 1,
+            Event::FaultInjected { .. } => self.faults += 1,
+            Event::TierShift { to, .. } => {
+                self.tier = Some(*to);
+                self.tier_shifts += 1;
+            }
+            Event::LeaseGranted { .. } => self.leases_granted += 1,
+            Event::LeaseExpired { .. } => self.leases_expired += 1,
+            Event::AgentSuspected { .. } => self.agents_suspected += 1,
+            Event::AdversaryDetected { .. } => self.adversaries_detected += 1,
+            Event::SanctionApplied { .. } => self.sanctions_applied += 1,
+            Event::SanctionLifted { .. } => self.sanctions_lifted += 1,
+            Event::TrialStarted { .. } => self.trials_started += 1,
+            Event::TrialFinished { quarantined, .. } => {
+                self.trials_finished += 1;
+                self.trials_quarantined += u64::from(*quarantined);
+            }
+            Event::RunEnd { .. } => self.runs_finished += 1,
+            Event::CoordinatorResolve { .. }
+            | Event::SolverIteration { .. }
+            | Event::SolverEscalation { .. }
+            | Event::SolverBisection
+            | Event::SolverOutcome { .. }
+            | Event::RetryBackoff { .. } => {}
+        }
+    }
+
+    /// Fold a whole batch (e.g. one ring drain).
+    pub fn fold_all<'a>(&mut self, events: impl IntoIterator<Item = &'a Event>) {
+        for event in events {
+            self.fold(event);
+        }
+    }
+
+    /// Epochs folded so far.
+    #[must_use]
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Whether a `RunEnd` has been folded.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.runs_finished > 0
+    }
+
+    /// Freeze the running state into a snapshot.
+    ///
+    /// `elapsed_nanos` is the observation window's wall-clock length and
+    /// is the *only* wall-clock input: pass a measured duration for live
+    /// monitoring, or a fixed value (e.g. 0) when snapshot bytes must be
+    /// reproducible. `drop_counts` comes from the transport (ring or
+    /// recorder) so truncation is always visible in the snapshot itself.
+    #[must_use]
+    pub fn snapshot(&self, elapsed_nanos: u64, dropped_events: u64) -> HealthSnapshot {
+        let epochs = self.epochs;
+        let rate = |n: u64| {
+            if epochs == 0 {
+                0.0
+            } else {
+                n as f64 / epochs as f64
+            }
+        };
+        let epochs_per_sec = if elapsed_nanos == 0 {
+            0.0
+        } else {
+            epochs as f64 * 1e9 / elapsed_nanos as f64
+        };
+        let sprint_rate = if epochs == 0 || self.agents == 0 {
+            0.0
+        } else {
+            self.sprinter_epochs / (epochs as f64 * f64::from(self.agents))
+        };
+        HealthSnapshot {
+            agents: self.agents,
+            policy: self.policy.clone().unwrap_or_default(),
+            epoch: self.last_epoch,
+            horizon: self.horizon,
+            epochs: self.epochs,
+            epochs_per_sec,
+            sprint_rate,
+            trip_rate: rate(self.tripped_epochs),
+            recovery_rate: rate(self.recovering_epochs),
+            tasks: self.tasks,
+            breaker_trips: self.breaker_trips,
+            faults: self.faults,
+            decisions: self.decisions,
+            tier: self.tier.map(|t| t.name().to_string()),
+            tier_shifts: self.tier_shifts,
+            leases_granted: self.leases_granted,
+            leases_expired: self.leases_expired,
+            agents_suspected: self.agents_suspected,
+            adversaries_detected: self.adversaries_detected,
+            sanctions_applied: self.sanctions_applied,
+            sanctions_lifted: self.sanctions_lifted,
+            trials_started: self.trials_started,
+            trials_finished: self.trials_finished,
+            trials_quarantined: self.trials_quarantined,
+            runs_finished: self.runs_finished,
+            cache_hit_ratio: None,
+            dropped_events,
+            workers: Vec::new(),
+        }
+    }
+
+    /// As [`HealthAggregator::snapshot`], additionally reading the
+    /// equilibrium-cache hit ratio out of a registry when its
+    /// `cache.equilibrium.*` counters are present.
+    #[must_use]
+    pub fn snapshot_with_registry(
+        &self,
+        elapsed_nanos: u64,
+        dropped_events: u64,
+        registry: &Registry,
+    ) -> HealthSnapshot {
+        let mut snap = self.snapshot(elapsed_nanos, dropped_events);
+        let hits = registry.counter_value("cache.equilibrium.hits");
+        let misses = registry.counter_value("cache.equilibrium.misses");
+        if let (Some(h), Some(m)) = (hits, misses) {
+            if h + m > 0 {
+                snap.cache_hit_ratio = Some(h as f64 / (h + m) as f64);
+            }
+        }
+        snap
+    }
+}
+
+/// Per-worker utilization within an observation window.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WorkerHealth {
+    /// Worker slot index within the pool.
+    pub worker: usize,
+    /// Trials (or work items) this worker completed.
+    pub trials: u64,
+    /// Nanoseconds this worker spent executing work.
+    pub busy_nanos: u64,
+    /// `busy_nanos` over the pool's wall-clock window (0..=1 nominal;
+    /// can exceed 1 marginally when clocks skew).
+    pub utilization: f64,
+}
+
+/// A frozen, serializable health view of a run in progress.
+///
+/// Serialize-only (like [`MetricsSnapshot`](crate::MetricsSnapshot)):
+/// snapshots are an export format. All fields except `epochs_per_sec`
+/// and `workers` derive from simulation-time events, so two snapshots of
+/// the same run at the same point with the same injected elapsed time
+/// serialize to identical bytes.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HealthSnapshot {
+    /// Agents in the rack (0 until `RunStart` is seen).
+    pub agents: u32,
+    /// Driving policy name ("" until `RunStart` is seen).
+    pub policy: String,
+    /// Last epoch index observed.
+    pub epoch: usize,
+    /// Epoch horizon of the run (0 until `RunStart` is seen).
+    pub horizon: usize,
+    /// Epoch ticks folded.
+    pub epochs: u64,
+    /// Epoch throughput over the injected elapsed time (0 when no
+    /// elapsed time was injected).
+    pub epochs_per_sec: f64,
+    /// Mean fraction of agents sprinting per epoch.
+    pub sprint_rate: f64,
+    /// Fraction of epochs that tripped the breaker.
+    pub trip_rate: f64,
+    /// Fraction of epochs spent in recovery.
+    pub recovery_rate: f64,
+    /// Cumulative task-units produced.
+    pub tasks: f64,
+    /// Breaker-trip events observed.
+    pub breaker_trips: u64,
+    /// Fault injections observed.
+    pub faults: u64,
+    /// Per-agent sprint decisions observed (0 when the firehose is
+    /// filtered at the source).
+    pub decisions: u64,
+    /// Current degradation tier, when the control plane reported one.
+    pub tier: Option<String>,
+    /// Degradation-ladder shifts observed.
+    pub tier_shifts: u64,
+    /// Strategy leases granted or renewed.
+    pub leases_granted: u64,
+    /// Strategy leases lapsed.
+    pub leases_expired: u64,
+    /// Agents marked suspect after missed heartbeats.
+    pub agents_suspected: u64,
+    /// CUSUM adversary detections.
+    pub adversaries_detected: u64,
+    /// Sanctions applied.
+    pub sanctions_applied: u64,
+    /// Sanctions lifted.
+    pub sanctions_lifted: u64,
+    /// Sweep trials started (sweep monitoring only).
+    pub trials_started: u64,
+    /// Sweep trials finished.
+    pub trials_finished: u64,
+    /// Sweep trials quarantined.
+    pub trials_quarantined: u64,
+    /// Completed runs observed (a sweep sees many).
+    pub runs_finished: u64,
+    /// Equilibrium-cache hit ratio, when a registry was consulted.
+    pub cache_hit_ratio: Option<f64>,
+    /// Events lost in transport (ring-full or recorder failures) —
+    /// truncation is part of the health picture, never hidden.
+    pub dropped_events: u64,
+    /// Per-worker utilization for pool-backed windows (empty for
+    /// single-threaded runs).
+    pub workers: Vec<WorkerHealth>,
+}
+
+impl HealthSnapshot {
+    /// One-line operator rendering, for rolling display.
+    #[must_use]
+    pub fn render_line(&self) -> String {
+        let mut line = format!(
+            "epoch {:>6}/{:<6} {:>8.1} ep/s  sprint {:>5.1}%  trip {:>5.2}%  recov {:>5.1}%  tasks {:.1}",
+            self.epoch,
+            self.horizon,
+            self.epochs_per_sec,
+            self.sprint_rate * 100.0,
+            self.trip_rate * 100.0,
+            self.recovery_rate * 100.0,
+            self.tasks,
+        );
+        if let Some(tier) = &self.tier {
+            line.push_str(&format!("  tier {tier}"));
+        }
+        if self.leases_granted > 0 || self.leases_expired > 0 {
+            line.push_str(&format!(
+                "  leases {}/{}",
+                self.leases_granted, self.leases_expired
+            ));
+        }
+        if self.sanctions_applied > 0 {
+            line.push_str(&format!(
+                "  sanctions {}/{}",
+                self.sanctions_applied, self.sanctions_lifted
+            ));
+        }
+        if self.trials_finished > 0 || self.trials_started > 0 {
+            line.push_str(&format!(
+                "  trials {}/{}",
+                self.trials_finished, self.trials_started
+            ));
+        }
+        if self.dropped_events > 0 {
+            line.push_str(&format!("  DROPPED {}", self.dropped_events));
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SanctionLevel;
+
+    fn tick(epoch: usize, sprinters: u32, tripped: bool, recovering: bool) -> Event {
+        Event::EpochTick {
+            epoch,
+            sprinters,
+            stuck: 0,
+            tripped,
+            recovering,
+            tasks: 10.0,
+        }
+    }
+
+    fn folded() -> HealthAggregator {
+        let mut agg = HealthAggregator::new();
+        agg.fold(&Event::RunStart {
+            agents: 10,
+            epochs: 100,
+            seed: 7,
+            policy: "greedy".into(),
+        });
+        agg.fold(&tick(0, 5, false, false));
+        agg.fold(&tick(1, 0, true, false));
+        agg.fold(&tick(2, 0, false, true));
+        agg.fold(&tick(3, 5, false, false));
+        agg.fold(&Event::BreakerTrip {
+            epoch: 1,
+            realized: 8.0,
+            measured: 8.0,
+            p_trip: 0.9,
+        });
+        agg.fold(&Event::TierShift {
+            epoch: 2,
+            agent: 0,
+            from: ControlTier::Equilibrium,
+            to: ControlTier::StaleCache,
+        });
+        agg.fold(&Event::LeaseGranted {
+            epoch: 2,
+            agent: 0,
+            lease_epochs: 20,
+            stale: true,
+        });
+        agg.fold(&Event::SanctionApplied {
+            epoch: 3,
+            agent: 4,
+            level: SanctionLevel::Warning,
+            strikes: 1,
+            duration_epochs: None,
+        });
+        agg
+    }
+
+    #[test]
+    fn rates_and_counts_fold_correctly() {
+        let agg = folded();
+        let snap = agg.snapshot(2_000_000_000, 0);
+        assert_eq!(snap.agents, 10);
+        assert_eq!(snap.policy, "greedy");
+        assert_eq!(snap.epoch, 3);
+        assert_eq!(snap.horizon, 100);
+        assert_eq!(snap.epochs, 4);
+        assert!((snap.epochs_per_sec - 2.0).abs() < 1e-12);
+        // 10 sprinter-epochs over 4 epochs x 10 agents.
+        assert!((snap.sprint_rate - 0.25).abs() < 1e-12);
+        assert!((snap.trip_rate - 0.25).abs() < 1e-12);
+        assert!((snap.recovery_rate - 0.25).abs() < 1e-12);
+        assert!((snap.tasks - 40.0).abs() < 1e-12);
+        assert_eq!(snap.breaker_trips, 1);
+        assert_eq!(snap.tier.as_deref(), Some("stale_cache"));
+        assert_eq!(snap.leases_granted, 1);
+        assert_eq!(snap.sanctions_applied, 1);
+        assert_eq!(snap.dropped_events, 0);
+    }
+
+    #[test]
+    fn snapshot_bytes_are_deterministic_for_fixed_elapsed() {
+        let make = || serde_json::to_string(&folded().snapshot(0, 0)).unwrap();
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn cache_ratio_reads_from_registry_when_present() {
+        let agg = HealthAggregator::new();
+        let mut registry = Registry::new();
+        let h = registry.counter("cache.equilibrium.hits");
+        registry.inc(h, 9);
+        let m = registry.counter("cache.equilibrium.misses");
+        registry.inc(m, 1);
+        let snap = agg.snapshot_with_registry(0, 0, &registry);
+        assert!((snap.cache_hit_ratio.unwrap() - 0.9).abs() < 1e-12);
+        // Without the counters, the ratio stays absent, not fabricated.
+        let empty = agg.snapshot_with_registry(0, 0, &Registry::new());
+        assert!(empty.cache_hit_ratio.is_none());
+    }
+
+    #[test]
+    fn trial_lifecycle_and_drops_surface_in_render() {
+        let mut agg = HealthAggregator::new();
+        agg.fold(&Event::TrialStarted {
+            trial: 0,
+            worker: 0,
+        });
+        agg.fold(&Event::TrialFinished {
+            trial: 0,
+            worker: 0,
+            attempts: 1,
+            quarantined: true,
+        });
+        let snap = agg.snapshot(0, 3);
+        assert_eq!(snap.trials_started, 1);
+        assert_eq!(snap.trials_finished, 1);
+        assert_eq!(snap.trials_quarantined, 1);
+        let line = snap.render_line();
+        assert!(line.contains("trials 1/1"), "{line}");
+        assert!(line.contains("DROPPED 3"), "{line}");
+    }
+
+    #[test]
+    fn zero_epochs_never_divides_by_zero() {
+        let snap = HealthAggregator::new().snapshot(0, 0);
+        assert_eq!(snap.epochs_per_sec, 0.0);
+        assert_eq!(snap.sprint_rate, 0.0);
+        assert_eq!(snap.trip_rate, 0.0);
+        let _ = snap.render_line();
+    }
+}

@@ -2,9 +2,18 @@
 //!
 //! A span is a named start/end pair read from an injected [`Clock`];
 //! repeated spans with the same name accumulate into one [`SpanStats`]
-//! entry (count, total, max). The profile is deliberately not a tracing
-//! tree — the rack's hot paths are flat loops, and a flat accumulator
-//! keeps the per-span cost to two clock reads and one vector update.
+//! entry (count, total, max). The flat accumulator ([`SpanProfile::start`]
+//! / [`SpanProfile::end`]) keeps the per-span cost to two clock reads and
+//! one vector update, which is right for the rack's flat hot loops.
+//!
+//! For profiles that feed a flamegraph, the nesting-aware pair
+//! [`SpanProfile::open`] / [`SpanProfile::close`] additionally maintains
+//! a stack of open frames and accumulates each closed span under its
+//! full `;`-joined stack path (e.g. `engine.epoch;engine.decide`). Path
+//! stats land in [`SpanReport::paths`], from which the collapsed-stack
+//! exporter derives self/cumulative splits. Both APIs coexist: `open` /
+//! `close` also feeds the flat table, so `stats` and existing reports
+//! see the same totals either way.
 
 use std::collections::BTreeMap;
 
@@ -39,10 +48,17 @@ impl SpanStats {
 #[derive(Debug, Clone, Copy)]
 pub struct SpanStart(u64);
 
+/// Separator between frames in a span stack path.
+pub const PATH_SEPARATOR: char = ';';
+
 /// Accumulates named spans against an injected clock.
 pub struct SpanProfile {
     clock: Box<dyn Clock>,
     spans: Vec<(String, SpanStats)>,
+    /// Stacked frames opened by [`SpanProfile::open`], innermost last.
+    open: Vec<(String, u64)>,
+    /// Stats keyed by `;`-joined stack path.
+    paths: Vec<(String, SpanStats)>,
 }
 
 impl std::fmt::Debug for SpanProfile {
@@ -60,6 +76,8 @@ impl SpanProfile {
         SpanProfile {
             clock,
             spans: Vec::new(),
+            open: Vec::new(),
+            paths: Vec::new(),
         }
     }
 
@@ -89,14 +107,74 @@ impl SpanProfile {
         self.record_nanos(name, now.saturating_sub(started.0));
     }
 
+    /// Open a nesting-aware span: pushes a frame named `name` onto the
+    /// open stack. Close with [`SpanProfile::close`], innermost first.
+    pub fn open(&mut self, name: &str) -> SpanStart {
+        let now = self.clock.now_nanos();
+        self.open.push((name.to_string(), now));
+        SpanStart(now)
+    }
+
+    /// Close the innermost open frame, accumulating its duration both
+    /// under its flat name (as [`SpanProfile::end`] would) and under its
+    /// full `;`-joined stack path for tree-aware consumers.
+    ///
+    /// `started` is the handle [`SpanProfile::open`] returned; it guards
+    /// against mismatched pairs — closing with a stale handle drops
+    /// frames opened after it (they were leaked, not closed).
+    pub fn close(&mut self, started: SpanStart) {
+        let now = self.clock.now_nanos();
+        // Unwind to the frame this handle opened (normally the top).
+        while let Some((name, opened_at)) = self.open.pop() {
+            if opened_at < started.0 {
+                // A stale handle closed an outer frame first; restore it
+                // and fold the duration there.
+                self.open.push((name, opened_at));
+                break;
+            }
+            let is_match = opened_at == started.0;
+            if is_match {
+                let nanos = now.saturating_sub(opened_at);
+                let path = self.current_path(&name);
+                self.record_nanos(&name, nanos);
+                Self::fold(&mut self.paths, &path, nanos);
+                return;
+            }
+            // Leaked inner frame: discard silently (its time is inside
+            // the closing span's total anyway).
+        }
+    }
+
+    /// The `;`-joined path of the open stack plus `leaf`.
+    fn current_path(&self, leaf: &str) -> String {
+        let mut path = String::new();
+        for (frame, _) in &self.open {
+            path.push_str(frame);
+            path.push(PATH_SEPARATOR);
+        }
+        path.push_str(leaf);
+        path
+    }
+
     /// Fold an externally measured duration into the profile (used when
     /// the measurement happened on another thread).
     pub fn record_nanos(&mut self, name: &str, nanos: u64) {
-        let stats = match self.spans.iter().position(|(n, _)| n == name) {
-            Some(i) => &mut self.spans[i].1,
+        Self::fold(&mut self.spans, name, nanos);
+    }
+
+    /// Fold an externally measured duration into the path table under an
+    /// explicit `;`-joined stack path (e.g. `sweep;worker-0`), for
+    /// cross-thread measurements that should appear in flamegraphs.
+    pub fn record_path_nanos(&mut self, path: &str, nanos: u64) {
+        Self::fold(&mut self.paths, path, nanos);
+    }
+
+    fn fold(table: &mut Vec<(String, SpanStats)>, name: &str, nanos: u64) {
+        let stats = match table.iter().position(|(n, _)| n == name) {
+            Some(i) => &mut table[i].1,
             None => {
-                self.spans.push((name.to_string(), SpanStats::default()));
-                &mut self.spans.last_mut().expect("just pushed").1
+                table.push((name.to_string(), SpanStats::default()));
+                &mut table.last_mut().expect("just pushed").1
             }
         };
         stats.count += 1;
@@ -110,11 +188,18 @@ impl SpanProfile {
         self.spans.iter().find(|(n, _)| n == name).map(|(_, s)| *s)
     }
 
+    /// Stats for one full stack path, if any span closed under it.
+    #[must_use]
+    pub fn path_stats(&self, path: &str) -> Option<SpanStats> {
+        self.paths.iter().find(|(n, _)| n == path).map(|(_, s)| *s)
+    }
+
     /// Freeze into a serializable, name-sorted report.
     #[must_use]
     pub fn report(&self) -> SpanReport {
         SpanReport {
             spans: self.spans.iter().cloned().collect(),
+            paths: self.paths.iter().cloned().collect(),
         }
     }
 }
@@ -127,6 +212,11 @@ impl SpanProfile {
 pub struct SpanReport {
     /// Accumulated stats by span name.
     pub spans: BTreeMap<String, SpanStats>,
+    /// Accumulated stats by `;`-joined stack path, populated by the
+    /// nesting-aware [`SpanProfile::open`] / [`SpanProfile::close`] pair
+    /// (empty for purely flat profiles). Input to the flamegraph
+    /// exporter.
+    pub paths: BTreeMap<String, SpanStats>,
 }
 
 #[cfg(test)]
@@ -191,5 +281,53 @@ mod tests {
     fn missing_span_is_none() {
         let p = SpanProfile::deterministic();
         assert!(p.stats("nope").is_none());
+    }
+
+    #[test]
+    fn open_close_accumulates_under_stack_paths_and_flat_names() {
+        let mut p = SpanProfile::deterministic();
+        for _ in 0..2 {
+            let outer = p.open("engine.epoch");
+            let inner = p.open("engine.decide");
+            p.close(inner);
+            p.close(outer);
+        }
+        let path = p.path_stats("engine.epoch;engine.decide").unwrap();
+        assert_eq!(path.count, 2);
+        let root = p.path_stats("engine.epoch").unwrap();
+        assert_eq!(root.count, 2);
+        assert!(root.total_nanos > path.total_nanos);
+        // Flat view sees the same spans.
+        assert_eq!(p.stats("engine.epoch").unwrap().count, 2);
+        assert_eq!(p.stats("engine.decide").unwrap().count, 2);
+        let report = p.report();
+        assert_eq!(report.paths.len(), 2);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("engine.epoch;engine.decide"), "{json}");
+    }
+
+    #[test]
+    fn close_with_stale_handle_discards_leaked_inner_frames() {
+        let mut p = SpanProfile::deterministic();
+        let outer = p.open("outer");
+        let _leaked = p.open("leaked");
+        p.close(outer);
+        assert_eq!(p.stats("outer").unwrap().count, 1);
+        assert!(p.stats("leaked").is_none());
+        // The stack is clean: a fresh root span records at the root path.
+        let s = p.open("next");
+        p.close(s);
+        assert!(p.path_stats("next").is_some());
+    }
+
+    #[test]
+    fn external_path_measurements_fold_in() {
+        let mut p = SpanProfile::monotonic();
+        p.record_path_nanos("sweep;worker-0", 500);
+        p.record_path_nanos("sweep;worker-0", 250);
+        let s = p.path_stats("sweep;worker-0").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_nanos, 750);
+        assert_eq!(s.max_nanos, 500);
     }
 }
