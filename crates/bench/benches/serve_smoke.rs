@@ -1,0 +1,186 @@
+//! Serve-daemon smoke check (not a criterion bench).
+//!
+//! Boots a real `sprint serve` daemon on an ephemeral port, submits a
+//! run job and a sweep job over HTTP, and enforces the API-redesign
+//! contracts:
+//!
+//! - the HTTP-returned report bytes are identical to the bytes produced
+//!   by executing the same `JobSpec` through the CLI code path
+//!   (`sprint_serve::execute` + `report_json`);
+//! - submit→report latency and concurrent-client throughput are
+//!   measured and archived;
+//! - the daemon drains gracefully (second drain is the typed 409).
+//!
+//! Results land in `BENCH_serve.json` at the workspace root so CI can
+//! archive the trend. Run with `--quick` for a reduced-scale smoke pass.
+
+use std::time::{Duration, Instant};
+
+use sprint_game::EquilibriumCache;
+use sprint_serve::http::client;
+use sprint_serve::jobs::{self, ChaosMode, ChaosSpec, JobKind, JobSpec, RunSpec};
+use sprint_serve::{Daemon, ExecOptions, ServeConfig};
+use sprint_sim::sweep::{GameVariant, PopulationSpec, SweepSpec};
+use sprint_sim::telemetry::Telemetry;
+use sprint_sim::{PolicyKind, RunOptions};
+use sprint_workloads::Benchmark;
+
+fn run_spec(agents: u32, epochs: usize) -> JobSpec {
+    JobSpec::new(JobKind::Run {
+        spec: RunSpec {
+            benchmark: "decision".to_string(),
+            policy: PolicyKind::EquilibriumThreshold,
+            agents,
+            epochs,
+            seed: 7,
+        },
+    })
+}
+
+fn sweep_spec(agents: u32, epochs: usize) -> JobSpec {
+    JobSpec::new(JobKind::Sweep {
+        spec: SweepSpec {
+            games: vec![GameVariant::paper("paper")],
+            populations: vec![PopulationSpec::homogeneous(Benchmark::Svm, agents)],
+            plans: Vec::new(),
+            adversaries: Vec::new(),
+            policies: vec![PolicyKind::Greedy, PolicyKind::EquilibriumThreshold],
+            seeds: vec![1, 2],
+            epochs,
+            options: RunOptions::default(),
+        },
+    })
+}
+
+/// The reference bytes: the same code path `sprint run --json` uses.
+fn cli_bytes(spec: &JobSpec) -> String {
+    let cache = EquilibriumCache::default();
+    let report = jobs::execute(
+        spec,
+        &cache,
+        &ExecOptions::default(),
+        &mut Telemetry::noop(),
+    )
+    .expect("reference execution succeeds");
+    jobs::report_json(&report).expect("reference report serializes")
+}
+
+fn submit_wait(addr: &str, spec: &JobSpec) -> (String, u64) {
+    let body = serde_json::to_string(spec).expect("spec serializes");
+    let started = Instant::now();
+    let (status, response) =
+        client::request(addr, "POST", "/v1/jobs?wait=true", Some(&body)).expect("submit succeeds");
+    let nanos = started.elapsed().as_nanos() as u64;
+    assert_eq!(status, 200, "waiting submit returns the report: {response}");
+    (response, nanos)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (agents, epochs, clients) = if quick { (40, 60, 4) } else { (100, 150, 8) };
+
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: clients,
+        ..ServeConfig::default()
+    };
+    let handle = Daemon::start(&config).expect("daemon boots");
+    let addr = handle.addr().to_string();
+
+    // Gate 1: HTTP run report bytes == CLI report bytes.
+    let run = run_spec(agents, epochs);
+    let want_run = cli_bytes(&run);
+    let (got_run, run_nanos) = submit_wait(&addr, &run);
+    assert_eq!(
+        got_run, want_run,
+        "HTTP run report must be byte-identical to the CLI report"
+    );
+
+    // Gate 2: HTTP sweep report bytes == CLI sweep bytes.
+    let sweep = sweep_spec(agents, epochs);
+    let want_sweep = cli_bytes(&sweep);
+    let (got_sweep, sweep_nanos) = submit_wait(&addr, &sweep);
+    assert_eq!(
+        got_sweep, want_sweep,
+        "HTTP sweep report must be byte-identical to the CLI report"
+    );
+
+    // Gate 3: chaos jobs execute end to end.
+    let chaos = JobSpec::new(JobKind::Chaos {
+        spec: ChaosSpec {
+            benchmark: "decision".to_string(),
+            agents,
+            epochs,
+            seeds: 2,
+            fault_seed: 17,
+            mode: ChaosMode::Partition {
+                start: None,
+                duration: 3,
+            },
+        },
+    });
+    let (chaos_report, chaos_nanos) = submit_wait(&addr, &chaos);
+    assert!(
+        chaos_report.contains("\"outcome\""),
+        "chaos report carries an outcome"
+    );
+
+    // Throughput: N concurrent clients, all waiting on identical run
+    // jobs. The shared cache single-flights the solve, so one miss
+    // serves the whole burst.
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let addr = addr.as_str();
+        let run = &run;
+        let want = want_run.as_str();
+        for _ in 0..clients {
+            scope.spawn(move || {
+                let (got, _) = submit_wait(addr, run);
+                assert_eq!(got, want, "concurrent reports stay byte-identical");
+            });
+        }
+    });
+    let burst_nanos = started.elapsed().as_nanos() as u64;
+    let throughput = clients as f64 / (burst_nanos as f64 / 1e9);
+
+    let stats = handle.cache_stats();
+
+    // Live telemetry is reachable while jobs run.
+    let frames =
+        client::sse_frames(&addr, "/v1/events", 1, Duration::from_secs(5)).expect("SSE connects");
+    assert!(!frames.is_empty(), "SSE stream yields a health snapshot");
+
+    // Graceful drain, and the typed double-shutdown error.
+    let (status, _) = client::request(&addr, "POST", "/v1/drain", None).expect("drain submits");
+    assert_eq!(status, 202, "first drain is accepted");
+    let (status, body) = client::request(&addr, "POST", "/v1/drain", None).expect("second drain");
+    assert_eq!(status, 409, "second drain is the typed conflict: {body}");
+    handle.join().expect("daemon joins cleanly");
+
+    println!("serve smoke ({agents} agents x {epochs} epochs, {clients} concurrent clients)");
+    println!("  run submit→report   {run_nanos:>12} ns");
+    println!("  sweep submit→report {sweep_nanos:>12} ns");
+    println!("  chaos submit→report {chaos_nanos:>12} ns");
+    println!("  burst throughput    {throughput:>12.2} jobs/s ({clients} clients)");
+    println!(
+        "  cache               {} hits / {} misses",
+        stats.hits, stats.misses
+    );
+
+    let json = format!(
+        "{{\n  \"agents\": {agents},\n  \"epochs\": {epochs},\n  \"clients\": {clients},\n  \
+         \"run_submit_report_nanos\": {run_nanos},\n  \
+         \"sweep_submit_report_nanos\": {sweep_nanos},\n  \
+         \"chaos_submit_report_nanos\": {chaos_nanos},\n  \
+         \"burst_nanos\": {burst_nanos},\n  \"throughput_jobs_per_s\": {throughput:.4},\n  \
+         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
+         \"run_bytes_identical\": true,\n  \"sweep_bytes_identical\": true\n}}\n",
+        stats.hits, stats.misses
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serve.json");
+    std::fs::write(&out, json).expect("write BENCH_serve.json");
+    println!("  snapshot {}", out.display());
+    println!("PASS: HTTP and CLI reports byte-identical; drain contract holds");
+}

@@ -3,14 +3,16 @@
 use serde::Serialize;
 
 use sprint_game::cooperative::CooperativeSearch;
-use sprint_game::{GameConfig, MeanFieldSolver};
+use sprint_game::{EquilibriumCache, GameConfig, MeanFieldSolver};
 use sprint_power::rack::RackConfig;
-use sprint_sim::policy::PolicyKind;
-use sprint_sim::runner::standard_fault_suite;
-use sprint_sim::scenario::Scenario;
-use sprint_sim::sweep::{
-    run_sweep_supervised, GameVariant, PopulationSpec, Supervision, SweepSpec,
+use sprint_serve::jobs::{
+    execute as execute_job, report_json, ChaosMode, ChaosOutcome, ChaosSpec, ExecOptions, JobKind,
+    JobOutcome, JobSpec, RunSpec,
 };
+use sprint_serve::{Daemon, ServeConfig};
+use sprint_sim::policy::PolicyKind;
+use sprint_sim::scenario::Scenario;
+use sprint_sim::sweep::{GameVariant, PopulationSpec, Supervision, SweepSpec};
 use sprint_sim::telemetry::{
     collapsed_stacks, prometheus_text, Event, EventKind, EventRing, HealthAggregator, JsonlWriter,
     MetricsSnapshot, Noop, RingConfig, Severity, SpanProfile, SpanReport, Telemetry,
@@ -86,6 +88,9 @@ USAGE:
   sprint cluster       --benchmark <name> [--racks K] [--agents-per-rack N]
                        [--epochs E] [--facility-n-min X] [--facility-n-max X]
                        [--seed S] [--json true]
+  sprint serve         [--addr HOST:PORT] [--workers N] [--jobs J]
+                       [--spool DIR] [--event-log FILE.jsonl]
+                       [--snapshot-ms MS]
   sprint derive-params [--servers N] [--json true]
   sprint benchmarks
   sprint help
@@ -93,7 +98,12 @@ USAGE:
 Benchmarks: naive decision gradient svm linear kmeans als correlation
             pagerank cc triangle
 Adversary kinds: greedy_defector stochastic_cheater collusive_clique
-                 fictitious_play";
+                 fictitious_play
+
+`sprint serve` runs the rack-as-a-service daemon: POST a JobSpec (run,
+sweep, or chaos) to /v1/jobs and read the same canonical JobReport the
+CLI prints with --json true. Sweep spec files may be either a versioned
+JobSpec document or a legacy bare sweep spec.";
 
 fn parse_benchmark(args: &ParsedArgs) -> Result<Benchmark, CliError> {
     let name = args
@@ -250,21 +260,25 @@ fn print_span_table(spans: &SpanReport) {
     }
 }
 
-#[derive(Serialize)]
-struct SimulateReport {
-    benchmark: &'static str,
-    policy: String,
-    agents: u32,
-    epochs: usize,
-    seed: u64,
-    tasks_per_agent_epoch: f64,
-    trips: u32,
-    mean_sprinters: f64,
-    occupancy_active_cooling_recovery_sprint: [f64; 4],
-    telemetry: Option<TelemetrySection>,
+/// Parse the shared run-shaped flags into the canonical [`RunSpec`].
+///
+/// Every run-style subcommand (simulate/trace/report/monitor) builds
+/// this same typed spec — the flag→config plumbing lives here once, and
+/// the spec is exactly what `sprint serve` accepts over HTTP.
+fn parse_run_spec(args: &ParsedArgs) -> Result<RunSpec, CliError> {
+    let benchmark = parse_benchmark(args)?;
+    Ok(RunSpec {
+        benchmark: benchmark.name().to_string(),
+        policy: parse_policy(&args.get_or("policy", "e-t"))?,
+        agents: args.get_parsed("agents", 1000)?,
+        epochs: args.get_parsed("epochs", 600)?,
+        seed: args.get_parsed("seed", 1)?,
+    })
 }
 
-/// `sprint simulate`: one policy, one seed.
+/// `sprint simulate`: one policy, one seed, executed as a canonical run
+/// job. `--json true` prints the same `JobReport` bytes the daemon
+/// returns for this spec over HTTP.
 pub fn simulate(args: &ParsedArgs) -> Result<(), CliError> {
     args.expect_only(&[
         "benchmark",
@@ -276,67 +290,62 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), CliError> {
         "json",
         "telemetry",
     ])?;
-    let benchmark = parse_benchmark(args)?;
-    let policy = parse_policy(&args.get_or("policy", "e-t"))?;
-    let agents: u32 = args.get_parsed("agents", 1000)?;
-    let epochs: usize = args.get_parsed("epochs", 600)?;
-    let seed: u64 = args.get_parsed("seed", 1)?;
+    let run = parse_run_spec(args)?;
     let jobs = parse_jobs(args)?;
     let json = args.get_bool("json", false)?;
     let with_telemetry = args.get_bool("telemetry", false)?;
 
-    let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
-    let (result, telemetry) = if with_telemetry {
+    let spec = JobSpec::new(JobKind::Run { spec: run });
+    let opts = ExecOptions {
+        jobs,
+        ..ExecOptions::default()
+    };
+    let cache = EquilibriumCache::process();
+    let (report, section) = if with_telemetry {
         let mut kit = Telemetry::in_memory();
-        let result = scenario
-            .execute_jobs(policy, seed, jobs, &mut kit)
-            .map_err(run_err)?;
+        let report = execute_job(&spec, cache, &opts, &mut kit).map_err(run_err)?;
         let section = TelemetrySection {
             events: kit.events().map_or(0, <[Event]>::len),
             metrics: kit.registry.snapshot(),
             spans: kit.spans.report(),
         };
-        (result, Some(section))
+        (report, Some(section))
     } else {
         (
-            scenario
-                .execute_jobs(policy, seed, jobs, &mut Telemetry::noop())
-                .map_err(run_err)?,
+            execute_job(&spec, cache, &opts, &mut Telemetry::noop()).map_err(run_err)?,
             None,
         )
     };
-    let report = SimulateReport {
-        benchmark: benchmark.name(),
-        policy: policy.to_string(),
-        agents,
-        epochs,
-        seed,
-        tasks_per_agent_epoch: result.tasks_per_agent_epoch(),
-        trips: result.trips(),
-        mean_sprinters: result.mean_sprinters(),
-        occupancy_active_cooling_recovery_sprint: result.occupancy().fractions(),
-        telemetry,
+    let JobOutcome::Run { report: summary } = &report.outcome else {
+        return Err(CliError::Run("run job produced a non-run outcome".into()));
     };
-    emit(json, &report, || {
-        println!(
-            "{} on {} x {} for {} epochs (seed {})",
-            report.policy, report.agents, report.benchmark, report.epochs, report.seed
-        );
-        println!("tasks/agent-epoch   {:.4}", report.tasks_per_agent_epoch);
-        println!("power emergencies   {}", report.trips);
-        println!("mean sprinters      {:.1}", report.mean_sprinters);
-        let o = report.occupancy_active_cooling_recovery_sprint;
-        println!(
-            "occupancy           active {:.1}%  cooling {:.1}%  recovery {:.1}%  sprint {:.1}%",
-            o[0] * 100.0,
-            o[1] * 100.0,
-            o[2] * 100.0,
-            o[3] * 100.0
-        );
-        if let Some(section) = &report.telemetry {
-            print_telemetry_section(section);
+    if json {
+        println!("{}", report_json(&report).map_err(run_err)?);
+        if let Some(section) = &section {
+            // Telemetry carries wall-clock facts; keep stdout canonical.
+            eprintln!("telemetry           {} events recorded", section.events);
         }
-    })
+        return Ok(());
+    }
+    println!(
+        "{} on {} x {} for {} epochs (seed {})",
+        summary.policy, summary.agents, summary.benchmark, summary.epochs, summary.seed
+    );
+    println!("tasks/agent-epoch   {:.4}", summary.tasks_per_agent_epoch);
+    println!("power emergencies   {}", summary.trips);
+    println!("mean sprinters      {:.1}", summary.mean_sprinters);
+    let o = summary.occupancy;
+    println!(
+        "occupancy           active {:.1}%  cooling {:.1}%  recovery {:.1}%  sprint {:.1}%",
+        o[0] * 100.0,
+        o[1] * 100.0,
+        o[2] * 100.0,
+        o[3] * 100.0
+    );
+    if let Some(section) = &section {
+        print_telemetry_section(section);
+    }
+    Ok(())
 }
 
 /// `sprint trace`: stream one run's structured events as JSON Lines.
@@ -356,11 +365,7 @@ pub fn trace(args: &ParsedArgs) -> Result<(), CliError> {
         "decisions",
         "out",
     ])?;
-    let benchmark = parse_benchmark(args)?;
-    let policy = parse_policy(&args.get_or("policy", "e-t"))?;
-    let agents: u32 = args.get_parsed("agents", 1000)?;
-    let epochs: usize = args.get_parsed("epochs", 600)?;
-    let seed: u64 = args.get_parsed("seed", 1)?;
+    let run = parse_run_spec(args)?;
     let jobs = parse_jobs(args)?;
     let decisions = args.get_bool("decisions", false)?;
     let out = args.get("out");
@@ -377,11 +382,12 @@ pub fn trace(args: &ParsedArgs) -> Result<(), CliError> {
     }
     // Deterministic clock: span timings stay out of the byte-reproducible
     // event stream either way, but the trace itself must not depend on
-    // wall time.
+    // wall time. The run stays on the scenario path (not the cached job
+    // path) so solver events land in the trace.
     let mut telemetry = Telemetry::new(Box::new(jsonl), SpanProfile::deterministic());
-    let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
+    let scenario = run.scenario().map_err(run_err)?;
     scenario
-        .execute_jobs(policy, seed, jobs, &mut telemetry)
+        .execute_jobs(run.policy, run.seed, jobs, &mut telemetry)
         .map_err(run_err)?;
     if let Some(path) = out {
         let epochs_seen = telemetry
@@ -395,7 +401,7 @@ pub fn trace(args: &ParsedArgs) -> Result<(), CliError> {
 
 #[derive(Serialize)]
 struct RunReport {
-    benchmark: &'static str,
+    benchmark: String,
     policy: String,
     agents: u32,
     epochs: usize,
@@ -424,18 +430,16 @@ pub fn report(args: &ParsedArgs) -> Result<(), CliError> {
         "prometheus",
         "flamegraph",
     ])?;
-    let benchmark = parse_benchmark(args)?;
-    let policy = parse_policy(&args.get_or("policy", "e-t"))?;
-    let agents: u32 = args.get_parsed("agents", 1000)?;
-    let epochs: usize = args.get_parsed("epochs", 600)?;
-    let seed: u64 = args.get_parsed("seed", 1)?;
+    let run = parse_run_spec(args)?;
     let jobs = parse_jobs(args)?;
     let json = args.get_bool("json", false)?;
 
-    let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
+    // The scenario path (not the cached job path): solver iteration
+    // events must land in the in-memory recorder for the residual curve.
+    let scenario = run.scenario().map_err(run_err)?;
     let mut telemetry = Telemetry::in_memory();
     let result = scenario
-        .execute_jobs(policy, seed, jobs, &mut telemetry)
+        .execute_jobs(run.policy, run.seed, jobs, &mut telemetry)
         .map_err(run_err)?;
     let solver_residuals: Vec<f64> = telemetry
         .events()
@@ -447,11 +451,11 @@ pub fn report(args: &ParsedArgs) -> Result<(), CliError> {
         })
         .collect();
     let run_report = RunReport {
-        benchmark: benchmark.name(),
-        policy: policy.to_string(),
-        agents,
-        epochs,
-        seed,
+        benchmark: run.benchmark.clone(),
+        policy: run.policy.to_string(),
+        agents: run.agents,
+        epochs: run.epochs,
+        seed: run.seed,
         tasks_per_agent_epoch: result.tasks_per_agent_epoch(),
         trips: result.trips(),
         solver_residuals,
@@ -583,6 +587,9 @@ pub fn compare(args: &ParsedArgs) -> Result<(), CliError> {
 
 /// Build a sweep spec from the command line: a spec file wins; otherwise
 /// inline flags shape a single-game spec over all four policies.
+///
+/// Spec files go through [`JobSpec::parse_json`], so both versioned
+/// `JobSpec` documents and legacy bare sweep specs keep working.
 fn sweep_spec(args: &ParsedArgs) -> Result<SweepSpec, CliError> {
     if let Some(path) = args.get("spec") {
         for inline in ["benchmark", "agents", "epochs", "seeds"] {
@@ -593,8 +600,20 @@ fn sweep_spec(args: &ParsedArgs) -> Result<SweepSpec, CliError> {
             }
         }
         let text = std::fs::read_to_string(path).map_err(run_err)?;
-        return serde_json::from_str(&text)
-            .map_err(|e| ArgError(format!("invalid sweep spec `{path}`: {e}")).into());
+        let spec = JobSpec::parse_json(&text)
+            .map_err(|e| ArgError(format!("invalid sweep spec `{path}`: {e}")))?;
+        return match spec.job {
+            JobKind::Sweep { spec } => Ok(spec),
+            other => Err(ArgError(format!(
+                "`{path}` is a {} job, not a sweep",
+                match other {
+                    JobKind::Run { .. } => "run",
+                    JobKind::Chaos { .. } => "chaos",
+                    JobKind::Sweep { .. } => unreachable!("matched above"),
+                }
+            ))
+            .into()),
+        };
     }
     let benchmark = parse_benchmark(args)?;
     let agents: u32 = args.get_parsed("agents", 1000)?;
@@ -654,7 +673,15 @@ pub fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
     } else {
         Telemetry::noop()
     };
-    let report = run_sweep_supervised(&spec, jobs, supervision, &mut kit).map_err(run_err)?;
+    let job = JobSpec::new(JobKind::Sweep { spec: spec.clone() });
+    let opts = ExecOptions { jobs, supervision };
+    let job_report =
+        execute_job(&job, EquilibriumCache::process(), &opts, &mut kit).map_err(run_err)?;
+    let JobOutcome::Sweep { report } = &job_report.outcome else {
+        return Err(CliError::Run(
+            "sweep job produced a non-sweep outcome".into(),
+        ));
+    };
 
     if let Some(path) = records_out {
         use std::io::Write;
@@ -667,7 +694,11 @@ pub fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
         eprintln!("{} records written to {path}", report.records.len());
     }
 
-    emit(json, &report, || {
+    if json {
+        // Canonical JobReport bytes: identical to the daemon's HTTP
+        // response for the same spec.
+        println!("{}", report_json(&job_report).map_err(run_err)?);
+    } else {
         println!(
             "sweep: {} trials ({} games x {} populations x {} plans x {} policies x {} seeds)",
             report.trials,
@@ -708,7 +739,7 @@ pub fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
                 cell.trips
             );
         }
-    })?;
+    }
     if with_telemetry {
         let snapshot = kit.registry.snapshot();
         for (name, value) in &snapshot.counters {
@@ -722,270 +753,12 @@ pub fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
     Ok(())
 }
 
-/// The provenance header echoed on every `sprint chaos` JSON report:
-/// the resolved fault seed, trial seeds, fully resolved fault plans,
-/// and the adversary mix (when one is in play).
-#[derive(Serialize)]
-struct ChaosHeader {
-    fault_seed: u64,
-    trial_seeds: Vec<u64>,
-    plans: Vec<sprint_sim::runner::NamedPlan>,
-    adversaries: Option<sprint_sim::AdversaryMix>,
-}
-
-/// A chaos report wrapped with its [`ChaosHeader`].
-struct ChaosEnvelope<T> {
-    header: ChaosHeader,
-    report: T,
-    spans: Option<SpanReport>,
-}
-
-// Hand-written: the vendored serde derive does not support generics.
-impl<T: Serialize> Serialize for ChaosEnvelope<T> {
-    fn to_value(&self) -> serde::Value {
-        serde::Value::Object(vec![
-            ("header".to_string(), self.header.to_value()),
-            ("report".to_string(), self.report.to_value()),
-            ("spans".to_string(), self.spans.to_value()),
-        ])
-    }
-}
-
-/// `sprint chaos`: the policy × fault-plan resilience matrix, or (with
-/// `--partition true`) the control-plane partition-resilience suite, or
-/// (with `--adversaries`) the adversary-defense suite.
-pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
-    args.expect_only(&[
-        "benchmark",
-        "agents",
-        "epochs",
-        "seeds",
-        "jobs",
-        "fault-seed",
-        "json",
-        "telemetry",
-        "partition",
-        "partition-start",
-        "partition-epochs",
-        "report",
-        "adversaries",
-        "adversary-kind",
-        "cheat-probability",
-        "clique-period",
-        "ceasefire",
-    ])?;
-    let benchmark = parse_benchmark(args)?;
-    let agents: u32 = args.get_parsed("agents", 1000)?;
-    let epochs: usize = args.get_parsed("epochs", 600)?;
-    let n_seeds: u64 = args.get_parsed("seeds", 2)?;
-    let jobs = parse_jobs(args)?;
-    let fault_seed: u64 = args.get_parsed("fault-seed", 17)?;
-    let json = args.get_bool("json", false)?;
-    let with_telemetry = args.get_bool("telemetry", false)?;
-    if n_seeds == 0 {
-        return Err(ArgError("--seeds must be at least 1".into()).into());
-    }
-
-    let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
-    let with_partition = args.get_bool("partition", false)?;
-    let with_adversaries = args.get("adversaries").is_some();
-    if with_partition && with_adversaries {
-        return Err(ArgError("--partition and --adversaries are mutually exclusive".into()).into());
-    }
-    if with_adversaries {
-        return chaos_adversaries(args, &scenario, fault_seed, n_seeds, json);
-    }
-    if with_partition {
-        return chaos_partition(args, &scenario, fault_seed, n_seeds, json);
-    }
-    for flag in ["partition-start", "partition-epochs"] {
-        if args.get(flag).is_some() {
-            return Err(ArgError(format!("--{flag} requires --partition true")).into());
-        }
-    }
-    for flag in [
-        "adversary-kind",
-        "cheat-probability",
-        "clique-period",
-        "ceasefire",
-    ] {
-        if args.get(flag).is_some() {
-            return Err(ArgError(format!("--{flag} requires --adversaries")).into());
-        }
-    }
-    if args.get("report").is_some() {
-        return Err(ArgError("--report requires --partition true or --adversaries".into()).into());
-    }
-    let plans = standard_fault_suite(fault_seed);
-    let seeds: Vec<u64> = (1..=n_seeds).collect();
-    let mut kit = Telemetry::new(Box::new(Noop), SpanProfile::monotonic());
-    let report =
-        sprint_sim::runner::chaos_jobs(&scenario, &PolicyKind::ALL, &plans, &seeds, jobs, &mut kit)
-            .map_err(run_err)?;
-    let spans = kit.spans;
-    if json {
-        let combined = ChaosEnvelope {
-            header: ChaosHeader {
-                fault_seed,
-                trial_seeds: seeds.clone(),
-                plans: plans.clone(),
-                adversaries: None,
-            },
-            report: report.clone(),
-            spans: with_telemetry.then(|| spans.report()),
-        };
-        let s = serde_json::to_string_pretty(&combined).map_err(run_err)?;
-        println!("{s}");
-        return Ok(());
-    }
-    emit(json, &report, || {
-        println!(
-            "chaos matrix: {} x {} agents, {} epochs, {} seed(s), fault seed {}",
-            benchmark.name(),
-            agents,
-            epochs,
-            n_seeds,
-            fault_seed
-        );
-        println!(
-            "{:<24} {:<18} {:>10} {:>10} {:>7} {:>7}",
-            "policy", "fault plan", "tasks/ep", "vs clean", "trips", "crashes"
-        );
-        for cell in report.cells() {
-            println!(
-                "{:<24} {:<18} {:>10.4} {:>10.3} {:>7.1} {:>7}",
-                cell.policy.to_string(),
-                cell.plan,
-                cell.tasks_per_agent_epoch,
-                cell.degradation,
-                cell.trips,
-                cell.faults.crashes
-            );
-        }
-        if with_telemetry {
-            print_span_table(&spans.report());
-        }
-    })
-}
-
-/// `sprint chaos --partition`: run the control-plane resilience suite
-/// (lossy transport + rack partition, one [`ControlSim`] trial per seed)
-/// and optionally archive the JSON resilience report for CI.
-fn chaos_partition(
+/// Parse the adversary-mix flags, enforcing that kind-specific knobs
+/// name the matching kind.
+fn parse_adversary_mix(
     args: &ParsedArgs,
-    scenario: &Scenario,
     fault_seed: u64,
-    n_seeds: u64,
-    json: bool,
-) -> Result<(), CliError> {
-    use sprint_sim::control::ControlConfig;
-    use sprint_sim::faults::FaultPlan;
-
-    let epochs = scenario.epochs();
-    let start: usize = args.get_parsed("partition-start", epochs / 2)?;
-    let duration: usize = args.get_parsed("partition-epochs", 3)?;
-    let plan = FaultPlan::partition_chaos(fault_seed, start, duration);
-    let seeds: Vec<u64> = (1..=n_seeds).collect();
-    let mut kit = Telemetry::noop();
-    let report =
-        sprint_sim::runner::resilience(scenario, plan, ControlConfig::default(), &seeds, &mut kit)
-            .map_err(run_err)?;
-
-    if let Some(path) = args.get("report") {
-        let s = serde_json::to_string_pretty(&report).map_err(run_err)?;
-        std::fs::write(path, s).map_err(run_err)?;
-        eprintln!("resilience report written to {path}");
-    }
-    if json {
-        let combined = ChaosEnvelope {
-            header: ChaosHeader {
-                fault_seed,
-                trial_seeds: seeds.clone(),
-                plans: vec![sprint_sim::runner::NamedPlan {
-                    name: "partition-chaos".to_string(),
-                    plan,
-                }],
-                adversaries: None,
-            },
-            report: report.clone(),
-            spans: None,
-        };
-        let s = serde_json::to_string_pretty(&combined).map_err(run_err)?;
-        println!("{s}");
-    }
-    if !json {
-        let lost: u64 = report.trials.iter().map(|t| t.messages.lost).sum();
-        let sent: u64 = report.trials.iter().map(|t| t.messages.sent).sum();
-        let mut tiers = [0u64; 3];
-        for t in &report.trials {
-            for (acc, &e) in tiers.iter_mut().zip(&t.tier_epochs) {
-                *acc += e;
-            }
-        }
-        println!(
-            "partition chaos: {} trial(s), partition @{start} for {duration} epoch(s), \
-             fault seed {fault_seed}",
-            report.trials.len()
-        );
-        println!("  invariant violations   {}", report.invariant_violations);
-        println!(
-            "  messages lost          {lost}/{sent} ({:.1}%)",
-            if sent > 0 {
-                lost as f64 / sent as f64 * 100.0
-            } else {
-                0.0
-            }
-        );
-        println!(
-            "  tier epochs (eq/stale/cons)  {}/{}/{}",
-            tiers[0], tiers[1], tiers[2]
-        );
-        println!(
-            "  mean recovery          {} (budget: {} epochs = 2 leases)",
-            report.mean_recovery_epochs.map_or_else(
-                || "n/a (never degraded)".to_string(),
-                |m| format!("{m:.2} epochs")
-            ),
-            2 * report.control.lease_epochs
-        );
-        println!(
-            "  utility vs conservative baseline  {:.6} vs {:.6}",
-            report.mean_utility, report.conservative_utility
-        );
-        let ok = report.invariant_violations == 0
-            && report.recovered_within(2.0)
-            && report.mean_utility >= report.conservative_utility - 1e-12;
-        println!(
-            "  acceptance             {}",
-            if ok { "PASS" } else { "FAIL" }
-        );
-    }
-    if report.invariant_violations > 0 {
-        return Err(CliError::Run(
-            format!(
-                "{} agent-epoch(s) without a valid threshold",
-                report.invariant_violations
-            )
-            .into(),
-        ));
-    }
-    Ok(())
-}
-
-/// `sprint chaos --adversaries FRAC`: run the adversary-defense suite —
-/// FRAC of the population misbehaves under sensor noise and transport
-/// faults while the coordinator's detector and graduated sanctions try
-/// to restore honest throughput — and optionally archive the JSON
-/// report for CI.
-fn chaos_adversaries(
-    args: &ParsedArgs,
-    scenario: &Scenario,
-    fault_seed: u64,
-    n_seeds: u64,
-    json: bool,
-) -> Result<(), CliError> {
-    use sprint_sim::control::{ControlConfig, DetectorConfig};
-    use sprint_sim::faults::FaultPlan;
+) -> Result<sprint_sim::AdversaryMix, CliError> {
     use sprint_sim::{AdversaryKind, AdversaryMix};
 
     let fraction: f64 = args.get_parsed("adversaries", 0.1)?;
@@ -1026,96 +799,302 @@ fn chaos_adversaries(
         ),
         None => None,
     };
-    let mix = AdversaryMix {
+    Ok(AdversaryMix {
         kind,
         fraction,
         seed: fault_seed,
         ceasefire_epoch,
+    })
+}
+
+/// `sprint chaos`: the policy × fault-plan resilience matrix, or (with
+/// `--partition true`) the control-plane partition-resilience suite, or
+/// (with `--adversaries`) the adversary-defense suite — all expressed as
+/// one canonical chaos job, so `--json true` prints the same `JobReport`
+/// bytes the daemon returns for this spec.
+pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
+    args.expect_only(&[
+        "benchmark",
+        "agents",
+        "epochs",
+        "seeds",
+        "jobs",
+        "fault-seed",
+        "json",
+        "telemetry",
+        "partition",
+        "partition-start",
+        "partition-epochs",
+        "report",
+        "adversaries",
+        "adversary-kind",
+        "cheat-probability",
+        "clique-period",
+        "ceasefire",
+    ])?;
+    let benchmark = parse_benchmark(args)?;
+    let agents: u32 = args.get_parsed("agents", 1000)?;
+    let epochs: usize = args.get_parsed("epochs", 600)?;
+    let n_seeds: u64 = args.get_parsed("seeds", 2)?;
+    let jobs = parse_jobs(args)?;
+    let fault_seed: u64 = args.get_parsed("fault-seed", 17)?;
+    let json = args.get_bool("json", false)?;
+    let with_telemetry = args.get_bool("telemetry", false)?;
+    if n_seeds == 0 {
+        return Err(ArgError("--seeds must be at least 1".into()).into());
+    }
+
+    let with_partition = args.get_bool("partition", false)?;
+    let with_adversaries = args.get("adversaries").is_some();
+    if with_partition && with_adversaries {
+        return Err(ArgError("--partition and --adversaries are mutually exclusive".into()).into());
+    }
+    if !with_partition {
+        for flag in ["partition-start", "partition-epochs"] {
+            if args.get(flag).is_some() {
+                return Err(ArgError(format!("--{flag} requires --partition true")).into());
+            }
+        }
+    }
+    if !with_adversaries {
+        for flag in [
+            "adversary-kind",
+            "cheat-probability",
+            "clique-period",
+            "ceasefire",
+        ] {
+            if args.get(flag).is_some() {
+                return Err(ArgError(format!("--{flag} requires --adversaries")).into());
+            }
+        }
+    }
+    if args.get("report").is_some() && !with_partition && !with_adversaries {
+        return Err(ArgError("--report requires --partition true or --adversaries".into()).into());
+    }
+
+    let mode = if with_adversaries {
+        ChaosMode::Adversaries {
+            mix: parse_adversary_mix(args, fault_seed)?,
+        }
+    } else if with_partition {
+        let start = match args.get("partition-start") {
+            Some(_) => Some(args.get_parsed("partition-start", 0)?),
+            None => None,
+        };
+        ChaosMode::Partition {
+            start,
+            duration: args.get_parsed("partition-epochs", 3)?,
+        }
+    } else {
+        ChaosMode::Matrix
     };
-    let plan = FaultPlan::adversary_chaos(fault_seed);
-    let detector = DetectorConfig::default();
-    let seeds: Vec<u64> = (1..=n_seeds).collect();
-    let mut kit = Telemetry::noop();
-    let report = sprint_sim::runner::adversary_defense(
-        scenario,
-        plan,
-        ControlConfig::default(),
-        detector,
-        mix,
-        &seeds,
-        &mut kit,
-    )
-    .map_err(run_err)?;
+    let job = JobSpec::new(JobKind::Chaos {
+        spec: ChaosSpec {
+            benchmark: benchmark.name().to_string(),
+            agents,
+            epochs,
+            seeds: n_seeds,
+            fault_seed,
+            mode,
+        },
+    });
+    let opts = ExecOptions {
+        jobs,
+        ..ExecOptions::default()
+    };
+    let mut kit = if with_telemetry {
+        Telemetry::new(Box::new(Noop), SpanProfile::monotonic())
+    } else {
+        Telemetry::noop()
+    };
+    let job_report =
+        execute_job(&job, EquilibriumCache::process(), &opts, &mut kit).map_err(run_err)?;
+    let JobOutcome::Chaos { report: outcome } = &job_report.outcome else {
+        return Err(CliError::Run(
+            "chaos job produced a non-chaos outcome".into(),
+        ));
+    };
 
     if let Some(path) = args.get("report") {
-        let s = serde_json::to_string_pretty(&report).map_err(run_err)?;
-        std::fs::write(path, s).map_err(run_err)?;
-        eprintln!("adversary report written to {path}");
+        // CI archives the inner suite report, not the JobReport envelope.
+        let (inner, what) = match outcome {
+            ChaosOutcome::Matrix { report } => (
+                serde_json::to_string_pretty(report).map_err(run_err)?,
+                "chaos",
+            ),
+            ChaosOutcome::Partition { report } => (
+                serde_json::to_string_pretty(report).map_err(run_err)?,
+                "resilience",
+            ),
+            ChaosOutcome::Adversaries { report } => (
+                serde_json::to_string_pretty(report).map_err(run_err)?,
+                "adversary",
+            ),
+        };
+        std::fs::write(path, inner).map_err(run_err)?;
+        eprintln!("{what} report written to {path}");
     }
     if json {
-        let combined = ChaosEnvelope {
-            header: ChaosHeader {
-                fault_seed,
-                trial_seeds: seeds.clone(),
-                plans: vec![sprint_sim::runner::NamedPlan {
-                    name: "adversary-chaos".to_string(),
-                    plan,
-                }],
-                adversaries: Some(mix),
-            },
-            report: report.clone(),
-            spans: None,
-        };
-        let s = serde_json::to_string_pretty(&combined).map_err(run_err)?;
-        println!("{s}");
+        println!("{}", report_json(&job_report).map_err(run_err)?);
     } else {
-        println!(
-            "adversary chaos: {} trial(s), {} {} @ {:.0}% of {} agents, fault seed {fault_seed}",
-            report.trials.len(),
-            mix.adversary_count(report.agents as usize),
-            mix.kind.name(),
-            mix.fraction * 100.0,
-            report.agents,
-        );
-        println!(
-            "  throughput (honest/unchecked/enforced)  {:.4} / {:.4} / {:.4}",
-            report.honest_throughput, report.unenforced_throughput, report.enforced_throughput
-        );
-        println!(
-            "  recovery ratio         {:.4} (unchecked: {:.4})",
-            report.recovery_ratio, report.unenforced_ratio
-        );
-        println!(
-            "  detections             {} (mean latency: {})",
-            report.detections,
-            report
-                .mean_detection_latency_epochs
-                .map_or_else(|| "n/a".to_string(), |m| format!("{m:.1} epochs")),
-        );
-        println!(
-            "  sanctions              {} exclusion(s), {} readmission(s)",
-            report.exclusions, report.readmissions
-        );
-        println!(
-            "  errors                 {} false-positive exclusion(s), {} false negative(s)",
-            report.false_positive_exclusions, report.false_negatives
-        );
-        let ok = report.recovery_ratio >= 0.95 && report.false_positive_exclusions == 0;
-        println!(
-            "  acceptance             {}",
-            if ok { "PASS" } else { "FAIL" }
-        );
+        match outcome {
+            ChaosOutcome::Matrix { report } => {
+                println!(
+                    "chaos matrix: {} x {} agents, {} epochs, {} seed(s), fault seed {}",
+                    benchmark.name(),
+                    agents,
+                    epochs,
+                    n_seeds,
+                    fault_seed
+                );
+                println!(
+                    "{:<24} {:<18} {:>10} {:>10} {:>7} {:>7}",
+                    "policy", "fault plan", "tasks/ep", "vs clean", "trips", "crashes"
+                );
+                for cell in report.cells() {
+                    println!(
+                        "{:<24} {:<18} {:>10.4} {:>10.3} {:>7.1} {:>7}",
+                        cell.policy.to_string(),
+                        cell.plan,
+                        cell.tasks_per_agent_epoch,
+                        cell.degradation,
+                        cell.trips,
+                        cell.faults.crashes
+                    );
+                }
+            }
+            ChaosOutcome::Partition { report } => {
+                let start: usize = args.get_parsed("partition-start", epochs / 2)?;
+                let duration: usize = args.get_parsed("partition-epochs", 3)?;
+                print_partition_text(report, start, duration, fault_seed);
+            }
+            ChaosOutcome::Adversaries { report } => print_adversary_text(report, fault_seed),
+        }
+        if with_telemetry {
+            print_span_table(&kit.spans.report());
+        }
     }
-    if report.false_positive_exclusions > 0 {
-        return Err(CliError::Run(
-            format!(
-                "{} honest agent(s) permanently excluded",
-                report.false_positive_exclusions
-            )
-            .into(),
-        ));
+    // The acceptance gates fail the process in every output mode.
+    match outcome {
+        ChaosOutcome::Partition { report } if report.invariant_violations > 0 => {
+            Err(CliError::Run(
+                format!(
+                    "{} agent-epoch(s) without a valid threshold",
+                    report.invariant_violations
+                )
+                .into(),
+            ))
+        }
+        ChaosOutcome::Adversaries { report } if report.false_positive_exclusions > 0 => {
+            Err(CliError::Run(
+                format!(
+                    "{} honest agent(s) permanently excluded",
+                    report.false_positive_exclusions
+                )
+                .into(),
+            ))
+        }
+        _ => Ok(()),
     }
-    Ok(())
+}
+
+/// Text summary for `sprint chaos --partition`: invariant, message-loss,
+/// tier-occupancy, and recovery acceptance lines from the resilience
+/// suite report.
+fn print_partition_text(
+    report: &sprint_sim::runner::ResilienceReport,
+    start: usize,
+    duration: usize,
+    fault_seed: u64,
+) {
+    let lost: u64 = report.trials.iter().map(|t| t.messages.lost).sum();
+    let sent: u64 = report.trials.iter().map(|t| t.messages.sent).sum();
+    let mut tiers = [0u64; 3];
+    for t in &report.trials {
+        for (acc, &e) in tiers.iter_mut().zip(&t.tier_epochs) {
+            *acc += e;
+        }
+    }
+    println!(
+        "partition chaos: {} trial(s), partition @{start} for {duration} epoch(s), \
+         fault seed {fault_seed}",
+        report.trials.len()
+    );
+    println!("  invariant violations   {}", report.invariant_violations);
+    println!(
+        "  messages lost          {lost}/{sent} ({:.1}%)",
+        if sent > 0 {
+            lost as f64 / sent as f64 * 100.0
+        } else {
+            0.0
+        }
+    );
+    println!(
+        "  tier epochs (eq/stale/cons)  {}/{}/{}",
+        tiers[0], tiers[1], tiers[2]
+    );
+    println!(
+        "  mean recovery          {} (budget: {} epochs = 2 leases)",
+        report.mean_recovery_epochs.map_or_else(
+            || "n/a (never degraded)".to_string(),
+            |m| format!("{m:.2} epochs")
+        ),
+        2 * report.control.lease_epochs
+    );
+    println!(
+        "  utility vs conservative baseline  {:.6} vs {:.6}",
+        report.mean_utility, report.conservative_utility
+    );
+    let ok = report.invariant_violations == 0
+        && report.recovered_within(2.0)
+        && report.mean_utility >= report.conservative_utility - 1e-12;
+    println!(
+        "  acceptance             {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
+}
+
+/// Text summary for `sprint chaos --adversaries`: throughput recovery,
+/// detections, and sanction-error acceptance lines from the
+/// adversary-defense suite report.
+fn print_adversary_text(report: &sprint_sim::runner::AdversaryReport, fault_seed: u64) {
+    let mix = &report.mix;
+    println!(
+        "adversary chaos: {} trial(s), {} {} @ {:.0}% of {} agents, fault seed {fault_seed}",
+        report.trials.len(),
+        mix.adversary_count(report.agents as usize),
+        mix.kind.name(),
+        mix.fraction * 100.0,
+        report.agents,
+    );
+    println!(
+        "  throughput (honest/unchecked/enforced)  {:.4} / {:.4} / {:.4}",
+        report.honest_throughput, report.unenforced_throughput, report.enforced_throughput
+    );
+    println!(
+        "  recovery ratio         {:.4} (unchecked: {:.4})",
+        report.recovery_ratio, report.unenforced_ratio
+    );
+    println!(
+        "  detections             {} (mean latency: {})",
+        report.detections,
+        report
+            .mean_detection_latency_epochs
+            .map_or_else(|| "n/a".to_string(), |m| format!("{m:.1} epochs")),
+    );
+    println!(
+        "  sanctions              {} exclusion(s), {} readmission(s)",
+        report.exclusions, report.readmissions
+    );
+    println!(
+        "  errors                 {} false-positive exclusion(s), {} false negative(s)",
+        report.false_positive_exclusions, report.false_negatives
+    );
+    let ok = report.recovery_ratio >= 0.95 && report.false_positive_exclusions == 0;
+    println!(
+        "  acceptance             {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
 }
 
 /// `sprint cluster`: multi-rack simulation under a facility breaker.
@@ -1353,15 +1332,13 @@ fn fold_line(agg: &mut HealthAggregator, line: &str, unparseable: &mut u64) {
 /// engine could block on. The decision firehose is filtered at the ring
 /// (severity gate) unless `--decisions true`.
 fn monitor_live(args: &ParsedArgs, every: u64, json: bool) -> Result<(), CliError> {
-    let benchmark = parse_benchmark(args)?;
-    let policy = parse_policy(&args.get_or("policy", "e-t"))?;
-    let agents: u32 = args.get_parsed("agents", 1000)?;
-    let epochs: usize = args.get_parsed("epochs", 600)?;
-    let seed: u64 = args.get_parsed("seed", 1)?;
+    let run = parse_run_spec(args)?;
+    let policy = run.policy;
+    let seed = run.seed;
     let jobs = parse_jobs(args)?;
     let decisions = args.get_bool("decisions", false)?;
 
-    let scenario = Scenario::homogeneous(benchmark, agents, epochs).map_err(run_err)?;
+    let scenario = run.scenario().map_err(run_err)?;
     let mut config = RingConfig::default();
     if !decisions {
         config = config.with_min_severity(Severity::Info);
@@ -1405,6 +1382,35 @@ fn monitor_live(args: &ParsedArgs, every: u64, json: bool) -> Result<(), CliErro
     write_exports(args, &kit.registry.snapshot(), &kit.spans.report())
 }
 
+/// `sprint serve`: boot the rack-as-a-service daemon and block until it
+/// is drained (POST /v1/drain) and every accepted job has finished.
+pub fn serve(args: &ParsedArgs) -> Result<(), CliError> {
+    args.expect_only(&[
+        "addr",
+        "workers",
+        "jobs",
+        "spool",
+        "event-log",
+        "snapshot-ms",
+    ])?;
+    let config = ServeConfig {
+        addr: args.get_or("addr", "127.0.0.1:7077"),
+        workers: args.get_parsed("workers", 2)?,
+        jobs: args.get_parsed("jobs", 1)?,
+        spool: args.get("spool").map(std::path::PathBuf::from),
+        event_log: args.get("event-log").map(std::path::PathBuf::from),
+        snapshot_every_ms: args.get_parsed("snapshot-ms", 200)?,
+    };
+    let handle = Daemon::start(&config).map_err(run_err)?;
+    eprintln!("sprint serve listening on http://{}", handle.addr());
+    eprintln!("  POST /v1/jobs[?wait=true]    submit a JobSpec (run | sweep | chaos)");
+    eprintln!("  GET  /v1/jobs[/ID[/report]]  job table, status, canonical JobReport");
+    eprintln!("  GET  /v1/events              live health snapshots (SSE)");
+    eprintln!("  GET  /v1/health /v1/metrics /v1/version");
+    eprintln!("  POST /v1/drain               stop accepting, finish in-flight, exit");
+    handle.join().map_err(run_err)
+}
+
 /// Dispatch a parsed command line.
 ///
 /// # Errors
@@ -1422,6 +1428,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
         "sweep" => sweep(args),
         "chaos" => chaos(args),
         "cluster" => cluster(args),
+        "serve" => serve(args),
         "derive-params" => derive_params(args),
         "benchmarks" => benchmarks(args),
         "help" | "--help" | "-h" => {
@@ -1914,6 +1921,38 @@ mod tests {
         assert!(sweep(&conflicted).is_err());
         let _ = std::fs::remove_file(spec_path);
         let _ = std::fs::remove_file(records_path);
+    }
+
+    #[test]
+    fn sweep_accepts_a_versioned_jobspec_file() {
+        let dir = std::env::temp_dir();
+        let spec_path = dir.join("sprint-sweep-test-jobspec.json");
+        let mut spec = SweepSpec::example();
+        spec.populations[0].agents = 20;
+        spec.epochs = 10;
+        spec.games.truncate(1);
+        spec.policies.truncate(1);
+        spec.seeds.truncate(1);
+        let job = JobSpec::new(JobKind::Sweep { spec });
+        std::fs::write(&spec_path, serde_json::to_string(&job).unwrap()).unwrap();
+        let args = parsed(&["sweep", "--spec", spec_path.to_str().unwrap()]);
+        assert!(sweep(&args).is_ok());
+        // A versioned file of the wrong job kind is a flag error, not a
+        // silent misparse.
+        let run_job = JobSpec::new(JobKind::Run {
+            spec: RunSpec {
+                benchmark: "svm".to_string(),
+                policy: PolicyKind::Greedy,
+                agents: 20,
+                epochs: 10,
+                seed: 1,
+            },
+        });
+        std::fs::write(&spec_path, serde_json::to_string(&run_job).unwrap()).unwrap();
+        let err = sweep(&parsed(&["sweep", "--spec", spec_path.to_str().unwrap()]))
+            .expect_err("a run job is not a sweep spec");
+        assert!(err.to_string().contains("run job"), "{err}");
+        let _ = std::fs::remove_file(spec_path);
     }
 
     #[test]

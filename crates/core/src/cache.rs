@@ -238,6 +238,22 @@ impl Default for EquilibriumCache {
 }
 
 impl EquilibriumCache {
+    /// The process-wide shared cache: one lazily initialized
+    /// [`EquilibriumCache`] for the whole process, so every subsystem
+    /// that resolves equilibria through it — CLI one-shot commands, the
+    /// `sprint serve` daemon's job workers, library callers — shares one
+    /// memo table and one single-flight domain. Concurrent requests for
+    /// the same `(config, options, density)` key run Algorithm 1 exactly
+    /// once, no matter which entry point issued them.
+    ///
+    /// Callers that need isolated counters (tests, benchmarks) should
+    /// construct their own cache instead.
+    #[must_use]
+    pub fn process() -> &'static EquilibriumCache {
+        static PROCESS: OnceLock<EquilibriumCache> = OnceLock::new();
+        PROCESS.get_or_init(EquilibriumCache::default)
+    }
+
     /// A cache bounded to roughly `capacity` total entries (rounded up to
     /// a multiple of the shard count; at least one entry per shard).
     /// When a shard is full, its oldest entry is evicted.
@@ -658,6 +674,39 @@ mod tests {
         assert_eq!(stats.misses, 1, "single-flight: one solve per key");
         assert_eq!(stats.hits, 7);
         assert!(results.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn sixteen_concurrent_clients_trigger_exactly_one_solve() {
+        // The serve-layer acceptance shape, pinned at the cache: sixteen
+        // threads race the same equilibrium key, exactly one Algorithm-1
+        // solve runs, and the registry counters prove it.
+        let solver = MeanFieldSolver::new(GameConfig::paper_defaults());
+        let d = density();
+        let cache = EquilibriumCache::default();
+        let results: Vec<Equilibrium> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| scope.spawn(|| cache.solve(&solver, &d).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+        let mut registry = Registry::default();
+        cache.export_metrics(&mut registry);
+        assert_eq!(
+            registry.counter_value("cache.equilibrium.misses"),
+            Some(1),
+            "single-flight: one solve for sixteen concurrent clients"
+        );
+        assert_eq!(registry.counter_value("cache.equilibrium.hits"), Some(15));
+        assert_eq!(registry.gauge_value("cache.equilibrium.entries"), Some(1.0));
+    }
+
+    #[test]
+    fn process_cache_is_one_shared_instance() {
+        let a = EquilibriumCache::process() as *const EquilibriumCache;
+        let b = EquilibriumCache::process() as *const EquilibriumCache;
+        assert_eq!(a, b, "every caller sees the same process-wide cache");
     }
 
     #[test]

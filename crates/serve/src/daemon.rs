@@ -1,0 +1,651 @@
+//! The long-lived `sprint serve` daemon: a listener, a job queue,
+//! worker threads sharing one [`EquilibriumCache`], and a telemetry
+//! aggregator streaming live health snapshots over SSE.
+//!
+//! # Endpoints
+//!
+//! | Method | Path                  | Purpose                                        |
+//! |--------|-----------------------|------------------------------------------------|
+//! | POST   | `/v1/jobs`            | Submit a [`JobSpec`]; `?wait=true` blocks for the report |
+//! | GET    | `/v1/jobs`            | List jobs and their states                     |
+//! | GET    | `/v1/jobs/{id}`       | One job's state                                |
+//! | GET    | `/v1/jobs/{id}/report`| The canonical [`JobReport`] bytes              |
+//! | GET    | `/v1/health`          | Latest health snapshot (JSON)                  |
+//! | GET    | `/v1/metrics`         | Prometheus exposition (cache + queue + ring)   |
+//! | GET    | `/v1/events`          | SSE stream of health snapshots                 |
+//! | POST   | `/v1/drain`           | Graceful shutdown: stop accepting, finish queue|
+//! | GET    | `/v1/version`         | Daemon name and schema version                 |
+//!
+//! # Job lifecycle
+//!
+//! `queued → running → done | failed`. Submissions during a drain are
+//! rejected with 503; a second drain is the typed
+//! [`ServeError::AlreadyDraining`] (409). Workers exit once the daemon
+//! is draining and the queue is empty; [`DaemonHandle::join`] then
+//! flushes the event log and tears the listener down.
+//!
+//! [`JobSpec`]: crate::jobs::JobSpec
+//! [`JobReport`]: crate::jobs::JobReport
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use sprint_game::{CacheStats, EquilibriumCache};
+use sprint_sim::sweep::Supervision;
+use sprint_sim::telemetry::{
+    prometheus_text, EventRing, HealthAggregator, Recorder, Registry, RingConfig, RingProducer,
+    RotatingJsonl, Severity, SpanProfile, Telemetry,
+};
+
+use crate::error::ServeError;
+use crate::http::{self, Request};
+use crate::jobs::{self, ExecOptions, JobSpec, SCHEMA_VERSION};
+
+/// How the daemon binds, fans out, and persists.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Job worker threads (minimum 1).
+    pub workers: usize,
+    /// Engine fan-out per job (`0` = available cores); never affects
+    /// report bytes.
+    pub jobs: usize,
+    /// Directory to persist each `job-{id}.json` report into, if any.
+    pub spool: Option<PathBuf>,
+    /// Rotating JSONL event-log path, if any.
+    pub event_log: Option<PathBuf>,
+    /// Health-snapshot publication period in milliseconds.
+    pub snapshot_every_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7077".to_string(),
+            workers: 2,
+            jobs: 1,
+            spool: None,
+            event_log: None,
+            snapshot_every_ms: 200,
+        }
+    }
+}
+
+/// A job's position in its lifecycle.
+#[derive(Debug, Clone)]
+enum JobState {
+    Queued,
+    Running,
+    Done { report: String },
+    Failed { error: String },
+}
+
+impl JobState {
+    fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done { .. } => "done",
+            JobState::Failed { .. } => "failed",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    spec: JobSpec,
+    state: JobState,
+}
+
+#[derive(Debug, Default)]
+struct JobTable {
+    next_id: u64,
+    queue: VecDeque<u64>,
+    jobs: BTreeMap<u64, JobEntry>,
+    running: usize,
+    draining: bool,
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+}
+
+#[derive(Debug, Default)]
+struct HealthState {
+    seq: u64,
+    json: String,
+    published: u64,
+    dropped: u64,
+}
+
+struct Shared {
+    table: Mutex<JobTable>,
+    jobs_cv: Condvar,
+    done_cv: Condvar,
+    health: Mutex<HealthState>,
+    health_cv: Condvar,
+    cache: EquilibriumCache,
+    stop: AtomicBool,
+    opts: ExecOptions,
+    spool: Option<PathBuf>,
+}
+
+impl Shared {
+    fn submit(&self, spec: JobSpec) -> crate::Result<u64> {
+        let mut table = self.table.lock().expect("job table poisoned");
+        if table.draining {
+            return Err(ServeError::Draining);
+        }
+        table.next_id += 1;
+        let id = table.next_id;
+        table.jobs.insert(
+            id,
+            JobEntry {
+                spec,
+                state: JobState::Queued,
+            },
+        );
+        table.queue.push_back(id);
+        table.submitted += 1;
+        drop(table);
+        self.jobs_cv.notify_all();
+        Ok(id)
+    }
+
+    fn drain(&self) -> crate::Result<usize> {
+        let mut table = self.table.lock().expect("job table poisoned");
+        if table.draining {
+            return Err(ServeError::AlreadyDraining);
+        }
+        table.draining = true;
+        let pending = table.queue.len() + table.running;
+        drop(table);
+        // Idle workers are parked on the queue condvar; wake them so
+        // they observe the drain and exit.
+        self.jobs_cv.notify_all();
+        Ok(pending)
+    }
+
+    fn wait_done(&self, id: u64) -> crate::Result<String> {
+        let mut table = self.table.lock().expect("job table poisoned");
+        loop {
+            match table.jobs.get(&id) {
+                None => return Err(ServeError::NotFound(format!("job {id}"))),
+                Some(entry) => match &entry.state {
+                    JobState::Done { report } => return Ok(report.clone()),
+                    JobState::Failed { error } => return Err(ServeError::Job(error.clone())),
+                    JobState::Queued | JobState::Running => {
+                        table = self.done_cv.wait(table).expect("job table poisoned");
+                    }
+                },
+            }
+        }
+    }
+}
+
+fn claim(shared: &Shared) -> Option<(u64, JobSpec)> {
+    let mut table = shared.table.lock().expect("job table poisoned");
+    loop {
+        if let Some(id) = table.queue.pop_front() {
+            if let Some(entry) = table.jobs.get_mut(&id) {
+                entry.state = JobState::Running;
+                let spec = entry.spec.clone();
+                table.running += 1;
+                return Some((id, spec));
+            }
+            continue;
+        }
+        if table.draining {
+            return None;
+        }
+        table = shared.jobs_cv.wait(table).expect("job table poisoned");
+    }
+}
+
+fn finish(shared: &Shared, id: u64, result: crate::Result<String>) {
+    // Spool persistence is best-effort: a full disk must not lose the
+    // in-memory report a waiting client is about to read.
+    if let (Some(dir), Ok(report)) = (&shared.spool, &result) {
+        let _ = std::fs::write(dir.join(format!("job-{id}.json")), report);
+    }
+    let mut table = shared.table.lock().expect("job table poisoned");
+    table.running -= 1;
+    match result {
+        Ok(report) => {
+            table.completed += 1;
+            if let Some(entry) = table.jobs.get_mut(&id) {
+                entry.state = JobState::Done { report };
+            }
+        }
+        Err(err) => {
+            table.failed += 1;
+            if let Some(entry) = table.jobs.get_mut(&id) {
+                entry.state = JobState::Failed {
+                    error: err.to_string(),
+                };
+            }
+        }
+    }
+    drop(table);
+    shared.done_cv.notify_all();
+}
+
+fn worker_loop(shared: &Arc<Shared>, producer: RingProducer) {
+    // One telemetry bundle per worker lifetime: every job this worker
+    // runs publishes into its own lock-free ring segment.
+    let mut telemetry = Telemetry::new(Box::new(producer), SpanProfile::monotonic());
+    while let Some((id, spec)) = claim(shared) {
+        let result = jobs::execute(&spec, &shared.cache, &shared.opts, &mut telemetry)
+            .and_then(|report| jobs::report_json(&report));
+        finish(shared, id, result);
+    }
+}
+
+fn publish_snapshot(shared: &Shared, agg: &HealthAggregator, ring: &EventRing, started: Instant) {
+    let snapshot = agg.snapshot(started.elapsed().as_nanos() as u64, ring.dropped());
+    if let Ok(json) = serde_json::to_string(&snapshot) {
+        let mut health = shared.health.lock().expect("health state poisoned");
+        health.seq += 1;
+        health.json = json;
+        health.published = ring.published();
+        health.dropped = ring.dropped();
+        drop(health);
+        shared.health_cv.notify_all();
+    }
+}
+
+fn aggregator_loop(
+    shared: &Arc<Shared>,
+    mut ring: EventRing,
+    mut log: Option<RotatingJsonl>,
+    every: Duration,
+) {
+    let started = Instant::now();
+    let mut agg = HealthAggregator::default();
+    let mut last_published: Option<Instant> = None;
+    loop {
+        let stopping = shared.stop.load(Ordering::Acquire);
+        for event in &ring.drain() {
+            agg.fold(event);
+            if let Some(log) = log.as_mut() {
+                log.record(event);
+            }
+        }
+        if stopping || last_published.is_none_or(|at| at.elapsed() >= every) {
+            last_published = Some(Instant::now());
+            publish_snapshot(shared, &agg, &ring, started);
+            if let Some(log) = log.as_mut() {
+                let _ = log.flush();
+            }
+        }
+        if stopping {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    if let Some(log) = log {
+        let _ = log.finish();
+    }
+}
+
+fn listener_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || handle_connection(&shared, stream));
+    }
+}
+
+#[derive(serde::Serialize)]
+struct ErrorBody {
+    error: String,
+}
+
+#[derive(serde::Serialize)]
+struct JobStatus {
+    id: u64,
+    status: String,
+}
+
+fn respond_error(stream: &mut TcpStream, error: &ServeError) {
+    let body = serde_json::to_string(&ErrorBody {
+        error: error.to_string(),
+    })
+    .unwrap_or_else(|_| "{\"error\":\"unserializable error\"}".to_string());
+    let _ = http::write_response(stream, error.status(), "application/json", body.as_bytes());
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let mut reader = BufReader::new(stream);
+    let request = http::read_request(&mut reader);
+    let mut stream = reader.into_inner();
+    match request {
+        Err(e) => respond_error(&mut stream, &e),
+        Ok(request) => {
+            if let Err(e) = route(shared, &mut stream, &request) {
+                respond_error(&mut stream, &e);
+            }
+        }
+    }
+}
+
+fn route(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) -> crate::Result<()> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/jobs") => handle_submit(shared, stream, request),
+        ("GET", "/v1/jobs") => handle_list(shared, stream),
+        ("GET", "/v1/health") => handle_health(shared, stream),
+        ("GET", "/v1/metrics") => handle_metrics(shared, stream),
+        ("GET", "/v1/events") => handle_events(shared, stream),
+        ("POST", "/v1/drain") => handle_drain(shared, stream),
+        ("GET", "/v1/version") => write_json(
+            stream,
+            200,
+            &format!("{{\"name\":\"sprint-serve\",\"schema_version\":{SCHEMA_VERSION}}}"),
+        ),
+        ("GET", path) if path.starts_with("/v1/jobs/") => handle_job(shared, stream, path),
+        (method, path) => Err(ServeError::NotFound(format!("{method} {path}"))),
+    }
+}
+
+fn write_json(stream: &mut TcpStream, status: u16, body: &str) -> crate::Result<()> {
+    http::write_response(stream, status, "application/json", body.as_bytes())
+        .map_err(ServeError::io("writing response"))
+}
+
+fn handle_submit(shared: &Shared, stream: &mut TcpStream, request: &Request) -> crate::Result<()> {
+    let spec = JobSpec::parse_json(request.body_text()?)?;
+    let id = shared.submit(spec)?;
+    if request.query_flag("wait") {
+        let report = shared.wait_done(id)?;
+        write_json(stream, 200, &report)
+    } else {
+        write_json(
+            stream,
+            202,
+            &format!("{{\"id\":{id},\"status\":\"queued\"}}"),
+        )
+    }
+}
+
+fn handle_list(shared: &Shared, stream: &mut TcpStream) -> crate::Result<()> {
+    let statuses: Vec<JobStatus> = {
+        let table = shared.table.lock().expect("job table poisoned");
+        table
+            .jobs
+            .iter()
+            .map(|(&id, entry)| JobStatus {
+                id,
+                status: entry.state.name().to_string(),
+            })
+            .collect()
+    };
+    let body = serde_json::to_string(&statuses)
+        .map_err(|e| ServeError::Job(format!("serializing job list: {e}")))?;
+    write_json(stream, 200, &body)
+}
+
+fn handle_job(shared: &Shared, stream: &mut TcpStream, path: &str) -> crate::Result<()> {
+    let rest = path.trim_start_matches("/v1/jobs/");
+    let (id_text, want_report) = match rest.strip_suffix("/report") {
+        Some(id) => (id, true),
+        None => (rest, false),
+    };
+    let id: u64 = id_text
+        .parse()
+        .map_err(|_| ServeError::BadRequest(format!("bad job id `{id_text}`")))?;
+    let table = shared.table.lock().expect("job table poisoned");
+    let entry = table
+        .jobs
+        .get(&id)
+        .ok_or_else(|| ServeError::NotFound(format!("job {id}")))?;
+    if !want_report {
+        let body = serde_json::to_string(&JobStatus {
+            id,
+            status: entry.state.name().to_string(),
+        })
+        .map_err(|e| ServeError::Job(format!("serializing status: {e}")))?;
+        drop(table);
+        return write_json(stream, 200, &body);
+    }
+    match &entry.state {
+        JobState::Done { report } => {
+            let report = report.clone();
+            drop(table);
+            write_json(stream, 200, &report)
+        }
+        JobState::Failed { error } => Err(ServeError::Job(error.clone())),
+        JobState::Queued | JobState::Running => {
+            drop(table);
+            write_json(
+                stream,
+                409,
+                &format!("{{\"error\":\"report pending\",\"id\":{id}}}"),
+            )
+        }
+    }
+}
+
+fn handle_health(shared: &Shared, stream: &mut TcpStream) -> crate::Result<()> {
+    let body = {
+        let health = shared.health.lock().expect("health state poisoned");
+        if health.json.is_empty() {
+            "{}".to_string()
+        } else {
+            health.json.clone()
+        }
+    };
+    write_json(stream, 200, &body)
+}
+
+fn handle_metrics(shared: &Shared, stream: &mut TcpStream) -> crate::Result<()> {
+    let mut registry = Registry::new();
+    shared.cache.export_metrics(&mut registry);
+    {
+        let table = shared.table.lock().expect("job table poisoned");
+        let submitted = registry.counter("serve.jobs.submitted");
+        registry.inc(submitted, table.submitted);
+        let completed = registry.counter("serve.jobs.completed");
+        registry.inc(completed, table.completed);
+        let failed = registry.counter("serve.jobs.failed");
+        registry.inc(failed, table.failed);
+        let pending = registry.gauge("serve.jobs.pending");
+        registry.set(pending, (table.queue.len() + table.running) as f64);
+    }
+    {
+        let health = shared.health.lock().expect("health state poisoned");
+        let published = registry.counter("serve.ring.published");
+        registry.inc(published, health.published);
+        let dropped = registry.counter("serve.ring.dropped");
+        registry.inc(dropped, health.dropped);
+    }
+    let text = prometheus_text(&registry.snapshot());
+    http::write_response(stream, 200, "text/plain; version=0.0.4", text.as_bytes())
+        .map_err(ServeError::io("writing metrics"))
+}
+
+fn handle_events(shared: &Shared, stream: &mut TcpStream) -> crate::Result<()> {
+    http::write_sse_header(stream).map_err(ServeError::io("starting SSE stream"))?;
+    let mut last_seq = 0u64;
+    loop {
+        let frame = {
+            let mut health = shared.health.lock().expect("health state poisoned");
+            loop {
+                if shared.stop.load(Ordering::Acquire) {
+                    break None;
+                }
+                if health.seq > last_seq && !health.json.is_empty() {
+                    last_seq = health.seq;
+                    break Some(health.json.clone());
+                }
+                let (guard, _timeout) = shared
+                    .health_cv
+                    .wait_timeout(health, Duration::from_millis(250))
+                    .expect("health state poisoned");
+                health = guard;
+            }
+        };
+        let Some(json) = frame else { return Ok(()) };
+        if http::write_sse_frame(stream, &json).is_err() {
+            // The client hung up; that ends the stream, not the daemon.
+            return Ok(());
+        }
+    }
+}
+
+fn handle_drain(shared: &Shared, stream: &mut TcpStream) -> crate::Result<()> {
+    let pending = shared.drain()?;
+    write_json(
+        stream,
+        202,
+        &format!("{{\"draining\":true,\"pending\":{pending}}}"),
+    )
+}
+
+/// The daemon constructor.
+pub struct Daemon;
+
+impl Daemon {
+    /// Bind, spawn workers + aggregator + listener, and return a handle.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the address cannot be bound or the spool
+    /// directory cannot be created; [`ServeError::Job`] when the event
+    /// log cannot be opened.
+    pub fn start(config: &ServeConfig) -> crate::Result<DaemonHandle> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(ServeError::io(format!("binding {}", config.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(ServeError::io("resolving bound address"))?;
+        if let Some(dir) = &config.spool {
+            std::fs::create_dir_all(dir)
+                .map_err(ServeError::io(format!("creating spool {}", dir.display())))?;
+        }
+        let log = config
+            .event_log
+            .as_ref()
+            .map(|path| {
+                RotatingJsonl::create(path, 8 * 1024 * 1024, 3)
+                    .map_err(|e| ServeError::Job(format!("opening event log: {e}")))
+            })
+            .transpose()?;
+
+        let workers = config.workers.max(1);
+        // Per-agent decision firehose stays out of the ring: health
+        // snapshots fold epoch-level events.
+        let ring_config = RingConfig::default().with_min_severity(Severity::Info);
+        let (ring, producers) = EventRing::with_config(workers, &ring_config);
+        let shared = Arc::new(Shared {
+            table: Mutex::new(JobTable::default()),
+            jobs_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            health: Mutex::new(HealthState::default()),
+            health_cv: Condvar::new(),
+            cache: EquilibriumCache::default(),
+            stop: AtomicBool::new(false),
+            opts: ExecOptions {
+                jobs: config.jobs,
+                supervision: Supervision::default(),
+            },
+            spool: config.spool.clone(),
+        });
+
+        let worker_handles: Vec<std::thread::JoinHandle<()>> = producers
+            .into_iter()
+            .map(|producer| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, producer))
+            })
+            .collect();
+        let aggregator = {
+            let shared = Arc::clone(&shared);
+            let every = Duration::from_millis(config.snapshot_every_ms.max(10));
+            std::thread::spawn(move || aggregator_loop(&shared, ring, log, every))
+        };
+        let listener_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || listener_loop(&shared, &listener))
+        };
+        Ok(DaemonHandle {
+            addr,
+            shared,
+            workers: worker_handles,
+            aggregator: Some(aggregator),
+            listener: Some(listener_handle),
+        })
+    }
+}
+
+/// A running daemon: the bound address plus the threads to join.
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    aggregator: Option<std::thread::JoinHandle<()>>,
+    listener: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The bound address (with the resolved port when 0 was requested).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiate a graceful drain: stop accepting jobs, let workers
+    /// finish the queue. Returns the number of jobs still pending.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::AlreadyDraining`] on a second call — the typed
+    /// double-shutdown error.
+    pub fn drain(&self) -> crate::Result<usize> {
+        self.shared.drain()
+    }
+
+    /// Snapshot of the daemon-wide equilibrium cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Block until the daemon has drained (workers exit when draining
+    /// with an empty queue), then tear down the aggregator (final
+    /// event-log flush) and listener.
+    ///
+    /// Without a prior [`DaemonHandle::drain`] (or `POST /v1/drain`)
+    /// this blocks for the daemon's lifetime — that is what `sprint
+    /// serve` does.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Job`] if a worker panicked.
+    pub fn join(mut self) -> crate::Result<()> {
+        for worker in self.workers.drain(..) {
+            worker
+                .join()
+                .map_err(|_| ServeError::Job("worker thread panicked".into()))?;
+        }
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.health_cv.notify_all();
+        // The accept loop is parked in `accept`; poke it awake so it
+        // observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.join();
+        }
+        if let Some(aggregator) = self.aggregator.take() {
+            let _ = aggregator.join();
+        }
+        Ok(())
+    }
+}

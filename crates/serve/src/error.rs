@@ -1,0 +1,92 @@
+//! Typed errors for the serve layer.
+
+/// Everything that can go wrong between a job submission and its report.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An I/O failure, annotated with what the daemon was doing.
+    Io {
+        /// What the daemon was doing when the I/O failed.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The client sent something unparseable or invalid.
+    BadRequest(String),
+    /// The requested job (or endpoint) does not exist.
+    NotFound(String),
+    /// The daemon is draining: it no longer accepts new jobs but will
+    /// finish the ones already queued.
+    Draining,
+    /// A second drain was requested while one is already in progress —
+    /// the typed double-shutdown error.
+    AlreadyDraining,
+    /// The daemon has fully stopped; nothing can be submitted or joined.
+    Stopped,
+    /// A job failed while executing (simulation/spec error, stringified
+    /// so reports and HTTP bodies can carry it).
+    Job(String),
+}
+
+impl ServeError {
+    /// Annotate an I/O error with context.
+    pub fn io(context: impl Into<String>) -> impl FnOnce(std::io::Error) -> ServeError {
+        let context = context.into();
+        move |source| ServeError::Io { context, source }
+    }
+
+    /// The HTTP status code this error maps to.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::Io { .. } | ServeError::Job(_) => 500,
+            ServeError::BadRequest(_) => 400,
+            ServeError::NotFound(_) => 404,
+            ServeError::Draining => 503,
+            ServeError::AlreadyDraining | ServeError::Stopped => 409,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io { context, source } => write!(f, "{context}: {source}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::NotFound(what) => write!(f, "not found: {what}"),
+            ServeError::Draining => write!(f, "daemon is draining; not accepting new jobs"),
+            ServeError::AlreadyDraining => write!(f, "drain already in progress"),
+            ServeError::Stopped => write!(f, "daemon has stopped"),
+            ServeError::Job(msg) => write!(f, "job failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_map_the_http_contract() {
+        assert_eq!(ServeError::BadRequest("x".into()).status(), 400);
+        assert_eq!(ServeError::NotFound("x".into()).status(), 404);
+        assert_eq!(ServeError::Draining.status(), 503);
+        assert_eq!(ServeError::AlreadyDraining.status(), 409);
+        assert_eq!(ServeError::Job("x".into()).status(), 500);
+    }
+
+    #[test]
+    fn io_errors_carry_context_and_source() {
+        let e = ServeError::io("binding listener")(std::io::Error::other("nope"));
+        assert!(e.to_string().contains("binding listener"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

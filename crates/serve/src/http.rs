@@ -1,0 +1,353 @@
+//! A hand-rolled `std::net` HTTP/1.1 layer: just enough server-side
+//! parsing and response writing for the daemon's endpoints, plus a tiny
+//! blocking client for tests and benches. The workspace is
+//! offline/vendored, so no external server framework is available — and
+//! none is needed for a line-oriented request/response protocol.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use crate::error::ServeError;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Upper bound on a request body (sweep specs are a few KiB; this
+/// leaves room for very wide ones without letting a client OOM us).
+const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the request target, without the query string.
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers as `(lowercased-name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Whether a boolean query flag is set (`?wait=true`, `?wait=1`, or
+    /// bare `?wait`).
+    #[must_use]
+    pub fn query_flag(&self, name: &str) -> bool {
+        self.query
+            .iter()
+            .any(|(k, v)| k == name && (v == "true" || v == "1" || v.is_empty()))
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for non-UTF-8 bodies.
+    pub fn body_text(&self) -> crate::Result<&str> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| ServeError::BadRequest("request body is not UTF-8".into()))
+    }
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect()
+}
+
+/// Read and parse one request from the stream.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] for malformed or oversized requests,
+/// [`ServeError::Io`] for transport failures.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> crate::Result<Request> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(ServeError::io("reading request line"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ServeError::BadRequest("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| ServeError::BadRequest("request line has no target".into()))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+
+    let mut headers = Vec::new();
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(ServeError::io("reading header"))?;
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ServeError::BadRequest("request head too large".into()));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(name, _)| name == "content-length")
+        .map(|(_, value)| {
+            value
+                .parse::<usize>()
+                .map_err(|_| ServeError::BadRequest(format!("bad Content-Length `{value}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ServeError::BadRequest("request body too large".into()));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(ServeError::io("reading body"))?;
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete response and flush it.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Start a Server-Sent Events response: status line and headers only;
+/// the caller then streams frames with [`write_sse_frame`].
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_sse_header(stream: &mut impl Write) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+/// Write one SSE `data:` frame and flush it.
+///
+/// # Errors
+///
+/// Propagates transport failures (a disconnected client surfaces here).
+pub fn write_sse_frame(stream: &mut impl Write, data: &str) -> std::io::Result<()> {
+    write!(stream, "data: {data}\n\n")?;
+    stream.flush()
+}
+
+/// A minimal blocking HTTP/1.1 client, used by the daemon's tests,
+/// the serve smoke bench, and anything else that needs to poke the
+/// endpoints without external dependencies.
+pub mod client {
+    use super::{BufRead, BufReader, Read, ServeError, TcpStream, Write};
+
+    /// Issue one request with `Connection: close` and return
+    /// `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] for transport failures,
+    /// [`ServeError::BadRequest`] for unparseable responses.
+    pub fn request(
+        addr: &str,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> crate::Result<(u16, String)> {
+        let mut stream =
+            TcpStream::connect(addr).map_err(ServeError::io(format!("connecting to {addr}")))?;
+        let payload = body.unwrap_or("");
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+            payload.len()
+        )
+        .map_err(ServeError::io("writing request"))?;
+        stream.flush().map_err(ServeError::io("flushing request"))?;
+
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader
+            .read_line(&mut status_line)
+            .map_err(ServeError::io("reading status line"))?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                ServeError::BadRequest(format!("unparseable status line `{status_line}`"))
+            })?;
+        loop {
+            let mut header = String::new();
+            reader
+                .read_line(&mut header)
+                .map_err(ServeError::io("reading response header"))?;
+            if header.trim_end().is_empty() {
+                break;
+            }
+        }
+        let mut body = String::new();
+        reader
+            .read_to_string(&mut body)
+            .map_err(ServeError::io("reading response body"))?;
+        Ok((status, body))
+    }
+
+    /// Connect to an SSE endpoint and collect up to `frames` `data:`
+    /// payloads, giving up after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] for connection failures; returns however many
+    /// frames arrived if the stream ends or times out early.
+    pub fn sse_frames(
+        addr: &str,
+        path: &str,
+        frames: usize,
+        timeout: std::time::Duration,
+    ) -> crate::Result<Vec<String>> {
+        let stream =
+            TcpStream::connect(addr).map_err(ServeError::io(format!("connecting to {addr}")))?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(ServeError::io("setting read timeout"))?;
+        let mut writer = stream
+            .try_clone()
+            .map_err(ServeError::io("cloning stream"))?;
+        write!(
+            writer,
+            "GET {path} HTTP/1.1\r\nHost: {addr}\r\nAccept: text/event-stream\r\n\r\n"
+        )
+        .map_err(ServeError::io("writing SSE request"))?;
+        writer.flush().map_err(ServeError::io("flushing"))?;
+
+        let mut reader = BufReader::new(stream);
+        let mut collected = Vec::new();
+        let started = std::time::Instant::now();
+        while collected.len() < frames && started.elapsed() < timeout {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    if let Some(data) = line.trim_end().strip_prefix("data: ") {
+                        collected.push(data.to_string());
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        Ok(collected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn roundtrip(raw: &str) -> crate::Result<Request> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(raw.as_bytes()).unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let request = read_request(&mut BufReader::new(stream));
+        writer.join().unwrap();
+        request
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_query() {
+        let r = roundtrip(
+            "POST /v1/jobs?wait=true HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+        )
+        .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/v1/jobs");
+        assert!(r.query_flag("wait"));
+        assert!(!r.query_flag("nope"));
+        assert_eq!(r.body_text().unwrap(), "{\"a\":1}");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(roundtrip("\r\n").is_err());
+        assert!(roundtrip("GET\r\n\r\n").is_err());
+        assert!(roundtrip("GET / HTTP/1.1\r\nContent-Length: zap\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_bytes_are_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 202, "application/json", b"{\"id\":1}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 8\r\n"));
+        assert!(text.ends_with("{\"id\":1}"));
+        let mut sse = Vec::new();
+        write_sse_header(&mut sse).unwrap();
+        write_sse_frame(&mut sse, "{}").unwrap();
+        let sse = String::from_utf8(sse).unwrap();
+        assert!(sse.contains("text/event-stream"));
+        assert!(sse.ends_with("data: {}\n\n"));
+    }
+}

@@ -1,0 +1,663 @@
+//! The unified job API: one canonical, versioned [`JobSpec`] /
+//! [`JobReport`] pair that both CLI subcommands and HTTP endpoints
+//! construct and consume.
+//!
+//! Determinism contract: a [`JobReport`] is a function of its
+//! [`JobSpec`] alone. Every equilibrium solve on the shared
+//! [`EquilibriumCache`] runs *cold* ([`EquilibriumCache::solve`], no
+//! warm-start hints), so whatever the cache already holds — from earlier
+//! CLI invocations or other daemon clients — can never leak into report
+//! bytes. An HTTP-submitted job therefore serializes byte-identically to
+//! the same spec run locally, and [`report_json`] is the single place
+//! those canonical bytes are produced.
+//!
+//! Runtime knobs that affect wall-clock behavior but never report bytes
+//! (worker fan-out, trial supervision) live in [`ExecOptions`], outside
+//! the spec.
+
+use sprint_game::EquilibriumCache;
+use sprint_sim::control::{ControlConfig, DetectorConfig};
+use sprint_sim::engine::{self, SimConfig};
+use sprint_sim::faults::FaultPlan;
+use sprint_sim::policy::{PolicyKind, SprintPolicy};
+use sprint_sim::runner::{self, ChaosReport, ResilienceReport};
+use sprint_sim::scenario::{Scenario, SolveSummary};
+use sprint_sim::sweep::{run_sweep_shared, Supervision, SweepSpec};
+use sprint_sim::telemetry::Telemetry;
+use sprint_sim::{AdversaryMix, AdversaryReport, SweepReport};
+use sprint_workloads::Benchmark;
+
+use crate::error::ServeError;
+
+/// The current wire-format version of [`JobSpec`] and [`JobReport`].
+///
+/// Specs without a `schema_version` field parse as version 1 (the
+/// back-compat default); versions above this constant are rejected so a
+/// newer client cannot silently submit fields an older daemon ignores.
+pub const SCHEMA_VERSION: u32 = 1;
+
+fn job_err<E: std::error::Error>(e: E) -> ServeError {
+    ServeError::Job(e.to_string())
+}
+
+/// Read a required field of a hand-written `Deserialize` impl.
+fn de_required<T: serde::Deserialize>(
+    obj: &[(String, serde::Value)],
+    name: &str,
+    parent: &str,
+) -> Result<T, serde::DeError> {
+    match serde::__field(obj, name) {
+        Some(v) => T::from_value(v),
+        None => Err(serde::DeError::custom(format!(
+            "missing field `{name}` in `{parent}`"
+        ))),
+    }
+}
+
+/// Read an optional field, substituting `default` when absent.
+fn de_or<T: serde::Deserialize>(
+    obj: &[(String, serde::Value)],
+    name: &str,
+    default: T,
+) -> Result<T, serde::DeError> {
+    match serde::__field(obj, name) {
+        Some(v) => T::from_value(v),
+        None => Ok(default),
+    }
+}
+
+/// One simulation run: a benchmark, a policy, and the knobs that shape
+/// the scenario. The typed replacement for `sprint simulate`'s (and
+/// trace/report/monitor's) flag plumbing.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunSpec {
+    /// Benchmark name (see `sprint benchmarks`).
+    pub benchmark: String,
+    /// Sprinting policy to run.
+    pub policy: PolicyKind,
+    /// Rack size.
+    pub agents: u32,
+    /// Simulated epochs.
+    pub epochs: usize,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// Resolve this spec into a [`Scenario`] — the one place run-shaped
+    /// commands (simulate, trace, report, monitor) turn flags into a
+    /// simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for an unknown benchmark,
+    /// [`ServeError::Job`] for invalid scenario parameters.
+    pub fn scenario(&self) -> crate::Result<Scenario> {
+        let benchmark = Benchmark::from_name(&self.benchmark).ok_or_else(|| {
+            ServeError::BadRequest(format!(
+                "unknown benchmark `{}`; see `sprint benchmarks`",
+                self.benchmark
+            ))
+        })?;
+        Scenario::homogeneous(benchmark, self.agents, self.epochs).map_err(job_err)
+    }
+}
+
+/// Which chaos suite a [`ChaosSpec`] runs.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ChaosMode {
+    /// The policy × fault-plan resilience matrix over the standard
+    /// fault suite.
+    Matrix,
+    /// The control-plane partition-resilience suite.
+    Partition {
+        /// Epoch the partition starts (default: halfway through the run).
+        start: Option<usize>,
+        /// Partition duration in epochs.
+        duration: usize,
+    },
+    /// The adversary-defense suite: a misbehaving fraction of the rack
+    /// against the coordinator's detector and graduated sanctions.
+    Adversaries {
+        /// The adversary population specification.
+        mix: AdversaryMix,
+    },
+}
+
+/// One chaos job: the scenario shape plus which suite to run against it.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChaosSpec {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Rack size.
+    pub agents: u32,
+    /// Simulated epochs per trial.
+    pub epochs: usize,
+    /// Number of trial seeds (trials run seeds `1..=seeds`).
+    pub seeds: u64,
+    /// Seed for fault-plan and adversary randomness.
+    pub fault_seed: u64,
+    /// Which suite to run.
+    pub mode: ChaosMode,
+}
+
+/// The job payload: what kind of work to run, with its full typed spec.
+///
+/// One lives per job; the size skew between variants is irrelevant and
+/// boxing would leak into the derived JSON shape.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum JobKind {
+    /// One simulation run.
+    Run {
+        /// The run spec.
+        spec: RunSpec,
+    },
+    /// A declarative multi-trial sweep.
+    Sweep {
+        /// The sweep spec.
+        spec: SweepSpec,
+    },
+    /// A chaos suite.
+    Chaos {
+        /// The chaos spec.
+        spec: ChaosSpec,
+    },
+}
+
+/// The canonical, versioned job submission — the one type every CLI
+/// subcommand builds from its flags and every HTTP client posts to
+/// `/v1/jobs`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct JobSpec {
+    /// Wire-format version (see [`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The work to run.
+    pub job: JobKind,
+}
+
+// Hand-written so `schema_version` defaults to 1 for specs written
+// before versioning existed, and unsupported versions fail loudly
+// instead of parsing to something the executor half-understands.
+impl serde::Deserialize for JobSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let Some(obj) = value.as_object() else {
+            return Err(serde::DeError::type_mismatch("object", value));
+        };
+        let schema_version: u32 = de_or(obj, "schema_version", SCHEMA_VERSION)?;
+        if schema_version == 0 || schema_version > SCHEMA_VERSION {
+            return Err(serde::DeError::custom(format!(
+                "unsupported schema_version {schema_version}; this build speaks 1..={SCHEMA_VERSION}"
+            )));
+        }
+        Ok(JobSpec {
+            schema_version,
+            job: de_required(obj, "job", "JobSpec")?,
+        })
+    }
+}
+
+impl JobSpec {
+    /// Wrap a job payload at the current schema version.
+    #[must_use]
+    pub fn new(job: JobKind) -> Self {
+        JobSpec {
+            schema_version: SCHEMA_VERSION,
+            job,
+        }
+    }
+
+    /// Parse a job spec from JSON text.
+    ///
+    /// Legacy compatibility: a bare [`SweepSpec`] document (the format
+    /// `sprint sweep --spec` accepted before the unified API) still
+    /// parses, wrapped as a [`JobKind::Sweep`] at version 1.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] with the primary parse failure when
+    /// the text is neither a [`JobSpec`] nor a legacy sweep spec.
+    pub fn parse_json(text: &str) -> crate::Result<JobSpec> {
+        match serde_json::from_str::<JobSpec>(text) {
+            Ok(spec) => Ok(spec),
+            Err(primary) => match serde_json::from_str::<SweepSpec>(text) {
+                Ok(sweep) => Ok(JobSpec::new(JobKind::Sweep { spec: sweep })),
+                Err(_) => Err(ServeError::BadRequest(format!(
+                    "invalid job spec: {primary}"
+                ))),
+            },
+        }
+    }
+}
+
+/// The distilled result of one [`RunSpec`] execution: the spec echoed
+/// back plus the simulation-time facts (never wall-clock ones).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunSummary {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Policy that ran.
+    pub policy: PolicyKind,
+    /// Rack size.
+    pub agents: u32,
+    /// Simulated epochs.
+    pub epochs: usize,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Normalized throughput.
+    pub tasks_per_agent_epoch: f64,
+    /// Total tasks completed across the rack.
+    pub total_tasks: f64,
+    /// Power emergencies (breaker trips).
+    pub trips: u32,
+    /// Mean concurrent sprinters per epoch.
+    pub mean_sprinters: f64,
+    /// State occupancy fractions: active, cooling, recovery, sprinting.
+    pub occupancy: [f64; 4],
+    /// Offline-solve convergence facts (E-T only).
+    pub solve: Option<SolveSummary>,
+}
+
+/// The chaos suite's report, tagged by mode.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ChaosOutcome {
+    /// Matrix-mode report.
+    Matrix {
+        /// The policy × fault-plan matrix.
+        report: ChaosReport,
+    },
+    /// Partition-mode report.
+    Partition {
+        /// The control-plane resilience report.
+        report: ResilienceReport,
+    },
+    /// Adversary-mode report.
+    Adversaries {
+        /// The adversary-defense report.
+        report: AdversaryReport,
+    },
+}
+
+/// The result payload of one job, shaped like its [`JobKind`].
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum JobOutcome {
+    /// A run's summary.
+    Run {
+        /// The distilled run result.
+        report: RunSummary,
+    },
+    /// A sweep's full report.
+    Sweep {
+        /// The sweep report.
+        report: SweepReport,
+    },
+    /// A chaos suite's report.
+    Chaos {
+        /// The mode-tagged chaos report.
+        report: ChaosOutcome,
+    },
+}
+
+/// The canonical job result: the spec that produced it (full
+/// provenance) plus the outcome, versioned like the spec.
+///
+/// [`report_json`] serializes this to the canonical bytes both
+/// `sprint <cmd> --json` and `GET /v1/jobs/{id}/report` emit.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct JobReport {
+    /// Wire-format version (see [`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The spec this report answers.
+    pub spec: JobSpec,
+    /// The result payload.
+    pub outcome: JobOutcome,
+}
+
+/// Host/runtime execution knobs: these shape how fast a job runs, never
+/// what its report says, so they live outside the [`JobSpec`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Worker fan-out (engine threads for runs, pool size for sweeps).
+    /// `0` sizes to the available cores. Reports are byte-identical at
+    /// every job count.
+    pub jobs: usize,
+    /// Sweep trial supervision (deadline, retries).
+    pub supervision: Supervision,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            jobs: 1,
+            supervision: Supervision::default(),
+        }
+    }
+}
+
+fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        jobs
+    }
+}
+
+/// Execute a job spec against a shared equilibrium cache — the single
+/// code path behind every CLI subcommand and every HTTP submission.
+///
+/// E-T solves go through `cache` cold (single-flight-deduped for
+/// concurrent clients, bytes independent of cache history); pass
+/// [`EquilibriumCache::process`] for the process-wide instance or a
+/// local cache for isolation. Telemetry observes the run (events,
+/// spans) and never alters the report.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] for specs that name unknown benchmarks or
+/// empty seed sets; [`ServeError::Job`] for simulation failures.
+pub fn execute(
+    spec: &JobSpec,
+    cache: &EquilibriumCache,
+    opts: &ExecOptions,
+    telemetry: &mut Telemetry,
+) -> crate::Result<JobReport> {
+    let outcome = match &spec.job {
+        JobKind::Run { spec: run } => JobOutcome::Run {
+            report: execute_run(run, cache, opts, telemetry)?,
+        },
+        JobKind::Sweep { spec: sweep } => JobOutcome::Sweep {
+            report: run_sweep_shared(sweep, opts.jobs, opts.supervision, cache, telemetry)
+                .map_err(job_err)?,
+        },
+        JobKind::Chaos { spec: chaos } => JobOutcome::Chaos {
+            report: execute_chaos(chaos, opts, telemetry)?,
+        },
+    };
+    Ok(JobReport {
+        schema_version: SCHEMA_VERSION,
+        spec: spec.clone(),
+        outcome,
+    })
+}
+
+fn execute_run(
+    run: &RunSpec,
+    cache: &EquilibriumCache,
+    opts: &ExecOptions,
+    telemetry: &mut Telemetry,
+) -> crate::Result<RunSummary> {
+    let scenario = run.scenario()?;
+    let (mut policy, solve): (Box<dyn SprintPolicy>, Option<SolveSummary>) = match run.policy {
+        PolicyKind::EquilibriumThreshold => {
+            let (policy, summary) = scenario
+                .equilibrium_policy_cached_cold(cache)
+                .map_err(job_err)?;
+            (Box::new(policy), Some(summary))
+        }
+        kind => (
+            scenario
+                .policy(kind, run.seed, &mut Telemetry::noop())
+                .map_err(job_err)?,
+            None,
+        ),
+    };
+    let config = SimConfig::new(*scenario.game(), scenario.epochs(), run.seed)
+        .map_err(job_err)?
+        .with_options(*scenario.options());
+    let mut streams = scenario
+        .population()
+        .spawn_streams(run.seed)
+        .map_err(job_err)?;
+    let result = engine::run_jobs(
+        &config,
+        &mut streams,
+        policy.as_mut(),
+        effective_jobs(opts.jobs),
+        telemetry,
+    )
+    .map_err(job_err)?;
+    Ok(RunSummary {
+        benchmark: run.benchmark.clone(),
+        policy: run.policy,
+        agents: run.agents,
+        epochs: run.epochs,
+        seed: run.seed,
+        tasks_per_agent_epoch: result.tasks_per_agent_epoch(),
+        total_tasks: result.total_tasks(),
+        trips: result.trips(),
+        mean_sprinters: result.mean_sprinters(),
+        occupancy: result.occupancy().fractions(),
+        solve,
+    })
+}
+
+fn execute_chaos(
+    chaos: &ChaosSpec,
+    opts: &ExecOptions,
+    telemetry: &mut Telemetry,
+) -> crate::Result<ChaosOutcome> {
+    if chaos.seeds == 0 {
+        return Err(ServeError::BadRequest(
+            "chaos spec needs at least one seed".into(),
+        ));
+    }
+    let benchmark = Benchmark::from_name(&chaos.benchmark).ok_or_else(|| {
+        ServeError::BadRequest(format!(
+            "unknown benchmark `{}`; see `sprint benchmarks`",
+            chaos.benchmark
+        ))
+    })?;
+    let scenario = Scenario::homogeneous(benchmark, chaos.agents, chaos.epochs).map_err(job_err)?;
+    let seeds: Vec<u64> = (1..=chaos.seeds).collect();
+    Ok(match &chaos.mode {
+        ChaosMode::Matrix => {
+            let plans = runner::standard_fault_suite(chaos.fault_seed);
+            let report = runner::chaos_jobs(
+                &scenario,
+                &PolicyKind::ALL,
+                &plans,
+                &seeds,
+                effective_jobs(opts.jobs),
+                telemetry,
+            )
+            .map_err(job_err)?;
+            ChaosOutcome::Matrix { report }
+        }
+        ChaosMode::Partition { start, duration } => {
+            let start = start.unwrap_or(chaos.epochs / 2);
+            let plan = FaultPlan::partition_chaos(chaos.fault_seed, start, *duration);
+            let report =
+                runner::resilience(&scenario, plan, ControlConfig::default(), &seeds, telemetry)
+                    .map_err(job_err)?;
+            ChaosOutcome::Partition { report }
+        }
+        ChaosMode::Adversaries { mix } => {
+            let plan = FaultPlan::adversary_chaos(chaos.fault_seed);
+            let report = runner::adversary_defense(
+                &scenario,
+                plan,
+                ControlConfig::default(),
+                DetectorConfig::default(),
+                *mix,
+                &seeds,
+                telemetry,
+            )
+            .map_err(job_err)?;
+            ChaosOutcome::Adversaries { report }
+        }
+    })
+}
+
+/// Serialize a [`JobReport`] to its canonical bytes — the one function
+/// behind both `sprint <cmd> --json` output and the daemon's
+/// `GET /v1/jobs/{id}/report` body, so CLI and HTTP reports are
+/// byte-identical by construction.
+///
+/// # Errors
+///
+/// [`ServeError::Job`] if serialization fails (it cannot for these
+/// types, but the vendored encoder is fallible by signature).
+pub fn report_json(report: &JobReport) -> crate::Result<String> {
+    serde_json::to_string_pretty(report).map_err(job_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_run() -> JobSpec {
+        JobSpec::new(JobKind::Run {
+            spec: RunSpec {
+                benchmark: "svm".into(),
+                policy: PolicyKind::EquilibriumThreshold,
+                agents: 20,
+                epochs: 15,
+                seed: 3,
+            },
+        })
+    }
+
+    #[test]
+    fn job_spec_round_trips_through_json() {
+        let spec = small_run();
+        let text = serde_json::to_string(&spec).unwrap();
+        let back: JobSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(spec, back);
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn schema_version_defaults_and_validates() {
+        let missing = r#"{"job":{"Run":{"spec":{"benchmark":"svm","policy":"Greedy","agents":5,"epochs":5,"seed":1}}}}"#;
+        let spec = JobSpec::parse_json(missing).unwrap();
+        assert_eq!(spec.schema_version, SCHEMA_VERSION);
+        for bad in [0, SCHEMA_VERSION + 1] {
+            let text = format!(
+                r#"{{"schema_version":{bad},"job":{{"Run":{{"spec":{{"benchmark":"svm","policy":"Greedy","agents":5,"epochs":5,"seed":1}}}}}}}}"#
+            );
+            assert!(
+                JobSpec::parse_json(&text).is_err(),
+                "version {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_bare_sweep_spec_still_parses() {
+        let legacy = serde_json::to_string(&SweepSpec::example()).unwrap();
+        let spec = JobSpec::parse_json(&legacy).unwrap();
+        assert_eq!(spec.schema_version, SCHEMA_VERSION);
+        let JobKind::Sweep { spec: sweep } = &spec.job else {
+            panic!("legacy sweep spec must wrap as JobKind::Sweep");
+        };
+        assert_eq!(*sweep, SweepSpec::example());
+    }
+
+    #[test]
+    fn garbage_reports_the_primary_parse_error() {
+        let err = JobSpec::parse_json("{\"job\": 42}").unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(_)), "{err}");
+    }
+
+    #[test]
+    fn execute_run_matches_the_scenario_path() {
+        let spec = small_run();
+        let cache = EquilibriumCache::default();
+        let report = execute(
+            &spec,
+            &cache,
+            &ExecOptions::default(),
+            &mut Telemetry::noop(),
+        )
+        .unwrap();
+        let JobOutcome::Run { report: run } = &report.outcome else {
+            panic!("run job must yield a run outcome");
+        };
+        let scenario = Scenario::homogeneous(Benchmark::Svm, 20, 15).unwrap();
+        let direct = scenario
+            .execute(PolicyKind::EquilibriumThreshold, 3, &mut Telemetry::noop())
+            .unwrap();
+        assert_eq!(run.tasks_per_agent_epoch, direct.tasks_per_agent_epoch());
+        assert_eq!(run.trips, direct.trips());
+        assert_eq!(run.occupancy, direct.occupancy().fractions());
+        assert!(run.solve.expect("E-T runs solve").converged);
+    }
+
+    #[test]
+    fn report_bytes_ignore_cache_history_and_job_count() {
+        let spec = small_run();
+        let fresh = EquilibriumCache::default();
+        let a = report_json(
+            &execute(
+                &spec,
+                &fresh,
+                &ExecOptions::default(),
+                &mut Telemetry::noop(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        // A cache pre-warmed by a different scenario, and a different
+        // worker fan-out: bytes must not move.
+        let warmed = EquilibriumCache::default();
+        let other = Scenario::homogeneous(Benchmark::PageRank, 40, 10).unwrap();
+        other.equilibrium_policy_cached(&warmed).unwrap();
+        let opts = ExecOptions {
+            jobs: 4,
+            ..ExecOptions::default()
+        };
+        let b =
+            report_json(&execute(&spec, &warmed, &opts, &mut Telemetry::noop()).unwrap()).unwrap();
+        assert_eq!(a, b, "JobReport bytes must be a function of the spec alone");
+    }
+
+    #[test]
+    fn execute_rejects_unknown_benchmarks() {
+        let spec = JobSpec::new(JobKind::Run {
+            spec: RunSpec {
+                benchmark: "nosuch".into(),
+                policy: PolicyKind::Greedy,
+                agents: 5,
+                epochs: 5,
+                seed: 1,
+            },
+        });
+        let err = execute(
+            &spec,
+            &EquilibriumCache::default(),
+            &ExecOptions::default(),
+            &mut Telemetry::noop(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(_)), "{err}");
+    }
+
+    #[test]
+    fn chaos_modes_round_trip_and_validate() {
+        let spec = JobSpec::new(JobKind::Chaos {
+            spec: ChaosSpec {
+                benchmark: "svm".into(),
+                agents: 20,
+                epochs: 40,
+                seeds: 0,
+                fault_seed: 17,
+                mode: ChaosMode::Partition {
+                    start: None,
+                    duration: 3,
+                },
+            },
+        });
+        let text = serde_json::to_string(&spec).unwrap();
+        let back: JobSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(spec, back);
+        let err = execute(
+            &spec,
+            &EquilibriumCache::default(),
+            &ExecOptions::default(),
+            &mut Telemetry::noop(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(_)), "{err}");
+    }
+}

@@ -1,0 +1,317 @@
+//! End-to-end daemon tests: the ISSUE acceptance criteria.
+//!
+//! - An HTTP-submitted run job yields a `JobReport` byte-identical to
+//!   the same spec executed through the CLI code path.
+//! - 16 concurrent clients requesting the same equilibrium key trigger
+//!   exactly one Algorithm-1 solve (single-flight, verified by registry
+//!   counters) while an SSE client receives live health snapshots.
+//! - Drain is graceful and the second drain is the typed 409.
+//! - Golden v1 fixtures (and legacy bare sweep specs) keep parsing.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use sprint_game::EquilibriumCache;
+use sprint_serve::http::client;
+use sprint_serve::jobs::{self, ExecOptions, JobKind, JobSpec, RunSpec};
+use sprint_serve::{Daemon, ServeConfig, ServeError};
+use sprint_sim::telemetry::{Registry, Telemetry};
+use sprint_sim::PolicyKind;
+
+fn et_run_spec(seed: u64) -> JobSpec {
+    JobSpec::new(JobKind::Run {
+        spec: RunSpec {
+            benchmark: "decision".to_string(),
+            policy: PolicyKind::EquilibriumThreshold,
+            agents: 30,
+            epochs: 40,
+            seed,
+        },
+    })
+}
+
+fn start_daemon(workers: usize) -> sprint_serve::DaemonHandle {
+    Daemon::start(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        ..ServeConfig::default()
+    })
+    .expect("daemon boots on an ephemeral port")
+}
+
+/// The reference bytes: the exact code path `sprint run --json` uses.
+fn cli_bytes(spec: &JobSpec) -> String {
+    let cache = EquilibriumCache::default();
+    let report = jobs::execute(
+        spec,
+        &cache,
+        &ExecOptions::default(),
+        &mut Telemetry::noop(),
+    )
+    .expect("reference execution succeeds");
+    jobs::report_json(&report).expect("reference report serializes")
+}
+
+fn testdata(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/testdata")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+#[test]
+fn http_run_report_is_byte_identical_to_cli() {
+    let handle = start_daemon(2);
+    let addr = handle.addr().to_string();
+    let spec = et_run_spec(7);
+    let want = cli_bytes(&spec);
+
+    let body = serde_json::to_string(&spec).unwrap();
+    let (status, got) = client::request(&addr, "POST", "/v1/jobs?wait=true", Some(&body)).unwrap();
+    assert_eq!(status, 200, "{got}");
+    assert_eq!(got, want, "HTTP report must match the CLI bytes exactly");
+
+    handle.drain().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn sixteen_clients_share_one_solve_while_sse_streams() {
+    let handle = start_daemon(16);
+    let addr = handle.addr().to_string();
+    let spec = et_run_spec(11);
+    let body = serde_json::to_string(&spec).unwrap();
+
+    // A live SSE subscriber runs alongside the burst.
+    let sse_addr = addr.clone();
+    let sse = std::thread::spawn(move || {
+        client::sse_frames(&sse_addr, "/v1/events", 2, Duration::from_secs(10)).unwrap()
+    });
+
+    let mut reports: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let addr = addr.as_str();
+                let body = body.as_str();
+                scope.spawn(move || {
+                    let (status, report) =
+                        client::request(addr, "POST", "/v1/jobs?wait=true", Some(body)).unwrap();
+                    assert_eq!(status, 200, "{report}");
+                    report
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    reports.dedup();
+    assert_eq!(reports.len(), 1, "all 16 clients see identical bytes");
+
+    // Single-flight: one Algorithm-1 solve, fifteen hits — asserted
+    // through the registry counters the cache exports.
+    let mut registry = Registry::new();
+    let stats = handle.cache_stats();
+    assert_eq!(stats.misses, 1, "exactly one solve for 16 identical keys");
+    assert_eq!(stats.hits, 15, "the other fifteen are cache hits");
+    {
+        let (status, metrics) = client::request(&addr, "GET", "/v1/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            metrics.contains("cache_equilibrium_misses_total 1"),
+            "prometheus exposition carries the solve counter:\n{metrics}"
+        );
+    }
+    // The same counters are exportable into a local registry.
+    let cache = EquilibriumCache::default();
+    cache.export_metrics(&mut registry);
+    assert_eq!(registry.counter_value("cache.equilibrium.misses"), Some(0));
+
+    let frames = sse.join().unwrap();
+    assert!(
+        !frames.is_empty(),
+        "SSE client received live health snapshots during the burst"
+    );
+    assert!(
+        frames[0].contains("epochs") || frames[0].starts_with('{'),
+        "frames are JSON snapshots: {}",
+        frames[0]
+    );
+
+    handle.drain().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn job_lifecycle_over_plain_submit_and_polling() {
+    let handle = start_daemon(1);
+    let addr = handle.addr().to_string();
+    let body = serde_json::to_string(&et_run_spec(3)).unwrap();
+
+    let (status, accepted) = client::request(&addr, "POST", "/v1/jobs", Some(&body)).unwrap();
+    assert_eq!(status, 202, "{accepted}");
+    assert!(accepted.contains("\"id\":1"), "{accepted}");
+
+    // Poll until done.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, state) = client::request(&addr, "GET", "/v1/jobs/1", None).unwrap();
+        assert_eq!(status, 200, "{state}");
+        if state.contains("\"done\"") {
+            break;
+        }
+        assert!(
+            !state.contains("\"failed\""),
+            "job failed unexpectedly: {state}"
+        );
+        assert!(std::time::Instant::now() < deadline, "job never finished");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let (status, report) = client::request(&addr, "GET", "/v1/jobs/1/report", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(report.contains("\"schema_version\""), "{report}");
+
+    let (status, list) = client::request(&addr, "GET", "/v1/jobs", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(list.contains("\"done\""), "{list}");
+
+    let (status, _) = client::request(&addr, "GET", "/v1/jobs/99", None).unwrap();
+    assert_eq!(status, 404, "unknown jobs are 404");
+
+    let (status, health) = client::request(&addr, "GET", "/v1/health", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(health.starts_with('{'), "{health}");
+
+    let (status, version) = client::request(&addr, "GET", "/v1/version", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(version.contains("\"schema_version\":1"), "{version}");
+
+    handle.drain().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn drain_is_graceful_and_double_drain_is_typed() {
+    let handle = start_daemon(2);
+    let addr = handle.addr().to_string();
+
+    let (status, body) = client::request(&addr, "POST", "/v1/drain", None).unwrap();
+    assert_eq!(status, 202, "{body}");
+    assert!(body.contains("\"draining\":true"), "{body}");
+
+    // Second drain over HTTP: the typed conflict.
+    let (status, body) = client::request(&addr, "POST", "/v1/drain", None).unwrap();
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("drain already in progress"), "{body}");
+
+    // And through the handle: the typed error itself.
+    match handle.drain() {
+        Err(ServeError::AlreadyDraining) => {}
+        other => panic!("expected AlreadyDraining, got {other:?}"),
+    }
+
+    // Submissions during a drain are rejected with 503.
+    let body = serde_json::to_string(&et_run_spec(5)).unwrap();
+    let (status, rejected) = client::request(&addr, "POST", "/v1/jobs", Some(&body)).unwrap();
+    assert_eq!(status, 503, "{rejected}");
+
+    handle.join().unwrap();
+}
+
+#[test]
+fn spool_persists_reports_and_event_log_is_flushed() {
+    let dir = std::env::temp_dir().join(format!("sprint-serve-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spool = dir.join("spool");
+    let event_log = dir.join("events.jsonl");
+    let handle = Daemon::start(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        spool: Some(spool.clone()),
+        event_log: Some(event_log.clone()),
+        snapshot_every_ms: 20,
+        ..ServeConfig::default()
+    })
+    .expect("daemon boots with spool and event log");
+    let addr = handle.addr().to_string();
+
+    let body = serde_json::to_string(&et_run_spec(9)).unwrap();
+    let (status, report) =
+        client::request(&addr, "POST", "/v1/jobs?wait=true", Some(&body)).unwrap();
+    assert_eq!(status, 200, "{report}");
+
+    let spooled = std::fs::read_to_string(spool.join("job-1.json")).expect("spooled report");
+    assert_eq!(spooled, report, "spool holds the exact report bytes");
+
+    handle.drain().unwrap();
+    handle.join().unwrap();
+
+    let log = std::fs::read_to_string(&event_log).expect("event log flushed on shutdown");
+    assert!(
+        log.lines()
+            .any(|l| l.contains("\"epoch\"") || l.starts_with('{')),
+        "event log carries JSONL events:\n{}",
+        &log[..log.len().min(400)]
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_submissions_map_to_http_errors() {
+    let handle = start_daemon(1);
+    let addr = handle.addr().to_string();
+
+    let (status, body) =
+        client::request(&addr, "POST", "/v1/jobs", Some("this is not json")).unwrap();
+    assert_eq!(status, 400, "{body}");
+
+    let unknown = et_run_spec(1);
+    let body = serde_json::to_string(&unknown)
+        .unwrap()
+        .replace("decision", "warp-drive");
+    let (status, response) =
+        client::request(&addr, "POST", "/v1/jobs?wait=true", Some(&body)).unwrap();
+    assert_eq!(status, 500, "unknown benchmark fails the job: {response}");
+    assert!(response.contains("warp-drive"), "{response}");
+
+    let (status, _) = client::request(&addr, "GET", "/v1/nonsense", None).unwrap();
+    assert_eq!(status, 404);
+
+    handle.drain().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn golden_v1_fixtures_parse_and_execute() {
+    for fixture in [
+        "jobspec_run_v1.json",
+        "jobspec_sweep_v1.json",
+        "jobspec_chaos_v1.json",
+    ] {
+        let text = testdata(fixture);
+        let spec = JobSpec::parse_json(&text)
+            .unwrap_or_else(|e| panic!("golden fixture {fixture} must keep parsing: {e}"));
+        assert_eq!(spec.schema_version, 1, "{fixture}");
+        // Round-trip: serialize → parse → same spec.
+        let json = serde_json::to_string(&spec).unwrap();
+        assert_eq!(JobSpec::parse_json(&json).unwrap(), spec, "{fixture}");
+    }
+
+    // The run fixture executes and matches the CLI bytes.
+    let run = JobSpec::parse_json(&testdata("jobspec_run_v1.json")).unwrap();
+    let bytes = cli_bytes(&run);
+    assert!(bytes.contains("\"tasks_per_agent_epoch\""), "{bytes}");
+}
+
+#[test]
+fn legacy_bare_sweep_spec_files_still_parse() {
+    let text = testdata("legacy_sweep_spec.json");
+    let spec = JobSpec::parse_json(&text).expect("pre-JobSpec sweep files keep working");
+    assert_eq!(spec.schema_version, 1);
+    match &spec.job {
+        JobKind::Sweep { spec } => {
+            assert_eq!(spec.games.len(), 4);
+            assert_eq!(spec.policies.len(), 4);
+        }
+        other => panic!("legacy sweep parsed as {other:?}"),
+    }
+}

@@ -287,38 +287,72 @@ impl Scenario {
         &self,
         cache: &EquilibriumCache,
     ) -> crate::Result<(ThresholdPolicy, SolveSummary)> {
+        self.equilibrium_policy_with(cache, true)
+    }
+
+    /// [`Scenario::equilibrium_policy_cached`] with cold starts: a miss
+    /// runs Algorithm 1 from scratch instead of warm-starting from the
+    /// nearest cached neighbor.
+    ///
+    /// Cold solves make the result — including the [`SolveSummary`]'s
+    /// iteration count and residual — independent of whatever else the
+    /// cache happens to hold, so reports built through a long-lived
+    /// shared cache (the `sprint serve` daemon, the unified job path)
+    /// serialize to the same bytes no matter which jobs ran before them.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scenario::equilibrium_thresholds`].
+    pub fn equilibrium_policy_cached_cold(
+        &self,
+        cache: &EquilibriumCache,
+    ) -> crate::Result<(ThresholdPolicy, SolveSummary)> {
+        self.equilibrium_policy_with(cache, false)
+    }
+
+    fn equilibrium_policy_with(
+        &self,
+        cache: &EquilibriumCache,
+        warm: bool,
+    ) -> crate::Result<(ThresholdPolicy, SolveSummary)> {
         let game = self.solve_game()?;
         let types = self.population.distinct_types();
         let (thresholds, summary): (Vec<f64>, SolveSummary) = if types.len() == 1 {
             let solver = MeanFieldSolver::new(game);
             // Warm-started: a fresh key seeds Algorithm 1 from the nearest
             // completed equilibrium already in the cache (sweep neighbors
-            // differ by one knob, so their fixed points are close).
-            let (threshold, summary) =
-                match cache.solve_warm(&solver, &types[0].utility_density(DENSITY_BINS)?) {
-                    Ok(eq) => (
-                        eq.threshold(),
-                        SolveSummary {
-                            converged: true,
-                            iterations: eq.iterations(),
-                            residual: eq.residual(),
-                        },
-                    ),
-                    Err(GameError::NonConvergence {
+            // differ by one knob, so their fixed points are close). Cold:
+            // cache content can never leak into the summary's bytes.
+            let density = types[0].utility_density(DENSITY_BINS)?;
+            let solved = if warm {
+                cache.solve_warm(&solver, &density)
+            } else {
+                cache.solve(&solver, &density)
+            };
+            let (threshold, summary) = match solved {
+                Ok(eq) => (
+                    eq.threshold(),
+                    SolveSummary {
+                        converged: true,
+                        iterations: eq.iterations(),
+                        residual: eq.residual(),
+                    },
+                ),
+                Err(GameError::NonConvergence {
+                    iterations,
+                    residual,
+                    fallback_threshold,
+                    ..
+                }) => (
+                    fallback_threshold,
+                    SolveSummary {
+                        converged: false,
                         iterations,
                         residual,
-                        fallback_threshold,
-                        ..
-                    }) => (
-                        fallback_threshold,
-                        SolveSummary {
-                            converged: false,
-                            iterations,
-                            residual,
-                        },
-                    ),
-                    Err(e) => return Err(e.into()),
-                };
+                    },
+                ),
+                Err(e) => return Err(e.into()),
+            };
             (vec![threshold; self.population.len()], summary)
         } else {
             let eq = MultiSolver::new(game).solve(&self.type_specs()?)?;

@@ -709,28 +709,70 @@ pub fn run_sweep_supervised(
     supervision: Supervision,
     telemetry: &mut Telemetry,
 ) -> crate::Result<SweepReport> {
+    let cache = EquilibriumCache::default();
+    run_sweep_on_cache(spec, jobs, supervision, &cache, true, telemetry)
+}
+
+/// Execute a sweep against an externally owned [`EquilibriumCache`] —
+/// the entry point for long-lived processes (the `sprint serve` daemon,
+/// the unified job path) where many jobs share one process-wide cache.
+///
+/// Unlike [`run_sweep_supervised`], which owns a fresh cache and
+/// warm-starts solves from a serial pre-pass, this path solves **cold**:
+/// a miss runs Algorithm 1 from scratch, so every [`SolveSummary`] in
+/// the report is independent of whatever the shared cache already holds.
+/// That makes the report bytes a function of the spec alone — identical
+/// whether the cache is empty, pre-warmed by earlier jobs, or being
+/// raced by concurrent clients (single-flight dedupes the actual
+/// solves). The price is forgoing warm-start iteration savings on the
+/// first solve of each distinct game; repeats are cache hits either way.
+///
+/// # Errors
+///
+/// As [`run_sweep_supervised`].
+pub fn run_sweep_shared(
+    spec: &SweepSpec,
+    jobs: usize,
+    supervision: Supervision,
+    cache: &EquilibriumCache,
+    telemetry: &mut Telemetry,
+) -> crate::Result<SweepReport> {
+    run_sweep_on_cache(spec, jobs, supervision, cache, false, telemetry)
+}
+
+fn run_sweep_on_cache(
+    spec: &SweepSpec,
+    jobs: usize,
+    supervision: Supervision,
+    cache: &EquilibriumCache,
+    warm: bool,
+    telemetry: &mut Telemetry,
+) -> crate::Result<SweepReport> {
     spec.validate()?;
     let plans = spec.effective_plans();
     let adversaries = spec.effective_adversaries();
     let trials = spec.expand(&plans, &adversaries);
     let jobs = effective_jobs(jobs, trials.len());
-    let cache = EquilibriumCache::default();
 
     // Warm pre-pass: solve every distinct E-T cell serially, in expansion
     // order, before the worker pool starts. Each solve warm-starts from
     // the nearest equilibrium already cached, and because every solve
     // completes before any worker touches the cache, warm hints — and
-    // therefore the report — stay identical at every job count.
-    let mut presolved = std::collections::HashSet::new();
-    for trial in &trials {
-        if spec.policies[trial.policy] != PolicyKind::EquilibriumThreshold
-            || !presolved.insert((trial.game, trial.population, trial.plan))
-        {
-            continue;
+    // therefore the report — stay identical at every job count. Cold
+    // (shared-cache) sweeps skip it: their solves never take hints, so
+    // there is no ordering to pin down.
+    if warm {
+        let mut presolved = std::collections::HashSet::new();
+        for trial in &trials {
+            if spec.policies[trial.policy] != PolicyKind::EquilibriumThreshold
+                || !presolved.insert((trial.game, trial.population, trial.plan))
+            {
+                continue;
+            }
+            // Failures are not quarantine-worthy here: the trial itself
+            // will re-encounter the error under supervision.
+            let _ = presolve_cell(spec, &plans, trial, cache);
         }
-        // Failures are not quarantine-worthy here: the trial itself will
-        // re-encounter the error under supervision.
-        let _ = presolve_cell(spec, &plans, trial, &cache);
     }
 
     type Slot = OnceLock<(crate::Result<SweepRecord>, u64, u32)>;
@@ -761,7 +803,6 @@ pub fn run_sweep_supervised(
         let trials = &trials;
         let plans = &plans;
         let adversaries = &adversaries;
-        let cache = &cache;
         let handles: Vec<_> = producers
             .drain(..)
             .enumerate()
@@ -785,6 +826,7 @@ pub fn run_sweep_supervised(
                             adversaries,
                             trial,
                             cache,
+                            warm,
                             supervision,
                         );
                         let nanos = started.elapsed().as_nanos() as u64;
@@ -908,12 +950,14 @@ pub fn run_sweep_supervised(
 /// Run one trial under supervision: per-attempt deadline, panic
 /// isolation, bounded retry. Returns the final outcome and the attempts
 /// consumed.
+#[allow(clippy::too_many_arguments)]
 fn run_trial_supervised(
     spec: &SweepSpec,
     plans: &[NamedPlan],
     adversaries: &[NamedAdversaries],
     trial: &Trial,
     cache: &EquilibriumCache,
+    warm: bool,
     supervision: Supervision,
 ) -> (crate::Result<SweepRecord>, u32) {
     let attempts_allowed = supervision.retries.saturating_add(1);
@@ -938,7 +982,7 @@ fn run_trial_supervised(
                     None => {}
                 }
             }
-            run_trial(spec, plans, adversaries, trial, cache, deadline)
+            run_trial(spec, plans, adversaries, trial, cache, warm, deadline)
         }));
         match outcome {
             Ok(Ok(record)) => return (Ok(record), attempt + 1),
@@ -972,12 +1016,14 @@ fn presolve_cell(
 }
 
 /// Run one grid point through the unified API only.
+#[allow(clippy::too_many_arguments)]
 fn run_trial(
     spec: &SweepSpec,
     plans: &[NamedPlan],
     adversaries: &[NamedAdversaries],
     trial: &Trial,
     cache: &EquilibriumCache,
+    warm: bool,
     deadline: Option<engine::Deadline>,
 ) -> crate::Result<SweepRecord> {
     let variant = &spec.games[trial.game];
@@ -994,7 +1040,11 @@ fn run_trial(
 
     let (mut policy, solve): (Box<dyn SprintPolicy>, Option<SolveSummary>) = match kind {
         PolicyKind::EquilibriumThreshold => {
-            let (policy, summary) = scenario.equilibrium_policy_cached(cache)?;
+            let (policy, summary) = if warm {
+                scenario.equilibrium_policy_cached(cache)?
+            } else {
+                scenario.equilibrium_policy_cached_cold(cache)?
+            };
             (Box::new(policy), Some(summary))
         }
         other => (
@@ -1146,6 +1196,51 @@ mod tests {
             epochs: 60,
             options: RunOptions::default(),
         }
+    }
+
+    #[test]
+    fn shared_cache_sweep_bytes_ignore_prior_cache_content() {
+        // The serve-daemon property: a sweep through a shared process
+        // cache must serialize identically whether the cache is fresh or
+        // already warmed by earlier jobs — cold solves keep iteration
+        // counts out of reach of cache history.
+        let spec = small_spec();
+        let fresh = EquilibriumCache::default();
+        let a = run_sweep_shared(
+            &spec,
+            2,
+            Supervision::default(),
+            &fresh,
+            &mut Telemetry::noop(),
+        )
+        .unwrap();
+        let reused = EquilibriumCache::default();
+        let _ = run_sweep_shared(
+            &spec,
+            1,
+            Supervision::default(),
+            &reused,
+            &mut Telemetry::noop(),
+        )
+        .unwrap();
+        let before = reused.stats();
+        let b = run_sweep_shared(
+            &spec,
+            2,
+            Supervision::default(),
+            &reused,
+            &mut Telemetry::noop(),
+        )
+        .unwrap();
+        assert_eq!(a, b, "report must not depend on prior cache content");
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "canonical bytes must match through a warmed shared cache"
+        );
+        let after = reused.stats();
+        assert_eq!(after.misses, before.misses, "re-run solves nothing new");
+        assert!(after.hits > before.hits, "re-run hits the shared cache");
     }
 
     #[test]

@@ -377,6 +377,20 @@ impl RotatingJsonl {
         Ok(())
     }
 
+    /// Flush buffered lines to the active file without closing it — the
+    /// drain hook for long-lived sinks (the `sprint serve` daemon's event
+    /// log), where shutdown must publish every buffered line while the
+    /// recorder object stays alive for accounting.
+    ///
+    /// # Errors
+    ///
+    /// The flush failure, typed ([`RecorderError::Write`]).
+    pub fn flush(&mut self) -> Result<(), RecorderError> {
+        self.writer
+            .flush()
+            .map_err(|source| RecorderError::Write { source })
+    }
+
     /// Flush buffered lines and close the active file.
     ///
     /// # Errors
