@@ -17,9 +17,11 @@
 use std::time::{Duration, Instant};
 
 use sprint_game::EquilibriumCache;
+use sprint_serve::harness;
 use sprint_serve::http::client;
 use sprint_serve::jobs::{self, ChaosMode, ChaosSpec, JobKind, JobSpec, RunSpec};
-use sprint_serve::{Daemon, ExecOptions, ServeConfig};
+use sprint_serve::journal::{Journal, Transition};
+use sprint_serve::{AdmissionConfig, Daemon, ExecOptions, ServeConfig};
 use sprint_sim::sweep::{GameVariant, PopulationSpec, SweepSpec};
 use sprint_sim::telemetry::Telemetry;
 use sprint_sim::{PolicyKind, RunOptions};
@@ -157,6 +159,108 @@ fn main() {
     assert_eq!(status, 409, "second drain is the typed conflict: {body}");
     handle.join().expect("daemon joins cleanly");
 
+    // Recovery drill: journal `clients` acknowledged-but-unexecuted
+    // jobs (a crash right after the ack), then time a journaled boot
+    // until every one of them reaches `done` again.
+    let dir = std::env::temp_dir().join(format!("sprint-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("recovery dir");
+    let journal_path = dir.join("journal.jsonl");
+    {
+        let mut journal = Journal::open_append(&journal_path).expect("journal opens");
+        for id in 1..=clients as u64 {
+            journal
+                .append(&Transition::Submitted {
+                    id,
+                    client: "bench".to_string(),
+                    spec: run_spec(agents, epochs).into(),
+                })
+                .expect("journal append");
+        }
+    }
+    let started = Instant::now();
+    let handle = Daemon::start(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: clients,
+        journal: Some(journal_path),
+        spool: Some(dir.join("spool")),
+        ..ServeConfig::default()
+    })
+    .expect("journaled daemon boots");
+    let addr = handle.addr().to_string();
+    for id in 1..=clients as u64 {
+        harness::wait_for_job_state(&addr, id, "done", Duration::from_secs(120))
+            .expect("journaled job recovers to done");
+    }
+    let recovery_nanos = started.elapsed().as_nanos() as u64;
+    let (_, recovered) = client::request(&addr, "GET", "/v1/jobs/1/report", None).expect("report");
+    assert_eq!(
+        recovered, want_run,
+        "recovered report must be byte-identical to the CLI report"
+    );
+    let (_, metrics) = client::request(&addr, "GET", "/v1/metrics", None).expect("metrics");
+    assert!(
+        metrics.contains(&format!("serve_jobs_recovered_total {clients}")),
+        "every journaled job counts as recovered:\n{metrics}"
+    );
+    handle.drain().expect("recovery drain");
+    handle.join().expect("recovery join");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Shed drill: one worker, a queue bound of 2, and a burst of twice
+    // the capacity. Every overflow submission must get a typed 429 (no
+    // worker panics, no unbounded queue).
+    let handle = Daemon::start(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        admission: AdmissionConfig {
+            max_queue: 2,
+            ..AdmissionConfig::default()
+        },
+        ..ServeConfig::default()
+    })
+    .expect("bounded daemon boots");
+    let addr = handle.addr().to_string();
+    let blocker = JobSpec::new(JobKind::Run {
+        spec: RunSpec {
+            benchmark: "decision".to_string(),
+            policy: PolicyKind::Greedy,
+            agents: 20,
+            epochs: 50_000_000,
+            seed: 99,
+        },
+    });
+    let body = serde_json::to_string(&blocker).expect("blocker serializes");
+    let (status, ack) =
+        client::request(&addr, "POST", "/v1/jobs", Some(&body)).expect("blocker submits");
+    assert_eq!(status, 202, "{ack}");
+    harness::wait_for_job_state(&addr, 1, "running", Duration::from_secs(30))
+        .expect("blocker starts");
+    let quick = serde_json::to_string(&run_spec(agents, epochs)).expect("spec serializes");
+    let mut shed_429s = 0u32;
+    let burst = 4u32;
+    for _ in 0..2 {
+        let (status, _) =
+            client::request(&addr, "POST", "/v1/jobs", Some(&quick)).expect("fill submits");
+        assert_eq!(status, 202, "queue fills up to the bound");
+    }
+    for _ in 0..burst {
+        let (status, _, body) = client::request_full(&addr, "POST", "/v1/jobs", &[], Some(&quick))
+            .expect("overflow submits");
+        if status == 429 {
+            assert!(body.contains("queue full"), "{body}");
+            shed_429s += 1;
+        }
+    }
+    assert_eq!(
+        shed_429s, burst,
+        "every submission beyond the bound is a typed 429"
+    );
+    let (status, _) = client::request(&addr, "POST", "/v1/jobs/1/cancel", None).expect("cancel");
+    assert_eq!(status, 202, "blocker cancels");
+    handle.drain().expect("shed drain");
+    handle.join().expect("shed join");
+
     println!("serve smoke ({agents} agents x {epochs} epochs, {clients} concurrent clients)");
     println!("  run submit→report   {run_nanos:>12} ns");
     println!("  sweep submit→report {sweep_nanos:>12} ns");
@@ -166,6 +270,8 @@ fn main() {
         "  cache               {} hits / {} misses",
         stats.hits, stats.misses
     );
+    println!("  recovery replay     {recovery_nanos:>12} ns ({clients} journaled jobs)");
+    println!("  shed burst          {shed_429s:>12} typed 429s of {burst} overflow submissions");
 
     let json = format!(
         "{{\n  \"agents\": {agents},\n  \"epochs\": {epochs},\n  \"clients\": {clients},\n  \
@@ -174,7 +280,10 @@ fn main() {
          \"chaos_submit_report_nanos\": {chaos_nanos},\n  \
          \"burst_nanos\": {burst_nanos},\n  \"throughput_jobs_per_s\": {throughput:.4},\n  \
          \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
-         \"run_bytes_identical\": true,\n  \"sweep_bytes_identical\": true\n}}\n",
+         \"recovery_jobs\": {clients},\n  \"recovery_replay_nanos\": {recovery_nanos},\n  \
+         \"shed_burst\": {burst},\n  \"shed_429s\": {shed_429s},\n  \
+         \"run_bytes_identical\": true,\n  \"sweep_bytes_identical\": true,\n  \
+         \"recovery_bytes_identical\": true\n}}\n",
         stats.hits, stats.misses
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

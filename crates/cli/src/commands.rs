@@ -5,11 +5,13 @@ use serde::Serialize;
 use sprint_game::cooperative::CooperativeSearch;
 use sprint_game::{EquilibriumCache, GameConfig, MeanFieldSolver};
 use sprint_power::rack::RackConfig;
+use sprint_serve::harness::{self, ServeChild};
+use sprint_serve::http::client as serve_client;
 use sprint_serve::jobs::{
     execute as execute_job, report_json, ChaosMode, ChaosOutcome, ChaosSpec, ExecOptions, JobKind,
     JobOutcome, JobSpec, RunSpec,
 };
-use sprint_serve::{Daemon, ServeConfig};
+use sprint_serve::{AdmissionConfig, Daemon, ServeConfig};
 use sprint_sim::policy::PolicyKind;
 use sprint_sim::scenario::Scenario;
 use sprint_sim::sweep::{GameVariant, PopulationSpec, Supervision, SweepSpec};
@@ -85,12 +87,16 @@ USAGE:
                        [--adversaries FRAC] [--adversary-kind K]
                        [--cheat-probability P] [--clique-period N]
                        [--ceasefire E]
+  sprint chaos         --serve-restart true [--restart-jobs N] [--workers W]
+                       [--json true]
   sprint cluster       --benchmark <name> [--racks K] [--agents-per-rack N]
                        [--epochs E] [--facility-n-min X] [--facility-n-max X]
                        [--seed S] [--json true]
   sprint serve         [--addr HOST:PORT] [--workers N] [--jobs J]
                        [--spool DIR] [--event-log FILE.jsonl]
-                       [--snapshot-ms MS]
+                       [--snapshot-ms MS] [--journal FILE.jsonl]
+                       [--max-queue N] [--rate-limit PER_S]
+                       [--client-jobs N]
   sprint derive-params [--servers N] [--json true]
   sprint benchmarks
   sprint help
@@ -674,7 +680,11 @@ pub fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
         Telemetry::noop()
     };
     let job = JobSpec::new(JobKind::Sweep { spec: spec.clone() });
-    let opts = ExecOptions { jobs, supervision };
+    let opts = ExecOptions {
+        jobs,
+        supervision,
+        ..ExecOptions::default()
+    };
     let job_report =
         execute_job(&job, EquilibriumCache::process(), &opts, &mut kit).map_err(run_err)?;
     let JobOutcome::Sweep { report } = &job_report.outcome else {
@@ -813,6 +823,9 @@ fn parse_adversary_mix(
 /// one canonical chaos job, so `--json true` prints the same `JobReport`
 /// bytes the daemon returns for this spec.
 pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
+    if args.get_bool("serve-restart", false)? {
+        return chaos_serve_restart(args);
+    }
     args.expect_only(&[
         "benchmark",
         "agents",
@@ -996,6 +1009,148 @@ pub fn chaos(args: &ParsedArgs) -> Result<(), CliError> {
         }
         _ => Ok(()),
     }
+}
+
+/// `sprint chaos --serve-restart`: the kill-restart drill. Boot a
+/// journaled `sprint serve` child, queue jobs, SIGKILL it mid-queue,
+/// restart on the same journal + spool, and verify every acknowledged
+/// job completes with report bytes identical to an in-process
+/// reference execution. Exits non-zero if any acknowledged job is lost
+/// or any recovered report drifts by a byte.
+fn chaos_serve_restart(args: &ParsedArgs) -> Result<(), CliError> {
+    args.expect_only(&["serve-restart", "restart-jobs", "workers", "json"])?;
+    let n_jobs: u64 = args.get_parsed("restart-jobs", 8)?;
+    let workers: usize = args.get_parsed("workers", 2)?;
+    let json = args.get_bool("json", false)?;
+    if n_jobs == 0 {
+        return Err(ArgError("--restart-jobs must be at least 1".into()).into());
+    }
+
+    let dir = std::env::temp_dir().join(format!("sprint-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(run_err)?;
+    let journal = dir.join("journal.jsonl");
+    let spool = dir.join("spool");
+    let exe = std::env::current_exe().map_err(run_err)?;
+    let workers_flag = workers.to_string();
+    let serve_args: Vec<&str> = vec![
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--workers",
+        &workers_flag,
+        "--journal",
+        journal.to_str().expect("utf-8 temp path"),
+        "--spool",
+        spool.to_str().expect("utf-8 temp path"),
+    ];
+
+    let spec_for = |seed: u64| {
+        JobSpec::new(JobKind::Run {
+            spec: RunSpec {
+                benchmark: "decision".to_string(),
+                policy: PolicyKind::EquilibriumThreshold,
+                agents: 30,
+                epochs: 40,
+                seed,
+            },
+        })
+    };
+
+    // Phase 1: boot, queue every job, and pull the plug.
+    let mut child = ServeChild::spawn(&exe, &serve_args, &[]).map_err(run_err)?;
+    let addr = child.addr.clone();
+    let mut acknowledged = Vec::new();
+    for seed in 1..=n_jobs {
+        let body = serde_json::to_string(&spec_for(seed)).map_err(run_err)?;
+        let (status, ack) =
+            serve_client::request(&addr, "POST", "/v1/jobs", Some(&body)).map_err(run_err)?;
+        if status != 202 {
+            return Err(CliError::Run(
+                format!("submission rejected: {status} {ack}").into(),
+            ));
+        }
+        let id: u64 = ack
+            .split("\"id\":")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|digits| digits.trim().parse().ok())
+            .ok_or_else(|| CliError::Run(format!("unparseable ack: {ack}").into()))?;
+        acknowledged.push((id, seed));
+    }
+    child.kill();
+    eprintln!(
+        "serve-restart: SIGKILL after {} acknowledged jobs; restarting on the journal",
+        acknowledged.len()
+    );
+
+    // Phase 2: restart on the same journal + spool and wait everything
+    // out. Every acknowledged id must reach `done`.
+    let child = ServeChild::spawn(&exe, &serve_args, &[]).map_err(run_err)?;
+    let addr = child.addr.clone();
+    let cache = EquilibriumCache::default();
+    let mut mismatches = 0usize;
+    for &(id, seed) in &acknowledged {
+        harness::wait_for_job_state(&addr, id, "done", std::time::Duration::from_secs(60))
+            .map_err(run_err)?;
+        let (status, recovered) =
+            serve_client::request(&addr, "GET", &format!("/v1/jobs/{id}/report"), None)
+                .map_err(run_err)?;
+        if status != 200 {
+            return Err(CliError::Run(
+                format!("report fetch failed: {status}").into(),
+            ));
+        }
+        let reference = report_json(
+            &execute_job(
+                &spec_for(seed),
+                &cache,
+                &ExecOptions::default(),
+                &mut Telemetry::noop(),
+            )
+            .map_err(run_err)?,
+        )
+        .map_err(run_err)?;
+        if recovered != reference {
+            mismatches += 1;
+            eprintln!("serve-restart: job {id} report drifted from the reference bytes");
+        }
+    }
+    let (_, metrics) = serve_client::request(&addr, "GET", "/v1/metrics", None).map_err(run_err)?;
+    let recovered_counter = metrics
+        .lines()
+        .find(|l| l.starts_with("serve_jobs_recovered_total"))
+        .map(str::to_string)
+        .unwrap_or_default();
+    drop(child);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if json {
+        println!(
+            "{{\"acknowledged\":{},\"completed\":{},\"byte_identical\":{},\"lost\":0}}",
+            acknowledged.len(),
+            acknowledged.len(),
+            acknowledged.len() - mismatches
+        );
+    } else {
+        eprintln!(
+            "serve-restart: {} acknowledged, {} completed after restart, {} byte-identical ({})",
+            acknowledged.len(),
+            acknowledged.len(),
+            acknowledged.len() - mismatches,
+            if recovered_counter.is_empty() {
+                "no recovery counter".to_string()
+            } else {
+                recovered_counter
+            }
+        );
+    }
+    if mismatches > 0 {
+        return Err(CliError::Run(
+            format!("{mismatches} recovered report(s) drifted from the reference bytes").into(),
+        ));
+    }
+    Ok(())
 }
 
 /// Text summary for `sprint chaos --partition`: invariant, message-loss,
@@ -1392,7 +1547,20 @@ pub fn serve(args: &ParsedArgs) -> Result<(), CliError> {
         "spool",
         "event-log",
         "snapshot-ms",
+        "journal",
+        "max-queue",
+        "rate-limit",
+        "client-jobs",
     ])?;
+    let rate_limit = args
+        .get("rate-limit")
+        .map(|raw| {
+            raw.parse::<f64>()
+                .ok()
+                .filter(|r| *r > 0.0)
+                .ok_or_else(|| ArgError(format!("invalid --rate-limit `{raw}`")))
+        })
+        .transpose()?;
     let config = ServeConfig {
         addr: args.get_or("addr", "127.0.0.1:7077"),
         workers: args.get_parsed("workers", 2)?,
@@ -1400,11 +1568,23 @@ pub fn serve(args: &ParsedArgs) -> Result<(), CliError> {
         spool: args.get("spool").map(std::path::PathBuf::from),
         event_log: args.get("event-log").map(std::path::PathBuf::from),
         snapshot_every_ms: args.get_parsed("snapshot-ms", 200)?,
+        journal: args.get("journal").map(std::path::PathBuf::from),
+        admission: AdmissionConfig {
+            max_queue: args.get_parsed("max-queue", 0)?,
+            rate_limit,
+            client_jobs: args.get_parsed("client-jobs", 0)?,
+        },
     };
     let handle = Daemon::start(&config).map_err(run_err)?;
+    // Machine-readable announcement on stdout: the kill-restart harness
+    // (and scripts) scrape this line for the resolved ephemeral port.
+    println!("{}", harness::addr_line(&handle.addr()));
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
     eprintln!("sprint serve listening on http://{}", handle.addr());
     eprintln!("  POST /v1/jobs[?wait=true]    submit a JobSpec (run | sweep | chaos)");
     eprintln!("  GET  /v1/jobs[/ID[/report]]  job table, status, canonical JobReport");
+    eprintln!("  POST /v1/jobs/ID/cancel      cancel a queued or running job");
     eprintln!("  GET  /v1/events              live health snapshots (SSE)");
     eprintln!("  GET  /v1/health /v1/metrics /v1/version");
     eprintln!("  POST /v1/drain               stop accepting, finish in-flight, exit");

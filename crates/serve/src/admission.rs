@@ -1,0 +1,194 @@
+//! Admission control for the daemon: bounded queue depth, per-client
+//! token-bucket rate limits and concurrent-job quotas, and a
+//! degradation ladder that sheds heavy work before the queue drowns.
+//!
+//! The sprinting game's whole premise is that unmanaged demand on a
+//! shared resource trips the breaker (PAPER.md §2); the daemon applies
+//! the same discipline to itself. Submissions beyond capacity get a
+//! typed 429 with a `Retry-After` hint instead of an unbounded queue,
+//! and each client (keyed by the `x-api-key` header, `anonymous`
+//! otherwise) draws from its own bucket so one flash-crowd client
+//! cannot starve the rest.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Admission knobs, all optional: zero / `None` disables that check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmissionConfig {
+    /// Maximum queued (not yet running) jobs; `0` = unbounded.
+    pub max_queue: usize,
+    /// Per-client sustained submissions per second; `None` = unlimited.
+    /// The burst capacity is twice the rate (at least one token).
+    pub rate_limit: Option<f64>,
+    /// Per-client cap on jobs queued or running at once; `0` = none.
+    pub client_jobs: usize,
+}
+
+/// One rung of the daemon's degradation ladder, ordered healthiest
+/// first. The rung is derived from queue depth and worker saturation on
+/// every submission — there is no hysteresis state to desync from
+/// reality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rung {
+    /// Normal operation: every well-formed job is admitted.
+    Accept,
+    /// The queue is more than half full with every worker busy: shed
+    /// heavy jobs (sweeps, chaos suites) but keep admitting single
+    /// runs, which are cheap and latency-sensitive.
+    ShedHeavy,
+    /// Draining: nothing is admitted; queued jobs still execute.
+    DrainOnly,
+}
+
+impl Rung {
+    /// Stable snake_case name for metrics and response bodies.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rung::Accept => "accept",
+            Rung::ShedHeavy => "shed_heavy",
+            Rung::DrainOnly => "drain_only",
+        }
+    }
+
+    /// Numeric gauge value: 0 healthy, 1 shedding, 2 drain-only.
+    #[must_use]
+    pub fn level(&self) -> u8 {
+        match self {
+            Rung::Accept => 0,
+            Rung::ShedHeavy => 1,
+            Rung::DrainOnly => 2,
+        }
+    }
+}
+
+/// Derive the current rung from live queue facts.
+#[must_use]
+pub fn rung(
+    draining: bool,
+    queued: usize,
+    running: usize,
+    workers: usize,
+    max_queue: usize,
+) -> Rung {
+    if draining {
+        return Rung::DrainOnly;
+    }
+    // Shedding only makes sense with a bounded queue: half-full plus
+    // saturated workers means new heavy work would sit behind
+    // everything already waiting.
+    if max_queue > 0 && queued.saturating_mul(2) >= max_queue && running >= workers {
+        return Rung::ShedHeavy;
+    }
+    Rung::Accept
+}
+
+/// A `Retry-After` hint for a full queue: one second per four queued
+/// jobs, clamped to `[1, 30]` — a coarse, monotone signal, not a
+/// promise.
+#[must_use]
+pub fn queue_retry_after_s(queued: usize) -> u64 {
+    ((queued as u64) / 4).clamp(1, 30)
+}
+
+/// A token bucket: `capacity` burst, refilled at `rate` tokens/second.
+#[derive(Debug, Clone)]
+struct TokenBucket {
+    tokens: f64,
+    capacity: f64,
+    rate: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn new(rate: f64, now: Instant) -> Self {
+        let capacity = (rate * 2.0).max(1.0);
+        TokenBucket {
+            tokens: capacity,
+            capacity,
+            rate: rate.max(f64::MIN_POSITIVE),
+            last: now,
+        }
+    }
+
+    /// Take one token, or report how many whole seconds until one
+    /// accrues.
+    fn try_take(&mut self, now: Instant) -> Result<(), u64> {
+        let elapsed = now.saturating_duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + elapsed * self.rate).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            let deficit = 1.0 - self.tokens;
+            Err((deficit / self.rate).ceil() as u64)
+        }
+    }
+}
+
+/// Per-client rate-limit state, keyed by API key.
+#[derive(Debug, Default)]
+pub struct RateLimiter {
+    buckets: BTreeMap<String, TokenBucket>,
+}
+
+impl RateLimiter {
+    /// Charge one submission to `client` at `rate` tokens/second.
+    ///
+    /// # Errors
+    ///
+    /// The number of whole seconds until the client's bucket holds a
+    /// token again.
+    pub fn charge(&mut self, client: &str, rate: f64, now: Instant) -> Result<(), u64> {
+        self.buckets
+            .entry(client.to_string())
+            .or_insert_with(|| TokenBucket::new(rate, now))
+            .try_take(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn ladder_rungs_follow_queue_pressure() {
+        assert_eq!(rung(false, 0, 0, 2, 8), Rung::Accept);
+        // Half full but workers idle: still accepting.
+        assert_eq!(rung(false, 4, 1, 2, 8), Rung::Accept);
+        // Half full and saturated: shed heavy work.
+        assert_eq!(rung(false, 4, 2, 2, 8), Rung::ShedHeavy);
+        // Unbounded queue never sheds.
+        assert_eq!(rung(false, 1000, 2, 2, 0), Rung::Accept);
+        // Draining dominates everything.
+        assert_eq!(rung(true, 0, 0, 2, 8), Rung::DrainOnly);
+        assert!(Rung::Accept.level() < Rung::ShedHeavy.level());
+        assert_eq!(Rung::ShedHeavy.name(), "shed_heavy");
+    }
+
+    #[test]
+    fn retry_after_is_monotone_and_clamped() {
+        assert_eq!(queue_retry_after_s(0), 1);
+        assert_eq!(queue_retry_after_s(8), 2);
+        assert_eq!(queue_retry_after_s(10_000), 30);
+    }
+
+    #[test]
+    fn token_bucket_allows_burst_then_rejects_with_eta() {
+        let t0 = Instant::now();
+        let mut limiter = RateLimiter::default();
+        // rate 1/s → burst capacity 2.
+        assert!(limiter.charge("a", 1.0, t0).is_ok());
+        assert!(limiter.charge("a", 1.0, t0).is_ok());
+        let eta = limiter.charge("a", 1.0, t0).unwrap_err();
+        assert!(eta >= 1, "empty bucket reports a positive wait: {eta}");
+        // A different client has its own bucket.
+        assert!(limiter.charge("b", 1.0, t0).is_ok());
+        // Refill after simulated time passes.
+        let later = t0 + Duration::from_secs(5);
+        assert!(limiter.charge("a", 1.0, later).is_ok());
+    }
+}

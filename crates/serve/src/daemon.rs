@@ -1,6 +1,7 @@
 //! The long-lived `sprint serve` daemon: a listener, a job queue,
-//! worker threads sharing one [`EquilibriumCache`], and a telemetry
-//! aggregator streaming live health snapshots over SSE.
+//! worker threads sharing one [`EquilibriumCache`], a durable job
+//! journal, and a telemetry aggregator streaming live health snapshots
+//! over SSE.
 //!
 //! # Endpoints
 //!
@@ -10,6 +11,7 @@
 //! | GET    | `/v1/jobs`            | List jobs and their states                     |
 //! | GET    | `/v1/jobs/{id}`       | One job's state                                |
 //! | GET    | `/v1/jobs/{id}/report`| The canonical [`JobReport`] bytes              |
+//! | POST   | `/v1/jobs/{id}/cancel`| Cancel a queued or running job                 |
 //! | GET    | `/v1/health`          | Latest health snapshot (JSON)                  |
 //! | GET    | `/v1/metrics`         | Prometheus exposition (cache + queue + ring)   |
 //! | GET    | `/v1/events`          | SSE stream of health snapshots                 |
@@ -18,11 +20,31 @@
 //!
 //! # Job lifecycle
 //!
-//! `queued → running → done | failed`. Submissions during a drain are
-//! rejected with 503; a second drain is the typed
-//! [`ServeError::AlreadyDraining`] (409). Workers exit once the daemon
-//! is draining and the queue is empty; [`DaemonHandle::join`] then
-//! flushes the event log and tears the listener down.
+//! `queued → running → done | failed | cancelled | deadline_exceeded`.
+//! Submissions during a drain are rejected with 503; a second drain is
+//! the typed [`ServeError::AlreadyDraining`] (409). Workers exit once
+//! the daemon is draining and the queue is empty; [`DaemonHandle::join`]
+//! then flushes the event log and tears the listener down.
+//!
+//! # Durability
+//!
+//! With a journal configured ([`ServeConfig::journal`]), every
+//! lifecycle transition is appended to a write-ahead JSONL log — the
+//! `Submitted` record is fsync'd **before** the submission is
+//! acknowledged, so an acked job survives a crash. On boot the journal
+//! (plus the report spool) is replayed: queued jobs re-enqueue, jobs
+//! that were mid-run re-execute under a bounded retry budget, and
+//! completed jobs adopt their spooled report. Reports are a function of
+//! the spec alone, so a re-executed job reproduces its report
+//! byte-for-byte. See [`crate::journal`].
+//!
+//! # Admission
+//!
+//! Submissions pass through admission control ([`crate::admission`]):
+//! per-client token-bucket rate limits and concurrent-job quotas, a
+//! bounded queue, and a degradation ladder that sheds heavy jobs
+//! (sweeps, chaos) while workers are saturated. Shed submissions get a
+//! typed 429 with a `Retry-After` hint.
 //!
 //! [`JobSpec`]: crate::jobs::JobSpec
 //! [`JobReport`]: crate::jobs::JobReport
@@ -30,23 +52,26 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use sprint_game::{CacheStats, EquilibriumCache};
+use sprint_game::{BackoffSchedule, CacheStats, EquilibriumCache, RetryPolicy};
+use sprint_sim::engine::CancelToken;
 use sprint_sim::sweep::Supervision;
 use sprint_sim::telemetry::{
-    prometheus_text, EventRing, HealthAggregator, Recorder, Registry, RingConfig, RingProducer,
-    RotatingJsonl, Severity, SpanProfile, Telemetry,
+    prometheus_text, Event, EventRing, HealthAggregator, Recorder, Registry, RingConfig,
+    RingProducer, RotatingJsonl, Severity, SpanProfile, Telemetry,
 };
 
+use crate::admission::{self, AdmissionConfig, RateLimiter};
 use crate::error::ServeError;
 use crate::http::{self, Request};
-use crate::jobs::{self, ExecOptions, JobSpec, SCHEMA_VERSION};
+use crate::jobs::{self, ExecOptions, JobKind, JobOutcome, JobReport, JobSpec, SCHEMA_VERSION};
+use crate::journal::{self, Journal, RecoveredState, Transition};
 
-/// How the daemon binds, fans out, and persists.
+/// How the daemon binds, fans out, persists, and protects itself.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address (`host:port`; port 0 picks an ephemeral port).
@@ -62,6 +87,12 @@ pub struct ServeConfig {
     pub event_log: Option<PathBuf>,
     /// Health-snapshot publication period in milliseconds.
     pub snapshot_every_ms: u64,
+    /// Write-ahead job journal path, if any. With a journal every
+    /// acknowledged submission survives a daemon crash (see
+    /// [`crate::journal`]).
+    pub journal: Option<PathBuf>,
+    /// Admission knobs: queue bound, rate limit, client quota.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +104,8 @@ impl Default for ServeConfig {
             spool: None,
             event_log: None,
             snapshot_every_ms: 200,
+            journal: None,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -84,6 +117,8 @@ enum JobState {
     Running,
     Done { report: String },
     Failed { error: String },
+    Cancelled { report: String },
+    DeadlineExceeded { report: String },
 }
 
 impl JobState {
@@ -93,6 +128,8 @@ impl JobState {
             JobState::Running => "running",
             JobState::Done { .. } => "done",
             JobState::Failed { .. } => "failed",
+            JobState::Cancelled { .. } => "cancelled",
+            JobState::DeadlineExceeded { .. } => "deadline_exceeded",
         }
     }
 }
@@ -101,6 +138,14 @@ impl JobState {
 struct JobEntry {
     spec: JobSpec,
     state: JobState,
+    client: String,
+    /// Cooperative cancel/deadline token, shared with the worker
+    /// executing this job so `POST /v1/jobs/{id}/cancel` reaches a run
+    /// in flight.
+    cancel: CancelToken,
+    /// Retry budget for crash-interrupted jobs: a fresh submission
+    /// fails fast (`None`), a recovered one re-executes with backoff.
+    retry: Option<BackoffSchedule>,
 }
 
 #[derive(Debug, Default)]
@@ -113,6 +158,12 @@ struct JobTable {
     submitted: u64,
     completed: u64,
     failed: u64,
+    cancelled: u64,
+    deadline_exceeded: u64,
+    shed: u64,
+    rate_limited: u64,
+    quota_rejected: u64,
+    recovered: u64,
 }
 
 #[derive(Debug, Default)]
@@ -121,6 +172,15 @@ struct HealthState {
     json: String,
     published: u64,
     dropped: u64,
+}
+
+/// How one job execution ended, classified by the worker before the
+/// table/journal update.
+enum Completion {
+    Done { report: String },
+    Failed { error: String },
+    Cancelled { report: String },
+    DeadlineExceeded { report: String, limit_ms: u64 },
 }
 
 struct Shared {
@@ -133,21 +193,116 @@ struct Shared {
     stop: AtomicBool,
     opts: ExecOptions,
     spool: Option<PathBuf>,
+    journal: Option<Mutex<Journal>>,
+    admission: AdmissionConfig,
+    limiter: Mutex<RateLimiter>,
+    workers: usize,
+    /// Ring producer for daemon-side events (recovery, shedding,
+    /// queued-job cancellation) — workers each own their own segment.
+    events: Mutex<RingProducer>,
 }
 
 impl Shared {
-    fn submit(&self, spec: JobSpec) -> crate::Result<u64> {
+    fn emit(&self, event: &Event) {
+        let mut producer = self.events.lock().expect("event producer poisoned");
+        if producer.wants(event.kind()) {
+            producer.record(event);
+        }
+    }
+
+    /// Append to the journal, holding the table lock: journal order
+    /// matches table order by construction.
+    fn journal_append(&self, transition: &Transition) -> crate::Result<()> {
+        match &self.journal {
+            Some(journal) => journal.lock().expect("journal poisoned").append(transition),
+            None => Ok(()),
+        }
+    }
+
+    fn submit(&self, spec: JobSpec, client: &str) -> crate::Result<u64> {
         let mut table = self.table.lock().expect("job table poisoned");
         if table.draining {
             return Err(ServeError::Draining);
         }
-        table.next_id += 1;
-        let id = table.next_id;
+        // Admission pipeline: rate limit, quota, queue bound, ladder —
+        // every rejection is typed and carries a Retry-After where one
+        // makes sense.
+        if let Some(rate) = self.admission.rate_limit {
+            let mut limiter = self.limiter.lock().expect("rate limiter poisoned");
+            if let Err(retry_after_s) = limiter.charge(client, rate, Instant::now()) {
+                table.rate_limited += 1;
+                return Err(ServeError::RateLimited {
+                    client: client.to_string(),
+                    retry_after_s,
+                });
+            }
+        }
+        if self.admission.client_jobs > 0 {
+            let active = table
+                .jobs
+                .values()
+                .filter(|e| {
+                    e.client == client && matches!(e.state, JobState::Queued | JobState::Running)
+                })
+                .count();
+            if active >= self.admission.client_jobs {
+                table.quota_rejected += 1;
+                return Err(ServeError::QuotaExceeded {
+                    client: client.to_string(),
+                    limit: self.admission.client_jobs,
+                });
+            }
+        }
+        let queued = table.queue.len();
+        if self.admission.max_queue > 0 && queued >= self.admission.max_queue {
+            table.shed += 1;
+            drop(table);
+            self.emit(&Event::JobShed {
+                queued: queued as u64,
+            });
+            return Err(ServeError::TooBusy {
+                queued,
+                retry_after_s: admission::queue_retry_after_s(queued),
+            });
+        }
+        let rung = admission::rung(
+            false,
+            queued,
+            table.running,
+            self.workers,
+            self.admission.max_queue,
+        );
+        if rung == admission::Rung::ShedHeavy
+            && matches!(spec.job, JobKind::Sweep { .. } | JobKind::Chaos { .. })
+        {
+            table.shed += 1;
+            drop(table);
+            self.emit(&Event::JobShed {
+                queued: queued as u64,
+            });
+            return Err(ServeError::TooBusy {
+                queued,
+                retry_after_s: admission::queue_retry_after_s(queued),
+            });
+        }
+        let id = table.next_id + 1;
+        // The write-ahead step: the Submitted record must be durable
+        // before the client sees the ack. A failed append fails the
+        // submission — no id is handed out for a job a crash would lose.
+        self.journal_append(&Transition::Submitted {
+            id,
+            client: client.to_string(),
+            spec: spec.clone().into(),
+        })?;
+        table.next_id = id;
         table.jobs.insert(
             id,
             JobEntry {
                 spec,
                 state: JobState::Queued,
+                client: client.to_string(),
+                cancel: CancelToken::new(),
+                retry: None,
             },
         );
         table.queue.push_back(id);
@@ -171,13 +326,62 @@ impl Shared {
         Ok(pending)
     }
 
+    /// Cancel a job: a queued job resolves to its typed cancelled
+    /// report immediately; a running one has its token fired and
+    /// resolves at the worker's next cooperative epoch checkpoint.
+    fn cancel(&self, id: u64) -> crate::Result<&'static str> {
+        enum Action {
+            Resolve(String),
+            Fire(CancelToken),
+        }
+        let mut table = self.table.lock().expect("job table poisoned");
+        let action = {
+            let entry = table
+                .jobs
+                .get(&id)
+                .ok_or_else(|| ServeError::NotFound(format!("job {id}")))?;
+            match &entry.state {
+                JobState::Queued => Action::Resolve(cancelled_report(&entry.spec)?),
+                JobState::Running => Action::Fire(entry.cancel.clone()),
+                terminal => {
+                    return Err(ServeError::NotCancellable {
+                        id,
+                        state: terminal.name().to_string(),
+                    })
+                }
+            }
+        };
+        match action {
+            Action::Resolve(report) => {
+                let _ = self.journal_append(&Transition::Cancelled { id });
+                table.queue.retain(|&queued| queued != id);
+                table.cancelled += 1;
+                if let Some(entry) = table.jobs.get_mut(&id) {
+                    entry.state = JobState::Cancelled { report };
+                }
+                drop(table);
+                self.emit(&Event::JobCancelled { job: id });
+                self.done_cv.notify_all();
+                Ok("cancelled")
+            }
+            Action::Fire(token) => {
+                token.cancel();
+                // The worker observes the token at the next epoch
+                // checkpoint and journals the terminal transition.
+                Ok("cancelling")
+            }
+        }
+    }
+
     fn wait_done(&self, id: u64) -> crate::Result<String> {
         let mut table = self.table.lock().expect("job table poisoned");
         loop {
             match table.jobs.get(&id) {
                 None => return Err(ServeError::NotFound(format!("job {id}"))),
                 Some(entry) => match &entry.state {
-                    JobState::Done { report } => return Ok(report.clone()),
+                    JobState::Done { report }
+                    | JobState::Cancelled { report }
+                    | JobState::DeadlineExceeded { report } => return Ok(report.clone()),
                     JobState::Failed { error } => return Err(ServeError::Job(error.clone())),
                     JobState::Queued | JobState::Running => {
                         table = self.done_cv.wait(table).expect("job table poisoned");
@@ -188,15 +392,31 @@ impl Shared {
     }
 }
 
-fn claim(shared: &Shared) -> Option<(u64, JobSpec)> {
+/// The canonical bytes for a job cancelled before (or instead of)
+/// producing a result — same path as a worker-observed cancellation, so
+/// queued and running cancels serialize identically.
+fn cancelled_report(spec: &JobSpec) -> crate::Result<String> {
+    jobs::report_json(&JobReport {
+        schema_version: SCHEMA_VERSION,
+        spec: spec.clone(),
+        outcome: JobOutcome::Cancelled,
+    })
+}
+
+fn claim(shared: &Shared) -> Option<(u64, JobSpec, CancelToken)> {
     let mut table = shared.table.lock().expect("job table poisoned");
     loop {
         if let Some(id) = table.queue.pop_front() {
             if let Some(entry) = table.jobs.get_mut(&id) {
                 entry.state = JobState::Running;
                 let spec = entry.spec.clone();
+                let token = entry.cancel.clone();
                 table.running += 1;
-                return Some((id, spec));
+                // Best-effort: losing a Started record degrades a
+                // crash-time `running` job to `queued` in the replay —
+                // it re-executes either way, to identical bytes.
+                let _ = shared.journal_append(&Transition::Started { id });
+                return Some((id, spec, token));
             }
             continue;
         }
@@ -207,31 +427,83 @@ fn claim(shared: &Shared) -> Option<(u64, JobSpec)> {
     }
 }
 
-fn finish(shared: &Shared, id: u64, result: crate::Result<String>) {
+fn finish(shared: &Shared, id: u64, completion: Completion, telemetry: &mut Telemetry) {
+    if matches!(completion, Completion::Failed { .. }) {
+        // Crash-interrupted jobs carry a retry budget: back off and
+        // requeue instead of failing what a healthy daemon would have
+        // finished.
+        let delay = {
+            let mut table = shared.table.lock().expect("job table poisoned");
+            let delay = table
+                .jobs
+                .get_mut(&id)
+                .and_then(|entry| entry.retry.as_mut())
+                .and_then(BackoffSchedule::next_delay);
+            if delay.is_some() {
+                table.running -= 1;
+                if let Some(entry) = table.jobs.get_mut(&id) {
+                    entry.state = JobState::Queued;
+                }
+                table.queue.push_back(id);
+            }
+            delay
+        };
+        if let Some(epochs) = delay {
+            // The schedule's backoff is in abstract epochs; ~10ms per
+            // epoch keeps retries prompt without hammering a fault.
+            std::thread::sleep(Duration::from_millis(u64::from(epochs) * 10));
+            shared.jobs_cv.notify_all();
+            return;
+        }
+    }
     // Spool persistence is best-effort: a full disk must not lose the
-    // in-memory report a waiting client is about to read.
-    if let (Some(dir), Ok(report)) = (&shared.spool, &result) {
+    // in-memory report a waiting client is about to read. Only `done`
+    // reports spool — recovery adopts spooled bytes as completed work.
+    if let (Some(dir), Completion::Done { report }) = (&shared.spool, &completion) {
         let _ = std::fs::write(dir.join(format!("job-{id}.json")), report);
     }
     let mut table = shared.table.lock().expect("job table poisoned");
     table.running -= 1;
-    match result {
-        Ok(report) => {
+    let mut event = None;
+    match completion {
+        Completion::Done { report } => {
             table.completed += 1;
+            let _ = shared.journal_append(&Transition::Done { id });
             if let Some(entry) = table.jobs.get_mut(&id) {
                 entry.state = JobState::Done { report };
             }
         }
-        Err(err) => {
+        Completion::Failed { error } => {
             table.failed += 1;
+            let _ = shared.journal_append(&Transition::Failed {
+                id,
+                error: error.clone(),
+            });
             if let Some(entry) = table.jobs.get_mut(&id) {
-                entry.state = JobState::Failed {
-                    error: err.to_string(),
-                };
+                entry.state = JobState::Failed { error };
             }
+        }
+        Completion::Cancelled { report } => {
+            table.cancelled += 1;
+            let _ = shared.journal_append(&Transition::Cancelled { id });
+            if let Some(entry) = table.jobs.get_mut(&id) {
+                entry.state = JobState::Cancelled { report };
+            }
+            event = Some(Event::JobCancelled { job: id });
+        }
+        Completion::DeadlineExceeded { report, limit_ms } => {
+            table.deadline_exceeded += 1;
+            let _ = shared.journal_append(&Transition::DeadlineExceeded { id, limit_ms });
+            if let Some(entry) = table.jobs.get_mut(&id) {
+                entry.state = JobState::DeadlineExceeded { report };
+            }
+            event = Some(Event::JobDeadlineExceeded { job: id, limit_ms });
         }
     }
     drop(table);
+    if let Some(event) = event {
+        telemetry.emit(&event);
+    }
     shared.done_cv.notify_all();
 }
 
@@ -239,10 +511,31 @@ fn worker_loop(shared: &Arc<Shared>, producer: RingProducer) {
     // One telemetry bundle per worker lifetime: every job this worker
     // runs publishes into its own lock-free ring segment.
     let mut telemetry = Telemetry::new(Box::new(producer), SpanProfile::monotonic());
-    while let Some((id, spec)) = claim(shared) {
-        let result = jobs::execute(&spec, &shared.cache, &shared.opts, &mut telemetry)
-            .and_then(|report| jobs::report_json(&report));
-        finish(shared, id, result);
+    while let Some((id, spec, token)) = claim(shared) {
+        let opts = ExecOptions {
+            jobs: shared.opts.jobs,
+            supervision: shared.opts.supervision.clone(),
+            cancel: Some(token),
+        };
+        let completion = match jobs::execute(&spec, &shared.cache, &opts, &mut telemetry) {
+            Ok(report) => match jobs::report_json(&report) {
+                Err(e) => Completion::Failed {
+                    error: e.to_string(),
+                },
+                Ok(bytes) => match report.outcome {
+                    JobOutcome::Cancelled => Completion::Cancelled { report: bytes },
+                    JobOutcome::DeadlineExceeded { limit_ms } => Completion::DeadlineExceeded {
+                        report: bytes,
+                        limit_ms,
+                    },
+                    _ => Completion::Done { report: bytes },
+                },
+            },
+            Err(e) => Completion::Failed {
+                error: e.to_string(),
+            },
+        };
+        finish(shared, id, completion, &mut telemetry);
     }
 }
 
@@ -320,7 +613,18 @@ fn respond_error(stream: &mut TcpStream, error: &ServeError) {
         error: error.to_string(),
     })
     .unwrap_or_else(|_| "{\"error\":\"unserializable error\"}".to_string());
-    let _ = http::write_response(stream, error.status(), "application/json", body.as_bytes());
+    let extra: Vec<(&str, String)> = error
+        .retry_after()
+        .map(|s| ("Retry-After", s.to_string()))
+        .into_iter()
+        .collect();
+    let _ = http::write_response_with_headers(
+        stream,
+        error.status(),
+        "application/json",
+        &extra,
+        body.as_bytes(),
+    );
 }
 
 fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
@@ -350,6 +654,9 @@ fn route(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) -> cra
             200,
             &format!("{{\"name\":\"sprint-serve\",\"schema_version\":{SCHEMA_VERSION}}}"),
         ),
+        ("POST", path) if path.starts_with("/v1/jobs/") && path.ends_with("/cancel") => {
+            handle_cancel(shared, stream, path)
+        }
         ("GET", path) if path.starts_with("/v1/jobs/") => handle_job(shared, stream, path),
         (method, path) => Err(ServeError::NotFound(format!("{method} {path}"))),
     }
@@ -360,9 +667,19 @@ fn write_json(stream: &mut TcpStream, status: u16, body: &str) -> crate::Result<
         .map_err(ServeError::io("writing response"))
 }
 
+/// The submitting client's identity: the `x-api-key` header, or the
+/// shared `anonymous` bucket without one.
+fn client_key(request: &Request) -> &str {
+    request
+        .headers
+        .iter()
+        .find(|(name, _)| name == "x-api-key")
+        .map_or("anonymous", |(_, value)| value.as_str())
+}
+
 fn handle_submit(shared: &Shared, stream: &mut TcpStream, request: &Request) -> crate::Result<()> {
     let spec = JobSpec::parse_json(request.body_text()?)?;
-    let id = shared.submit(spec)?;
+    let id = shared.submit(spec, client_key(request))?;
     if request.query_flag("wait") {
         let report = shared.wait_done(id)?;
         write_json(stream, 200, &report)
@@ -373,6 +690,21 @@ fn handle_submit(shared: &Shared, stream: &mut TcpStream, request: &Request) -> 
             &format!("{{\"id\":{id},\"status\":\"queued\"}}"),
         )
     }
+}
+
+fn handle_cancel(shared: &Shared, stream: &mut TcpStream, path: &str) -> crate::Result<()> {
+    let id_text = path
+        .trim_start_matches("/v1/jobs/")
+        .trim_end_matches("/cancel");
+    let id: u64 = id_text
+        .parse()
+        .map_err(|_| ServeError::BadRequest(format!("bad job id `{id_text}`")))?;
+    let status = shared.cancel(id)?;
+    write_json(
+        stream,
+        202,
+        &format!("{{\"id\":{id},\"status\":\"{status}\"}}"),
+    )
 }
 
 fn handle_list(shared: &Shared, stream: &mut TcpStream) -> crate::Result<()> {
@@ -416,7 +748,9 @@ fn handle_job(shared: &Shared, stream: &mut TcpStream, path: &str) -> crate::Res
         return write_json(stream, 200, &body);
     }
     match &entry.state {
-        JobState::Done { report } => {
+        JobState::Done { report }
+        | JobState::Cancelled { report }
+        | JobState::DeadlineExceeded { report } => {
             let report = report.clone();
             drop(table);
             write_json(stream, 200, &report)
@@ -450,14 +784,31 @@ fn handle_metrics(shared: &Shared, stream: &mut TcpStream) -> crate::Result<()> 
     shared.cache.export_metrics(&mut registry);
     {
         let table = shared.table.lock().expect("job table poisoned");
-        let submitted = registry.counter("serve.jobs.submitted");
-        registry.inc(submitted, table.submitted);
-        let completed = registry.counter("serve.jobs.completed");
-        registry.inc(completed, table.completed);
-        let failed = registry.counter("serve.jobs.failed");
-        registry.inc(failed, table.failed);
+        for (name, value) in [
+            ("serve.jobs.submitted", table.submitted),
+            ("serve.jobs.completed", table.completed),
+            ("serve.jobs.failed", table.failed),
+            ("serve.jobs.cancelled", table.cancelled),
+            ("serve.jobs.deadline_exceeded", table.deadline_exceeded),
+            ("serve.jobs.shed", table.shed),
+            ("serve.jobs.rate_limited", table.rate_limited),
+            ("serve.jobs.quota_rejected", table.quota_rejected),
+            ("serve.jobs.recovered", table.recovered),
+        ] {
+            let counter = registry.counter(name);
+            registry.inc(counter, value);
+        }
         let pending = registry.gauge("serve.jobs.pending");
         registry.set(pending, (table.queue.len() + table.running) as f64);
+        let rung = admission::rung(
+            table.draining,
+            table.queue.len(),
+            table.running,
+            shared.workers,
+            shared.admission.max_queue,
+        );
+        let ladder = registry.gauge("serve.admission.rung");
+        registry.set(ladder, f64::from(rung.level()));
     }
     {
         let health = shared.health.lock().expect("health state poisoned");
@@ -509,17 +860,179 @@ fn handle_drain(shared: &Shared, stream: &mut TcpStream) -> crate::Result<()> {
     )
 }
 
+/// Reports found in the spool directory, keyed by the id embedded in
+/// the `job-{id}.json` filename. Unparseable files are skipped — the
+/// spool is best-effort output, never trusted blindly.
+fn scan_spool(dir: &Path) -> BTreeMap<u64, (JobSpec, String)> {
+    let mut found = BTreeMap::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return found;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(id) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("job-"))
+            .and_then(|n| n.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let Ok(text) = std::fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        let Ok(report) = serde_json::from_str::<JobReport>(&text) else {
+            continue;
+        };
+        found.insert(id, (report.spec, text));
+    }
+    found
+}
+
+/// The outcome of replaying the journal + spool into a fresh job table.
+struct RecoveredTable {
+    table: JobTable,
+    /// Compacted journal state to rewrite before serving.
+    compacted: Vec<Transition>,
+    /// `(job, reexecuted)` pairs to announce on the event ring.
+    announcements: Vec<(u64, bool)>,
+}
+
+/// Fold journal + spool state into the boot-time job table.
+///
+/// - queued jobs re-enqueue as-is;
+/// - crash-time-running jobs re-enqueue with a bounded retry budget;
+/// - done jobs adopt their spooled report, or re-enqueue when the spool
+///   lost it (re-execution reproduces the bytes — reports are a
+///   function of the spec);
+/// - terminal failures/cancellations keep their state;
+/// - spool-only reports (journal compacted away or disabled) are
+///   adopted as done.
+fn recover_table(
+    recovery: journal::Recovery,
+    mut spooled: BTreeMap<u64, (JobSpec, String)>,
+) -> RecoveredTable {
+    let mut table = JobTable::default();
+    let mut compacted = Vec::new();
+    let mut announcements = Vec::new();
+    table.next_id = recovery.max_id;
+    for job in recovery.jobs {
+        let spooled_report = spooled.remove(&job.id).map(|(_, report)| report);
+        table.next_id = table.next_id.max(job.id);
+        table.submitted += 1;
+        table.recovered += 1;
+        compacted.push(Transition::Submitted {
+            id: job.id,
+            client: job.client.clone(),
+            spec: job.spec.clone().into(),
+        });
+        let mut entry = JobEntry {
+            spec: job.spec,
+            state: JobState::Queued,
+            client: job.client,
+            cancel: CancelToken::new(),
+            retry: None,
+        };
+        match (job.state, spooled_report) {
+            // The spool holds the completed report: trust it, skip
+            // re-execution, no matter what the journal's last word was.
+            (RecoveredState::Done | RecoveredState::Interrupted, Some(report)) => {
+                entry.state = JobState::Done { report };
+                table.completed += 1;
+                compacted.push(Transition::Done { id: job.id });
+                announcements.push((job.id, false));
+            }
+            (RecoveredState::Done, None) => {
+                // The report is gone but the spec reproduces it exactly.
+                table.queue.push_back(job.id);
+                announcements.push((job.id, true));
+            }
+            (RecoveredState::Interrupted, None) => {
+                entry.retry = Some(RetryPolicy::default().schedule(job.id));
+                table.queue.push_back(job.id);
+                compacted.push(Transition::Interrupted { id: job.id });
+                announcements.push((job.id, true));
+            }
+            (RecoveredState::Queued, _) => {
+                table.queue.push_back(job.id);
+                announcements.push((job.id, true));
+            }
+            (RecoveredState::Failed { error }, _) => {
+                table.failed += 1;
+                compacted.push(Transition::Failed {
+                    id: job.id,
+                    error: error.clone(),
+                });
+                entry.state = JobState::Failed { error };
+            }
+            (RecoveredState::Cancelled, _) => {
+                table.cancelled += 1;
+                compacted.push(Transition::Cancelled { id: job.id });
+                let report = cancelled_report(&entry.spec)
+                    .unwrap_or_else(|_| "{\"error\":\"unserializable report\"}".into());
+                entry.state = JobState::Cancelled { report };
+            }
+            (RecoveredState::DeadlineExceeded { limit_ms }, _) => {
+                table.deadline_exceeded += 1;
+                compacted.push(Transition::DeadlineExceeded {
+                    id: job.id,
+                    limit_ms,
+                });
+                let report = jobs::report_json(&JobReport {
+                    schema_version: SCHEMA_VERSION,
+                    spec: entry.spec.clone(),
+                    outcome: JobOutcome::DeadlineExceeded { limit_ms },
+                })
+                .unwrap_or_else(|_| "{\"error\":\"unserializable report\"}".into());
+                entry.state = JobState::DeadlineExceeded { report };
+            }
+        }
+        table.jobs.insert(job.id, entry);
+    }
+    // Reports with no journal record at all: adopt them as done work.
+    for (id, (spec, report)) in spooled {
+        table.next_id = table.next_id.max(id);
+        table.submitted += 1;
+        table.completed += 1;
+        table.recovered += 1;
+        compacted.push(Transition::Submitted {
+            id,
+            client: "anonymous".to_string(),
+            spec: spec.clone().into(),
+        });
+        compacted.push(Transition::Done { id });
+        announcements.push((id, false));
+        table.jobs.insert(
+            id,
+            JobEntry {
+                spec,
+                state: JobState::Done { report },
+                client: "anonymous".to_string(),
+                cancel: CancelToken::new(),
+                retry: None,
+            },
+        );
+    }
+    RecoveredTable {
+        table,
+        compacted,
+        announcements,
+    }
+}
+
 /// The daemon constructor.
 pub struct Daemon;
 
 impl Daemon {
-    /// Bind, spawn workers + aggregator + listener, and return a handle.
+    /// Bind, replay the journal and spool into the job table, compact
+    /// the journal, and spawn workers + aggregator + listener.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Io`] when the address cannot be bound or the spool
-    /// directory cannot be created; [`ServeError::Job`] when the event
-    /// log cannot be opened.
+    /// [`ServeError::Io`] when the address cannot be bound, the spool
+    /// directory cannot be created, or the journal cannot be read or
+    /// rewritten; [`ServeError::Job`] when the event log cannot be
+    /// opened or the journal is corrupt mid-file.
     pub fn start(config: &ServeConfig) -> crate::Result<DaemonHandle> {
         let listener = TcpListener::bind(&config.addr)
             .map_err(ServeError::io(format!("binding {}", config.addr)))?;
@@ -539,13 +1052,32 @@ impl Daemon {
             })
             .transpose()?;
 
+        // Recovery: replay the journal, cross-check the spool, compact.
+        let replayed = match &config.journal {
+            Some(path) => {
+                let (transitions, torn) = journal::replay(path)?;
+                journal::recover(&transitions, torn)
+            }
+            None => journal::Recovery::default(),
+        };
+        let spooled = config.spool.as_deref().map(scan_spool).unwrap_or_default();
+        let recovered = recover_table(replayed, spooled);
+        let journal_handle = config
+            .journal
+            .as_ref()
+            .map(|path| Journal::rewrite(path, &recovered.compacted))
+            .transpose()?
+            .map(Mutex::new);
+
         let workers = config.workers.max(1);
         // Per-agent decision firehose stays out of the ring: health
-        // snapshots fold epoch-level events.
+        // snapshots fold epoch-level events. One extra producer segment
+        // carries daemon-side events (recovery, shedding, cancels).
         let ring_config = RingConfig::default().with_min_severity(Severity::Info);
-        let (ring, producers) = EventRing::with_config(workers, &ring_config);
+        let (ring, mut producers) = EventRing::with_config(workers + 1, &ring_config);
+        let daemon_producer = producers.pop().expect("requested producer count");
         let shared = Arc::new(Shared {
-            table: Mutex::new(JobTable::default()),
+            table: Mutex::new(recovered.table),
             jobs_cv: Condvar::new(),
             done_cv: Condvar::new(),
             health: Mutex::new(HealthState::default()),
@@ -555,9 +1087,18 @@ impl Daemon {
             opts: ExecOptions {
                 jobs: config.jobs,
                 supervision: Supervision::default(),
+                cancel: None,
             },
             spool: config.spool.clone(),
+            journal: journal_handle,
+            admission: config.admission,
+            limiter: Mutex::new(RateLimiter::default()),
+            workers,
+            events: Mutex::new(daemon_producer),
         });
+        for (job, reexecuted) in recovered.announcements {
+            shared.emit(&Event::JobRecovered { job, reexecuted });
+        }
 
         let worker_handles: Vec<std::thread::JoinHandle<()>> = producers
             .into_iter()
@@ -610,6 +1151,19 @@ impl DaemonHandle {
     /// double-shutdown error.
     pub fn drain(&self) -> crate::Result<usize> {
         self.shared.drain()
+    }
+
+    /// Cancel a job by id (the programmatic face of
+    /// `POST /v1/jobs/{id}/cancel`). Returns `"cancelled"` for a queued
+    /// job resolved on the spot, `"cancelling"` for a running job whose
+    /// token was fired.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NotFound`] for unknown ids,
+    /// [`ServeError::NotCancellable`] for jobs already terminal.
+    pub fn cancel(&self, id: u64) -> crate::Result<&'static str> {
+        self.shared.cancel(id)
     }
 
     /// Snapshot of the daemon-wide equilibrium cache counters.

@@ -25,6 +25,43 @@ pub enum ServeError {
     /// A job failed while executing (simulation/spec error, stringified
     /// so reports and HTTP bodies can carry it).
     Job(String),
+    /// The request body exceeded the daemon's size bound.
+    PayloadTooLarge {
+        /// Declared or observed size in bytes.
+        bytes: usize,
+        /// The daemon's limit in bytes.
+        limit: usize,
+    },
+    /// Admission control shed the submission: the queue is at capacity
+    /// (or the degradation ladder is rejecting this job class). Carries
+    /// the `Retry-After` hint in seconds.
+    TooBusy {
+        /// Jobs queued when the submission was shed.
+        queued: usize,
+        /// Seconds the client should wait before retrying.
+        retry_after_s: u64,
+    },
+    /// The per-client token bucket is empty.
+    RateLimited {
+        /// The client key (API key header, or `anonymous`).
+        client: String,
+        /// Seconds until the bucket refills one token.
+        retry_after_s: u64,
+    },
+    /// The client is at its concurrent-job quota.
+    QuotaExceeded {
+        /// The client key.
+        client: String,
+        /// The quota that was hit.
+        limit: usize,
+    },
+    /// A cancel was requested for a job already in a terminal state.
+    NotCancellable {
+        /// The job id.
+        id: u64,
+        /// The terminal state the job is in.
+        state: String,
+    },
 }
 
 impl ServeError {
@@ -42,7 +79,24 @@ impl ServeError {
             ServeError::BadRequest(_) => 400,
             ServeError::NotFound(_) => 404,
             ServeError::Draining => 503,
-            ServeError::AlreadyDraining | ServeError::Stopped => 409,
+            ServeError::AlreadyDraining
+            | ServeError::Stopped
+            | ServeError::NotCancellable { .. } => 409,
+            ServeError::PayloadTooLarge { .. } => 413,
+            ServeError::TooBusy { .. }
+            | ServeError::RateLimited { .. }
+            | ServeError::QuotaExceeded { .. } => 429,
+        }
+    }
+
+    /// The `Retry-After` hint (seconds) for shed responses, if any.
+    #[must_use]
+    pub fn retry_after(&self) -> Option<u64> {
+        match self {
+            ServeError::TooBusy { retry_after_s, .. }
+            | ServeError::RateLimited { retry_after_s, .. } => Some((*retry_after_s).max(1)),
+            ServeError::QuotaExceeded { .. } => Some(1),
+            _ => None,
         }
     }
 }
@@ -57,6 +111,35 @@ impl std::fmt::Display for ServeError {
             ServeError::AlreadyDraining => write!(f, "drain already in progress"),
             ServeError::Stopped => write!(f, "daemon has stopped"),
             ServeError::Job(msg) => write!(f, "job failed: {msg}"),
+            ServeError::PayloadTooLarge { bytes, limit } => {
+                write!(
+                    f,
+                    "request body of {bytes} bytes exceeds the {limit}-byte limit"
+                )
+            }
+            ServeError::TooBusy {
+                queued,
+                retry_after_s,
+            } => write!(
+                f,
+                "queue full ({queued} jobs pending); retry in {retry_after_s}s"
+            ),
+            ServeError::RateLimited {
+                client,
+                retry_after_s,
+            } => write!(
+                f,
+                "client `{client}` is rate-limited; retry in {retry_after_s}s"
+            ),
+            ServeError::QuotaExceeded { client, limit } => {
+                write!(
+                    f,
+                    "client `{client}` is at its quota of {limit} active jobs"
+                )
+            }
+            ServeError::NotCancellable { id, state } => {
+                write!(f, "job {id} is already {state}; nothing to cancel")
+            }
         }
     }
 }
@@ -81,6 +164,73 @@ mod tests {
         assert_eq!(ServeError::Draining.status(), 503);
         assert_eq!(ServeError::AlreadyDraining.status(), 409);
         assert_eq!(ServeError::Job("x".into()).status(), 500);
+        assert_eq!(
+            ServeError::PayloadTooLarge { bytes: 9, limit: 8 }.status(),
+            413
+        );
+        assert_eq!(
+            ServeError::TooBusy {
+                queued: 4,
+                retry_after_s: 2
+            }
+            .status(),
+            429
+        );
+        assert_eq!(
+            ServeError::RateLimited {
+                client: "k".into(),
+                retry_after_s: 1
+            }
+            .status(),
+            429
+        );
+        assert_eq!(
+            ServeError::QuotaExceeded {
+                client: "k".into(),
+                limit: 2
+            }
+            .status(),
+            429
+        );
+        assert_eq!(
+            ServeError::NotCancellable {
+                id: 1,
+                state: "done".into()
+            }
+            .status(),
+            409
+        );
+    }
+
+    #[test]
+    fn retry_after_is_present_exactly_on_shed_responses() {
+        assert_eq!(
+            ServeError::TooBusy {
+                queued: 4,
+                retry_after_s: 2
+            }
+            .retry_after(),
+            Some(2)
+        );
+        assert_eq!(
+            ServeError::RateLimited {
+                client: "k".into(),
+                retry_after_s: 0
+            }
+            .retry_after(),
+            Some(1),
+            "hint is clamped to at least one second"
+        );
+        assert_eq!(
+            ServeError::QuotaExceeded {
+                client: "k".into(),
+                limit: 2
+            }
+            .retry_after(),
+            Some(1)
+        );
+        assert_eq!(ServeError::Draining.retry_after(), None);
+        assert_eq!(ServeError::BadRequest("x".into()).retry_after(), None);
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Child-process harness for kill-restart chaos testing.
+//!
+//! The crash-safety claims in [`crate::journal`] are only worth
+//! anything if they hold against a real `SIGKILL` — no destructors, no
+//! flushes, no drain. This module spawns a daemon as a separate OS
+//! process, scrapes the `SERVE_ADDR=<addr>` line it prints on stdout,
+//! and kills it ungracefully on request. Both `sprint chaos
+//! --serve-restart` and the serve crate's recovery integration tests
+//! drive restarts through it.
+
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use crate::error::ServeError;
+
+/// The stdout line a harness-friendly daemon prints once bound:
+/// `SERVE_ADDR=127.0.0.1:PORT`.
+pub const ADDR_LINE_PREFIX: &str = "SERVE_ADDR=";
+
+/// Format the announcement line for a bound address (daemon side).
+#[must_use]
+pub fn addr_line(addr: &std::net::SocketAddr) -> String {
+    format!("{ADDR_LINE_PREFIX}{addr}")
+}
+
+/// A daemon running as a child process, killable without ceremony.
+#[derive(Debug)]
+pub struct ServeChild {
+    child: Child,
+    /// The address the child announced.
+    pub addr: String,
+}
+
+impl ServeChild {
+    /// Spawn `program` with `args` and extra environment variables,
+    /// then block until it announces its address (or exits without
+    /// doing so).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the child cannot be spawned,
+    /// [`ServeError::Job`] when it exits or floods stdout without an
+    /// address line.
+    pub fn spawn(
+        program: &Path,
+        args: &[&str],
+        envs: &[(&str, &str)],
+    ) -> crate::Result<ServeChild> {
+        let mut command = Command::new(program);
+        command
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        for (name, value) in envs {
+            command.env(name, value);
+        }
+        let mut child = command
+            .spawn()
+            .map_err(ServeError::io(format!("spawning {}", program.display())))?;
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| ServeError::Job("child stdout was not piped".into()))?;
+        let mut reader = BufReader::new(stdout);
+        let mut addr = None;
+        // Bounded scan: a daemon announces within its first lines; a
+        // runaway child must not wedge the harness.
+        for _ in 0..256 {
+            let mut line = String::new();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(ServeError::io("reading child stdout"))?;
+            if n == 0 {
+                break;
+            }
+            // Find the marker anywhere in the line: a libtest child
+            // under `--nocapture` prints `test foo ... ` without a
+            // newline before the announcement lands on the same line.
+            if let Some(at) = line.find(ADDR_LINE_PREFIX) {
+                addr = Some(line[at + ADDR_LINE_PREFIX.len()..].trim().to_string());
+                break;
+            }
+        }
+        let Some(addr) = addr else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(ServeError::Job(
+                "child never announced SERVE_ADDR on stdout".into(),
+            ));
+        };
+        // Keep draining stdout so the child never blocks on a full pipe.
+        std::thread::spawn(move || {
+            let _ = std::io::copy(&mut reader, &mut std::io::sink());
+        });
+        Ok(ServeChild { child, addr })
+    }
+
+    /// Kill the child ungracefully (`SIGKILL` on unix) and reap it.
+    /// This is the point: no drain, no flush, no destructors — exactly
+    /// the crash the journal must survive.
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Whether the child is still running.
+    pub fn alive(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(None))
+    }
+}
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Poll `GET path` on `addr` until it answers with `status`, or give up
+/// after `timeout`.
+///
+/// # Errors
+///
+/// [`ServeError::Job`] when the deadline passes without a match.
+pub fn wait_for_status(
+    addr: &str,
+    path: &str,
+    status: u16,
+    timeout: Duration,
+) -> crate::Result<String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Ok((got, body)) = crate::http::client::request(addr, "GET", path, None) {
+            if got == status {
+                return Ok(body);
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(ServeError::Job(format!(
+                "timed out waiting for {status} from {path} on {addr}"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Poll a job's status endpoint until it reaches `want`
+/// (`done`/`failed`/`cancelled`/...), or give up after `timeout`.
+///
+/// # Errors
+///
+/// [`ServeError::Job`] when the deadline passes first.
+pub fn wait_for_job_state(addr: &str, id: u64, want: &str, timeout: Duration) -> crate::Result<()> {
+    let needle = format!("\"status\":\"{want}\"");
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Ok((200, body)) =
+            crate::http::client::request(addr, "GET", &format!("/v1/jobs/{id}"), None)
+        {
+            if body.contains(&needle) {
+                return Ok(());
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(ServeError::Job(format!(
+                "timed out waiting for job {id} to reach `{want}` on {addr}"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

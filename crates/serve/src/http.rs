@@ -62,17 +62,50 @@ fn parse_query(raw: &str) -> Vec<(String, String)> {
         .collect()
 }
 
+/// Read one `\n`-terminated line without trusting the peer: bytes are
+/// consumed through the `BufRead` buffer and the line is abandoned with
+/// a typed 400 the moment it exceeds `limit`, so a client streaming an
+/// endless header line cannot grow an unbounded `String` (the plain
+/// `read_line` has no such bound).
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    limit: usize,
+    what: &'static str,
+) -> crate::Result<String> {
+    let mut line = Vec::new();
+    loop {
+        let (consumed, done) = {
+            let buf = reader.fill_buf().map_err(ServeError::io(what))?;
+            if buf.is_empty() {
+                (0, true)
+            } else if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                line.extend_from_slice(&buf[..=pos]);
+                (pos + 1, true)
+            } else {
+                line.extend_from_slice(buf);
+                (buf.len(), false)
+            }
+        };
+        reader.consume(consumed);
+        if line.len() > limit {
+            return Err(ServeError::BadRequest("request head too large".into()));
+        }
+        if done {
+            break;
+        }
+    }
+    String::from_utf8(line).map_err(|_| ServeError::BadRequest(format!("{what}: not valid UTF-8")))
+}
+
 /// Read and parse one request from the stream.
 ///
 /// # Errors
 ///
-/// [`ServeError::BadRequest`] for malformed or oversized requests,
+/// [`ServeError::BadRequest`] for malformed or oversized heads,
+/// [`ServeError::PayloadTooLarge`] for oversized bodies,
 /// [`ServeError::Io`] for transport failures.
 pub fn read_request(reader: &mut BufReader<TcpStream>) -> crate::Result<Request> {
-    let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(ServeError::io("reading request line"))?;
+    let line = read_line_bounded(reader, MAX_HEAD_BYTES, "reading request line")?;
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -89,13 +122,12 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> crate::Result<Request>
     let mut headers = Vec::new();
     let mut head_bytes = line.len();
     loop {
-        let mut header = String::new();
-        reader
-            .read_line(&mut header)
-            .map_err(ServeError::io("reading header"))?;
+        let budget = MAX_HEAD_BYTES.saturating_sub(head_bytes);
+        let header = read_line_bounded(reader, budget, "reading header")?;
         head_bytes += header.len();
-        if head_bytes > MAX_HEAD_BYTES {
-            return Err(ServeError::BadRequest("request head too large".into()));
+        if header.is_empty() {
+            // EOF before the blank line that ends the head.
+            return Err(ServeError::BadRequest("truncated request head".into()));
         }
         let header = header.trim_end();
         if header.is_empty() {
@@ -117,7 +149,10 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> crate::Result<Request>
         .transpose()?
         .unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
-        return Err(ServeError::BadRequest("request body too large".into()));
+        return Err(ServeError::PayloadTooLarge {
+            bytes: content_length,
+            limit: MAX_BODY_BYTES,
+        });
     }
     let mut body = vec![0u8; content_length];
     reader
@@ -140,6 +175,8 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -157,12 +194,32 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
+    write_response_with_headers(stream, status, content_type, &[], body)
+}
+
+/// [`write_response`] with extra response headers (e.g. `Retry-After`
+/// on a 429).
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_response_with_headers(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         reason(status),
         body.len()
     )?;
+    for (name, value) in extra {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    write!(stream, "Connection: close\r\n\r\n")?;
     stream.write_all(body)?;
     stream.flush()
 }
@@ -210,15 +267,42 @@ pub mod client {
         path: &str,
         body: Option<&str>,
     ) -> crate::Result<(u16, String)> {
+        let (status, _headers, body) = request_full(addr, method, path, &[], body)?;
+        Ok((status, body))
+    }
+
+    /// A parsed response: status code, lowercased header pairs, body.
+    pub type FullResponse = (u16, Vec<(String, String)>, String);
+
+    /// Issue one request with extra request headers and return
+    /// `(status, response-headers, body)`. Header names come back
+    /// lowercased.
+    ///
+    /// # Errors
+    ///
+    /// As [`request`].
+    pub fn request_full(
+        addr: &str,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> crate::Result<FullResponse> {
         let mut stream =
             TcpStream::connect(addr).map_err(ServeError::io(format!("connecting to {addr}")))?;
         let payload = body.unwrap_or("");
-        write!(
-            stream,
-            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n",
             payload.len()
-        )
-        .map_err(ServeError::io("writing request"))?;
+        );
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("Connection: close\r\n\r\n");
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(payload.as_bytes()))
+            .map_err(ServeError::io("writing request"))?;
         stream.flush().map_err(ServeError::io("flushing request"))?;
 
         let mut reader = BufReader::new(stream);
@@ -233,20 +317,25 @@ pub mod client {
             .ok_or_else(|| {
                 ServeError::BadRequest(format!("unparseable status line `{status_line}`"))
             })?;
+        let mut response_headers = Vec::new();
         loop {
             let mut header = String::new();
             reader
                 .read_line(&mut header)
                 .map_err(ServeError::io("reading response header"))?;
-            if header.trim_end().is_empty() {
+            let header = header.trim_end();
+            if header.is_empty() {
                 break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                response_headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
             }
         }
         let mut body = String::new();
         reader
             .read_to_string(&mut body)
             .map_err(ServeError::io("reading response body"))?;
-        Ok((status, body))
+        Ok((status, response_headers, body))
     }
 
     /// Connect to an SSE endpoint and collect up to `frames` `data:`
@@ -333,6 +422,62 @@ mod tests {
         assert!(roundtrip("\r\n").is_err());
         assert!(roundtrip("GET\r\n\r\n").is_err());
         assert!(roundtrip("GET / HTTP/1.1\r\nContent-Length: zap\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn oversized_request_line_is_a_typed_400_not_a_hang() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_HEAD_BYTES + 10));
+        let err = roundtrip(&raw).unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(_)), "{err}");
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn oversized_header_block_is_a_typed_400() {
+        let raw = format!(
+            "GET / HTTP/1.1\r\nx-big: {}\r\n\r\n",
+            "b".repeat(MAX_HEAD_BYTES)
+        );
+        let err = roundtrip(&raw).unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(_)), "{err}");
+    }
+
+    #[test]
+    fn oversized_declared_body_is_a_typed_413() {
+        let raw = format!(
+            "POST /v1/jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = roundtrip(&raw).unwrap_err();
+        assert!(matches!(err, ServeError::PayloadTooLarge { .. }), "{err}");
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn truncated_head_is_a_typed_400() {
+        // Connection closes before the blank line that ends the head.
+        let err = roundtrip("GET / HTTP/1.1\r\nHost: x\r\n").unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(_)), "{err}");
+    }
+
+    #[test]
+    fn extra_headers_ride_the_response() {
+        let mut out = Vec::new();
+        write_response_with_headers(
+            &mut out,
+            429,
+            "application/json",
+            &[("Retry-After", "2".to_string())],
+            b"{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(reason(413) == "Payload Too Large");
     }
 
     #[test]

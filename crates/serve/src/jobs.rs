@@ -17,7 +17,7 @@
 
 use sprint_game::EquilibriumCache;
 use sprint_sim::control::{ControlConfig, DetectorConfig};
-use sprint_sim::engine::{self, SimConfig};
+use sprint_sim::engine::{self, CancelToken, Interrupt, RunGuard, SimConfig};
 use sprint_sim::faults::FaultPlan;
 use sprint_sim::policy::{PolicyKind, SprintPolicy};
 use sprint_sim::runner::{self, ChaosReport, ResilienceReport};
@@ -31,10 +31,17 @@ use crate::error::ServeError;
 
 /// The current wire-format version of [`JobSpec`] and [`JobReport`].
 ///
-/// Specs without a `schema_version` field parse as version 1 (the
-/// back-compat default); versions above this constant are rejected so a
-/// newer client cannot silently submit fields an older daemon ignores.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Version history:
+/// - **1** — the original unified spec (`schema_version` + `job`).
+/// - **2** — adds the optional per-job `deadline_ms` wall-clock budget.
+///
+/// Specs without a `schema_version` field parse as the current version
+/// (the field was optional from day one); explicit versions `1..=2` are
+/// accepted and **up-converted** to the current version (`deadline_ms`
+/// defaults to none), so reports always echo a current-version spec.
+/// Versions above this constant are rejected so a newer client cannot
+/// silently submit fields an older daemon ignores.
+pub const SCHEMA_VERSION: u32 = 2;
 
 fn job_err<E: std::error::Error>(e: E) -> ServeError {
     ServeError::Job(e.to_string())
@@ -168,17 +175,40 @@ pub enum JobKind {
 /// The canonical, versioned job submission — the one type every CLI
 /// subcommand builds from its flags and every HTTP client posts to
 /// `/v1/jobs`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// Wire-format version (see [`SCHEMA_VERSION`]).
     pub schema_version: u32,
     /// The work to run.
     pub job: JobKind,
+    /// Wall-clock budget for the job's execution, in milliseconds
+    /// (schema v2). The clock starts when a worker picks the job up,
+    /// not at submission; the run is abandoned at the next cooperative
+    /// epoch checkpoint past the budget with a typed
+    /// [`JobOutcome::DeadlineExceeded`]. `None` means unbounded.
+    pub deadline_ms: Option<u64>,
 }
 
-// Hand-written so `schema_version` defaults to 1 for specs written
-// before versioning existed, and unsupported versions fail loudly
-// instead of parsing to something the executor half-understands.
+// Hand-written so an absent `deadline_ms` stays absent on the wire:
+// v1-shaped specs keep their exact v1 bytes, which the report
+// byte-identity gates pin.
+impl serde::Serialize for JobSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut obj = vec![
+            ("schema_version".to_string(), self.schema_version.to_value()),
+            ("job".to_string(), self.job.to_value()),
+        ];
+        if let Some(ms) = self.deadline_ms {
+            obj.push(("deadline_ms".to_string(), ms.to_value()));
+        }
+        serde::Value::Object(obj)
+    }
+}
+
+// Hand-written so `schema_version` defaults for specs written before
+// versioning existed, old versions up-convert, and unsupported versions
+// fail loudly instead of parsing to something the executor
+// half-understands.
 impl serde::Deserialize for JobSpec {
     fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
         let Some(obj) = value.as_object() else {
@@ -191,8 +221,12 @@ impl serde::Deserialize for JobSpec {
             )));
         }
         Ok(JobSpec {
-            schema_version,
+            // Accepted old versions are up-converted on entry: the rest
+            // of the system (executor, reports, journal) only ever sees
+            // current-version specs.
+            schema_version: SCHEMA_VERSION,
             job: de_required(obj, "job", "JobSpec")?,
+            deadline_ms: de_or(obj, "deadline_ms", None)?,
         })
     }
 }
@@ -204,7 +238,15 @@ impl JobSpec {
         JobSpec {
             schema_version: SCHEMA_VERSION,
             job,
+            deadline_ms: None,
         }
+    }
+
+    /// This spec with a wall-clock execution budget.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
     }
 
     /// Parse a job spec from JSON text.
@@ -297,6 +339,16 @@ pub enum JobOutcome {
         /// The mode-tagged chaos report.
         report: ChaosOutcome,
     },
+    /// The job was cancelled (`POST /v1/jobs/{id}/cancel`) before it
+    /// produced a result; execution stopped at the next cooperative
+    /// epoch checkpoint.
+    Cancelled,
+    /// The job ran past its [`JobSpec::deadline_ms`] budget and was
+    /// abandoned at the next cooperative epoch checkpoint.
+    DeadlineExceeded {
+        /// The budget that was exceeded, in milliseconds.
+        limit_ms: u64,
+    },
 }
 
 /// The canonical job result: the spec that produced it (full
@@ -316,7 +368,7 @@ pub struct JobReport {
 
 /// Host/runtime execution knobs: these shape how fast a job runs, never
 /// what its report says, so they live outside the [`JobSpec`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Worker fan-out (engine threads for runs, pool size for sweeps).
     /// `0` sizes to the available cores. Reports are byte-identical at
@@ -324,6 +376,11 @@ pub struct ExecOptions {
     pub jobs: usize,
     /// Sweep trial supervision (deadline, retries).
     pub supervision: Supervision,
+    /// Shared cancellation token for this execution, checked at the
+    /// engine's epoch checkpoints. The daemon passes each job's token
+    /// here so `POST /v1/jobs/{id}/cancel` can reach a run in flight;
+    /// [`execute`] also arms it with the spec's `deadline_ms`.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ExecOptions {
@@ -331,6 +388,7 @@ impl Default for ExecOptions {
         ExecOptions {
             jobs: 1,
             supervision: Supervision::default(),
+            cancel: None,
         }
     }
 }
@@ -362,16 +420,53 @@ pub fn execute(
     opts: &ExecOptions,
     telemetry: &mut Telemetry,
 ) -> crate::Result<JobReport> {
-    let outcome = match &spec.job {
-        JobKind::Run { spec: run } => JobOutcome::Run {
-            report: execute_run(run, cache, opts, telemetry)?,
-        },
-        JobKind::Sweep { spec: sweep } => JobOutcome::Sweep {
-            report: run_sweep_shared(sweep, opts.jobs, opts.supervision, cache, telemetry)
-                .map_err(job_err)?,
-        },
-        JobKind::Chaos { spec: chaos } => JobOutcome::Chaos {
-            report: execute_chaos(chaos, opts, telemetry)?,
+    // One token carries both interrupt sources: the daemon's cancel
+    // endpoint (a token it passed in) and the spec's own deadline_ms
+    // (armed here, so the clock starts at execution, not submission).
+    let token = match (&opts.cancel, spec.deadline_ms) {
+        (Some(t), limit) => {
+            if let Some(ms) = limit {
+                t.arm_deadline_ms(ms);
+            }
+            Some(t.clone())
+        }
+        (None, Some(ms)) => {
+            let t = CancelToken::new();
+            t.arm_deadline_ms(ms);
+            Some(t)
+        }
+        (None, None) => None,
+    };
+    let mut supervision = opts.supervision.clone();
+    supervision.cancel = token.clone();
+    let result = match &spec.job {
+        JobKind::Run { spec: run } => execute_run(run, cache, opts, token.as_ref(), telemetry)
+            .map(|report| JobOutcome::Run { report }),
+        JobKind::Sweep { spec: sweep } => {
+            run_sweep_shared(sweep, opts.jobs, supervision, cache, telemetry)
+                .map_err(job_err)
+                .map(|report| JobOutcome::Sweep { report })
+        }
+        JobKind::Chaos { spec: chaos } => {
+            // Chaos suites run whole sub-simulations without a guard
+            // thread-through; cancellation is only effective while the
+            // job is queued or between this check and the suite start.
+            if let Some(t) = &token {
+                t.check("chaos job").map_err(job_err)?;
+            }
+            execute_chaos(chaos, opts, telemetry).map(|report| JobOutcome::Chaos { report })
+        }
+    };
+    let outcome = match result {
+        Ok(outcome) => outcome,
+        Err(e) => match token.as_ref().and_then(CancelToken::fired) {
+            // The run errored *because* the token fired: surface the
+            // typed outcome instead of a stringly failure.
+            Some(Interrupt::Cancelled) => JobOutcome::Cancelled,
+            Some(Interrupt::DeadlineExceeded { limit_ms }) => {
+                JobOutcome::DeadlineExceeded { limit_ms }
+            }
+            None => return Err(e),
         },
     };
     Ok(JobReport {
@@ -385,6 +480,7 @@ fn execute_run(
     run: &RunSpec,
     cache: &EquilibriumCache,
     opts: &ExecOptions,
+    cancel: Option<&CancelToken>,
     telemetry: &mut Telemetry,
 ) -> crate::Result<RunSummary> {
     let scenario = run.scenario()?;
@@ -409,10 +505,15 @@ fn execute_run(
         .population()
         .spawn_streams(run.seed)
         .map_err(job_err)?;
-    let result = engine::run_jobs(
+    let guard = RunGuard {
+        deadline: None,
+        cancel: cancel.cloned(),
+    };
+    let result = engine::run_guarded(
         &config,
         &mut streams,
         policy.as_mut(),
+        &guard,
         effective_jobs(opts.jobs),
         telemetry,
     )
@@ -552,6 +653,67 @@ mod tests {
             panic!("legacy sweep spec must wrap as JobKind::Sweep");
         };
         assert_eq!(*sweep, SweepSpec::example());
+    }
+
+    #[test]
+    fn v1_specs_up_convert_to_the_current_version() {
+        let v1 = r#"{"schema_version":1,"job":{"Run":{"spec":{"benchmark":"svm","policy":"Greedy","agents":5,"epochs":5,"seed":1}}}}"#;
+        let spec = JobSpec::parse_json(v1).unwrap();
+        assert_eq!(spec.schema_version, SCHEMA_VERSION);
+        assert_eq!(spec.deadline_ms, None);
+    }
+
+    #[test]
+    fn deadline_ms_round_trips_and_stays_absent_when_none() {
+        let bare = serde_json::to_string(&small_run()).unwrap();
+        assert!(
+            !bare.contains("deadline_ms"),
+            "absent deadline must not appear on the wire: {bare}"
+        );
+        let spec = small_run().with_deadline_ms(250);
+        let text = serde_json::to_string(&spec).unwrap();
+        assert!(text.contains("\"deadline_ms\":250"), "{text}");
+        let back: JobSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn pre_cancelled_token_yields_typed_cancelled_outcome() {
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = ExecOptions {
+            cancel: Some(token),
+            ..ExecOptions::default()
+        };
+        let report = execute(
+            &small_run(),
+            &EquilibriumCache::default(),
+            &opts,
+            &mut Telemetry::noop(),
+        )
+        .unwrap();
+        assert_eq!(report.outcome, JobOutcome::Cancelled);
+        // The typed outcome serializes and round-trips like any other.
+        let json = report_json(&report).unwrap();
+        let back: JobReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn expired_deadline_yields_typed_outcome() {
+        let spec = small_run().with_deadline_ms(0);
+        let report = execute(
+            &spec,
+            &EquilibriumCache::default(),
+            &ExecOptions::default(),
+            &mut Telemetry::noop(),
+        )
+        .unwrap();
+        assert_eq!(
+            report.outcome,
+            JobOutcome::DeadlineExceeded { limit_ms: 0 },
+            "a 0ms budget must trip the first cooperative checkpoint"
+        );
     }
 
     #[test]

@@ -25,11 +25,15 @@
 //! [`JobReport`]: jobs::JobReport
 //! [`EquilibriumCache`]: sprint_game::EquilibriumCache
 
+pub mod admission;
 pub mod daemon;
 pub mod error;
+pub mod harness;
 pub mod http;
 pub mod jobs;
+pub mod journal;
 
+pub use admission::AdmissionConfig;
 pub use daemon::{Daemon, DaemonHandle, ServeConfig};
 pub use error::ServeError;
 pub use jobs::{

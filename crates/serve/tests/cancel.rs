@@ -1,0 +1,190 @@
+//! Cancellation, deadline, and drain semantics over the HTTP API.
+
+use std::time::{Duration, Instant};
+
+use sprint_serve::harness;
+use sprint_serve::http::client;
+use sprint_serve::jobs::{JobKind, JobSpec, RunSpec};
+use sprint_serve::{Daemon, DaemonHandle, ServeConfig};
+use sprint_sim::PolicyKind;
+
+/// A job that runs for many wall-clock seconds if nobody stops it —
+/// Greedy needs no equilibrium solve, so the worker is inside the
+/// engine loop almost immediately.
+fn blocker_spec(seed: u64) -> JobSpec {
+    JobSpec::new(JobKind::Run {
+        spec: RunSpec {
+            benchmark: "decision".to_string(),
+            policy: PolicyKind::Greedy,
+            agents: 20,
+            epochs: 20_000_000,
+            seed,
+        },
+    })
+}
+
+fn quick_spec(seed: u64) -> JobSpec {
+    JobSpec::new(JobKind::Run {
+        spec: RunSpec {
+            benchmark: "decision".to_string(),
+            policy: PolicyKind::Greedy,
+            agents: 10,
+            epochs: 50,
+            seed,
+        },
+    })
+}
+
+fn start_daemon() -> DaemonHandle {
+    Daemon::start(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("daemon boots")
+}
+
+fn submit(addr: &str, spec: &JobSpec) -> u64 {
+    let body = serde_json::to_string(spec).unwrap();
+    let (status, ack) = client::request(addr, "POST", "/v1/jobs", Some(&body)).unwrap();
+    assert_eq!(status, 202, "{ack}");
+    ack.split("\"id\":")
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|digits| digits.trim().parse().ok())
+        .unwrap_or_else(|| panic!("unparseable ack: {ack}"))
+}
+
+fn cancel(addr: &str, id: u64) -> (u16, String) {
+    client::request(addr, "POST", &format!("/v1/jobs/{id}/cancel"), None).unwrap()
+}
+
+#[test]
+fn cancelling_a_running_job_resolves_at_the_next_checkpoint() {
+    let handle = start_daemon();
+    let addr = handle.addr().to_string();
+    let id = submit(&addr, &blocker_spec(1));
+    harness::wait_for_job_state(&addr, id, "running", Duration::from_secs(30)).unwrap();
+
+    let asked = Instant::now();
+    let (status, body) = cancel(&addr, id);
+    assert_eq!(status, 202, "{body}");
+    assert!(body.contains("\"cancelling\""), "{body}");
+    harness::wait_for_job_state(&addr, id, "cancelled", Duration::from_secs(10))
+        .expect("running job resolves cancelled at an epoch checkpoint");
+    // The engine checks the token every 64 epochs — milliseconds of
+    // work. Anything past a few seconds means the checkpoint is broken.
+    assert!(
+        asked.elapsed() < Duration::from_secs(5),
+        "cancel took {:?}",
+        asked.elapsed()
+    );
+
+    let (status, report) =
+        client::request(&addr, "GET", &format!("/v1/jobs/{id}/report"), None).unwrap();
+    assert_eq!(status, 200);
+    assert!(report.contains("\"Cancelled\""), "{report}");
+
+    // Terminal jobs are not cancellable: the typed 409.
+    let (status, body) = cancel(&addr, id);
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("already cancelled"), "{body}");
+    // Unknown jobs are 404.
+    let (status, _) = cancel(&addr, 999);
+    assert_eq!(status, 404);
+
+    let (_, metrics) = client::request(&addr, "GET", "/v1/metrics", None).unwrap();
+    assert!(
+        metrics.contains("serve_jobs_cancelled_total 1"),
+        "{metrics}"
+    );
+    handle.drain().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn cancelling_a_queued_job_resolves_immediately() {
+    let handle = start_daemon();
+    let addr = handle.addr().to_string();
+    let blocker = submit(&addr, &blocker_spec(2));
+    harness::wait_for_job_state(&addr, blocker, "running", Duration::from_secs(30)).unwrap();
+    let queued = submit(&addr, &quick_spec(3));
+
+    let (status, body) = cancel(&addr, queued);
+    assert_eq!(status, 202, "{body}");
+    assert!(body.contains("\"cancelled\""), "{body}");
+    harness::wait_for_job_state(&addr, queued, "cancelled", Duration::from_secs(5)).unwrap();
+    let (status, report) =
+        client::request(&addr, "GET", &format!("/v1/jobs/{queued}/report"), None).unwrap();
+    assert_eq!(status, 200);
+    assert!(report.contains("\"Cancelled\""), "{report}");
+
+    let (status, _) = cancel(&addr, blocker);
+    assert_eq!(status, 202);
+    harness::wait_for_job_state(&addr, blocker, "cancelled", Duration::from_secs(10)).unwrap();
+    handle.drain().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn deadline_exceeded_is_typed_and_counted() {
+    let handle = start_daemon();
+    let addr = handle.addr().to_string();
+    // The deadline clock starts when a worker picks the job up, so an
+    // already-expired budget resolves deterministically at the first
+    // cooperative checkpoint.
+    let id = submit(&addr, &blocker_spec(4).with_deadline_ms(0));
+    harness::wait_for_job_state(&addr, id, "deadline_exceeded", Duration::from_secs(30)).unwrap();
+    let (status, report) =
+        client::request(&addr, "GET", &format!("/v1/jobs/{id}/report"), None).unwrap();
+    assert_eq!(status, 200);
+    assert!(report.contains("\"DeadlineExceeded\""), "{report}");
+    assert!(report.contains("\"limit_ms\": 0"), "{report}");
+
+    let (status, body) = cancel(&addr, id);
+    assert_eq!(status, 409, "{body}");
+    let (_, metrics) = client::request(&addr, "GET", "/v1/metrics", None).unwrap();
+    assert!(
+        metrics.contains("serve_jobs_deadline_exceeded_total 1"),
+        "{metrics}"
+    );
+    handle.drain().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn drain_completes_queued_jobs_and_cancel_still_works() {
+    let handle = start_daemon();
+    let addr = handle.addr().to_string();
+    let blocker = submit(&addr, &blocker_spec(5));
+    harness::wait_for_job_state(&addr, blocker, "running", Duration::from_secs(30)).unwrap();
+    let survives_drain = submit(&addr, &quick_spec(6));
+    let cancelled_in_drain = submit(&addr, &quick_spec(7));
+
+    let pending = handle.drain().unwrap();
+    assert_eq!(pending, 3, "one running, two queued");
+    // Draining rejects new work but leaves the queue to finish.
+    let body = serde_json::to_string(&quick_spec(8)).unwrap();
+    let (status, rejected) = client::request(&addr, "POST", "/v1/jobs", Some(&body)).unwrap();
+    assert_eq!(status, 503, "{rejected}");
+
+    // Cancellation still works mid-drain: the queued job resolves on
+    // the spot, the running blocker at its next checkpoint.
+    let (status, body) = cancel(&addr, cancelled_in_drain);
+    assert_eq!(status, 202, "{body}");
+    assert!(body.contains("\"cancelled\""), "{body}");
+    let (status, _) = cancel(&addr, blocker);
+    assert_eq!(status, 202);
+
+    // The queued-but-unstarted job still runs to completion during the
+    // drain — draining stops intake, not the queue.
+    harness::wait_for_job_state(&addr, survives_drain, "done", Duration::from_secs(60)).unwrap();
+    harness::wait_for_job_state(
+        &addr,
+        cancelled_in_drain,
+        "cancelled",
+        Duration::from_secs(5),
+    )
+    .unwrap();
+    handle.join().unwrap();
+}

@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use sprint_game::EquilibriumCache;
 use sprint_serve::http::client;
-use sprint_serve::jobs::{self, ExecOptions, JobKind, JobSpec, RunSpec};
+use sprint_serve::jobs::{self, ExecOptions, JobKind, JobSpec, RunSpec, SCHEMA_VERSION};
 use sprint_serve::{Daemon, ServeConfig, ServeError};
 use sprint_sim::telemetry::{Registry, Telemetry};
 use sprint_sim::PolicyKind;
@@ -183,7 +183,10 @@ fn job_lifecycle_over_plain_submit_and_polling() {
 
     let (status, version) = client::request(&addr, "GET", "/v1/version", None).unwrap();
     assert_eq!(status, 200);
-    assert!(version.contains("\"schema_version\":1"), "{version}");
+    assert!(
+        version.contains(&format!("\"schema_version\":{SCHEMA_VERSION}")),
+        "{version}"
+    );
 
     handle.drain().unwrap();
     handle.join().unwrap();
@@ -290,7 +293,8 @@ fn golden_v1_fixtures_parse_and_execute() {
         let text = testdata(fixture);
         let spec = JobSpec::parse_json(&text)
             .unwrap_or_else(|e| panic!("golden fixture {fixture} must keep parsing: {e}"));
-        assert_eq!(spec.schema_version, 1, "{fixture}");
+        // v1 fixtures up-convert to the current version on entry.
+        assert_eq!(spec.schema_version, SCHEMA_VERSION, "{fixture}");
         // Round-trip: serialize → parse → same spec.
         let json = serde_json::to_string(&spec).unwrap();
         assert_eq!(JobSpec::parse_json(&json).unwrap(), spec, "{fixture}");
@@ -303,10 +307,22 @@ fn golden_v1_fixtures_parse_and_execute() {
 }
 
 #[test]
+fn golden_v2_fixture_with_deadline_round_trips() {
+    let text = testdata("jobspec_run_v2_deadline.json");
+    let spec = JobSpec::parse_json(&text).expect("v2 fixture parses");
+    assert_eq!(spec.schema_version, SCHEMA_VERSION);
+    assert_eq!(spec.deadline_ms, Some(30_000));
+    // Round-trip keeps the budget on the wire.
+    let json = serde_json::to_string(&spec).unwrap();
+    assert!(json.contains("\"deadline_ms\":30000"), "{json}");
+    assert_eq!(JobSpec::parse_json(&json).unwrap(), spec);
+}
+
+#[test]
 fn legacy_bare_sweep_spec_files_still_parse() {
     let text = testdata("legacy_sweep_spec.json");
     let spec = JobSpec::parse_json(&text).expect("pre-JobSpec sweep files keep working");
-    assert_eq!(spec.schema_version, 1);
+    assert_eq!(spec.schema_version, SCHEMA_VERSION);
     match &spec.job {
         JobKind::Sweep { spec } => {
             assert_eq!(spec.games.len(), 4);

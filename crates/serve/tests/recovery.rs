@@ -1,0 +1,241 @@
+//! Crash-safety tests: kill-restart recovery, journal edge cases, and
+//! spool adoption.
+//!
+//! The kill-restart drill spawns this very test binary as a child
+//! process (`serve_child_process_entry`, gated on an environment
+//! variable), SIGKILLs it mid-queue, restarts it on the same journal +
+//! spool, and asserts that zero acknowledged jobs are lost and every
+//! recovered report is byte-identical to an in-process reference
+//! execution.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use sprint_game::EquilibriumCache;
+use sprint_serve::harness::{self, ServeChild};
+use sprint_serve::http::client;
+use sprint_serve::jobs::{self, ExecOptions, JobKind, JobSpec, RunSpec};
+use sprint_serve::journal::{Journal, Transition};
+use sprint_serve::{Daemon, ServeConfig};
+use sprint_sim::telemetry::Telemetry;
+use sprint_sim::PolicyKind;
+
+const CHILD_ENV: &str = "SPRINT_SERVE_RECOVERY_CHILD";
+
+fn run_spec(seed: u64) -> JobSpec {
+    JobSpec::new(JobKind::Run {
+        spec: RunSpec {
+            benchmark: "decision".to_string(),
+            policy: PolicyKind::EquilibriumThreshold,
+            agents: 30,
+            epochs: 40,
+            seed,
+        },
+    })
+}
+
+/// The reference bytes the recovered daemon must reproduce exactly.
+fn reference_bytes(spec: &JobSpec) -> String {
+    let report = jobs::execute(
+        spec,
+        &EquilibriumCache::default(),
+        &ExecOptions::default(),
+        &mut Telemetry::noop(),
+    )
+    .expect("reference execution succeeds");
+    jobs::report_json(&report).expect("reference report serializes")
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sprint-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn journaled_config(dir: &Path, workers: usize) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        spool: Some(dir.join("spool")),
+        journal: Some(dir.join("journal.jsonl")),
+        ..ServeConfig::default()
+    }
+}
+
+fn submit(addr: &str, spec: &JobSpec) -> (u16, String) {
+    let body = serde_json::to_string(spec).unwrap();
+    client::request(addr, "POST", "/v1/jobs", Some(&body)).unwrap()
+}
+
+fn ack_id(ack: &str) -> u64 {
+    ack.split("\"id\":")
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|digits| digits.trim().parse().ok())
+        .unwrap_or_else(|| panic!("unparseable ack: {ack}"))
+}
+
+fn counter_value(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(name) && !l.starts_with("# "))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no `{name}` sample in:\n{metrics}"))
+}
+
+/// Child-process entry point for the kill-restart drill: a no-op under
+/// a normal `cargo test` run, a blocking journaled daemon when spawned
+/// by the harness with [`CHILD_ENV`] set.
+#[test]
+fn serve_child_process_entry() {
+    let Ok(dir) = std::env::var(CHILD_ENV) else {
+        return;
+    };
+    let handle = Daemon::start(&journaled_config(Path::new(&dir), 2)).expect("child daemon boots");
+    println!("{}", harness::addr_line(&handle.addr()));
+    std::io::stdout().flush().expect("stdout flush");
+    // Blocks until the parent SIGKILLs the process — that is the test.
+    handle.join().expect("child daemon joins");
+}
+
+fn spawn_child(dir: &Path) -> ServeChild {
+    let exe = std::env::current_exe().unwrap();
+    ServeChild::spawn(
+        &exe,
+        &["serve_child_process_entry", "--exact", "--nocapture"],
+        &[(CHILD_ENV, dir.to_str().unwrap())],
+    )
+    .expect("child daemon spawns and announces its address")
+}
+
+#[test]
+fn kill_restart_loses_no_acknowledged_jobs() {
+    let dir = tempdir("kill-restart");
+    let mut child = spawn_child(&dir);
+    let addr = child.addr.clone();
+
+    // Queue more work than the two child workers can finish: at kill
+    // time some jobs are running, the rest are queued.
+    let mut acknowledged = Vec::new();
+    for seed in 1..=8 {
+        let (status, ack) = submit(&addr, &run_spec(seed));
+        assert_eq!(status, 202, "{ack}");
+        acknowledged.push((ack_id(&ack), seed));
+    }
+    assert!(child.alive(), "child survived the submissions");
+    child.kill();
+
+    // Restart on the same journal + spool: every acknowledged job must
+    // reach `done` with byte-identical report bytes.
+    let child = spawn_child(&dir);
+    let addr = child.addr.clone();
+    for &(id, seed) in &acknowledged {
+        harness::wait_for_job_state(&addr, id, "done", Duration::from_secs(120))
+            .unwrap_or_else(|e| panic!("job {id} lost across the crash: {e}"));
+        let (status, recovered) =
+            client::request(&addr, "GET", &format!("/v1/jobs/{id}/report"), None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            recovered,
+            reference_bytes(&run_spec(seed)),
+            "job {id} must recover byte-identical"
+        );
+    }
+    let (_, metrics) = client::request(&addr, "GET", "/v1/metrics", None).unwrap();
+    assert_eq!(
+        counter_value(&metrics, "serve_jobs_recovered_total"),
+        acknowledged.len() as u64,
+        "every acknowledged job was recovered"
+    );
+    drop(child);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_journal_tail_still_recovers_the_acknowledged_job() {
+    let dir = tempdir("torn-tail");
+    let journal_path = dir.join("journal.jsonl");
+    {
+        let mut journal = Journal::open_append(&journal_path).unwrap();
+        journal
+            .append(&Transition::Submitted {
+                id: 1,
+                client: "anonymous".to_string(),
+                spec: run_spec(5).into(),
+            })
+            .unwrap();
+        journal.append(&Transition::Started { id: 1 }).unwrap();
+    }
+    // A crash mid-append leaves a partial final record.
+    let mut raw = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&journal_path)
+        .unwrap();
+    raw.write_all(b"{\"Done\":{\"i").unwrap();
+    drop(raw);
+
+    let handle = Daemon::start(&journaled_config(&dir, 1)).unwrap();
+    let addr = handle.addr().to_string();
+    harness::wait_for_job_state(&addr, 1, "done", Duration::from_secs(120)).unwrap();
+    let (status, report) = client::request(&addr, "GET", "/v1/jobs/1/report", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(report, reference_bytes(&run_spec(5)));
+    handle.drain().unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_with_spooled_report_adopts_without_reexecution() {
+    let dir = tempdir("spool-trust");
+    // First life: run one job to completion (report lands in the spool).
+    let handle = Daemon::start(&journaled_config(&dir, 1)).unwrap();
+    let addr = handle.addr().to_string();
+    let body = serde_json::to_string(&run_spec(9)).unwrap();
+    let (status, report) =
+        client::request(&addr, "POST", "/v1/jobs?wait=true", Some(&body)).unwrap();
+    assert_eq!(status, 200, "{report}");
+    handle.drain().unwrap();
+    handle.join().unwrap();
+
+    // Second life: the journal's Done record plus the spool file mean
+    // the job is adopted as-is — no re-execution, so the shared cache
+    // never sees a solve.
+    let handle = Daemon::start(&journaled_config(&dir, 1)).unwrap();
+    let addr = handle.addr().to_string();
+    let (status, adopted) = client::request(&addr, "GET", "/v1/jobs/1/report", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(adopted, report, "adopted report keeps its exact bytes");
+    assert_eq!(
+        handle.cache_stats().misses,
+        0,
+        "adoption must not re-execute (no equilibrium solves)"
+    );
+    let (_, metrics) = client::request(&addr, "GET", "/v1/metrics", None).unwrap();
+    assert_eq!(counter_value(&metrics, "serve_jobs_recovered_total"), 1);
+    // New work still flows after recovery.
+    let (status, ack) = submit(&addr, &run_spec(10));
+    assert_eq!(status, 202, "{ack}");
+    assert_eq!(ack_id(&ack), 2, "ids resume above the recovered ones");
+    harness::wait_for_job_state(&addr, 2, "done", Duration::from_secs(120)).unwrap();
+    handle.drain().unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn empty_and_missing_journals_boot_a_fresh_daemon() {
+    let dir = tempdir("empty-journal");
+    std::fs::write(dir.join("journal.jsonl"), "").unwrap();
+    let handle = Daemon::start(&journaled_config(&dir, 1)).unwrap();
+    let addr = handle.addr().to_string();
+    let (status, list) = client::request(&addr, "GET", "/v1/jobs", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(list, "[]", "an empty journal recovers to an empty table");
+    handle.drain().unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

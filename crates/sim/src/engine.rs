@@ -262,6 +262,123 @@ impl Deadline {
     }
 }
 
+/// Why a [`CancelToken`] stopped a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// [`CancelToken::cancel`] was called.
+    Cancelled,
+    /// The armed job deadline passed.
+    DeadlineExceeded {
+        /// The configured limit, in milliseconds.
+        limit_ms: u64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: std::sync::atomic::AtomicBool,
+    deadline: std::sync::OnceLock<Deadline>,
+}
+
+/// A shared, cooperative stop request: a cancel flag plus an optional
+/// armed wall-clock deadline, checked at the engine's epoch checkpoints
+/// (every 64 epochs, like [`Deadline`] — the hot loop pays one relaxed
+/// load per checkpoint, nothing per epoch).
+///
+/// Clones share state: a daemon hands one clone to the executing run
+/// and keeps another to serve `POST /v1/jobs/{id}/cancel`. The token
+/// never feeds wall-clock data into the dynamics — like the deadline,
+/// it only decides *whether* a result exists, so a run that completes
+/// is bit-identical to an uncancellable one.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: std::sync::Arc<CancelInner>,
+}
+
+impl CancelToken {
+    /// A fresh, unarmed, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; takes effect at the next
+    /// cooperative checkpoint of whatever run holds a clone.
+    pub fn cancel(&self) {
+        self.inner
+            .cancelled
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner
+            .cancelled
+            .load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Arm a job-level deadline `limit_ms` milliseconds from now. First
+    /// arm wins; later calls are ignored (a token guards one job).
+    pub fn arm_deadline_ms(&self, limit_ms: u64) {
+        let _ = self.inner.deadline.set(Deadline::within_ms(limit_ms));
+    }
+
+    /// What has fired, if anything. Cancellation wins over the deadline
+    /// so an operator's explicit cancel is never reported as a timeout.
+    #[must_use]
+    pub fn fired(&self) -> Option<Interrupt> {
+        if self.is_cancelled() {
+            return Some(Interrupt::Cancelled);
+        }
+        match self.inner.deadline.get() {
+            Some(d) if d.expired() => Some(Interrupt::DeadlineExceeded {
+                limit_ms: d.limit_ms(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Checkpoint: `Err` with the matching [`SimError`] once the token
+    /// has fired, `Ok(())` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Cancelled`] after [`CancelToken::cancel`];
+    /// [`SimError::DeadlineExceeded`] once the armed deadline passes.
+    pub fn check(&self, what: &'static str) -> crate::Result<()> {
+        match self.fired() {
+            None => Ok(()),
+            Some(Interrupt::Cancelled) => Err(SimError::Cancelled { what }),
+            Some(Interrupt::DeadlineExceeded { limit_ms }) => {
+                Err(SimError::DeadlineExceeded { what, limit_ms })
+            }
+        }
+    }
+}
+
+/// Everything that can stop a supervised run early: the per-attempt
+/// deadline sweeps already used, plus a shared [`CancelToken`] carrying
+/// operator cancellation and the job-level deadline.
+#[derive(Debug, Clone, Default)]
+pub struct RunGuard {
+    /// Per-attempt wall-clock deadline (sweep trial supervision).
+    pub deadline: Option<Deadline>,
+    /// Shared cancellation / job-deadline token.
+    pub cancel: Option<CancelToken>,
+}
+
+impl RunGuard {
+    /// A guard with only a per-attempt deadline.
+    #[must_use]
+    pub fn with_deadline(deadline: Option<Deadline>) -> Self {
+        RunGuard {
+            deadline,
+            cancel: None,
+        }
+    }
+}
+
 /// Fraction of the epoch elapsed before the breaker's thermal element
 /// trips, from the center of the UL489 I²t band. Mild overloads (near
 /// `N_min`) trip late; heavy overloads (beyond `N_max`) trip early.
@@ -1001,15 +1118,13 @@ pub fn run_with_deadline(
     run_supervised(config, streams, policy, deadline, 1, telemetry)
 }
 
-/// The full-control entry point: optional deadline plus intra-run
-/// parallelism. [`run`], [`run_jobs`], and [`run_with_deadline`] are
-/// thin wrappers over this.
+/// [`run_guarded`] with only a deadline — kept as the ergonomic entry
+/// point for sweep-style per-attempt supervision.
 ///
 /// # Errors
 ///
 /// As [`run`], plus [`SimError::DeadlineExceeded`] when the deadline
 /// passes.
-#[allow(clippy::too_many_lines)]
 pub fn run_supervised(
     config: &SimConfig,
     streams: &mut [PhasedUtility],
@@ -1018,6 +1133,36 @@ pub fn run_supervised(
     jobs: usize,
     telemetry: &mut Telemetry,
 ) -> crate::Result<SimResult> {
+    run_guarded(
+        config,
+        streams,
+        policy,
+        &RunGuard::with_deadline(deadline),
+        jobs,
+        telemetry,
+    )
+}
+
+/// The full-control entry point: optional per-attempt deadline, shared
+/// cancel/job-deadline token, and intra-run parallelism. [`run`],
+/// [`run_jobs`], [`run_with_deadline`], and [`run_supervised`] are thin
+/// wrappers over this.
+///
+/// # Errors
+///
+/// As [`run`], plus [`SimError::DeadlineExceeded`] when a deadline
+/// passes and [`SimError::Cancelled`] when the guard's token is
+/// cancelled.
+#[allow(clippy::too_many_lines)]
+pub fn run_guarded(
+    config: &SimConfig,
+    streams: &mut [PhasedUtility],
+    policy: &mut dyn SprintPolicy,
+    guard: &RunGuard,
+    jobs: usize,
+    telemetry: &mut Telemetry,
+) -> crate::Result<SimResult> {
+    let deadline = guard.deadline;
     let n = config.game.n_agents() as usize;
     if streams.len() != n {
         return Err(SimError::InvalidParameter {
@@ -1112,6 +1257,9 @@ pub fn run_supervised(
                         limit_ms: d.limit_ms(),
                     });
                 }
+            }
+            if let Some(token) = &guard.cancel {
+                token.check("simulation run")?;
             }
         }
         let epoch_span = on.then(|| telemetry.spans.open("engine.epoch"));

@@ -38,6 +38,14 @@ pub enum SimError {
         /// The deadline that was exceeded, in milliseconds.
         limit_ms: u64,
     },
+    /// A computation was cancelled through its [`CancelToken`] and
+    /// abandoned at the next cooperative checkpoint.
+    ///
+    /// [`CancelToken`]: crate::engine::CancelToken
+    Cancelled {
+        /// What was being computed when the cancellation landed.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -59,6 +67,7 @@ impl fmt::Display for SimError {
             SimError::DeadlineExceeded { what, limit_ms } => {
                 write!(f, "{what} exceeded its {limit_ms} ms deadline")
             }
+            SimError::Cancelled { what } => write!(f, "{what} was cancelled"),
         }
     }
 }

@@ -58,7 +58,9 @@ pub use control::{
     ControlConfig, ControlReport, ControlSim, DefenseReport, DetectorConfig, FaultyTransport,
     Transport,
 };
-pub use engine::{Deadline, RecoverySemantics, RunOptions, SimConfig};
+pub use engine::{
+    CancelToken, Deadline, Interrupt, RecoverySemantics, RunGuard, RunOptions, SimConfig,
+};
 pub use error::SimError;
 pub use faults::{FaultMetrics, FaultPlan, RackPartition, TransportFault};
 pub use metrics::SimResult;

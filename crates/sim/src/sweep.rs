@@ -519,7 +519,7 @@ pub type SabotageHook = fn(trial: usize, attempt: u32) -> Option<Sabotage>;
 /// Per-trial supervision policy for a sweep. Runtime-only (never part
 /// of a serialized report): wall-clock limits are facts about the host,
 /// not the simulation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Supervision {
     /// Wall-clock deadline per trial attempt, in milliseconds, enforced
     /// cooperatively at the engine's epoch checkpoints (a hung attempt
@@ -530,6 +530,12 @@ pub struct Supervision {
     pub retries: u32,
     /// Deliberate-failure injection for supervision tests.
     pub sabotage: Option<SabotageHook>,
+    /// Shared cancellation / job-deadline token, checked inside every
+    /// trial at the engine's epoch checkpoints. A fired token fails the
+    /// *whole sweep* (typed [`SimError::Cancelled`] /
+    /// [`SimError::DeadlineExceeded`]) instead of quarantining trials:
+    /// cancellation is a caller decision, not a flaky trial.
+    pub cancel: Option<engine::CancelToken>,
 }
 
 impl Default for Supervision {
@@ -538,6 +544,7 @@ impl Default for Supervision {
             trial_deadline_ms: None,
             retries: 1,
             sabotage: None,
+            cancel: None,
         }
     }
 }
@@ -547,6 +554,13 @@ impl Supervision {
     #[must_use]
     pub fn with_deadline_ms(mut self, ms: u64) -> Self {
         self.trial_deadline_ms = Some(ms);
+        self
+    }
+
+    /// Supervision carrying a shared cancel token.
+    #[must_use]
+    pub fn with_cancel(mut self, token: engine::CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 }
@@ -803,6 +817,7 @@ fn run_sweep_on_cache(
         let trials = &trials;
         let plans = &plans;
         let adversaries = &adversaries;
+        let supervision = &supervision;
         let handles: Vec<_> = producers
             .drain(..)
             .enumerate()
@@ -862,6 +877,12 @@ fn run_sweep_on_cache(
         return Err(SimError::WorkerPanicked {
             what: "sweep trial",
         });
+    }
+    // A fired cancel/deadline token fails the sweep outright: partial
+    // results from an abandoned sweep must not masquerade as a report
+    // whose trials all happened to quarantine.
+    if let Some(token) = &supervision.cancel {
+        token.check("sweep")?;
     }
 
     // Per-worker utilization/timing ride on the report as diagnostics
@@ -958,16 +979,28 @@ fn run_trial_supervised(
     trial: &Trial,
     cache: &EquilibriumCache,
     warm: bool,
-    supervision: Supervision,
+    supervision: &Supervision,
 ) -> (crate::Result<SweepRecord>, u32) {
     let attempts_allowed = supervision.retries.saturating_add(1);
     let mut last = SimError::WorkerPanicked {
         what: "sweep trial",
     };
     for attempt in 0..attempts_allowed {
-        let deadline = supervision
-            .trial_deadline_ms
-            .map(engine::Deadline::within_ms);
+        // A token that fired between attempts (or before the first) makes
+        // further work pointless — and retrying a *cancelled* attempt
+        // would defeat the cancellation, so those errors short-circuit
+        // the retry loop entirely.
+        if let Some(token) = &supervision.cancel {
+            if let Err(e) = token.check("sweep trial") {
+                return (Err(e), attempt.max(1));
+            }
+        }
+        let guard = engine::RunGuard {
+            deadline: supervision
+                .trial_deadline_ms
+                .map(engine::Deadline::within_ms),
+            cancel: supervision.cancel.clone(),
+        };
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if let Some(hook) = supervision.sabotage {
                 match hook(trial.id, attempt) {
@@ -982,11 +1015,20 @@ fn run_trial_supervised(
                     None => {}
                 }
             }
-            run_trial(spec, plans, adversaries, trial, cache, warm, deadline)
+            run_trial(spec, plans, adversaries, trial, cache, warm, &guard)
         }));
         match outcome {
             Ok(Ok(record)) => return (Ok(record), attempt + 1),
-            Ok(Err(e)) => last = e,
+            Ok(Err(e)) => {
+                let fired = supervision
+                    .cancel
+                    .as_ref()
+                    .is_some_and(|t| t.fired().is_some());
+                if fired {
+                    return (Err(e), attempt + 1);
+                }
+                last = e;
+            }
             Err(_) => {
                 last = SimError::WorkerPanicked {
                     what: "sweep trial",
@@ -1024,7 +1066,7 @@ fn run_trial(
     trial: &Trial,
     cache: &EquilibriumCache,
     warm: bool,
-    deadline: Option<engine::Deadline>,
+    guard: &engine::RunGuard,
 ) -> crate::Result<SweepRecord> {
     let variant = &spec.games[trial.game];
     let pop_spec = &spec.populations[trial.population];
@@ -1061,11 +1103,12 @@ fn run_trial(
     }
     let config = SimConfig::new(game, spec.epochs, trial.seed)?.with_options(*scenario.options());
     let mut streams = scenario.population().spawn_streams(trial.seed)?;
-    let result = engine::run_with_deadline(
+    let result = engine::run_guarded(
         &config,
         &mut streams,
         policy.as_mut(),
-        deadline,
+        guard,
+        1,
         &mut Telemetry::noop(),
     )?;
 
@@ -1484,7 +1527,8 @@ mod tests {
             sabotage: Some(sabotage_first_attempts),
             ..Supervision::default()
         };
-        let serial = run_sweep_supervised(&spec, 1, supervision, &mut Telemetry::noop()).unwrap();
+        let serial =
+            run_sweep_supervised(&spec, 1, supervision.clone(), &mut Telemetry::noop()).unwrap();
         let parallel = run_sweep_supervised(&spec, 4, supervision, &mut Telemetry::noop()).unwrap();
         assert_eq!(serial, parallel);
         assert_eq!(
@@ -1493,6 +1537,33 @@ mod tests {
             "quarantine must not break byte-reproducibility"
         );
         assert_eq!(serial.quarantined.len(), 1);
+    }
+
+    #[test]
+    fn pre_cancelled_sweep_returns_typed_cancelled_error() {
+        let token = engine::CancelToken::new();
+        token.cancel();
+        let supervision = Supervision::default().with_cancel(token);
+        let err = run_sweep_supervised(&small_spec(), 2, supervision, &mut Telemetry::noop())
+            .unwrap_err();
+        assert!(matches!(err, SimError::Cancelled { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn armed_job_deadline_fails_sweep_with_typed_error() {
+        let token = engine::CancelToken::new();
+        token.arm_deadline_ms(0);
+        // An already-expired job deadline: every trial aborts at its first
+        // cooperative checkpoint and the sweep surfaces the typed error
+        // instead of an all-quarantined report.
+        std::thread::sleep(Duration::from_millis(5));
+        let supervision = Supervision::default().with_cancel(token);
+        let err = run_sweep_supervised(&small_spec(), 2, supervision, &mut Telemetry::noop())
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::DeadlineExceeded { .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]

@@ -223,13 +223,21 @@ pub enum EventKind {
     TrialStarted,
     /// [`Event::TrialFinished`].
     TrialFinished,
+    /// [`Event::JobRecovered`].
+    JobRecovered,
+    /// [`Event::JobCancelled`].
+    JobCancelled,
+    /// [`Event::JobDeadlineExceeded`].
+    JobDeadlineExceeded,
+    /// [`Event::JobShed`].
+    JobShed,
     /// [`Event::RunEnd`].
     RunEnd,
 }
 
 impl EventKind {
     /// All event kinds, in declaration order.
-    pub const ALL: [EventKind; 21] = [
+    pub const ALL: [EventKind; 25] = [
         EventKind::RunStart,
         EventKind::EpochTick,
         EventKind::SprintDecision,
@@ -250,6 +258,10 @@ impl EventKind {
         EventKind::SanctionLifted,
         EventKind::TrialStarted,
         EventKind::TrialFinished,
+        EventKind::JobRecovered,
+        EventKind::JobCancelled,
+        EventKind::JobDeadlineExceeded,
+        EventKind::JobShed,
         EventKind::RunEnd,
     ];
 
@@ -270,12 +282,16 @@ impl EventKind {
             | EventKind::LeaseExpired
             | EventKind::SanctionLifted
             | EventKind::TrialFinished
+            | EventKind::JobRecovered
+            | EventKind::JobCancelled
             | EventKind::RunEnd => Severity::Info,
             EventKind::BreakerTrip
             | EventKind::FaultInjected
             | EventKind::TierShift
             | EventKind::AgentSuspected
-            | EventKind::RetryBackoff => Severity::Warn,
+            | EventKind::RetryBackoff
+            | EventKind::JobDeadlineExceeded
+            | EventKind::JobShed => Severity::Warn,
             EventKind::AdversaryDetected | EventKind::SanctionApplied => Severity::Error,
         }
     }
@@ -494,6 +510,34 @@ pub enum Event {
         /// Whether the trial ended quarantined instead of recorded.
         quarantined: bool,
     },
+    /// The daemon re-executed (or re-adopted) a journaled job after a
+    /// restart.
+    JobRecovered {
+        /// Daemon-assigned job id.
+        job: u64,
+        /// `true` when the job was re-executed from its spec; `false`
+        /// when a spooled report was adopted without re-execution.
+        reexecuted: bool,
+    },
+    /// A job was cancelled through `POST /v1/jobs/{id}/cancel`.
+    JobCancelled {
+        /// Daemon-assigned job id.
+        job: u64,
+    },
+    /// A job ran past its `deadline_ms` and was abandoned at the next
+    /// cooperative checkpoint.
+    JobDeadlineExceeded {
+        /// Daemon-assigned job id.
+        job: u64,
+        /// The deadline that was exceeded, in milliseconds.
+        limit_ms: u64,
+    },
+    /// Admission control shed a submission (queue full, rate limit, or
+    /// quota) instead of accepting it.
+    JobShed {
+        /// Jobs queued at the moment of shedding.
+        queued: u64,
+    },
     /// A simulation run finished.
     RunEnd {
         /// Total task-units completed.
@@ -528,6 +572,10 @@ impl Event {
             Event::SanctionLifted { .. } => EventKind::SanctionLifted,
             Event::TrialStarted { .. } => EventKind::TrialStarted,
             Event::TrialFinished { .. } => EventKind::TrialFinished,
+            Event::JobRecovered { .. } => EventKind::JobRecovered,
+            Event::JobCancelled { .. } => EventKind::JobCancelled,
+            Event::JobDeadlineExceeded { .. } => EventKind::JobDeadlineExceeded,
+            Event::JobShed { .. } => EventKind::JobShed,
             Event::RunEnd { .. } => EventKind::RunEnd,
         }
     }
@@ -664,6 +712,16 @@ mod tests {
                 attempts: 2,
                 quarantined: false,
             },
+            Event::JobRecovered {
+                job: 3,
+                reexecuted: true,
+            },
+            Event::JobCancelled { job: 3 },
+            Event::JobDeadlineExceeded {
+                job: 3,
+                limit_ms: 500,
+            },
+            Event::JobShed { queued: 64 },
             Event::RunEnd {
                 total_tasks: 100.0,
                 trips: 2,

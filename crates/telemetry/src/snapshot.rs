@@ -106,12 +106,19 @@ impl HealthAggregator {
                 self.trials_quarantined += u64::from(*quarantined);
             }
             Event::RunEnd { .. } => self.runs_finished += 1,
+            // Daemon-lifecycle kinds are counted by the serve layer's own
+            // registry; folding them here would churn snapshot bytes that
+            // downstream golden gates pin.
             Event::CoordinatorResolve { .. }
             | Event::SolverIteration { .. }
             | Event::SolverEscalation { .. }
             | Event::SolverBisection
             | Event::SolverOutcome { .. }
-            | Event::RetryBackoff { .. } => {}
+            | Event::RetryBackoff { .. }
+            | Event::JobRecovered { .. }
+            | Event::JobCancelled { .. }
+            | Event::JobDeadlineExceeded { .. }
+            | Event::JobShed { .. } => {}
         }
     }
 

@@ -134,6 +134,16 @@ impl<T: Deserialize> Deserialize for Option<T> {
     }
 }
 
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+
+    fn missing() -> Option<Self> {
+        T::missing().map(Box::new)
+    }
+}
+
 impl<T: Deserialize> Deserialize for Vec<T> {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         match value {
