@@ -3,18 +3,28 @@
 //! Measures the struct-of-arrays agent kernel end to end and enforces the
 //! hot-path contracts:
 //!
-//! - agent-epochs/sec at N ∈ {1k, 10k, 100k}, serial and at 4 jobs,
-//!   against a faithful reimplementation of the pre-SoA epoch loop
-//!   (per-epoch `Vec` allocation, sequential `StdRng`, per-agent dyn
-//!   policy dispatch);
+//! - agent-epochs/sec at N ∈ {10k, 100k, 1M}, serial and at 4 jobs on the
+//!   persistent worker pool, against a faithful reimplementation of the
+//!   pre-SoA epoch loop (per-epoch `Vec` allocation, sequential `StdRng`,
+//!   per-agent dyn policy dispatch); legs run interleaved round-robin
+//!   across repetitions so frequency drift cannot bias one side;
 //! - the serial kernel beats the reference loop by ≥ `MIN_SERIAL_SPEEDUP`
-//!   at the largest N;
-//! - 4 jobs beat serial by ≥ `MIN_PARALLEL_SPEEDUP`, enforced only when
-//!   the host actually has ≥ 4 cores;
-//! - the epoch loop allocates nothing: a counting global allocator sees
-//!   the same allocation count for a 2× longer horizon;
+//!   at the gate size (N=100k);
+//! - 4 jobs beat serial by ≥ `MIN_PARALLEL_SPEEDUP` at the gate size,
+//!   enforced only when the host actually has ≥ 4 cores;
+//! - reports are byte-identical across `jobs ∈ {1, 4}` at every size,
+//!   including the N=10⁶ demonstration run;
+//! - a short chunk-size sweep at the gate size records how the
+//!   `chunk_agents` tile interacts with L2 residency;
+//! - the epoch loop allocates nothing, serial *and* with the pool live: a
+//!   counting global allocator sees the same allocation count for a 2×
+//!   longer horizon;
 //! - warm-started Algorithm 1 (`EquilibriumCache::solve_warm`) cuts mean
-//!   iterations per cell ≥ `MIN_WARM_RATIO`× across a parameter ladder.
+//!   iterations per cell ≥ `MIN_WARM_RATIO`× across a parameter ladder;
+//! - on a multi-core host, the parallel speedup must not regress below
+//!   90% of the value recorded by the previous multi-core run of this
+//!   bench (read from the existing `BENCH_engine.json` before it is
+//!   overwritten).
 //!
 //! Results land in `BENCH_engine.json` at the workspace root so CI can
 //! archive the trend. Run with `--quick` for a reduced-scale smoke pass.
@@ -26,7 +36,7 @@ use std::time::Instant;
 use rand::Rng;
 use sprint_game::trip::TripCurve;
 use sprint_game::{AgentState, EquilibriumCache, GameConfig, MeanFieldSolver, ThresholdStrategy};
-use sprint_sim::engine::{run_jobs, SimConfig};
+use sprint_sim::engine::{run_jobs, SimConfig, DEFAULT_CHUNK};
 use sprint_sim::policies::ThresholdPolicy;
 use sprint_sim::policy::SprintPolicy;
 use sprint_sim::telemetry::Telemetry;
@@ -68,9 +78,18 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 /// pays too, so the ratio is structural, not slack. The floor sits below
 /// the measurement with margin for CI-runner noise (observed ±15%).
 const MIN_SERIAL_SPEEDUP: f64 = 2.5;
-const MIN_PARALLEL_SPEEDUP: f64 = 3.0;
+/// With the persistent pool amortizing spawn/join, 4 workers on 4 real
+/// cores keep ≥ 2× of the ideal 4× after the serial reduction and the
+/// barrier wait are paid.
+const MIN_PARALLEL_SPEEDUP: f64 = 2.0;
 const MIN_WARM_RATIO: f64 = 2.0;
+/// A multi-core run may not lose more than this fraction of the parallel
+/// speedup the previous multi-core run recorded.
+const REGRESSION_TOLERANCE: f64 = 0.9;
 const PARALLEL_JOBS: usize = 4;
+/// The size the speedup gates are evaluated at (the ISSUE's contract
+/// point); the scaling table extends beyond it.
+const GATE_AGENTS: usize = 100_000;
 const SEED: u64 = 7;
 
 fn game_for(n: usize) -> GameConfig {
@@ -211,9 +230,21 @@ fn reference_run(game: &GameConfig, streams: &mut [PhasedUtility], epochs: usize
     total_tasks
 }
 
-fn engine_rate(n: usize, epochs: usize, jobs: usize) -> f64 {
+/// Everything a report serializes from, bit-exact: if two runs agree on
+/// this, their JSON reports are byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Fingerprint {
+    total_tasks: u64,
+    trips: u32,
+    mean_sprinters: u64,
+    occupancy: [u64; 4],
+}
+
+fn engine_rate(n: usize, epochs: usize, jobs: usize, chunk: usize) -> (f64, Fingerprint) {
     let game = game_for(n);
-    let cfg = SimConfig::new(game, epochs, SEED).unwrap();
+    let cfg = SimConfig::new(game, epochs, SEED)
+        .unwrap()
+        .with_chunk_agents(chunk);
     let mut streams = spawn(n);
     let mut policy = policy_for(n);
     let started = Instant::now();
@@ -227,7 +258,19 @@ fn engine_rate(n: usize, epochs: usize, jobs: usize) -> f64 {
     .unwrap();
     let secs = started.elapsed().as_secs_f64();
     assert!(result.total_tasks() > 0.0);
-    (n * epochs) as f64 / secs
+    let occ = result.occupancy().fractions();
+    let fingerprint = Fingerprint {
+        total_tasks: result.total_tasks().to_bits(),
+        trips: result.trips(),
+        mean_sprinters: result.mean_sprinters().to_bits(),
+        occupancy: [
+            occ[0].to_bits(),
+            occ[1].to_bits(),
+            occ[2].to_bits(),
+            occ[3].to_bits(),
+        ],
+    };
+    ((n * epochs) as f64 / secs, fingerprint)
 }
 
 fn reference_rate(n: usize, epochs: usize) -> f64 {
@@ -240,14 +283,23 @@ fn reference_rate(n: usize, epochs: usize) -> f64 {
     (n * epochs) as f64 / secs
 }
 
-/// Allocation count of one serial engine run (setup included).
-fn allocs_for(n: usize, epochs: usize) -> u64 {
+/// Allocation count of one engine run (setup included) at a job count.
+/// With `jobs > 1` the persistent pool is live: its spawn cost is per-run
+/// setup, so short and long horizons must still count the same.
+fn allocs_for(n: usize, epochs: usize, jobs: usize) -> u64 {
     let game = game_for(n);
     let cfg = SimConfig::new(game, epochs, SEED).unwrap();
     let mut streams = spawn(n);
     let mut policy = policy_for(n);
     let before = ALLOCS.load(Ordering::Relaxed);
-    run_jobs(&cfg, &mut streams, &mut policy, 1, &mut Telemetry::noop()).unwrap();
+    run_jobs(
+        &cfg,
+        &mut streams,
+        &mut policy,
+        jobs,
+        &mut Telemetry::noop(),
+    )
+    .unwrap();
     ALLOCS.load(Ordering::Relaxed) - before
 }
 
@@ -287,40 +339,86 @@ fn warm_start_ratio(cells: usize) -> (f64, f64) {
     (cold as f64 / cells as f64, warm as f64 / cells as f64)
 }
 
+/// The previous snapshot's multi-core parallel baseline, if it has one:
+/// `(cores, parallel_speedup)` read from the file this run overwrites.
+fn prior_baseline(path: &std::path::Path) -> Option<(u64, f64)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let value = serde_json::from_str_value(&text).ok()?;
+    let obj = value.as_object()?;
+    let field = |name: &str| obj.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let cores = field("cores")?.as_f64()? as u64;
+    let speedup = field("parallel_speedup")
+        .or_else(|| field("parallel_speedup_at_max_n"))?
+        .as_f64()?;
+    Some((cores, speedup))
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    // Quick mode still ends at N=100k: the serial gate is evaluated at the
-    // largest size, and the SoA advantage is structural only once the
-    // reference loop's stream array falls out of cache.
+    // The gate size stays in every mode: both speedup gates are evaluated
+    // at N=100k, where the SoA advantage is structural (the reference
+    // loop's stream array no longer fits in cache). Full mode extends the
+    // scaling table to the N=10⁶ demonstration run.
     let sizes: &[usize] = if quick {
-        &[1_000, 100_000]
+        &[10_000, GATE_AGENTS]
     } else {
-        &[1_000, 10_000, 100_000]
+        &[10_000, GATE_AGENTS, 1_000_000]
     };
     // Constant total agent-epochs per size so every row does comparable
     // work and the timings stay comparable.
     let work = if quick { 2_000_000 } else { 20_000_000 };
+    let reps = if quick { 2 } else { 3 };
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let enforce_parallel = cores >= PARALLEL_JOBS;
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_engine.json");
+    let baseline = prior_baseline(&out);
 
-    println!("engine hot-path smoke ({cores} cores)");
+    println!("engine hot-path smoke ({cores} cores, {reps} interleaved reps)");
     println!(
         "{:>8} {:>8} {:>14} {:>14} {:>14} {:>8} {:>8}",
         "agents", "epochs", "ref ae/s", "serial ae/s", "jobs4 ae/s", "vs ref", "vs ser"
     );
     let mut rows = String::new();
-    let mut serial_speedup_at_max = 0.0;
-    let mut parallel_speedup_at_max = 0.0;
+    let mut serial_speedup = 0.0;
+    let mut parallel_speedup = 0.0;
     for &n in sizes {
         let epochs = (work / n).max(10);
-        let reference = reference_rate(n, epochs);
-        let serial = engine_rate(n, epochs, 1);
-        let parallel = engine_rate(n, epochs, PARALLEL_JOBS);
+        // Interleave the three legs round-robin across reps (the PR-8
+        // de-flake pattern): frequency scaling and noisy neighbours hit
+        // all legs alike, and each leg keeps its best rep.
+        let mut reference = 0.0f64;
+        let mut serial = 0.0f64;
+        let mut parallel = 0.0f64;
+        let mut serial_print = None;
+        let mut parallel_print = None;
+        for _ in 0..reps {
+            reference = reference.max(reference_rate(n, epochs));
+            let (rate, print) = engine_rate(n, epochs, 1, DEFAULT_CHUNK);
+            serial = serial.max(rate);
+            assert!(
+                serial_print.get_or_insert(print) == &print,
+                "serial reps must be deterministic at N={n}"
+            );
+            let (rate, print) = engine_rate(n, epochs, PARALLEL_JOBS, DEFAULT_CHUNK);
+            parallel = parallel.max(rate);
+            assert!(
+                parallel_print.get_or_insert(print) == &print,
+                "parallel reps must be deterministic at N={n}"
+            );
+        }
+        // The acceptance contract: reports are a function of the spec
+        // alone, at N=10⁶ like everywhere else.
+        assert_eq!(
+            serial_print, parallel_print,
+            "jobs=1 and jobs={PARALLEL_JOBS} must be byte-identical at N={n}"
+        );
         let vs_ref = serial / reference;
         let vs_serial = parallel / serial;
-        if n == *sizes.last().unwrap() {
-            serial_speedup_at_max = vs_ref;
-            parallel_speedup_at_max = vs_serial;
+        if n == GATE_AGENTS {
+            serial_speedup = vs_ref;
+            parallel_speedup = vs_serial;
         }
         println!(
             "{n:>8} {epochs:>8} {reference:>14.0} {serial:>14.0} {parallel:>14.0} \
@@ -339,13 +437,38 @@ fn main() {
         ));
     }
 
+    // Chunk-size sweep at the gate size: how the `chunk_agents` tile
+    // interacts with L2 residency, serial so the tiling effect is not
+    // confounded with barrier costs. Recorded, not gated — the default
+    // chunk is part of the report spec, so it cannot chase the fastest
+    // tile without breaking byte-compatibility.
+    let sweep_epochs = ((work / 10) / GATE_AGENTS).max(10);
+    let mut chunk_rows = String::new();
+    print!("  chunks   ");
+    for &chunk in &[512usize, 1024, 2048, 4096] {
+        let (rate, _) = engine_rate(GATE_AGENTS, sweep_epochs, 1, chunk);
+        print!(" {chunk}:{:.1}M", rate / 1e6);
+        if !chunk_rows.is_empty() {
+            chunk_rows.push_str(",\n");
+        }
+        chunk_rows.push_str(&format!(
+            "    {{\"chunk_agents\": {chunk}, \"agent_epochs_per_sec\": {rate:.0}}}"
+        ));
+    }
+    println!(" (ae/s at N={GATE_AGENTS}, serial)");
+
     // No-alloc contract: doubling the horizon must not add a single
     // allocation — everything the epoch loop needs exists before it runs.
+    // Checked serial and with the pool live: worker spawn is per-run
+    // setup, the barrier steady state allocates nothing.
     let (alloc_n, alloc_epochs) = if quick { (5_000, 200) } else { (20_000, 400) };
-    let short = allocs_for(alloc_n, alloc_epochs);
-    let long = allocs_for(alloc_n, alloc_epochs * 2);
+    let short = allocs_for(alloc_n, alloc_epochs, 1);
+    let long = allocs_for(alloc_n, alloc_epochs * 2, 1);
+    let pool_short = allocs_for(alloc_n, alloc_epochs, PARALLEL_JOBS);
+    let pool_long = allocs_for(alloc_n, alloc_epochs * 2, PARALLEL_JOBS);
     println!(
-        "  allocs    {short} at {alloc_epochs} epochs, {long} at {} epochs",
+        "  allocs    serial {short}/{long}, pool {pool_short}/{pool_long} \
+         at {alloc_epochs}/{} epochs",
         alloc_epochs * 2
     );
 
@@ -357,48 +480,81 @@ fn main() {
          ({warm_ratio:.2}x over {warm_cells} cells)"
     );
 
+    let baseline_json = match baseline {
+        Some((prior_cores, prior_speedup)) => {
+            format!("{{\"cores\": {prior_cores}, \"parallel_speedup\": {prior_speedup:.4}}}")
+        }
+        None => "null".to_string(),
+    };
     let json = format!(
         "{{\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"jobs\": {PARALLEL_JOBS},\n  \
+         \"chunk_agents\": {DEFAULT_CHUNK},\n  \"reps\": {reps},\n  \
+         \"gate_agents\": {GATE_AGENTS},\n  \
          \"rows\": [\n{rows}\n  ],\n  \
-         \"serial_speedup_at_max_n\": {serial_speedup_at_max:.4},\n  \
+         \"chunk_sweep\": [\n{chunk_rows}\n  ],\n  \
+         \"byte_identical_across_jobs\": true,\n  \
+         \"serial_speedup\": {serial_speedup:.4},\n  \
          \"min_serial_speedup\": {MIN_SERIAL_SPEEDUP},\n  \
-         \"parallel_speedup_at_max_n\": {parallel_speedup_at_max:.4},\n  \
+         \"parallel_speedup\": {parallel_speedup:.4},\n  \
          \"min_parallel_speedup\": {MIN_PARALLEL_SPEEDUP},\n  \
          \"parallel_enforced\": {enforce_parallel},\n  \
+         \"speedup_enforced\": {enforce_parallel},\n  \
+         \"prior_baseline\": {baseline_json},\n  \
          \"allocs_short_run\": {short},\n  \"allocs_long_run\": {long},\n  \
+         \"allocs_pool_short_run\": {pool_short},\n  \
+         \"allocs_pool_long_run\": {pool_long},\n  \
          \"warm_cells\": {warm_cells},\n  \
          \"cold_iterations_per_cell\": {cold_iters:.4},\n  \
          \"warm_iterations_per_cell\": {warm_iters:.4},\n  \
          \"warm_start_ratio\": {warm_ratio:.4},\n  \"min_warm_ratio\": {MIN_WARM_RATIO}\n}}\n"
     );
-    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_engine.json");
     std::fs::write(&out, json).expect("write BENCH_engine.json");
     println!("  snapshot {}", out.display());
 
     let mut failed = false;
     if long != short {
         eprintln!(
-            "FAIL: epoch loop allocated ({short} allocs at {alloc_epochs} epochs, \
+            "FAIL: serial epoch loop allocated ({short} allocs at {alloc_epochs} epochs, \
              {long} at {} epochs)",
             alloc_epochs * 2
         );
         failed = true;
     }
-    if serial_speedup_at_max < MIN_SERIAL_SPEEDUP {
+    if pool_long != pool_short {
         eprintln!(
-            "FAIL: serial kernel {serial_speedup_at_max:.2}x over the reference loop, \
+            "FAIL: pooled epoch loop allocated ({pool_short} allocs at {alloc_epochs} \
+             epochs, {pool_long} at {} epochs)",
+            alloc_epochs * 2
+        );
+        failed = true;
+    }
+    if serial_speedup < MIN_SERIAL_SPEEDUP {
+        eprintln!(
+            "FAIL: serial kernel {serial_speedup:.2}x over the reference loop, \
              below the {MIN_SERIAL_SPEEDUP:.1}x floor"
         );
         failed = true;
     }
-    if enforce_parallel && parallel_speedup_at_max < MIN_PARALLEL_SPEEDUP {
+    if enforce_parallel && parallel_speedup < MIN_PARALLEL_SPEEDUP {
         eprintln!(
-            "FAIL: {PARALLEL_JOBS} jobs {parallel_speedup_at_max:.2}x over serial, \
+            "FAIL: {PARALLEL_JOBS} jobs {parallel_speedup:.2}x over serial, \
              below the {MIN_PARALLEL_SPEEDUP:.1}x floor"
         );
         failed = true;
+    }
+    if let Some((prior_cores, prior_speedup)) = baseline {
+        // The PR-over-PR trend gate: both snapshots must come from
+        // multi-core hosts for the comparison to mean anything.
+        if enforce_parallel
+            && prior_cores >= PARALLEL_JOBS as u64
+            && parallel_speedup < prior_speedup * REGRESSION_TOLERANCE
+        {
+            eprintln!(
+                "FAIL: parallel speedup {parallel_speedup:.2}x regressed below \
+                 {REGRESSION_TOLERANCE}x the recorded baseline {prior_speedup:.2}x"
+            );
+            failed = true;
+        }
     }
     if warm_ratio < MIN_WARM_RATIO {
         eprintln!(

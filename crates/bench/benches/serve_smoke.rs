@@ -35,6 +35,7 @@ fn run_spec(agents: u32, epochs: usize) -> JobSpec {
             agents,
             epochs,
             seed: 7,
+            jobs: None,
         },
     })
 }
@@ -228,6 +229,7 @@ fn main() {
             agents: 20,
             epochs: 50_000_000,
             seed: 99,
+            jobs: None,
         },
     });
     let body = serde_json::to_string(&blocker).expect("blocker serializes");

@@ -93,7 +93,7 @@ USAGE:
                        [--epochs E] [--facility-n-min X] [--facility-n-max X]
                        [--seed S] [--json true]
   sprint serve         [--addr HOST:PORT] [--workers N] [--jobs J]
-                       [--spool DIR] [--event-log FILE.jsonl]
+                       [--jobs-cap N] [--spool DIR] [--event-log FILE.jsonl]
                        [--snapshot-ms MS] [--journal FILE.jsonl]
                        [--max-queue N] [--rate-limit PER_S]
                        [--client-jobs N]
@@ -279,6 +279,10 @@ fn parse_run_spec(args: &ParsedArgs) -> Result<RunSpec, CliError> {
         agents: args.get_parsed("agents", 1000)?,
         epochs: args.get_parsed("epochs", 600)?,
         seed: args.get_parsed("seed", 1)?,
+        // Local runs thread `--jobs` through ExecOptions directly; the
+        // in-spec knob exists for HTTP submissions, where the daemon
+        // applies its own cap.
+        jobs: None,
     })
 }
 
@@ -1053,6 +1057,7 @@ fn chaos_serve_restart(args: &ParsedArgs) -> Result<(), CliError> {
                 agents: 30,
                 epochs: 40,
                 seed,
+                jobs: None,
             },
         })
     };
@@ -1544,6 +1549,7 @@ pub fn serve(args: &ParsedArgs) -> Result<(), CliError> {
         "addr",
         "workers",
         "jobs",
+        "jobs-cap",
         "spool",
         "event-log",
         "snapshot-ms",
@@ -1565,6 +1571,7 @@ pub fn serve(args: &ParsedArgs) -> Result<(), CliError> {
         addr: args.get_or("addr", "127.0.0.1:7077"),
         workers: args.get_parsed("workers", 2)?,
         jobs: args.get_parsed("jobs", 1)?,
+        jobs_cap: args.get_parsed("jobs-cap", 0)?,
         spool: args.get("spool").map(std::path::PathBuf::from),
         event_log: args.get("event-log").map(std::path::PathBuf::from),
         snapshot_every_ms: args.get_parsed("snapshot-ms", 200)?,
@@ -2126,6 +2133,7 @@ mod tests {
                 agents: 20,
                 epochs: 10,
                 seed: 1,
+                jobs: None,
             },
         });
         std::fs::write(&spec_path, serde_json::to_string(&run_job).unwrap()).unwrap();

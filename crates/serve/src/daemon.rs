@@ -81,6 +81,12 @@ pub struct ServeConfig {
     /// Engine fan-out per job (`0` = available cores); never affects
     /// report bytes.
     pub jobs: usize,
+    /// Ceiling on the per-job `jobs` a submitted [`RunSpec`] may request
+    /// (`0` = available cores), so HTTP clients can size the engine's
+    /// worker pool without oversubscribing the daemon's own workers.
+    ///
+    /// [`RunSpec`]: crate::jobs::RunSpec
+    pub jobs_cap: usize,
     /// Directory to persist each `job-{id}.json` report into, if any.
     pub spool: Option<PathBuf>,
     /// Rotating JSONL event-log path, if any.
@@ -101,6 +107,7 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7077".to_string(),
             workers: 2,
             jobs: 1,
+            jobs_cap: 0,
             spool: None,
             event_log: None,
             snapshot_every_ms: 200,
@@ -514,6 +521,7 @@ fn worker_loop(shared: &Arc<Shared>, producer: RingProducer) {
     while let Some((id, spec, token)) = claim(shared) {
         let opts = ExecOptions {
             jobs: shared.opts.jobs,
+            jobs_cap: shared.opts.jobs_cap,
             supervision: shared.opts.supervision.clone(),
             cancel: Some(token),
         };
@@ -1086,6 +1094,7 @@ impl Daemon {
             stop: AtomicBool::new(false),
             opts: ExecOptions {
                 jobs: config.jobs,
+                jobs_cap: config.jobs_cap,
                 supervision: Supervision::default(),
                 cancel: None,
             },

@@ -76,7 +76,7 @@ fn de_or<T: serde::Deserialize>(
 /// One simulation run: a benchmark, a policy, and the knobs that shape
 /// the scenario. The typed replacement for `sprint simulate`'s (and
 /// trace/report/monitor's) flag plumbing.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSpec {
     /// Benchmark name (see `sprint benchmarks`).
     pub benchmark: String,
@@ -88,6 +88,49 @@ pub struct RunSpec {
     pub epochs: usize,
     /// Simulation seed.
     pub seed: u64,
+    /// Requested intra-run thread budget (the engine's persistent worker
+    /// pool size). `None` defers to the executor's default; `Some(0)`
+    /// asks for all available cores. The daemon clamps the request to
+    /// its `--jobs-cap` so HTTP clients can use the pool without
+    /// oversubscribing the host. Reports are byte-identical at every
+    /// value, so this knob shapes wall-clock only, never results.
+    pub jobs: Option<u64>,
+}
+
+// Hand-written so an absent `jobs` stays absent on the wire: pre-pool
+// specs keep their exact bytes (the journal replay and report
+// byte-identity gates pin them), and echoed reports only mention the
+// knob when the client asked for it.
+impl serde::Serialize for RunSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut obj = vec![
+            ("benchmark".to_string(), self.benchmark.to_value()),
+            ("policy".to_string(), self.policy.to_value()),
+            ("agents".to_string(), self.agents.to_value()),
+            ("epochs".to_string(), self.epochs.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+        ];
+        if let Some(jobs) = self.jobs {
+            obj.push(("jobs".to_string(), jobs.to_value()));
+        }
+        serde::Value::Object(obj)
+    }
+}
+
+impl serde::Deserialize for RunSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let Some(obj) = value.as_object() else {
+            return Err(serde::DeError::type_mismatch("object", value));
+        };
+        Ok(RunSpec {
+            benchmark: de_required(obj, "benchmark", "RunSpec")?,
+            policy: de_required(obj, "policy", "RunSpec")?,
+            agents: de_required(obj, "agents", "RunSpec")?,
+            epochs: de_required(obj, "epochs", "RunSpec")?,
+            seed: de_required(obj, "seed", "RunSpec")?,
+            jobs: de_or(obj, "jobs", None)?,
+        })
+    }
 }
 
 impl RunSpec {
@@ -374,6 +417,11 @@ pub struct ExecOptions {
     /// `0` sizes to the available cores. Reports are byte-identical at
     /// every job count.
     pub jobs: usize,
+    /// Ceiling on the per-run thread budget a [`RunSpec::jobs`] request
+    /// can claim. `0` caps at the available cores. The daemon sets this
+    /// from `--jobs-cap` so one HTTP client cannot oversubscribe the
+    /// host underneath the other workers.
+    pub jobs_cap: usize,
     /// Sweep trial supervision (deadline, retries).
     pub supervision: Supervision,
     /// Shared cancellation token for this execution, checked at the
@@ -387,6 +435,7 @@ impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions {
             jobs: 1,
+            jobs_cap: 0,
             supervision: Supervision::default(),
             cancel: None,
         }
@@ -398,6 +447,20 @@ fn effective_jobs(jobs: usize) -> usize {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
         jobs
+    }
+}
+
+/// Resolve a run's intra-run thread budget. The cap binds only the
+/// *spec's* request — that side comes from untrusted HTTP clients; the
+/// executor's own `opts.jobs` is the operator's word and passes through
+/// untouched. Byte-identity across job counts makes the clamp silent-safe.
+fn resolve_run_jobs(requested: Option<u64>, opts: &ExecOptions) -> usize {
+    match requested {
+        Some(jobs) => {
+            let asked = usize::try_from(jobs).unwrap_or(0);
+            effective_jobs(asked).min(effective_jobs(opts.jobs_cap))
+        }
+        None => effective_jobs(opts.jobs),
     }
 }
 
@@ -514,7 +577,7 @@ fn execute_run(
         &mut streams,
         policy.as_mut(),
         &guard,
-        effective_jobs(opts.jobs),
+        resolve_run_jobs(run.jobs, opts),
         telemetry,
     )
     .map_err(job_err)?;
@@ -615,6 +678,7 @@ mod tests {
                 agents: 20,
                 epochs: 15,
                 seed: 3,
+                jobs: None,
             },
         })
     }
@@ -775,6 +839,85 @@ mod tests {
     }
 
     #[test]
+    fn run_spec_jobs_is_absent_on_the_wire_unless_requested() {
+        // Pre-pool specs must keep their exact bytes: `jobs` only
+        // appears when a client asked for it.
+        let spec = small_run();
+        let text = serde_json::to_string(&spec).unwrap();
+        assert!(!text.contains("\"jobs\""), "{text}");
+        let JobKind::Run { spec: run } = &spec.job else {
+            unreachable!("small_run is a run job");
+        };
+        let mut with_jobs = run.clone();
+        with_jobs.jobs = Some(4);
+        let text = serde_json::to_string(&with_jobs).unwrap();
+        assert!(text.contains("\"jobs\":4"), "{text}");
+        let back: RunSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(with_jobs, back);
+    }
+
+    #[test]
+    fn run_jobs_requests_are_clamped_to_the_daemon_cap() {
+        let opts = ExecOptions {
+            jobs_cap: 2,
+            ..ExecOptions::default()
+        };
+        assert_eq!(resolve_run_jobs(Some(8), &opts), 2, "cap binds spec asks");
+        assert_eq!(resolve_run_jobs(Some(1), &opts), 1, "small asks pass");
+        // `Some(0)` asks for every core, still capped.
+        assert!(resolve_run_jobs(Some(0), &opts) <= 2);
+        // An uncapped daemon (`0` = cores) still bounds huge asks.
+        let open = ExecOptions::default();
+        assert_eq!(resolve_run_jobs(Some(u64::MAX), &open), effective_jobs(0));
+        // The operator's own jobs knob is never capped: the cap guards
+        // against untrusted spec requests only.
+        let local = ExecOptions {
+            jobs: 8,
+            jobs_cap: 2,
+            ..ExecOptions::default()
+        };
+        assert_eq!(resolve_run_jobs(None, &local), 8, "operator word passes");
+    }
+
+    #[test]
+    fn per_job_thread_budget_never_moves_report_facts() {
+        let mk = |jobs| {
+            JobSpec::new(JobKind::Run {
+                spec: RunSpec {
+                    benchmark: "svm".into(),
+                    policy: PolicyKind::Greedy,
+                    agents: 20,
+                    epochs: 15,
+                    seed: 3,
+                    jobs,
+                },
+            })
+        };
+        let opts = ExecOptions {
+            jobs_cap: 2,
+            ..ExecOptions::default()
+        };
+        let run = |spec: &JobSpec| {
+            let report = execute(
+                spec,
+                &EquilibriumCache::default(),
+                &opts,
+                &mut Telemetry::noop(),
+            )
+            .unwrap();
+            let JobOutcome::Run { report } = report.outcome else {
+                panic!("run job must produce a run outcome");
+            };
+            report
+        };
+        assert_eq!(
+            run(&mk(None)),
+            run(&mk(Some(8))),
+            "the thread-budget knob shapes wall-clock only, never results"
+        );
+    }
+
+    #[test]
     fn execute_rejects_unknown_benchmarks() {
         let spec = JobSpec::new(JobKind::Run {
             spec: RunSpec {
@@ -783,6 +926,7 @@ mod tests {
                 agents: 5,
                 epochs: 5,
                 seed: 1,
+                jobs: None,
             },
         });
         let err = execute(

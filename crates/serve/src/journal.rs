@@ -364,6 +364,7 @@ mod tests {
                 agents: 5,
                 epochs: 5,
                 seed,
+                jobs: None,
             },
         })
     }

@@ -19,6 +19,7 @@ fn blocker_spec(seed: u64) -> JobSpec {
             agents: 20,
             epochs: 20_000_000,
             seed,
+            jobs: None,
         },
     })
 }
@@ -31,6 +32,7 @@ fn quick_spec(seed: u64) -> JobSpec {
             agents: 10,
             epochs: 50,
             seed,
+            jobs: None,
         },
     })
 }

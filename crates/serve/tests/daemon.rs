@@ -26,6 +26,7 @@ fn et_run_spec(seed: u64) -> JobSpec {
             agents: 30,
             epochs: 40,
             seed,
+            jobs: None,
         },
     })
 }

@@ -21,6 +21,7 @@ fn blocker_spec(seed: u64) -> JobSpec {
             agents: 20,
             epochs: 20_000_000,
             seed,
+            jobs: None,
         },
     })
 }
@@ -33,6 +34,7 @@ fn quick_spec(seed: u64) -> JobSpec {
             agents: 10,
             epochs: 50,
             seed,
+            jobs: None,
         },
     })
 }

@@ -31,6 +31,7 @@ fn run_spec(seed: u64) -> JobSpec {
             agents: 30,
             epochs: 40,
             seed,
+            jobs: None,
         },
     })
 }

@@ -100,7 +100,7 @@ pub enum UtilityEstimation {
 /// ablation knobs and the fault plan, bundled so [`SimConfig`],
 /// [`crate::scenario::Scenario`], and sweep specs carry one options value
 /// instead of re-plumbing five setters.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunOptions {
     /// What servers produce while the rack recovers.
     pub recovery: RecoverySemantics,
@@ -112,6 +112,12 @@ pub struct RunOptions {
     pub faults: FaultPlan,
     /// Post-recovery wake-up stagger window (paper: two epochs).
     pub stagger_epochs: u32,
+    /// Agents per kernel chunk (default [`DEFAULT_CHUNK`]). Part of the
+    /// spec, not a runtime knob: the chunk grouping fixes the float
+    /// accumulation order of the chunk-ordered reduction, so two runs
+    /// agree bitwise iff they agree on the chunk size — and at a fixed
+    /// chunk size the result never depends on `jobs`.
+    pub chunk_agents: usize,
 }
 
 impl Default for RunOptions {
@@ -122,7 +128,63 @@ impl Default for RunOptions {
             estimation: UtilityEstimation::Oracle,
             faults: FaultPlan::none(),
             stagger_epochs: 2,
+            chunk_agents: DEFAULT_CHUNK,
         }
+    }
+}
+
+// Hand-written so `chunk_agents` is omitted at its default: every spec
+// and report written before the field existed keeps its exact bytes,
+// which the report byte-identity gates pin.
+impl serde::Serialize for RunOptions {
+    fn to_value(&self) -> serde::Value {
+        let mut obj = vec![
+            ("recovery".to_string(), self.recovery.to_value()),
+            ("interruption".to_string(), self.interruption.to_value()),
+            ("estimation".to_string(), self.estimation.to_value()),
+            ("faults".to_string(), self.faults.to_value()),
+            ("stagger_epochs".to_string(), self.stagger_epochs.to_value()),
+        ];
+        if self.chunk_agents != DEFAULT_CHUNK {
+            obj.push(("chunk_agents".to_string(), self.chunk_agents.to_value()));
+        }
+        serde::Value::Object(obj)
+    }
+}
+
+impl serde::Deserialize for RunOptions {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let Some(obj) = value.as_object() else {
+            return Err(serde::DeError::type_mismatch("object", value));
+        };
+        let d = RunOptions::default();
+        let field = |name: &str| serde::__field(obj, name);
+        Ok(RunOptions {
+            recovery: match field("recovery") {
+                Some(v) => serde::Deserialize::from_value(v)?,
+                None => d.recovery,
+            },
+            interruption: match field("interruption") {
+                Some(v) => serde::Deserialize::from_value(v)?,
+                None => d.interruption,
+            },
+            estimation: match field("estimation") {
+                Some(v) => serde::Deserialize::from_value(v)?,
+                None => d.estimation,
+            },
+            faults: match field("faults") {
+                Some(v) => serde::Deserialize::from_value(v)?,
+                None => d.faults,
+            },
+            stagger_epochs: match field("stagger_epochs") {
+                Some(v) => serde::Deserialize::from_value(v)?,
+                None => d.stagger_epochs,
+            },
+            chunk_agents: match field("chunk_agents") {
+                Some(v) => serde::Deserialize::from_value(v)?,
+                None => DEFAULT_CHUNK,
+            },
+        })
     }
 }
 
@@ -204,6 +266,15 @@ impl SimConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.options.faults = faults;
+        self
+    }
+
+    /// Override the kernel chunk size (tiling experiments). Changing it
+    /// changes the float-accumulation grouping and therefore the result
+    /// bytes — it is part of the spec, not a runtime knob.
+    #[must_use]
+    pub fn with_chunk_agents(mut self, chunk_agents: usize) -> Self {
+        self.options.chunk_agents = chunk_agents;
         self
     }
 
@@ -433,10 +504,11 @@ impl EngineIds {
     }
 }
 
-/// Agents per kernel chunk. Fixed — never derived from the job count —
-/// so per-chunk float accumulation and the chunk-ordered reduction are
+/// Default agents per kernel chunk ([`RunOptions::chunk_agents`]). The
+/// chunk size is fixed per run — never derived from the job count — so
+/// per-chunk float accumulation and the chunk-ordered reduction are
 /// identical at every `jobs` value.
-const CHUNK: usize = 1024;
+pub const DEFAULT_CHUNK: usize = 1024;
 
 /// The rack-level "agent" coordinate for draws that are not per-agent
 /// (breaker trip, sensor noise, recovery exit). Real agent indices are
@@ -737,6 +809,8 @@ struct EpochCtx<'a> {
     cool_scale: f64,
     decider: Option<&'a StaticDecider>,
     mode: KernelMode,
+    /// Agents per chunk ([`RunOptions::chunk_agents`]).
+    chunk: usize,
 }
 
 /// Advance one agent's wall-clock processes: utility stream and crash
@@ -792,6 +866,102 @@ fn advance_agent(ctx: &EpochCtx<'_>, agent: u64, i: usize, v: &mut LaneView<'_>)
     (v.crashed[i], flag)
 }
 
+/// The streamlined fused kernel for the common case: oracle estimation,
+/// no crash or stuck faults, rack powered. The per-agent work of
+/// [`run_chunk`] is split into three passes over the SoA lanes so the
+/// decide pass is branch-free and auto-vectorizable:
+///
+/// - **A** — phase advance (rare resample, one compare per agent);
+/// - **B** — decide: `sprinted[i] = active & unblocked & over-threshold`,
+///   straight-line boolean arithmetic over the `states`, `blocked_until`,
+///   and `phase` lanes with the decider match hoisted out of the loop;
+/// - **C** — accumulate throughput/occupancy and apply transitions in the
+///   same per-agent order as the fused path, so every float lands in the
+///   accumulator in the identical sequence and every counter draw uses
+///   the identical coordinates — the restructure is bitwise invisible.
+fn run_chunk_streamlined(
+    ctx: &EpochCtx<'_>,
+    decider: &StaticDecider,
+    base: usize,
+    v: &mut LaneView<'_>,
+    lo: usize,
+    hi: usize,
+) -> ChunkStats {
+    let mut st = ChunkStats::default();
+    let epoch = ctx.epoch as u64;
+    // Pass A: phase processes (wall-clock time, independent of power
+    // state). Resampling is rare — mean phase lengths are the benchmark
+    // persistences — so the loop body is usually one load and compare.
+    for i in lo..hi {
+        if epoch == v.next_change[i] {
+            let a = base + i;
+            let key = ctx.phases.keys[a];
+            let w = key.word(epoch, 0);
+            let sampler = &ctx.phases.samplers[ctx.phases.sampler_of[a] as usize];
+            let scale = 1.0 / 4_294_967_296.0;
+            let u_bin = (w >> 32) as f64 * scale;
+            let u_pos = f64::from(w as u32) * scale;
+            v.phase[i] = sampler.sample(u_bin, u_pos);
+            v.next_change[i] = epoch + ctx.phases.gap(a, key.uniform(epoch, 1));
+        }
+    }
+    // Pass B: branch-free decide. Non-active agents never sprint, so
+    // writing the conjunction unconditionally also clears the lane for
+    // cooling/recovery agents exactly as the fused path does.
+    match decider {
+        StaticDecider::AlwaysSprint => {
+            for i in lo..hi {
+                v.sprinted[i] =
+                    matches!(v.states[i], AgentState::Active) & (ctx.epoch >= v.blocked_until[i]);
+            }
+        }
+        StaticDecider::PerAgent(thresholds) => {
+            // Global-agent indexing, sliced once; a mis-sized decider
+            // panics here like `wants_sprint` would.
+            let t = &thresholds[base + lo..base + hi];
+            for (k, i) in (lo..hi).enumerate() {
+                v.sprinted[i] = matches!(v.states[i], AgentState::Active)
+                    & (ctx.epoch >= v.blocked_until[i])
+                    & (v.phase[i] > t[k]);
+            }
+        }
+    }
+    // Pass C: throughput, occupancy, and speculative transitions, one
+    // agent at a time in index order (bitwise-identical accumulation).
+    for i in lo..hi {
+        let agent = (base + i) as u64;
+        match v.states[i] {
+            AgentState::Active => {
+                st.decisions += u32::from(ctx.epoch >= v.blocked_until[i]);
+                if v.sprinted[i] {
+                    st.n_sprinters += 1;
+                    st.occ_sprinting += 1;
+                    st.tasks += v.phase[i];
+                    v.states[i] = AgentState::Cooling;
+                    let u = ctx.draws.cooling.uniform(agent, epoch, 0);
+                    v.cool_until[i] = epoch + geometric_gap(u, ctx.cool_scale);
+                } else {
+                    st.occ_idle += 1;
+                    st.tasks += 1.0;
+                }
+            }
+            AgentState::Cooling => {
+                st.occ_cooling += 1;
+                st.tasks += 1.0;
+                if epoch >= v.cool_until[i] {
+                    v.states[i] = AgentState::Active;
+                }
+            }
+            AgentState::Recovery => {
+                v.states[i] = AgentState::Active;
+                st.occ_idle += 1;
+                st.tasks += 1.0;
+            }
+        }
+    }
+    st
+}
+
 /// Run one chunk of agents; lane index `i` is agent `base + i`.
 fn run_chunk(
     ctx: &EpochCtx<'_>,
@@ -800,6 +970,15 @@ fn run_chunk(
     lo: usize,
     hi: usize,
 ) -> ChunkStats {
+    if ctx.mode == KernelMode::Fused
+        && !ctx.rack_recovering
+        && ctx.plan.crash.is_none()
+        && ctx.plan.stuck.is_none()
+        && ctx.estimation == UtilityEstimation::Oracle
+    {
+        let decider = ctx.decider.expect("fused kernel requires a static decider");
+        return run_chunk_streamlined(ctx, decider, base, v, lo, hi);
+    }
     let mut st = ChunkStats::default();
     let epoch = ctx.epoch as u64;
     let track_stuck = ctx.plan.stuck.is_some();
@@ -909,54 +1088,395 @@ fn run_chunk(
 fn run_span(ctx: &EpochCtx<'_>, base: usize, v: &mut LaneView<'_>, stats: &mut [ChunkStats]) {
     let mut lo = 0;
     for cs in stats.iter_mut() {
-        let hi = (lo + CHUNK).min(v.len());
+        let hi = (lo + ctx.chunk).min(v.len());
         *cs = run_chunk(ctx, base, v, lo, hi);
         lo = hi;
     }
 }
 
-/// One kernel pass over all agents: serial when one worker suffices,
-/// otherwise fanned out over scoped threads in contiguous whole-chunk
-/// spans. Chunk results land in `stats` by chunk index either way, so the
-/// reduction downstream never sees the difference.
-fn run_epoch_region(ctx: &EpochCtx<'_>, jobs: usize, view: LaneView<'_>, stats: &mut [ChunkStats]) {
-    let n_chunks = stats.len();
-    let workers = jobs.clamp(1, n_chunks.max(1));
-    if workers <= 1 {
-        let mut v = view;
-        run_span(ctx, 0, &mut v, stats);
-        return;
+// ---------------------------------------------------------------------
+// The persistent epoch-kernel worker pool.
+//
+// `jobs > 1` used to spawn fresh scoped threads *every epoch*; a
+// 20 000-epoch run paid 20 000× thread spawn/join latency, which is why
+// the parallel path lost to serial. The pool below is created once per
+// run: workers are spawned before the epoch loop, sleep between epochs,
+// and are released per epoch through an atomic sequence barrier — no
+// per-epoch allocation and, once spinning, no per-epoch syscalls.
+//
+// Barrier protocol (see DESIGN.md §17):
+//
+// - One `AtomicU64` ticket encodes the pass: `(epoch+1) << 2 |
+//   fused << 1 | recovering`. 0 means "no pass yet"; `u64::MAX` means
+//   shutdown. The coordinator publishes it with `Release`; workers
+//   observe it with `Acquire`, so every lane byte the coordinator wrote
+//   between passes (serial decides, recovery fills) happens-before the
+//   workers' reads.
+// - Each spawned worker owns a cache-line-padded `done` slot. After
+//   running its span it stores the ticket with `Release` and unparks the
+//   coordinator; the coordinator spins-then-parks until every slot shows
+//   the ticket (`Acquire`), so every lane byte the workers wrote
+//   happens-before the coordinator's reduction.
+// - Workers spin briefly then `park()`; `unpark` tokens are sticky, so a
+//   publish that races a worker entering `park` cannot be lost.
+// - A worker wraps its span in `catch_unwind`: on panic it raises the
+//   shared `panicked` flag, *still* stores its `done` ticket (the
+//   barrier never deadlocks), and exits. The coordinator turns the flag
+//   into a typed [`SimError::WorkerPanicked`]. A drop guard publishes
+//   the shutdown ticket on every exit path — normal completion, cancel/
+//   deadline error, or panic — so the scoped join always completes.
+//
+// Each worker's span is a fixed contiguous block of whole chunks,
+// partitioned exactly like the old per-epoch split, carved once into raw
+// lane pointers. Safety rests on alternating exclusive access: workers
+// touch their spans only between ticket publish and done store, the
+// coordinator touches the lanes only outside that window, and the two
+// atomics order the handoff in both directions.
+// ---------------------------------------------------------------------
+
+/// Pool shutdown ticket.
+const POOL_SHUTDOWN: u64 = u64::MAX;
+
+/// Spins before a waiter parks. High enough that a worker whose next
+/// pass is already being published never syscalls; low enough that an
+/// oversubscribed host degrades to sleeping instead of burning cores.
+const POOL_SPINS: u32 = 1 << 14;
+
+/// One spawned worker's barrier slot, padded to its own cache line so
+/// per-pass `done` stores never false-share with a neighbor.
+#[repr(align(128))]
+struct WorkerSlot {
+    /// Last ticket this worker completed.
+    done: std::sync::atomic::AtomicU64,
+    /// Nanoseconds spent in kernel passes (tracked only when telemetry
+    /// is on; read after shutdown for the pool-utilization gauge).
+    busy_nanos: std::sync::atomic::AtomicU64,
+}
+
+/// Coordinator/worker shared state for one run's pool.
+struct PoolCtrl {
+    /// The pass ticket: `(epoch+1) << 2 | fused << 1 | recovering`.
+    seq: std::sync::atomic::AtomicU64,
+    slots: Box<[WorkerSlot]>,
+    /// Raised by any participant whose span panicked.
+    panicked: std::sync::atomic::AtomicBool,
+    /// The coordinator's thread handle, for targeted unparks.
+    coordinator: std::thread::Thread,
+    /// Track per-pass busy time (telemetry enabled)?
+    timed: bool,
+}
+
+impl PoolCtrl {
+    fn new(spawned: usize, timed: bool) -> Self {
+        PoolCtrl {
+            seq: std::sync::atomic::AtomicU64::new(0),
+            slots: (0..spawned)
+                .map(|_| WorkerSlot {
+                    done: std::sync::atomic::AtomicU64::new(0),
+                    busy_nanos: std::sync::atomic::AtomicU64::new(0),
+                })
+                .collect(),
+            panicked: std::sync::atomic::AtomicBool::new(false),
+            coordinator: std::thread::current(),
+            timed,
+        }
     }
+
+    fn encode(epoch: usize, fused: bool, recovering: bool) -> u64 {
+        ((epoch as u64 + 1) << 2) | (u64::from(fused) << 1) | u64::from(recovering)
+    }
+}
+
+/// The run-constant inputs of [`EpochCtx`], shared with pool workers so
+/// each can rebuild the epoch's context from the ticket alone.
+struct PassConstants<'a> {
+    plan: &'a FaultPlan,
+    draws: &'a Draws,
+    phases: &'a PhaseKernel,
+    estimation: UtilityEstimation,
+    cool_scale: f64,
+    decider: Option<&'a StaticDecider>,
+    chunk: usize,
+}
+
+impl<'a> PassConstants<'a> {
+    /// The [`EpochCtx`] a ticket denotes — identical to the one the
+    /// coordinator built, because everything else is run-constant.
+    fn ctx(&self, ticket: u64) -> EpochCtx<'a> {
+        let fused = ticket & 0b10 != 0;
+        EpochCtx {
+            epoch: ((ticket >> 2) - 1) as usize,
+            plan: self.plan,
+            draws: self.draws,
+            phases: self.phases,
+            estimation: self.estimation,
+            rack_recovering: ticket & 0b01 != 0,
+            cool_scale: self.cool_scale,
+            decider: self.decider,
+            mode: if fused {
+                KernelMode::Fused
+            } else {
+                KernelMode::Advance
+            },
+            chunk: self.chunk,
+        }
+    }
+}
+
+/// One worker's fixed span: raw pointers into every lane plus its chunk
+/// of the stats array, carved once at pool creation. The pointers stay
+/// valid for the whole run (the `Lanes` vectors are never resized after
+/// setup) and the barrier protocol makes access exclusive in time.
+#[derive(Clone, Copy)]
+struct SpanPtr {
+    /// Global agent index of the span start.
+    base: usize,
+    /// Agents in the span.
+    len: usize,
+    /// Chunks in the span.
+    n_stats: usize,
+    phase: *mut f64,
+    next_change: *mut u64,
+    states: *mut AgentState,
+    blocked_until: *mut usize,
+    cool_until: *mut u64,
+    crashed: *mut bool,
+    stuck: *mut bool,
+    sprinted: *mut bool,
+    churn_flag: *mut u8,
+    stick_flag: *mut bool,
+    stats: *mut ChunkStats,
+}
+
+// The raw pointers target disjoint spans handed to exactly one worker
+// each; the barrier protocol serializes all access (see above).
+unsafe impl Send for SpanPtr {}
+
+impl SpanPtr {
+    fn carve(base: usize, view: LaneView<'_>, stats: &mut [ChunkStats]) -> Self {
+        SpanPtr {
+            base,
+            len: view.phase.len(),
+            n_stats: stats.len(),
+            phase: view.phase.as_mut_ptr(),
+            next_change: view.next_change.as_mut_ptr(),
+            states: view.states.as_mut_ptr(),
+            blocked_until: view.blocked_until.as_mut_ptr(),
+            cool_until: view.cool_until.as_mut_ptr(),
+            crashed: view.crashed.as_mut_ptr(),
+            stuck: view.stuck.as_mut_ptr(),
+            sprinted: view.sprinted.as_mut_ptr(),
+            churn_flag: view.churn_flag.as_mut_ptr(),
+            stick_flag: view.stick_flag.as_mut_ptr(),
+            stats: stats.as_mut_ptr(),
+        }
+    }
+
+    /// Run one kernel pass over this span.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold this span's turn under the barrier protocol:
+    /// between the coordinator's ticket publish and this span's `done`
+    /// store (workers), or any time outside a pass (the coordinator's
+    /// own span).
+    unsafe fn run(&self, ctx: &EpochCtx<'_>) {
+        use std::slice::from_raw_parts_mut;
+        let mut v = LaneView {
+            phase: from_raw_parts_mut(self.phase, self.len),
+            next_change: from_raw_parts_mut(self.next_change, self.len),
+            states: from_raw_parts_mut(self.states, self.len),
+            blocked_until: from_raw_parts_mut(self.blocked_until, self.len),
+            cool_until: from_raw_parts_mut(self.cool_until, self.len),
+            crashed: from_raw_parts_mut(self.crashed, self.len),
+            stuck: from_raw_parts_mut(self.stuck, self.len),
+            sprinted: from_raw_parts_mut(self.sprinted, self.len),
+            churn_flag: from_raw_parts_mut(self.churn_flag, self.len),
+            stick_flag: from_raw_parts_mut(self.stick_flag, self.len),
+        };
+        let stats = from_raw_parts_mut(self.stats, self.n_stats);
+        run_span(ctx, self.base, &mut v, stats);
+    }
+}
+
+/// Partition lanes + stats into `workers` contiguous whole-chunk spans —
+/// the identical split at every job count, so chunk results land at the
+/// same indices no matter who runs them. Span 0 belongs to the
+/// coordinator thread.
+fn carve_spans(
+    lanes: &mut Lanes,
+    stats: &mut [ChunkStats],
+    workers: usize,
+    chunk: usize,
+) -> Vec<SpanPtr> {
+    let n_chunks = stats.len();
     let q = n_chunks / workers;
     let r = n_chunks % workers;
-    std::thread::scope(|scope| {
-        let mut rest = view;
-        let mut rest_stats = stats;
-        let mut base = 0usize;
-        let mut own: Option<(usize, LaneView<'_>, &mut [ChunkStats])> = None;
-        for w in 0..workers {
-            let span_chunks = q + usize::from(w < r);
-            let span_agents = (span_chunks * CHUNK).min(rest.len());
-            let (head, tail) = rest.split_at_mut(span_agents);
-            rest = tail;
-            let (head_stats, tail_stats) = rest_stats.split_at_mut(span_chunks);
-            rest_stats = tail_stats;
-            if w == 0 {
-                own = Some((base, head, head_stats));
-            } else {
-                scope.spawn(move || {
-                    let mut v = head;
-                    run_span(ctx, base, &mut v, head_stats);
-                });
+    let mut spans = Vec::with_capacity(workers);
+    let mut rest = lanes.view();
+    let mut rest_stats = stats;
+    let mut base = 0usize;
+    for w in 0..workers {
+        let span_chunks = q + usize::from(w < r);
+        let span_agents = (span_chunks * chunk).min(rest.len());
+        let (head, tail) = rest.split_at_mut(span_agents);
+        rest = tail;
+        let (head_stats, tail_stats) = rest_stats.split_at_mut(span_chunks);
+        rest_stats = tail_stats;
+        spans.push(SpanPtr::carve(base, head, head_stats));
+        base += span_agents;
+    }
+    spans
+}
+
+/// A spawned pool worker: wait for the next ticket, run the fixed span,
+/// report done, repeat until shutdown (or until a pass panics).
+fn pool_worker(ctrl: &PoolCtrl, idx: usize, span: SpanPtr, consts: &PassConstants<'_>) {
+    use std::sync::atomic::Ordering;
+    let mut last = 0u64;
+    loop {
+        // Spin-then-park for the next ticket. `unpark` tokens are sticky,
+        // so a publish landing between the load and `park()` just makes
+        // the park return immediately.
+        let mut spins = 0u32;
+        let ticket = loop {
+            let s = ctrl.seq.load(Ordering::Acquire);
+            if s != last {
+                break s;
             }
-            base += span_agents;
+            spins += 1;
+            if spins < POOL_SPINS {
+                std::hint::spin_loop();
+            } else {
+                std::thread::park();
+            }
+        };
+        if ticket == POOL_SHUTDOWN {
+            break;
         }
-        // The caller's thread processes the first span while the spawned
-        // workers handle the rest.
-        if let Some((b, mut v, s)) = own {
-            run_span(ctx, b, &mut v, s);
+        last = ticket;
+        let t0 = ctrl.timed.then(std::time::Instant::now);
+        let ctx = consts.ctx(ticket);
+        let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+            span.run(&ctx);
+        }))
+        .is_ok();
+        if let Some(t0) = t0 {
+            ctrl.slots[idx]
+                .busy_nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
-    });
+        if !ok {
+            ctrl.panicked.store(true, Ordering::Release);
+        }
+        // Done is stored even after a panic so the coordinator's barrier
+        // wait always completes; the panic surfaces as a typed error.
+        ctrl.slots[idx].done.store(ticket, Ordering::Release);
+        ctrl.coordinator.unpark();
+        if !ok {
+            break;
+        }
+    }
+}
+
+/// Publishes the shutdown ticket when the coordinator leaves the epoch
+/// loop — normally, via an error return, or unwinding — so parked
+/// workers always exit and the scoped join never hangs.
+struct PoolShutdown<'a> {
+    ctrl: &'a PoolCtrl,
+    threads: &'a [std::thread::Thread],
+}
+
+impl Drop for PoolShutdown<'_> {
+    fn drop(&mut self) {
+        self.ctrl
+            .seq
+            .store(POOL_SHUTDOWN, std::sync::atomic::Ordering::Release);
+        for t in self.threads {
+            t.unpark();
+        }
+    }
+}
+
+/// How one epoch's kernel pass executes: inline on the caller, or fanned
+/// out through the persistent pool.
+enum PassExec<'a> {
+    /// One worker: run every chunk on the calling thread.
+    Serial,
+    /// The persistent pool: coordinator runs span 0, spawned workers run
+    /// the rest, the sequence barrier hands lanes back and forth.
+    Pool {
+        ctrl: &'a PoolCtrl,
+        /// The coordinator's own span.
+        own: SpanPtr,
+        /// Spawned worker handles, for per-pass unparks.
+        threads: &'a [std::thread::Thread],
+    },
+}
+
+impl PassExec<'_> {
+    /// One kernel pass over all agents for `ctx`'s epoch. Chunk results
+    /// land in `stats` by chunk index on either variant, so the
+    /// reduction downstream never sees the difference.
+    fn pass(
+        &mut self,
+        ctx: &EpochCtx<'_>,
+        lanes: &mut Lanes,
+        stats: &mut [ChunkStats],
+        telemetry: &mut Telemetry,
+        on: bool,
+    ) -> crate::Result<()> {
+        use std::sync::atomic::Ordering;
+        match self {
+            PassExec::Serial => {
+                run_span(ctx, 0, &mut lanes.view(), stats);
+                Ok(())
+            }
+            PassExec::Pool { ctrl, own, threads } => {
+                let ticket = PoolCtrl::encode(
+                    ctx.epoch,
+                    ctx.mode == KernelMode::Fused,
+                    ctx.rack_recovering,
+                );
+                ctrl.seq.store(ticket, Ordering::Release);
+                for t in threads.iter() {
+                    t.unpark();
+                }
+                // The coordinator runs its own span through the same
+                // catch so a panicking decider surfaces as a typed error
+                // on every span, not a process abort on span 0.
+                let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+                    own.run(ctx);
+                }))
+                .is_ok();
+                if !ok {
+                    ctrl.panicked.store(true, Ordering::Release);
+                }
+                // Barrier: wait until every worker finished this pass.
+                let barrier_span = on.then(|| telemetry.spans.open("engine.epoch_barrier"));
+                for slot in ctrl.slots.iter() {
+                    let mut spins = 0u32;
+                    while slot.done.load(Ordering::Acquire) != ticket {
+                        spins += 1;
+                        if spins < POOL_SPINS {
+                            std::hint::spin_loop();
+                        } else {
+                            std::thread::park_timeout(std::time::Duration::from_micros(100));
+                        }
+                    }
+                }
+                if let Some(s) = barrier_span {
+                    telemetry.spans.close(s);
+                }
+                if ctrl.panicked.load(Ordering::Acquire) {
+                    return Err(SimError::WorkerPanicked {
+                        what: "engine epoch kernel",
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 /// The serial path's second pass: occupancy and unscaled task sums in the
@@ -974,7 +1494,7 @@ fn post_decide_pass(
     let track_stuck = ctx.plan.stuck.is_some();
     let mut lo = 0;
     for cs in stats.iter_mut() {
-        let hi = (lo + CHUNK).min(v.len());
+        let hi = (lo + ctx.chunk).min(v.len());
         // Preserve the churn partials this epoch already produced;
         // rebuild the decision-dependent ones.
         let mut st = *cs;
@@ -1239,8 +1759,43 @@ pub fn run_guarded(
         // First phase length, from the reserved setup coordinate.
         lanes.next_change[i] = phases.gap(i, phases.keys[i].uniform(PHASE_SETUP_EPOCH, 0));
     }
-    let n_chunks = n.div_ceil(CHUNK);
+    let chunk = config.options.chunk_agents;
+    if chunk == 0 {
+        return Err(SimError::InvalidParameter {
+            name: "chunk_agents",
+            value: 0.0,
+            expected: "at least one agent per chunk",
+        });
+    }
+    let n_chunks = n.div_ceil(chunk);
     let mut chunk_stats = vec![ChunkStats::default(); n_chunks];
+
+    // The persistent pool: sized once, spawned once, reused by every
+    // epoch. One worker (or one chunk) means no pool at all.
+    let workers = if n_chunks > 1 {
+        jobs.clamp(1, n_chunks)
+    } else {
+        1
+    };
+    let (spans, ctrl) = if workers > 1 {
+        (
+            carve_spans(&mut lanes, &mut chunk_stats, workers, chunk),
+            Some(PoolCtrl::new(workers - 1, on)),
+        )
+    } else {
+        (Vec::new(), None)
+    };
+    let consts = PassConstants {
+        plan: &plan,
+        draws: &draws,
+        phases: &phases,
+        estimation: config.options.estimation,
+        cool_scale,
+        decider: decider.as_ref(),
+        chunk,
+    };
+    let loop_t0 = (on && ctrl.is_some()).then(std::time::Instant::now);
+
     let mut rack_recovering = false;
     let mut faults = FaultMetrics::default();
     let mut sprinters_per_epoch = Vec::with_capacity(config.epochs);
@@ -1248,351 +1803,381 @@ pub fn run_guarded(
     let mut total_tasks = 0.0f64;
     let mut trips = 0u32;
 
-    for epoch in 0..config.epochs {
-        if epoch & 63 == 0 {
-            if let Some(d) = deadline {
-                if d.expired() {
-                    return Err(SimError::DeadlineExceeded {
-                        what: "simulation run",
-                        limit_ms: d.limit_ms(),
-                    });
+    // The epoch loop, parameterized by the pass executor so the serial
+    // and pooled paths share every byte of the logic.
+    let mut run_body = |exec: &mut PassExec<'_>| -> crate::Result<()> {
+        for epoch in 0..config.epochs {
+            if epoch & 63 == 0 {
+                if let Some(d) = deadline {
+                    if d.expired() {
+                        return Err(SimError::DeadlineExceeded {
+                            what: "simulation run",
+                            limit_ms: d.limit_ms(),
+                        });
+                    }
+                }
+                if let Some(token) = &guard.cancel {
+                    token.check("simulation run")?;
                 }
             }
-            if let Some(token) = &guard.cancel {
-                token.check("simulation run")?;
+            let epoch_span = on.then(|| telemetry.spans.open("engine.epoch"));
+            // Epoch throughput is reported as a delta so instrumentation never
+            // reorders the float accumulation below.
+            let tasks_before = total_tasks;
+
+            let fused = decider.is_some() && !rack_recovering;
+            let ctx = EpochCtx {
+                epoch,
+                plan: &plan,
+                draws: &draws,
+                phases: &phases,
+                estimation: config.options.estimation,
+                rack_recovering,
+                cool_scale,
+                decider: decider.as_ref(),
+                mode: if fused {
+                    KernelMode::Fused
+                } else {
+                    KernelMode::Advance
+                },
+                chunk,
+            };
+            let fused_decide_span = (on && fused).then(|| telemetry.spans.open("engine.decide"));
+            exec.pass(&ctx, &mut lanes, &mut chunk_stats, telemetry, on)?;
+            if let Some(s) = fused_decide_span {
+                telemetry.spans.close(s);
             }
-        }
-        let epoch_span = on.then(|| telemetry.spans.open("engine.epoch"));
-        // Epoch throughput is reported as a delta so instrumentation never
-        // reorders the float accumulation below.
-        let tasks_before = total_tasks;
 
-        let fused = decider.is_some() && !rack_recovering;
-        let ctx = EpochCtx {
-            epoch,
-            plan: &plan,
-            draws: &draws,
-            phases: &phases,
-            estimation: config.options.estimation,
-            rack_recovering,
-            cool_scale,
-            decider: decider.as_ref(),
-            mode: if fused {
-                KernelMode::Fused
+            // Reduce the churn partials (every mode produces them) and drain
+            // the per-agent event flags on this thread, in agent order.
+            let mut epoch_crashes = 0u32;
+            let mut epoch_restarts = 0u32;
+            let mut n_crashed = 0u64;
+            for cs in &chunk_stats {
+                epoch_crashes += cs.crashes;
+                epoch_restarts += cs.restarts;
+                n_crashed += u64::from(cs.n_crashed);
+            }
+            faults.crashes += u64::from(epoch_crashes);
+            faults.restarts += u64::from(epoch_restarts);
+            faults.crashed_agent_epochs += n_crashed;
+            if plan.crash.is_some() {
+                if want_fault_events {
+                    for (i, flag) in lanes.churn_flag.iter().enumerate() {
+                        let kind = match flag {
+                            1 => FaultKind::Crash,
+                            2 => FaultKind::Restart,
+                            _ => continue,
+                        };
+                        telemetry.emit(&Event::FaultInjected {
+                            epoch,
+                            kind,
+                            agent: Some(i as u32),
+                        });
+                    }
+                }
+                // Registry increments are batched per epoch: one add per
+                // fault kind instead of one per affected agent.
+                if let Some(ids) = &ids {
+                    if epoch_crashes > 0 {
+                        telemetry
+                            .registry
+                            .inc(ids.fault(FaultKind::Crash), u64::from(epoch_crashes));
+                    }
+                    if epoch_restarts > 0 {
+                        telemetry
+                            .registry
+                            .inc(ids.fault(FaultKind::Restart), u64::from(epoch_restarts));
+                    }
+                }
+            }
+
+            if rack_recovering {
+                occupancy.recovery += n as u64 - n_crashed;
+                if config.options.recovery == RecoverySemantics::NormalMode {
+                    total_tasks += (n as u64 - n_crashed) as f64;
+                }
+                sprinters_per_epoch.push(0);
+                // Batteries recharge: geometric exit, then staggered wake-up.
+                if draws.recovery.uniform(RACK, epoch as u64, 0) < p_recover_exit {
+                    rack_recovering = false;
+                    let stagger = config.options.stagger_epochs;
+                    for (i, state) in lanes.states.iter_mut().enumerate() {
+                        *state = AgentState::Active;
+                        let slot = if stagger == 0 {
+                            0
+                        } else {
+                            draws
+                                .recovery
+                                .index(i as u64, epoch as u64, 1, u64::from(stagger))
+                                as usize
+                        };
+                        lanes.blocked_until[i] = epoch + 1 + slot;
+                    }
+                }
+                if on {
+                    let epoch_tasks = total_tasks - tasks_before;
+                    telemetry.emit(&Event::EpochTick {
+                        epoch,
+                        sprinters: 0,
+                        stuck: 0,
+                        tripped: false,
+                        recovering: true,
+                        tasks: epoch_tasks,
+                    });
+                    if let Some(ids) = &ids {
+                        telemetry.registry.inc(ids.epochs, 1);
+                        telemetry.registry.push(ids.sprinter_series, 0.0);
+                        telemetry.registry.push(ids.task_series, epoch_tasks);
+                        telemetry.registry.push(ids.trip_series, 0.0);
+                    }
+                    if let Some(s) = epoch_span {
+                        telemetry.spans.close(s);
+                    }
+                }
+                policy.epoch_end(false);
+                continue;
+            }
+
+            // Decisions. The fused kernel already made them; stateful
+            // policies (and decision-traced runs) decide serially here on the
+            // same counter draws.
+            let mut n_sprinters = 0u32;
+            let mut n_stuck = 0u32;
+            if fused {
+                let mut decisions = 0u64;
+                for cs in &chunk_stats {
+                    n_sprinters += cs.n_sprinters;
+                    n_stuck += cs.n_stuck;
+                    decisions += u64::from(cs.decisions);
+                }
+                faults.stuck_epochs += u64::from(n_stuck);
+                policy.note_decisions(decisions);
             } else {
-                KernelMode::Advance
-            },
-        };
-        let fused_decide_span = (on && fused).then(|| telemetry.spans.open("engine.decide"));
-        run_epoch_region(&ctx, jobs, lanes.view(), &mut chunk_stats);
-        if let Some(s) = fused_decide_span {
-            telemetry.spans.close(s);
-        }
+                let decide_span = on.then(|| telemetry.spans.open("engine.decide"));
+                for i in 0..n {
+                    lanes.sprinted[i] = false;
+                    if lanes.crashed[i] {
+                        continue;
+                    }
+                    match lanes.states[i] {
+                        AgentState::Active => {
+                            let estimate = match config.options.estimation {
+                                UtilityEstimation::Oracle => lanes.phase[i],
+                                UtilityEstimation::Noisy { relative_sd } => {
+                                    let z = draws.estimate.normal(i as u64, epoch as u64, 0);
+                                    (lanes.phase[i] * (1.0 + relative_sd * z)).max(0.0)
+                                }
+                            };
+                            let may_sprint = epoch >= lanes.blocked_until[i];
+                            let sprint = may_sprint && policy.wants_sprint(i, estimate);
+                            if sprint {
+                                lanes.sprinted[i] = true;
+                                n_sprinters += 1;
+                            }
+                            if want_decisions {
+                                telemetry.emit(&Event::SprintDecision {
+                                    epoch,
+                                    agent: i as u32,
+                                    estimate,
+                                    sprint,
+                                });
+                            }
+                        }
+                        AgentState::Cooling => {
+                            if lanes.stuck[i] {
+                                n_stuck += 1;
+                                faults.stuck_epochs += 1;
+                            }
+                        }
+                        AgentState::Recovery => {
+                            lanes.states[i] = AgentState::Active;
+                        }
+                    }
+                }
+                if let Some(s) = decide_span {
+                    telemetry.spans.close(s);
+                }
+            }
+            sprinters_per_epoch.push(n_sprinters);
 
-        // Reduce the churn partials (every mode produces them) and drain
-        // the per-agent event flags on this thread, in agent order.
-        let mut epoch_crashes = 0u32;
-        let mut epoch_restarts = 0u32;
-        let mut n_crashed = 0u64;
-        for cs in &chunk_stats {
-            epoch_crashes += cs.crashes;
-            epoch_restarts += cs.restarts;
-            n_crashed += u64::from(cs.n_crashed);
-        }
-        faults.crashes += u64::from(epoch_crashes);
-        faults.restarts += u64::from(epoch_restarts);
-        faults.crashed_agent_epochs += n_crashed;
-        if plan.crash.is_some() {
-            if want_fault_events {
-                for (i, flag) in lanes.churn_flag.iter().enumerate() {
-                    let kind = match flag {
-                        1 => FaultKind::Crash,
-                        2 => FaultKind::Restart,
-                        _ => continue,
-                    };
+            // Breaker: Equation 11 at what the breaker *measures*. With no
+            // faults, measured load is exactly the decided sprinter count;
+            // stuck gates add phantom sprinter-equivalents, and the sensor
+            // may distort or hold the reading.
+            let realized = f64::from(n_sprinters + n_stuck);
+            let measured = match plan.sensor {
+                None => realized,
+                Some(_) => {
+                    let z = draws.sensor.normal(RACK, epoch as u64, 0);
+                    let reading =
+                        sensor.measure(realized, z, draws.sensor.uniform(RACK, epoch as u64, 2));
+                    if reading.dropped {
+                        faults.sensor_dropouts += 1;
+                        if want_fault_events {
+                            telemetry.emit(&Event::FaultInjected {
+                                epoch,
+                                kind: FaultKind::SensorDropout,
+                                agent: None,
+                            });
+                        }
+                        if let Some(ids) = &ids {
+                            telemetry
+                                .registry
+                                .inc(ids.fault(FaultKind::SensorDropout), 1);
+                        }
+                    }
+                    reading.value
+                }
+            };
+            let p_trip = actual_curve.p_trip(measured);
+            let tripped = p_trip > 0.0 && draws.trip.uniform(RACK, epoch as u64, 0) < p_trip;
+            if tripped && want_trip_events {
+                telemetry.emit(&Event::BreakerTrip {
+                    epoch,
+                    realized,
+                    measured,
+                    p_trip,
+                });
+            }
+
+            // Divergence between the breaker's behavior and the nominal curve
+            // the policies reason about.
+            let nominal_p = trip_curve.p_trip(f64::from(n_sprinters));
+            if tripped && nominal_p == 0.0 {
+                faults.spurious_trips += 1;
+                if want_fault_events {
                     telemetry.emit(&Event::FaultInjected {
                         epoch,
-                        kind,
-                        agent: Some(i as u32),
+                        kind: FaultKind::SpuriousTrip,
+                        agent: None,
                     });
                 }
-            }
-            // Registry increments are batched per epoch: one add per
-            // fault kind instead of one per affected agent.
-            if let Some(ids) = &ids {
-                if epoch_crashes > 0 {
+                if let Some(ids) = &ids {
                     telemetry
                         .registry
-                        .inc(ids.fault(FaultKind::Crash), u64::from(epoch_crashes));
-                }
-                if epoch_restarts > 0 {
-                    telemetry
-                        .registry
-                        .inc(ids.fault(FaultKind::Restart), u64::from(epoch_restarts));
+                        .inc(ids.fault(FaultKind::SpuriousTrip), 1);
                 }
             }
-        }
+            if !tripped && nominal_p >= 1.0 {
+                faults.missed_trips += 1;
+                if want_fault_events {
+                    telemetry.emit(&Event::FaultInjected {
+                        epoch,
+                        kind: FaultKind::MissedTrip,
+                        agent: None,
+                    });
+                }
+                if let Some(ids) = &ids {
+                    telemetry.registry.inc(ids.fault(FaultKind::MissedTrip), 1);
+                }
+            }
 
-        if rack_recovering {
-            occupancy.recovery += n as u64 - n_crashed;
-            if config.options.recovery == RecoverySemantics::NormalMode {
-                total_tasks += (n as u64 - n_crashed) as f64;
+            // Throughput. Under the paper's UPS semantics sprints complete
+            // even on a trip; the Truncated ablation scales the tripped
+            // epoch's work by the pre-trip fraction. The fused kernel already
+            // produced per-chunk unscaled sums; the serial path replays the
+            // identical pass (transitions included) now that the trip is
+            // known.
+            if !fused {
+                post_decide_pass(&ctx, &mut lanes.view(), &mut chunk_stats, !tripped);
             }
-            sprinters_per_epoch.push(0);
-            // Batteries recharge: geometric exit, then staggered wake-up.
-            if draws.recovery.uniform(RACK, epoch as u64, 0) < p_recover_exit {
-                rack_recovering = false;
-                let stagger = config.options.stagger_epochs;
-                for (i, state) in lanes.states.iter_mut().enumerate() {
-                    *state = AgentState::Active;
-                    let slot = if stagger == 0 {
-                        0
-                    } else {
-                        draws
-                            .recovery
-                            .index(i as u64, epoch as u64, 1, u64::from(stagger))
-                            as usize
-                    };
-                    lanes.blocked_until[i] = epoch + 1 + slot;
+            let epoch_scale = match (tripped, config.options.interruption) {
+                (true, TripInterruption::Truncated) => pre_trip_fraction(&config.game, realized),
+                _ => 1.0,
+            };
+            let mut epoch_sticks = 0u32;
+            for cs in &chunk_stats {
+                total_tasks += cs.tasks * epoch_scale;
+                occupancy.sprinting += u64::from(cs.occ_sprinting);
+                occupancy.cooling += u64::from(cs.occ_cooling);
+                occupancy.active_idle += u64::from(cs.occ_idle);
+                epoch_sticks += cs.sticks;
+            }
+
+            if tripped {
+                trips += 1;
+                rack_recovering = true;
+                lanes.states.fill(AgentState::Recovery);
+                // The emergency cuts rack power: every stuck gate releases,
+                // and the kernel's speculative stick outcomes are discarded.
+                if plan.stuck.is_some() {
+                    lanes.stuck.fill(false);
+                }
+            } else if plan.stuck.is_some() && epoch_sticks > 0 {
+                if want_fault_events {
+                    for (i, &flag) in lanes.stick_flag.iter().enumerate() {
+                        if flag {
+                            telemetry.emit(&Event::FaultInjected {
+                                epoch,
+                                kind: FaultKind::StuckGate,
+                                agent: Some(i as u32),
+                            });
+                        }
+                    }
+                }
+                if let Some(ids) = &ids {
+                    telemetry
+                        .registry
+                        .inc(ids.fault(FaultKind::StuckGate), u64::from(epoch_sticks));
                 }
             }
             if on {
                 let epoch_tasks = total_tasks - tasks_before;
                 telemetry.emit(&Event::EpochTick {
                     epoch,
-                    sprinters: 0,
-                    stuck: 0,
-                    tripped: false,
-                    recovering: true,
+                    sprinters: n_sprinters,
+                    stuck: n_stuck,
+                    tripped,
+                    recovering: false,
                     tasks: epoch_tasks,
                 });
                 if let Some(ids) = &ids {
                     telemetry.registry.inc(ids.epochs, 1);
-                    telemetry.registry.push(ids.sprinter_series, 0.0);
+                    if tripped {
+                        telemetry.registry.inc(ids.trips, 1);
+                    }
+                    telemetry
+                        .registry
+                        .push(ids.sprinter_series, f64::from(n_sprinters));
                     telemetry.registry.push(ids.task_series, epoch_tasks);
-                    telemetry.registry.push(ids.trip_series, 0.0);
+                    telemetry
+                        .registry
+                        .push(ids.trip_series, if tripped { 1.0 } else { 0.0 });
+                    telemetry.registry.observe(ids.sprinter_hist, realized);
                 }
                 if let Some(s) = epoch_span {
                     telemetry.spans.close(s);
                 }
             }
-            policy.epoch_end(false);
-            continue;
+            policy.epoch_end(tripped);
         }
+        Ok(())
+    };
 
-        // Decisions. The fused kernel already made them; stateful
-        // policies (and decision-traced runs) decide serially here on the
-        // same counter draws.
-        let mut n_sprinters = 0u32;
-        let mut n_stuck = 0u32;
-        if fused {
-            let mut decisions = 0u64;
-            for cs in &chunk_stats {
-                n_sprinters += cs.n_sprinters;
-                n_stuck += cs.n_stuck;
-                decisions += u64::from(cs.decisions);
+    let outcome = match &ctrl {
+        None => run_body(&mut PassExec::Serial),
+        Some(ctrl) => std::thread::scope(|scope| {
+            let mut threads = Vec::with_capacity(spans.len().saturating_sub(1));
+            for (idx, span) in spans.iter().copied().enumerate().skip(1) {
+                let consts = &consts;
+                let handle = scope.spawn(move || pool_worker(ctrl, idx - 1, span, consts));
+                threads.push(handle.thread().clone());
             }
-            faults.stuck_epochs += u64::from(n_stuck);
-            policy.note_decisions(decisions);
-        } else {
-            let decide_span = on.then(|| telemetry.spans.open("engine.decide"));
-            for i in 0..n {
-                lanes.sprinted[i] = false;
-                if lanes.crashed[i] {
-                    continue;
-                }
-                match lanes.states[i] {
-                    AgentState::Active => {
-                        let estimate = match config.options.estimation {
-                            UtilityEstimation::Oracle => lanes.phase[i],
-                            UtilityEstimation::Noisy { relative_sd } => {
-                                let z = draws.estimate.normal(i as u64, epoch as u64, 0);
-                                (lanes.phase[i] * (1.0 + relative_sd * z)).max(0.0)
-                            }
-                        };
-                        let may_sprint = epoch >= lanes.blocked_until[i];
-                        let sprint = may_sprint && policy.wants_sprint(i, estimate);
-                        if sprint {
-                            lanes.sprinted[i] = true;
-                            n_sprinters += 1;
-                        }
-                        if want_decisions {
-                            telemetry.emit(&Event::SprintDecision {
-                                epoch,
-                                agent: i as u32,
-                                estimate,
-                                sprint,
-                            });
-                        }
-                    }
-                    AgentState::Cooling => {
-                        if lanes.stuck[i] {
-                            n_stuck += 1;
-                            faults.stuck_epochs += 1;
-                        }
-                    }
-                    AgentState::Recovery => {
-                        lanes.states[i] = AgentState::Active;
-                    }
-                }
-            }
-            if let Some(s) = decide_span {
-                telemetry.spans.close(s);
-            }
-        }
-        sprinters_per_epoch.push(n_sprinters);
-
-        // Breaker: Equation 11 at what the breaker *measures*. With no
-        // faults, measured load is exactly the decided sprinter count;
-        // stuck gates add phantom sprinter-equivalents, and the sensor
-        // may distort or hold the reading.
-        let realized = f64::from(n_sprinters + n_stuck);
-        let measured = match plan.sensor {
-            None => realized,
-            Some(_) => {
-                let z = draws.sensor.normal(RACK, epoch as u64, 0);
-                let reading =
-                    sensor.measure(realized, z, draws.sensor.uniform(RACK, epoch as u64, 2));
-                if reading.dropped {
-                    faults.sensor_dropouts += 1;
-                    if want_fault_events {
-                        telemetry.emit(&Event::FaultInjected {
-                            epoch,
-                            kind: FaultKind::SensorDropout,
-                            agent: None,
-                        });
-                    }
-                    if let Some(ids) = &ids {
-                        telemetry
-                            .registry
-                            .inc(ids.fault(FaultKind::SensorDropout), 1);
-                    }
-                }
-                reading.value
-            }
-        };
-        let p_trip = actual_curve.p_trip(measured);
-        let tripped = p_trip > 0.0 && draws.trip.uniform(RACK, epoch as u64, 0) < p_trip;
-        if tripped && want_trip_events {
-            telemetry.emit(&Event::BreakerTrip {
-                epoch,
-                realized,
-                measured,
-                p_trip,
-            });
-        }
-
-        // Divergence between the breaker's behavior and the nominal curve
-        // the policies reason about.
-        let nominal_p = trip_curve.p_trip(f64::from(n_sprinters));
-        if tripped && nominal_p == 0.0 {
-            faults.spurious_trips += 1;
-            if want_fault_events {
-                telemetry.emit(&Event::FaultInjected {
-                    epoch,
-                    kind: FaultKind::SpuriousTrip,
-                    agent: None,
-                });
-            }
-            if let Some(ids) = &ids {
-                telemetry
-                    .registry
-                    .inc(ids.fault(FaultKind::SpuriousTrip), 1);
-            }
-        }
-        if !tripped && nominal_p >= 1.0 {
-            faults.missed_trips += 1;
-            if want_fault_events {
-                telemetry.emit(&Event::FaultInjected {
-                    epoch,
-                    kind: FaultKind::MissedTrip,
-                    agent: None,
-                });
-            }
-            if let Some(ids) = &ids {
-                telemetry.registry.inc(ids.fault(FaultKind::MissedTrip), 1);
-            }
-        }
-
-        // Throughput. Under the paper's UPS semantics sprints complete
-        // even on a trip; the Truncated ablation scales the tripped
-        // epoch's work by the pre-trip fraction. The fused kernel already
-        // produced per-chunk unscaled sums; the serial path replays the
-        // identical pass (transitions included) now that the trip is
-        // known.
-        if !fused {
-            post_decide_pass(&ctx, &mut lanes.view(), &mut chunk_stats, !tripped);
-        }
-        let epoch_scale = match (tripped, config.options.interruption) {
-            (true, TripInterruption::Truncated) => pre_trip_fraction(&config.game, realized),
-            _ => 1.0,
-        };
-        let mut epoch_sticks = 0u32;
-        for cs in &chunk_stats {
-            total_tasks += cs.tasks * epoch_scale;
-            occupancy.sprinting += u64::from(cs.occ_sprinting);
-            occupancy.cooling += u64::from(cs.occ_cooling);
-            occupancy.active_idle += u64::from(cs.occ_idle);
-            epoch_sticks += cs.sticks;
-        }
-
-        if tripped {
-            trips += 1;
-            rack_recovering = true;
-            lanes.states.fill(AgentState::Recovery);
-            // The emergency cuts rack power: every stuck gate releases,
-            // and the kernel's speculative stick outcomes are discarded.
-            if plan.stuck.is_some() {
-                lanes.stuck.fill(false);
-            }
-        } else if plan.stuck.is_some() && epoch_sticks > 0 {
-            if want_fault_events {
-                for (i, &flag) in lanes.stick_flag.iter().enumerate() {
-                    if flag {
-                        telemetry.emit(&Event::FaultInjected {
-                            epoch,
-                            kind: FaultKind::StuckGate,
-                            agent: Some(i as u32),
-                        });
-                    }
-                }
-            }
-            if let Some(ids) = &ids {
-                telemetry
-                    .registry
-                    .inc(ids.fault(FaultKind::StuckGate), u64::from(epoch_sticks));
-            }
-        }
-        if on {
-            let epoch_tasks = total_tasks - tasks_before;
-            telemetry.emit(&Event::EpochTick {
-                epoch,
-                sprinters: n_sprinters,
-                stuck: n_stuck,
-                tripped,
-                recovering: false,
-                tasks: epoch_tasks,
-            });
-            if let Some(ids) = &ids {
-                telemetry.registry.inc(ids.epochs, 1);
-                if tripped {
-                    telemetry.registry.inc(ids.trips, 1);
-                }
-                telemetry
-                    .registry
-                    .push(ids.sprinter_series, f64::from(n_sprinters));
-                telemetry.registry.push(ids.task_series, epoch_tasks);
-                telemetry
-                    .registry
-                    .push(ids.trip_series, if tripped { 1.0 } else { 0.0 });
-                telemetry.registry.observe(ids.sprinter_hist, realized);
-            }
-            if let Some(s) = epoch_span {
-                telemetry.spans.close(s);
-            }
-        }
-        policy.epoch_end(tripped);
-    }
+            // Shutdown fires on every exit path — completion, cancel or
+            // deadline error, panic — before the scope joins.
+            let _shutdown = PoolShutdown {
+                ctrl,
+                threads: &threads,
+            };
+            run_body(&mut PassExec::Pool {
+                ctrl,
+                own: spans[0],
+                threads: &threads,
+            })
+        }),
+    };
+    outcome?;
 
     // The streams observe their own evolution: write the final phase
     // back so callers holding the streams see them advanced by the run.
@@ -1618,6 +2203,26 @@ pub fn run_guarded(
         telemetry
             .registry
             .set(g, f64::from(trips) / config.epochs as f64);
+        if let Some(ctrl) = &ctrl {
+            // Spawned-worker busy time over the loop's wall time: how
+            // much of the pool's capacity the kernel actually used.
+            let wall = loop_t0.map_or(0.0, |t| t.elapsed().as_secs_f64());
+            let busy: u64 = ctrl
+                .slots
+                .iter()
+                .map(|s| s.busy_nanos.load(std::sync::atomic::Ordering::Relaxed))
+                .sum();
+            let denom = wall * ctrl.slots.len() as f64;
+            let g = telemetry.registry.gauge("engine.pool.workers");
+            telemetry.registry.set(g, (ctrl.slots.len() + 1) as f64);
+            let g = telemetry.registry.gauge("engine.pool.utilization");
+            let util = if denom > 0.0 {
+                (busy as f64 / 1e9 / denom).min(1.0)
+            } else {
+                0.0
+            };
+            telemetry.registry.set(g, util);
+        }
         telemetry.export_recorder_metrics();
     }
     Ok(result)
@@ -1965,5 +2570,213 @@ mod tests {
         let serial = count_with(1);
         assert!(serial > 0);
         assert_eq!(serial, count_with(4));
+    }
+
+    #[test]
+    fn chunk_size_is_part_of_the_spec_and_jobs_invariant() {
+        // At every chunk size, results are byte-identical across job
+        // counts (the pool partition follows the chunk grid), and the
+        // fused kernel still matches the serial decide path bitwise.
+        let game = small_game(2500);
+        for chunk in [256usize, 1000, 4096] {
+            let cfg = SimConfig::new(game, 120, 31)
+                .unwrap()
+                .with_faults(FaultPlan::composite(7))
+                .with_chunk_agents(chunk);
+            let run_with = |jobs: usize| {
+                let mut s = streams(Benchmark::DecisionTree, 2500, 31);
+                let mut p =
+                    ThresholdPolicy::uniform("E-T", ThresholdStrategy::new(2.0).unwrap(), 2500)
+                        .unwrap();
+                run_jobs(&cfg, &mut s, &mut p, jobs, &mut Telemetry::noop()).unwrap()
+            };
+            let serial = run_with(1);
+            for jobs in [2, 3, 8] {
+                let parallel = run_with(jobs);
+                assert_eq!(serial, parallel, "chunk = {chunk}, jobs = {jobs}");
+                assert_eq!(
+                    serial.total_tasks().to_bits(),
+                    parallel.total_tasks().to_bits(),
+                    "chunk = {chunk}, jobs = {jobs}"
+                );
+            }
+            // Fused vs serial-decide bitwise equality at this chunk size.
+            let thresholds = vec![2.0; 2500];
+            let mut s = streams(Benchmark::DecisionTree, 2500, 31);
+            let dynamic = run_jobs(
+                &cfg,
+                &mut s,
+                &mut DynamicThreshold(thresholds),
+                4,
+                &mut Telemetry::noop(),
+            )
+            .unwrap();
+            assert_eq!(
+                serial.total_tasks().to_bits(),
+                dynamic.total_tasks().to_bits(),
+                "chunk = {chunk}: fused vs serial decide"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_chunk_agents_is_rejected() {
+        let cfg = SimConfig::new(small_game(50), 10, 1)
+            .unwrap()
+            .with_chunk_agents(0);
+        let mut s = streams(Benchmark::Svm, 50, 1);
+        let err = run(&cfg, &mut s, &mut Greedy::new(), &mut Telemetry::noop()).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::InvalidParameter {
+                name: "chunk_agents",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn run_options_serde_omits_default_chunk_and_defaults_when_absent() {
+        // Specs written before `chunk_agents` existed keep their exact
+        // bytes (field omitted at its default) and still parse (field
+        // defaults when absent).
+        let default = RunOptions::default();
+        let serde::Value::Object(obj) = serde::Serialize::to_value(&default) else {
+            panic!("RunOptions must serialize to an object");
+        };
+        assert!(
+            serde::__field(&obj, "chunk_agents").is_none(),
+            "default chunk must be omitted on the wire"
+        );
+        let back: RunOptions = serde::Deserialize::from_value(&serde::Value::Object(obj)).unwrap();
+        assert_eq!(back, default);
+
+        let tuned = RunOptions {
+            chunk_agents: 512,
+            ..RunOptions::default()
+        };
+        let value = serde::Serialize::to_value(&tuned);
+        let serde::Value::Object(obj) = &value else {
+            panic!("RunOptions must serialize to an object");
+        };
+        assert!(serde::__field(obj, "chunk_agents").is_some());
+        let back: RunOptions = serde::Deserialize::from_value(&value).unwrap();
+        assert_eq!(back, tuned);
+    }
+
+    #[test]
+    fn cancel_before_start_shuts_the_pool_down_cleanly() {
+        // A pre-cancelled token must surface as a typed error without
+        // deadlocking the pool's scoped join (the shutdown guard runs on
+        // the error path before the scope joins parked workers).
+        let cfg = SimConfig::new(small_game(5000), 1000, 3).unwrap();
+        let mut s = streams(Benchmark::PageRank, 5000, 3);
+        let token = CancelToken::new();
+        token.cancel();
+        let guard = RunGuard {
+            deadline: None,
+            cancel: Some(token),
+        };
+        let err = run_guarded(
+            &cfg,
+            &mut s,
+            &mut Greedy::new(),
+            &guard,
+            4,
+            &mut Telemetry::noop(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::Cancelled { .. }), "got {err}");
+    }
+
+    #[test]
+    fn mid_run_cancel_is_honored_at_checkpoints_with_the_pool_live() {
+        // Cancel from another thread while the pooled epoch loop runs:
+        // the run must stop at a cooperative checkpoint with the typed
+        // error, and the pool must join (the test completing at all is
+        // the no-deadlock assertion).
+        let cfg = SimConfig::new(small_game(5000), 200_000, 9).unwrap();
+        let mut s = streams(Benchmark::DecisionTree, 5000, 9);
+        let token = CancelToken::new();
+        let canceller = token.clone();
+        let hand = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            canceller.cancel();
+        });
+        let guard = RunGuard {
+            deadline: None,
+            cancel: Some(token),
+        };
+        let out = run_guarded(
+            &cfg,
+            &mut s,
+            &mut Greedy::new(),
+            &guard,
+            4,
+            &mut Telemetry::noop(),
+        );
+        hand.join().unwrap();
+        // On a fast machine the run may legitimately finish first; when
+        // it does not, the error must be the typed cancellation.
+        if let Err(err) = out {
+            assert!(matches!(err, SimError::Cancelled { .. }), "got {err}");
+        }
+    }
+
+    /// A policy whose static decider is mis-sized: any span that decides
+    /// with it panics on the out-of-bounds threshold index.
+    struct BrokenDecider;
+
+    impl SprintPolicy for BrokenDecider {
+        fn name(&self) -> &'static str {
+            "broken-decider"
+        }
+        fn wants_sprint(&mut self, _agent: usize, _utility: f64) -> bool {
+            true
+        }
+        fn static_decider(&self) -> Option<StaticDecider> {
+            Some(StaticDecider::PerAgent(vec![0.0; 8]))
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_typed_error_without_deadlock() {
+        // Every span (coordinator's own included) panics on the broken
+        // decider; the pool must convert it to `WorkerPanicked` and join
+        // instead of deadlocking at the barrier or aborting the process.
+        let cfg = SimConfig::new(small_game(5000), 100, 11).unwrap();
+        for jobs in [2usize, 4, 8] {
+            let mut s = streams(Benchmark::Kmeans, 5000, 11);
+            let err = run_jobs(
+                &cfg,
+                &mut s,
+                &mut BrokenDecider,
+                jobs,
+                &mut Telemetry::noop(),
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, SimError::WorkerPanicked { .. }),
+                "jobs = {jobs}: got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_exports_utilization_gauges_when_observed() {
+        let cfg = SimConfig::new(small_game(5000), 200, 17).unwrap();
+        let mut s = streams(Benchmark::PageRank, 5000, 17);
+        let mut telemetry = Telemetry::in_memory();
+        run_jobs(&cfg, &mut s, &mut Greedy::new(), 4, &mut telemetry).unwrap();
+        let workers = telemetry
+            .registry
+            .gauge_value("engine.pool.workers")
+            .expect("pooled observed runs export engine.pool.workers");
+        assert!(workers >= 2.0, "workers = {workers}");
+        let util = telemetry
+            .registry
+            .gauge_value("engine.pool.utilization")
+            .expect("pooled observed runs export engine.pool.utilization");
+        assert!((0.0..=1.0).contains(&util), "utilization = {util}");
     }
 }

@@ -674,15 +674,22 @@ impl serde::Deserialize for SweepReport {
     }
 }
 
-/// Resolve a job count: 0 means all available cores, and no pool is ever
-/// larger than the trial list.
-fn effective_jobs(jobs: usize, trials: usize) -> usize {
-    let jobs = if jobs == 0 {
+/// Resolve a thread budget into `(pool workers, intra-run engine jobs)`.
+///
+/// `jobs == 0` means all available cores. The trial pool is never larger
+/// than the trial list; when the budget exceeds the trial count, the
+/// surplus is split evenly across trial workers as engine-level fan-out
+/// (each trial runs its epoch kernel on the persistent worker pool).
+/// Byte-safe at any split: engine results are jobs-invariant, so the
+/// report bytes depend on the spec alone.
+fn thread_budget(jobs: usize, trials: usize) -> (usize, usize) {
+    let budget = if jobs == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
         jobs
     };
-    jobs.clamp(1, trials.max(1))
+    let pool = budget.clamp(1, trials.max(1));
+    (pool, (budget / pool).max(1))
 }
 
 /// Execute a sweep — the unified entry point.
@@ -766,7 +773,7 @@ fn run_sweep_on_cache(
     let plans = spec.effective_plans();
     let adversaries = spec.effective_adversaries();
     let trials = spec.expand(&plans, &adversaries);
-    let jobs = effective_jobs(jobs, trials.len());
+    let (jobs, intra_jobs) = thread_budget(jobs, trials.len());
 
     // Warm pre-pass: solve every distinct E-T cell serially, in expansion
     // order, before the worker pool starts. Each solve warm-starts from
@@ -843,6 +850,7 @@ fn run_sweep_on_cache(
                             cache,
                             warm,
                             supervision,
+                            intra_jobs,
                         );
                         let nanos = started.elapsed().as_nanos() as u64;
                         done += 1;
@@ -958,6 +966,8 @@ fn run_sweep_on_cache(
     telemetry.registry.inc(c, retried);
     let g = telemetry.registry.gauge("sweep.jobs");
     telemetry.registry.set(g, jobs as f64);
+    let g = telemetry.registry.gauge("sweep.intra_jobs");
+    telemetry.registry.set(g, intra_jobs as f64);
 
     Ok(SweepReport {
         trials: records.len(),
@@ -980,6 +990,7 @@ fn run_trial_supervised(
     cache: &EquilibriumCache,
     warm: bool,
     supervision: &Supervision,
+    intra_jobs: usize,
 ) -> (crate::Result<SweepRecord>, u32) {
     let attempts_allowed = supervision.retries.saturating_add(1);
     let mut last = SimError::WorkerPanicked {
@@ -1015,7 +1026,16 @@ fn run_trial_supervised(
                     None => {}
                 }
             }
-            run_trial(spec, plans, adversaries, trial, cache, warm, &guard)
+            run_trial(
+                spec,
+                plans,
+                adversaries,
+                trial,
+                cache,
+                warm,
+                &guard,
+                intra_jobs,
+            )
         }));
         match outcome {
             Ok(Ok(record)) => return (Ok(record), attempt + 1),
@@ -1067,6 +1087,7 @@ fn run_trial(
     cache: &EquilibriumCache,
     warm: bool,
     guard: &engine::RunGuard,
+    intra_jobs: usize,
 ) -> crate::Result<SweepRecord> {
     let variant = &spec.games[trial.game];
     let pop_spec = &spec.populations[trial.population];
@@ -1108,7 +1129,7 @@ fn run_trial(
         &mut streams,
         policy.as_mut(),
         guard,
-        1,
+        intra_jobs,
         &mut Telemetry::noop(),
     )?;
 
